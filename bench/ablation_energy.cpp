@@ -1,0 +1,111 @@
+// Energy-to-solution ablation.
+//
+// The paper's motivation is power/efficiency ("typically this is done
+// for power-saving reasons"); this bench extends Table II with the
+// energy dimension RAPL makes measurable: Joules to complete the same
+// HPL problem and the resulting Gflops/W, for every core set and both
+// build variants — measured with a combined RAPL package+DRAM EventSet,
+// i.e. the unified-component path of §V-3.
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "bench/bench_common.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+
+using namespace hetpapi;
+using namespace hetpapi::bench;
+
+namespace {
+
+struct EnergyResult {
+  double gflops = 0.0;
+  double seconds = 0.0;
+  double package_j = 0.0;
+  double dram_j = 0.0;
+};
+
+EnergyResult run_case(const workload::HplConfig& hpl_config,
+                      const std::vector<int>& cpus) {
+  simkernel::SimKernel kernel(cpumodel::raptor_lake_i7_13700(),
+                              hpl_kernel_config());
+  papi::SimBackend backend(&kernel);
+  papi::LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = 0;
+  auto lib = papi::Library::init(&backend, lib_config);
+
+  auto set = (*lib)->create_eventset();
+  (void)(*lib)->add_event(*set, "rapl::RAPL_ENERGY_PKG");
+  (void)(*lib)->add_event(*set, "rapl::RAPL_ENERGY_DRAM");
+  (void)(*lib)->start(*set);
+
+  workload::HplSimulation hpl(hpl_config, static_cast<int>(cpus.size()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    kernel.spawn(hpl.make_worker(static_cast<int>(i)),
+                 simkernel::CpuSet::of({cpus[i]}));
+  }
+  const SimDuration elapsed =
+      kernel.run_until_idle(std::chrono::seconds(3600));
+  auto values = (*lib)->stop(*set);
+
+  EnergyResult result;
+  result.seconds = std::chrono::duration<double>(elapsed).count();
+  result.gflops = hpl.gflops(elapsed).value;
+  result.package_j = static_cast<double>((*values)[0]) / 1e6;
+  result.dram_j = static_cast<double>((*values)[1]) / 1e6;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 43008;
+  if (argc > 1) {
+    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
+  }
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  struct Row {
+    const char* label;
+    std::vector<int> cpus;
+  };
+  const Row rows[] = {
+      {"E only", raptor_cpus_e_only(machine)},
+      {"P only", raptor_cpus_p_only(machine)},
+      {"P and E", raptor_cpus_all(machine)},
+  };
+
+  std::printf(
+      "Energy-to-solution ablation (HPL N=%d; RAPL package+DRAM via one "
+      "combined EventSet)\n",
+      n);
+  TextTable table({"variant", "cores", "time (s)", "Gflops", "pkg (kJ)",
+                   "dram (kJ)", "Gflops/W"});
+  for (const char* variant : {"openblas", "intel"}) {
+    for (const Row& row : rows) {
+      const auto config = std::string(variant) == "intel"
+                              ? workload::HplConfig::intel(n, 192)
+                              : workload::HplConfig::openblas(n, 192);
+      const EnergyResult result = run_case(config, row.cpus);
+      const double avg_watts = result.package_j / result.seconds;
+      table.add_row({variant, row.label,
+                     str_format("%.1f", result.seconds),
+                     str_format("%.1f", result.gflops),
+                     str_format("%.2f", result.package_j / 1000.0),
+                     str_format("%.2f", result.dram_j / 1000.0),
+                     str_format("%.2f", result.gflops / avg_watts)});
+      std::fflush(stdout);
+    }
+    table.add_rule();
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expectations: the hybrid-unaware all-core run burns MORE energy\n"
+      "than its own P-only run for the same problem (longer runtime at\n"
+      "the same 65 W cap), while the hybrid-aware build converts the\n"
+      "extra cores into both speed and efficiency — all-core becomes the\n"
+      "fastest AND cheapest configuration. (E-only is not the efficiency\n"
+      "winner here: with the whole 65 W budget to itself the E cluster\n"
+      "races to its multi-core turbo ceiling, far from its efficiency\n"
+      "sweet spot.)\n");
+  return 0;
+}

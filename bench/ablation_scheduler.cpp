@@ -1,0 +1,99 @@
+// Ablation: scheduler placement policy vs the §IV-F residency split.
+//
+// The paper's unpinned validation run landed ~83% of instructions on
+// the P cores — a consequence of the hybrid-aware placement bias real
+// kernels apply (§I-B: "these heterogeneous-aware schedulers make use
+// of hardware performance counters"). This bench re-runs the 1M x 100
+// caliper loop under three placement policies and reports the split the
+// hybrid EventSet measures, plus the wall-clock consequence.
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "bench/bench_common.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "workload/programs.hpp"
+
+using namespace hetpapi;
+using namespace hetpapi::bench;
+using papi::Library;
+using simkernel::CpuSet;
+using simkernel::PlacementPolicy;
+using simkernel::SimKernel;
+using simkernel::Tid;
+
+namespace {
+
+struct Result {
+  double p_share = 0.0;
+  double seconds = 0.0;
+};
+
+Result run_policy(PlacementPolicy policy) {
+  SimKernel::Config config;
+  config.sched.policy = policy;
+  config.sched.migration_rate_hz = 80.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  papi::SimBackend backend(&kernel);
+  auto lib = Library::init(&backend);
+
+  auto program = std::make_shared<workload::WorkQueueProgram>();
+  const Tid tid =
+      kernel.spawn(program, CpuSet::all(kernel.machine().num_cpus()));
+  auto set = (*lib)->create_eventset();
+  (void)(*lib)->attach(*set, tid);
+  (void)(*lib)->add_event(*set, "adl_glc::INST_RETIRED:ANY");
+  (void)(*lib)->add_event(*set, "adl_grt::INST_RETIRED:ANY");
+
+  workload::PhaseSpec phase;
+  const SimTime start = kernel.now();
+  std::uint64_t p_total = 0;
+  std::uint64_t e_total = 0;
+  // 400 x 25M-instruction iterations: a long enough horizon that the
+  // placement statistics converge (individual dwell segments span many
+  // iterations).
+  for (int i = 0; i < 400; ++i) {
+    (void)(*lib)->start(*set);
+    program->enqueue(phase, 25'000'000);
+    while (!program->idle()) kernel.run_for(std::chrono::milliseconds(1));
+    auto values = (*lib)->stop(*set);
+    p_total += static_cast<std::uint64_t>((*values)[0]);
+    e_total += static_cast<std::uint64_t>((*values)[1]);
+  }
+  program->finish();
+  Result result;
+  result.p_share =
+      static_cast<double>(p_total) / static_cast<double>(p_total + e_total);
+  result.seconds =
+      std::chrono::duration<double>(kernel.now() - start).count();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Scheduler-placement ablation (400 x 25M-instruction calipered\n"
+      "iterations; paper's §IV-F split under the real kernel: 83%% P / 17%% E)\n\n");
+  TextTable table({"policy", "P share", "E share", "loop runtime (s)"});
+  const std::pair<const char*, PlacementPolicy> policies[] = {
+      {"capacity-biased (default)", PlacementPolicy::kCapacityBiased},
+      {"uniform", PlacementPolicy::kUniform},
+      {"little-first", PlacementPolicy::kLittleFirst},
+  };
+  for (const auto& [name, policy] : policies) {
+    const Result result = run_policy(policy);
+    table.add_row({name, str_format("%.1f%%", result.p_share * 100.0),
+                   str_format("%.1f%%", (1.0 - result.p_share) * 100.0),
+                   str_format("%.3f", result.seconds)});
+    std::fflush(stdout);
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "expectation: the capacity-biased policy lands near the paper's\n"
+      "split; uniform placement over-uses E cores and runs slower;\n"
+      "little-first pushes the work to the E cores and is slowest (its\n"
+      "instruction share stays near half only because P cores retire the\n"
+      "P-resident segments so much faster).\n");
+  return 0;
+}

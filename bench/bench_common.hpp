@@ -1,0 +1,68 @@
+// Shared helpers for the table/figure regeneration benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "telemetry/monitor.hpp"
+#include "workload/hpl.hpp"
+
+namespace hetpapi::bench {
+
+/// The paper's three Raptor Lake core sets (HPL runs use one thread per
+/// physical core; Table I / §II-A.1).
+inline std::vector<int> raptor_cpus_p_only(const cpumodel::MachineSpec& m) {
+  return m.primary_threads_of_type(0);  // cpus 0,2,...,14
+}
+inline std::vector<int> raptor_cpus_e_only(const cpumodel::MachineSpec& m) {
+  return m.primary_threads_of_type(1);  // cpus 16-23
+}
+inline std::vector<int> raptor_cpus_all(const cpumodel::MachineSpec& m) {
+  std::vector<int> cpus = raptor_cpus_p_only(m);
+  const std::vector<int> e = raptor_cpus_e_only(m);
+  cpus.insert(cpus.end(), e.begin(), e.end());
+  return cpus;
+}
+
+/// Kernel tuned for long HPL runs (coarser tick).
+inline simkernel::SimKernel::Config hpl_kernel_config(std::uint64_t seed = 42) {
+  simkernel::SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  config.seed = seed;
+  return config;
+}
+
+/// One monitored HPL run on a fresh machine instance.
+inline telemetry::RunResult run_hpl_once(const cpumodel::MachineSpec& machine,
+                                         const workload::HplConfig& hpl,
+                                         const std::vector<int>& cpus,
+                                         std::uint64_t seed = 42) {
+  simkernel::SimKernel kernel(machine, hpl_kernel_config(seed));
+  telemetry::MonitorConfig monitor;
+  return telemetry::run_monitored_hpl(kernel, hpl, cpus, monitor);
+}
+
+inline std::string gflops_str(double gflops) {
+  return str_format("%.2f Gflops", gflops);
+}
+
+inline std::string pct_change(double from, double to) {
+  return str_format("%+.1f%%", (to - from) / from * 100.0);
+}
+
+/// Emit a gnuplot/CSV-friendly series block for "figure" benches.
+inline void print_series(const std::string& name,
+                         const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  std::printf("# series: %s (%zu points)\n", name.c_str(), x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::printf("%s %.3f %.3f\n", name.c_str(), x[i], y[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace hetpapi::bench

@@ -1,0 +1,80 @@
+// Regenerates Figure 2: measured package power and temperature on the
+// Raptor Lake system for both HPL variants, all-core runs.
+//
+// Shape targets from the paper:
+//  * both variants ride the 65 W long-term cap for most of the run;
+//  * Intel HPL spikes toward the 219 W short-term cap at the start;
+//  * OpenBLAS HPL cannot reach the short-term cap — it peaks around
+//    165.7 W before dropping to the long-term limit (barrier stragglers
+//    leave cores idle);
+//  * neither run approaches the 100 C junction limit (no thermal
+//    throttling).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hetpapi;
+using namespace hetpapi::bench;
+
+int main(int argc, char** argv) {
+  int n = 57024;
+  if (argc > 1) {
+    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
+  }
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+
+  struct Variant {
+    const char* name;
+    workload::HplConfig config;
+  };
+  const Variant variants[] = {
+      {"openblas", workload::HplConfig::openblas(n, 192)},
+      {"intel", workload::HplConfig::intel(n, 192)},
+  };
+
+  std::printf(
+      "Figure 2: package power (RAPL) and temperature during all-core HPL "
+      "(N=%d; PL1=%.0f W, PL2=%.0f W)\n",
+      n, machine.rapl.pl1.value, machine.rapl.pl2.value);
+  for (const Variant& variant : variants) {
+    const auto run = run_hpl_once(machine, variant.config,
+                                  raptor_cpus_all(machine));
+    std::vector<double> t;
+    std::vector<double> power;
+    std::vector<double> temp;
+    double peak_power = 0.0;
+    double peak_temp = 0.0;
+    std::vector<double> steady;
+    for (const telemetry::Sample& sample : run.samples) {
+      if (sample.t_seconds <= 0.0 || std::isnan(sample.package_power_w)) {
+        continue;
+      }
+      t.push_back(sample.t_seconds);
+      power.push_back(sample.package_power_w);
+      temp.push_back(sample.package_temp_c);
+      peak_power = std::max(peak_power, sample.package_power_w);
+      peak_temp = std::max(peak_temp, sample.package_temp_c);
+      // Steady state: second half of the run.
+      if (sample.t_seconds >
+          0.5 * std::chrono::duration<double>(run.elapsed).count()) {
+        steady.push_back(sample.package_power_w);
+      }
+    }
+    print_series(str_format("%s_power_w", variant.name), t, power);
+    print_series(str_format("%s_temp_c", variant.name), t, temp);
+    double steady_avg = 0.0;
+    for (double w : steady) steady_avg += w;
+    if (!steady.empty()) steady_avg /= static_cast<double>(steady.size());
+    std::printf(
+        "summary %s: peak %.1f W, steady %.1f W, max temp %.1f C "
+        "(Tj,max %.0f C)\n\n",
+        variant.name, peak_power, steady_avg, peak_temp,
+        machine.thermal.t_junction_max.value);
+  }
+  std::printf(
+      "paper: Intel spikes toward the 219 W PL2, OpenBLAS peaks at 165.7 W;"
+      " both settle at the 65 W PL1; no thermal throttling (<100 C).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Regenerates Figure 3: frequency scaling behaviour on the ARM64
+// big.LITTLE system. HPL on all six cores — the big (Cortex-A72) cores
+// ramp to 1.8 GHz, trip the thermal limit within seconds, and get scaled
+// far down, so most of the computation ends up on the LITTLE cores.
+// Board power comes from the WattsUpPro-style wall meter model.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+
+using namespace hetpapi;
+using namespace hetpapi::bench;
+
+int main(int argc, char** argv) {
+  int n = 15000;  // fits the 4 GB board; full-memory N would be ~20000
+  if (argc > 1) {
+    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
+  }
+  const auto machine = cpumodel::orangepi800_rk3399();
+  const std::vector<int> all_cpus = {0, 1, 2, 3, 4, 5};  // 4 little + 2 big
+
+  const auto run = run_hpl_once(machine,
+                                workload::HplConfig::openblas(n, 128),
+                                all_cpus);
+
+  std::printf(
+      "Figure 3: OrangePi 800 frequency scaling during all-core HPL "
+      "(N=%d)\n", n);
+  std::vector<double> t;
+  std::vector<double> big;
+  std::vector<double> little;
+  std::vector<double> board;
+  std::vector<double> temp;
+  double first_throttle = -1.0;
+  for (const telemetry::Sample& sample : run.samples) {
+    if (sample.t_seconds <= 0.0) continue;
+    t.push_back(sample.t_seconds);
+    big.push_back(sample.core_freq_mhz[4]);     // cpu4 = Cortex-A72
+    little.push_back(sample.core_freq_mhz[0]);  // cpu0 = Cortex-A53
+    board.push_back(sample.board_power_w);
+    temp.push_back(sample.package_temp_c);
+    if (first_throttle < 0.0 &&
+        sample.core_freq_mhz[4] <
+            0.8 * machine.core_types[0].dvfs.freq_max.value &&
+        sample.t_seconds > 1.0) {
+      first_throttle = sample.t_seconds;
+    }
+  }
+  print_series("big_mhz", t, big);
+  print_series("little_mhz", t, little);
+  print_series("board_power_w", t, board);
+  print_series("soc_temp_c", t, temp);
+
+  // Late-run medians show where the cores settle.
+  const auto late_median = [&](const std::vector<double>& series) {
+    std::vector<double> tail(series.begin() + static_cast<long>(series.size()) / 2,
+                             series.end());
+    std::sort(tail.begin(), tail.end());
+    return tail.empty() ? 0.0 : tail[tail.size() / 2];
+  };
+  std::printf(
+      "summary: big cores throttle below 80%% of fmax at t=%.0f s;"
+      " late-run medians big=%.0f MHz little=%.0f MHz;"
+      " run %.0f s, %.2f Gflops\n",
+      first_throttle, late_median(big), late_median(little),
+      std::chrono::duration<double>(run.elapsed).count(), run.gflops);
+  std::printf(
+      "paper: big cores ramp to max 'but not for long' — temperature"
+      " throttling pushes them down while the LITTLE cores hold 1.4 GHz.\n");
+  return 0;
+}

@@ -1,0 +1,168 @@
+// §V-5 overhead analysis: the multi-group EventSet design adds "an extra
+// layer of indirection" — every start/stop/read now fans out across one
+// perf group per PMU type. This bench quantifies the cost of the read
+// path as the group count grows, the rdpmc fast path against read(2),
+// and — when the host kernel allows perf_event_open — the *real* syscall
+// read cost for comparison with the simulated backend's bookkeeping.
+#include <benchmark/benchmark.h>
+
+#include "cpumodel/machine.hpp"
+#include "linuxkernel/linux_backend.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace {
+
+using namespace hetpapi;
+using papi::Library;
+using papi::LibraryConfig;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+
+struct Fixture {
+  std::unique_ptr<SimKernel> kernel;
+  std::unique_ptr<papi::SimBackend> backend;
+  std::unique_ptr<Library> lib;
+  int set = -1;
+
+  explicit Fixture(const std::vector<std::string>& events,
+                   bool multiplex = false, bool use_rdpmc = false) {
+    kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
+    backend = std::make_unique<papi::SimBackend>(kernel.get());
+    workload::PhaseSpec phase;
+    const auto tid = kernel->spawn(
+        std::make_shared<workload::FixedWorkProgram>(phase,
+                                                     1'000'000'000'000ULL),
+        CpuSet::of({0}));
+    backend->set_default_target(tid);
+    LibraryConfig config;
+    config.use_rdpmc = use_rdpmc;
+    config.call_overhead_instructions = 0;  // measuring, not modelling
+    auto created = Library::init(backend.get(), config);
+    lib = std::move(*created);
+    set = *lib->create_eventset();
+    for (const std::string& event : events) {
+      const Status added = lib->add_event(set, event);
+      if (!added.is_ok()) {
+        throw std::runtime_error("add_event: " + added.to_string());
+      }
+    }
+    if (multiplex) (void)lib->set_multiplex(set);
+    (void)lib->start(set);
+    kernel->run_for(std::chrono::milliseconds(50));
+  }
+};
+
+void BM_Read_OneGroup_SinglePmu(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_OneGroup_SinglePmu);
+
+void BM_Read_TwoGroups_Hybrid(benchmark::State& state) {
+  // The paper's case: equivalent events on both core PMUs => two perf
+  // groups => two reads per collection.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "adl_glc::CPU_CLK_UNHALTED:THREAD",
+             "adl_grt::CPU_CLK_UNHALTED:THREAD"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_TwoGroups_Hybrid);
+
+void BM_Read_ThreeGroups_HybridPlusUncore(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "unc_imc_0::UNC_M_CAS_COUNT:RD"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_ThreeGroups_HybridPlusUncore);
+
+void BM_Read_MultiplexedTwelveGroups(benchmark::State& state) {
+  std::vector<std::string> events;
+  const char* names[] = {
+      "adl_glc::LONGEST_LAT_CACHE:REFERENCE",
+      "adl_glc::LONGEST_LAT_CACHE:MISS",
+      "adl_glc::BR_INST_RETIRED:ALL_BRANCHES",
+      "adl_glc::BR_MISP_RETIRED:ALL_BRANCHES",
+      "adl_glc::RESOURCE_STALLS",
+      "adl_glc::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE",
+  };
+  for (int copy = 0; copy < 2; ++copy) {
+    events.insert(events.end(), std::begin(names), std::end(names));
+  }
+  Fixture f(events, /*multiplex=*/true);
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_MultiplexedTwelveGroups);
+
+void BM_Read_RdpmcFastPath(benchmark::State& state) {
+  // A singleton group served by the userspace counter read.
+  Fixture f({"adl_glc::INST_RETIRED:ANY"}, false, /*use_rdpmc=*/true);
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_RdpmcFastPath);
+
+void BM_Read_SyscallPath(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY"}, false, /*use_rdpmc=*/false);
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_SyscallPath);
+
+// --- real kernel comparison (skipped when perf_event is unavailable) ---------
+
+void BM_RealPerf_ReadGroup(benchmark::State& state) {
+  if (!linuxkernel::perf_event_available()) {
+    state.SkipWithError("perf_event_open unavailable in this environment");
+    return;
+  }
+  linuxkernel::LinuxBackend backend;
+  simkernel::PerfEventAttr attr;
+  attr.type = simkernel::kPerfTypeSoftware;
+  attr.config =
+      static_cast<std::uint64_t>(simkernel::CountKind::kTaskClockNs);
+  attr.read_format = simkernel::kFormatGroup |
+                     simkernel::kFormatTotalTimeEnabled |
+                     simkernel::kFormatTotalTimeRunning;
+  attr.disabled = false;
+  const auto n_events = state.range(0);
+  std::vector<int> fds;
+  int leader = -1;
+  for (std::int64_t i = 0; i < n_events; ++i) {
+    auto fd = backend.perf_event_open(attr, 0, -1, leader, 0);
+    if (!fd) {
+      state.SkipWithError("open failed");
+      return;
+    }
+    if (leader < 0) leader = *fd;
+    fds.push_back(*fd);
+  }
+  for (auto _ : state) {
+    auto values = backend.perf_read_group(leader);
+    benchmark::DoNotOptimize(values);
+  }
+  for (int fd : fds) (void)backend.perf_close(fd);
+}
+BENCHMARK(BM_RealPerf_ReadGroup)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

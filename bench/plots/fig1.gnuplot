@@ -1,0 +1,14 @@
+# Figure 1: measured core frequencies during all-core HPL.
+# usage: gnuplot -c fig1.gnuplot <datafile>
+datafile = ARG1
+set terminal pngcairo size 1000,600
+set output "fig1.png"
+set title "Core frequencies during all-core HPL (model)"
+set xlabel "time (s)"
+set ylabel "frequency (MHz)"
+set key outside
+plot \
+  "<grep '^openblas_pcore_mhz' ".datafile u 2:3 w lines t "OpenBLAS P median", \
+  "<grep '^openblas_ecore_mhz' ".datafile u 2:3 w lines t "OpenBLAS E median", \
+  "<grep '^intel_pcore_mhz' ".datafile u 2:3 w lines t "Intel P median", \
+  "<grep '^intel_ecore_mhz' ".datafile u 2:3 w lines t "Intel E median"

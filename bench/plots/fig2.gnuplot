@@ -1,0 +1,18 @@
+# Figure 2: package power and temperature during all-core HPL.
+# usage: gnuplot -c fig2.gnuplot <datafile>
+datafile = ARG1
+set terminal pngcairo size 1000,600
+set output "fig2.png"
+set title "Package power and temperature during all-core HPL (model)"
+set xlabel "time (s)"
+set ylabel "power (W)"
+set y2label "temperature (C)"
+set y2tics
+set key outside
+plot \
+  "<grep '^openblas_power_w' ".datafile u 2:3 w lines t "OpenBLAS power", \
+  "<grep '^intel_power_w' ".datafile u 2:3 w lines t "Intel power", \
+  "<grep '^openblas_temp_c' ".datafile u 2:3 axes x1y2 w lines t "OpenBLAS temp", \
+  "<grep '^intel_temp_c' ".datafile u 2:3 axes x1y2 w lines t "Intel temp", \
+  65 w lines dt 2 lc "gray" t "PL1 = 65 W", \
+  219 w lines dt 3 lc "gray" t "PL2 = 219 W"

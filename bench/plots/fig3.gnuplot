@@ -1,0 +1,16 @@
+# Figure 3: OrangePi big.LITTLE frequency scaling and board power.
+# usage: gnuplot -c fig3.gnuplot <datafile>
+datafile = ARG1
+set terminal pngcairo size 1000,600
+set output "fig3.png"
+set title "OrangePi 800 frequency scaling during all-core HPL (model)"
+set xlabel "time (s)"
+set ylabel "frequency (MHz)"
+set y2label "board power (W) / SoC temp (C)"
+set y2tics
+set key outside
+plot \
+  "<grep '^big_mhz' ".datafile u 2:3 w lines t "A72 (big)", \
+  "<grep '^little_mhz' ".datafile u 2:3 w lines t "A53 (LITTLE)", \
+  "<grep '^board_power_w' ".datafile u 2:3 axes x1y2 w lines t "board power", \
+  "<grep '^soc_temp_c' ".datafile u 2:3 axes x1y2 w lines t "SoC temp"

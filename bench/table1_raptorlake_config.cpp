@@ -1,0 +1,42 @@
+// Regenerates Table I: hardware configuration of the Raptor Lake system,
+// as the library itself reports it (machine model + sysdetect).
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "bench/bench_common.hpp"
+#include "papi/sysdetect.hpp"
+#include "pfm/sim_host.hpp"
+
+using namespace hetpapi;
+
+int main() {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  simkernel::SimKernel kernel(machine);
+
+  TextTable table({"", ""});
+  table.add_row({"CPU", machine.cpu_model_string});
+  for (std::size_t t = 0; t < machine.core_types.size(); ++t) {
+    const auto& type = machine.core_types[t];
+    const auto cores =
+        machine.primary_threads_of_type(static_cast<cpumodel::CoreTypeId>(t));
+    const int threads = static_cast<int>(
+        machine.cpus_of_type(static_cast<cpumodel::CoreTypeId>(t)).size());
+    std::string label = type.name + (t == 0 ? " (performance)" : " (efficiency)");
+    std::string value = str_format(
+        "%zu (%d threads) @%.2f-%.2f GHz", cores.size(), threads,
+        type.dvfs.freq_base.gigahertz(), type.dvfs.freq_max.gigahertz());
+    table.add_row({label, value});
+  }
+  table.add_row({"Memory", machine.memory.description});
+  std::printf("Table I: hardware configuration of the Raptor Lake system\n%s",
+              table.render().c_str());
+
+  // Cross-check: what the detection stack reports for the same machine.
+  pfm::SimHost host(&kernel);
+  pfm::PfmLibrary pfmlib;
+  if (pfmlib.initialize(host).is_ok()) {
+    const auto report = papi::build_sysdetect_report(host, pfmlib);
+    std::printf("\n%s", report.to_text().c_str());
+  }
+  return 0;
+}

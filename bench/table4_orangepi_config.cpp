@@ -1,0 +1,38 @@
+// Regenerates Table IV: hardware configuration of the OrangePi 800, as
+// reported by the machine model and the detection stack.
+#include <cstdio>
+
+#include "base/table.hpp"
+#include "bench/bench_common.hpp"
+#include "papi/sysdetect.hpp"
+#include "pfm/sim_host.hpp"
+
+using namespace hetpapi;
+
+int main() {
+  const auto machine = cpumodel::orangepi800_rk3399();
+  simkernel::SimKernel kernel(machine);
+
+  TextTable table({"", ""});
+  table.add_row({"CPU", machine.cpu_model_string});
+  for (std::size_t t = 0; t < machine.core_types.size(); ++t) {
+    const auto& type = machine.core_types[t];
+    const auto cores =
+        machine.cpus_of_type(static_cast<cpumodel::CoreTypeId>(t));
+    table.add_row({type.name + " cores",
+                   str_format("%zu ARM %s @%.1f GHz", cores.size(),
+                              type.uarch_name.c_str(),
+                              type.dvfs.freq_max.gigahertz())});
+  }
+  table.add_row({"Memory", machine.memory.description});
+  std::printf("Table IV: hardware configuration of the OrangePi 800 system\n%s",
+              table.render().c_str());
+
+  pfm::SimHost host(&kernel);
+  pfm::PfmLibrary pfmlib;
+  if (pfmlib.initialize(host).is_ok()) {
+    const auto report = papi::build_sysdetect_report(host, pfmlib);
+    std::printf("\n%s", report.to_text().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Export a chrome://tracing timeline of an all-core HPL run.
+//
+// Shows each worker's occupancy per cpu row (P cores vs E cores), which
+// makes the hybrid-unaware variant's barrier gaps visually obvious next
+// to the dynamic variant's dense packing. Open the output JSON in
+// chrome://tracing or https://ui.perfetto.dev.
+//
+//   hpl_timeline [openblas|intel] [output.json]
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "base/strings.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "simkernel/trace.hpp"
+#include "workload/hpl.hpp"
+
+using namespace hetpapi;
+
+int main(int argc, char** argv) {
+  const std::string variant = argc > 1 ? argv[1] : "openblas";
+  const std::string output =
+      argc > 2 ? argv[2] : "hpl_timeline_" + variant + ".json";
+
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  simkernel::SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  simkernel::SimKernel kernel(machine, config);
+  simkernel::TraceRecorder recorder;
+  kernel.attach_tracer(&recorder);
+
+  const int n = 9216;  // a short run keeps the trace readable
+  const auto hpl_config = variant == "intel"
+                              ? workload::HplConfig::intel(n, 192)
+                              : workload::HplConfig::openblas(n, 192);
+  std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const auto e_cpus = machine.cpus_of_type(1);
+  cpus.insert(cpus.end(), e_cpus.begin(), e_cpus.end());
+
+  workload::HplSimulation hpl(hpl_config, static_cast<int>(cpus.size()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const auto tid = kernel.spawn(hpl.make_worker(static_cast<int>(i)),
+                                  simkernel::CpuSet::of({cpus[i]}));
+    recorder.set_thread_name(
+        tid, str_format("hpl-worker-%zu%s", i, i == 0 ? " (master)" : ""));
+  }
+  kernel.run_until_idle(std::chrono::seconds(600));
+  kernel.attach_tracer(nullptr);
+
+  std::map<int, std::string> labels;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    labels[cpu] = machine.type_of(cpu).name + " cpu" + std::to_string(cpu);
+  }
+  std::ofstream out(output);
+  out << recorder.to_chrome_json(labels);
+  out.close();
+
+  std::printf(
+      "%s HPL N=%d: %.2f s simulated, %.1f Gflops; %zu scheduling "
+      "segments written to %s\n",
+      variant.c_str(), n, kernel.now().seconds(),
+      hpl.gflops(kernel.now() - SimTime{}).value, recorder.segment_count(),
+      output.c_str());
+  std::printf("open in chrome://tracing or ui.perfetto.dev\n");
+  return 0;
+}

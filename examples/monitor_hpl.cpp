@@ -1,0 +1,125 @@
+// mon_hpl: the paper's monitoring workflow as a CLI.
+//
+//   monitor_hpl [--machine raptorlake|orangepi] [--variant openblas|intel]
+//               [--cores <cpulist>] [--n <size>] [--runs <count>]
+//               [--out <dir>]    (write per-run and averaged CSVs, the
+//                                 raw-data layout of the paper's artifact)
+//
+// Runs HPL under 1 Hz telemetry (frequency / temperature / RAPL power /
+// wall power), waits for thermal settle between repetitions, averages
+// the runs, and prints the aggregated time series plus a summary — the
+// T1 (mon_hpl.py) -> T2 (process_runs.py) pipeline of the artifact.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "base/strings.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "telemetry/monitor.hpp"
+#include "workload/hpl.hpp"
+
+using namespace hetpapi;
+
+int main(int argc, char** argv) {
+  std::string machine_name = "raptorlake";
+  std::string variant = "openblas";
+  std::string cores;
+  std::string out_dir;
+  int n = 0;
+  int runs = 3;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--machine") machine_name = value;
+    else if (flag == "--variant") variant = value;
+    else if (flag == "--cores") cores = value;
+    else if (flag == "--n") n = static_cast<int>(*parse_int(value));
+    else if (flag == "--runs") runs = static_cast<int>(*parse_int(value));
+    else if (flag == "--out") out_dir = value;
+  }
+
+  const cpumodel::MachineSpec machine = machine_name == "orangepi"
+                                            ? cpumodel::orangepi800_rk3399()
+                                            : cpumodel::raptor_lake_i7_13700();
+  if (n == 0) n = machine_name == "orangepi" ? 10240 : 30720;
+  const int nb = machine_name == "orangepi" ? 128 : 192;
+  const workload::HplConfig hpl = variant == "intel"
+                                      ? workload::HplConfig::intel(n, nb)
+                                      : workload::HplConfig::openblas(n, nb);
+
+  std::vector<int> cpus;
+  if (!cores.empty()) {
+    const auto parsed = parse_cpulist(cores);
+    if (!parsed) {
+      std::fprintf(stderr, "bad --cores list: %s\n", cores.c_str());
+      return 1;
+    }
+    cpus = *parsed;
+  } else {
+    for (const auto& slot : machine.cpus) cpus.push_back(slot.cpu);
+    if (machine_name != "orangepi") {
+      // Default to the paper's one-thread-per-core list.
+      cpus = machine.primary_threads_of_type(0);
+      const auto e = machine.cpus_of_type(1);
+      cpus.insert(cpus.end(), e.begin(), e.end());
+    }
+  }
+
+  std::printf("machine=%s variant=%s N=%d NB=%d cores=%s runs=%d\n",
+              machine.name.c_str(), variant.c_str(), n, nb,
+              format_cpulist(cpus).c_str(), runs);
+
+  simkernel::SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  simkernel::SimKernel kernel(machine, config);
+  telemetry::MonitorConfig monitor;
+
+  // CSV writer shared by per-run and averaged outputs (one row per
+  // sample: t, per-cpu MHz, temp, rapl W, wall W).
+  const auto write_csv = [&](const std::string& path,
+                             const telemetry::RunResult& result) {
+    std::ofstream out(path);
+    out << "t_s";
+    for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+      out << ",cpu" << cpu << "_mhz";
+    }
+    out << ",temp_c,rapl_w,wall_w\n";
+    for (const telemetry::Sample& sample : result.samples) {
+      out << sample.t_seconds;
+      for (const double mhz : sample.core_freq_mhz) out << "," << mhz;
+      out << "," << sample.package_temp_c << "," << sample.package_power_w
+          << "," << sample.board_power_w << "\n";
+    }
+  };
+  if (!out_dir.empty()) std::filesystem::create_directories(out_dir);
+
+  std::vector<telemetry::RunResult> results;
+  for (int run = 0; run < runs; ++run) {
+    results.push_back(telemetry::run_monitored_hpl(kernel, hpl, cpus, monitor));
+    std::printf("run %d: %.1f s, %.2f Gflops\n", run + 1,
+                std::chrono::duration<double>(results.back().elapsed).count(),
+                results.back().gflops);
+    if (!out_dir.empty()) {
+      write_csv(out_dir + "/run" + std::to_string(run + 1) + ".csv",
+                results.back());
+    }
+  }
+  const telemetry::RunResult avg = telemetry::average_runs(results);
+  if (!out_dir.empty()) {
+    write_csv(out_dir + "/averaged.csv", avg);
+    std::printf("raw data written to %s/run*.csv and %s/averaged.csv\n",
+                out_dir.c_str(), out_dir.c_str());
+  }
+
+  std::printf("\n# averaged series: t  freq_cpu0(MHz)  temp(C)  rapl(W)  wall(W)\n");
+  for (const telemetry::Sample& sample : avg.samples) {
+    std::printf("%7.1f %8.0f %7.1f %7.1f %7.1f\n", sample.t_seconds,
+                sample.core_freq_mhz.empty() ? 0.0 : sample.core_freq_mhz[0],
+                sample.package_temp_c, sample.package_power_w,
+                sample.board_power_w);
+  }
+  std::printf("\naverage over %d runs: %.2f Gflops\n", runs, avg.gflops);
+  return 0;
+}

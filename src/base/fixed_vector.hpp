@@ -1,0 +1,145 @@
+// Fixed-capacity inline vector.
+//
+// The paper notes that the patched PAPI perf_event component "currently
+// uses statically allocated arrays to hold the group/PMU-type info"; we
+// follow that choice with a bounds-checked fixed-capacity container so
+// hot paths (EventSet start/stop/read) never allocate.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "base/status.hpp"
+
+namespace hetpapi {
+
+template <typename T, std::size_t Capacity>
+class FixedVector {
+  static_assert(Capacity > 0, "FixedVector requires nonzero capacity");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  FixedVector() = default;
+
+  FixedVector(std::initializer_list<T> init) {
+    assert(init.size() <= Capacity);
+    for (const T& v : init) push_back(v);
+  }
+
+  FixedVector(const FixedVector& other) { copy_from(other); }
+  FixedVector& operator=(const FixedVector& other) {
+    if (this != &other) {
+      clear();
+      copy_from(other);
+    }
+    return *this;
+  }
+  FixedVector(FixedVector&& other) noexcept { move_from(std::move(other)); }
+  FixedVector& operator=(FixedVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+  ~FixedVector() { clear(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  bool full() const noexcept { return size_ == Capacity; }
+  std::size_t size() const noexcept { return size_; }
+  static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+  T* data() noexcept { return std::launder(reinterpret_cast<T*>(storage_.data())); }
+  const T* data() const noexcept {
+    return std::launder(reinterpret_cast<const T*>(storage_.data()));
+  }
+
+  iterator begin() noexcept { return data(); }
+  iterator end() noexcept { return data() + size_; }
+  const_iterator begin() const noexcept { return data(); }
+  const_iterator end() const noexcept { return data() + size_; }
+
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Append a copy; returns kOutOfRange when the vector is full instead of
+  /// asserting, so callers can surface PAPI_ENOMEM-style errors.
+  Status try_push_back(const T& value) {
+    if (full()) return make_error(StatusCode::kOutOfRange, "FixedVector full");
+    new (storage_.data() + size_ * sizeof(T)) T(value);
+    ++size_;
+    return Status::ok();
+  }
+
+  void push_back(const T& value) {
+    [[maybe_unused]] Status s = try_push_back(value);
+    assert(s.is_ok());
+  }
+
+  void push_back(T&& value) {
+    assert(!full());
+    new (storage_.data() + size_ * sizeof(T)) T(std::move(value));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    assert(!full());
+    T* slot = new (storage_.data() + size_ * sizeof(T)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    assert(!empty());
+    data()[size_ - 1].~T();
+    --size_;
+  }
+
+  /// Remove the element at `i`, preserving order of the remainder.
+  void erase_at(std::size_t i) {
+    assert(i < size_);
+    for (std::size_t j = i; j + 1 < size_; ++j) {
+      data()[j] = std::move(data()[j + 1]);
+    }
+    pop_back();
+  }
+
+  void clear() noexcept {
+    for (std::size_t i = 0; i < size_; ++i) data()[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  void copy_from(const FixedVector& other) {
+    for (const T& v : other) push_back(v);
+  }
+  void move_from(FixedVector&& other) noexcept {
+    for (T& v : other) push_back(std::move(v));
+    other.clear();
+  }
+
+  alignas(T) std::array<std::byte, Capacity * sizeof(T)> storage_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hetpapi

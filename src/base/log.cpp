@@ -1,0 +1,33 @@
+#include "base/log.hpp"
+
+#include <cstdio>
+
+namespace hetpapi {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+constexpr std::string_view level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message) {
+  const std::string_view tag = level_tag(level);
+  std::fprintf(stderr, "[hetpapi %.*s] %.*s\n", static_cast<int>(tag.size()),
+               tag.data(), static_cast<int>(message.size()), message.data());
+}
+}  // namespace detail
+
+}  // namespace hetpapi

@@ -1,0 +1,50 @@
+// Minimal leveled logger. Defaults to warnings-and-up on stderr so tests
+// and benches stay quiet; examples raise the level for narration.
+#pragma once
+
+#include <sstream>
+#include <string_view>
+
+namespace hetpapi {
+
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level. Not thread-synchronized by design: the
+/// simulator is single-threaded and level changes happen at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view message);
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define HETPAPI_LOG(level)                                   \
+  if (static_cast<int>(::hetpapi::LogLevel::level) <         \
+      static_cast<int>(::hetpapi::log_level())) {            \
+  } else                                                     \
+    ::hetpapi::detail::LogStream(::hetpapi::LogLevel::level)
+
+#define HETPAPI_DEBUG HETPAPI_LOG(kDebug)
+#define HETPAPI_INFO HETPAPI_LOG(kInfo)
+#define HETPAPI_WARN HETPAPI_LOG(kWarn)
+#define HETPAPI_ERROR HETPAPI_LOG(kError)
+
+}  // namespace hetpapi

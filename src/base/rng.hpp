@@ -1,0 +1,75 @@
+// Deterministic PRNG (xoshiro256**) used for every stochastic choice in
+// the simulator, so identical seeds reproduce identical runs bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace hetpapi {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's nearly-divisionless method would be overkill; modulo bias is
+    // negligible for simulation noise with n << 2^64.
+    return n == 0 ? 0 : next() % n;
+  }
+
+  /// Zero-mean gaussian via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is irrelevant here).
+  double gaussian(double stddev);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+inline double Rng::gaussian(double stddev) {
+  // Rejection-free polar-less form: u1 in (0,1], u2 in [0,1).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // std::sqrt/log/cos are constexpr-unfriendly pre-C++26; fine at runtime.
+  return stddev * __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(kTwoPi * u2);
+}
+
+}  // namespace hetpapi

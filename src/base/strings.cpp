@@ -1,0 +1,141 @@
+#include "base/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace hetpapi {
+
+std::vector<std::string_view> split(std::string_view text, char sep) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && is_space(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  return std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+    return std::tolower(static_cast<unsigned char>(x)) ==
+           std::tolower(static_cast<unsigned char>(y));
+  });
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  int base = 10;
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  if (starts_with(text, "0x") || starts_with(text, "0X")) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return negative ? -value : value;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  text = trim(text);
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<int>> parse_cpulist(std::string_view text) {
+  std::vector<int> cpus;
+  text = trim(text);
+  if (text.empty()) return cpus;  // empty list is valid (no cpus)
+  for (std::string_view field : split(text, ',')) {
+    field = trim(field);
+    const std::size_t dash = field.find('-');
+    if (dash == std::string_view::npos) {
+      const auto value = parse_int(field);
+      if (!value || *value < 0) return std::nullopt;
+      cpus.push_back(static_cast<int>(*value));
+      continue;
+    }
+    const auto lo = parse_int(field.substr(0, dash));
+    const auto hi = parse_int(field.substr(dash + 1));
+    if (!lo || !hi || *lo < 0 || *hi < *lo) return std::nullopt;
+    for (std::int64_t cpu = *lo; cpu <= *hi; ++cpu) {
+      cpus.push_back(static_cast<int>(cpu));
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+std::string format_cpulist(const std::vector<int>& cpus) {
+  std::vector<int> sorted = cpus;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::string out;
+  std::size_t i = 0;
+  while (i < sorted.size()) {
+    std::size_t j = i;
+    while (j + 1 < sorted.size() && sorted[j + 1] == sorted[j] + 1) ++j;
+    if (!out.empty()) out += ',';
+    if (j == i) {
+      out += std::to_string(sorted[i]);
+    } else {
+      out += std::to_string(sorted[i]);
+      out += '-';
+      out += std::to_string(sorted[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace hetpapi

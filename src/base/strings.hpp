@@ -1,0 +1,40 @@
+// Small string utilities shared by the VFS, the pfm event parser and the
+// report formatters.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetpapi {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool iequals(std::string_view a, std::string_view b);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Parse a decimal (or 0x-prefixed hex) integer; nullopt on any junk.
+std::optional<std::int64_t> parse_int(std::string_view text);
+
+std::optional<double> parse_double(std::string_view text);
+
+/// Parse a Linux cpulist string ("0,2,4-7,16-23") into cpu indices.
+/// Returns nullopt on malformed input. Used both by the sysfs "cpus"
+/// files and by the taskset-style affinity options on the benches.
+std::optional<std::vector<int>> parse_cpulist(std::string_view text);
+
+/// Format cpu indices back into canonical cpulist form ("0-3,8").
+std::string format_cpulist(const std::vector<int>& cpus);
+
+/// printf-style formatting into std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hetpapi

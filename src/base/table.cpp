@@ -1,0 +1,79 @@
+#include "base/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hetpapi {
+
+namespace {
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) ++digits;
+  }
+  return digits * 2 >= cell.size();
+}
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line.append(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  }();
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::string& cell = cells[c];
+      const std::size_t pad = widths[c] - cell.size();
+      line += ' ';
+      if (looks_numeric(cell)) {
+        line.append(pad, ' ');
+        line += cell;
+      } else {
+        line += cell;
+        line.append(pad, ' ');
+      }
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = rule;
+  out += render_row(header_);
+  out += rule;
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += rule;
+    out += render_row(row.cells);
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace hetpapi

@@ -1,0 +1,31 @@
+// ASCII table renderer for the bench binaries that regenerate the
+// paper's tables. Column widths auto-size; numeric cells right-align.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hetpapi {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace hetpapi

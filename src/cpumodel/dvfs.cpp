@@ -1,0 +1,197 @@
+#include "cpumodel/dvfs.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+namespace hetpapi::cpumodel {
+
+PackageGovernor::PackageGovernor(const MachineSpec& spec, std::uint64_t seed)
+    : spec_(spec),
+      rapl_(spec.rapl),
+      package_node_(spec.thermal),
+      package_throttle_(spec.thermal),
+      rng_(seed) {
+  for (const ThermalSpec& ts : spec_.cluster_thermal) {
+    cluster_nodes_.emplace_back(ts);
+    cluster_throttles_.emplace_back(ts);
+  }
+  freq_.resize(static_cast<std::size_t>(spec_.num_cpus()));
+  for (int cpu = 0; cpu < spec_.num_cpus(); ++cpu) {
+    freq_[static_cast<std::size_t>(cpu)] = spec_.type_of(cpu).dvfs.freq_min;
+  }
+  busy_per_type_.assign(spec_.core_types.size(), 0);
+  // Map logical cpus onto physical-core slots once.
+  std::map<int, int> core_slot;
+  cpu_to_core_slot_.resize(static_cast<std::size_t>(spec_.num_cpus()));
+  for (const CpuSlot& slot : spec_.cpus) {
+    const auto [it, inserted] =
+        core_slot.emplace(slot.core_id, static_cast<int>(core_loads_.size()));
+    if (inserted) {
+      CoreLoad load;
+      load.type = &spec_.core_types[static_cast<std::size_t>(slot.type)];
+      load.type_id = slot.type;
+      load.cluster = slot.cluster_id;
+      core_loads_.push_back(load);
+    }
+    cpu_to_core_slot_[static_cast<std::size_t>(slot.cpu)] = it->second;
+  }
+}
+
+void PackageGovernor::reset() {
+  rapl_ = RaplModel(spec_.rapl);
+  package_node_.reset();
+  package_throttle_ = ThermalThrottle(spec_.thermal);
+  for (std::size_t i = 0; i < cluster_nodes_.size(); ++i) {
+    cluster_nodes_[i].reset();
+    cluster_throttles_[i] = ThermalThrottle(spec_.cluster_thermal[i]);
+  }
+  for (int cpu = 0; cpu < spec_.num_cpus(); ++cpu) {
+    freq_[static_cast<std::size_t>(cpu)] = spec_.type_of(cpu).dvfs.freq_min;
+  }
+  last_power_ = Watts{0.0};
+}
+
+Celsius PackageGovernor::cluster_temperature(int cluster) const {
+  if (cluster_nodes_.empty()) return package_node_.temperature();
+  return cluster_nodes_[static_cast<std::size_t>(cluster)].temperature();
+}
+
+bool PackageGovernor::cluster_throttling(int cluster) const {
+  if (cluster_throttles_.empty()) return package_throttle_.throttling();
+  return cluster_throttles_[static_cast<std::size_t>(cluster)].throttling();
+}
+
+MegaHertz PackageGovernor::freq_at_level(const CoreTypeSpec& type,
+                                         bool multi_active, double s,
+                                         double thermal_cap) const {
+  const MegaHertz lo = type.dvfs.freq_min;
+  const MegaHertz hi = type.dvfs.max_for(multi_active) * thermal_cap;
+  const MegaHertz ceiling = hi.value > lo.value ? hi : lo;
+  return MegaHertz{lo.value + s * (ceiling.value - lo.value)};
+}
+
+void PackageGovernor::aggregate_core_loads(std::span<const CpuLoad> loads) {
+  for (CoreLoad& core : core_loads_) {
+    core.util = 0.0;
+    core.activity = 0.0;
+  }
+  for (std::size_t cpu = 0; cpu < loads.size(); ++cpu) {
+    CoreLoad& core =
+        core_loads_[static_cast<std::size_t>(cpu_to_core_slot_[cpu])];
+    core.util = std::min(1.0, core.util + loads[cpu].util);
+    core.activity = std::max(core.activity, loads[cpu].activity);
+  }
+  std::fill(busy_per_type_.begin(), busy_per_type_.end(), 0);
+  for (const CoreLoad& core : core_loads_) {
+    if (core.util > 0.01) {
+      ++busy_per_type_[static_cast<std::size_t>(core.type_id)];
+    }
+  }
+}
+
+Watts PackageGovernor::power_at_level(
+    double s, std::span<const double> thermal_cap) const {
+  double total = spec_.rapl.present ? spec_.rapl.uncore_base.value : 0.6;
+  for (const CoreLoad& core : core_loads_) {
+    const double cap = thermal_cap[static_cast<std::size_t>(core.cluster)];
+    const MegaHertz f =
+        core.util > 0.01
+            ? freq_at_level(*core.type, type_multi_active(core.type_id), s,
+                            cap)
+            : core.type->dvfs.freq_min;
+    total += cpu_power(*core.type, f, core.util, core.activity).value;
+  }
+  return Watts{total};
+}
+
+void PackageGovernor::step(SimDuration dt, std::span<const CpuLoad> loads) {
+  assert(loads.size() == freq_.size());
+
+  // 1. Thermal throttle levels per cluster (or package-wide).
+  std::array<double, 16> caps_storage;
+  std::span<double> caps;
+  if (cluster_throttles_.empty()) {
+    const double level =
+        package_throttle_.update(dt, package_node_.temperature());
+    caps_storage.fill(level);
+    caps = std::span<double>(caps_storage.data(), caps_storage.size());
+  } else {
+    for (std::size_t i = 0; i < cluster_throttles_.size(); ++i) {
+      caps_storage[i] =
+          cluster_throttles_[i].update(dt, cluster_nodes_[i].temperature());
+    }
+    caps = std::span<double>(caps_storage.data(), cluster_throttles_.size());
+  }
+
+  // 2. Highest performance level the RAPL budget allows (bisection; the
+  //    power curve is monotone in the level).
+  aggregate_core_loads(loads);
+  const Watts budget = rapl_.allowed_power();
+  double level = 1.0;
+  if (power_at_level(1.0, caps).value > budget.value) {
+    double lo = 0.0;
+    double hi = 1.0;
+    for (int iter = 0; iter < 20; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (power_at_level(mid, caps).value > budget.value) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    level = lo;
+  }
+
+  // 3. Per-cpu frequencies with a touch of governor jitter; real
+  //    P-state selection hunts around the target (the noise band in
+  //    Figure 1).
+  for (const CpuSlot& slot : spec_.cpus) {
+    const CoreTypeSpec& type =
+        spec_.core_types[static_cast<std::size_t>(slot.type)];
+    const CpuLoad& load = loads[static_cast<std::size_t>(slot.cpu)];
+    const double cap = caps[static_cast<std::size_t>(slot.cluster_id)];
+    MegaHertz f = load.util > 0.01
+                      ? freq_at_level(type, type_multi_active(slot.type),
+                                      level, cap)
+                      : type.dvfs.freq_min;
+    if (load.util > 0.01) {
+      f.value += rng_.gaussian(f.value * 0.012);
+      f.value = std::clamp(f.value, type.dvfs.freq_min.value,
+                           type.dvfs.freq_max.value);
+    }
+    freq_[static_cast<std::size_t>(slot.cpu)] = f;
+  }
+
+  // 4. Account the power actually drawn; integrate thermals.
+  last_power_ = power_at_level(level, caps);
+  rapl_.step(dt, last_power_);
+  package_node_.step(dt, last_power_);
+  if (!cluster_nodes_.empty()) {
+    // Per-cluster dissipation: own cores' power plus a coupling share of
+    // the rest of the SoC (shared silicon and case), which is what lets
+    // a busy LITTLE cluster push the big cluster over its trip point.
+    constexpr double kClusterCoupling = 0.7;
+    std::array<double, 16> cluster_power{};
+    double core_total = 0.0;
+    for (const CoreLoad& core : core_loads_) {
+      const double cap = caps[static_cast<std::size_t>(core.cluster)];
+      const MegaHertz f =
+          core.util > 0.01
+              ? freq_at_level(*core.type, type_multi_active(core.type_id),
+                              level, cap)
+              : core.type->dvfs.freq_min;
+      const double p = cpu_power(*core.type, f, core.util, core.activity).value;
+      cluster_power[static_cast<std::size_t>(core.cluster)] += p;
+      core_total += p;
+    }
+    for (std::size_t i = 0; i < cluster_nodes_.size(); ++i) {
+      const double own = cluster_power[i];
+      const double coupled = kClusterCoupling * (core_total - own);
+      cluster_nodes_[i].step(dt, Watts{own + coupled});
+    }
+  }
+}
+
+}  // namespace hetpapi::cpumodel

@@ -1,0 +1,95 @@
+// Package DVFS governor: picks per-cluster frequencies each tick,
+// subject to the RAPL power budget and per-cluster thermal throttles.
+//
+// The emergent behaviours this produces are exactly the paper's
+// motivation section:
+//  * Figure 1 - frequencies spike while the RAPL long window is cold,
+//    then settle to whatever the 65 W budget affords; idle E-cores
+//    (OpenBLAS barrier stragglers finish early) leave more budget for
+//    the P-cores, so the hybrid-unaware run shows *higher* P frequency
+//    yet lower throughput.
+//  * Figure 2 - package power spikes toward PL2 then rides PL1.
+//  * Figure 3 - the OrangePi big cluster trips its thermal throttle in
+//    seconds and oscillates, so LITTLE cores end up doing most work.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/units.hpp"
+#include "cpumodel/machine.hpp"
+#include "cpumodel/power.hpp"
+#include "cpumodel/thermal.hpp"
+
+namespace hetpapi::cpumodel {
+
+/// Per-logical-CPU load for one tick.
+struct CpuLoad {
+  double util = 0.0;      // busy fraction of the tick, 0..1
+  double activity = 0.0;  // switching activity of the running code, 0..1
+};
+
+class PackageGovernor {
+ public:
+  explicit PackageGovernor(const MachineSpec& spec, std::uint64_t seed = 1);
+
+  /// Advance one tick. `loads` is indexed by logical CPU.
+  void step(SimDuration dt, std::span<const CpuLoad> loads);
+
+  /// Current operating frequency of a logical CPU.
+  MegaHertz frequency(int cpu) const {
+    return freq_[static_cast<std::size_t>(cpu)];
+  }
+
+  /// Package power over the last tick (SoC power on ARM).
+  Watts package_power() const { return last_power_; }
+
+  Celsius package_temperature() const { return package_node_.temperature(); }
+  Celsius cluster_temperature(int cluster) const;
+  bool cluster_throttling(int cluster) const;
+
+  RaplModel& rapl() { return rapl_; }
+  const RaplModel& rapl() const { return rapl_; }
+
+  /// Reset all dynamic state to settled-idle (between telemetry runs).
+  void reset();
+
+  const MachineSpec& spec() const { return spec_; }
+
+ private:
+  /// Per-physical-core load aggregated from its SMT threads, rebuilt
+  /// once per tick so the bisection loop below stays allocation-free.
+  struct CoreLoad {
+    const CoreTypeSpec* type = nullptr;
+    int type_id = 0;
+    int cluster = 0;
+    double util = 0.0;      // clamped sum of thread utils
+    double activity = 0.0;  // max across threads
+  };
+
+  /// Package power if every busy core ran at performance level `s`.
+  Watts power_at_level(double s, std::span<const double> thermal_cap) const;
+  MegaHertz freq_at_level(const CoreTypeSpec& type, bool multi_active,
+                          double s, double thermal_cap) const;
+  void aggregate_core_loads(std::span<const CpuLoad> loads);
+  bool type_multi_active(int type_id) const {
+    // Turbo tables bin down once several cores of a type are active.
+    return busy_per_type_[static_cast<std::size_t>(type_id)] > 2;
+  }
+
+  MachineSpec spec_;
+  RaplModel rapl_;
+  ThermalNode package_node_;
+  std::vector<ThermalNode> cluster_nodes_;
+  std::vector<ThermalThrottle> cluster_throttles_;
+  ThermalThrottle package_throttle_;
+  std::vector<MegaHertz> freq_;  // per logical cpu
+  std::vector<CoreLoad> core_loads_;   // per physical core, reused
+  std::vector<int> cpu_to_core_slot_;  // logical cpu -> core_loads_ index
+  std::vector<int> busy_per_type_;     // busy core count per core type
+  Watts last_power_{0.0};
+  Rng rng_;
+};
+
+}  // namespace hetpapi::cpumodel

@@ -1,0 +1,135 @@
+// Machine topology: which logical CPUs exist, what core type each one
+// is, and the package-level power/thermal envelope. Presets model the
+// two systems the paper evaluates (Tables I and IV) plus a homogeneous
+// control machine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/units.hpp"
+#include "cpumodel/types.hpp"
+
+namespace hetpapi::cpumodel {
+
+/// One logical CPU (a hardware thread).
+struct CpuSlot {
+  int cpu = 0;           // logical index, as in /sys/devices/system/cpu/cpuN
+  CoreTypeId type = 0;   // index into MachineSpec::core_types
+  int core_id = 0;       // physical core (SMT siblings share this)
+  int cluster_id = 0;    // ARM cluster / Intel module grouping
+};
+
+/// Package power-limit (RAPL) configuration. The Raptor Lake system in
+/// the paper enforces PL1 = 65 W (long term) and PL2 = 219 W (short
+/// term); the OrangePi has no RAPL and is purely thermally limited.
+struct RaplSpec {
+  bool present = true;
+  Watts pl1{65.0};
+  Watts pl2{219.0};
+  /// Time constants of the two sliding windows (seconds).
+  double tau_long_s = 28.0;
+  double tau_short_s = 2.5;
+  /// Non-core package power (memory controller, fabric, idle uncore).
+  Watts uncore_base{8.0};
+};
+
+/// Lumped RC thermal node for the package (plus per-cluster nodes on the
+/// ARM preset, whose tiny heatsink is the whole story of Figure 3).
+struct ThermalSpec {
+  Celsius ambient{25.0};
+  Celsius idle_settle{35.0};      // paper waits for 35 C before each run
+  Celsius t_junction_max{100.0};  // trip point for throttling
+  double r_thermal_c_per_w = 0.55;  // junction-to-ambient resistance
+  double c_thermal_j_per_c = 120.0; // thermal capacitance
+  /// Throttle hysteresis: once tripped, throttle until T < trip - hyst.
+  double hysteresis_c = 3.0;
+};
+
+struct MemorySpec {
+  std::int64_t bytes = 32LL * 1024 * 1024 * 1024;
+  std::string description = "32GB DDR5, 4.4G T/s";
+  /// Sustained bandwidth cap shared by all cores (GB/s); contention above
+  /// this inflates effective LLC miss latency.
+  double bandwidth_gbs = 70.0;
+};
+
+/// How the firmware names ARM PMUs in sysfs. The paper notes devicetree
+/// systems often expose ambiguous names ("armv8_pmuv3_0"), while ACPI
+/// servers use descriptive ones; detection code must survive both.
+enum class FirmwareNaming { kAcpi, kDevicetree };
+
+struct MachineSpec {
+  std::string name;
+  std::string cpu_model_string;  // /proc/cpuinfo "model name"
+  Vendor vendor = Vendor::kIntel;
+  std::vector<CoreTypeSpec> core_types;
+  std::vector<CpuSlot> cpus;
+  RaplSpec rapl;
+  ThermalSpec thermal;
+  /// Per-cluster thermal nodes (empty = package-level only).
+  std::vector<ThermalSpec> cluster_thermal;
+  MemorySpec memory;
+  FirmwareNaming firmware = FirmwareNaming::kAcpi;
+  /// Whether the kernel exposes /sys/devices/system/cpu/cpuX/cpu_capacity
+  /// (ARM arch_topology does; x86 does not — §IV-B).
+  bool exposes_cpu_capacity = false;
+  /// Whether CPUID leaf 0x1A hybrid information exists (Intel only).
+  bool exposes_cpuid_hybrid = false;
+
+  bool is_hybrid() const { return core_types.size() > 1; }
+  int num_cpus() const { return static_cast<int>(cpus.size()); }
+
+  const CoreTypeSpec& type_of(int cpu) const {
+    return core_types[static_cast<std::size_t>(cpus[static_cast<std::size_t>(cpu)].type)];
+  }
+
+  /// Logical CPUs belonging to a core type.
+  std::vector<int> cpus_of_type(CoreTypeId type) const;
+
+  /// First hardware thread of each physical core of a type ("one thread
+  /// per core", as all the paper's HPL runs are configured).
+  std::vector<int> primary_threads_of_type(CoreTypeId type) const;
+
+  /// Validate internal consistency (indices in range, no duplicate cpu
+  /// ids, SMT grouping sane). All presets pass; fuzzed specs in tests
+  /// exercise the failure paths.
+  Status validate() const;
+};
+
+/// Table I: 13th Gen Intel Core i7-13700 — 8 P-cores (16 threads)
+/// 2.1-5.1 GHz + 8 E-cores 1.5-4.1 GHz, 32 GB DDR5, PL1 65 W / PL2 219 W.
+/// Logical CPUs 0-15 are P threads (even = first thread of a core),
+/// 16-23 are E-cores, matching the paper's taskset list "0,2,...,14,16-24".
+MachineSpec raptor_lake_i7_13700();
+
+/// Table IV: OrangePi 800 (Rockchip RK3399) — 2x Cortex-A72 @1.8 GHz +
+/// 4x Cortex-A53 @1.4 GHz, 4 GB LPDDR4, passively cooled (throttles).
+MachineSpec orangepi800_rk3399();
+
+/// Homogeneous control machine (a plain Xeon-like part): used by tests
+/// to confirm the hybrid machinery degrades gracefully to the
+/// traditional single-PMU world.
+MachineSpec homogeneous_xeon(int cores = 8);
+
+/// Hypothetical three-type ARM system (the paper notes ARM CPUs with
+/// three core types exist and more are plausible); stresses that nothing
+/// hard-codes "two".
+MachineSpec arm_three_type();
+
+/// Alder Lake i9-12900K: 8 P + 8 E like Raptor Lake but with the
+/// original ADL bins and a 125/241 W power envelope. Shares the adl_glc
+/// / adl_grt PMU tables (the paper: "Raptor Lake systems have the same
+/// underlying PMU as Alder Lake").
+MachineSpec alder_lake_i9_12900k();
+
+/// The paper's §I-A server outlook: Sierra Forest is E-core-only. A
+/// homogeneous machine whose single core PMU is nevertheless `cpu_atom`
+/// flavoured — detection must not call it hybrid.
+MachineSpec sierra_forest_e_only(int cores = 16);
+
+/// Granite Rapids: P-core-only server, the other half of the outlook.
+MachineSpec granite_rapids_p_only(int cores = 16);
+
+}  // namespace hetpapi::cpumodel

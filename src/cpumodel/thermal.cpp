@@ -1,0 +1,37 @@
+#include "cpumodel/thermal.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hetpapi::cpumodel {
+
+void ThermalNode::step(SimDuration dt, Watts power) {
+  const double dt_s = std::chrono::duration<double>(dt).count();
+  if (dt_s <= 0.0) return;
+  const double leak =
+      (temp_.value - spec_.ambient.value) / spec_.r_thermal_c_per_w;
+  temp_.value += (power.value - leak) * dt_s / spec_.c_thermal_j_per_c;
+  temp_.value = std::max(temp_.value, spec_.ambient.value);
+}
+
+double ThermalThrottle::update(SimDuration dt, Celsius temperature) {
+  const double dt_s = std::chrono::duration<double>(dt).count();
+  const double trip = spec_.t_junction_max.value;
+  // Ramp rates chosen to match observed cooling-device behaviour: fast
+  // back-off (full range in ~1.5 s), slow recovery (~6 s) — this is what
+  // shapes the big-cluster sawtooth in Figure 3.
+  constexpr double kDownPerSecond = 0.65;
+  constexpr double kUpPerSecond = 0.16;
+  if (temperature.value > trip) {
+    level_ -= kDownPerSecond * dt_s;
+  } else if (temperature.value < trip - spec_.hysteresis_c) {
+    level_ += kUpPerSecond * dt_s;
+  }
+  level_ = std::clamp(level_, 0.25, 1.0);
+  if (level_ < 1.0) {
+    throttled_time_ += dt;
+  }
+  return level_;
+}
+
+}  // namespace hetpapi::cpumodel

@@ -1,0 +1,135 @@
+// Descriptors for heterogeneous core types.
+//
+// A "core type" bundles everything that differs between the cores of a
+// hybrid processor: the microarchitecture performance profile, the PMU
+// the kernel exports for it, the identification data the various
+// detection strategies (§IV-B of the paper) look at, and the scheduler
+// capacity value.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/units.hpp"
+
+namespace hetpapi::cpumodel {
+
+/// Index into MachineSpec::core_types. A machine usually has 2 types
+/// (P/E, big/LITTLE) but ARM systems with 3 exist and the kernel design
+/// allows more, so nothing below assumes 2.
+using CoreTypeId = std::int32_t;
+
+enum class Vendor { kIntel, kArm };
+
+/// Intel CPUID leaf 0x1A core-type values (EAX[31:24]).
+enum class IntelCoreKind : std::uint8_t {
+  kNone = 0x00,
+  kAtom = 0x20,  // E-core
+  kCore = 0x40,  // P-core
+};
+
+/// Identification data exposed through /proc/cpuinfo and CPUID/MIDR.
+/// The paper stresses the asymmetry: ARM big/little cores have distinct
+/// part numbers, while Intel P/E cores share family/model/stepping and
+/// are only distinguishable via CPUID leaf 0x1A.
+struct CoreIdent {
+  Vendor vendor = Vendor::kIntel;
+  // x86: family/model/stepping (shared across hybrid core types).
+  int family = 6;
+  int model = 0;
+  int stepping = 0;
+  IntelCoreKind intel_kind = IntelCoreKind::kNone;
+  // ARM: MIDR fields (differ per core type).
+  int arm_implementer = 0x41;  // 'A' = ARM Ltd
+  int arm_part = 0;            // e.g. 0xd08 = Cortex-A72, 0xd03 = Cortex-A53
+  int arm_variant = 0;
+  int arm_revision = 0;
+};
+
+/// Performance profile of a microarchitecture, reduced to the handful of
+/// parameters the timing model integrates per tick.
+struct UarchPerf {
+  /// Peak sustained instructions/cycle for compute-bound SIMD code.
+  double base_ipc = 2.0;
+  /// Peak double-precision flops/cycle (SIMD width x FMA ports x 2).
+  double flops_per_cycle_dp = 8.0;
+  /// Average LLC miss service latency (constant in wall-clock time, so
+  /// its cycle cost grows with frequency: the memory wall).
+  double llc_miss_latency_ns = 70.0;
+  /// Branch misprediction penalty in cycles.
+  double branch_miss_penalty_cycles = 15.0;
+  /// Fraction of LLC misses whose latency is hidden by out-of-order
+  /// overlap (big cores hide more).
+  double mlp_overlap = 0.6;
+};
+
+/// Per-core-type cache description (drives LLC behaviour differences and
+/// the /sys/.../cache detection heuristic).
+struct CacheSpec {
+  std::int64_t l1d_bytes = 48 * 1024;
+  std::int64_t l2_bytes = 2 * 1024 * 1024;
+  /// Share of the package LLC reachable from this core type.
+  std::int64_t llc_bytes = 30 * 1024 * 1024;
+};
+
+/// DVFS operating range. Voltage model: V(f) = volt_min + volt_slope *
+/// (f - freq_min), clamped at freq_min.
+struct DvfsSpec {
+  MegaHertz freq_min{800};
+  MegaHertz freq_base{2100};
+  /// Single-core max turbo (what the spec sheet advertises).
+  MegaHertz freq_max{5100};
+  /// Multi-core turbo ceiling: the frequency the turbo tables allow when
+  /// most cores of this type are active. Defaults to freq_max; hybrid
+  /// parts bin it well below the headline single-core turbo.
+  MegaHertz freq_max_multi{0};
+  double volt_min = 0.70;        // volts at freq_min
+  double volt_slope_per_ghz = 0.22;
+
+  MegaHertz max_for(bool multi_core_active) const {
+    if (multi_core_active && freq_max_multi.value > 0) return freq_max_multi;
+    return freq_max;
+  }
+
+  double voltage_at(MegaHertz f) const {
+    const double dv = volt_slope_per_ghz * (f.gigahertz() - freq_min.gigahertz());
+    return volt_min + (dv > 0.0 ? dv : 0.0);
+  }
+};
+
+/// Dynamic/static power coefficients for one core.
+/// P_dyn = activity * c_dyn * f_GHz * V^2 ; P_static = leakage_w.
+struct PowerSpec {
+  double c_dyn = 2.2;       // W per GHz at V=1 and activity=1
+  double leakage_w = 0.35;  // per-core static power while online
+};
+
+/// Everything that characterizes one core type of a hybrid processor.
+struct CoreTypeSpec {
+  std::string name;        // "P-core", "E-core", "big", "LITTLE"
+  std::string uarch_name;  // "GoldenCove", "Gracemont", "Cortex-A72", ...
+  /// Kernel PMU name as it appears under /sys/devices/ ("cpu_core",
+  /// "cpu_atom", "armv8_cortex_a72", or the ambiguous devicetree
+  /// "armv8_pmuv3_N" the paper warns about).
+  std::string pmu_sysfs_name;
+  /// libpfm4-style PMU name used in event strings ("adl_glc", "adl_grt",
+  /// "arm_a72", "arm_a53").
+  std::string pfm_pmu_name;
+  /// Scheduler capacity 0..1024 (exposed via cpu_capacity on ARM only).
+  int cpu_capacity = 1024;
+  /// Hardware threads per core (P-cores have 2; E and ARM cores 1).
+  int smt_per_core = 1;
+  /// Number of general-purpose hardware counters on this PMU; exceeding
+  /// this forces multiplexing.
+  int num_gp_counters = 8;
+  /// Fixed counters (cycles/instructions/refcycles style).
+  int num_fixed_counters = 3;
+
+  CoreIdent ident;
+  UarchPerf perf;
+  CacheSpec cache;
+  DvfsSpec dvfs;
+  PowerSpec power;
+};
+
+}  // namespace hetpapi::cpumodel

@@ -1,0 +1,258 @@
+#include "linuxkernel/linux_backend.hpp"
+
+#include <fcntl.h>
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+#include "base/strings.hpp"
+
+namespace hetpapi::linuxkernel {
+
+namespace {
+
+using simkernel::CountKind;
+
+Status errno_status(std::string_view what) {
+  const int err = errno;
+  StatusCode code = StatusCode::kSystem;
+  switch (err) {
+    case EINVAL: code = StatusCode::kInvalidArgument; break;
+    case ENOENT: case ENODEV: case ENXIO: code = StatusCode::kNotFound; break;
+    case EACCES: case EPERM: code = StatusCode::kPermission; break;
+    case EBUSY: code = StatusCode::kBusy; break;
+    case ENOMEM: case EMFILE: code = StatusCode::kNoMemory; break;
+    default: break;
+  }
+  return make_error(code, std::string(what) + ": " + std::strerror(err));
+}
+
+/// Translate our backend-neutral (type, CountKind) pair onto the real
+/// ABI. Core-PMU kinds go through the generalized hardware ids with the
+/// extended config encoding hybrid kernels accept; software kinds map
+/// onto PERF_COUNT_SW_*.
+Expected<std::pair<std::uint32_t, std::uint64_t>> translate(
+    const papi::PerfEventAttr& attr) {
+  const auto kind = static_cast<CountKind>(attr.config);
+  if (attr.type == PERF_TYPE_SOFTWARE) {
+    switch (kind) {
+      case CountKind::kContextSwitches:
+        return std::pair<std::uint32_t, std::uint64_t>{
+            PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CONTEXT_SWITCHES};
+      case CountKind::kMigrations:
+        return std::pair<std::uint32_t, std::uint64_t>{
+            PERF_TYPE_SOFTWARE, PERF_COUNT_SW_CPU_MIGRATIONS};
+      case CountKind::kTaskClockNs:
+        return std::pair<std::uint32_t, std::uint64_t>{
+            PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK};
+      default:
+        return make_error(StatusCode::kNotSupported,
+                          "no software mapping for this event kind");
+    }
+  }
+  std::uint64_t hw_id = 0;
+  switch (kind) {
+    case CountKind::kInstructions: hw_id = PERF_COUNT_HW_INSTRUCTIONS; break;
+    case CountKind::kCycles: hw_id = PERF_COUNT_HW_CPU_CYCLES; break;
+    case CountKind::kRefCycles: hw_id = PERF_COUNT_HW_REF_CPU_CYCLES; break;
+    case CountKind::kLlcReferences:
+      hw_id = PERF_COUNT_HW_CACHE_REFERENCES;
+      break;
+    case CountKind::kLlcMisses: hw_id = PERF_COUNT_HW_CACHE_MISSES; break;
+    case CountKind::kBranches:
+      hw_id = PERF_COUNT_HW_BRANCH_INSTRUCTIONS;
+      break;
+    case CountKind::kBranchMisses: hw_id = PERF_COUNT_HW_BRANCH_MISSES; break;
+    default:
+      return make_error(StatusCode::kNotSupported,
+                        "no generalized hardware mapping for this kind");
+  }
+  // Extended hardware type: select a specific (hybrid) PMU through the
+  // generic event interface. A plain PERF_TYPE_HARDWARE open keeps
+  // config as-is.
+  const std::uint64_t config =
+      attr.type >= simkernel::kPerfTypeFirstDynamic || attr.type == PERF_TYPE_RAW
+          ? (static_cast<std::uint64_t>(attr.type) << 32) | hw_id
+          : hw_id;
+  return std::pair<std::uint32_t, std::uint64_t>{PERF_TYPE_HARDWARE, config};
+}
+
+struct GroupReadBuffer {
+  std::uint64_t nr;
+  std::uint64_t time_enabled;
+  std::uint64_t time_running;
+  std::uint64_t values[64];
+};
+
+}  // namespace
+
+bool perf_event_available() {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_SOFTWARE;
+  attr.size = sizeof(attr);
+  attr.config = PERF_COUNT_SW_TASK_CLOCK;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  const long fd = syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0);
+  if (fd < 0) return false;
+  ::close(static_cast<int>(fd));
+  return true;
+}
+
+LinuxHost::LinuxHost() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  num_cpus_ = n > 0 ? static_cast<int>(n) : 1;
+}
+
+Expected<std::string> LinuxHost::read_file(std::string_view path) const {
+  std::ifstream in{std::string(path)};
+  if (!in) {
+    return make_error(StatusCode::kNotFound,
+                      "cannot open " + std::string(path));
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+Expected<std::vector<std::string>> LinuxHost::list_dir(
+    std::string_view path) const {
+  std::error_code ec;
+  std::filesystem::directory_iterator it{std::string(path), ec};
+  if (ec) {
+    return make_error(StatusCode::kNotFound,
+                      "cannot list " + std::string(path));
+  }
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    names.push_back(entry.path().filename().string());
+  }
+  return names;
+}
+
+Expected<cpumodel::IntelCoreKind> LinuxHost::cpuid_core_kind(int cpu) const {
+#if defined(__x86_64__) || defined(__i386__)
+  // CPUID executes on the calling cpu; a faithful implementation pins
+  // itself to `cpu` first. In this library the result only matters on
+  // hybrid parts, where leaf 0x1A is present.
+  (void)cpu;
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (__get_cpuid_count(0x1A, 0, &eax, &ebx, &ecx, &edx) == 0 || eax == 0) {
+    return cpumodel::IntelCoreKind::kNone;
+  }
+  return static_cast<cpumodel::IntelCoreKind>((eax >> 24) & 0xFF);
+#else
+  (void)cpu;
+  return make_error(StatusCode::kNotSupported, "CPUID is x86-only");
+#endif
+}
+
+Expected<int> LinuxBackend::perf_event_open(const papi::PerfEventAttr& attr,
+                                            papi::Tid tid, int cpu,
+                                            int group_fd,
+                                            std::uint64_t flags) {
+  auto translated = translate(attr);
+  if (!translated) return translated.status();
+
+  perf_event_attr native;
+  std::memset(&native, 0, sizeof(native));
+  native.size = sizeof(native);
+  native.type = translated->first;
+  native.config = translated->second;
+  native.disabled = attr.disabled ? 1 : 0;
+  native.inherit = attr.inherit ? 1 : 0;
+  native.pinned = attr.pinned ? 1 : 0;
+  native.exclude_kernel = 1;  // run unprivileged
+  native.exclude_hv = 1;
+  native.read_format = 0;
+  if (attr.read_format & simkernel::kFormatGroup) {
+    native.read_format |= PERF_FORMAT_GROUP;
+  }
+  if (attr.read_format & simkernel::kFormatTotalTimeEnabled) {
+    native.read_format |= PERF_FORMAT_TOTAL_TIME_ENABLED;
+  }
+  if (attr.read_format & simkernel::kFormatTotalTimeRunning) {
+    native.read_format |= PERF_FORMAT_TOTAL_TIME_RUNNING;
+  }
+
+  const long fd = syscall(__NR_perf_event_open, &native,
+                          static_cast<pid_t>(tid), cpu, group_fd,
+                          flags | PERF_FLAG_FD_CLOEXEC);
+  if (fd < 0) return errno_status("perf_event_open");
+  return static_cast<int>(fd);
+}
+
+Status LinuxBackend::perf_ioctl(int fd, papi::PerfIoctl op,
+                                std::uint32_t flags) {
+  unsigned long request = 0;
+  switch (op) {
+    case papi::PerfIoctl::kEnable: request = PERF_EVENT_IOC_ENABLE; break;
+    case papi::PerfIoctl::kDisable: request = PERF_EVENT_IOC_DISABLE; break;
+    case papi::PerfIoctl::kReset: request = PERF_EVENT_IOC_RESET; break;
+  }
+  const unsigned long arg =
+      (flags & simkernel::kIocFlagGroup) != 0 ? PERF_IOC_FLAG_GROUP : 0;
+  if (::ioctl(fd, request, arg) != 0) return errno_status("perf ioctl");
+  return Status::ok();
+}
+
+Expected<papi::PerfValue> LinuxBackend::perf_read(int fd) {
+  // Non-group read with both time fields.
+  std::uint64_t buffer[3] = {0, 0, 0};
+  const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+  if (n < 0) return errno_status("perf read");
+  papi::PerfValue value;
+  value.value = buffer[0];
+  if (n >= static_cast<ssize_t>(2 * sizeof(std::uint64_t))) {
+    value.time_enabled_ns = buffer[1];
+  }
+  if (n >= static_cast<ssize_t>(3 * sizeof(std::uint64_t))) {
+    value.time_running_ns = buffer[2];
+  }
+  return value;
+}
+
+Expected<std::vector<papi::PerfValue>> LinuxBackend::perf_read_group(int fd) {
+  GroupReadBuffer buffer;
+  std::memset(&buffer, 0, sizeof(buffer));
+  const ssize_t n = ::read(fd, &buffer, sizeof(buffer));
+  if (n < 0) return errno_status("perf group read");
+  std::vector<papi::PerfValue> out;
+  for (std::uint64_t i = 0; i < buffer.nr && i < 64; ++i) {
+    papi::PerfValue value;
+    value.value = buffer.values[i];
+    value.time_enabled_ns = buffer.time_enabled;
+    value.time_running_ns = buffer.time_running;
+    out.push_back(value);
+  }
+  return out;
+}
+
+Expected<std::uint64_t> LinuxBackend::perf_rdpmc(int fd) {
+  (void)fd;
+  return make_error(StatusCode::kNotSupported,
+                    "rdpmc fast path not wired on the real backend");
+}
+
+Status LinuxBackend::perf_close(int fd) {
+  if (::close(fd) != 0) return errno_status("close");
+  return Status::ok();
+}
+
+}  // namespace hetpapi::linuxkernel

@@ -1,0 +1,59 @@
+// Real-Linux backend: the same Backend/Host seams served by actual
+// perf_event_open(2) syscalls and the live /sys//proc trees.
+//
+// This is the "straightforward port" direction: the library layer is
+// unchanged; event kinds translate onto the kernel's generalized
+// hardware events, using the extended config encoding
+// (config = pmu_type << 32 | generic_id) that hybrid kernels accept so
+// a per-core-type PMU can be addressed through PERF_TYPE_HARDWARE.
+// Software events work everywhere (including PMU-less VMs, which is
+// what the gated tests exercise); rdpmc and RAPL translation are out of
+// scope and report kNotSupported.
+#pragma once
+
+#include <string>
+
+#include "papi/backend.hpp"
+
+namespace hetpapi::linuxkernel {
+
+/// pfm::Host over the live filesystem and CPUID.
+class LinuxHost final : public pfm::Host {
+ public:
+  LinuxHost();
+
+  Expected<std::string> read_file(std::string_view path) const override;
+  Expected<std::vector<std::string>> list_dir(
+      std::string_view path) const override;
+  Expected<cpumodel::IntelCoreKind> cpuid_core_kind(int cpu) const override;
+  int num_cpus() const override { return num_cpus_; }
+
+ private:
+  int num_cpus_ = 1;
+};
+
+/// True when perf_event_open is usable at all (false in seccomp'd or
+/// locked-down containers); tests gate on this.
+bool perf_event_available();
+
+class LinuxBackend final : public papi::Backend {
+ public:
+  Expected<int> perf_event_open(const papi::PerfEventAttr& attr,
+                                papi::Tid tid, int cpu, int group_fd,
+                                std::uint64_t flags) override;
+  Status perf_ioctl(int fd, papi::PerfIoctl op, std::uint32_t flags) override;
+  Expected<papi::PerfValue> perf_read(int fd) override;
+  Expected<std::vector<papi::PerfValue>> perf_read_group(int fd) override;
+  Expected<std::uint64_t> perf_rdpmc(int fd) override;
+  Status perf_close(int fd) override;
+
+  const pfm::Host& host() const override { return host_; }
+
+  /// 0 = "calling thread" in the real syscall ABI.
+  papi::Tid default_target() const override { return 0; }
+
+ private:
+  LinuxHost host_;
+};
+
+}  // namespace hetpapi::linuxkernel

@@ -1,0 +1,66 @@
+// Backend seam between the measurement library and a kernel.
+//
+// The library's logic (EventSet bookkeeping, multi-PMU group splitting,
+// preset derivation, detection) is identical whether it talks to the
+// simulated hybrid kernel or to a real Linux perf_event via syscalls;
+// only this interface changes. That mirrors the paper's claim that the
+// PAPI-side work is a client-protocol change over unchanged kernel
+// semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/status.hpp"
+#include "pfm/host.hpp"
+#include "simkernel/perf_abi.hpp"
+#include "simkernel/thread.hpp"
+
+namespace hetpapi::papi {
+
+using simkernel::PerfEventAttr;
+using simkernel::PerfIoctl;
+using simkernel::PerfValue;
+using simkernel::Tid;
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual Expected<int> perf_event_open(const PerfEventAttr& attr, Tid tid,
+                                        int cpu, int group_fd,
+                                        std::uint64_t flags) = 0;
+  virtual Status perf_ioctl(int fd, PerfIoctl op, std::uint32_t flags) = 0;
+  virtual Expected<PerfValue> perf_read(int fd) = 0;
+  virtual Expected<std::vector<PerfValue>> perf_read_group(int fd) = 0;
+  virtual Expected<std::uint64_t> perf_rdpmc(int fd) = 0;
+  virtual Status perf_close(int fd) = 0;
+
+  /// Overflow (sampling) delivery. Backends without a notification path
+  /// report kNotSupported.
+  using OverflowHandler =
+      std::function<void(int fd, std::uint64_t value, std::uint64_t periods)>;
+  virtual Status perf_set_overflow_handler(int fd, OverflowHandler handler) {
+    (void)fd;
+    (void)handler;
+    return make_error(StatusCode::kNotSupported,
+                      "backend has no overflow delivery");
+  }
+
+  /// Host introspection for detection and pfm activation.
+  virtual const pfm::Host& host() const = 0;
+
+  /// The "calling thread" measurement calls bind to by default.
+  virtual Tid default_target() const = 0;
+
+  /// Hook for accounting the user-space cost of a measurement call to
+  /// the measured thread (the simulator executes these instructions as
+  /// part of the thread; a real backend genuinely pays them).
+  virtual void charge_call_overhead(Tid tid, std::uint64_t instructions) {
+    (void)tid;
+    (void)instructions;
+  }
+};
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,198 @@
+#include "papi/detect.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "base/strings.hpp"
+
+namespace hetpapi::papi {
+
+std::string_view to_string(DetectionMethod method) {
+  switch (method) {
+    case DetectionMethod::kCpuCapacity: return "cpu_capacity";
+    case DetectionMethod::kCpuidHybridLeaf: return "cpuid_leaf_1a";
+    case DetectionMethod::kPmuCpusFiles: return "pmu_cpus_files";
+    case DetectionMethod::kMaxFrequency: return "cpuinfo_max_freq";
+    case DetectionMethod::kHomogeneousFallback: return "homogeneous_fallback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string cpu_path(int cpu, std::string_view attr) {
+  return "/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+         std::string(attr);
+}
+
+/// Group cpus by an integer attribute; nullopt if the attribute is
+/// missing for any cpu.
+template <typename Fn>
+std::optional<std::vector<DetectedCoreType>> group_by(
+    const pfm::Host& host, std::string_view label_prefix, Fn&& value_of) {
+  std::map<std::int64_t, std::vector<int>> groups;
+  for (int cpu = 0; cpu < host.num_cpus(); ++cpu) {
+    const std::optional<std::int64_t> value = value_of(cpu);
+    if (!value) return std::nullopt;
+    groups[*value].push_back(cpu);
+  }
+  if (groups.empty()) return std::nullopt;
+  std::vector<DetectedCoreType> out;
+  // Highest discriminator first: capacity/frequency both rank the "big"
+  // type highest, which keeps P/big cores at index 0 everywhere.
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    DetectedCoreType type;
+    type.label = std::string(label_prefix) + "-" + std::to_string(it->first);
+    type.discriminator = it->first;
+    type.cpus = it->second;
+    out.push_back(std::move(type));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<DetectedCoreType>> detect_by_cpu_capacity(
+    const pfm::Host& host) {
+  return group_by(host, "capacity", [&](int cpu) -> std::optional<std::int64_t> {
+    const auto v = host.read_int(cpu_path(cpu, "/cpu_capacity"));
+    if (!v) return std::nullopt;
+    return *v;
+  });
+}
+
+std::optional<std::vector<DetectedCoreType>> detect_by_cpuid(
+    const pfm::Host& host) {
+  auto result = group_by(host, "cpuid", [&](int cpu) -> std::optional<std::int64_t> {
+    const auto kind = host.cpuid_core_kind(cpu);
+    if (!kind) return std::nullopt;
+    return static_cast<std::int64_t>(*kind);
+  });
+  // Leaf 0x1A reads as zero on pre-hybrid parts: a single all-zero group
+  // means "no information", not "one core type".
+  if (result && result->size() == 1 && result->front().discriminator == 0) {
+    return std::nullopt;
+  }
+  if (result) {
+    for (DetectedCoreType& type : *result) {
+      if (type.discriminator == 0x40) type.label = "intel_core";
+      if (type.discriminator == 0x20) type.label = "intel_atom";
+    }
+  }
+  return result;
+}
+
+std::optional<std::vector<DetectedCoreType>> detect_by_pmu_cpus(
+    const pfm::Host& host) {
+  const auto devices = host.list_dir("/sys/devices");
+  if (!devices) return std::nullopt;
+  std::vector<DetectedCoreType> out;
+  std::vector<bool> covered(static_cast<std::size_t>(host.num_cpus()), false);
+  for (const std::string& name : *devices) {
+    const std::string dir = "/sys/devices/" + name;
+    if (!host.read_int(dir + "/type").has_value()) continue;
+    // Only the "cpus" file marks a core-sibling PMU; "cpumask" PMUs
+    // (uncore, RAPL) describe package scope, not a core type.
+    const auto cpus_value = host.read_value(dir + "/cpus");
+    if (!cpus_value) continue;
+    const auto cpus = parse_cpulist(*cpus_value);
+    if (!cpus || cpus->empty()) continue;
+    DetectedCoreType type;
+    type.label = name;
+    type.cpus = *cpus;
+    type.discriminator = static_cast<std::int64_t>(out.size());
+    for (int cpu : *cpus) {
+      if (cpu >= 0 && cpu < host.num_cpus()) {
+        covered[static_cast<std::size_t>(cpu)] = true;
+      }
+    }
+    out.push_back(std::move(type));
+  }
+  if (out.empty()) return std::nullopt;
+  // The strategy is only trustworthy when the PMUs tile every cpu.
+  if (std::find(covered.begin(), covered.end(), false) != covered.end()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<std::vector<DetectedCoreType>> detect_by_max_freq(
+    const pfm::Host& host) {
+  return group_by(host, "freq", [&](int cpu) -> std::optional<std::int64_t> {
+    const auto v = host.read_int(cpu_path(cpu, "/cpufreq/cpuinfo_max_freq"));
+    if (!v) return std::nullopt;
+    return *v;
+  });
+}
+
+DetectionResult detect_core_types(const pfm::Host& host) {
+  DetectionResult result;
+  if (auto types = detect_by_cpu_capacity(host)) {
+    result.method = DetectionMethod::kCpuCapacity;
+    result.core_types = std::move(*types);
+    return result;
+  }
+  if (auto types = detect_by_cpuid(host)) {
+    result.method = DetectionMethod::kCpuidHybridLeaf;
+    result.core_types = std::move(*types);
+    return result;
+  }
+  if (auto types = detect_by_pmu_cpus(host)) {
+    if (types->size() > 1) {  // one "cpus"-bearing PMU proves nothing
+      result.method = DetectionMethod::kPmuCpusFiles;
+      result.core_types = std::move(*types);
+      return result;
+    }
+  }
+  if (auto types = detect_by_max_freq(host)) {
+    if (types->size() > 1) {
+      result.method = DetectionMethod::kMaxFrequency;
+      result.core_types = std::move(*types);
+      return result;
+    }
+  }
+  // Homogeneous fallback: one type containing every cpu.
+  DetectedCoreType only;
+  only.label = "cpu";
+  for (int cpu = 0; cpu < host.num_cpus(); ++cpu) only.cpus.push_back(cpu);
+  result.method = DetectionMethod::kHomogeneousFallback;
+  result.core_types = {std::move(only)};
+  return result;
+}
+
+Expected<HardwareInfo> get_hardware_info(const pfm::Host& host) {
+  HardwareInfo info;
+  info.total_cpus = host.num_cpus();
+  info.detection = detect_core_types(host);
+  info.hybrid = info.detection.hybrid();
+
+  // Model string from /proc/cpuinfo ("model name" on x86; ARM boards
+  // often lack one, in which case implementer/part stand in).
+  const auto cpuinfo = host.read_file("/proc/cpuinfo");
+  if (cpuinfo) {
+    for (std::string_view line : split(*cpuinfo, '\n')) {
+      if (starts_with(line, "model name")) {
+        const std::size_t colon = line.find(':');
+        if (colon != std::string_view::npos) {
+          info.model_string = std::string(trim(line.substr(colon + 1)));
+          break;
+        }
+      }
+    }
+    if (info.model_string.empty()) {
+      for (std::string_view line : split(*cpuinfo, '\n')) {
+        if (starts_with(line, "CPU part")) {
+          const std::size_t colon = line.find(':');
+          if (colon != std::string_view::npos) {
+            info.model_string =
+                "ARM part " + std::string(trim(line.substr(colon + 1)));
+            break;
+          }
+        }
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace hetpapi::papi

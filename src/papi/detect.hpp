@@ -1,0 +1,74 @@
+// Heterogeneous core detection (§IV-B).
+//
+// Linux has no standard interface for "what core types exist", so the
+// library walks a ladder of strategies, each of which works on some
+// machines and fails on others:
+//   1. /sys/devices/system/cpu/cpuX/cpu_capacity   (ARM arch_topology)
+//   2. CPUID leaf 0x1A core-type byte              (Intel hybrid only)
+//   3. per-PMU "cpus" files under /sys/devices     (hybrid kernels)
+//   4. cpuinfo_max_freq grouping                   (last-resort heuristic)
+// Every strategy is exposed individually so tests can defeat each one
+// and confirm the ladder degrades the way the paper describes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "pfm/host.hpp"
+
+namespace hetpapi::papi {
+
+/// One detected core type.
+struct DetectedCoreType {
+  std::string label;       // "cpu_core", "capacity-1024", "freq-5100000", ...
+  std::vector<int> cpus;   // logical cpus of this type
+  /// Raw discriminator value (capacity, cpuid byte, max freq kHz) —
+  /// whatever the winning strategy used.
+  std::int64_t discriminator = 0;
+};
+
+enum class DetectionMethod {
+  kCpuCapacity,
+  kCpuidHybridLeaf,
+  kPmuCpusFiles,
+  kMaxFrequency,
+  kHomogeneousFallback,
+};
+
+std::string_view to_string(DetectionMethod method);
+
+struct DetectionResult {
+  DetectionMethod method = DetectionMethod::kHomogeneousFallback;
+  std::vector<DetectedCoreType> core_types;  // size 1 = homogeneous
+
+  bool hybrid() const { return core_types.size() > 1; }
+};
+
+/// Individual strategies. Each returns nullopt when its data source is
+/// absent or uninformative (one group found counts as informative for
+/// capacity/cpuid; the frequency heuristic also accepts one group).
+std::optional<std::vector<DetectedCoreType>> detect_by_cpu_capacity(
+    const pfm::Host& host);
+std::optional<std::vector<DetectedCoreType>> detect_by_cpuid(
+    const pfm::Host& host);
+std::optional<std::vector<DetectedCoreType>> detect_by_pmu_cpus(
+    const pfm::Host& host);
+std::optional<std::vector<DetectedCoreType>> detect_by_max_freq(
+    const pfm::Host& host);
+
+/// The full ladder.
+DetectionResult detect_core_types(const pfm::Host& host);
+
+/// Hardware summary reported via the PAPI_get_hardware_info-equivalent.
+struct HardwareInfo {
+  std::string model_string;
+  int total_cpus = 0;
+  bool hybrid = false;
+  DetectionResult detection;
+};
+
+Expected<HardwareInfo> get_hardware_info(const pfm::Host& host);
+
+}  // namespace hetpapi::papi

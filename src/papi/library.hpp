@@ -1,0 +1,271 @@
+// The measurement library: a modern-C++ rendition of PAPI with the
+// heterogeneous support this paper adds.
+//
+// Key behaviours, each switchable to its pre-patch form for baselines:
+//  * EventSets accept events from multiple PMUs; the perf_event
+//    component splits them into one perf event group per PMU type and
+//    fans every start/stop/read/reset across the groups (§IV-E). With
+//    hybrid_support=false an EventSet is pinned to its first PMU and a
+//    second PMU draws PAPI_ECNFLCT — the legacy behaviour whose failure
+//    the paper demonstrates.
+//  * Preset events (PAPI_TOT_INS, ...) resolve per PMU; on hybrid
+//    machines they become derived sums across core PMUs (§V-2).
+//  * The RAPL and uncore PMUs either live in their own components
+//    (legacy) or join combined EventSets (§V-3, unified_uncore).
+//  * Group bookkeeping uses statically allocated arrays, matching the
+//    implementation choice the paper describes (and letting the
+//    overhead bench quantify it).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fixed_vector.hpp"
+#include "base/status.hpp"
+#include "papi/backend.hpp"
+#include "papi/detect.hpp"
+#include "papi/preset_defs.hpp"
+#include "papi/presets.hpp"
+#include "pfm/pfmlib.hpp"
+
+namespace hetpapi::papi {
+
+/// Compile-time capacities for the static bookkeeping arrays.
+inline constexpr std::size_t kMaxEventSetEvents = 64;
+inline constexpr std::size_t kMaxPmuGroups = 8;
+
+enum class Component { kPerfEvent, kRapl, kUncore };
+std::string_view to_string(Component component);
+
+struct LibraryConfig {
+  /// The paper's contribution on/off switch.
+  bool hybrid_support = true;
+  /// §V-3: fold uncore events into ordinary EventSets instead of the
+  /// historical separate component.
+  bool unified_uncore = true;
+  PresetPolicy preset_policy = PresetPolicy::kDerivedSum;
+  pfm::PfmLibrary::Config pfm{};
+  /// Instructions charged to the measured thread per start/stop/read
+  /// call, per perf group touched (models caliper overhead; §V-5).
+  std::uint64_t call_overhead_instructions = 900;
+  /// Return multiplex-scaled estimates instead of raw values when an
+  /// EventSet is multiplexed.
+  bool scale_multiplexed = true;
+  /// Serve reads through the rdpmc fast path when the event is resident,
+  /// falling back to read(2) (§V-5).
+  bool use_rdpmc = false;
+};
+
+/// Describes one value slot of an EventSet read.
+struct EventInfo {
+  std::string display_name;       // what the user added
+  bool is_preset = false;
+  std::vector<std::string> native_names;  // canonical constituent events
+};
+
+class Library {
+ public:
+  /// Initialize against a backend: scans PMUs (via the pfm layer), runs
+  /// core-type detection, prepares preset resolution.
+  static Expected<std::unique_ptr<Library>> init(Backend* backend,
+                                                 LibraryConfig config);
+  static Expected<std::unique_ptr<Library>> init(Backend* backend) {
+    return init(backend, LibraryConfig{});
+  }
+
+  ~Library();
+  Library(const Library&) = delete;
+  Library& operator=(const Library&) = delete;
+
+  // --- information ---------------------------------------------------------
+
+  const HardwareInfo& hardware_info() const { return hwinfo_; }
+  const pfm::PfmLibrary& pfm() const { return pfm_; }
+  const LibraryConfig& config() const { return config_; }
+
+  /// All native event names across active PMUs.
+  std::vector<std::string> native_event_names() const;
+
+  /// Presets measurable on this machine under the current policy.
+  std::vector<std::string> available_presets() const;
+
+  /// Load user preset definitions (the PAPI_events.csv role, keyed by
+  /// PMU instead of family/model — §V-2). Loaded definitions take
+  /// precedence over the built-in preset table. Replaces any previously
+  /// loaded definitions.
+  Status load_preset_definitions(std::string_view text);
+
+  /// Names defined by the loaded definition file (empty if none).
+  std::vector<std::string> custom_preset_names() const {
+    return custom_presets_.preset_names();
+  }
+
+  // --- EventSet lifecycle ----------------------------------------------------
+
+  Expected<int> create_eventset();
+  Status destroy_eventset(int eventset);
+
+  /// Bind the EventSet to a thread. Allowed while stopped; existing
+  /// events are transparently re-opened on the new target.
+  Status attach(int eventset, Tid tid);
+
+  /// Bind the EventSet to a logical CPU instead of a thread
+  /// (PAPI_attach with cpu granularity / `perf stat -C`): core events
+  /// count everything executing on that cpu regardless of thread. Core
+  /// events must come from the PMU that serves the cpu; adding a
+  /// foreign core type's event fails the way the kernel does.
+  Status attach_cpu(int eventset, int cpu);
+
+  /// Add a native event ("adl_glc::INST_RETIRED:ANY", "INST_RETIRED")
+  /// or a preset ("PAPI_TOT_INS").
+  Status add_event(int eventset, std::string_view name);
+
+  /// Convert the EventSet to multiplexed operation: every event becomes
+  /// its own group leader so the kernel can rotate freely (§IV-E's
+  /// multiplexing caveat). Must be stopped.
+  Status set_multiplex(int eventset);
+
+  /// PAPI_overflow equivalent: install a sampling handler on one of the
+  /// EventSet's user events. The set must be stopped; its constituent
+  /// native events are re-opened in sampling mode with `threshold` as
+  /// the period. On a hybrid machine a derived preset samples on every
+  /// constituent PMU — the callback reports which native event fired, so
+  /// callers can attribute samples per core type.
+  struct OverflowEvent {
+    int eventset = -1;
+    int user_event_index = -1;
+    std::string native_name;  // constituent that crossed the threshold
+    std::uint64_t value = 0;
+    std::uint64_t periods = 1;
+  };
+  using OverflowCallback = std::function<void(const OverflowEvent&)>;
+  Status set_overflow(int eventset, int user_event_index,
+                      std::uint64_t threshold, OverflowCallback callback);
+
+  Status start(int eventset);
+  /// Stop counting; returns the final values (one per added event, in
+  /// add order).
+  Expected<std::vector<long long>> stop(int eventset);
+  Expected<std::vector<long long>> read(int eventset) const;
+  /// PAPI_accum: add the current counts into `values` (which must have
+  /// one slot per added event) and reset the counters — the idiom for
+  /// accumulating across loop iterations without stop/start pairs.
+  Status accum(int eventset, std::vector<long long>& values);
+  Status reset(int eventset);
+
+  /// PAPI_state equivalent.
+  enum class SetStatePublic { kStopped, kRunning };
+  Expected<SetStatePublic> state(int eventset) const;
+
+  /// Value-slot descriptions, in add order.
+  Expected<std::vector<EventInfo>> eventset_info(int eventset) const;
+
+  /// Number of perf groups the EventSet currently holds (1 on legacy,
+  /// one per PMU type with hybrid support) — exposed for tests and the
+  /// overhead bench.
+  Expected<int> eventset_group_count(int eventset) const;
+
+  bool eventset_running(int eventset) const;
+
+ private:
+  Library(Backend* backend, LibraryConfig config);
+
+  struct NativeSlot {
+    pfm::Encoding enc;
+    Component component = Component::kPerfEvent;
+    int fd = -1;
+    /// Sampling period when this slot is in overflow mode (0 = counting).
+    std::uint64_t sample_period = 0;
+    /// Which user event this slot belongs to.
+    int user_event_index = -1;
+  };
+
+  struct PmuGroup {
+    std::uint32_t perf_type = 0;
+    Component component = Component::kPerfEvent;
+    int leader_fd = -1;
+    /// Indices into `natives`, in sibling order (leader first).
+    FixedVector<int, kMaxEventSetEvents> members;
+  };
+
+  struct UserEvent {
+    std::string display_name;
+    bool is_preset = false;
+    FixedVector<int, 2 * kMaxPmuGroups> native_indices;
+    /// +1 / -1 weight per constituent (DERIVED_SUB presets subtract).
+    FixedVector<int, 2 * kMaxPmuGroups> native_signs;
+  };
+
+  enum class SetState { kStopped, kRunning };
+
+  struct EventSet {
+    int id = -1;
+    SetState state = SetState::kStopped;
+    Tid target = simkernel::kInvalidTid;
+    /// >= 0: cpu-scoped measurement (target is ignored).
+    int target_cpu = -1;
+    bool multiplexed = false;
+    OverflowCallback overflow_callback;
+    FixedVector<NativeSlot, kMaxEventSetEvents> natives;
+    /// One entry per PMU type normally; one per event when multiplexed
+    /// (each event becomes its own group leader so the kernel can
+    /// rotate), hence sized for the worst case.
+    FixedVector<PmuGroup, kMaxEventSetEvents> groups;
+    std::vector<UserEvent> user_events;
+  };
+
+  EventSet* find_set(int eventset);
+  const EventSet* find_set(int eventset) const;
+
+  Component component_for(const pfm::ActivePmu& pmu) const;
+
+  /// Resolve + open one native event into the set (grouping rules
+  /// applied). On failure the set is unchanged.
+  Status add_native(EventSet& set, const pfm::Encoding& enc,
+                    UserEvent& user, int sign = 1);
+
+  /// Expand a custom (file-defined) preset into the set.
+  Status add_custom_preset(EventSet& set, const CustomPresetDef& first_def,
+                           std::string_view name);
+
+  Status open_slot(EventSet& set, std::size_t native_idx);
+  Status close_all(EventSet& set);
+  Status reopen_all(EventSet& set);
+
+  /// Undo a partially applied multi-native add: drop every native slot
+  /// beyond `natives_before`, close all fds (the group bookkeeping may
+  /// reference the dropped slots) and rebuild the survivors.
+  Status rollback_natives(EventSet& set, std::size_t natives_before);
+
+  Expected<std::vector<long long>> collect(const EventSet& set) const;
+
+  Backend* backend_;
+  LibraryConfig config_;
+  pfm::PfmLibrary pfm_;
+  PresetDefinitionFile custom_presets_;
+  HardwareInfo hwinfo_;
+  std::vector<std::unique_ptr<EventSet>> sets_;
+  int next_set_id_ = 0;
+  /// "PAPI only allows one EventSet to be active per component at a
+  /// time" (per measured thread) — the constraint that defeats the
+  /// two-EventSet workaround (§IV-E). Key: (component, target tid);
+  /// value: the running EventSet id. Package-scope components (RAPL,
+  /// legacy uncore) are genuinely global, keyed with kInvalidTid.
+  std::map<std::pair<int, Tid>, int> running_sets_;
+
+  /// The lock key an EventSet's use of `component` takes: per measured
+  /// thread (or per attached cpu); package-scope components are global.
+  static std::pair<int, Tid> component_key(Component component,
+                                           const EventSet& set) {
+    const bool package_scope = component != Component::kPerfEvent;
+    Tid scope = set.target;
+    if (set.target_cpu >= 0) scope = -1000 - set.target_cpu;
+    if (package_scope) scope = simkernel::kInvalidTid;
+    return {static_cast<int>(component), scope};
+  }
+};
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,111 @@
+#include "papi/preset_defs.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace hetpapi::papi {
+
+std::vector<std::string> PresetDefinitionFile::preset_names() const {
+  std::vector<std::string> names;
+  for (const auto& [pmu, defs] : sections) {
+    for (const CustomPresetDef& def : defs) {
+      if (std::find(names.begin(), names.end(), def.name) == names.end()) {
+        names.push_back(def.name);
+      }
+    }
+  }
+  return names;
+}
+
+const CustomPresetDef* PresetDefinitionFile::find(
+    const std::string& pmu, std::string_view preset) const {
+  const auto it = sections.find(pmu);
+  if (it == sections.end()) return nullptr;
+  for (const CustomPresetDef& def : it->second) {
+    if (iequals(def.name, preset)) return &def;
+  }
+  return nullptr;
+}
+
+Expected<PresetDefinitionFile> parse_preset_definitions(
+    std::string_view text) {
+  PresetDefinitionFile file;
+  std::string current_section;
+  int line_number = 0;
+  for (std::string_view raw_line : split(text, '\n')) {
+    ++line_number;
+    // Strip comments and whitespace.
+    const std::size_t hash = raw_line.find('#');
+    const std::string_view line =
+        trim(hash == std::string_view::npos ? raw_line
+                                            : raw_line.substr(0, hash));
+    if (line.empty()) continue;
+
+    std::vector<std::string_view> fields = split(line, ',');
+    for (std::string_view& field : fields) field = trim(field);
+
+    const auto error = [&](const std::string& what) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "preset definitions line " +
+                            std::to_string(line_number) + ": " + what);
+    };
+
+    if (iequals(fields[0], "CPU")) {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return error("CPU section needs exactly one PMU name");
+      }
+      current_section = std::string(fields[1]);
+      file.sections[current_section];  // register even if empty
+      continue;
+    }
+    if (iequals(fields[0], "PRESET")) {
+      if (current_section.empty()) {
+        return error("PRESET before any CPU section");
+      }
+      if (fields.size() < 4) {
+        return error("PRESET needs name, derivation and >=1 event");
+      }
+      CustomPresetDef def;
+      def.name = std::string(fields[1]);
+      if (!starts_with(def.name, "PAPI_")) {
+        return error("preset names must start with PAPI_");
+      }
+      const std::string_view op = fields[2];
+      if (iequals(op, "NATIVE")) {
+        def.op = CustomPresetDef::Op::kNative;
+        if (fields.size() != 4) return error("NATIVE takes exactly one event");
+      } else if (iequals(op, "DERIVED_ADD")) {
+        def.op = CustomPresetDef::Op::kDerivedAdd;
+      } else if (iequals(op, "DERIVED_SUB")) {
+        def.op = CustomPresetDef::Op::kDerivedSub;
+        if (fields.size() < 5) return error("DERIVED_SUB needs >=2 events");
+      } else {
+        return error("unknown derivation '" + std::string(op) + "'");
+      }
+      for (std::size_t i = 3; i < fields.size(); ++i) {
+        if (fields[i].empty()) return error("empty event name");
+        if (fields[i].find("::") != std::string_view::npos) {
+          return error(
+              "event names are PMU-relative; the CPU section supplies the "
+              "PMU");
+        }
+        def.events.emplace_back(fields[i]);
+      }
+      // Reject duplicate definitions within one section.
+      for (const CustomPresetDef& existing :
+           file.sections[current_section]) {
+        if (iequals(existing.name, def.name)) {
+          return error("duplicate definition of " + def.name + " in " +
+                       current_section);
+        }
+      }
+      file.sections[current_section].push_back(std::move(def));
+      continue;
+    }
+    return error("unknown record type '" + std::string(fields[0]) + "'");
+  }
+  return file;
+}
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,61 @@
+// User-definable preset tables — the role of PAPI_events.csv.
+//
+// §V-2 of the paper: presets were historically keyed by CPU
+// family/model, which collapses on hybrid parts where the P and E cores
+// share one family/model but need *different* native events; "the code
+// that parses the PAPI_events.csv file will have to be modified to be
+// aware of the existence of E and P core availability so it can
+// properly pick which combination of events to use."
+//
+// This parser keys definitions by PMU instead of family/model. Format
+// (comma-separated, '#' comments):
+//
+//   CPU,adl_glc                       # section: the P-core PMU
+//   PRESET,PAPI_TOT_INS,NATIVE,INST_RETIRED:ANY
+//   PRESET,PAPI_GOOD_BR,DERIVED_SUB,BR_INST_RETIRED:ALL_BRANCHES,BR_MISP_RETIRED:ALL_BRANCHES
+//   CPU,adl_grt                       # section: the E-core PMU
+//   PRESET,PAPI_TOT_INS,NATIVE,INST_RETIRED:ANY
+//   ...
+//
+// On a hybrid machine the library resolves a custom preset by taking
+// the definition from *every* active core PMU's section and summing
+// across them (the §V-2 derived-add); a preset missing from any
+// section is unavailable, because a partial sum would silently
+// undercount migrated work.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace hetpapi::papi {
+
+struct CustomPresetDef {
+  enum class Op {
+    kNative,      // single event
+    kDerivedAdd,  // sum of the listed events
+    kDerivedSub,  // first minus the rest
+  };
+  std::string name;  // "PAPI_..."
+  Op op = Op::kNative;
+  /// Native event names *within the section's PMU* (no pmu:: prefix).
+  std::vector<std::string> events;
+};
+
+struct PresetDefinitionFile {
+  /// Section PMU name (pfm name, e.g. "adl_glc") -> its definitions.
+  std::map<std::string, std::vector<CustomPresetDef>> sections;
+
+  /// All preset names defined anywhere in the file.
+  std::vector<std::string> preset_names() const;
+
+  const CustomPresetDef* find(const std::string& pmu,
+                              std::string_view preset) const;
+};
+
+/// Parse the csv text; fails with line-precise messages on bad input.
+Expected<PresetDefinitionFile> parse_preset_definitions(std::string_view text);
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,46 @@
+#include "papi/presets.hpp"
+
+#include "base/strings.hpp"
+
+namespace hetpapi::papi {
+
+using simkernel::CountKind;
+
+const std::vector<PresetDef>& preset_table() {
+  static const std::vector<PresetDef> presets = {
+      {"PAPI_TOT_INS", CountKind::kInstructions, "Total instructions retired"},
+      {"PAPI_TOT_CYC", CountKind::kCycles, "Total core cycles"},
+      {"PAPI_REF_CYC", CountKind::kRefCycles, "Reference clock cycles"},
+      {"PAPI_L3_TCA", CountKind::kLlcReferences, "L3 total cache accesses"},
+      {"PAPI_L3_TCM", CountKind::kLlcMisses, "L3 total cache misses"},
+      {"PAPI_BR_INS", CountKind::kBranches, "Branch instructions retired"},
+      {"PAPI_BR_MSP", CountKind::kBranchMisses, "Mispredicted branches"},
+      {"PAPI_RES_STL", CountKind::kStalledCycles, "Cycles stalled on resources"},
+      {"PAPI_DP_OPS", CountKind::kFlopsDp, "Double-precision operations"},
+  };
+  return presets;
+}
+
+const PresetDef* find_preset(std::string_view name) {
+  for (const PresetDef& preset : preset_table()) {
+    if (iequals(preset.name, name)) return &preset;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> native_for_kind(const pfm::PmuTable& table,
+                                           CountKind kind) {
+  for (const pfm::EventDesc& event : table.events) {
+    if (event.umasks.empty()) {
+      if (event.default_kind == kind) return event.name;
+      continue;
+    }
+    for (const pfm::UmaskDesc& umask : event.umasks) {
+      if (umask.kind == kind) return event.name + ":" + umask.name;
+    }
+    if (!event.requires_umask && event.default_kind == kind) return event.name;
+  }
+  return std::nullopt;
+}
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,45 @@
+// Preset (generic) events — PAPI_TOT_INS and friends.
+//
+// A preset names a hardware-independent quantity; the library resolves
+// it to whatever native event provides that quantity on each PMU. On a
+// hybrid machine a preset becomes a *derived* event: one native event
+// per core PMU, transparently summed at read time (§V-2), so users need
+// not care which core types exist.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pfm/event_db.hpp"
+#include "simkernel/perf_abi.hpp"
+
+namespace hetpapi::papi {
+
+struct PresetDef {
+  std::string name;  // "PAPI_TOT_INS"
+  simkernel::CountKind kind;
+  std::string description;
+};
+
+const std::vector<PresetDef>& preset_table();
+const PresetDef* find_preset(std::string_view name);
+
+/// Find a native event string ("EVENT" or "EVENT:UMASK", no pmu prefix)
+/// providing `kind` on the given PMU table; nullopt when the PMU cannot
+/// measure the quantity (e.g. topdown on the E-core table).
+std::optional<std::string> native_for_kind(const pfm::PmuTable& table,
+                                           simkernel::CountKind kind);
+
+/// How presets behave on hybrid machines.
+enum class PresetPolicy {
+  /// Pre-patch behaviour: presets error out on hybrid machines (no sane
+  /// single answer exists).
+  kErrorOnHybrid,
+  /// Resolve on the default (P) PMU only — undercounts migrated work.
+  kDefaultPmuOnly,
+  /// One native event per core PMU, values summed: the §V-2 design.
+  kDerivedSum,
+};
+
+}  // namespace hetpapi::papi

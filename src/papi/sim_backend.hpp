@@ -1,0 +1,59 @@
+// Backend over the simulated kernel.
+#pragma once
+
+#include "papi/backend.hpp"
+#include "pfm/sim_host.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi::papi {
+
+class SimBackend final : public Backend {
+ public:
+  explicit SimBackend(simkernel::SimKernel* kernel)
+      : kernel_(kernel), host_(kernel) {}
+
+  Expected<int> perf_event_open(const PerfEventAttr& attr, Tid tid, int cpu,
+                                int group_fd, std::uint64_t flags) override {
+    return kernel_->perf_event_open(attr, tid, cpu, group_fd, flags);
+  }
+  Status perf_ioctl(int fd, PerfIoctl op, std::uint32_t flags) override {
+    return kernel_->perf_ioctl(fd, op, flags);
+  }
+  Expected<PerfValue> perf_read(int fd) override {
+    return kernel_->perf_read(fd);
+  }
+  Expected<std::vector<PerfValue>> perf_read_group(int fd) override {
+    return kernel_->perf_read_group(fd);
+  }
+  Expected<std::uint64_t> perf_rdpmc(int fd) override {
+    return kernel_->perf_rdpmc(fd);
+  }
+  Status perf_close(int fd) override { return kernel_->perf_close(fd); }
+
+  Status perf_set_overflow_handler(int fd, OverflowHandler handler) override {
+    return kernel_->perf_set_overflow_handler(
+        fd, [handler = std::move(handler)](
+                const simkernel::PerfSubsystem::OverflowInfo& info) {
+          handler(info.fd, info.value, info.overflows);
+        });
+  }
+
+  const pfm::Host& host() const override { return host_; }
+
+  /// Sim processes are spawned explicitly; callers set the target.
+  Tid default_target() const override { return default_target_; }
+  void set_default_target(Tid tid) { default_target_ = tid; }
+
+  void charge_call_overhead(Tid tid, std::uint64_t instructions) override {
+    kernel_->inject_instructions(tid, instructions);
+  }
+
+  simkernel::SimKernel* kernel() { return kernel_; }
+
+ private:
+  simkernel::SimKernel* kernel_;
+  pfm::SimHost host_;
+  Tid default_target_ = simkernel::kInvalidTid;
+};
+
+}  // namespace hetpapi::papi

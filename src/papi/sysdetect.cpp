@@ -1,0 +1,49 @@
+#include "papi/sysdetect.hpp"
+
+#include "base/strings.hpp"
+
+namespace hetpapi::papi {
+
+SysdetectReport build_sysdetect_report(const pfm::Host& host,
+                                       const pfm::PfmLibrary& pfm) {
+  SysdetectReport report;
+  if (auto hw = get_hardware_info(host)) report.hardware = std::move(*hw);
+
+  for (const pfm::ActivePmu& pmu : pfm.pmus()) {
+    PmuDeviceInfo info;
+    info.pfm_name = pmu.table->pfm_name;
+    info.sysfs_name = pmu.sysfs_name;
+    info.perf_type = pmu.perf_type;
+    info.is_core = pmu.is_core;
+    info.cpus = pmu.cpus;
+    info.num_events = static_cast<int>(pfm.event_names(pmu).size());
+    report.pmus.push_back(std::move(info));
+  }
+  return report;
+}
+
+std::string SysdetectReport::to_text() const {
+  std::string out;
+  out += "=== sysdetect report ===\n";
+  out += str_format("model        : %s\n", hardware.model_string.c_str());
+  out += str_format("logical cpus : %d\n", hardware.total_cpus);
+  out += str_format("hybrid       : %s\n", hardware.hybrid ? "yes" : "no");
+  out += str_format(
+      "detected via : %s\n",
+      std::string(to_string(hardware.detection.method)).c_str());
+  for (const DetectedCoreType& type : hardware.detection.core_types) {
+    out += str_format("  core type %-16s cpus %s\n", type.label.c_str(),
+                      format_cpulist(type.cpus).c_str());
+  }
+  out += "PMUs:\n";
+  for (const PmuDeviceInfo& pmu : pmus) {
+    out += str_format("  %-10s (sysfs %-16s type %2u) %s%d events, cpus %s\n",
+                      pmu.pfm_name.c_str(), pmu.sysfs_name.c_str(),
+                      pmu.perf_type, pmu.is_core ? "core PMU, " : "",
+                      pmu.num_events,
+                      pmu.cpus.empty() ? "all" : format_cpulist(pmu.cpus).c_str());
+  }
+  return out;
+}
+
+}  // namespace hetpapi::papi

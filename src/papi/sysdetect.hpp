@@ -1,0 +1,35 @@
+// sysdetect component: enumerates the measurement-relevant devices of
+// the machine (core types, PMUs, RAPL domains) for tools that want a
+// structured inventory — the reporting surface the paper lists among
+// the places PAPI must expose heterogeneity (§IV-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "papi/detect.hpp"
+#include "pfm/pfmlib.hpp"
+
+namespace hetpapi::papi {
+
+struct PmuDeviceInfo {
+  std::string pfm_name;
+  std::string sysfs_name;
+  std::uint32_t perf_type = 0;
+  bool is_core = false;
+  std::vector<int> cpus;
+  int num_events = 0;
+};
+
+struct SysdetectReport {
+  HardwareInfo hardware;
+  std::vector<PmuDeviceInfo> pmus;
+
+  /// Render as the papi_sysdetect-style text report.
+  std::string to_text() const;
+};
+
+SysdetectReport build_sysdetect_report(const pfm::Host& host,
+                                       const pfm::PfmLibrary& pfm);
+
+}  // namespace hetpapi::papi

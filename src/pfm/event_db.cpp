@@ -1,0 +1,335 @@
+#include "pfm/event_db.hpp"
+
+#include "base/strings.hpp"
+
+namespace hetpapi::pfm {
+
+using simkernel::CountKind;
+
+const UmaskDesc* EventDesc::find_umask(std::string_view umask) const {
+  for (const UmaskDesc& u : umasks) {
+    if (iequals(u.name, umask)) return &u;
+  }
+  return nullptr;
+}
+
+const EventDesc* PmuTable::find_event(std::string_view name) const {
+  for (const EventDesc& e : events) {
+    if (iequals(e.name, name)) return &e;
+  }
+  return nullptr;
+}
+
+namespace {
+
+EventDesc simple(std::string name, CountKind kind, std::string desc) {
+  EventDesc e;
+  e.name = std::move(name);
+  e.description = std::move(desc);
+  e.default_kind = kind;
+  return e;
+}
+
+/// Events shared by every modern Intel core PMU table.
+std::vector<EventDesc> intel_common_events() {
+  std::vector<EventDesc> events;
+
+  EventDesc inst;
+  inst.name = "INST_RETIRED";
+  inst.description = "Number of instructions retired";
+  inst.default_kind = CountKind::kInstructions;
+  inst.umasks = {
+      {"ANY", CountKind::kInstructions, "All retired instructions"},
+      {"ANY_P", CountKind::kInstructions,
+       "All retired instructions (programmable counter)"},
+  };
+  events.push_back(inst);
+
+  EventDesc clk;
+  clk.name = "CPU_CLK_UNHALTED";
+  clk.description = "Core cycles when the thread is not halted";
+  clk.default_kind = CountKind::kCycles;
+  clk.umasks = {
+      {"THREAD", CountKind::kCycles, "Cycles while the thread runs"},
+      {"THREAD_P", CountKind::kCycles, "Cycles (programmable counter)"},
+      {"REF_TSC", CountKind::kRefCycles, "Reference cycles at TSC rate"},
+  };
+  events.push_back(clk);
+
+  EventDesc llc;
+  llc.name = "LONGEST_LAT_CACHE";
+  llc.description = "Last-level cache activity";
+  llc.requires_umask = true;
+  llc.umasks = {
+      {"REFERENCE", CountKind::kLlcReferences, "LLC references"},
+      {"MISS", CountKind::kLlcMisses, "LLC misses"},
+  };
+  events.push_back(llc);
+
+  EventDesc br;
+  br.name = "BR_INST_RETIRED";
+  br.description = "Retired branch instructions";
+  br.default_kind = CountKind::kBranches;
+  br.umasks = {
+      {"ALL_BRANCHES", CountKind::kBranches, "All retired branches"},
+  };
+  events.push_back(br);
+
+  EventDesc brm;
+  brm.name = "BR_MISP_RETIRED";
+  brm.description = "Mispredicted branch instructions";
+  brm.default_kind = CountKind::kBranchMisses;
+  brm.umasks = {
+      {"ALL_BRANCHES", CountKind::kBranchMisses, "All mispredicted branches"},
+  };
+  events.push_back(brm);
+
+  events.push_back(simple("RESOURCE_STALLS", CountKind::kStalledCycles,
+                          "Cycles stalled on any resource"));
+
+  EventDesc fp;
+  fp.name = "FP_ARITH_INST_RETIRED";
+  fp.description = "Floating-point operations retired";
+  fp.requires_umask = true;
+  fp.umasks = {
+      {"SCALAR_DOUBLE", CountKind::kFlopsDp, "Scalar DP flops"},
+      {"256B_PACKED_DOUBLE", CountKind::kFlopsDp, "256-bit packed DP flops"},
+  };
+  events.push_back(fp);
+
+  return events;
+}
+
+PmuTable make_adl_glc() {
+  PmuTable t;
+  t.pfm_name = "adl_glc";
+  t.description = "Intel Alder/Raptor Lake GoldenCove (P-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_core"};
+  t.is_core = true;
+  t.events = intel_common_events();
+
+  // Topdown events: only on the P-core, the paper's canonical example of
+  // per-core-type availability.
+  EventDesc td;
+  td.name = "TOPDOWN";
+  td.description = "Topdown micro-architecture analysis slots";
+  td.requires_umask = true;
+  td.umasks = {
+      {"SLOTS", CountKind::kTopdownSlots, "Available pipeline slots"},
+      {"RETIRING", CountKind::kTopdownRetiring, "Slots that retired uops"},
+      {"BAD_SPEC", CountKind::kTopdownBadSpec, "Slots wasted on bad speculation"},
+  };
+  t.events.push_back(td);
+  return t;
+}
+
+PmuTable make_adl_grt() {
+  PmuTable t;
+  t.pfm_name = "adl_grt";
+  t.description = "Intel Alder/Raptor Lake Gracemont (E-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_atom"};
+  t.is_core = true;
+  t.events = intel_common_events();
+  // Gracemont uses a distinct topdown-free, MEM_BOUND_STALLS-flavoured
+  // stall event name.
+  t.events.push_back(simple("MEM_BOUND_STALLS", CountKind::kStalledCycles,
+                            "Cycles stalled on memory (E-core encoding)"));
+  return t;
+}
+
+PmuTable make_skx() {
+  PmuTable t;
+  t.pfm_name = "skx";
+  t.description = "Intel Skylake-SP (homogeneous server core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu"};
+  t.intel_models = {0x55};
+  t.is_core = true;
+  t.events = intel_common_events();
+  return t;
+}
+
+PmuTable make_srf() {
+  PmuTable t;
+  t.pfm_name = "srf";
+  t.description = "Intel Sierra Forest (E-core-only server)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu"};
+  t.intel_models = {0xAF};
+  t.is_core = true;
+  t.events = intel_common_events();
+  t.events.push_back(simple("MEM_BOUND_STALLS", CountKind::kStalledCycles,
+                            "Cycles stalled on memory (Crestmont)"));
+  return t;
+}
+
+PmuTable make_gnr() {
+  PmuTable t;
+  t.pfm_name = "gnr";
+  t.description = "Intel Granite Rapids (P-core-only server)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu"};
+  t.intel_models = {0xAD};
+  t.is_core = true;
+  t.events = intel_common_events();
+  EventDesc td;
+  td.name = "TOPDOWN";
+  td.description = "Topdown micro-architecture analysis slots";
+  td.requires_umask = true;
+  td.umasks = {
+      {"SLOTS", CountKind::kTopdownSlots, "Available pipeline slots"},
+      {"RETIRING", CountKind::kTopdownRetiring, "Slots that retired uops"},
+      {"BAD_SPEC", CountKind::kTopdownBadSpec,
+       "Slots wasted on bad speculation"},
+  };
+  t.events.push_back(td);
+  return t;
+}
+
+/// ARM architectural events shared by ARMv8 cores.
+std::vector<EventDesc> armv8_common_events() {
+  std::vector<EventDesc> events;
+  events.push_back(simple("INST_RETIRED", CountKind::kInstructions,
+                          "Architecturally executed instructions"));
+  events.push_back(
+      simple("CPU_CYCLES", CountKind::kCycles, "Processor cycles"));
+  events.push_back(simple("LL_CACHE", CountKind::kLlcReferences,
+                          "Last-level cache accesses"));
+  events.push_back(simple("LL_CACHE_MISS", CountKind::kLlcMisses,
+                          "Last-level cache misses"));
+  events.push_back(simple("BR_RETIRED", CountKind::kBranches,
+                          "Architecturally executed branches"));
+  events.push_back(simple("BR_MIS_PRED_RETIRED", CountKind::kBranchMisses,
+                          "Mispredicted branches"));
+  events.push_back(simple("STALL_BACKEND", CountKind::kStalledCycles,
+                          "Cycles with no dispatch due to backend"));
+  events.push_back(simple("VFP_SPEC", CountKind::kFlopsDp,
+                          "Speculatively executed FP operations"));
+  return events;
+}
+
+PmuTable make_arm_a72() {
+  PmuTable t;
+  t.pfm_name = "arm_a72";
+  t.description = "ARM Cortex-A72 (big)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd08}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_a53() {
+  PmuTable t;
+  t.pfm_name = "arm_a53";
+  t.description = "ARM Cortex-A53 (LITTLE)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd03}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_x1() {
+  PmuTable t;
+  t.pfm_name = "arm_x1";
+  t.description = "ARM Cortex-X1 (prime)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd44}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_a78() {
+  PmuTable t;
+  t.pfm_name = "arm_a78";
+  t.description = "ARM Cortex-A78 (big)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd41}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_a55() {
+  PmuTable t;
+  t.pfm_name = "arm_a55";
+  t.description = "ARM Cortex-A55 (little)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd05}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_rapl() {
+  PmuTable t;
+  t.pfm_name = "rapl";
+  t.description = "Intel RAPL energy counters";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"power"};
+  t.events.push_back(simple("RAPL_ENERGY_PKG", CountKind::kEnergyPkgUj,
+                            "Package domain energy (uJ)"));
+  t.events.push_back(simple("RAPL_ENERGY_CORES", CountKind::kEnergyCoresUj,
+                            "Core domain energy (uJ)"));
+  t.events.push_back(simple("RAPL_ENERGY_DRAM", CountKind::kEnergyDramUj,
+                            "DRAM domain energy (uJ)"));
+  return t;
+}
+
+PmuTable make_unc_imc() {
+  PmuTable t;
+  t.pfm_name = "unc_imc_0";
+  t.description = "Integrated memory controller uncore";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"uncore_imc_0"};
+  EventDesc cas;
+  cas.name = "UNC_M_CAS_COUNT";
+  cas.description = "DRAM CAS commands";
+  cas.requires_umask = true;
+  cas.umasks = {
+      {"RD", CountKind::kUncoreCasReads, "Read CAS commands"},
+      {"WR", CountKind::kUncoreCasWrites, "Write CAS commands"},
+  };
+  t.events.push_back(cas);
+  return t;
+}
+
+PmuTable make_perf_sw() {
+  PmuTable t;
+  t.pfm_name = "perf";
+  t.description = "Kernel software events";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"software"};
+  t.events.push_back(simple("CONTEXT_SWITCHES", CountKind::kContextSwitches,
+                            "Context switches"));
+  t.events.push_back(simple("CPU_MIGRATIONS", CountKind::kMigrations,
+                            "CPU migrations"));
+  t.events.push_back(
+      simple("TASK_CLOCK", CountKind::kTaskClockNs, "Task clock (ns)"));
+  return t;
+}
+
+}  // namespace
+
+const std::vector<PmuTable>& all_tables() {
+  static const std::vector<PmuTable> tables = {
+      make_adl_glc(), make_adl_grt(), make_skx(),    make_srf(),
+      make_gnr(),     make_arm_a72(), make_arm_a53(), make_arm_x1(),
+      make_arm_a78(), make_arm_a55(), make_rapl(),    make_unc_imc(),
+      make_perf_sw(),
+  };
+  return tables;
+}
+
+const PmuTable* table_by_name(std::string_view pfm_name) {
+  for (const PmuTable& t : all_tables()) {
+    if (iequals(t.pfm_name, pfm_name)) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace hetpapi::pfm

@@ -1,0 +1,73 @@
+// Per-PMU event tables — the role libpfm4 plays for PAPI.
+//
+// Each table lists the native events one PMU flavour exposes, with
+// their unit masks and the CountKind the simulated hardware maps them
+// to. The tables reproduce the availability asymmetries the paper calls
+// out: topdown events exist only in the GoldenCove (P-core) table, the
+// Gracemont (E-core) table carries its own INST_RETIRED encoding (the
+// one that was initially buggy in libpfm4), and the two ARM tables
+// mirror the Cortex-A72/A53 architectural events.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simkernel/perf_abi.hpp"
+
+namespace hetpapi::pfm {
+
+struct UmaskDesc {
+  std::string name;
+  simkernel::CountKind kind;
+  std::string description;
+};
+
+struct EventDesc {
+  std::string name;
+  std::string description;
+  /// Kind used when no umask is given (events with mandatory umasks set
+  /// `requires_umask`).
+  simkernel::CountKind default_kind = simkernel::CountKind::kInstructions;
+  bool requires_umask = false;
+  std::vector<UmaskDesc> umasks;
+
+  const UmaskDesc* find_umask(std::string_view umask) const;
+};
+
+/// How a table binds to a kernel PMU at activation time.
+enum class MatchKind {
+  kSysfsName,  // match /sys/devices/<name> directly (x86)
+  kArmMidr,    // match the MIDR part number of the PMU's cpus (ARM)
+};
+
+struct PmuTable {
+  std::string pfm_name;  // e.g. "adl_glc"
+  std::string description;
+  MatchKind match = MatchKind::kSysfsName;
+  /// For kSysfsName: acceptable sysfs device names.
+  std::vector<std::string> sysfs_names;
+  /// For kSysfsName on Intel core PMUs: acceptable cpuinfo model
+  /// numbers (empty = any). This is how homogeneous parts sharing the
+  /// traditional "cpu" PMU name are told apart — exactly the
+  /// family/model keying that *breaks* on hybrid parts (§IV-B), which
+  /// is why the hybrid tables key on the cpu_core/cpu_atom names
+  /// instead.
+  std::vector<int> intel_models;
+  /// For kArmMidr: (implementer, part) pairs.
+  std::vector<std::pair<int, int>> arm_parts;
+  /// Core PMUs are eligible to be *default* PMUs (searched when an event
+  /// name has no pmu:: prefix) — §IV-D.
+  bool is_core = false;
+  std::vector<EventDesc> events;
+
+  const EventDesc* find_event(std::string_view name) const;
+};
+
+/// All tables known to the library (the "pfmlib_pmus" array).
+const std::vector<PmuTable>& all_tables();
+
+/// Find a table by pfm name ("adl_glc"); nullptr if unknown.
+const PmuTable* table_by_name(std::string_view pfm_name);
+
+}  // namespace hetpapi::pfm

@@ -1,0 +1,24 @@
+#include "pfm/host.hpp"
+
+#include "base/strings.hpp"
+
+namespace hetpapi::pfm {
+
+Expected<std::string> Host::read_value(std::string_view path) const {
+  auto contents = read_file(path);
+  if (!contents) return contents.status();
+  return std::string(trim(*contents));
+}
+
+Expected<std::int64_t> Host::read_int(std::string_view path) const {
+  auto value = read_value(path);
+  if (!value) return value.status();
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "not an integer: " + *value);
+  }
+  return *parsed;
+}
+
+}  // namespace hetpapi::pfm

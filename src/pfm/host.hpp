@@ -1,0 +1,47 @@
+// Backend-neutral host introspection.
+//
+// Everything the event library and the PAPI detection code learn about
+// the machine flows through this interface: sysfs/procfs reads and the
+// CPUID hybrid leaf. The simulated kernel implements it over its
+// in-memory tree; the real-Linux backend implements it over the actual
+// filesystem. Keeping detection logic behind this seam is what makes it
+// the "same code a real port would run".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "cpumodel/types.hpp"
+
+namespace hetpapi::pfm {
+
+class Host {
+ public:
+  virtual ~Host() = default;
+
+  /// Read a /sys or /proc path (trailing newline preserved).
+  virtual Expected<std::string> read_file(std::string_view path) const = 0;
+
+  /// List directory entries (names only).
+  virtual Expected<std::vector<std::string>> list_dir(
+      std::string_view path) const = 0;
+
+  /// CPUID leaf 0x1A hybrid core kind for a cpu. kNotSupported on
+  /// non-x86 hosts.
+  virtual Expected<cpumodel::IntelCoreKind> cpuid_core_kind(int cpu) const = 0;
+
+  /// Number of online logical CPUs.
+  virtual int num_cpus() const = 0;
+
+  // Convenience wrappers -----------------------------------------------------
+
+  Expected<std::string> read_value(std::string_view path) const;
+  Expected<std::int64_t> read_int(std::string_view path) const;
+  bool exists(std::string_view path) const {
+    return read_file(path).has_value() || list_dir(path).has_value();
+  }
+};
+
+}  // namespace hetpapi::pfm

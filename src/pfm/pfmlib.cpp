@@ -1,0 +1,271 @@
+#include "pfm/pfmlib.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "base/log.hpp"
+#include "base/strings.hpp"
+
+namespace hetpapi::pfm {
+
+namespace {
+
+/// Hard-coded default-PMU ranking (§IV-D: "for now it has to be
+/// hard-coded for each known heterogeneous CPU type"). Lower = searched
+/// first. P/big cores come before E/LITTLE so unprefixed names resolve
+/// on the performance cores.
+int default_rank(std::string_view pfm_name) {
+  static constexpr std::pair<std::string_view, int> kRanks[] = {
+      {"adl_glc", 0}, {"adl_grt", 1},  {"skx", 0},    {"arm_x1", 0},
+      {"arm_a78", 1}, {"arm_a72", 0},  {"arm_a53", 1}, {"arm_a55", 2},
+  };
+  for (const auto& [name, rank] : kRanks) {
+    if (iequals(name, pfm_name)) return rank;
+  }
+  return 99;
+}
+
+/// Parse a midr_el1 value into (implementer, part).
+std::pair<int, int> decode_midr(std::int64_t midr) {
+  const int implementer = static_cast<int>((midr >> 24) & 0xFF);
+  const int part = static_cast<int>((midr >> 4) & 0xFFF);
+  return {implementer, part};
+}
+
+/// First "model :" value from /proc/cpuinfo (x86).
+std::optional<int> read_intel_model(const Host& host) {
+  const auto cpuinfo = host.read_file("/proc/cpuinfo");
+  if (!cpuinfo) return std::nullopt;
+  for (std::string_view line : split(*cpuinfo, '\n')) {
+    const std::string_view trimmed = trim(line);
+    if (!starts_with(trimmed, "model")) continue;
+    if (starts_with(trimmed, "model name")) continue;
+    const std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) continue;
+    const auto value = parse_int(trim(trimmed.substr(colon + 1)));
+    if (value) return static_cast<int>(*value);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Status PfmLibrary::initialize(const Host& host, Config config) {
+  active_.clear();
+  config_ = config;
+
+  auto devices = host.list_dir("/sys/devices");
+  if (!devices) {
+    return make_error(StatusCode::kSystem,
+                      "cannot scan /sys/devices: " + devices.status().to_string());
+  }
+  std::sort(devices->begin(), devices->end());
+
+  bool saw_arm_pmu = false;
+  for (const std::string& name : *devices) {
+    // A PMU directory is one with a "type" attribute.
+    if (!host.read_int("/sys/devices/" + name + "/type").has_value()) continue;
+    const bool is_arm_core = starts_with(name, "armv8");
+    if (is_arm_core && saw_arm_pmu && !config_.arm_multi_pmu_patch) {
+      // Legacy libpfm4 ARM scan: only the first core PMU is bound, so
+      // the other cluster's events are simply absent (§IV-C).
+      HETPAPI_WARN << "legacy ARM scan: ignoring additional PMU " << name;
+      continue;
+    }
+    const Status bound = bind_pmu(host, name);
+    if (bound.is_ok() && is_arm_core) saw_arm_pmu = true;
+  }
+
+  if (active_.empty()) {
+    return make_error(StatusCode::kNotFound, "no recognizable PMU found");
+  }
+  initialized_ = true;
+  return Status::ok();
+}
+
+Status PfmLibrary::bind_pmu(const Host& host, const std::string& sysfs_name) {
+  const std::string dir = "/sys/devices/" + sysfs_name;
+  const auto type_id = host.read_int(dir + "/type");
+  if (!type_id) return type_id.status();
+
+  // Read the covered-cpu list if the PMU exports one ("cpus" on hybrid
+  // core PMUs, "cpumask" on uncore-style PMUs).
+  std::vector<int> cpus;
+  for (const char* attr : {"/cpus", "/cpumask"}) {
+    const auto contents = host.read_value(dir + attr);
+    if (contents) {
+      if (auto parsed = parse_cpulist(*contents)) cpus = std::move(*parsed);
+      break;
+    }
+  }
+
+  const PmuTable* matched = nullptr;
+  for (const PmuTable& table : all_tables()) {
+    switch (table.match) {
+      case MatchKind::kSysfsName: {
+        bool name_hit = false;
+        for (const std::string& candidate : table.sysfs_names) {
+          if (candidate == sysfs_name) name_hit = true;
+        }
+        if (!name_hit) break;
+        if (!table.intel_models.empty()) {
+          // Homogeneous Intel parts all expose the same "cpu" PMU name;
+          // the table binds via cpuinfo family/model — the very keying
+          // that cannot disambiguate hybrid P/E cores (§IV-B).
+          const auto model = read_intel_model(host);
+          if (!model || std::find(table.intel_models.begin(),
+                                  table.intel_models.end(),
+                                  *model) == table.intel_models.end()) {
+            break;
+          }
+        }
+        matched = &table;
+        break;
+      }
+      case MatchKind::kArmMidr: {
+        // Devicetree firmware may name every cluster "armv8_pmuv3_N", so
+        // names are useless (§IV-B); identify via the MIDR of a covered
+        // cpu instead.
+        if (!starts_with(sysfs_name, "armv8")) break;
+        if (cpus.empty()) break;
+        const auto midr = host.read_int(
+            "/sys/devices/system/cpu/cpu" + std::to_string(cpus.front()) +
+            "/regs/identification/midr_el1");
+        if (!midr) break;
+        const auto [implementer, part] = decode_midr(*midr);
+        for (const auto& [want_impl, want_part] : table.arm_parts) {
+          if (want_impl == implementer && want_part == part) matched = &table;
+        }
+        break;
+      }
+    }
+    if (matched != nullptr) break;
+  }
+  if (matched == nullptr) {
+    return make_error(StatusCode::kNotFound,
+                      "no table for PMU " + sysfs_name);
+  }
+
+  ActivePmu active;
+  active.table = matched;
+  active.perf_type = static_cast<std::uint32_t>(*type_id);
+  active.sysfs_name = sysfs_name;
+  active.cpus = std::move(cpus);
+  active.is_core = matched->is_core;
+  active_.push_back(std::move(active));
+  return Status::ok();
+}
+
+const ActivePmu* PfmLibrary::find_pmu(std::string_view pfm_name) const {
+  for (const ActivePmu& pmu : active_) {
+    if (iequals(pmu.table->pfm_name, pfm_name)) return &pmu;
+  }
+  return nullptr;
+}
+
+std::vector<const ActivePmu*> PfmLibrary::default_pmus() const {
+  std::vector<const ActivePmu*> core;
+  for (const ActivePmu& pmu : active_) {
+    if (pmu.is_core) core.push_back(&pmu);
+  }
+  std::stable_sort(core.begin(), core.end(),
+                   [](const ActivePmu* a, const ActivePmu* b) {
+                     return default_rank(a->table->pfm_name) <
+                            default_rank(b->table->pfm_name);
+                   });
+  return core;
+}
+
+Expected<Encoding> PfmLibrary::encode_on(
+    const ActivePmu& pmu, std::string_view event_and_umask) const {
+  std::string_view event_name = event_and_umask;
+  std::string_view umask;
+  const std::size_t colon = event_and_umask.find(':');
+  if (colon != std::string_view::npos) {
+    event_name = event_and_umask.substr(0, colon);
+    umask = event_and_umask.substr(colon + 1);
+  }
+
+  const EventDesc* event = pmu.table->find_event(event_name);
+  if (event == nullptr) {
+    return make_error(StatusCode::kNotFound,
+                      pmu.table->pfm_name + " has no event " +
+                          std::string(event_name));
+  }
+
+  Encoding enc;
+  enc.perf_type = pmu.perf_type;
+  enc.pmu_name = pmu.table->pfm_name;
+  if (umask.empty()) {
+    if (event->requires_umask) {
+      return make_error(StatusCode::kInvalidArgument,
+                        event->name + " requires a unit mask");
+    }
+    enc.kind = event->default_kind;
+    enc.canonical_name = enc.pmu_name + "::" + event->name;
+  } else {
+    const UmaskDesc* u = event->find_umask(umask);
+    if (u == nullptr) {
+      return make_error(StatusCode::kNotFound,
+                        event->name + " has no unit mask " +
+                            std::string(umask));
+    }
+    enc.kind = u->kind;
+    enc.canonical_name = enc.pmu_name + "::" + event->name + ":" + u->name;
+  }
+  enc.config = static_cast<std::uint64_t>(enc.kind);
+  return enc;
+}
+
+Expected<Encoding> PfmLibrary::encode(std::string_view name) const {
+  if (!initialized_) {
+    return make_error(StatusCode::kComponent, "pfm library not initialized");
+  }
+  const std::size_t sep = name.find("::");
+  if (sep != std::string_view::npos) {
+    const std::string_view pmu_name = name.substr(0, sep);
+    const ActivePmu* pmu = find_pmu(pmu_name);
+    if (pmu == nullptr) {
+      return make_error(StatusCode::kNotFound,
+                        "no active PMU named " + std::string(pmu_name));
+    }
+    return encode_on(*pmu, name.substr(sep + 2));
+  }
+
+  // Unprefixed: search the default PMUs.
+  const std::vector<const ActivePmu*> defaults = default_pmus();
+  if (defaults.empty()) {
+    return make_error(StatusCode::kNotFound, "no core PMU active");
+  }
+  if (defaults.size() > 1 && !config_.multiple_default_pmus) {
+    // Legacy PAPI/libpfm4 behaviour on hybrid machines (§IV-D): the
+    // single-default assumption breaks outright.
+    return make_error(StatusCode::kConflict,
+                      "multiple default PMUs but multi-default support "
+                      "is disabled");
+  }
+  Status last = make_error(StatusCode::kNotFound, "event not found");
+  for (const ActivePmu* pmu : defaults) {
+    auto enc = encode_on(*pmu, name);
+    if (enc) return enc;
+    last = enc.status();
+  }
+  return last;
+}
+
+std::vector<std::string> PfmLibrary::event_names(const ActivePmu& pmu) const {
+  std::vector<std::string> names;
+  for (const EventDesc& event : pmu.table->events) {
+    if (event.umasks.empty()) {
+      names.push_back(pmu.table->pfm_name + "::" + event.name);
+      continue;
+    }
+    for (const UmaskDesc& umask : event.umasks) {
+      names.push_back(pmu.table->pfm_name + "::" + event.name + ":" +
+                      umask.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace hetpapi::pfm

@@ -1,0 +1,32 @@
+// Host implementation backed by the simulated kernel.
+#pragma once
+
+#include "pfm/host.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi::pfm {
+
+class SimHost final : public Host {
+ public:
+  explicit SimHost(const simkernel::SimKernel* kernel) : kernel_(kernel) {}
+
+  Expected<std::string> read_file(std::string_view path) const override {
+    return kernel_->sysfs_read(path);
+  }
+
+  Expected<std::vector<std::string>> list_dir(
+      std::string_view path) const override {
+    return kernel_->sysfs_list(path);
+  }
+
+  Expected<cpumodel::IntelCoreKind> cpuid_core_kind(int cpu) const override {
+    return kernel_->cpuid_core_kind(cpu);
+  }
+
+  int num_cpus() const override { return kernel_->machine().num_cpus(); }
+
+ private:
+  const simkernel::SimKernel* kernel_;
+};
+
+}  // namespace hetpapi::pfm

@@ -1,0 +1,165 @@
+// SimKernel: the simulated operating system the library runs against.
+//
+// Owns the machine model, the scheduler, the perf_event subsystem, the
+// sysfs/procfs tree and simulated time. Advancing time executes the
+// spawned programs on the modeled cores, drives DVFS/RAPL/thermal
+// dynamics, and feeds microarchitectural counts to whichever perf events
+// are live — giving the PAPI layer above it the same world a real hybrid
+// Linux kernel presents.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/units.hpp"
+#include "cpumodel/dvfs.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/perf_events.hpp"
+#include "simkernel/pmu.hpp"
+#include "simkernel/program.hpp"
+#include "simkernel/scheduler.hpp"
+#include "simkernel/thread.hpp"
+#include "simkernel/trace.hpp"
+#include "vfs/vfs.hpp"
+
+namespace hetpapi::simkernel {
+
+class SimKernel {
+ public:
+  struct Config {
+    /// Simulation timestep. 500 us resolves scheduler churn and RAPL
+    /// dynamics; long HPL runs use 1 ms for speed.
+    SimDuration tick{std::chrono::microseconds(500)};
+    std::uint64_t seed = 42;
+    Scheduler::Config sched{};
+    PerfSubsystem::Config perf{};
+  };
+
+  SimKernel(cpumodel::MachineSpec machine, Config config);
+  explicit SimKernel(cpumodel::MachineSpec machine)
+      : SimKernel(std::move(machine), Config{}) {}
+
+  // --- process management ------------------------------------------------
+
+  /// Spawn a thread running `program`. Default affinity: every cpu.
+  Tid spawn(std::shared_ptr<Program> program);
+  Tid spawn(std::shared_ptr<Program> program, const CpuSet& affinity);
+
+  /// Spawn a thread into an existing thread's process group (fork/clone):
+  /// inherit-mode events on the group leader count it too.
+  Expected<Tid> spawn_in_group(std::shared_ptr<Program> program,
+                               const CpuSet& affinity, Tid leader);
+
+  /// sched_setaffinity equivalent (taskset).
+  Status set_affinity(Tid tid, const CpuSet& affinity);
+
+  bool thread_alive(Tid tid) const;
+  /// Ground truth: what the thread actually executed, per core type.
+  const ThreadGroundTruth* ground_truth(Tid tid) const;
+
+  /// Inject extra retired instructions into a thread's next slice —
+  /// models the user-space cost of measurement calls (the "minor
+  /// overhead inherent in using PAPI" visible in the paper's validation
+  /// numbers).
+  void inject_instructions(Tid tid, std::uint64_t count);
+
+  // --- time --------------------------------------------------------------
+
+  SimTime now() const { return now_; }
+
+  /// Advance exactly `duration` (rounded up to whole ticks).
+  void run_for(SimDuration duration);
+
+  /// Advance until every thread exits or `max` elapses; returns the
+  /// time actually advanced.
+  SimDuration run_until_idle(SimDuration max);
+
+  bool any_thread_alive() const;
+
+  // --- perf_event syscall surface ----------------------------------------
+
+  Expected<int> perf_event_open(const PerfEventAttr& attr, Tid tid, int cpu,
+                                int group_fd, std::uint64_t flags = 0);
+  Status perf_ioctl(int fd, PerfIoctl op, std::uint32_t flags = 0);
+  Expected<PerfValue> perf_read(int fd) const;
+  Expected<std::vector<PerfValue>> perf_read_group(int fd) const;
+  Expected<std::uint64_t> perf_rdpmc(int fd) const;
+  Status perf_close(int fd);
+  Status perf_set_overflow_handler(int fd,
+                                   PerfSubsystem::OverflowHandler handler) {
+    return perf_.set_overflow_handler(fd, std::move(handler));
+  }
+  Expected<std::uint64_t> perf_overflow_count(int fd) const {
+    return perf_.overflow_count(fd);
+  }
+  Expected<std::vector<PerfSubsystem::SampleRecord>> perf_read_samples(
+      int fd) {
+    return perf_.read_samples(fd);
+  }
+  Expected<std::uint64_t> perf_lost_samples(int fd) const {
+    return perf_.lost_samples(fd);
+  }
+  const PerfSubsystem& perf() const { return perf_; }
+
+  // --- introspection surfaces the detection code uses ---------------------
+
+  /// Read a sysfs/procfs path. Dynamic attributes (scaling_cur_freq,
+  /// thermal temps, RAPL energy_uj) are generated on demand, like sysfs
+  /// show() callbacks; everything else is the static boot-time tree.
+  Expected<std::string> sysfs_read(std::string_view path) const;
+
+  /// List a sysfs directory.
+  Expected<std::vector<std::string>> sysfs_list(std::string_view path) const;
+
+  /// CPUID leaf 0x1A emulation: hybrid core kind of a cpu (Intel only;
+  /// kNotSupported elsewhere, like executing CPUID on ARM).
+  Expected<cpumodel::IntelCoreKind> cpuid_core_kind(int cpu) const;
+
+  const cpumodel::MachineSpec& machine() const { return machine_; }
+  const PmuRegistry& pmus() const { return pmus_; }
+  cpumodel::PackageGovernor& governor() { return governor_; }
+  const cpumodel::PackageGovernor& governor() const { return governor_; }
+
+  PackageCounters package_counters() const;
+
+  /// Total threads ever spawned (tests).
+  int spawned_count() const { return next_tid_; }
+
+  /// Attach a scheduler-timeline recorder (nullptr detaches). The
+  /// recorder must outlive its attachment.
+  void attach_tracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
+ private:
+  void tick_once();
+  void build_static_sysfs();
+
+  cpumodel::MachineSpec machine_;
+  Config config_;
+  PmuRegistry pmus_;
+  cpumodel::PackageGovernor governor_;
+  Scheduler scheduler_;
+  PerfSubsystem perf_;
+  vfs::Vfs sysfs_;
+  Rng rng_;
+  SimTime now_{};
+
+  std::map<Tid, SimThread> threads_;
+  Tid next_tid_ = 0;
+  std::map<Tid, std::uint64_t> pending_injections_;
+  /// Previous tick's cpu assignment, for switch/migration accounting.
+  std::vector<Tid> last_assignment_;
+  /// Memory-bandwidth contention factor applied to the next tick.
+  double memory_contention_ = 1.0;
+  /// Free-running IMC counters.
+  std::uint64_t imc_reads_ = 0;
+  std::uint64_t imc_writes_ = 0;
+  /// DRAM-domain energy (J): idle refresh floor plus per-byte access
+  /// cost, integrated per tick.
+  double dram_energy_j_ = 0.0;
+  TraceRecorder* tracer_ = nullptr;
+};
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,126 @@
+// Mirror of the perf_event kernel ABI subset the library uses.
+//
+// We define our own structures rather than including <linux/perf_event.h>
+// so the simulated backend and the real-syscall backend share one
+// vocabulary; the linuxkernel module translates these to the native ABI.
+// Semantics follow the kernel documentation the paper builds on:
+//  * attr.type selects a PMU; heterogeneous systems export one dynamic
+//    PMU type per core type (§IV-A).
+//  * an event follows its target thread, but the kernel only lets it
+//    count while the thread runs on a core whose type matches the
+//    event's PMU.
+//  * event groups are scheduled atomically and cannot span PMUs.
+//  * when a group set exceeds the PMU's counters, groups are multiplexed
+//    by rotation and reads report time_enabled/time_running for scaling.
+#pragma once
+
+#include <cstdint>
+
+#include "base/units.hpp"
+
+namespace hetpapi::simkernel {
+
+/// Built-in PMU type ids (match the Linux values for the static types;
+/// dynamic PMU ids are allocated above these at boot, as on real
+/// systems).
+enum PerfType : std::uint32_t {
+  kPerfTypeHardware = 0,
+  kPerfTypeSoftware = 1,
+  kPerfTypeTracepoint = 2,
+  kPerfTypeHwCache = 3,
+  kPerfTypeRaw = 4,
+  kPerfTypeBreakpoint = 5,
+  kPerfTypeFirstDynamic = 6,
+};
+
+/// What a counter counts. The simulated cores produce these quantities
+/// directly; per-PMU event tables (pfm module) map event names/configs
+/// onto them with per-core-type availability (e.g. topdown slots exist
+/// only on the P-core PMU, as the paper notes).
+enum class CountKind : std::uint64_t {
+  kInstructions = 0,
+  kCycles,
+  kRefCycles,        // cycles at base frequency (TSC-like)
+  kLlcReferences,
+  kLlcMisses,
+  kBranches,
+  kBranchMisses,
+  kStalledCycles,
+  kFlopsDp,          // scalar+vector double-precision flops
+  kTopdownSlots,     // P-core only
+  kTopdownRetiring,  // P-core only
+  kTopdownBadSpec,   // P-core only
+  kContextSwitches,  // software event
+  kMigrations,       // software event
+  kTaskClockNs,      // software event
+  kEnergyPkgUj,      // RAPL package energy, microjoules
+  kEnergyCoresUj,    // RAPL core-domain energy
+  kEnergyDramUj,     // RAPL DRAM-domain energy
+  kUncoreCasReads,   // IMC read CAS commands
+  kUncoreCasWrites,  // IMC write CAS commands
+  kCount,
+};
+
+inline constexpr std::uint64_t kNumCountKinds =
+    static_cast<std::uint64_t>(CountKind::kCount);
+
+/// attr.read_format bits (subset).
+enum ReadFormat : std::uint64_t {
+  kFormatTotalTimeEnabled = 1u << 0,
+  kFormatTotalTimeRunning = 1u << 1,
+  kFormatId = 1u << 2,
+  kFormatGroup = 1u << 3,
+};
+
+/// perf_event_attr equivalent.
+struct PerfEventAttr {
+  std::uint32_t type = 0;    // PMU type id
+  std::uint64_t config = 0;  // PMU-specific event encoding
+  std::uint64_t read_format = 0;
+  /// Sampling: an overflow notification fires every `sample_period`
+  /// counts (0 = pure counting mode). The PAPI layer builds its
+  /// PAPI_overflow support on this, period, like the real library does
+  /// with the kernel's signal delivery.
+  std::uint64_t sample_period = 0;
+  bool disabled = false;     // start disabled (enable via ioctl)
+  bool inherit = false;
+  bool pinned = false;       // must always be on the PMU or error out
+  bool exclude_kernel = false;
+  bool exclude_idle = false;
+};
+
+/// One event's read value.
+struct PerfValue {
+  std::uint64_t value = 0;
+  std::uint64_t time_enabled_ns = 0;
+  std::uint64_t time_running_ns = 0;
+
+  /// Multiplex-scaled estimate, as PAPI and perf compute it.
+  double scaled() const {
+    if (time_running_ns == 0) return 0.0;
+    return static_cast<double>(value) *
+           (static_cast<double>(time_enabled_ns) /
+            static_cast<double>(time_running_ns));
+  }
+};
+
+/// ioctl requests (names follow the kernel's).
+enum class PerfIoctl {
+  kEnable,
+  kDisable,
+  kReset,
+};
+
+/// ioctl flags.
+enum PerfIoctlFlags : std::uint32_t {
+  kIocFlagNone = 0,
+  kIocFlagGroup = 1,  // apply to the whole group
+};
+
+/// perf_event_open flags (subset; we accept and ignore CLOEXEC).
+enum PerfOpenFlags : std::uint64_t {
+  kOpenFlagNone = 0,
+  kOpenFlagFdCloexec = 1u << 3,
+};
+
+}  // namespace hetpapi::simkernel

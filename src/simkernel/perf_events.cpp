@@ -1,0 +1,513 @@
+#include "simkernel/perf_events.hpp"
+
+#include <algorithm>
+
+namespace hetpapi::simkernel {
+
+PerfSubsystem::PerfSubsystem(const PmuRegistry* pmus, Config config)
+    : pmus_(pmus), config_(config) {}
+
+PerfSubsystem::EventObj* PerfSubsystem::find(int fd) {
+  const auto it = events_.find(fd);
+  return it == events_.end() ? nullptr : &it->second;
+}
+
+const PerfSubsystem::EventObj* PerfSubsystem::find(int fd) const {
+  const auto it = events_.find(fd);
+  return it == events_.end() ? nullptr : &it->second;
+}
+
+PerfSubsystem::Context& PerfSubsystem::context_of(const EventObj& ev) {
+  return contexts_[{scope_key(ev.tid, ev.cpu), ev.pmu->type_id}];
+}
+
+int PerfSubsystem::gp_counters_needed(const EventObj& leader) const {
+  const auto needs_gp = [&](const EventObj& ev) {
+    if (ev.pmu->pmu_class == PmuClass::kSoftware) return false;
+    return !ev.pmu->is_fixed(ev.kind);
+  };
+  int needed = needs_gp(leader) ? 1 : 0;
+  for (int sib_fd : leader.siblings) {
+    const EventObj* sib = find(sib_fd);
+    if (sib != nullptr && needs_gp(*sib)) ++needed;
+  }
+  return needed;
+}
+
+Expected<int> PerfSubsystem::open(const PerfEventAttr& attr, Tid tid, int cpu,
+                                  int group_fd, std::uint64_t flags,
+                                  const PackageCounters& pkg, SimTime now) {
+  (void)flags;  // only FD_CLOEXEC is defined and it is a no-op here
+  if (static_cast<int>(events_.size()) >= config_.max_open_fds) {
+    return make_error(StatusCode::kNoMemory, "fd table full");
+  }
+  const PmuDesc* pmu = pmus_->find_by_type(attr.type);
+  if (pmu == nullptr) {
+    // ENOENT: no PMU with this type id (e.g. asking for cpu_atom on a
+    // traditional machine).
+    return make_error(StatusCode::kNotFound,
+                      "no PMU with type " + std::to_string(attr.type));
+  }
+  if (attr.config >= kNumCountKinds) {
+    return make_error(StatusCode::kInvalidArgument, "config out of range");
+  }
+  const auto kind = static_cast<CountKind>(attr.config);
+  if (!pmu->supports(kind)) {
+    // The "event does not exist on this core type" case (§IV-A), e.g.
+    // topdown slots on the E-core PMU.
+    return make_error(StatusCode::kNotFound,
+                      pmu->sysfs_name + " does not implement this event");
+  }
+
+  // Scope validation.
+  if (tid < 0 && cpu < 0) {
+    return make_error(StatusCode::kInvalidArgument, "need a tid or a cpu");
+  }
+  switch (pmu->pmu_class) {
+    case PmuClass::kRapl:
+    case PmuClass::kUncore:
+      // Package-scope PMUs reject task binding (EINVAL on real kernels).
+      if (tid >= 0) {
+        return make_error(StatusCode::kInvalidArgument,
+                          pmu->sysfs_name + " events are cpu-scoped only");
+      }
+      [[fallthrough]];
+    case PmuClass::kCore:
+      if (cpu >= 0 &&
+          std::find(pmu->cpus.begin(), pmu->cpus.end(), cpu) ==
+              pmu->cpus.end()) {
+        // Binding a cpu_atom event to a P-core cpu: ENXIO-equivalent.
+        return make_error(StatusCode::kInvalidArgument,
+                          "cpu " + std::to_string(cpu) + " not served by " +
+                              pmu->sysfs_name);
+      }
+      break;
+    case PmuClass::kSoftware:
+      break;
+  }
+
+  EventObj ev;
+  ev.attr = attr;
+  ev.pmu = pmu;
+  ev.kind = kind;
+  ev.tid = tid;
+  ev.cpu = cpu;
+
+  if (group_fd >= 0) {
+    EventObj* leader = find(group_fd);
+    if (leader == nullptr) {
+      return make_error(StatusCode::kInvalidArgument, "group_fd not open");
+    }
+    if (!leader->is_leader()) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "group_fd is not a group leader");
+    }
+    if (leader->tid != tid || leader->cpu != cpu) {
+      return make_error(StatusCode::kInvalidArgument,
+                        "group members must share the leader's scope");
+    }
+    // The restriction at the heart of the paper: one group, one PMU.
+    // Software events are the kernel's sanctioned exception.
+    const bool sibling_is_software = pmu->pmu_class == PmuClass::kSoftware;
+    if (leader->pmu->type_id != pmu->type_id && !sibling_is_software) {
+      return make_error(
+          StatusCode::kInvalidArgument,
+          "cannot group " + pmu->sysfs_name + " event under " +
+              leader->pmu->sysfs_name + " leader: groups cannot span PMUs");
+    }
+    ev.leader_fd = group_fd;
+  }
+
+  const int fd = next_fd_++;
+  ev.fd = fd;
+  if (ev.leader_fd < 0) ev.leader_fd = fd;
+
+  ev.enabled = !attr.disabled;
+  if (ev.enabled) {
+    ev.enabled_at = now;
+    if (ev.is_readthrough()) ev.base = pkg.get(ev.kind);
+  }
+  if (attr.sample_period > 0) ev.next_overflow_at = attr.sample_period;
+
+  auto [it, inserted] = events_.emplace(fd, std::move(ev));
+  EventObj& stored = it->second;
+  if (stored.leader_fd != fd) {
+    find(stored.leader_fd)->siblings.push_back(fd);
+  } else {
+    Context& ctx = context_of(stored);
+    ctx.group_leaders.push_back(fd);
+  }
+  reschedule(context_of(stored));
+  return fd;
+}
+
+void PerfSubsystem::reschedule(Context& ctx) {
+  if (ctx.group_leaders.empty()) {
+    ctx.needs_rotation = false;
+    return;
+  }
+  // All groups in one context share a PMU by construction.
+  const EventObj* first = find(ctx.group_leaders.front());
+  if (first == nullptr) return;
+  const int total_gp = first->pmu->num_gp_counters;
+  int remaining = total_gp;
+  bool overflow = false;
+
+  // Pinned groups first, then rotation order.
+  std::vector<int> order;
+  order.reserve(ctx.group_leaders.size());
+  for (int fd : ctx.group_leaders) {
+    const EventObj* leader = find(fd);
+    if (leader != nullptr && leader->attr.pinned) order.push_back(fd);
+  }
+  for (int fd : ctx.group_leaders) {
+    const EventObj* leader = find(fd);
+    if (leader != nullptr && !leader->attr.pinned) order.push_back(fd);
+  }
+
+  for (int fd : order) {
+    EventObj* leader = find(fd);
+    if (leader == nullptr) continue;
+    const bool active = leader->enabled;
+    bool placed = false;
+    if (active) {
+      const int need = gp_counters_needed(*leader);
+      if (need <= remaining) {
+        remaining -= need;
+        placed = true;
+      } else {
+        overflow = true;
+      }
+    }
+    leader->scheduled = placed && leader->enabled;
+    for (int sib_fd : leader->siblings) {
+      EventObj* sib = find(sib_fd);
+      if (sib != nullptr) sib->scheduled = placed && sib->enabled;
+    }
+  }
+  ctx.needs_rotation = overflow;
+}
+
+void PerfSubsystem::rotate(SimTime now) {
+  for (auto& [key, ctx] : contexts_) {
+    if (!ctx.needs_rotation || ctx.group_leaders.size() < 2) continue;
+    if (now - ctx.last_rotation < config_.rotation_period) continue;
+    ctx.last_rotation = now;
+    // Skip pinned leaders: they never rotate out. Rotate the rest.
+    std::vector<int> pinned;
+    std::vector<int> flexible;
+    for (int fd : ctx.group_leaders) {
+      const EventObj* leader = find(fd);
+      if (leader != nullptr && leader->attr.pinned) {
+        pinned.push_back(fd);
+      } else {
+        flexible.push_back(fd);
+      }
+    }
+    if (flexible.size() >= 2) {
+      std::rotate(flexible.begin(), flexible.begin() + 1, flexible.end());
+    }
+    ctx.group_leaders = std::move(pinned);
+    ctx.group_leaders.insert(ctx.group_leaders.end(), flexible.begin(),
+                             flexible.end());
+    reschedule(ctx);
+  }
+}
+
+Status PerfSubsystem::do_ioctl_one(EventObj& ev, PerfIoctl op,
+                                   const PackageCounters& pkg, SimTime now) {
+  switch (op) {
+    case PerfIoctl::kEnable:
+      if (!ev.enabled) {
+        ev.enabled = true;
+        ev.enabled_at = now;
+        if (ev.is_readthrough()) ev.base = pkg.get(ev.kind);
+      }
+      return Status::ok();
+    case PerfIoctl::kDisable:
+      if (ev.enabled) {
+        if (ev.is_readthrough()) {
+          ev.value += pkg.get(ev.kind) - ev.base;
+          const SimDuration window = now - ev.enabled_at;
+          ev.time_enabled += window;
+          ev.time_running += window;
+        }
+        ev.enabled = false;
+      }
+      return Status::ok();
+    case PerfIoctl::kReset:
+      // Kernel semantics: RESET zeroes the count, not the times.
+      ev.value = 0;
+      if (ev.attr.sample_period > 0) {
+        ev.next_overflow_at = ev.attr.sample_period;  // re-arm sampling
+      }
+      if (ev.is_readthrough() && ev.enabled) ev.base = pkg.get(ev.kind);
+      return Status::ok();
+  }
+  return make_error(StatusCode::kInvalidArgument, "bad ioctl");
+}
+
+Status PerfSubsystem::ioctl(int fd, PerfIoctl op, std::uint32_t flags,
+                            const PackageCounters& pkg, SimTime now) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  HETPAPI_RETURN_IF_ERROR(do_ioctl_one(*ev, op, pkg, now));
+  if ((flags & kIocFlagGroup) != 0 && ev->is_leader()) {
+    for (int sib_fd : ev->siblings) {
+      EventObj* sib = find(sib_fd);
+      if (sib != nullptr) {
+        HETPAPI_RETURN_IF_ERROR(do_ioctl_one(*sib, op, pkg, now));
+      }
+    }
+  }
+  if (op == PerfIoctl::kEnable || op == PerfIoctl::kDisable) {
+    reschedule(context_of(*ev));
+  }
+  return Status::ok();
+}
+
+PerfValue PerfSubsystem::snapshot(const EventObj& ev,
+                                  const PackageCounters& pkg,
+                                  SimTime now) const {
+  PerfValue out;
+  out.value = ev.value;
+  out.time_enabled_ns =
+      static_cast<std::uint64_t>(ev.time_enabled.count());
+  out.time_running_ns =
+      static_cast<std::uint64_t>(ev.time_running.count());
+  if (ev.is_readthrough() && ev.enabled) {
+    out.value += pkg.get(ev.kind) - ev.base;
+    const auto window =
+        static_cast<std::uint64_t>((now - ev.enabled_at).count());
+    out.time_enabled_ns += window;
+    out.time_running_ns += window;
+  }
+  return out;
+}
+
+Expected<PerfValue> PerfSubsystem::read(int fd, const PackageCounters& pkg,
+                                        SimTime now) const {
+  const EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  return snapshot(*ev, pkg, now);
+}
+
+Expected<std::vector<PerfValue>> PerfSubsystem::read_group(
+    int fd, const PackageCounters& pkg, SimTime now) const {
+  const EventObj* leader = find(fd);
+  if (leader == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (!leader->is_leader()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "group read requires the leader fd");
+  }
+  std::vector<PerfValue> out;
+  out.push_back(snapshot(*leader, pkg, now));
+  for (int sib_fd : leader->siblings) {
+    const EventObj* sib = find(sib_fd);
+    if (sib != nullptr) out.push_back(snapshot(*sib, pkg, now));
+  }
+  return out;
+}
+
+Expected<std::uint64_t> PerfSubsystem::rdpmc(int fd) const {
+  const EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->is_readthrough() ||
+      ev->pmu->pmu_class == PmuClass::kSoftware) {
+    return make_error(StatusCode::kNotSupported,
+                      "rdpmc only serves core PMU counters");
+  }
+  if (!ev->enabled || !ev->scheduled) {
+    // The mmap page publishes index 0 when the event is not resident;
+    // userspace must fall back to read(2).
+    return make_error(StatusCode::kNotRunning,
+                      "event not resident on a counter");
+  }
+  return ev->value;
+}
+
+Status PerfSubsystem::close(int fd) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->is_leader()) {
+    // Kernel behaviour: closing a leader promotes each sibling to a
+    // singleton group in the same context.
+    Context& ctx = context_of(*ev);
+    std::erase(ctx.group_leaders, fd);
+    for (int sib_fd : ev->siblings) {
+      EventObj* sib = find(sib_fd);
+      if (sib != nullptr) {
+        sib->leader_fd = sib_fd;
+        ctx.group_leaders.push_back(sib_fd);
+      }
+    }
+    events_.erase(fd);
+    reschedule(ctx);
+    return Status::ok();
+  }
+  // Detach from leader.
+  EventObj* leader = find(ev->leader_fd);
+  if (leader != nullptr) std::erase(leader->siblings, fd);
+  Context& ctx = context_of(*ev);
+  events_.erase(fd);
+  reschedule(ctx);
+  return Status::ok();
+}
+
+void PerfSubsystem::on_execution(Tid tid, Tid leader, int cpu,
+                                 cpumodel::CoreTypeId core_type,
+                                 const ExecCounts& counts, SimDuration dt,
+                                 SimTime now) {
+  for (auto& [fd, ev] : events_) {
+    if (!ev.enabled) continue;
+    const bool direct = ev.tid == tid;
+    const bool inherited = ev.attr.inherit && ev.tid == leader;
+    if (!direct && !inherited) continue;
+    if (ev.cpu >= 0 && ev.cpu != cpu) continue;
+    if (ev.pmu->pmu_class == PmuClass::kSoftware) {
+      ev.time_enabled += dt;
+      ev.time_running += dt;
+      if (ev.kind == CountKind::kTaskClockNs) {
+        ev.value += static_cast<std::uint64_t>(dt.count());
+      }
+      continue;
+    }
+    if (ev.pmu->pmu_class != PmuClass::kCore) continue;
+    if (ev.pmu->core_type != core_type) continue;
+    apply_counts(ev, counts, dt, dt, cpu, core_type, tid, now);
+  }
+}
+
+void PerfSubsystem::on_cpu_execution(int cpu, cpumodel::CoreTypeId core_type,
+                                     const ExecCounts& counts,
+                                     SimDuration dt, Tid tid, SimTime now) {
+  for (auto& [fd, ev] : events_) {
+    if (ev.tid >= 0 || !ev.enabled) continue;
+    if (ev.cpu != cpu) continue;
+    if (ev.pmu->pmu_class != PmuClass::kCore) continue;
+    if (ev.pmu->core_type != core_type) continue;
+    apply_counts(ev, counts, dt, dt, cpu, core_type, tid, now);
+  }
+}
+
+void PerfSubsystem::apply_counts(EventObj& ev, const ExecCounts& counts,
+                                 SimDuration wall, SimDuration running,
+                                 int cpu, cpumodel::CoreTypeId core_type,
+                                 Tid tid, SimTime now) {
+  ev.time_enabled += wall;
+  if (!ev.scheduled) return;
+  ev.time_running += running;
+  ev.value += counts.get(ev.kind);
+
+  // Sampling: deliver one notification per slice that crosses period
+  // boundaries (coalesced, as an interrupt storm would be), advancing
+  // the threshold past the current value.
+  if (ev.attr.sample_period > 0 && ev.value >= ev.next_overflow_at) {
+    const std::uint64_t periods =
+        (ev.value - ev.next_overflow_at) / ev.attr.sample_period + 1;
+    ev.total_overflows += periods;
+    ev.next_overflow_at += periods * ev.attr.sample_period;
+    // Ring-buffer records: one per period, coalesced at the slice end
+    // (interrupt storms coalesce the same way on hardware).
+    for (std::uint64_t i = 0; i < periods; ++i) {
+      if (ev.sample_ring.size() >= config_.sample_ring_capacity) {
+        ev.samples_lost += periods - i;
+        break;
+      }
+      SampleRecord record;
+      record.time_ns = static_cast<std::uint64_t>(now.since_epoch.count());
+      record.cpu = cpu;
+      record.tid = tid;
+      record.core_type = core_type;
+      record.period = ev.attr.sample_period;
+      ev.sample_ring.push_back(record);
+    }
+    if (ev.overflow_handler) {
+      OverflowInfo info;
+      info.fd = ev.fd;
+      info.value = ev.value;
+      info.overflows = periods;
+      info.cpu = cpu;
+      info.core_type = core_type;
+      ev.overflow_handler(info);
+    }
+  }
+}
+
+Status PerfSubsystem::set_overflow_handler(int fd, OverflowHandler handler) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->attr.sample_period == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "event was opened in counting mode (no sample_period)");
+  }
+  ev->overflow_handler = std::move(handler);
+  return Status::ok();
+}
+
+Expected<std::uint64_t> PerfSubsystem::overflow_count(int fd) const {
+  const EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  return ev->total_overflows;
+}
+
+Expected<std::vector<PerfSubsystem::SampleRecord>> PerfSubsystem::read_samples(
+    int fd) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->attr.sample_period == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "event is in counting mode: no sample ring");
+  }
+  std::vector<SampleRecord> out;
+  out.swap(ev->sample_ring);
+  return out;
+}
+
+Expected<std::uint64_t> PerfSubsystem::lost_samples(int fd) const {
+  const EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  return ev->samples_lost;
+}
+
+void PerfSubsystem::on_software(Tid tid, CountKind kind, std::uint64_t delta) {
+  for (auto& [fd, ev] : events_) {
+    if (ev.tid != tid || !ev.enabled) continue;
+    if (ev.pmu->pmu_class != PmuClass::kSoftware) continue;
+    if (ev.kind != kind) continue;
+    ev.value += delta;
+  }
+}
+
+bool PerfSubsystem::is_scheduled(int fd) const {
+  const EventObj* ev = find(fd);
+  return ev != nullptr && ev->scheduled;
+}
+
+int PerfSubsystem::multiplexing_contexts() const {
+  int count = 0;
+  for (const auto& [key, ctx] : contexts_) {
+    if (ctx.needs_rotation) ++count;
+  }
+  return count;
+}
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,242 @@
+// Simulated perf_event subsystem.
+//
+// Implements the kernel semantics the paper's PAPI changes are written
+// against (§IV-A):
+//  * perf_event_open(attr, tid, cpu, group_fd) with attr.type selecting
+//    a PMU; on hybrid machines each core type is its own PMU.
+//  * A thread-bound event follows its thread across context switches and
+//    migrations, but *only counts while the thread runs on a core whose
+//    type matches the event's PMU* — counting retired instructions
+//    across all core types therefore requires one event per core PMU.
+//  * Event groups schedule atomically on one PMU; a sibling whose PMU
+//    differs from the leader's is rejected (software events are the
+//    kernel-sanctioned exception and may join any group).
+//  * When the groups on a context need more counters than the PMU has,
+//    they are multiplexed by rotation; reads report time_enabled and
+//    time_running so users can scale estimates.
+//  * RAPL / uncore PMUs are package-scoped: events bind to a cpu, not a
+//    thread, and read free-running hardware registers.
+//  * An mmap'd rdpmc fast path serves userspace reads without a syscall
+//    while the event is resident on a counter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/units.hpp"
+#include "simkernel/perf_abi.hpp"
+#include "simkernel/pmu.hpp"
+#include "simkernel/program.hpp"
+#include "simkernel/thread.hpp"
+
+namespace hetpapi::simkernel {
+
+/// Free-running package counters the perf layer reads through (RAPL
+/// energy, IMC traffic). Provided by the kernel each time it is needed.
+struct PackageCounters {
+  std::uint64_t energy_pkg_uj = 0;
+  std::uint64_t energy_cores_uj = 0;
+  std::uint64_t energy_dram_uj = 0;
+  std::uint64_t imc_cas_reads = 0;
+  std::uint64_t imc_cas_writes = 0;
+
+  std::uint64_t get(CountKind kind) const {
+    switch (kind) {
+      case CountKind::kEnergyPkgUj: return energy_pkg_uj;
+      case CountKind::kEnergyCoresUj: return energy_cores_uj;
+      case CountKind::kEnergyDramUj: return energy_dram_uj;
+      case CountKind::kUncoreCasReads: return imc_cas_reads;
+      case CountKind::kUncoreCasWrites: return imc_cas_writes;
+      default: return 0;
+    }
+  }
+};
+
+class PerfSubsystem {
+ public:
+  struct Config {
+    /// Multiplex rotation period (kernel uses the scheduler tick).
+    SimDuration rotation_period{std::chrono::milliseconds(1)};
+    int max_open_fds = 4096;
+    /// Per-event sample ring capacity (the mmap buffer size, in
+    /// records). When full, further samples are dropped and counted as
+    /// lost — perf's overwrite-less semantics.
+    std::size_t sample_ring_capacity = 4096;
+  };
+
+  PerfSubsystem(const PmuRegistry* pmus, Config config);
+  explicit PerfSubsystem(const PmuRegistry* pmus)
+      : PerfSubsystem(pmus, Config{}) {}
+
+  /// perf_event_open(2). `tid` >= 0 binds to a thread (cpu must be -1 or
+  /// restricts to one cpu); tid == -1 with cpu >= 0 is a cpu-scoped
+  /// event (needed for RAPL/uncore). Returns the new fd.
+  Expected<int> open(const PerfEventAttr& attr, Tid tid, int cpu,
+                     int group_fd, std::uint64_t flags,
+                     const PackageCounters& pkg, SimTime now);
+
+  Status ioctl(int fd, PerfIoctl op, std::uint32_t flags,
+               const PackageCounters& pkg, SimTime now);
+
+  /// read(2) on a single event fd.
+  Expected<PerfValue> read(int fd, const PackageCounters& pkg,
+                           SimTime now) const;
+
+  /// read(2) with PERF_FORMAT_GROUP on the leader: leader first, then
+  /// siblings in creation order.
+  Expected<std::vector<PerfValue>> read_group(int fd,
+                                              const PackageCounters& pkg,
+                                              SimTime now) const;
+
+  Status close(int fd);
+
+  /// rdpmc-style userspace read: succeeds only while the event is
+  /// resident on a hardware counter of the core its thread is currently
+  /// on; callers must fall back to read(2) otherwise — the exact contract
+  /// PAPI's fast-read path navigates (§V-5).
+  Expected<std::uint64_t> rdpmc(int fd) const;
+
+  // --- Kernel-side hooks -------------------------------------------------
+
+  /// Attribute one execution slice of `tid` on a core of `core_type`.
+  /// time_enabled advances only while the thread runs on a matching core
+  /// type, so unscaled hybrid counts sum correctly (the convention the
+  /// paper's summed P+E validation relies on).
+  /// `leader` is the executing thread's process-group leader: events
+  /// opened with attr.inherit on the leader match every group member.
+  void on_execution(Tid tid, Tid leader, int cpu,
+                    cpumodel::CoreTypeId core_type, const ExecCounts& counts,
+                    SimDuration dt, SimTime now);
+
+  /// Attribute cpu-scope execution (for cpu-bound core events).
+  void on_cpu_execution(int cpu, cpumodel::CoreTypeId core_type,
+                        const ExecCounts& counts, SimDuration dt, Tid tid,
+                        SimTime now);
+
+  /// Advance software-event values for a slice of `tid`.
+  void on_software(Tid tid, CountKind kind, std::uint64_t delta);
+
+  /// Rotate multiplexed contexts whose period elapsed.
+  void rotate(SimTime now);
+
+  /// Number of live events (tests / leak checks).
+  std::size_t open_event_count() const { return events_.size(); }
+
+  /// True if the event is currently scheduled on a counter.
+  bool is_scheduled(int fd) const;
+
+  /// Count of groups currently multiplexing (diagnostics).
+  int multiplexing_contexts() const;
+
+  /// Overflow delivery for sampling events (attr.sample_period > 0): the
+  /// handler runs synchronously when the counter crosses a period
+  /// boundary — the simulator's stand-in for the SIGIO the kernel sends.
+  struct OverflowInfo {
+    int fd = -1;
+    std::uint64_t value = 0;      // counter value at delivery
+    std::uint64_t overflows = 1;  // periods crossed in this slice
+    int cpu = -1;                 // where the thread was running
+    cpumodel::CoreTypeId core_type = 0;
+  };
+  using OverflowHandler = std::function<void(const OverflowInfo&)>;
+  Status set_overflow_handler(int fd, OverflowHandler handler);
+
+  /// Total overflows recorded for an event.
+  Expected<std::uint64_t> overflow_count(int fd) const;
+
+  /// One PERF_RECORD_SAMPLE-style record, written to the event's ring
+  /// buffer at each period crossing.
+  struct SampleRecord {
+    std::uint64_t time_ns = 0;
+    int cpu = -1;
+    Tid tid = kInvalidTid;
+    cpumodel::CoreTypeId core_type = 0;
+    std::uint64_t period = 0;  // counts represented by this sample
+  };
+
+  /// Drain the event's sample ring (the mmap-buffer read). Only
+  /// sampling-mode events have a ring.
+  Expected<std::vector<SampleRecord>> read_samples(int fd);
+
+  /// Samples dropped because the ring was full (PERF_RECORD_LOST).
+  Expected<std::uint64_t> lost_samples(int fd) const;
+
+ private:
+  struct EventObj {
+    int fd = -1;
+    PerfEventAttr attr;
+    const PmuDesc* pmu = nullptr;
+    CountKind kind = CountKind::kInstructions;
+    Tid tid = kInvalidTid;  // -1 for cpu scope
+    int cpu = -1;           // -1 for any cpu
+    int leader_fd = -1;     // == fd for leaders
+    std::vector<int> siblings;  // leader only, creation order
+    bool enabled = false;
+    bool scheduled = false;  // resident on a counter right now
+    std::uint64_t value = 0;
+    SimDuration time_enabled{0};
+    SimDuration time_running{0};
+    /// Snapshot base for read-through package counters.
+    std::uint64_t base = 0;
+    SimTime enabled_at{};
+    /// Sampling state.
+    std::uint64_t next_overflow_at = 0;  // value threshold
+    std::uint64_t total_overflows = 0;
+    OverflowHandler overflow_handler;
+    std::vector<SampleRecord> sample_ring;
+    std::uint64_t samples_lost = 0;
+
+    bool is_leader() const { return leader_fd == fd; }
+    bool is_readthrough() const {
+      return pmu->pmu_class == PmuClass::kRapl ||
+             pmu->pmu_class == PmuClass::kUncore;
+    }
+  };
+
+  /// Multiplexing context: all groups of one (scope, pmu) pair.
+  struct Context {
+    std::vector<int> group_leaders;  // rotation order
+    bool needs_rotation = false;
+    SimTime last_rotation{};
+  };
+  using ContextKey = std::pair<std::int64_t, std::uint32_t>;  // scope, pmu
+
+  static std::int64_t scope_key(Tid tid, int cpu) {
+    // Thread scopes are positive, cpu scopes negative (offset to keep
+    // cpu 0 distinct).
+    return tid >= 0 ? static_cast<std::int64_t>(tid)
+                    : -1000 - static_cast<std::int64_t>(cpu);
+  }
+
+  EventObj* find(int fd);
+  const EventObj* find(int fd) const;
+  Context& context_of(const EventObj& ev);
+
+  /// Re-run counter scheduling for a context: greedily place groups in
+  /// rotation order, pinned leaders first; sets `scheduled` flags.
+  void reschedule(Context& ctx);
+
+  int gp_counters_needed(const EventObj& leader) const;
+
+  PerfValue snapshot(const EventObj& ev, const PackageCounters& pkg,
+                     SimTime now) const;
+
+  void apply_counts(EventObj& ev, const ExecCounts& counts,
+                    SimDuration wall, SimDuration running, int cpu,
+                    cpumodel::CoreTypeId core_type, Tid tid, SimTime now);
+
+  Status do_ioctl_one(EventObj& ev, PerfIoctl op, const PackageCounters& pkg,
+                      SimTime now);
+
+  const PmuRegistry* pmus_;
+  Config config_;
+  std::map<int, EventObj> events_;
+  std::map<ContextKey, Context> contexts_;
+  int next_fd_ = 3;
+};
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,119 @@
+#include "simkernel/pmu.hpp"
+
+namespace hetpapi::simkernel {
+
+std::vector<CountKind> baseline_core_kinds() {
+  return {
+      CountKind::kInstructions, CountKind::kCycles,
+      CountKind::kRefCycles,    CountKind::kLlcReferences,
+      CountKind::kLlcMisses,    CountKind::kBranches,
+      CountKind::kBranchMisses, CountKind::kStalledCycles,
+      CountKind::kFlopsDp,
+  };
+}
+
+PmuRegistry PmuRegistry::build(const cpumodel::MachineSpec& machine) {
+  PmuRegistry reg;
+  // The software PMU keeps its static type id.
+  PmuDesc sw;
+  sw.type_id = kPerfTypeSoftware;
+  sw.pmu_class = PmuClass::kSoftware;
+  sw.sysfs_name = "software";
+  sw.num_gp_counters = 64;  // software events never multiplex
+  sw.num_fixed_counters = 0;
+  sw.supported = {CountKind::kContextSwitches, CountKind::kMigrations,
+                  CountKind::kTaskClockNs};
+  for (const cpumodel::CpuSlot& slot : machine.cpus) sw.cpus.push_back(slot.cpu);
+  reg.pmus_.push_back(sw);
+
+  // Dynamic ids: the kernel hands these out in registration order; the
+  // values below match what hybrid x86 systems typically show
+  // (cpu_core=4 is grandfathered onto the old PERF_TYPE_RAW slot).
+  std::uint32_t next_dynamic = kPerfTypeFirstDynamic + 2;  // 8
+  for (std::size_t t = 0; t < machine.core_types.size(); ++t) {
+    const cpumodel::CoreTypeSpec& type = machine.core_types[t];
+    PmuDesc core;
+    core.pmu_class = PmuClass::kCore;
+    core.sysfs_name = type.pmu_sysfs_name;
+    core.core_type = static_cast<cpumodel::CoreTypeId>(t);
+    core.num_gp_counters = type.num_gp_counters;
+    core.num_fixed_counters = type.num_fixed_counters;
+    core.supported = baseline_core_kinds();
+    // Intel topdown events live only on the P-core PMU (§I-C of the
+    // paper gives exactly this example).
+    if (machine.vendor == cpumodel::Vendor::kIntel &&
+        type.num_fixed_counters >= 4) {
+      core.supported.push_back(CountKind::kTopdownSlots);
+      core.supported.push_back(CountKind::kTopdownRetiring);
+      core.supported.push_back(CountKind::kTopdownBadSpec);
+    }
+    core.cpus = machine.cpus_of_type(static_cast<cpumodel::CoreTypeId>(t));
+    if (!machine.is_hybrid() && machine.vendor == cpumodel::Vendor::kIntel) {
+      core.type_id = kPerfTypeRaw;  // the traditional single "cpu" PMU slot
+    } else if (machine.is_hybrid() &&
+               machine.vendor == cpumodel::Vendor::kIntel && t == 0) {
+      core.type_id = kPerfTypeRaw;  // cpu_core inherits type 4 on hybrid x86
+    } else {
+      core.type_id = next_dynamic++;
+    }
+    reg.pmus_.push_back(core);
+  }
+
+  if (machine.rapl.present) {
+    PmuDesc rapl;
+    rapl.pmu_class = PmuClass::kRapl;
+    rapl.sysfs_name = "power";
+    rapl.type_id = next_dynamic++;
+    rapl.num_gp_counters = 8;
+    rapl.num_fixed_counters = 0;
+    rapl.supported = {CountKind::kEnergyPkgUj, CountKind::kEnergyCoresUj,
+                      CountKind::kEnergyDramUj};
+    rapl.cpus = {0};  // package scope: counts on one cpu per package
+    reg.pmus_.push_back(rapl);
+
+    PmuDesc imc;
+    imc.pmu_class = PmuClass::kUncore;
+    imc.sysfs_name = "uncore_imc_0";
+    imc.type_id = next_dynamic++;
+    imc.num_gp_counters = 5;
+    imc.num_fixed_counters = 0;
+    imc.supported = {CountKind::kUncoreCasReads, CountKind::kUncoreCasWrites};
+    imc.cpus = {0};
+    reg.pmus_.push_back(imc);
+  }
+  return reg;
+}
+
+const PmuDesc* PmuRegistry::find_by_type(std::uint32_t type_id) const {
+  for (const PmuDesc& pmu : pmus_) {
+    if (pmu.type_id == type_id) return &pmu;
+  }
+  return nullptr;
+}
+
+const PmuDesc* PmuRegistry::find_by_name(std::string_view sysfs_name) const {
+  for (const PmuDesc& pmu : pmus_) {
+    if (pmu.sysfs_name == sysfs_name) return &pmu;
+  }
+  return nullptr;
+}
+
+const PmuDesc* PmuRegistry::core_pmu_for_cpu(int cpu) const {
+  for (const PmuDesc& pmu : pmus_) {
+    if (pmu.pmu_class != PmuClass::kCore) continue;
+    for (int c : pmu.cpus) {
+      if (c == cpu) return &pmu;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const PmuDesc*> PmuRegistry::core_pmus() const {
+  std::vector<const PmuDesc*> out;
+  for (const PmuDesc& pmu : pmus_) {
+    if (pmu.pmu_class == PmuClass::kCore) out.push_back(&pmu);
+  }
+  return out;
+}
+
+}  // namespace hetpapi::simkernel

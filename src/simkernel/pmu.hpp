@@ -1,0 +1,90 @@
+// PMU registry: the set of performance-monitoring units the simulated
+// kernel exports, with their dynamic type ids and sysfs names.
+//
+// On a hybrid machine the kernel registers one core PMU per core type
+// ("cpu_core"/"cpu_atom" on Intel, per-cluster armv8 PMUs on ARM), plus
+// the usual software, RAPL and uncore PMUs. Each gets a dynamic type id
+// and a /sys/devices/<name>/ directory with "type" and "cpus" files —
+// precisely the discovery surface the paper's detection section works
+// through.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/perf_abi.hpp"
+
+namespace hetpapi::simkernel {
+
+enum class PmuClass {
+  kCore,      // per-core-type hardware PMU
+  kSoftware,  // kernel software events (always-on, any cpu)
+  kRapl,      // energy counters, package scope, cpu-bound not thread-bound
+  kUncore,    // memory-controller counters, package scope
+};
+
+struct PmuDesc {
+  std::uint32_t type_id = 0;
+  PmuClass pmu_class = PmuClass::kCore;
+  std::string sysfs_name;  // /sys/devices/<sysfs_name>
+  /// For core PMUs: which core type this PMU belongs to.
+  cpumodel::CoreTypeId core_type = -1;
+  /// Logical CPUs this PMU can count on (contents of the "cpus" file).
+  std::vector<int> cpus;
+  /// General-purpose counters available for scheduling (multiplexing
+  /// kicks in beyond this); fixed counters handled separately.
+  int num_gp_counters = 8;
+  int num_fixed_counters = 3;
+  /// CountKinds this PMU implements. An open() with a config outside
+  /// this list fails with EINVAL-equivalent, which is how "the event
+  /// might not exist at all there" (§IV-A) manifests.
+  std::vector<CountKind> supported;
+
+  bool supports(CountKind kind) const {
+    for (CountKind k : supported) {
+      if (k == kind) return true;
+    }
+    return false;
+  }
+
+  /// Fixed-counter kinds don't consume GP slots (cycles, instructions,
+  /// ref-cycles and — on P-cores — topdown slots).
+  bool is_fixed(CountKind kind) const {
+    switch (kind) {
+      case CountKind::kInstructions:
+      case CountKind::kCycles:
+      case CountKind::kRefCycles:
+        return num_fixed_counters >= 3;
+      case CountKind::kTopdownSlots:
+        return num_fixed_counters >= 4;
+      default:
+        return false;
+    }
+  }
+};
+
+/// Built at kernel boot from the machine spec.
+class PmuRegistry {
+ public:
+  static PmuRegistry build(const cpumodel::MachineSpec& machine);
+
+  const std::vector<PmuDesc>& all() const { return pmus_; }
+
+  const PmuDesc* find_by_type(std::uint32_t type_id) const;
+  const PmuDesc* find_by_name(std::string_view sysfs_name) const;
+  /// The core PMU covering a given logical CPU.
+  const PmuDesc* core_pmu_for_cpu(int cpu) const;
+  /// All core-class PMUs (one on homogeneous machines, 2+ on hybrid).
+  std::vector<const PmuDesc*> core_pmus() const;
+
+ private:
+  std::vector<PmuDesc> pmus_;
+};
+
+/// CountKinds every core PMU supports.
+std::vector<CountKind> baseline_core_kinds();
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,111 @@
+// The interface between the simulated kernel and the code a simulated
+// thread "runs".
+//
+// Programs are timing models, not instruction interpreters: when the
+// scheduler gives a thread a slice on some core, the kernel asks the
+// program to consume up to `budget` of core time and report the
+// microarchitectural activity (instructions, cache traffic, flops, ...)
+// that execution produced at the core's current frequency. Those counts
+// are the ground truth the perf_event layer attributes to whichever
+// events are live on that core — the same position hardware counters
+// occupy on a real machine.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "base/units.hpp"
+#include "cpumodel/types.hpp"
+#include "simkernel/perf_abi.hpp"
+
+namespace hetpapi::simkernel {
+
+/// What the kernel tells a program about where it is running.
+struct ExecContext {
+  const cpumodel::CoreTypeSpec* core_type = nullptr;
+  cpumodel::CoreTypeId core_type_id = 0;
+  int cpu = 0;
+  MegaHertz frequency{0};
+  SimTime now{};
+  /// Effective LLC miss latency multiplier from memory-bandwidth
+  /// contention this tick (1.0 = uncontended).
+  double memory_contention = 1.0;
+  Rng* rng = nullptr;
+};
+
+/// Microarchitectural activity produced by one execution slice.
+struct ExecCounts {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t ref_cycles = 0;
+  std::uint64_t llc_references = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t branch_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  std::uint64_t flops_dp = 0;
+
+  ExecCounts& operator+=(const ExecCounts& o) {
+    instructions += o.instructions;
+    cycles += o.cycles;
+    ref_cycles += o.ref_cycles;
+    llc_references += o.llc_references;
+    llc_misses += o.llc_misses;
+    branches += o.branches;
+    branch_misses += o.branch_misses;
+    stalled_cycles += o.stalled_cycles;
+    flops_dp += o.flops_dp;
+    return *this;
+  }
+
+  std::uint64_t get(CountKind kind) const;
+};
+
+/// Result of asking a program to run for up to `budget`.
+struct ExecSlice {
+  /// Core time actually consumed (<= budget). A program that has work
+  /// consumes the whole budget unless it finishes mid-slice.
+  SimDuration consumed{0};
+  ExecCounts counts;
+  /// Switching-activity factor of this slice for the power model
+  /// (SIMD-dense ~1.0, spin-wait ~0.1).
+  double activity = 0.8;
+  /// True if the program is out of work *for now* (e.g. waiting at a
+  /// barrier for other threads); it stays schedulable and will be polled
+  /// again. Waiting slices should still consume budget and may retire
+  /// spin-loop instructions.
+  bool waiting = false;
+  /// True if the program has finished; the thread exits.
+  bool finished = false;
+};
+
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Consume up to `budget` of core time. Must set slice.consumed > 0
+  /// unless finished; returning consumed == 0 with finished == false is
+  /// a contract violation the kernel turns into a thread abort.
+  virtual ExecSlice run(const ExecContext& ctx, SimDuration budget) = 0;
+};
+
+inline std::uint64_t ExecCounts::get(CountKind kind) const {
+  switch (kind) {
+    case CountKind::kInstructions: return instructions;
+    case CountKind::kCycles: return cycles;
+    case CountKind::kRefCycles: return ref_cycles;
+    case CountKind::kLlcReferences: return llc_references;
+    case CountKind::kLlcMisses: return llc_misses;
+    case CountKind::kBranches: return branches;
+    case CountKind::kBranchMisses: return branch_misses;
+    case CountKind::kStalledCycles: return stalled_cycles;
+    case CountKind::kFlopsDp: return flops_dp;
+    // Topdown slots ~ issue-width * cycles; retiring ~ instructions.
+    case CountKind::kTopdownSlots: return cycles * 6;
+    case CountKind::kTopdownRetiring: return instructions;
+    case CountKind::kTopdownBadSpec: return branch_misses * 20;
+    default: return 0;
+  }
+}
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,90 @@
+#include "simkernel/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetpapi::simkernel {
+
+Scheduler::Scheduler(const cpumodel::MachineSpec* machine, Config config,
+                     std::uint64_t seed)
+    : machine_(machine), config_(config), rng_(seed) {}
+
+double Scheduler::cpu_weight(int cpu) const {
+  const cpumodel::CoreTypeSpec& type = machine_->type_of(cpu);
+  switch (config_.policy) {
+    case PlacementPolicy::kUniform:
+      return 1.0;
+    case PlacementPolicy::kLittleFirst:
+      return 1.0 / std::pow(static_cast<double>(type.cpu_capacity),
+                            config_.capacity_bias_exponent);
+    case PlacementPolicy::kCapacityBiased:
+      break;
+  }
+  return std::pow(static_cast<double>(type.cpu_capacity),
+                  config_.capacity_bias_exponent);
+}
+
+int Scheduler::pick_cpu(const SimThread& thread,
+                        const std::vector<bool>& cpu_taken, bool force_move) {
+  // Cache affinity: stay put when allowed and not forced to move.
+  if (!force_move && thread.last_cpu >= 0 &&
+      thread.affinity.contains(thread.last_cpu) &&
+      !cpu_taken[static_cast<std::size_t>(thread.last_cpu)]) {
+    return thread.last_cpu;
+  }
+  // Weighted choice among free allowed cpus, biased toward capacity.
+  double total = 0.0;
+  for (int cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    if (!thread.affinity.contains(cpu) ||
+        cpu_taken[static_cast<std::size_t>(cpu)]) {
+      continue;
+    }
+    total += cpu_weight(cpu);
+  }
+  if (total <= 0.0) return -1;
+  double roll = rng_.uniform() * total;
+  for (int cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    if (!thread.affinity.contains(cpu) ||
+        cpu_taken[static_cast<std::size_t>(cpu)]) {
+      continue;
+    }
+    roll -= cpu_weight(cpu);
+    if (roll <= 0.0) return cpu;
+  }
+  return -1;  // unreachable given total > 0
+}
+
+void Scheduler::assign(const std::vector<SimThread*>& runnable,
+                       SimDuration dt, std::vector<Tid>& assignment) {
+  const auto num_cpus = static_cast<std::size_t>(machine_->num_cpus());
+  assignment.assign(num_cpus, kInvalidTid);
+  std::vector<bool> cpu_taken(num_cpus, false);
+
+  // Virtual-runtime order; stable sort keeps ties deterministic.
+  std::vector<SimThread*> order = runnable;
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SimThread* a, const SimThread* b) {
+                     return a->vruntime_ns < b->vruntime_ns;
+                   });
+
+  const double move_probability =
+      config_.migration_rate_hz * std::chrono::duration<double>(dt).count();
+  for (SimThread* thread : order) {
+    if (thread->state == ThreadState::kExited) continue;
+    const bool force_move = rng_.uniform() < move_probability;
+    const int cpu = pick_cpu(*thread, cpu_taken, force_move);
+    if (cpu < 0) continue;  // time-share: waits for a later tick
+    cpu_taken[static_cast<std::size_t>(cpu)] = true;
+    assignment[static_cast<std::size_t>(cpu)] = thread->tid;
+  }
+}
+
+void Scheduler::charge(SimThread& thread, int cpu,
+                       SimDuration consumed) const {
+  const cpumodel::CoreTypeSpec& type = machine_->type_of(cpu);
+  const double scale = 1024.0 / static_cast<double>(type.cpu_capacity);
+  thread.vruntime_ns +=
+      static_cast<double>(consumed.count()) * scale;
+}
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,77 @@
+#include "simkernel/trace.hpp"
+
+#include "base/strings.hpp"
+
+namespace hetpapi::simkernel {
+
+void TraceRecorder::begin_segment(int cpu, Tid tid, SimTime start) {
+  const auto it = open_.find(cpu);
+  if (it != open_.end()) {
+    // Implicit end of the previous occupant.
+    Segment finished = it->second;
+    finished.end = start;
+    if (finished.end > finished.start) segments_.push_back(finished);
+    open_.erase(it);
+  }
+  Segment segment;
+  segment.cpu = cpu;
+  segment.tid = tid;
+  segment.start = start;
+  open_[cpu] = segment;
+}
+
+void TraceRecorder::end_segment(int cpu, SimTime end) {
+  const auto it = open_.find(cpu);
+  if (it == open_.end()) return;
+  Segment finished = it->second;
+  finished.end = end;
+  if (finished.end > finished.start) segments_.push_back(finished);
+  open_.erase(it);
+}
+
+void TraceRecorder::set_thread_name(Tid tid, std::string name) {
+  thread_names_[tid] = std::move(name);
+}
+
+std::string TraceRecorder::to_chrome_json(
+    const std::map<int, std::string>& cpu_labels) const {
+  std::string out = "[\n";
+  bool first = true;
+  const auto label_of = [&](int cpu) {
+    const auto it = cpu_labels.find(cpu);
+    return it != cpu_labels.end() ? it->second : "cpu" + std::to_string(cpu);
+  };
+  const auto name_of = [&](Tid tid) {
+    const auto it = thread_names_.find(tid);
+    return it != thread_names_.end() ? it->second
+                                     : "tid " + std::to_string(tid);
+  };
+  // Row metadata: one "thread" per cpu under process 0.
+  std::map<int, bool> seen_cpu;
+  for (const Segment& segment : segments_) {
+    if (seen_cpu[segment.cpu]) continue;
+    seen_cpu[segment.cpu] = true;
+    if (!first) out += ",\n";
+    first = false;
+    out += str_format(
+        "  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,"
+        "\"args\":{\"name\":\"%s\"}}",
+        segment.cpu, label_of(segment.cpu).c_str());
+  }
+  for (const Segment& segment : segments_) {
+    if (!first) out += ",\n";
+    first = false;
+    const double ts_us =
+        static_cast<double>(segment.start.since_epoch.count()) / 1000.0;
+    const double dur_us =
+        static_cast<double>((segment.end - segment.start).count()) / 1000.0;
+    out += str_format(
+        "  {\"name\":\"%s\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":0,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f}",
+        name_of(segment.tid).c_str(), segment.cpu, ts_us, dur_us);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,53 @@
+// Scheduler timeline recording with chrome://tracing (Perfetto) export.
+//
+// Records which thread occupied which cpu over time — the visual
+// counterpart of the migration behaviour the paper's validation test
+// depends on. Load the JSON in chrome://tracing or ui.perfetto.dev; one
+// row per cpu, one slice per scheduling segment, colored by thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/units.hpp"
+#include "simkernel/thread.hpp"
+
+namespace hetpapi::simkernel {
+
+class TraceRecorder {
+ public:
+  /// Called by the kernel when `tid` starts running on `cpu`.
+  void begin_segment(int cpu, Tid tid, SimTime start);
+
+  /// Called when the cpu's current segment ends (switch-out or idle).
+  void end_segment(int cpu, SimTime end);
+
+  /// Give a thread a human-readable name for the export.
+  void set_thread_name(Tid tid, std::string name);
+
+  /// Number of completed segments (tests).
+  std::size_t segment_count() const { return segments_.size(); }
+
+  struct Segment {
+    int cpu = -1;
+    Tid tid = kInvalidTid;
+    SimTime start{};
+    SimTime end{};
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// Serialize to the Trace Event Format (JSON array of duration
+  /// events; ts/dur in microseconds as the format requires). `labels`
+  /// maps cpu -> row label; unnamed cpus get "cpuN".
+  std::string to_chrome_json(
+      const std::map<int, std::string>& cpu_labels = {}) const;
+
+ private:
+  std::map<int, Segment> open_;  // per-cpu in-flight segment
+  std::vector<Segment> segments_;
+  std::map<Tid, std::string> thread_names_;
+};
+
+}  // namespace hetpapi::simkernel

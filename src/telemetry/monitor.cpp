@@ -1,0 +1,138 @@
+#include "telemetry/monitor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetpapi::telemetry {
+
+void wait_for_thermal_settle(simkernel::SimKernel& kernel,
+                             double settle_temp_c, double timeout_s) {
+  const SimTime deadline =
+      kernel.now() + SimTime::from_seconds(timeout_s).since_epoch;
+  const auto hottest = [&] {
+    double t = kernel.governor().package_temperature().value;
+    for (std::size_t c = 0; c < kernel.machine().cluster_thermal.size(); ++c) {
+      t = std::max(t,
+                   kernel.governor().cluster_temperature(static_cast<int>(c))
+                       .value);
+    }
+    return t;
+  };
+  while (hottest() > settle_temp_c && kernel.now() < deadline) {
+    kernel.run_for(std::chrono::seconds(1));
+  }
+}
+
+RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
+                            const workload::HplConfig& hpl_config,
+                            const std::vector<int>& cpus,
+                            const MonitorConfig& monitor_config) {
+  RunResult result;
+  wait_for_thermal_settle(kernel, monitor_config.settle_temp_c,
+                          monitor_config.settle_timeout_s);
+
+  workload::HplSimulation hpl(hpl_config, static_cast<int>(cpus.size()));
+  std::vector<simkernel::Tid> tids;
+  tids.reserve(cpus.size());
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const simkernel::Tid tid =
+        kernel.spawn(hpl.make_worker(static_cast<int>(i)),
+                     simkernel::CpuSet::of({cpus[i]}));
+    tids.push_back(tid);
+  }
+
+  Sampler sampler(&kernel);
+  sampler.reset();
+  const SimTime start = kernel.now();
+  result.samples.push_back(sampler.sample());  // t=0 baseline
+
+  const auto period = SimTime::from_seconds(monitor_config.sample_period_s)
+                          .since_epoch;
+  // Sub-step within each sample period so the measured completion time
+  // is not quantized to the sampling rate.
+  const SimDuration step = std::min<SimDuration>(
+      period, std::chrono::milliseconds(10));
+  const SimTime deadline =
+      start + SimTime::from_seconds(monitor_config.run_timeout_s).since_epoch;
+  SimTime next_sample = kernel.now() + period;
+  while (kernel.any_thread_alive() && kernel.now() < deadline) {
+    kernel.run_for(step);
+    if (kernel.now() >= next_sample) {
+      result.samples.push_back(sampler.sample());
+      next_sample += period;
+    }
+  }
+
+  result.elapsed = kernel.now() - start;
+  result.gflops = hpl.gflops(result.elapsed).value;
+  result.spin_instructions = hpl.spin_instructions();
+  result.work_instructions = hpl.work_instructions();
+
+  result.counts_per_type.assign(kernel.machine().core_types.size(),
+                                simkernel::ExecCounts{});
+  for (simkernel::Tid tid : tids) {
+    const simkernel::ThreadGroundTruth* truth = kernel.ground_truth(tid);
+    if (truth == nullptr) continue;
+    for (std::size_t t = 0; t < truth->per_type.size(); ++t) {
+      result.counts_per_type[t] += truth->per_type[t];
+    }
+  }
+  return result;
+}
+
+RunResult average_runs(const std::vector<RunResult>& runs) {
+  RunResult avg;
+  if (runs.empty()) return avg;
+  std::size_t min_samples = runs.front().samples.size();
+  for (const RunResult& run : runs) {
+    min_samples = std::min(min_samples, run.samples.size());
+  }
+  const double inv_n = 1.0 / static_cast<double>(runs.size());
+
+  avg.samples.resize(min_samples);
+  for (std::size_t i = 0; i < min_samples; ++i) {
+    Sample& out = avg.samples[i];
+    out = runs.front().samples[i];
+    const std::size_t num_cpus = out.core_freq_mhz.size();
+    out.core_freq_mhz.assign(num_cpus, 0.0);
+    out.package_temp_c = 0.0;
+    out.package_power_w = 0.0;
+    out.board_power_w = 0.0;
+    out.t_seconds = runs.front().samples[i].t_seconds -
+                    runs.front().samples.front().t_seconds;
+    int power_count = 0;
+    for (const RunResult& run : runs) {
+      const Sample& s = run.samples[i];
+      for (std::size_t c = 0; c < num_cpus && c < s.core_freq_mhz.size(); ++c) {
+        out.core_freq_mhz[c] += s.core_freq_mhz[c] * inv_n;
+      }
+      out.package_temp_c += s.package_temp_c * inv_n;
+      out.board_power_w += s.board_power_w * inv_n;
+      if (!std::isnan(s.package_power_w)) {
+        out.package_power_w += s.package_power_w;
+        ++power_count;
+      }
+    }
+    out.package_power_w = power_count > 0
+                              ? out.package_power_w / power_count
+                              : std::nan("");
+  }
+
+  SimDuration elapsed_sum{0};
+  for (const RunResult& run : runs) {
+    avg.gflops += run.gflops * inv_n;
+    elapsed_sum += run.elapsed;
+    avg.spin_instructions += run.spin_instructions / runs.size();
+    avg.work_instructions += run.work_instructions / runs.size();
+    if (avg.counts_per_type.size() < run.counts_per_type.size()) {
+      avg.counts_per_type.resize(run.counts_per_type.size());
+    }
+    for (std::size_t t = 0; t < run.counts_per_type.size(); ++t) {
+      avg.counts_per_type[t] += run.counts_per_type[t];
+    }
+  }
+  avg.elapsed = elapsed_sum / static_cast<std::int64_t>(runs.size());
+  return avg;
+}
+
+}  // namespace hetpapi::telemetry

@@ -1,0 +1,52 @@
+// Monitored benchmark runs: spawn an HPL simulation on a set of cores,
+// sample telemetry at 1 Hz while it runs, wait for thermal settle
+// between repetitions, and aggregate repeated runs — the workflow of the
+// paper's mon_hpl.py (T1) and process_runs.py (T2).
+#pragma once
+
+#include <vector>
+
+#include "simkernel/kernel.hpp"
+#include "telemetry/sampler.hpp"
+#include "workload/hpl.hpp"
+
+namespace hetpapi::telemetry {
+
+struct RunResult {
+  std::vector<Sample> samples;
+  SimDuration elapsed{0};
+  double gflops = 0.0;
+  std::uint64_t spin_instructions = 0;
+  std::uint64_t work_instructions = 0;
+  /// Ground-truth counters per core type (what perf would report),
+  /// summed over all worker threads.
+  std::vector<simkernel::ExecCounts> counts_per_type;
+};
+
+struct MonitorConfig {
+  double sample_period_s = 1.0;
+  /// Wait for the package to cool to this temperature before starting
+  /// (the paper settles at 35 C so thermal history is identical).
+  double settle_temp_c = 35.0;
+  double settle_timeout_s = 600.0;
+  /// Abandon a run that exceeds this much simulated time.
+  double run_timeout_s = 3600.0;
+};
+
+/// Run one monitored HPL execution: one worker thread pinned to each cpu
+/// in `cpus` (worker 0 on cpus[0] is the master).
+RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
+                            const workload::HplConfig& hpl_config,
+                            const std::vector<int>& cpus,
+                            const MonitorConfig& monitor_config);
+
+/// Let the machine idle until the package/hottest-cluster temperature
+/// drops to `settle_temp_c` (bounded by the timeout).
+void wait_for_thermal_settle(simkernel::SimKernel& kernel,
+                             double settle_temp_c, double timeout_s);
+
+/// Element-wise average of repeated runs (samples aligned by index,
+/// truncated to the shortest run) — process_runs.py's job.
+RunResult average_runs(const std::vector<RunResult>& runs);
+
+}  // namespace hetpapi::telemetry

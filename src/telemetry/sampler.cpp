@@ -1,0 +1,100 @@
+#include "telemetry/sampler.hpp"
+
+#include <cmath>
+
+#include "base/strings.hpp"
+#include "cpumodel/power.hpp"
+
+namespace hetpapi::telemetry {
+
+namespace {
+constexpr std::uint64_t kEnergyWrap = 1ULL << 32;  // max_energy_range_uj + 1
+}
+
+Sampler::Sampler(const simkernel::SimKernel* kernel) : kernel_(kernel) {
+  const auto& machine = kernel_->machine();
+  temp_path_ = machine.vendor == cpumodel::Vendor::kIntel
+                   ? "/sys/class/thermal/thermal_zone9/temp"
+                   : "/sys/class/thermal/thermal_zone0/temp";
+  has_rapl_ = machine.rapl.present;
+}
+
+void Sampler::reset() {
+  have_baseline_ = false;
+  last_energy_raw_ = 0;
+  unwrapped_energy_uj_ = 0.0;
+  last_sample_t_ = 0.0;
+  last_sample_energy_uj_ = 0.0;
+}
+
+std::optional<double> Sampler::read_energy_uj() {
+  if (!has_rapl_) return std::nullopt;
+  const auto raw_str =
+      kernel_->sysfs_read("/sys/class/powercap/intel-rapl:0/energy_uj");
+  if (!raw_str) return std::nullopt;
+  const auto raw = parse_int(trim(*raw_str));
+  if (!raw) return std::nullopt;
+  const auto value = static_cast<std::uint64_t>(*raw);
+  if (!have_baseline_) {
+    last_energy_raw_ = value;
+    return unwrapped_energy_uj_;
+  }
+  // Unwrap: the register is monotonically increasing modulo 2^32.
+  std::uint64_t delta = value >= last_energy_raw_
+                            ? value - last_energy_raw_
+                            : value + kEnergyWrap - last_energy_raw_;
+  last_energy_raw_ = value;
+  unwrapped_energy_uj_ += static_cast<double>(delta);
+  return unwrapped_energy_uj_;
+}
+
+Sample Sampler::sample() {
+  Sample s;
+  s.t_seconds = kernel_->now().seconds();
+
+  const int n = kernel_->machine().num_cpus();
+  s.core_freq_mhz.reserve(static_cast<std::size_t>(n));
+  for (int cpu = 0; cpu < n; ++cpu) {
+    const auto khz = kernel_->sysfs_read(
+        "/sys/devices/system/cpu/cpu" + std::to_string(cpu) +
+        "/cpufreq/scaling_cur_freq");
+    double mhz = 0.0;
+    if (khz) {
+      if (const auto parsed = parse_int(trim(*khz))) {
+        mhz = static_cast<double>(*parsed) / 1000.0;
+      }
+    }
+    s.core_freq_mhz.push_back(mhz);
+  }
+
+  if (const auto temp = kernel_->sysfs_read(temp_path_)) {
+    if (const auto parsed = parse_int(trim(*temp))) {
+      s.package_temp_c = static_cast<double>(*parsed) / 1000.0;
+    }
+  }
+
+  const auto energy = read_energy_uj();
+  if (energy && have_baseline_) {
+    const double dt = s.t_seconds - last_sample_t_;
+    if (dt > 0.0) {
+      s.package_power_w = (*energy - last_sample_energy_uj_) / 1e6 / dt;
+    }
+  } else {
+    s.package_power_w = std::nan("");
+  }
+  if (energy) {
+    last_sample_energy_uj_ = *energy;
+  }
+  have_baseline_ = true;
+  last_sample_t_ = s.t_seconds;
+
+  // Board power (WattsUpPro stand-in): PSU losses plus board idle draw
+  // over the SoC power. Sampled directly from the model because a wall
+  // meter is outside the DUT.
+  const cpumodel::BoardPowerMeter meter(Watts{2.6}, 0.82);
+  s.board_power_w =
+      meter.reading(kernel_->governor().package_power()).value;
+  return s;
+}
+
+}  // namespace hetpapi::telemetry

@@ -1,0 +1,52 @@
+// 1 Hz system telemetry, the C++ equivalent of the paper's mon_hpl.py:
+// polls per-core frequency (cpufreq), package temperature (the
+// x86_pkg_temp thermal zone on Intel, soc-thermal on ARM), and RAPL
+// energy (powercap, with wraparound handling) — all through the sysfs
+// surface, exactly as the Python scripts do on real hardware.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/status.hpp"
+#include "base/units.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi::telemetry {
+
+struct Sample {
+  double t_seconds = 0.0;
+  std::vector<double> core_freq_mhz;  // indexed by logical cpu
+  double package_temp_c = 0.0;
+  /// Average package power over the interval since the previous sample,
+  /// derived from the RAPL energy counter delta (NaN when RAPL absent).
+  double package_power_w = 0.0;
+  /// Wall-meter reading (board power; ARM path, Figure 3).
+  double board_power_w = 0.0;
+};
+
+class Sampler {
+ public:
+  explicit Sampler(const simkernel::SimKernel* kernel);
+
+  /// Take one sample at the kernel's current time.
+  Sample sample();
+
+  /// Reset inter-sample state (energy baseline) for a new run.
+  void reset();
+
+ private:
+  std::optional<double> read_energy_uj();
+
+  const simkernel::SimKernel* kernel_;
+  std::string temp_path_;
+  bool has_rapl_ = false;
+  /// Wrap handling for the 32-bit microjoule register.
+  std::uint64_t last_energy_raw_ = 0;
+  double unwrapped_energy_uj_ = 0.0;
+  bool have_baseline_ = false;
+  double last_sample_t_ = 0.0;
+  double last_sample_energy_uj_ = 0.0;
+};
+
+}  // namespace hetpapi::telemetry

@@ -1,0 +1,138 @@
+#include "vfs/vfs.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace hetpapi::vfs {
+
+Expected<std::string> canonicalize(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return make_error(StatusCode::kInvalidArgument,
+                      "path must be absolute: " + std::string(path));
+  }
+  std::string out = "/";
+  for (std::string_view seg : split(path, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      return make_error(StatusCode::kInvalidArgument,
+                        "'..' not supported: " + std::string(path));
+    }
+    if (out.back() != '/') out += '/';
+    out += seg;
+  }
+  return out;
+}
+
+void Vfs::ensure_parents(const std::string& path) {
+  std::size_t pos = 0;
+  while ((pos = path.find('/', pos + 1)) != std::string::npos) {
+    dirs_[path.substr(0, pos)] = true;
+  }
+  dirs_["/"] = true;
+}
+
+Status Vfs::write_file(std::string_view path, std::string contents) {
+  auto canon = canonicalize(path);
+  if (!canon) return canon.status();
+  if (dirs_.contains(*canon)) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "is a directory: " + *canon);
+  }
+  ensure_parents(*canon);
+  files_[*canon] = std::move(contents);
+  return Status::ok();
+}
+
+Status Vfs::append_file(std::string_view path, std::string_view contents) {
+  auto canon = canonicalize(path);
+  if (!canon) return canon.status();
+  if (dirs_.contains(*canon)) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "is a directory: " + *canon);
+  }
+  ensure_parents(*canon);
+  files_[*canon] += contents;
+  return Status::ok();
+}
+
+Expected<std::string> Vfs::read_file(std::string_view path) const {
+  auto canon = canonicalize(path);
+  if (!canon) return canon.status();
+  const auto it = files_.find(*canon);
+  if (it == files_.end()) {
+    return make_error(StatusCode::kNotFound, "no such file: " + *canon);
+  }
+  return it->second;
+}
+
+Expected<std::string> Vfs::read_value(std::string_view path) const {
+  auto contents = read_file(path);
+  if (!contents) return contents.status();
+  return std::string(trim(*contents));
+}
+
+Expected<std::int64_t> Vfs::read_int(std::string_view path) const {
+  auto value = read_value(path);
+  if (!value) return value.status();
+  const auto parsed = parse_int(*value);
+  if (!parsed) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "not an integer: '" + *value + "' in " + std::string(path));
+  }
+  return *parsed;
+}
+
+bool Vfs::exists(std::string_view path) const {
+  auto canon = canonicalize(path);
+  if (!canon) return false;
+  return files_.contains(*canon) || dirs_.contains(*canon);
+}
+
+bool Vfs::is_dir(std::string_view path) const {
+  auto canon = canonicalize(path);
+  return canon && dirs_.contains(*canon);
+}
+
+Expected<std::vector<std::string>> Vfs::list_dir(std::string_view path) const {
+  auto canon = canonicalize(path);
+  if (!canon) return canon.status();
+  if (!dirs_.contains(*canon)) {
+    return make_error(StatusCode::kNotFound, "no such directory: " + *canon);
+  }
+  const std::string prefix = *canon == "/" ? "/" : *canon + "/";
+  std::vector<std::string> names;
+  const auto collect = [&](const std::string& entry) {
+    if (!starts_with(entry, prefix) || entry.size() == prefix.size()) return;
+    const std::string_view rest =
+        std::string_view(entry).substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    names.emplace_back(rest.substr(0, slash));
+  };
+  for (const auto& [file, _] : files_) collect(file);
+  for (const auto& [dir, _] : dirs_) collect(dir);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+Status Vfs::remove(std::string_view path) {
+  auto canon = canonicalize(path);
+  if (!canon) return canon.status();
+  if (files_.erase(*canon) > 0) return Status::ok();
+  if (dirs_.contains(*canon)) {
+    // Remove the directory and everything under it (rm -r semantics keep
+    // test fixtures terse).
+    const std::string prefix = *canon + "/";
+    std::erase_if(files_, [&](const auto& kv) {
+      return starts_with(kv.first, prefix);
+    });
+    std::erase_if(dirs_, [&](const auto& kv) {
+      return kv.first == *canon || starts_with(kv.first, prefix);
+    });
+    return Status::ok();
+  }
+  return make_error(StatusCode::kNotFound, "no such path: " + *canon);
+}
+
+}  // namespace hetpapi::vfs

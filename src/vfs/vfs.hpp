@@ -1,0 +1,66 @@
+// In-memory virtual filesystem simulating the /sys and /proc trees a
+// hybrid Linux system exposes.
+//
+// The paper's §IV-B catalogs the detection sources PAPI must read:
+//   /sys/devices/cpu_atom/type, /sys/devices/cpu_core/type
+//   /sys/devices/<pmu>/cpus
+//   /sys/devices/system/cpu/cpuX/cpu_capacity
+//   /sys/devices/system/cpu/cpuX/cpufreq/cpuinfo_max_freq
+//   /sys/devices/system/cpu/cpuX/cache/...
+//   /proc/cpuinfo
+// The simulated kernel populates exactly these files (same formats, same
+// quirks), and the PAPI detection code consumes them through this VFS so
+// the detection logic is byte-for-byte the logic a real port would use.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace hetpapi::vfs {
+
+/// Canonicalize a path: collapse duplicate '/', resolve '.' segments,
+/// drop trailing '/'. ".." is rejected (sysfs consumers never need it).
+Expected<std::string> canonicalize(std::string_view path);
+
+class Vfs {
+ public:
+  /// Create or overwrite a regular file; parent directories are created
+  /// implicitly (mkdir -p semantics, matching how kernels populate sysfs).
+  Status write_file(std::string_view path, std::string contents);
+
+  /// Append to an existing file, creating it if absent.
+  Status append_file(std::string_view path, std::string_view contents);
+
+  Expected<std::string> read_file(std::string_view path) const;
+
+  /// read_file + trim — sysfs values carry a trailing newline.
+  Expected<std::string> read_value(std::string_view path) const;
+
+  /// Parse helpers for the two sysfs value shapes detection code needs.
+  Expected<std::int64_t> read_int(std::string_view path) const;
+
+  bool exists(std::string_view path) const;
+  bool is_dir(std::string_view path) const;
+
+  /// Immediate children of a directory (names only, sorted).
+  Expected<std::vector<std::string>> list_dir(std::string_view path) const;
+
+  Status remove(std::string_view path);
+
+  /// Number of regular files (for tests).
+  std::size_t file_count() const { return files_.size(); }
+
+ private:
+  // Path -> contents for regular files; directory set derived from both
+  // explicit mkdirs and file parents.
+  std::map<std::string, std::string> files_;
+  std::map<std::string, bool> dirs_;
+
+  void ensure_parents(const std::string& path);
+};
+
+}  // namespace hetpapi::vfs

@@ -1,0 +1,130 @@
+#include "workload/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetpapi::workload {
+
+double cycles_per_instruction(const cpumodel::CoreTypeSpec& core,
+                              const PhaseSpec& phase, MegaHertz f,
+                              double memory_contention) {
+  double eff_ipc = core.perf.base_ipc * phase.ipc_fraction;
+  if (phase.flops_per_instr > 0.0) {
+    const double flops_limit = phase.simd_efficiency *
+                               core.perf.flops_per_cycle_dp /
+                               phase.flops_per_instr;
+    eff_ipc = std::min(eff_ipc, flops_limit);
+  }
+  eff_ipc = std::max(eff_ipc, 0.05);
+  double cpi = 1.0 / eff_ipc;
+
+  const double overlap = phase.mlp_overlap_override >= 0.0
+                             ? phase.mlp_overlap_override
+                             : core.perf.mlp_overlap;
+  const double miss_per_instr =
+      phase.llc_refs_per_kinstr / 1000.0 * phase.llc_miss_ratio;
+  cpi += miss_per_instr * (1.0 - overlap) * core.perf.llc_miss_latency_ns *
+         memory_contention * f.gigahertz();
+
+  cpi += phase.branches_per_kinstr / 1000.0 * phase.branch_miss_ratio *
+         core.perf.branch_miss_penalty_cycles;
+  return cpi;
+}
+
+std::uint64_t instructions_in(SimDuration duration, MegaHertz f, double cpi) {
+  const double cycles =
+      f.gigahertz() * static_cast<double>(duration.count());
+  return static_cast<std::uint64_t>(cycles / cpi);
+}
+
+SimDuration duration_of(std::uint64_t instructions, MegaHertz f, double cpi) {
+  const double cycles = static_cast<double>(instructions) * cpi;
+  const double ns = cycles / std::max(f.gigahertz(), 1e-6);
+  return SimDuration{static_cast<std::int64_t>(std::ceil(ns))};
+}
+
+simkernel::ExecCounts make_counts(const cpumodel::CoreTypeSpec& core,
+                                  const PhaseSpec& phase,
+                                  std::uint64_t instructions, double cpi,
+                                  MegaHertz f) {
+  simkernel::ExecCounts counts;
+  const double instr = static_cast<double>(instructions);
+  counts.instructions = instructions;
+  counts.cycles = static_cast<std::uint64_t>(instr * cpi);
+  // Reference cycles tick at the base frequency regardless of the
+  // current P-state.
+  counts.ref_cycles = static_cast<std::uint64_t>(
+      instr * cpi * core.dvfs.freq_base.value / std::max(f.value, 1.0));
+  counts.llc_references =
+      static_cast<std::uint64_t>(instr * phase.llc_refs_per_kinstr / 1000.0);
+  counts.llc_misses = static_cast<std::uint64_t>(
+      instr * phase.llc_refs_per_kinstr / 1000.0 * phase.llc_miss_ratio);
+  counts.branches =
+      static_cast<std::uint64_t>(instr * phase.branches_per_kinstr / 1000.0);
+  counts.branch_misses = static_cast<std::uint64_t>(
+      instr * phase.branches_per_kinstr / 1000.0 * phase.branch_miss_ratio);
+  // Stall cycles: everything beyond the issue-limited baseline.
+  const double base_cpi = 1.0 / std::max(core.perf.base_ipc * phase.ipc_fraction, 0.05);
+  counts.stalled_cycles = static_cast<std::uint64_t>(
+      instr * std::max(0.0, cpi - base_cpi));
+  counts.flops_dp =
+      static_cast<std::uint64_t>(instr * phase.flops_per_instr);
+  return counts;
+}
+
+namespace phases {
+
+PhaseSpec dgemm(double simd_efficiency, double llc_refs_per_kinstr,
+                double llc_miss_ratio) {
+  PhaseSpec p;
+  p.ipc_fraction = 0.92;
+  p.flops_per_instr = 5.3;  // ~2/3 FMA(8 flop) + loads/address arithmetic
+  p.simd_efficiency = simd_efficiency;
+  p.llc_refs_per_kinstr = llc_refs_per_kinstr;
+  p.llc_miss_ratio = llc_miss_ratio;
+  p.mlp_overlap_override = 0.94;  // software-prefetched streaming
+  p.branches_per_kinstr = 12.0;
+  p.branch_miss_ratio = 0.002;
+  p.activity = 1.0;
+  return p;
+}
+
+PhaseSpec spin_wait() {
+  PhaseSpec p;
+  p.ipc_fraction = 1.0;   // tight L1-resident loop retires near peak IPC
+  p.flops_per_instr = 0.0;
+  p.llc_refs_per_kinstr = 0.02;
+  p.llc_miss_ratio = 0.01;
+  p.branches_per_kinstr = 330.0;  // one branch per 3 instructions
+  p.branch_miss_ratio = 0.0002;
+  p.activity = 0.45;  // busy-wait keeps fetch/issue partly active
+  return p;
+}
+
+PhaseSpec scalar_serial() {
+  PhaseSpec p;
+  p.ipc_fraction = 0.45;
+  p.flops_per_instr = 0.1;
+  p.llc_refs_per_kinstr = 4.0;
+  p.llc_miss_ratio = 0.15;
+  p.branches_per_kinstr = 180.0;
+  p.branch_miss_ratio = 0.04;
+  p.activity = 0.55;
+  return p;
+}
+
+PhaseSpec memory_bound() {
+  PhaseSpec p;
+  p.ipc_fraction = 0.6;
+  p.llc_refs_per_kinstr = 40.0;
+  p.llc_miss_ratio = 0.7;
+  p.mlp_overlap_override = 0.1;  // dependent loads: nothing overlaps
+  p.branches_per_kinstr = 60.0;
+  p.branch_miss_ratio = 0.02;
+  p.activity = 0.5;
+  return p;
+}
+
+}  // namespace phases
+
+}  // namespace hetpapi::workload

@@ -1,0 +1,83 @@
+// Analytic execution model: how many instructions (and cache misses,
+// branches, flops) a phase of code retires on a given core at a given
+// frequency.
+//
+//   CPI = 1 / min(base_ipc * ipc_fraction,
+//                 simd_efficiency * flops_per_cycle / flops_per_instr)
+//       + miss_per_instr * (1 - overlap) * miss_latency_ns * f_GHz
+//       + branch_miss_per_instr * penalty
+//
+// The memory-stall term is expressed in wall-clock latency, so its cycle
+// cost grows with frequency (the memory wall); `overlap` models how much
+// of the miss latency out-of-order execution and prefetching hide.
+#pragma once
+
+#include "base/units.hpp"
+#include "cpumodel/types.hpp"
+#include "simkernel/program.hpp"
+
+namespace hetpapi::workload {
+
+/// Code-property description of an execution phase. The same phase runs
+/// on any core type; per-core behaviour differences come from the core's
+/// UarchPerf (and the optional per-phase overrides below).
+struct PhaseSpec {
+  /// Fraction of the core's peak IPC this code sustains.
+  double ipc_fraction = 0.8;
+  /// DP flops per retired instruction (0 = non-FP code). A property of
+  /// the instruction mix, identical across core types for one binary.
+  double flops_per_instr = 0.0;
+  /// Fraction of the core's peak flops/cycle this kernel reaches when
+  /// not stalled (vectorization/blocking quality).
+  double simd_efficiency = 1.0;
+  /// LLC traffic: references per thousand instructions and the fraction
+  /// of those references that miss.
+  double llc_refs_per_kinstr = 0.0;
+  double llc_miss_ratio = 0.0;
+  /// Override of the core's MLP overlap for this access pattern
+  /// (negative = use the core's value). Streaming, prefetch-friendly
+  /// kernels hide nearly all miss latency.
+  double mlp_overlap_override = -1.0;
+  double branches_per_kinstr = 40.0;
+  double branch_miss_ratio = 0.01;
+  /// Switching-activity factor for the power model.
+  double activity = 0.9;
+};
+
+/// Cycles per instruction of `phase` on `core` at frequency `f`.
+double cycles_per_instruction(const cpumodel::CoreTypeSpec& core,
+                              const PhaseSpec& phase, MegaHertz f,
+                              double memory_contention);
+
+/// Instructions retired in `duration` at frequency `f` with the given CPI.
+std::uint64_t instructions_in(SimDuration duration, MegaHertz f, double cpi);
+
+/// Time needed to retire `instructions` at frequency `f` with CPI `cpi`.
+SimDuration duration_of(std::uint64_t instructions, MegaHertz f, double cpi);
+
+/// Full counter bundle for `instructions` of `phase` on `core`.
+simkernel::ExecCounts make_counts(const cpumodel::CoreTypeSpec& core,
+                                  const PhaseSpec& phase,
+                                  std::uint64_t instructions, double cpi,
+                                  MegaHertz f);
+
+/// Common phase shapes.
+namespace phases {
+
+/// Blocked DGEMM inner kernel: FMA-dense, streaming, prefetch-friendly.
+PhaseSpec dgemm(double simd_efficiency, double llc_refs_per_kinstr,
+                double llc_miss_ratio);
+
+/// Busy-wait loop (load + compare + predicted branch): high IPC, no
+/// flops, low switching activity.
+PhaseSpec spin_wait();
+
+/// Scalar integer bookkeeping (pivoting, row swaps, driver logic).
+PhaseSpec scalar_serial();
+
+/// Pointer-chasing, cache-hostile traffic (tests and examples).
+PhaseSpec memory_bound();
+
+}  // namespace phases
+
+}  // namespace hetpapi::workload

@@ -1,0 +1,125 @@
+// High-Performance Linpack performance model.
+//
+// Blocked right-looking LU: for each panel k of width NB, factor the
+// panel (m_k x NB), then update the trailing submatrix — 2·NB·(m_k-NB)
+// flops per trailing column. Two partitioning strategies reproduce the
+// benchmarks the paper compares on Raptor Lake (Table II/III):
+//
+//  * kReferenceStatic ("OpenBLAS HPL"): trailing-update work is split
+//    into equal column-block items pre-assigned round-robin across all
+//    worker threads, with a barrier per panel, and the panel
+//    factorization runs serially on the master thread. On asymmetric
+//    cores the fast threads finish early and spin at the barrier —
+//    wasted instructions, wasted power budget, and an all-core run that
+//    can lose to P-cores alone.
+//
+//  * kVendorDynamic ("Intel MKL HPL"): items are claimed dynamically
+//    from a shared queue (no stragglers), factorization is parallel,
+//    and per-core-class cache blocking is tuned — so every core
+//    contributes its actual throughput.
+//
+// Cache behaviour per (variant, core class) is phenomenological, set so
+// the measured LLC miss rates land near Table III; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/units.hpp"
+#include "simkernel/program.hpp"
+#include "workload/exec_model.hpp"
+
+namespace hetpapi::workload {
+
+enum class HplVariant {
+  kReferenceStatic,  // hybrid-unaware (OpenBLAS-like)
+  kVendorDynamic,    // hybrid-aware (Intel-like)
+};
+
+struct HplCacheProfile {
+  double llc_refs_per_kinstr = 2.0;
+  double llc_miss_ratio = 0.5;
+  double simd_efficiency = 0.9;
+};
+
+struct HplConfig {
+  int n = 57024;
+  int nb = 192;
+  HplVariant variant = HplVariant::kReferenceStatic;
+  /// Cache/efficiency profile per core class (big = capacity >= 1024).
+  HplCacheProfile big_profile{8.0, 0.86, 0.81};
+  HplCacheProfile little_profile{1.6, 0.0005, 0.84};
+
+  static HplConfig openblas(int n = 57024, int nb = 192);
+  static HplConfig intel(int n = 57024, int nb = 192);
+};
+
+/// Shared state of one HPL run; create the per-thread worker programs
+/// with make_worker() and spawn each on the simulated kernel.
+class HplSimulation {
+ public:
+  HplSimulation(HplConfig config, int num_workers);
+
+  /// Worker 0 is the master (factors panels in the static variant).
+  std::shared_ptr<simkernel::Program> make_worker(int worker_index);
+
+  int num_workers() const { return num_workers_; }
+  bool complete() const;
+
+  /// The standard HPL flop count: 2/3 n^3 + 2 n^2.
+  std::uint64_t total_flops() const;
+  GigaFlops gflops(SimDuration elapsed) const;
+
+  /// Diagnostics.
+  std::uint64_t spin_instructions() const { return spin_instructions_; }
+  std::uint64_t work_instructions() const { return work_instructions_; }
+
+  // --- worker-facing interface (used by the worker programs; not part
+  // of the public API) ------------------------------------------------------
+
+  struct Item {
+    std::uint64_t flops = 0;
+    bool is_factor = false;
+  };
+
+  /// Claim the next piece of work for `worker`; nullopt = spin.
+  std::optional<Item> claim(int worker);
+  void complete_item(const Item& item);
+  void on_spin(std::uint64_t instructions) { spin_instructions_ += instructions; }
+  void on_work(std::uint64_t instructions) { work_instructions_ += instructions; }
+  const PhaseSpec& phase_for(const cpumodel::CoreTypeSpec& core,
+                             bool factor) const;
+
+ private:
+
+  struct PanelState {
+    bool factor_done = false;
+    bool factor_claimed = false;
+    std::uint64_t factor_flops = 0;
+    /// Update items for this panel, generated when the factor completes.
+    std::vector<Item> items;
+    std::size_t next_item = 0;       // dynamic claim cursor
+    std::size_t items_completed = 0;
+    std::vector<std::vector<std::size_t>> static_assignment;  // per worker
+    std::vector<std::size_t> static_cursor;                   // per worker
+  };
+
+  void open_panel(int k);
+  int rows_at(int k) const { return config_.n - k * config_.nb; }
+
+  HplConfig config_;
+  int num_workers_;
+  int num_panels_;
+  int current_panel_ = 0;
+  PanelState panel_;
+  std::uint64_t spin_instructions_ = 0;
+  std::uint64_t work_instructions_ = 0;
+
+  PhaseSpec big_dgemm_;
+  PhaseSpec little_dgemm_;
+  PhaseSpec factor_phase_;
+};
+
+}  // namespace hetpapi::workload

@@ -1,0 +1,76 @@
+#include "workload/programs.hpp"
+
+#include <algorithm>
+
+namespace hetpapi::workload {
+
+simkernel::ExecSlice run_phase_slice(const simkernel::ExecContext& ctx,
+                                     const PhaseSpec& phase,
+                                     SimDuration budget,
+                                     std::uint64_t max_instructions) {
+  simkernel::ExecSlice slice;
+  const double cpi = cycles_per_instruction(*ctx.core_type, phase,
+                                            ctx.frequency,
+                                            ctx.memory_contention);
+  std::uint64_t instructions =
+      instructions_in(budget, ctx.frequency, cpi);
+  SimDuration consumed = budget;
+  if (instructions >= max_instructions) {
+    instructions = max_instructions;
+    consumed = std::min(budget,
+                        duration_of(instructions, ctx.frequency, cpi));
+  }
+  if (instructions == 0 && max_instructions > 0) {
+    // Budget too small for even one instruction at this CPI; consume the
+    // budget to keep time moving.
+    instructions = 1;
+    consumed = budget;
+  }
+  slice.consumed = consumed;
+  slice.counts =
+      make_counts(*ctx.core_type, phase, instructions, cpi, ctx.frequency);
+  slice.activity = phase.activity;
+  return slice;
+}
+
+simkernel::ExecSlice FixedWorkProgram::run(const simkernel::ExecContext& ctx,
+                                           SimDuration budget) {
+  simkernel::ExecSlice slice = run_phase_slice(ctx, phase_, budget, remaining_);
+  remaining_ -= std::min(remaining_, slice.counts.instructions);
+  slice.finished = remaining_ == 0;
+  return slice;
+}
+
+simkernel::ExecSlice WorkQueueProgram::run(const simkernel::ExecContext& ctx,
+                                           SimDuration budget) {
+  if (queue_.empty()) {
+    simkernel::ExecSlice slice;
+    slice.consumed = budget;
+    slice.waiting = true;
+    slice.activity = 0.03;  // blocked in futex wait, core near-idle
+    slice.finished = finish_requested_;
+    return slice;
+  }
+  Chunk& chunk = queue_.front();
+  simkernel::ExecSlice slice =
+      run_phase_slice(ctx, chunk.phase, budget, chunk.remaining);
+  chunk.remaining -= std::min(chunk.remaining, slice.counts.instructions);
+  if (chunk.remaining == 0) queue_.pop_front();
+  return slice;
+}
+
+simkernel::ExecSlice SpinProgram::run(const simkernel::ExecContext& ctx,
+                                      SimDuration budget) {
+  const SimDuration slice_budget =
+      bounded_ ? std::min(budget, remaining_) : budget;
+  simkernel::ExecSlice slice = run_phase_slice(
+      ctx, phases::spin_wait(), slice_budget,
+      std::numeric_limits<std::uint64_t>::max());
+  if (bounded_) {
+    remaining_ -= std::min(remaining_, slice.consumed);
+    slice.finished = remaining_ <= SimDuration{0};
+  }
+  return slice;
+}
+
+}  // namespace hetpapi::workload

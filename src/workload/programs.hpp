@@ -1,0 +1,78 @@
+// Reusable simulated programs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "simkernel/program.hpp"
+#include "workload/exec_model.hpp"
+
+namespace hetpapi::workload {
+
+/// Runs `instructions` of one phase, then exits.
+class FixedWorkProgram final : public simkernel::Program {
+ public:
+  FixedWorkProgram(PhaseSpec phase, std::uint64_t instructions)
+      : phase_(phase), remaining_(instructions) {}
+
+  simkernel::ExecSlice run(const simkernel::ExecContext& ctx,
+                           SimDuration budget) override;
+
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  PhaseSpec phase_;
+  std::uint64_t remaining_;
+};
+
+/// A thread that accepts work in chunks: the harness enqueues a batch of
+/// instructions, runs the kernel until the program drains, and measures
+/// around it — the structure of the paper's papi_hybrid_100m test
+/// ("runs 1 million instructions 100 times").
+///
+/// While the queue is empty the thread blocks (waiting slices, zero
+/// instructions) until either more work arrives or finish() is called.
+class WorkQueueProgram final : public simkernel::Program {
+ public:
+  void enqueue(PhaseSpec phase, std::uint64_t instructions) {
+    queue_.push_back(Chunk{phase, instructions});
+  }
+  void finish() { finish_requested_ = true; }
+  bool idle() const { return queue_.empty(); }
+
+  simkernel::ExecSlice run(const simkernel::ExecContext& ctx,
+                           SimDuration budget) override;
+
+ private:
+  struct Chunk {
+    PhaseSpec phase;
+    std::uint64_t remaining;
+  };
+  std::deque<Chunk> queue_;
+  bool finish_requested_ = false;
+};
+
+/// Spins forever (or for a fixed duration): used to model background
+/// load and to exercise scheduler/power paths.
+class SpinProgram final : public simkernel::Program {
+ public:
+  /// duration <= 0 spins until the simulation stops looking at it.
+  explicit SpinProgram(SimDuration duration = SimDuration{0})
+      : remaining_(duration), bounded_(duration > SimDuration{0}) {}
+
+  simkernel::ExecSlice run(const simkernel::ExecContext& ctx,
+                           SimDuration budget) override;
+
+ private:
+  SimDuration remaining_;
+  bool bounded_;
+};
+
+/// Execute up to `budget` of `phase`, bounded by `max_instructions`;
+/// shared helper for program implementations.
+simkernel::ExecSlice run_phase_slice(const simkernel::ExecContext& ctx,
+                                     const PhaseSpec& phase,
+                                     SimDuration budget,
+                                     std::uint64_t max_instructions);
+
+}  // namespace hetpapi::workload

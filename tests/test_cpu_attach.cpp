@@ -1,0 +1,124 @@
+// CPU-attached EventSets (`perf stat -C` / PAPI cpu granularity):
+// counting everything on a cpu regardless of thread, across core types.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using papi::Library;
+using papi::LibraryConfig;
+using papi::SimBackend;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+class CpuAttachTest : public ::testing::Test {
+ protected:
+  CpuAttachTest()
+      : kernel_(cpumodel::raptor_lake_i7_13700()), backend_(&kernel_) {
+    LibraryConfig config;
+    config.call_overhead_instructions = 0;
+    auto lib = Library::init(&backend_, config);
+    EXPECT_TRUE(lib.has_value());
+    lib_ = std::move(*lib);
+  }
+
+  SimKernel kernel_;
+  SimBackend backend_;
+  std::unique_ptr<Library> lib_;
+};
+
+TEST_F(CpuAttachTest, CountsEveryThreadOnTheCpu) {
+  // Two threads time-sharing cpu 0: a cpu-attached set sees both.
+  PhaseSpec phase;
+  const Tid a = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 30'000'000), CpuSet::of({0}));
+  const Tid b = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 50'000'000), CpuSet::of({0}));
+  auto set = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach_cpu(*set, 0).is_ok());
+  ASSERT_TRUE(lib_->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+  ASSERT_TRUE(lib_->start(*set).is_ok());
+  kernel_.run_until_idle(std::chrono::seconds(30));
+  auto values = lib_->stop(*set);
+  ASSERT_TRUE(values.has_value());
+  const auto total = kernel_.ground_truth(a)->total().instructions +
+                     kernel_.ground_truth(b)->total().instructions;
+  EXPECT_EQ(static_cast<std::uint64_t>((*values)[0]), total);
+  EXPECT_EQ(total, 80'000'000u);
+}
+
+TEST_F(CpuAttachTest, ForeignCoreTypeEventIsRejected) {
+  auto set = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach_cpu(*set, 16).is_ok());  // an E-core cpu
+  const Status status = lib_->add_event(*set, "adl_glc::INST_RETIRED:ANY");
+  ASSERT_FALSE(status.is_ok()) << "cpu_core events cannot bind to cpu 16";
+  EXPECT_TRUE(lib_->add_event(*set, "adl_grt::INST_RETIRED:ANY").is_ok());
+}
+
+TEST_F(CpuAttachTest, AttachCpuValidatesArguments) {
+  auto set = lib_->create_eventset();
+  EXPECT_EQ(lib_->attach_cpu(*set, 99).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(lib_->attach_cpu(*set, -1).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(lib_->attach_cpu(123, 0).code(), StatusCode::kNoEventSet);
+}
+
+TEST_F(CpuAttachTest, ManyCpuAttachedSetsRunConcurrently) {
+  // A per-cpu observer set on every logical cpu — the Table III
+  // methodology as a first-class library feature.
+  const auto& machine = kernel_.machine();
+  std::vector<int> sets;
+  for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    auto set = lib_->create_eventset();
+    ASSERT_TRUE(lib_->attach_cpu(*set, cpu).is_ok());
+    const char* event = machine.cpus[static_cast<std::size_t>(cpu)].type == 0
+                            ? "adl_glc::INST_RETIRED:ANY"
+                            : "adl_grt::INST_RETIRED:ANY";
+    ASSERT_TRUE(lib_->add_event(*set, event).is_ok());
+    ASSERT_TRUE(lib_->start(*set).is_ok()) << "cpu " << cpu;
+    sets.push_back(*set);
+  }
+
+  // A migrating workload.
+  SimKernel::Config ignored;
+  PhaseSpec phase;
+  const Tid tid = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 500'000'000),
+      CpuSet::all(machine.num_cpus()));
+  kernel_.run_until_idle(std::chrono::seconds(60));
+
+  std::uint64_t sum = 0;
+  for (const int set : sets) {
+    auto values = lib_->stop(set);
+    ASSERT_TRUE(values.has_value());
+    sum += static_cast<std::uint64_t>((*values)[0]);
+  }
+  EXPECT_EQ(sum, kernel_.ground_truth(tid)->total().instructions)
+      << "per-cpu observers tile the machine: totals must agree";
+}
+
+TEST_F(CpuAttachTest, SwitchingBackToThreadAttachWorks) {
+  PhaseSpec phase;
+  const Tid tid = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 10'000'000), CpuSet::of({2}));
+  auto set = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach_cpu(*set, 0).is_ok());
+  ASSERT_TRUE(lib_->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+  // Re-target to the thread: the event now follows the thread on cpu 2.
+  ASSERT_TRUE(lib_->attach(*set, tid).is_ok());
+  ASSERT_TRUE(lib_->start(*set).is_ok());
+  kernel_.run_until_idle(std::chrono::seconds(10));
+  auto values = lib_->stop(*set);
+  EXPECT_EQ((*values)[0], 10'000'000);
+}
+
+}  // namespace
+}  // namespace hetpapi

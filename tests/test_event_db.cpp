@@ -1,0 +1,126 @@
+// The event-table database itself: structural invariants across every
+// table (names unique, kinds consistent, required umasks marked) plus
+// spot checks of the per-flavour contents.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pfm/event_db.hpp"
+
+namespace hetpapi::pfm {
+namespace {
+
+using simkernel::CountKind;
+
+TEST(EventDb, TableNamesAreUnique) {
+  std::set<std::string> names;
+  for (const PmuTable& table : all_tables()) {
+    EXPECT_TRUE(names.insert(table.pfm_name).second)
+        << "duplicate table " << table.pfm_name;
+    EXPECT_FALSE(table.description.empty()) << table.pfm_name;
+  }
+  EXPECT_GE(names.size(), 11u);
+}
+
+TEST(EventDb, EventNamesUniqueWithinEachTable) {
+  for (const PmuTable& table : all_tables()) {
+    std::set<std::string> names;
+    for (const EventDesc& event : table.events) {
+      EXPECT_TRUE(names.insert(event.name).second)
+          << table.pfm_name << "::" << event.name;
+      EXPECT_FALSE(event.description.empty())
+          << table.pfm_name << "::" << event.name;
+      std::set<std::string> umasks;
+      for (const UmaskDesc& umask : event.umasks) {
+        EXPECT_TRUE(umasks.insert(umask.name).second)
+            << table.pfm_name << "::" << event.name << ":" << umask.name;
+      }
+      if (event.requires_umask) {
+        EXPECT_FALSE(event.umasks.empty())
+            << event.name << " requires a umask but offers none";
+      }
+    }
+  }
+}
+
+TEST(EventDb, EveryCoreTableCoversTheBaselineKinds) {
+  // Presets depend on every core PMU providing these quantities under
+  // some native name.
+  const CountKind baseline[] = {
+      CountKind::kInstructions, CountKind::kCycles,
+      CountKind::kLlcReferences, CountKind::kLlcMisses,
+      CountKind::kBranches,      CountKind::kBranchMisses,
+  };
+  for (const PmuTable& table : all_tables()) {
+    if (!table.is_core) continue;
+    for (const CountKind kind : baseline) {
+      bool found = false;
+      for (const EventDesc& event : table.events) {
+        if (!event.requires_umask && event.default_kind == kind) found = true;
+        for (const UmaskDesc& umask : event.umasks) {
+          if (umask.kind == kind) found = true;
+        }
+      }
+      EXPECT_TRUE(found) << table.pfm_name << " lacks kind "
+                         << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(EventDb, MatchMetadataIsCoherent) {
+  for (const PmuTable& table : all_tables()) {
+    switch (table.match) {
+      case MatchKind::kSysfsName:
+        EXPECT_FALSE(table.sysfs_names.empty()) << table.pfm_name;
+        break;
+      case MatchKind::kArmMidr:
+        EXPECT_FALSE(table.arm_parts.empty()) << table.pfm_name;
+        EXPECT_TRUE(table.intel_models.empty()) << table.pfm_name;
+        break;
+    }
+  }
+}
+
+TEST(EventDb, IntelModelKeyedTablesDoNotCollide) {
+  // All tables matching sysfs "cpu" must be disambiguated by disjoint
+  // model lists — otherwise the scan would be ambiguous.
+  std::set<int> models;
+  for (const PmuTable& table : all_tables()) {
+    if (table.match != MatchKind::kSysfsName) continue;
+    bool matches_cpu = false;
+    for (const std::string& name : table.sysfs_names) {
+      if (name == "cpu") matches_cpu = true;
+    }
+    if (!matches_cpu) continue;
+    EXPECT_FALSE(table.intel_models.empty())
+        << table.pfm_name << " would shadow other 'cpu' tables";
+    for (const int model : table.intel_models) {
+      EXPECT_TRUE(models.insert(model).second)
+          << "model " << model << " claimed twice";
+    }
+  }
+}
+
+TEST(EventDb, HybridFlavourDifferences) {
+  const PmuTable* glc = table_by_name("adl_glc");
+  const PmuTable* grt = table_by_name("adl_grt");
+  // Same INST_RETIRED encoding surface on both (the libpfm4 bug the
+  // paper reported was exactly here).
+  ASSERT_NE(glc->find_event("INST_RETIRED"), nullptr);
+  ASSERT_NE(grt->find_event("INST_RETIRED"), nullptr);
+  EXPECT_NE(glc->find_event("INST_RETIRED")->find_umask("ANY"), nullptr);
+  EXPECT_NE(grt->find_event("INST_RETIRED")->find_umask("ANY"), nullptr);
+  // Flavour-specific events.
+  EXPECT_NE(glc->find_event("TOPDOWN"), nullptr);
+  EXPECT_EQ(grt->find_event("TOPDOWN"), nullptr);
+  EXPECT_NE(table_by_name("gnr")->find_event("TOPDOWN"), nullptr);
+  EXPECT_EQ(table_by_name("srf")->find_event("TOPDOWN"), nullptr);
+}
+
+TEST(EventDb, LookupsAreCaseInsensitiveAndFailClosed) {
+  EXPECT_NE(table_by_name("ADL_GLC"), nullptr);
+  EXPECT_EQ(table_by_name("no_such_pmu"), nullptr);
+}
+
+}  // namespace
+}  // namespace hetpapi::pfm

@@ -1,0 +1,193 @@
+// HPL performance model: work accounting, completion, and the Table
+// II / Figure 4 orderings at reduced problem sizes.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "telemetry/monitor.hpp"
+#include "workload/exec_model.hpp"
+#include "workload/hpl.hpp"
+
+namespace hetpapi::workload {
+namespace {
+
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+
+SimKernel::Config fast_kernel() {
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  return config;
+}
+
+/// Run HPL on the given cpus of a machine; returns (gflops, seconds).
+std::pair<double, double> run_hpl(const cpumodel::MachineSpec& machine,
+                                  const HplConfig& config,
+                                  const std::vector<int>& cpus) {
+  SimKernel kernel(machine, fast_kernel());
+  HplSimulation hpl(config, static_cast<int>(cpus.size()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    kernel.spawn(hpl.make_worker(static_cast<int>(i)),
+                 CpuSet::of({cpus[i]}));
+  }
+  const SimDuration elapsed =
+      kernel.run_until_idle(std::chrono::seconds(3600));
+  EXPECT_TRUE(hpl.complete()) << "run must finish";
+  return {hpl.gflops(elapsed).value,
+          std::chrono::duration<double>(elapsed).count()};
+}
+
+TEST(HplModel, FlopFormulaMatchesStandardCount) {
+  HplSimulation hpl(HplConfig::openblas(1000, 100), 4);
+  const double n = 1000.0;
+  EXPECT_NEAR(static_cast<double>(hpl.total_flops()),
+              2.0 / 3.0 * n * n * n + 2.0 * n * n, 1.0);
+}
+
+TEST(HplModel, CompletesOnSingleCore) {
+  const auto machine = cpumodel::homogeneous_xeon(1);
+  const auto [gflops, seconds] =
+      run_hpl(machine, HplConfig::openblas(2304, 192), {0});
+  EXPECT_GT(gflops, 1.0);
+  EXPECT_GT(seconds, 0.01);
+}
+
+TEST(HplModel, StaticVariantSpinsDynamicDoesNot) {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const std::vector<int> e_cpus = machine.cpus_of_type(1);
+  cpus.insert(cpus.end(), e_cpus.begin(), e_cpus.end());
+
+  SimKernel kernel_static(machine, fast_kernel());
+  HplSimulation hpl_static(HplConfig::openblas(13824, 192),
+                           static_cast<int>(cpus.size()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    kernel_static.spawn(hpl_static.make_worker(static_cast<int>(i)),
+                        CpuSet::of({cpus[i]}));
+  }
+  kernel_static.run_until_idle(std::chrono::seconds(600));
+
+  SimKernel kernel_dynamic(machine, fast_kernel());
+  HplSimulation hpl_dynamic(HplConfig::intel(13824, 192),
+                            static_cast<int>(cpus.size()));
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    kernel_dynamic.spawn(hpl_dynamic.make_worker(static_cast<int>(i)),
+                         CpuSet::of({cpus[i]}));
+  }
+  kernel_dynamic.run_until_idle(std::chrono::seconds(600));
+
+  EXPECT_GT(hpl_static.spin_instructions(),
+            hpl_static.work_instructions() / 10)
+      << "barrier stragglers force significant spinning";
+  EXPECT_LT(hpl_dynamic.spin_instructions(),
+            hpl_static.spin_instructions())
+      << "work stealing spins less than static partitioning";
+}
+
+TEST(HplModel, TableTwoOrderingsHoldAtReducedSize) {
+  // The run must be long enough that the PL2 burst is amortized and the
+  // 65 W steady state dominates — N=43008 keeps the test ~4 s wall.
+  const int n = 43008;
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  const std::vector<int> p_cpus = machine.primary_threads_of_type(0);
+  const std::vector<int> e_cpus = machine.cpus_of_type(1);
+  std::vector<int> all_cpus = p_cpus;
+  all_cpus.insert(all_cpus.end(), e_cpus.begin(), e_cpus.end());
+
+  const auto [ob_p, t1] = run_hpl(machine, HplConfig::openblas(n), p_cpus);
+  const auto [ob_all, t2] = run_hpl(machine, HplConfig::openblas(n), all_cpus);
+  const auto [in_p, t3] = run_hpl(machine, HplConfig::intel(n), p_cpus);
+  const auto [in_all, t4] = run_hpl(machine, HplConfig::intel(n), all_cpus);
+
+  // The four orderings that constitute the paper's Table II story.
+  EXPECT_GT(in_p, ob_p) << "vendor build wins on P cores";
+  EXPECT_GT(in_all, ob_all) << "vendor build wins on all cores";
+  EXPECT_LT(ob_all, ob_p)
+      << "hybrid-unaware build is hurt by adding E cores";
+  EXPECT_GT(in_all, in_p)
+      << "hybrid-aware build benefits from adding E cores";
+  // And the headline: the all-core gap is the largest one.
+  EXPECT_GT((in_all - ob_all) / ob_all, 0.3);
+}
+
+TEST(HplModel, OrangePiFigureFourOrdering) {
+  const auto machine = cpumodel::orangepi800_rk3399();
+  const int n = 10240;
+  const auto [g_big, t_big] =
+      run_hpl(machine, HplConfig::openblas(n, 128), {4, 5});
+  const auto [g_little, t_little] =
+      run_hpl(machine, HplConfig::openblas(n, 128), {0, 1, 2, 3});
+  const auto [g_all, t_all] =
+      run_hpl(machine, HplConfig::openblas(n, 128), {0, 1, 2, 3, 4, 5});
+  EXPECT_LT(t_little, t_big)
+      << "thermal throttling makes 4 LITTLE faster than 2 big";
+  EXPECT_LT(t_all, t_little) << "all six still improve slightly";
+  EXPECT_LT((t_little - t_all) / t_little, 0.35)
+      << "but the improvement over 4 LITTLE is modest";
+  EXPECT_GT(g_all, g_little);
+}
+
+TEST(HplModel, MonitoredRunProducesTelemetryAndCounters) {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel kernel(machine, fast_kernel());
+  telemetry::MonitorConfig monitor;
+  monitor.sample_period_s = 1.0;
+  std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const auto result = telemetry::run_monitored_hpl(
+      kernel, HplConfig::openblas(13824, 192), cpus, monitor);
+  EXPECT_GT(result.gflops, 50.0);
+  EXPECT_GT(result.samples.size(), 3u);
+  ASSERT_EQ(result.counts_per_type.size(), 2u);
+  EXPECT_GT(result.counts_per_type[0].instructions, 0u);
+  EXPECT_EQ(result.counts_per_type[1].instructions, 0u)
+      << "P-only run touches no E cores";
+}
+
+TEST(ExecModel, MemoryWallGrowsWithFrequency) {
+  const auto core = cpumodel::raptor_lake_i7_13700().core_types[0];
+  const PhaseSpec phase = phases::memory_bound();
+  const double cpi_slow =
+      cycles_per_instruction(core, phase, MegaHertz{1000}, 1.0);
+  const double cpi_fast =
+      cycles_per_instruction(core, phase, MegaHertz{5000}, 1.0);
+  EXPECT_GT(cpi_fast, cpi_slow)
+      << "miss latency in ns costs more cycles at higher frequency";
+  // Contention inflates stalls further.
+  const double cpi_contended =
+      cycles_per_instruction(core, phase, MegaHertz{5000}, 2.0);
+  EXPECT_GT(cpi_contended, cpi_fast);
+}
+
+TEST(ExecModel, FlopsLimitedKernelsSaturateTheSimdUnits) {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  const PhaseSpec dgemm = phases::dgemm(1.0, 0.0, 0.0);
+  // At zero cache traffic, flops/cycle approaches the core's peak.
+  for (const auto& core : machine.core_types) {
+    const double cpi =
+        cycles_per_instruction(core, dgemm, core.dvfs.freq_base, 1.0);
+    const double flops_per_cycle = dgemm.flops_per_instr / cpi;
+    EXPECT_NEAR(flops_per_cycle, core.perf.flops_per_cycle_dp,
+                0.05 * core.perf.flops_per_cycle_dp)
+        << core.name;
+  }
+}
+
+TEST(ExecModel, CountsScaleLinearlyWithInstructions) {
+  const auto core = cpumodel::raptor_lake_i7_13700().core_types[1];
+  PhaseSpec phase;
+  phase.llc_refs_per_kinstr = 10.0;
+  phase.llc_miss_ratio = 0.5;
+  phase.branches_per_kinstr = 100.0;
+  const double cpi =
+      cycles_per_instruction(core, phase, MegaHertz{3000}, 1.0);
+  const auto counts =
+      make_counts(core, phase, 1'000'000, cpi, MegaHertz{3000});
+  EXPECT_EQ(counts.instructions, 1'000'000u);
+  EXPECT_EQ(counts.llc_references, 10'000u);
+  EXPECT_EQ(counts.llc_misses, 5'000u);
+  EXPECT_EQ(counts.branches, 100'000u);
+  EXPECT_NEAR(static_cast<double>(counts.cycles), 1e6 * cpi, 1.0);
+}
+
+}  // namespace
+}  // namespace hetpapi::workload

@@ -1,0 +1,173 @@
+// The paper's §IV-F validation: papi_hybrid_100m_one_eventset.
+//
+// "We have a test that runs 1 million instructions 100 times and
+//  measures the average retired events. The result should be roughly
+//  1 million. [...] On a heterogeneous machine with original PAPI you
+//  could specify only one of the events, so you might get 0, 1 million,
+//  or something in between depending how the OS scheduled the process.
+//  [...] With the new, patched, PAPI the test runs as expected:
+//    Average instructions p: 836848 e: 167487"
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "cpumodel/machine.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using papi::Library;
+using papi::LibraryConfig;
+using papi::SimBackend;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::PhaseSpec;
+using workload::WorkQueueProgram;
+
+constexpr std::uint64_t kMillion = 1'000'000;
+constexpr int kIterations = 100;
+
+struct HybridAverages {
+  double p = 0.0;
+  double e = 0.0;
+};
+
+/// Run the 1M x100 caliper loop measuring with explicit P and E events in
+/// one EventSet; returns the average per-iteration counts.
+HybridAverages run_hybrid_loop(SimKernel& kernel, Library& lib,
+                               const CpuSet& affinity) {
+  auto program = std::make_shared<WorkQueueProgram>();
+  const Tid tid = kernel.spawn(program, affinity);
+
+  auto set = lib.create_eventset();
+  EXPECT_TRUE(set.has_value());
+  EXPECT_TRUE(lib.attach(*set, tid).is_ok());
+  EXPECT_TRUE(lib.add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+  EXPECT_TRUE(lib.add_event(*set, "adl_grt::INST_RETIRED:ANY").is_ok());
+
+  std::uint64_t p_total = 0;
+  std::uint64_t e_total = 0;
+  PhaseSpec phase;  // plain integer loop
+  for (int i = 0; i < kIterations; ++i) {
+    EXPECT_TRUE(lib.start(*set).is_ok());
+    program->enqueue(phase, kMillion);
+    while (!program->idle()) kernel.run_for(std::chrono::milliseconds(1));
+    auto values = lib.stop(*set);
+    EXPECT_TRUE(values.has_value());
+    p_total += static_cast<std::uint64_t>((*values)[0]);
+    e_total += static_cast<std::uint64_t>((*values)[1]);
+  }
+  program->finish();
+  kernel.run_until_idle(std::chrono::seconds(5));
+
+  return HybridAverages{static_cast<double>(p_total) / kIterations,
+                        static_cast<double>(e_total) / kIterations};
+}
+
+TEST(HybridValidation, UnpinnedRunSplitsAcrossCoreTypesAndSumsToOneMillion) {
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 40.0;  // OS noise moves the thread
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  SimBackend backend(&kernel);
+  auto lib = Library::init(&backend);
+  ASSERT_TRUE(lib.has_value());
+
+  const HybridAverages avg = run_hybrid_loop(
+      kernel, **lib, CpuSet::all(kernel.machine().num_cpus()));
+
+  const double sum = avg.p + avg.e;
+  // "if you add them up they average near 1 million" — plus the small
+  // PAPI caliper overhead.
+  EXPECT_GE(sum, 1'000'000.0);
+  EXPECT_LE(sum, 1'030'000.0) << "overhead should stay minor";
+  EXPECT_GT(avg.p, 0.0) << "some instructions on the P cores";
+  EXPECT_GT(avg.e, 0.0) << "some instructions on the E cores";
+  EXPECT_GT(avg.p, avg.e)
+      << "placement biases toward the higher-capacity P cores";
+}
+
+TEST(HybridValidation, TasksetPinnedToPCoreCountsOnlyOnP) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  SimBackend backend(&kernel);
+  auto lib = Library::init(&backend);
+  ASSERT_TRUE(lib.has_value());
+
+  // taskset -c 0 (a P-core thread).
+  const HybridAverages avg = run_hybrid_loop(kernel, **lib, CpuSet::of({0}));
+  EXPECT_GE(avg.p, 1'000'000.0);
+  EXPECT_EQ(avg.e, 0.0);
+}
+
+TEST(HybridValidation, TasksetPinnedToECoreCountsOnlyOnE) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  SimBackend backend(&kernel);
+  auto lib = Library::init(&backend);
+  ASSERT_TRUE(lib.has_value());
+
+  // taskset -c 16 (an E-core).
+  const HybridAverages avg = run_hybrid_loop(kernel, **lib, CpuSet::of({16}));
+  EXPECT_EQ(avg.p, 0.0);
+  EXPECT_GE(avg.e, 1'000'000.0);
+}
+
+TEST(HybridValidation, LegacySingleEventUndercountsOnUnpinnedRun) {
+  // Original PAPI: only one of the two events can be in the EventSet, so
+  // the measured value is "0, 1 million, or something in between".
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 40.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  SimBackend backend(&kernel);
+  LibraryConfig lib_config;
+  lib_config.hybrid_support = false;
+  auto lib = Library::init(&backend, lib_config);
+  ASSERT_TRUE(lib.has_value());
+
+  auto program = std::make_shared<WorkQueueProgram>();
+  const Tid tid =
+      kernel.spawn(program, CpuSet::all(kernel.machine().num_cpus()));
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE((*lib)->attach(*set, tid).is_ok());
+  ASSERT_TRUE((*lib)->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+
+  PhaseSpec phase;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    ASSERT_TRUE((*lib)->start(*set).is_ok());
+    program->enqueue(phase, kMillion);
+    while (!program->idle()) kernel.run_for(std::chrono::milliseconds(1));
+    auto values = (*lib)->stop(*set);
+    ASSERT_TRUE(values.has_value());
+    total += static_cast<std::uint64_t>((*values)[0]);
+  }
+  program->finish();
+  const double average = static_cast<double>(total) / kIterations;
+  EXPECT_LT(average, 1'000'000.0)
+      << "P-only measurement must miss the E-core share";
+  EXPECT_GT(average, 0.0);
+}
+
+TEST(HybridValidation, PaperResidencySplitIsRoughlyFiveToOne) {
+  // The paper's measured run gives p:e ~ 836848:167487 (about 83:17).
+  // Our scheduler's capacity-biased placement should land in the same
+  // neighbourhood — this guards the calibration.
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 40.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  SimBackend backend(&kernel);
+  auto lib = Library::init(&backend);
+  ASSERT_TRUE(lib.has_value());
+
+  const HybridAverages avg = run_hybrid_loop(
+      kernel, **lib, CpuSet::all(kernel.machine().num_cpus()));
+  const double e_share = avg.e / (avg.p + avg.e);
+  EXPECT_GT(e_share, 0.05);
+  EXPECT_LT(e_share, 0.35) << "E residency should be the minority share";
+}
+
+}  // namespace
+}  // namespace hetpapi

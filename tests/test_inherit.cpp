@@ -1,0 +1,147 @@
+// attr.inherit / process-group counting: how `perf stat ./hpl` sees a
+// whole multithreaded run through events opened on the group leader.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/hpl.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using simkernel::CountKind;
+using simkernel::CpuSet;
+using simkernel::PerfEventAttr;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+PerfEventAttr inherit_attr(std::uint32_t type, CountKind kind) {
+  PerfEventAttr attr;
+  attr.type = type;
+  attr.config = static_cast<std::uint64_t>(kind);
+  attr.inherit = true;
+  return attr;
+}
+
+TEST(Inherit, LeaderEventCountsWholeGroup) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid leader = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 10'000'000), CpuSet::of({0}));
+  auto child_a = kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 20'000'000), CpuSet::of({2}),
+      leader);
+  auto child_b = kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 30'000'000), CpuSet::of({4}),
+      leader);
+  ASSERT_TRUE(child_a.has_value());
+  ASSERT_TRUE(child_b.has_value());
+
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  auto fd = kernel.perf_event_open(
+      inherit_attr(pmu->type_id, CountKind::kInstructions), leader, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  kernel.run_until_idle(std::chrono::seconds(30));
+  EXPECT_EQ(kernel.perf_read(*fd)->value, 60'000'000u)
+      << "leader + both children";
+}
+
+TEST(Inherit, NonInheritEventSeesOnlyTheLeader) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid leader = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 10'000'000), CpuSet::of({0}));
+  (void)kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 20'000'000), CpuSet::of({2}),
+      leader);
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  PerfEventAttr attr;
+  attr.type = pmu->type_id;
+  attr.config = static_cast<std::uint64_t>(CountKind::kInstructions);
+  auto fd = kernel.perf_event_open(attr, leader, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  kernel.run_until_idle(std::chrono::seconds(30));
+  EXPECT_EQ(kernel.perf_read(*fd)->value, 10'000'000u);
+}
+
+TEST(Inherit, GroupMembershipIsTransitive) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid leader = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000), CpuSet::of({0}));
+  auto child = kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000), CpuSet::of({2}),
+      leader);
+  // Spawning off the child still lands in the leader's group.
+  auto grandchild = kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000), CpuSet::of({4}),
+      *child);
+  ASSERT_TRUE(grandchild.has_value());
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  auto fd = kernel.perf_event_open(
+      inherit_attr(pmu->type_id, CountKind::kInstructions), leader, -1, -1);
+  kernel.run_until_idle(std::chrono::seconds(30));
+  EXPECT_EQ(kernel.perf_read(*fd)->value, 3'000'000u);
+}
+
+TEST(Inherit, SpawnInGroupValidatesLeader) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(2));
+  PhaseSpec phase;
+  auto bad = kernel.spawn_in_group(
+      std::make_shared<FixedWorkProgram>(phase, 1), CpuSet::of({0}), 42);
+  ASSERT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Inherit, PerfStatStyleMeasurementOfWholeHplRun) {
+  // The paper's Table III methodology, end to end: measure a whole
+  // multithreaded HPL run with one inherited event per core PMU (what
+  // `perf stat -e ...` does when launching the binary).
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(machine, config);
+
+  std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const auto e_cpus = machine.cpus_of_type(1);
+  cpus.insert(cpus.end(), e_cpus.begin(), e_cpus.end());
+  workload::HplSimulation hpl(workload::HplConfig::openblas(9216, 192),
+                              static_cast<int>(cpus.size()));
+  // Worker 0 is the "process"; the rest join its group, as OpenMP
+  // workers join the main thread's.
+  const Tid leader =
+      kernel.spawn(hpl.make_worker(0), CpuSet::of({cpus[0]}));
+  std::vector<Tid> all_tids{leader};
+  for (std::size_t i = 1; i < cpus.size(); ++i) {
+    all_tids.push_back(*kernel.spawn_in_group(
+        hpl.make_worker(static_cast<int>(i)), CpuSet::of({cpus[i]}),
+        leader));
+  }
+
+  const auto* p_pmu = kernel.pmus().find_by_name("cpu_core");
+  const auto* e_pmu = kernel.pmus().find_by_name("cpu_atom");
+  auto p_fd = kernel.perf_event_open(
+      inherit_attr(p_pmu->type_id, CountKind::kInstructions), leader, -1, -1);
+  auto e_fd = kernel.perf_event_open(
+      inherit_attr(e_pmu->type_id, CountKind::kInstructions), leader, -1, -1);
+  ASSERT_TRUE(p_fd.has_value());
+  ASSERT_TRUE(e_fd.has_value());
+
+  kernel.run_until_idle(std::chrono::seconds(600));
+
+  std::uint64_t p_truth = 0;
+  std::uint64_t e_truth = 0;
+  for (const Tid tid : all_tids) {
+    p_truth += kernel.ground_truth(tid)->per_type[0].instructions;
+    e_truth += kernel.ground_truth(tid)->per_type[1].instructions;
+  }
+  EXPECT_EQ(kernel.perf_read(*p_fd)->value, p_truth);
+  EXPECT_EQ(kernel.perf_read(*e_fd)->value, e_truth);
+  EXPECT_GT(p_truth, e_truth) << "Table III's P-heavy split";
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,0 +1,149 @@
+// Real-kernel backend smoke tests, runtime-gated on perf_event_open
+// availability (only software events are assumed; this VM has no
+// hardware PMU, which is itself asserted where meaningful).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "linuxkernel/linux_backend.hpp"
+#include "papi/library.hpp"
+
+namespace hetpapi {
+namespace {
+
+using linuxkernel::LinuxBackend;
+using linuxkernel::LinuxHost;
+using linuxkernel::perf_event_available;
+using simkernel::CountKind;
+using simkernel::PerfEventAttr;
+using simkernel::PerfIoctl;
+
+#define SKIP_WITHOUT_PERF()                                         \
+  if (!perf_event_available()) {                                    \
+    GTEST_SKIP() << "perf_event_open unavailable in this sandbox";  \
+  }
+
+volatile std::uint64_t g_sink = 0;
+
+void burn_cpu_ms(int ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  std::uint64_t x = 1;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 10000; ++i) x = x * 6364136223846793005ULL + 1;
+    g_sink = x;
+  }
+}
+
+TEST(LinuxHost, ReadsRealProcAndSys) {
+  LinuxHost host;
+  EXPECT_GE(host.num_cpus(), 1);
+  const auto cpuinfo = host.read_file("/proc/cpuinfo");
+  ASSERT_TRUE(cpuinfo.has_value());
+  EXPECT_FALSE(cpuinfo->empty());
+  const auto devices = host.list_dir("/sys/devices");
+  ASSERT_TRUE(devices.has_value());
+  EXPECT_FALSE(devices->empty());
+  EXPECT_EQ(host.read_file("/definitely/not/a/path").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(LinuxHost, CpuidBehavesByArchitecture) {
+  LinuxHost host;
+  const auto kind = host.cpuid_core_kind(0);
+#if defined(__x86_64__) || defined(__i386__)
+  ASSERT_TRUE(kind.has_value());
+  // Whatever the part, the value is one of the defined encodings.
+  EXPECT_TRUE(*kind == cpumodel::IntelCoreKind::kNone ||
+              *kind == cpumodel::IntelCoreKind::kAtom ||
+              *kind == cpumodel::IntelCoreKind::kCore);
+#else
+  EXPECT_FALSE(kind.has_value());
+#endif
+}
+
+TEST(LinuxBackend, TaskClockCountsWhileBurningCpu) {
+  SKIP_WITHOUT_PERF();
+  LinuxBackend backend;
+  PerfEventAttr attr;
+  attr.type = simkernel::kPerfTypeSoftware;
+  attr.config = static_cast<std::uint64_t>(CountKind::kTaskClockNs);
+  attr.disabled = true;
+  auto fd = backend.perf_event_open(attr, 0, -1, -1, 0);
+  ASSERT_TRUE(fd.has_value()) << fd.status().to_string();
+  ASSERT_TRUE(backend.perf_ioctl(*fd, PerfIoctl::kEnable, 0).is_ok());
+  burn_cpu_ms(30);
+  ASSERT_TRUE(backend.perf_ioctl(*fd, PerfIoctl::kDisable, 0).is_ok());
+  auto value = backend.perf_read(*fd);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_GT(value->value, 10'000'000u) << "at least 10 ms of task clock";
+  EXPECT_TRUE(backend.perf_close(*fd).is_ok());
+}
+
+TEST(LinuxBackend, GroupReadReturnsAllMembers) {
+  SKIP_WITHOUT_PERF();
+  LinuxBackend backend;
+  PerfEventAttr attr;
+  attr.type = simkernel::kPerfTypeSoftware;
+  attr.config = static_cast<std::uint64_t>(CountKind::kTaskClockNs);
+  attr.read_format = simkernel::kFormatGroup |
+                     simkernel::kFormatTotalTimeEnabled |
+                     simkernel::kFormatTotalTimeRunning;
+  attr.disabled = true;
+  auto leader = backend.perf_event_open(attr, 0, -1, -1, 0);
+  ASSERT_TRUE(leader.has_value());
+  attr.config = static_cast<std::uint64_t>(CountKind::kContextSwitches);
+  attr.disabled = false;
+  auto sibling = backend.perf_event_open(attr, 0, -1, *leader, 0);
+  ASSERT_TRUE(sibling.has_value());
+
+  ASSERT_TRUE(backend
+                  .perf_ioctl(*leader, PerfIoctl::kEnable,
+                              simkernel::kIocFlagGroup)
+                  .is_ok());
+  burn_cpu_ms(20);
+  auto values = backend.perf_read_group(*leader);
+  ASSERT_TRUE(values.has_value()) << values.status().to_string();
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_GT((*values)[0].value, 0u);
+  (void)backend.perf_close(*sibling);
+  (void)backend.perf_close(*leader);
+}
+
+TEST(LinuxBackend, ResetZeroesTheCount) {
+  SKIP_WITHOUT_PERF();
+  LinuxBackend backend;
+  PerfEventAttr attr;
+  attr.type = simkernel::kPerfTypeSoftware;
+  attr.config = static_cast<std::uint64_t>(CountKind::kTaskClockNs);
+  attr.disabled = false;
+  auto fd = backend.perf_event_open(attr, 0, -1, -1, 0);
+  ASSERT_TRUE(fd.has_value());
+  burn_cpu_ms(10);
+  ASSERT_GT(backend.perf_read(*fd)->value, 0u);
+  ASSERT_TRUE(backend.perf_ioctl(*fd, PerfIoctl::kReset, 0).is_ok());
+  // Immediately after reset the count restarts near zero (well under
+  // what was accumulated).
+  EXPECT_LT(backend.perf_read(*fd)->value, 5'000'000u);
+  (void)backend.perf_close(*fd);
+}
+
+TEST(LinuxBackend, RdpmcIsNotSupported) {
+  LinuxBackend backend;
+  EXPECT_EQ(backend.perf_rdpmc(3).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(LinuxBackend, UnknownKindMappingsAreRejected) {
+  SKIP_WITHOUT_PERF();
+  LinuxBackend backend;
+  PerfEventAttr attr;
+  attr.type = simkernel::kPerfTypeSoftware;
+  attr.config = static_cast<std::uint64_t>(CountKind::kEnergyPkgUj);
+  auto fd = backend.perf_event_open(attr, 0, -1, -1, 0);
+  ASSERT_FALSE(fd.has_value());
+  EXPECT_EQ(fd.status().code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace hetpapi

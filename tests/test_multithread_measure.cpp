@@ -1,0 +1,146 @@
+// Concurrent measurement of multiple threads: one EventSet per thread
+// can run simultaneously (the per-thread component rule), which is how a
+// multi-threaded application like HPL is measured with calipers; the
+// package-scope components (RAPL) stay globally exclusive.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/hpl.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using papi::Library;
+using papi::LibraryConfig;
+using papi::SimBackend;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+class MultithreadTest : public ::testing::Test {
+ protected:
+  MultithreadTest()
+      : kernel_(cpumodel::raptor_lake_i7_13700()), backend_(&kernel_) {
+    LibraryConfig config;
+    config.call_overhead_instructions = 0;
+    auto lib = Library::init(&backend_, config);
+    EXPECT_TRUE(lib.has_value());
+    lib_ = std::move(*lib);
+  }
+
+  SimKernel kernel_;
+  SimBackend backend_;
+  std::unique_ptr<Library> lib_;
+};
+
+TEST_F(MultithreadTest, EventSetsOnDifferentThreadsRunConcurrently) {
+  PhaseSpec phase;
+  const Tid a = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 40'000'000), CpuSet::of({0}));
+  const Tid b = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 70'000'000), CpuSet::of({16}));
+
+  auto set_a = lib_->create_eventset();
+  auto set_b = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach(*set_a, a).is_ok());
+  ASSERT_TRUE(lib_->attach(*set_b, b).is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_a, "PAPI_TOT_INS").is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_b, "PAPI_TOT_INS").is_ok());
+
+  ASSERT_TRUE(lib_->start(*set_a).is_ok());
+  ASSERT_TRUE(lib_->start(*set_b).is_ok())
+      << "per-thread component locks must not collide";
+  kernel_.run_until_idle(std::chrono::seconds(30));
+  auto values_a = lib_->stop(*set_a);
+  auto values_b = lib_->stop(*set_b);
+  ASSERT_TRUE(values_a.has_value());
+  ASSERT_TRUE(values_b.has_value());
+  EXPECT_EQ((*values_a)[0], 40'000'000);
+  EXPECT_EQ((*values_b)[0], 70'000'000);
+}
+
+TEST_F(MultithreadTest, SameThreadStillConflicts) {
+  PhaseSpec phase;
+  const Tid tid = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000ULL),
+      CpuSet::of({0}));
+  auto set_a = lib_->create_eventset();
+  auto set_b = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach(*set_a, tid).is_ok());
+  ASSERT_TRUE(lib_->attach(*set_b, tid).is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_a, "PAPI_TOT_INS").is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_b, "PAPI_TOT_CYC").is_ok());
+  ASSERT_TRUE(lib_->start(*set_a).is_ok());
+  EXPECT_EQ(lib_->start(*set_b).code(), StatusCode::kConflict);
+  ASSERT_TRUE(lib_->stop(*set_a).has_value());
+  EXPECT_TRUE(lib_->start(*set_b).is_ok());
+  ASSERT_TRUE(lib_->stop(*set_b).has_value());
+}
+
+TEST_F(MultithreadTest, RaplComponentIsPackageGlobal) {
+  PhaseSpec phase;
+  const Tid a = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000ULL),
+      CpuSet::of({0}));
+  const Tid b = kernel_.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000ULL),
+      CpuSet::of({2}));
+  auto set_a = lib_->create_eventset();
+  auto set_b = lib_->create_eventset();
+  ASSERT_TRUE(lib_->attach(*set_a, a).is_ok());
+  ASSERT_TRUE(lib_->attach(*set_b, b).is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_a, "rapl::RAPL_ENERGY_PKG").is_ok());
+  ASSERT_TRUE(lib_->add_event(*set_b, "rapl::RAPL_ENERGY_PKG").is_ok());
+  ASSERT_TRUE(lib_->start(*set_a).is_ok());
+  EXPECT_EQ(lib_->start(*set_b).code(), StatusCode::kConflict)
+      << "there is only one package energy counter";
+  ASSERT_TRUE(lib_->stop(*set_a).has_value());
+}
+
+TEST_F(MultithreadTest, PerWorkerCalipersOverHplSumToGroundTruth) {
+  // Measure every worker of a small all-core HPL run with its own
+  // hybrid EventSet — the workflow a PAPI-instrumented HPL would use —
+  // and check the per-worker P+E sums against the simulator's truth.
+  const auto& machine = kernel_.machine();
+  std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const std::vector<int> e_cpus = machine.cpus_of_type(1);
+  cpus.insert(cpus.end(), e_cpus.begin(), e_cpus.end());
+
+  workload::HplSimulation hpl(workload::HplConfig::openblas(4608, 192),
+                              static_cast<int>(cpus.size()));
+  std::vector<Tid> tids;
+  std::vector<int> sets;
+  for (std::size_t i = 0; i < cpus.size(); ++i) {
+    const Tid tid = kernel_.spawn(hpl.make_worker(static_cast<int>(i)),
+                                  CpuSet::of({cpus[i]}));
+    tids.push_back(tid);
+    auto set = lib_->create_eventset();
+    ASSERT_TRUE(lib_->attach(*set, tid).is_ok());
+    ASSERT_TRUE(lib_->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+    ASSERT_TRUE(lib_->add_event(*set, "adl_grt::INST_RETIRED:ANY").is_ok());
+    ASSERT_TRUE(lib_->start(*set).is_ok());
+    sets.push_back(*set);
+  }
+  kernel_.run_until_idle(std::chrono::seconds(600));
+
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    auto values = lib_->stop(sets[i]);
+    ASSERT_TRUE(values.has_value());
+    const auto* truth = kernel_.ground_truth(tids[i]);
+    EXPECT_EQ(static_cast<std::uint64_t>((*values)[0]),
+              truth->per_type[0].instructions)
+        << "worker " << i;
+    EXPECT_EQ(static_cast<std::uint64_t>((*values)[1]),
+              truth->per_type[1].instructions)
+        << "worker " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,0 +1,195 @@
+// The event library: PMU scanning/binding (including the ARM MIDR path
+// and the legacy single-PMU scan bug), name parsing/encoding, and the
+// multiple-default-PMU behaviour of §IV-D.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "pfm/pfmlib.hpp"
+#include "pfm/sim_host.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi::pfm {
+namespace {
+
+using simkernel::CountKind;
+using simkernel::SimKernel;
+
+TEST(EventDb, TablesExposeExpectedAsymmetries) {
+  const PmuTable* glc = table_by_name("adl_glc");
+  const PmuTable* grt = table_by_name("adl_grt");
+  ASSERT_NE(glc, nullptr);
+  ASSERT_NE(grt, nullptr);
+  EXPECT_NE(glc->find_event("TOPDOWN"), nullptr);
+  EXPECT_EQ(grt->find_event("TOPDOWN"), nullptr)
+      << "topdown is P-core only (§I-C)";
+  EXPECT_NE(grt->find_event("MEM_BOUND_STALLS"), nullptr)
+      << "E-core-specific stall event";
+  EXPECT_EQ(glc->find_event("MEM_BOUND_STALLS"), nullptr);
+}
+
+TEST(EventDb, UmaskLookupIsCaseInsensitive) {
+  const PmuTable* glc = table_by_name("adl_glc");
+  const EventDesc* event = glc->find_event("inst_retired");
+  ASSERT_NE(event, nullptr);
+  EXPECT_NE(event->find_umask("any"), nullptr);
+  EXPECT_EQ(event->find_umask("bogus"), nullptr);
+}
+
+class PfmRaptorLakeTest : public ::testing::Test {
+ protected:
+  PfmRaptorLakeTest()
+      : kernel_(cpumodel::raptor_lake_i7_13700()), host_(&kernel_) {
+    EXPECT_TRUE(lib_.initialize(host_).is_ok());
+  }
+  SimKernel kernel_;
+  SimHost host_;
+  PfmLibrary lib_;
+};
+
+TEST_F(PfmRaptorLakeTest, ActivatesBothCorePmusPlusRaplAndUncore) {
+  EXPECT_NE(lib_.find_pmu("adl_glc"), nullptr);
+  EXPECT_NE(lib_.find_pmu("adl_grt"), nullptr);
+  EXPECT_NE(lib_.find_pmu("rapl"), nullptr);
+  EXPECT_NE(lib_.find_pmu("unc_imc_0"), nullptr);
+  EXPECT_NE(lib_.find_pmu("perf"), nullptr);
+  EXPECT_EQ(lib_.find_pmu("arm_a72"), nullptr);
+}
+
+TEST_F(PfmRaptorLakeTest, DefaultPmusRankPCoreFirst) {
+  const auto defaults = lib_.default_pmus();
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[0]->table->pfm_name, "adl_glc");
+  EXPECT_EQ(defaults[1]->table->pfm_name, "adl_grt");
+}
+
+TEST_F(PfmRaptorLakeTest, EncodePrefixedEventAndUmask) {
+  const auto enc = lib_.encode("adl_grt::INST_RETIRED:ANY");
+  ASSERT_TRUE(enc.has_value()) << enc.status().to_string();
+  EXPECT_EQ(enc->pmu_name, "adl_grt");
+  EXPECT_EQ(enc->kind, CountKind::kInstructions);
+  EXPECT_EQ(enc->canonical_name, "adl_grt::INST_RETIRED:ANY");
+  const auto* atom = kernel_.pmus().find_by_name("cpu_atom");
+  EXPECT_EQ(enc->perf_type, atom->type_id);
+}
+
+TEST_F(PfmRaptorLakeTest, EncodeUnprefixedSearchesDefaultsInOrder) {
+  const auto enc = lib_.encode("INST_RETIRED:ANY");
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(enc->pmu_name, "adl_glc") << "P core searched first";
+  // An event that only the E-core table has falls through to it.
+  const auto grt_only = lib_.encode("MEM_BOUND_STALLS");
+  ASSERT_TRUE(grt_only.has_value());
+  EXPECT_EQ(grt_only->pmu_name, "adl_grt");
+}
+
+TEST_F(PfmRaptorLakeTest, EncodeErrors) {
+  EXPECT_EQ(lib_.encode("nope::INST_RETIRED").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(lib_.encode("adl_glc::NO_SUCH_EVENT").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(lib_.encode("adl_glc::INST_RETIRED:BADMASK").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(lib_.encode("adl_glc::LONGEST_LAT_CACHE").status().code(),
+            StatusCode::kInvalidArgument)
+      << "umask required";
+  EXPECT_EQ(lib_.encode("TOTALLY_UNKNOWN").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(PfmRaptorLakeTest, CaseInsensitiveNames) {
+  const auto enc = lib_.encode("ADL_GLC::inst_retired:any");
+  ASSERT_TRUE(enc.has_value());
+  EXPECT_EQ(enc->canonical_name, "adl_glc::INST_RETIRED:ANY");
+}
+
+TEST_F(PfmRaptorLakeTest, EventNamesEnumerateUmaskExpansions) {
+  const auto names = lib_.event_names(*lib_.find_pmu("adl_glc"));
+  EXPECT_GT(names.size(), 10u);
+  EXPECT_NE(std::find(names.begin(), names.end(),
+                      "adl_glc::LONGEST_LAT_CACHE:MISS"),
+            names.end());
+}
+
+TEST_F(PfmRaptorLakeTest, LegacySingleDefaultModeFailsOnHybrid) {
+  PfmLibrary legacy;
+  PfmLibrary::Config config;
+  config.multiple_default_pmus = false;
+  ASSERT_TRUE(legacy.initialize(host_, config).is_ok());
+  // Prefixed lookups still work...
+  EXPECT_TRUE(legacy.encode("adl_glc::INST_RETIRED:ANY").has_value());
+  // ...but unprefixed ones hit the multiple-default breakage (§IV-D).
+  EXPECT_EQ(legacy.encode("INST_RETIRED:ANY").status().code(),
+            StatusCode::kConflict);
+}
+
+TEST(PfmArm, BindsClustersByMidrDespiteAmbiguousDevicetreeNames) {
+  SimKernel kernel(cpumodel::orangepi800_rk3399());
+  SimHost host(&kernel);
+  PfmLibrary lib;
+  ASSERT_TRUE(lib.initialize(host).is_ok());
+  // Both PMUs are named armv8_pmuv3_N in sysfs; binding must go through
+  // the MIDR of the covered cpus.
+  const ActivePmu* a72 = lib.find_pmu("arm_a72");
+  const ActivePmu* a53 = lib.find_pmu("arm_a53");
+  ASSERT_NE(a72, nullptr);
+  ASSERT_NE(a53, nullptr);
+  EXPECT_EQ(a72->cpus, (std::vector<int>{4, 5}));
+  EXPECT_EQ(a53->cpus, (std::vector<int>{0, 1, 2, 3}));
+  const auto defaults = lib.default_pmus();
+  ASSERT_EQ(defaults.size(), 2u);
+  EXPECT_EQ(defaults[0]->table->pfm_name, "arm_a72") << "big ranks first";
+}
+
+TEST(PfmArm, LegacyScanSeesOnlyOneCluster) {
+  // §IV-C: pre-patch libpfm4 stopped after the first ARM PMU, leaving
+  // one big.LITTLE cluster without events.
+  SimKernel kernel(cpumodel::orangepi800_rk3399());
+  SimHost host(&kernel);
+  PfmLibrary lib;
+  PfmLibrary::Config config;
+  config.arm_multi_pmu_patch = false;
+  ASSERT_TRUE(lib.initialize(host, config).is_ok());
+  int core_pmus = 0;
+  for (const ActivePmu& pmu : lib.pmus()) {
+    if (pmu.is_core) ++core_pmus;
+  }
+  EXPECT_EQ(core_pmus, 1);
+  // Scanned in sysfs order: armv8_pmuv3_0 (the A53 cluster) wins.
+  EXPECT_NE(lib.find_pmu("arm_a53"), nullptr);
+  EXPECT_EQ(lib.find_pmu("arm_a72"), nullptr);
+}
+
+TEST(PfmHomogeneous, TraditionalMachineActivatesOneCorePmu) {
+  SimKernel kernel(cpumodel::homogeneous_xeon());
+  SimHost host(&kernel);
+  PfmLibrary lib;
+  ASSERT_TRUE(lib.initialize(host).is_ok());
+  const auto defaults = lib.default_pmus();
+  ASSERT_EQ(defaults.size(), 1u);
+  EXPECT_EQ(defaults[0]->table->pfm_name, "skx");
+  // Unprefixed lookup works the traditional way.
+  EXPECT_TRUE(lib.encode("INST_RETIRED:ANY").has_value());
+}
+
+TEST(PfmThreeType, AllThreeClustersBind) {
+  SimKernel kernel(cpumodel::arm_three_type());
+  SimHost host(&kernel);
+  PfmLibrary lib;
+  ASSERT_TRUE(lib.initialize(host).is_ok());
+  EXPECT_NE(lib.find_pmu("arm_x1"), nullptr);
+  EXPECT_NE(lib.find_pmu("arm_a78"), nullptr);
+  EXPECT_NE(lib.find_pmu("arm_a55"), nullptr);
+  const auto defaults = lib.default_pmus();
+  ASSERT_EQ(defaults.size(), 3u);
+  EXPECT_EQ(defaults[0]->table->pfm_name, "arm_x1");
+  EXPECT_EQ(defaults[2]->table->pfm_name, "arm_a55");
+}
+
+TEST(PfmErrors, UninitializedLibraryRefusesEncode) {
+  PfmLibrary lib;
+  EXPECT_EQ(lib.encode("INST_RETIRED").status().code(),
+            StatusCode::kComponent);
+}
+
+}  // namespace
+}  // namespace hetpapi::pfm

@@ -1,0 +1,99 @@
+// The kernel-side PMU registry: per-machine PMU sets, type-id
+// allocation, counter properties, and fixed-counter classification.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/pmu.hpp"
+
+namespace hetpapi::simkernel {
+namespace {
+
+TEST(PmuRegistry, RaptorLakeExportsExpectedPmuSet) {
+  const auto registry = PmuRegistry::build(cpumodel::raptor_lake_i7_13700());
+  ASSERT_EQ(registry.all().size(), 5u);  // sw + 2 core + rapl + imc
+  const PmuDesc* core = registry.find_by_name("cpu_core");
+  const PmuDesc* atom = registry.find_by_name("cpu_atom");
+  ASSERT_NE(core, nullptr);
+  ASSERT_NE(atom, nullptr);
+  EXPECT_EQ(core->type_id, kPerfTypeRaw)
+      << "cpu_core inherits the legacy type 4 slot on hybrid x86";
+  EXPECT_GE(atom->type_id, kPerfTypeFirstDynamic);
+  EXPECT_NE(core->type_id, atom->type_id);
+  EXPECT_EQ(core->num_gp_counters, 8);
+  EXPECT_EQ(atom->num_gp_counters, 6);
+  EXPECT_EQ(registry.core_pmus().size(), 2u);
+}
+
+TEST(PmuRegistry, TypeIdsAreUniqueAcrossAllPmus) {
+  for (const auto& machine :
+       {cpumodel::raptor_lake_i7_13700(), cpumodel::orangepi800_rk3399(),
+        cpumodel::homogeneous_xeon(), cpumodel::arm_three_type(),
+        cpumodel::sierra_forest_e_only(),
+        cpumodel::granite_rapids_p_only()}) {
+    const auto registry = PmuRegistry::build(machine);
+    std::set<std::uint32_t> ids;
+    for (const PmuDesc& pmu : registry.all()) {
+      EXPECT_TRUE(ids.insert(pmu.type_id).second)
+          << machine.name << ": duplicate type id " << pmu.type_id;
+    }
+  }
+}
+
+TEST(PmuRegistry, CorePmuForCpuFollowsTopology) {
+  const auto registry = PmuRegistry::build(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(registry.core_pmu_for_cpu(0)->sysfs_name, "cpu_core");
+  EXPECT_EQ(registry.core_pmu_for_cpu(15)->sysfs_name, "cpu_core");
+  EXPECT_EQ(registry.core_pmu_for_cpu(16)->sysfs_name, "cpu_atom");
+  EXPECT_EQ(registry.core_pmu_for_cpu(23)->sysfs_name, "cpu_atom");
+  EXPECT_EQ(registry.core_pmu_for_cpu(99), nullptr);
+}
+
+TEST(PmuRegistry, FixedCounterClassification) {
+  const auto registry = PmuRegistry::build(cpumodel::raptor_lake_i7_13700());
+  const PmuDesc* core = registry.find_by_name("cpu_core");
+  const PmuDesc* atom = registry.find_by_name("cpu_atom");
+  // Instructions/cycles/ref-cycles ride fixed counters on both.
+  for (const CountKind kind :
+       {CountKind::kInstructions, CountKind::kCycles, CountKind::kRefCycles}) {
+    EXPECT_TRUE(core->is_fixed(kind));
+    EXPECT_TRUE(atom->is_fixed(kind));
+  }
+  // The topdown slots fixed counter exists only on the P core (4 fixed).
+  EXPECT_TRUE(core->is_fixed(CountKind::kTopdownSlots));
+  EXPECT_FALSE(atom->is_fixed(CountKind::kTopdownSlots));
+  // GP-only kinds are never fixed.
+  EXPECT_FALSE(core->is_fixed(CountKind::kLlcMisses));
+}
+
+TEST(PmuRegistry, TopdownSupportIsPCoreOnly) {
+  const auto registry = PmuRegistry::build(cpumodel::raptor_lake_i7_13700());
+  EXPECT_TRUE(registry.find_by_name("cpu_core")->supports(
+      CountKind::kTopdownSlots));
+  EXPECT_FALSE(registry.find_by_name("cpu_atom")->supports(
+      CountKind::kTopdownSlots));
+  // ARM cores never get Intel topdown.
+  const auto arm = PmuRegistry::build(cpumodel::orangepi800_rk3399());
+  for (const PmuDesc* pmu : arm.core_pmus()) {
+    EXPECT_FALSE(pmu->supports(CountKind::kTopdownSlots));
+  }
+}
+
+TEST(PmuRegistry, NoRaplOrUncoreWithoutRaplSupport) {
+  const auto arm = PmuRegistry::build(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(arm.find_by_name("power"), nullptr);
+  EXPECT_EQ(arm.find_by_name("uncore_imc_0"), nullptr);
+  const auto intel = PmuRegistry::build(cpumodel::raptor_lake_i7_13700());
+  EXPECT_NE(intel.find_by_name("power"), nullptr);
+  EXPECT_TRUE(intel.find_by_name("power")->supports(CountKind::kEnergyDramUj));
+}
+
+TEST(PmuRegistry, HomogeneousMachineKeepsTraditionalLayout) {
+  const auto registry = PmuRegistry::build(cpumodel::homogeneous_xeon());
+  const PmuDesc* cpu = registry.find_by_name("cpu");
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->type_id, kPerfTypeRaw);
+  EXPECT_EQ(registry.core_pmus().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,139 @@
+// Program building blocks: FixedWorkProgram, WorkQueueProgram,
+// SpinProgram, and the run_phase_slice progress contract.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi::workload {
+namespace {
+
+using simkernel::CpuSet;
+using simkernel::ExecContext;
+using simkernel::SimKernel;
+using simkernel::Tid;
+
+ExecContext make_context(const cpumodel::CoreTypeSpec* core,
+                         MegaHertz frequency) {
+  ExecContext ctx;
+  ctx.core_type = core;
+  ctx.frequency = frequency;
+  return ctx;
+}
+
+TEST(RunPhaseSlice, RespectsInstructionCap) {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  const ExecContext ctx = make_context(&machine.core_types[0],
+                                       MegaHertz{3000});
+  PhaseSpec phase;
+  const auto slice =
+      run_phase_slice(ctx, phase, std::chrono::milliseconds(10), 1000);
+  EXPECT_EQ(slice.counts.instructions, 1000u);
+  EXPECT_LT(slice.consumed, std::chrono::milliseconds(10))
+      << "tiny work finishes early and returns the leftover budget";
+}
+
+TEST(RunPhaseSlice, GuaranteesProgressOnTinyBudgets) {
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  const ExecContext ctx = make_context(&machine.core_types[1],
+                                       MegaHertz{800});
+  PhaseSpec phase;
+  // A 1 ns budget fits no instruction at this CPI; the slice must still
+  // consume the budget and retire at least one instruction so callers
+  // cannot spin forever.
+  const auto slice =
+      run_phase_slice(ctx, phase, SimDuration{1}, 1'000'000);
+  EXPECT_GE(slice.counts.instructions, 1u);
+  EXPECT_EQ(slice.consumed, SimDuration{1});
+}
+
+TEST(FixedWorkProgram, RetiresExactlyTheRequestedInstructions) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 123'456'789), CpuSet::of({0}));
+  kernel.run_until_idle(std::chrono::seconds(60));
+  EXPECT_EQ(kernel.ground_truth(tid)->total().instructions, 123'456'789u);
+  EXPECT_FALSE(kernel.thread_alive(tid));
+}
+
+TEST(FixedWorkProgram, ZeroInstructionsFinishesImmediately) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(std::make_shared<FixedWorkProgram>(phase, 0),
+                               CpuSet::of({0}));
+  kernel.run_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(kernel.thread_alive(tid));
+  EXPECT_EQ(kernel.ground_truth(tid)->total().instructions, 0u);
+}
+
+TEST(WorkQueueProgram, DrainsChunksInOrderAndIdlesBetween) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  auto program = std::make_shared<WorkQueueProgram>();
+  const Tid tid = kernel.spawn(program, CpuSet::of({0}));
+
+  PhaseSpec compute;
+  compute.flops_per_instr = 2.0;
+  program->enqueue(compute, 10'000'000);
+  kernel.run_for(std::chrono::seconds(1));
+  EXPECT_TRUE(program->idle());
+  const auto after_first = kernel.ground_truth(tid)->total();
+  EXPECT_EQ(after_first.instructions, 10'000'000u);
+  EXPECT_EQ(after_first.flops_dp, 20'000'000u);
+
+  // Idle period: no instructions retired while waiting.
+  kernel.run_for(std::chrono::seconds(1));
+  EXPECT_EQ(kernel.ground_truth(tid)->total().instructions, 10'000'000u);
+  EXPECT_TRUE(kernel.thread_alive(tid)) << "waiting, not exited";
+
+  PhaseSpec memory = phases::memory_bound();
+  program->enqueue(memory, 5'000'000);
+  program->enqueue(compute, 5'000'000);
+  kernel.run_for(std::chrono::seconds(2));
+  const auto total = kernel.ground_truth(tid)->total();
+  EXPECT_EQ(total.instructions, 20'000'000u);
+  EXPECT_GT(total.llc_misses, 0u) << "memory chunk ran";
+
+  program->finish();
+  kernel.run_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(kernel.thread_alive(tid));
+}
+
+TEST(SpinProgram, BoundedSpinEndsOnTime) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  const Tid tid = kernel.spawn(
+      std::make_shared<SpinProgram>(std::chrono::milliseconds(50)),
+      CpuSet::of({0}));
+  kernel.run_for(std::chrono::milliseconds(40));
+  EXPECT_TRUE(kernel.thread_alive(tid));
+  kernel.run_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(kernel.thread_alive(tid));
+  // Spin retires instructions at low activity.
+  EXPECT_GT(kernel.ground_truth(tid)->total().instructions, 0u);
+}
+
+TEST(SpinProgram, UnboundedSpinRunsUntilAbandoned) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  const Tid tid = kernel.spawn(std::make_shared<SpinProgram>(),
+                               CpuSet::of({0}));
+  kernel.run_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(kernel.thread_alive(tid));
+  const auto cpu_time = kernel.ground_truth(tid)->total_cpu_time;
+  EXPECT_NEAR(static_cast<double>(cpu_time.count()), 100e6, 1e6)
+      << "the spinner owns the cpu for the whole window";
+}
+
+TEST(Injection, OverheadInstructionsLandInTheNextSlice) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  auto program = std::make_shared<WorkQueueProgram>();
+  const Tid tid = kernel.spawn(program, CpuSet::of({0}));
+  PhaseSpec phase;
+  program->enqueue(phase, 1'000'000);
+  kernel.inject_instructions(tid, 5'000);
+  kernel.run_for(std::chrono::seconds(1));
+  EXPECT_EQ(kernel.ground_truth(tid)->total().instructions, 1'005'000u);
+}
+
+}  // namespace
+}  // namespace hetpapi::workload

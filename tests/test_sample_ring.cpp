@@ -1,0 +1,142 @@
+// Sample ring buffers (perf record semantics): record contents, drain
+// behaviour, capacity/lost accounting, interaction with core types.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using simkernel::CountKind;
+using simkernel::CpuSet;
+using simkernel::PerfEventAttr;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+PerfEventAttr sampling_attr(std::uint32_t type, std::uint64_t period) {
+  PerfEventAttr attr;
+  attr.type = type;
+  attr.config = static_cast<std::uint64_t>(CountKind::kInstructions);
+  attr.sample_period = period;
+  return attr;
+}
+
+TEST(SampleRing, RecordsCarryTimeCpuTidAndCoreType) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 50'000'000), CpuSet::of({2}));
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  auto fd = kernel.perf_event_open(sampling_attr(pmu->type_id, 10'000'000),
+                                   tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  kernel.run_until_idle(std::chrono::seconds(10));
+  auto samples = kernel.perf_read_samples(*fd);
+  ASSERT_TRUE(samples.has_value());
+  ASSERT_EQ(samples->size(), 5u) << "50M instructions / 10M period";
+  std::uint64_t last_time = 0;
+  for (const auto& sample : *samples) {
+    EXPECT_EQ(sample.cpu, 2);
+    EXPECT_EQ(sample.tid, tid);
+    EXPECT_EQ(sample.core_type, 0);
+    EXPECT_EQ(sample.period, 10'000'000u);
+    EXPECT_GE(sample.time_ns, last_time) << "monotonic timestamps";
+    last_time = sample.time_ns;
+  }
+}
+
+TEST(SampleRing, DrainEmptiesTheRing) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 100'000'000'000ULL),
+      CpuSet::of({0}));
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  auto fd = kernel.perf_event_open(sampling_attr(pmu->type_id, 1'000'000),
+                                   tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  kernel.run_for(std::chrono::milliseconds(5));
+  auto first = kernel.perf_read_samples(*fd);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_GT(first->size(), 0u);
+  auto empty = kernel.perf_read_samples(*fd);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty()) << "drain removes delivered records";
+  kernel.run_for(std::chrono::milliseconds(5));
+  auto second = kernel.perf_read_samples(*fd);
+  EXPECT_GT(second->size(), 0u) << "new records keep arriving";
+}
+
+TEST(SampleRing, FullRingDropsAndCountsLostRecords) {
+  SimKernel::Config config;
+  config.perf.sample_ring_capacity = 16;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 500'000'000), CpuSet::of({0}));
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  auto fd = kernel.perf_event_open(sampling_attr(pmu->type_id, 1'000'000),
+                                   tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  kernel.run_until_idle(std::chrono::seconds(10));
+  auto samples = kernel.perf_read_samples(*fd);
+  ASSERT_TRUE(samples.has_value());
+  EXPECT_EQ(samples->size(), 16u) << "capacity-bounded";
+  auto lost = kernel.perf_lost_samples(*fd);
+  ASSERT_TRUE(lost.has_value());
+  EXPECT_EQ(samples->size() + *lost, 500u)
+      << "delivered + lost = total periods";
+}
+
+TEST(SampleRing, CountingEventsHaveNoRing) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000), CpuSet::of({0}));
+  const auto* pmu = kernel.pmus().find_by_name("cpu_core");
+  PerfEventAttr counting;
+  counting.type = pmu->type_id;
+  counting.config = static_cast<std::uint64_t>(CountKind::kInstructions);
+  auto fd = kernel.perf_event_open(counting, tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(kernel.perf_read_samples(*fd).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SampleRing, MigratingThreadProducesSamplesFromBothCoreTypes) {
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 300.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000ULL),
+      CpuSet::all(24));
+  const auto* p_pmu = kernel.pmus().find_by_name("cpu_core");
+  const auto* e_pmu = kernel.pmus().find_by_name("cpu_atom");
+  auto p_fd = kernel.perf_event_open(sampling_attr(p_pmu->type_id, 5'000'000),
+                                     tid, -1, -1);
+  auto e_fd = kernel.perf_event_open(sampling_attr(e_pmu->type_id, 5'000'000),
+                                     tid, -1, -1);
+  ASSERT_TRUE(p_fd.has_value());
+  ASSERT_TRUE(e_fd.has_value());
+  kernel.run_until_idle(std::chrono::seconds(60));
+  auto p_samples = kernel.perf_read_samples(*p_fd);
+  auto e_samples = kernel.perf_read_samples(*e_fd);
+  EXPECT_GT(p_samples->size(), 0u);
+  EXPECT_GT(e_samples->size(), 0u);
+  for (const auto& sample : *p_samples) {
+    EXPECT_EQ(sample.core_type, 0);
+    EXPECT_LT(sample.cpu, 16) << "P samples only from P cpus";
+  }
+  for (const auto& sample : *e_samples) {
+    EXPECT_EQ(sample.core_type, 1);
+    EXPECT_GE(sample.cpu, 16) << "E samples only from E cpus";
+  }
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,0 +1,177 @@
+// Scheduler invariants: affinity is law, fairness between peers,
+// capacity-biased placement, and migration behaviour.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using cpumodel::MachineSpec;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+TEST(CpuSet, BasicOperations) {
+  CpuSet set = CpuSet::of({1, 3, 5});
+  EXPECT_TRUE(set.contains(3));
+  EXPECT_FALSE(set.contains(2));
+  EXPECT_EQ(set.count(), 3);
+  set.remove(3);
+  EXPECT_FALSE(set.contains(3));
+  EXPECT_EQ(set.to_list(), (std::vector<int>{1, 5}));
+  EXPECT_EQ(CpuSet::all(4).count(), 4);
+  EXPECT_TRUE(CpuSet().empty());
+}
+
+TEST(Scheduler, AffinityIsNeverViolated) {
+  // Property: a thread restricted to the E-cores never executes a single
+  // instruction on a P-core, even under heavy migration pressure.
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 200.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  PhaseSpec phase;
+  const CpuSet e_cores = CpuSet::of({16, 17, 18, 19, 20, 21, 22, 23});
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 500'000'000), e_cores);
+  kernel.run_until_idle(std::chrono::seconds(60));
+  const auto* truth = kernel.ground_truth(tid);
+  EXPECT_EQ(truth->per_type[0].instructions, 0u) << "no P-core execution";
+  EXPECT_EQ(truth->per_type[1].instructions, 500'000'000u);
+}
+
+TEST(Scheduler, SetAffinityValidatesArguments) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(4));
+  PhaseSpec phase;
+  const Tid tid =
+      kernel.spawn(std::make_shared<FixedWorkProgram>(phase, 1000));
+  EXPECT_EQ(kernel.set_affinity(tid, CpuSet()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(kernel.set_affinity(tid, CpuSet::of({9})).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(kernel.set_affinity(99, CpuSet::of({0})).code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(kernel.set_affinity(tid, CpuSet::of({1})).is_ok());
+}
+
+TEST(Scheduler, TwoThreadsShareOneCpuFairly) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  PhaseSpec phase;
+  const Tid a = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000'000ULL),
+      CpuSet::of({0}));
+  const Tid b = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000'000ULL),
+      CpuSet::of({0}));
+  kernel.run_for(std::chrono::seconds(4));
+  const auto a_time = static_cast<double>(
+      kernel.ground_truth(a)->total_cpu_time.count());
+  const auto b_time = static_cast<double>(
+      kernel.ground_truth(b)->total_cpu_time.count());
+  EXPECT_NEAR(a_time / (a_time + b_time), 0.5, 0.05);
+  EXPECT_GT(kernel.ground_truth(a)->context_switches, 10u);
+}
+
+TEST(Scheduler, CapacityWeightedFairnessOnHybrid) {
+  // Two compute-bound threads restricted to one P and one E cpu each get
+  // the whole cpu (no sharing); a third unrestricted thread must not
+  // starve either. Mostly a smoke test for vruntime scaling.
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  const Tid pinned_p = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000'000ULL),
+      CpuSet::of({0}));
+  const Tid pinned_e = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000'000ULL),
+      CpuSet::of({16}));
+  kernel.run_for(std::chrono::seconds(2));
+  const auto* p_truth = kernel.ground_truth(pinned_p);
+  const auto* e_truth = kernel.ground_truth(pinned_e);
+  // Both fully utilized their cpu.
+  EXPECT_NEAR(static_cast<double>(p_truth->total_cpu_time.count()), 2e9,
+              2e7);
+  EXPECT_NEAR(static_cast<double>(e_truth->total_cpu_time.count()), 2e9,
+              2e7);
+  // The P-core thread retired more instructions in equal time.
+  EXPECT_GT(p_truth->total().instructions, e_truth->total().instructions);
+}
+
+TEST(Scheduler, UnpinnedThreadPrefersHighCapacityCores) {
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 50.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 40'000'000'000ULL),
+      CpuSet::all(24));
+  kernel.run_until_idle(std::chrono::seconds(120));
+  const auto* truth = kernel.ground_truth(tid);
+  const double p_time =
+      static_cast<double>(truth->time_per_type[0].count());
+  const double e_time =
+      static_cast<double>(truth->time_per_type[1].count());
+  EXPECT_GT(p_time, e_time) << "capacity bias favours P cores";
+  EXPECT_GT(e_time, 0.0) << "but E cores are visited";
+  EXPECT_GT(truth->migrations, 5u);
+}
+
+TEST(Scheduler, PlacementPoliciesShiftResidency) {
+  // Long unpinned run under each policy: the E-residency ordering must
+  // be little-first > uniform > capacity-biased.
+  const auto run_policy = [](simkernel::PlacementPolicy policy) {
+    SimKernel::Config config;
+    config.sched.policy = policy;
+    config.sched.migration_rate_hz = 200.0;
+    SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+    PhaseSpec phase;
+    const Tid tid = kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 40'000'000'000ULL),
+        CpuSet::all(24));
+    kernel.run_for(std::chrono::seconds(2));
+    const auto* truth = kernel.ground_truth(tid);
+    const double p = static_cast<double>(truth->time_per_type[0].count());
+    const double e = static_cast<double>(truth->time_per_type[1].count());
+    return e / (p + e);
+  };
+  const double biased = run_policy(simkernel::PlacementPolicy::kCapacityBiased);
+  const double uniform = run_policy(simkernel::PlacementPolicy::kUniform);
+  const double little = run_policy(simkernel::PlacementPolicy::kLittleFirst);
+  EXPECT_LT(biased, uniform);
+  EXPECT_LT(uniform, little);
+  EXPECT_NEAR(biased, 0.17, 0.10) << "default tracks the paper's residency";
+}
+
+TEST(Scheduler, MoreThreadsThanCpusAllComplete) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(2));
+  PhaseSpec phase;
+  std::vector<Tid> tids;
+  for (int i = 0; i < 8; ++i) {
+    tids.push_back(kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 50'000'000)));
+  }
+  kernel.run_until_idle(std::chrono::seconds(120));
+  for (const Tid tid : tids) {
+    EXPECT_FALSE(kernel.thread_alive(tid));
+    EXPECT_EQ(kernel.ground_truth(tid)->total().instructions, 50'000'000u);
+  }
+}
+
+TEST(Scheduler, ExitedThreadsFreeTheirCpus) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  PhaseSpec phase;
+  const Tid a = kernel.spawn(std::make_shared<FixedWorkProgram>(phase, 1000),
+                             CpuSet::of({0}));
+  kernel.run_until_idle(std::chrono::seconds(5));
+  EXPECT_FALSE(kernel.thread_alive(a));
+  const Tid b = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000), CpuSet::of({0}));
+  kernel.run_until_idle(std::chrono::seconds(5));
+  EXPECT_EQ(kernel.ground_truth(b)->total().instructions, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace hetpapi

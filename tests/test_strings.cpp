@@ -1,0 +1,130 @@
+// String utilities, including the cpulist parser the detection stack
+// relies on (sysfs "cpus"/"cpumask" files).
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "base/strings.hpp"
+#include "base/table.hpp"
+
+namespace hetpapi {
+namespace {
+
+TEST(Split, PreservesEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleFieldWithoutSeparator) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Trim, RemovesAsciiWhitespaceBothEnds) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(IEquals, CaseInsensitive) {
+  EXPECT_TRUE(iequals("INST_RETIRED", "inst_retired"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(ParseInt, DecimalHexAndFailures) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int(" 42\n"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("0x1A"), 0x1A);
+  EXPECT_EQ(parse_int("0X00410fd082"), 0x410fd082);
+  EXPECT_FALSE(parse_int("").has_value());
+  EXPECT_FALSE(parse_int("12abc").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+}
+
+TEST(ParseDouble, BasicAndFailures) {
+  EXPECT_DOUBLE_EQ(*parse_double("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*parse_double(" -0.25 "), -0.25);
+  EXPECT_FALSE(parse_double("x").has_value());
+}
+
+TEST(CpuList, ParsesSinglesRangesAndMixes) {
+  EXPECT_EQ(*parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(*parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(*parse_cpulist("0,2,4-6"), (std::vector<int>{0, 2, 4, 5, 6}));
+  // The paper's mon_hpl.py core list.
+  EXPECT_EQ(parse_cpulist("0,2,4,6,8,10,12,14,16-23")->size(), 16u);
+}
+
+TEST(CpuList, SortsAndDeduplicates) {
+  EXPECT_EQ(*parse_cpulist("3,1,2,2"), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(*parse_cpulist("2-4,3-5"), (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(CpuList, RejectsMalformedInput) {
+  EXPECT_FALSE(parse_cpulist("a").has_value());
+  EXPECT_FALSE(parse_cpulist("3-1").has_value());
+  EXPECT_FALSE(parse_cpulist("-1").has_value());
+  EXPECT_FALSE(parse_cpulist("1,,x").has_value());
+}
+
+TEST(CpuList, EmptyStringIsEmptyList) {
+  ASSERT_TRUE(parse_cpulist("").has_value());
+  EXPECT_TRUE(parse_cpulist("")->empty());
+}
+
+TEST(CpuList, FormatProducesCanonicalRanges) {
+  EXPECT_EQ(format_cpulist({0, 1, 2, 3}), "0-3");
+  EXPECT_EQ(format_cpulist({0, 2, 4}), "0,2,4");
+  EXPECT_EQ(format_cpulist({5, 0, 1, 2}), "0-2,5");
+  EXPECT_EQ(format_cpulist({}), "");
+}
+
+// Property: parse(format(x)) == x for random cpu sets.
+TEST(CpuList, RoundTripProperty) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> cpus;
+    for (int cpu = 0; cpu < 64; ++cpu) {
+      if (rng.uniform() < 0.3) cpus.push_back(cpu);
+    }
+    const std::string formatted = format_cpulist(cpus);
+    const auto parsed = parse_cpulist(formatted);
+    ASSERT_TRUE(parsed.has_value()) << formatted;
+    EXPECT_EQ(*parsed, cpus) << formatted;
+  }
+}
+
+TEST(StrFormat, FormatsLikePrintf) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(TextTable, RendersAlignedCells) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("22222 |"), std::string::npos);
+  EXPECT_NE(out.find("    1 |"), std::string::npos)
+      << "numeric cells right-align";
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,0 +1,73 @@
+// The sysdetect component's structured report and its text rendering.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "papi/sysdetect.hpp"
+#include "pfm/sim_host.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi::papi {
+namespace {
+
+using simkernel::SimKernel;
+
+SysdetectReport report_for(const cpumodel::MachineSpec& machine) {
+  SimKernel kernel(machine);
+  pfm::SimHost host(&kernel);
+  pfm::PfmLibrary pfmlib;
+  EXPECT_TRUE(pfmlib.initialize(host).is_ok());
+  return build_sysdetect_report(host, pfmlib);
+}
+
+TEST(Sysdetect, RaptorLakeReportIsComplete) {
+  const SysdetectReport report =
+      report_for(cpumodel::raptor_lake_i7_13700());
+  EXPECT_TRUE(report.hardware.hybrid);
+  EXPECT_EQ(report.hardware.total_cpus, 24);
+  ASSERT_EQ(report.hardware.detection.core_types.size(), 2u);
+  // Every PMU the pfm scan bound appears with its metadata.
+  ASSERT_GE(report.pmus.size(), 4u);
+  bool saw_glc = false;
+  for (const PmuDeviceInfo& pmu : report.pmus) {
+    EXPECT_FALSE(pmu.pfm_name.empty());
+    EXPECT_GT(pmu.num_events, 0);
+    if (pmu.pfm_name == "adl_glc") {
+      saw_glc = true;
+      EXPECT_TRUE(pmu.is_core);
+      EXPECT_EQ(pmu.sysfs_name, "cpu_core");
+      EXPECT_EQ(pmu.cpus.size(), 16u);
+    }
+  }
+  EXPECT_TRUE(saw_glc);
+}
+
+TEST(Sysdetect, TextRenderingContainsTheKeyFacts) {
+  const SysdetectReport report =
+      report_for(cpumodel::raptor_lake_i7_13700());
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("hybrid       : yes"), std::string::npos);
+  EXPECT_NE(text.find("cpuid_leaf_1a"), std::string::npos);
+  EXPECT_NE(text.find("intel_core"), std::string::npos);
+  EXPECT_NE(text.find("intel_atom"), std::string::npos);
+  EXPECT_NE(text.find("adl_grt"), std::string::npos);
+  EXPECT_NE(text.find("13th Gen"), std::string::npos);
+}
+
+TEST(Sysdetect, ArmReportUsesCapacityLabels) {
+  const SysdetectReport report = report_for(cpumodel::orangepi800_rk3399());
+  EXPECT_TRUE(report.hardware.hybrid);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("cpu_capacity"), std::string::npos);
+  EXPECT_NE(text.find("capacity-1024"), std::string::npos);
+  EXPECT_NE(text.find("arm_a53"), std::string::npos);
+}
+
+TEST(Sysdetect, HomogeneousReportSaysNo) {
+  const SysdetectReport report = report_for(cpumodel::homogeneous_xeon());
+  EXPECT_FALSE(report.hardware.hybrid);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("hybrid       : no"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetpapi::papi

@@ -1,0 +1,177 @@
+// The simulated sysfs/procfs surface: static layout per machine flavour
+// and the dynamic attributes (scaling_cur_freq, thermal temps, RAPL
+// energy including its 32-bit wrap).
+#include <gtest/gtest.h>
+
+#include "base/strings.hpp"
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+TEST(Sysfs, RaptorLakeExportsHybridPmuLayout) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  // Per-core-type PMUs with "type" and (hybrid-only) "cpus" files, the
+  // §IV-A discovery surface.
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/cpu_core/type"), "4\n");
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/cpu_atom/type"), "8\n");
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/cpu_core/cpus"), "0-15\n");
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/cpu_atom/cpus"), "16-23\n");
+  // Uncore-style PMUs use "cpumask" instead.
+  EXPECT_TRUE(kernel.sysfs_read("/sys/devices/power/cpumask").has_value());
+  EXPECT_FALSE(kernel.sysfs_read("/sys/devices/power/cpus").has_value());
+}
+
+TEST(Sysfs, HomogeneousMachineHasTraditionalCpuPmuWithoutCpusFile) {
+  SimKernel kernel(cpumodel::homogeneous_xeon());
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/cpu/type"), "4\n");
+  EXPECT_FALSE(kernel.sysfs_read("/sys/devices/cpu/cpus").has_value())
+      << "the legacy single 'cpu' PMU never grew a cpus file";
+}
+
+TEST(Sysfs, CpuCapacityOnlyOnArm) {
+  SimKernel intel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_FALSE(
+      intel.sysfs_read("/sys/devices/system/cpu/cpu0/cpu_capacity")
+          .has_value());
+  SimKernel arm(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(*arm.sysfs_read("/sys/devices/system/cpu/cpu4/cpu_capacity"),
+            "1024\n");
+  EXPECT_EQ(*arm.sysfs_read("/sys/devices/system/cpu/cpu0/cpu_capacity"),
+            "485\n");
+}
+
+TEST(Sysfs, ArmExposesMidrRegisters) {
+  SimKernel kernel(cpumodel::orangepi800_rk3399());
+  const auto big_midr = kernel.sysfs_read(
+      "/sys/devices/system/cpu/cpu4/regs/identification/midr_el1");
+  ASSERT_TRUE(big_midr.has_value());
+  const auto value = parse_int(trim(*big_midr));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ((*value >> 4) & 0xFFF, 0xd08) << "Cortex-A72 part number";
+  EXPECT_EQ((*value >> 24) & 0xFF, 0x41) << "ARM Ltd implementer";
+}
+
+TEST(Sysfs, ProcCpuinfoMatchesVendorFormat) {
+  SimKernel intel(cpumodel::raptor_lake_i7_13700());
+  const auto intel_info = intel.sysfs_read("/proc/cpuinfo");
+  ASSERT_TRUE(intel_info.has_value());
+  EXPECT_NE(intel_info->find("GenuineIntel"), std::string::npos);
+  EXPECT_NE(intel_info->find("model name"), std::string::npos);
+
+  SimKernel arm(cpumodel::orangepi800_rk3399());
+  const auto arm_info = arm.sysfs_read("/proc/cpuinfo");
+  ASSERT_TRUE(arm_info.has_value());
+  EXPECT_NE(arm_info->find("CPU implementer"), std::string::npos);
+  EXPECT_NE(arm_info->find("0xd03"), std::string::npos);
+  EXPECT_EQ(arm_info->find("model name"), std::string::npos);
+}
+
+TEST(Sysfs, CpufreqLimitsAndDynamicCurrentFrequency) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(
+      *kernel.sysfs_read("/sys/devices/system/cpu/cpu0/cpufreq/cpuinfo_max_freq"),
+      "5100000\n");
+  EXPECT_EQ(
+      *kernel.sysfs_read("/sys/devices/system/cpu/cpu16/cpufreq/cpuinfo_max_freq"),
+      "4100000\n");
+  // Dynamic attribute: idle at min frequency, rises under load.
+  const auto idle = parse_int(trim(*kernel.sysfs_read(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq")));
+  EXPECT_EQ(*idle, 800000);
+  PhaseSpec phase;
+  kernel.spawn(std::make_shared<FixedWorkProgram>(phase, 10'000'000'000ULL),
+               CpuSet::of({0}));
+  kernel.run_for(std::chrono::milliseconds(100));
+  const auto busy = parse_int(trim(*kernel.sysfs_read(
+      "/sys/devices/system/cpu/cpu0/cpufreq/scaling_cur_freq")));
+  EXPECT_GT(*busy, 3'000'000) << "busy core clocks up (kHz)";
+}
+
+TEST(Sysfs, ThermalZoneNineIsTheIntelPackageSensor) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(*kernel.sysfs_read("/sys/class/thermal/thermal_zone9/type"),
+            "x86_pkg_temp\n");
+  const auto temp = parse_int(trim(*kernel.sysfs_read(
+      "/sys/class/thermal/thermal_zone9/temp")));
+  EXPECT_EQ(*temp, 35000) << "settled at 35 C (millidegrees)";
+  // Zones 0-8 are static ACPI sensors.
+  EXPECT_EQ(*kernel.sysfs_read("/sys/class/thermal/thermal_zone0/type"),
+            "acpitz\n");
+  EXPECT_EQ(*kernel.sysfs_read("/sys/class/thermal/thermal_zone0/temp"),
+            "27000\n");
+}
+
+TEST(Sysfs, RaplPowercapTreeAndEnergyCounter) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(*kernel.sysfs_read(
+                "/sys/class/powercap/intel-rapl:0/constraint_0_power_limit_uw"),
+            "65000000\n");
+  EXPECT_EQ(*kernel.sysfs_read(
+                "/sys/class/powercap/intel-rapl:0/constraint_1_power_limit_uw"),
+            "219000000\n");
+  const auto e0 = parse_int(trim(
+      *kernel.sysfs_read("/sys/class/powercap/intel-rapl:0/energy_uj")));
+  PhaseSpec phase;
+  kernel.spawn(std::make_shared<FixedWorkProgram>(phase, 10'000'000'000ULL),
+               CpuSet::of({0}));
+  kernel.run_for(std::chrono::seconds(1));
+  const auto e1 = parse_int(trim(
+      *kernel.sysfs_read("/sys/class/powercap/intel-rapl:0/energy_uj")));
+  EXPECT_GT(*e1, *e0) << "energy counter advances under load";
+}
+
+TEST(Sysfs, NoRaplTreeOnArm) {
+  SimKernel kernel(cpumodel::orangepi800_rk3399());
+  EXPECT_FALSE(
+      kernel.sysfs_read("/sys/class/powercap/intel-rapl:0/energy_uj")
+          .has_value());
+  EXPECT_EQ(*kernel.sysfs_read("/sys/class/thermal/thermal_zone0/type"),
+            "soc-thermal\n");
+}
+
+TEST(Sysfs, TopologyFilesDescribeSmtSiblings) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(*kernel.sysfs_read(
+                "/sys/devices/system/cpu/cpu0/topology/thread_siblings_list"),
+            "0-1\n");
+  EXPECT_EQ(*kernel.sysfs_read(
+                "/sys/devices/system/cpu/cpu16/topology/thread_siblings_list"),
+            "16\n");
+  EXPECT_EQ(*kernel.sysfs_read("/sys/devices/system/cpu/online"), "0-23\n");
+}
+
+TEST(Sysfs, ListingWorksThroughTheKernelInterface) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  const auto devices = kernel.sysfs_list("/sys/devices");
+  ASSERT_TRUE(devices.has_value());
+  EXPECT_NE(std::find(devices->begin(), devices->end(), "cpu_core"),
+            devices->end());
+  EXPECT_NE(std::find(devices->begin(), devices->end(), "cpu_atom"),
+            devices->end());
+}
+
+TEST(Sysfs, CpuidEmulationFollowsVendorRules) {
+  SimKernel intel(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(*intel.cpuid_core_kind(0), cpumodel::IntelCoreKind::kCore);
+  EXPECT_EQ(*intel.cpuid_core_kind(16), cpumodel::IntelCoreKind::kAtom);
+  EXPECT_FALSE(intel.cpuid_core_kind(99).has_value());
+
+  SimKernel xeon(cpumodel::homogeneous_xeon());
+  EXPECT_EQ(*xeon.cpuid_core_kind(0), cpumodel::IntelCoreKind::kNone)
+      << "pre-hybrid parts read leaf 0x1A as zero";
+
+  SimKernel arm(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(arm.cpuid_core_kind(0).status().code(),
+            StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace hetpapi

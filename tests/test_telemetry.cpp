@@ -1,0 +1,171 @@
+// Telemetry: the 1 Hz sampler (frequency, temperature, RAPL with wrap
+// handling), thermal-settle protocol, and multi-run aggregation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/strings.hpp"
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "telemetry/monitor.hpp"
+#include "telemetry/sampler.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi::telemetry {
+namespace {
+
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+TEST(Sampler, ReadsFrequencyTemperatureAndPower) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  PhaseSpec phase;
+  phase.activity = 1.0;
+  for (int cpu = 0; cpu < 16; cpu += 2) {  // load all 8 P cores
+    kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 2'000'000'000'000ULL),
+        CpuSet::of({cpu}));
+  }
+  Sampler sampler(&kernel);
+  sampler.sample();  // baseline
+  kernel.run_for(std::chrono::seconds(20));  // still mid-run when sampled
+  const Sample sample = sampler.sample();
+  ASSERT_EQ(sample.core_freq_mhz.size(), 24u);
+  EXPECT_GT(sample.core_freq_mhz[0], 3000.0) << "busy P core clocked up";
+  EXPECT_NEAR(sample.core_freq_mhz[16], 800.0, 1.0) << "idle E core parked";
+  EXPECT_GT(sample.package_temp_c, 35.0);
+  EXPECT_FALSE(std::isnan(sample.package_power_w));
+  EXPECT_GT(sample.package_power_w, 5.0);
+  EXPECT_GT(sample.board_power_w, sample.package_power_w)
+      << "wall power includes PSU loss and board idle";
+}
+
+TEST(Sampler, PowerIsNanWithoutRapl) {
+  SimKernel kernel(cpumodel::orangepi800_rk3399());
+  Sampler sampler(&kernel);
+  sampler.sample();
+  kernel.run_for(std::chrono::seconds(1));
+  const Sample sample = sampler.sample();
+  EXPECT_TRUE(std::isnan(sample.package_power_w));
+  EXPECT_GT(sample.board_power_w, 0.0) << "the wall meter still reads";
+}
+
+TEST(Sampler, UnwrapsTheEnergyCounterAcrossWraps) {
+  // 2^32 uJ = ~4295 J wraps after ~66 s at 65 W. Run long enough to wrap
+  // and check the derived power stays sane throughout.
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  PhaseSpec phase;
+  for (int cpu = 0; cpu < 16; cpu += 2) {
+    kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 4'000'000'000'000ULL),
+        CpuSet::of({cpu}));
+  }
+  Sampler sampler(&kernel);
+  sampler.sample();
+  bool wrapped = false;
+  std::uint64_t last_raw = 0;
+  for (int second = 0; second < 120; ++second) {
+    kernel.run_for(std::chrono::seconds(1));
+    const auto raw = kernel.sysfs_read(
+        "/sys/class/powercap/intel-rapl:0/energy_uj");
+    const auto value =
+        static_cast<std::uint64_t>(*parse_int(trim(*raw)));
+    if (value < last_raw) wrapped = true;
+    last_raw = value;
+    const Sample sample = sampler.sample();
+    ASSERT_FALSE(std::isnan(sample.package_power_w));
+    ASSERT_GT(sample.package_power_w, 10.0) << "second " << second;
+    ASSERT_LT(sample.package_power_w, 250.0) << "second " << second;
+  }
+  EXPECT_TRUE(wrapped) << "test must actually cross the 32-bit boundary";
+}
+
+TEST(Monitor, ThermalSettleWaitsForCooldown) {
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  // Heat the package with all P cores.
+  PhaseSpec phase;
+  phase.activity = 1.0;
+  for (int cpu = 0; cpu < 16; cpu += 2) {
+    kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 100'000'000'000ULL),
+        CpuSet::of({cpu}));
+  }
+  kernel.run_until_idle(std::chrono::seconds(60));
+  ASSERT_GT(kernel.governor().package_temperature().value, 35.5);
+  wait_for_thermal_settle(kernel, 35.0, 600.0);
+  EXPECT_LE(kernel.governor().package_temperature().value, 35.2);
+}
+
+TEST(Monitor, AverageRunsAlignsAndAverages) {
+  RunResult a;
+  RunResult b;
+  for (int i = 0; i < 5; ++i) {
+    Sample s;
+    s.t_seconds = i;
+    s.core_freq_mhz = {1000.0, 2000.0};
+    s.package_temp_c = 50.0;
+    s.package_power_w = 60.0;
+    s.board_power_w = 70.0;
+    a.samples.push_back(s);
+    s.core_freq_mhz = {3000.0, 4000.0};
+    s.package_temp_c = 70.0;
+    s.package_power_w = 80.0;
+    b.samples.push_back(s);
+  }
+  b.samples.pop_back();  // shorter run truncates the average
+  a.gflops = 100.0;
+  b.gflops = 200.0;
+  a.elapsed = std::chrono::seconds(10);
+  b.elapsed = std::chrono::seconds(20);
+
+  const RunResult avg = average_runs({a, b});
+  ASSERT_EQ(avg.samples.size(), 4u);
+  EXPECT_DOUBLE_EQ(avg.samples[0].core_freq_mhz[0], 2000.0);
+  EXPECT_DOUBLE_EQ(avg.samples[0].core_freq_mhz[1], 3000.0);
+  EXPECT_DOUBLE_EQ(avg.samples[0].package_temp_c, 60.0);
+  EXPECT_DOUBLE_EQ(avg.samples[0].package_power_w, 70.0);
+  EXPECT_DOUBLE_EQ(avg.gflops, 150.0);
+  EXPECT_EQ(avg.elapsed, std::chrono::seconds(15));
+}
+
+TEST(Monitor, AverageRunsHandlesNanPower) {
+  RunResult a;
+  Sample s;
+  s.t_seconds = 0;
+  s.core_freq_mhz = {1000.0};
+  s.package_power_w = std::nan("");
+  a.samples.push_back(s);
+  RunResult b = a;
+  b.samples[0].package_power_w = 42.0;
+  const RunResult avg = average_runs({a, b});
+  EXPECT_DOUBLE_EQ(avg.samples[0].package_power_w, 42.0)
+      << "NaN samples are excluded from the power average";
+}
+
+TEST(Monitor, RepeatedMonitoredRunsAreConsistent) {
+  // Two repetitions of the same short HPL run with a settle in between
+  // (the paper's N-run protocol) should agree closely on Gflops.
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(machine, config);
+  MonitorConfig monitor;
+  const std::vector<int> cpus = machine.primary_threads_of_type(0);
+  std::vector<RunResult> runs;
+  for (int rep = 0; rep < 2; ++rep) {
+    runs.push_back(run_monitored_hpl(
+        kernel, workload::HplConfig::openblas(13824, 192), cpus, monitor));
+  }
+  EXPECT_NEAR(runs[0].gflops, runs[1].gflops, 0.1 * runs[0].gflops);
+  const RunResult avg = average_runs(runs);
+  EXPECT_GT(avg.gflops, 0.0);
+  EXPECT_GE(avg.samples.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hetpapi::telemetry

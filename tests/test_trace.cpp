@@ -1,0 +1,115 @@
+// Scheduler timeline recording and chrome://tracing export.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "simkernel/kernel.hpp"
+#include "simkernel/trace.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi::simkernel {
+namespace {
+
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+TEST(TraceRecorder, SegmentsCoverOccupancyWithoutOverlap) {
+  TraceRecorder recorder;
+  recorder.begin_segment(0, 7, SimTime::from_seconds(0.0));
+  recorder.end_segment(0, SimTime::from_seconds(1.0));
+  // begin over an open segment implicitly closes it.
+  recorder.begin_segment(1, 8, SimTime::from_seconds(0.5));
+  recorder.begin_segment(1, 9, SimTime::from_seconds(2.0));
+  recorder.end_segment(1, SimTime::from_seconds(3.0));
+  ASSERT_EQ(recorder.segment_count(), 3u);
+  const auto& segments = recorder.segments();
+  EXPECT_EQ(segments[0].tid, 7);
+  EXPECT_EQ(segments[1].tid, 8);
+  EXPECT_DOUBLE_EQ(segments[1].end.seconds(), 2.0)
+      << "implicit close at the successor's start";
+  EXPECT_EQ(segments[2].tid, 9);
+}
+
+TEST(TraceRecorder, ZeroLengthAndDanglingSegmentsAreDropped) {
+  TraceRecorder recorder;
+  recorder.begin_segment(0, 1, SimTime::from_seconds(1.0));
+  recorder.end_segment(0, SimTime::from_seconds(1.0));  // zero length
+  recorder.begin_segment(0, 2, SimTime::from_seconds(2.0));
+  // never ended: stays open, not exported
+  EXPECT_EQ(recorder.segment_count(), 0u);
+  recorder.end_segment(5, SimTime::from_seconds(9.0));  // unknown cpu: no-op
+  EXPECT_EQ(recorder.segment_count(), 0u);
+}
+
+TEST(TraceRecorder, ChromeJsonIsWellFormedish) {
+  TraceRecorder recorder;
+  recorder.set_thread_name(3, "hpl-worker-0");
+  recorder.begin_segment(0, 3, SimTime::from_seconds(0.0));
+  recorder.end_segment(0, SimTime::from_seconds(0.001));
+  const std::string json =
+      recorder.to_chrome_json({{0, "P-core 0"}});
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("hpl-worker-0"), std::string::npos);
+  EXPECT_NE(json.find("P-core 0"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos)
+      << "1 ms in microseconds";
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(KernelTracing, RecordsMigrationsOfAnUnpinnedThread) {
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 200.0;
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+  TraceRecorder recorder;
+  kernel.attach_tracer(&recorder);
+  PhaseSpec phase;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 10'000'000'000ULL),
+      CpuSet::all(24));
+  recorder.set_thread_name(tid, "wanderer");
+  kernel.run_until_idle(std::chrono::seconds(30));
+  kernel.attach_tracer(nullptr);
+
+  const auto* truth = kernel.ground_truth(tid);
+  ASSERT_GT(truth->migrations, 3u);
+  // One completed segment per occupancy change; at least as many as
+  // migrations (idle gaps may add more).
+  EXPECT_GE(recorder.segment_count(), truth->migrations);
+  // Total traced busy time equals the thread's cpu time.
+  SimDuration traced{0};
+  for (const auto& segment : recorder.segments()) {
+    traced += segment.end - segment.start;
+  }
+  // Segments close at tick boundaries while cpu time counts partial
+  // final slices, so allow a few ticks of slack.
+  EXPECT_NEAR(static_cast<double>(traced.count()),
+              static_cast<double>(truth->total_cpu_time.count()), 5e6);
+}
+
+TEST(KernelTracing, TwoThreadsOnOneCpuAlternate) {
+  SimKernel kernel(cpumodel::homogeneous_xeon(1));
+  TraceRecorder recorder;
+  kernel.attach_tracer(&recorder);
+  PhaseSpec phase;
+  const Tid a = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 200'000'000),
+      CpuSet::of({0}));
+  const Tid b = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 200'000'000),
+      CpuSet::of({0}));
+  kernel.run_until_idle(std::chrono::seconds(60));
+  // Alternating occupancy: consecutive segments on cpu 0 belong to
+  // different threads.
+  int alternations = 0;
+  Tid previous = kInvalidTid;
+  for (const auto& segment : recorder.segments()) {
+    ASSERT_EQ(segment.cpu, 0);
+    ASSERT_TRUE(segment.tid == a || segment.tid == b);
+    if (previous != kInvalidTid && segment.tid != previous) ++alternations;
+    previous = segment.tid;
+  }
+  EXPECT_GT(alternations, 5);
+}
+
+}  // namespace
+}  // namespace hetpapi::simkernel

@@ -1,0 +1,114 @@
+// In-memory sysfs/procfs tree semantics.
+#include <gtest/gtest.h>
+
+#include "vfs/vfs.hpp"
+
+namespace hetpapi::vfs {
+namespace {
+
+TEST(Canonicalize, CollapsesAndValidates) {
+  EXPECT_EQ(*canonicalize("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(*canonicalize("/a//b///c/"), "/a/b/c");
+  EXPECT_EQ(*canonicalize("/a/./b"), "/a/b");
+  EXPECT_EQ(*canonicalize("/"), "/");
+  EXPECT_FALSE(canonicalize("relative/path").has_value());
+  EXPECT_FALSE(canonicalize("").has_value());
+  EXPECT_FALSE(canonicalize("/a/../b").has_value());
+}
+
+TEST(Vfs, WriteCreatesParentsImplicitly) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/sys/devices/cpu_core/type", "4\n").is_ok());
+  EXPECT_TRUE(fs.exists("/sys"));
+  EXPECT_TRUE(fs.is_dir("/sys/devices"));
+  EXPECT_TRUE(fs.is_dir("/sys/devices/cpu_core"));
+  EXPECT_FALSE(fs.is_dir("/sys/devices/cpu_core/type"));
+  EXPECT_EQ(*fs.read_file("/sys/devices/cpu_core/type"), "4\n");
+}
+
+TEST(Vfs, ReadValueTrimsAndReadIntParses) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/x", "  1024 \n").is_ok());
+  EXPECT_EQ(*fs.read_value("/x"), "1024");
+  EXPECT_EQ(*fs.read_int("/x"), 1024);
+  ASSERT_TRUE(fs.write_file("/y", "not-a-number\n").is_ok());
+  EXPECT_EQ(fs.read_int("/y").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Vfs, OverwriteReplacesContents) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/f", "old").is_ok());
+  ASSERT_TRUE(fs.write_file("/f", "new").is_ok());
+  EXPECT_EQ(*fs.read_file("/f"), "new");
+  EXPECT_EQ(fs.file_count(), 1u);
+}
+
+TEST(Vfs, AppendConcatenates) {
+  Vfs fs;
+  ASSERT_TRUE(fs.append_file("/log", "a").is_ok());
+  ASSERT_TRUE(fs.append_file("/log", "b").is_ok());
+  EXPECT_EQ(*fs.read_file("/log"), "ab");
+}
+
+TEST(Vfs, MissingFileIsNotFound) {
+  Vfs fs;
+  const auto missing = fs.read_file("/nope");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Vfs, CannotWriteOverDirectory) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/dir/file", "x").is_ok());
+  const Status clash = fs.write_file("/dir", "y");
+  EXPECT_EQ(clash.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Vfs, ListDirReturnsSortedImmediateChildren) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/sys/devices/cpu_core/type", "4").is_ok());
+  ASSERT_TRUE(fs.write_file("/sys/devices/cpu_atom/type", "8").is_ok());
+  ASSERT_TRUE(fs.write_file("/sys/devices/cpu_atom/cpus", "16-23").is_ok());
+  const auto names = fs.list_dir("/sys/devices");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"cpu_atom", "cpu_core"}));
+  const auto atom = fs.list_dir("/sys/devices/cpu_atom");
+  EXPECT_EQ(*atom, (std::vector<std::string>{"cpus", "type"}));
+}
+
+TEST(Vfs, ListRootWorks) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/proc/cpuinfo", "x").is_ok());
+  ASSERT_TRUE(fs.write_file("/sys/kernel/version", "y").is_ok());
+  const auto names = fs.list_dir("/");
+  ASSERT_TRUE(names.has_value());
+  EXPECT_EQ(*names, (std::vector<std::string>{"proc", "sys"}));
+}
+
+TEST(Vfs, ListMissingDirIsNotFound) {
+  Vfs fs;
+  EXPECT_EQ(fs.list_dir("/ghost").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Vfs, RemoveFileAndRecursiveDirectory) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/a/b/one", "1").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/b/two", "2").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/keep", "3").is_ok());
+  ASSERT_TRUE(fs.remove("/a/b/one").is_ok());
+  EXPECT_FALSE(fs.exists("/a/b/one"));
+  ASSERT_TRUE(fs.remove("/a/b").is_ok());
+  EXPECT_FALSE(fs.exists("/a/b"));
+  EXPECT_FALSE(fs.exists("/a/b/two"));
+  EXPECT_TRUE(fs.exists("/a/keep"));
+  EXPECT_EQ(fs.remove("/a/b").code(), StatusCode::kNotFound);
+}
+
+TEST(Vfs, PathsAreCanonicalizedOnEveryOperation) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/a//b/./c", "v").is_ok());
+  EXPECT_EQ(*fs.read_file("/a/b/c"), "v");
+  EXPECT_TRUE(fs.exists("//a/b//c/"));
+}
+
+}  // namespace
+}  // namespace hetpapi::vfs

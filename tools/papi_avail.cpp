@@ -1,0 +1,79 @@
+// papi_avail equivalent: list the preset events and their availability
+// on a machine, including the hybrid expansion (which native events each
+// preset derives from on each core PMU) and how availability changes
+// under the legacy preset policies.
+//
+//   papi_avail [--machine raptorlake|orangepi|xeon|tritype]
+//              [--policy derived|default-only|error]
+#include <cstdio>
+#include <string>
+
+#include "base/table.hpp"
+#include "cpumodel/machine.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+
+using namespace hetpapi;
+
+int main(int argc, char** argv) {
+  std::string machine_name = "raptorlake";
+  std::string policy_name = "derived";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view flag = argv[i];
+    if (flag == "--machine") machine_name = argv[i + 1];
+    if (flag == "--policy") policy_name = argv[i + 1];
+  }
+
+  cpumodel::MachineSpec machine =
+      machine_name == "orangepi"  ? cpumodel::orangepi800_rk3399()
+      : machine_name == "xeon"    ? cpumodel::homogeneous_xeon()
+      : machine_name == "tritype" ? cpumodel::arm_three_type()
+                                  : cpumodel::raptor_lake_i7_13700();
+  simkernel::SimKernel kernel(machine);
+  papi::SimBackend backend(&kernel);
+
+  papi::LibraryConfig config;
+  config.preset_policy = policy_name == "default-only"
+                             ? papi::PresetPolicy::kDefaultPmuOnly
+                         : policy_name == "error"
+                             ? papi::PresetPolicy::kErrorOnHybrid
+                             : papi::PresetPolicy::kDerivedSum;
+  auto lib = papi::Library::init(&backend, config);
+  if (!lib) {
+    std::fprintf(stderr, "init: %s\n", lib.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("Available PAPI preset events on %s (policy: %s)\n",
+              machine.name.c_str(), policy_name.c_str());
+  std::printf("hybrid: %s; core PMUs:",
+              (*lib)->hardware_info().hybrid ? "yes" : "no");
+  for (const pfm::ActivePmu* pmu : (*lib)->pfm().default_pmus()) {
+    std::printf(" %s", pmu->table->pfm_name.c_str());
+  }
+  std::printf("\n\n");
+
+  const auto available = (*lib)->available_presets();
+  const auto is_available = [&](const std::string& name) {
+    return std::find(available.begin(), available.end(), name) !=
+           available.end();
+  };
+
+  TextTable table({"preset", "avail", "description", "expands to"});
+  for (const papi::PresetDef& preset : papi::preset_table()) {
+    std::string expansion;
+    for (const pfm::ActivePmu* pmu : (*lib)->pfm().default_pmus()) {
+      const auto native = papi::native_for_kind(*pmu->table, preset.kind);
+      if (!expansion.empty()) expansion += " + ";
+      expansion += native ? pmu->table->pfm_name + "::" + *native
+                          : pmu->table->pfm_name + "::<none>";
+    }
+    table.add_row({preset.name, is_available(preset.name) ? "yes" : "no",
+                   preset.description, expansion});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\n%zu of %zu presets available\n", available.size(),
+              papi::preset_table().size());
+  return 0;
+}

@@ -1,0 +1,178 @@
+// simperf stat — a miniature `perf stat` over the simulated kernel.
+//
+// This is the baseline tool the paper contrasts PAPI against (§IV-A):
+// perf handles hybrid systems "by setting up multiple events on
+// heterogeneous systems and reporting all of the results gathered" —
+// aggregate, whole-program counts with multiplexing percentages, but no
+// source-code calipers. The output format follows perf's.
+//
+//   simperf_stat [--machine raptorlake|orangepi|xeon]
+//                [-e ev1,ev2,...]        (default: a perf-stat-like set)
+//                [--taskset <cpulist>]
+//                [--workload loop|hpl]   (hpl: a whole multithreaded run,
+//                                         measured via inherited events —
+//                                         "perf stat ./xhpl")
+//                [--instructions <count>] [--memory-bound]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/strings.hpp"
+#include "cpumodel/machine.hpp"
+#include "pfm/pfmlib.hpp"
+#include "pfm/sim_host.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/hpl.hpp"
+#include "workload/programs.hpp"
+
+using namespace hetpapi;
+
+namespace {
+
+struct OpenEvent {
+  std::string name;
+  int fd = -1;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string machine_name = "raptorlake";
+  std::string events_arg;
+  std::string taskset;
+  std::string workload = "loop";
+  std::uint64_t instructions = 2'000'000'000ULL;
+  bool memory_bound = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--memory-bound") {
+      memory_bound = true;
+    } else if (i + 1 < argc) {
+      const char* value = argv[++i];
+      if (flag == "--machine") machine_name = value;
+      else if (flag == "-e") events_arg = value;
+      else if (flag == "--taskset") taskset = value;
+      else if (flag == "--workload") workload = value;
+      else if (flag == "--instructions") {
+        instructions = static_cast<std::uint64_t>(*parse_int(value));
+      }
+    }
+  }
+
+  cpumodel::MachineSpec machine =
+      machine_name == "orangepi" ? cpumodel::orangepi800_rk3399()
+      : machine_name == "xeon"   ? cpumodel::homogeneous_xeon()
+                                 : cpumodel::raptor_lake_i7_13700();
+  simkernel::SimKernel::Config config;
+  config.sched.migration_rate_hz = 30.0;
+  simkernel::SimKernel kernel(machine, config);
+
+  pfm::SimHost host(&kernel);
+  pfm::PfmLibrary pfmlib;
+  if (const Status s = pfmlib.initialize(host); !s.is_ok()) {
+    std::fprintf(stderr, "pfm: %s\n", s.to_string().c_str());
+    return 1;
+  }
+
+  // Default event list: like perf stat, instructions + cycles + branches
+  // on EVERY core PMU (perf's hybrid expansion).
+  std::vector<std::string> names;
+  if (events_arg.empty()) {
+    for (const pfm::ActivePmu* pmu : pfmlib.default_pmus()) {
+      const std::string prefix = pmu->table->pfm_name + "::";
+      names.push_back(prefix + "INST_RETIRED" +
+                      (machine.vendor == cpumodel::Vendor::kIntel ? ":ANY" : ""));
+      names.push_back(prefix + (machine.vendor == cpumodel::Vendor::kIntel
+                                    ? "CPU_CLK_UNHALTED:THREAD"
+                                    : "CPU_CYCLES"));
+    }
+  } else {
+    for (std::string_view field : split(events_arg, ',')) {
+      names.emplace_back(trim(field));
+    }
+  }
+
+  // The measured "process".
+  workload::PhaseSpec phase;
+  if (memory_bound) phase = workload::phases::memory_bound();
+  simkernel::CpuSet affinity = simkernel::CpuSet::all(machine.num_cpus());
+  if (!taskset.empty()) {
+    const auto cpus = parse_cpulist(taskset);
+    if (!cpus) {
+      std::fprintf(stderr, "bad --taskset\n");
+      return 1;
+    }
+    affinity = simkernel::CpuSet::of(*cpus);
+  }
+  // The measured "process": either a single busy loop or a whole
+  // multithreaded HPL run whose workers join the leader's group.
+  std::unique_ptr<workload::HplSimulation> hpl;
+  simkernel::Tid tid;
+  if (workload == "hpl") {
+    const int n = machine_name == "orangepi" ? 10240 : 20736;
+    const int nb = machine_name == "orangepi" ? 128 : 192;
+    hpl = std::make_unique<workload::HplSimulation>(
+        workload::HplConfig::openblas(n, nb),
+        affinity.count());
+    const std::vector<int> cpus = affinity.to_list();
+    tid = kernel.spawn(hpl->make_worker(0), simkernel::CpuSet::of({cpus[0]}));
+    for (std::size_t i = 1; i < cpus.size(); ++i) {
+      (void)kernel.spawn_in_group(hpl->make_worker(static_cast<int>(i)),
+                                  simkernel::CpuSet::of({cpus[i]}), tid);
+    }
+  } else {
+    tid = kernel.spawn(
+        std::make_shared<workload::FixedWorkProgram>(phase, instructions),
+        affinity);
+  }
+
+  // Open one counting event per requested name (perf style: flat
+  // inherited events on the leader, so the whole group is covered and
+  // the kernel multiplexes freely if needed).
+  std::vector<OpenEvent> open_events;
+  for (const std::string& name : names) {
+    auto enc = pfmlib.encode(name);
+    if (!enc) {
+      std::fprintf(stderr, "event '%s': %s\n", name.c_str(),
+                   enc.status().to_string().c_str());
+      return 1;
+    }
+    simkernel::PerfEventAttr attr;
+    attr.type = enc->perf_type;
+    attr.config = enc->config;
+    attr.inherit = true;
+    auto fd = kernel.perf_event_open(attr, tid, -1, -1);
+    if (!fd) {
+      std::fprintf(stderr, "open '%s': %s\n", name.c_str(),
+                   fd.status().to_string().c_str());
+      return 1;
+    }
+    open_events.push_back(OpenEvent{enc->canonical_name, *fd});
+  }
+
+  const SimTime start = kernel.now();
+  kernel.run_until_idle(std::chrono::seconds(3600));
+  const double seconds =
+      static_cast<double>((kernel.now() - start).count()) / 1e9;
+
+  std::printf("\n Performance counter stats (simulated, %s):\n\n",
+              machine.name.c_str());
+  for (const OpenEvent& event : open_events) {
+    const auto value = kernel.perf_read(event.fd);
+    if (!value) continue;
+    const double running_pct =
+        value->time_enabled_ns > 0
+            ? 100.0 * static_cast<double>(value->time_running_ns) /
+                  static_cast<double>(value->time_enabled_ns)
+            : 0.0;
+    std::printf("    %20llu      %-40s",
+                static_cast<unsigned long long>(value->value),
+                event.name.c_str());
+    if (running_pct < 99.95 && running_pct > 0.0) {
+      std::printf(" (%5.2f%%)", running_pct);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n       %.6f seconds time elapsed (simulated)\n\n", seconds);
+  return 0;
+}
