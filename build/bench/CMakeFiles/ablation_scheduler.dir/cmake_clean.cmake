@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cpp.o"
+  "CMakeFiles/ablation_scheduler.dir/ablation_scheduler.cpp.o.d"
+  "ablation_scheduler"
+  "ablation_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

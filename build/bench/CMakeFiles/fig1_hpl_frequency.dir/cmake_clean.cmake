@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_hpl_frequency.dir/fig1_hpl_frequency.cpp.o"
+  "CMakeFiles/fig1_hpl_frequency.dir/fig1_hpl_frequency.cpp.o.d"
+  "fig1_hpl_frequency"
+  "fig1_hpl_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hpl_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

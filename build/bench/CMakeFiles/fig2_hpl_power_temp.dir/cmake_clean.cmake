@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hpl_power_temp.dir/fig2_hpl_power_temp.cpp.o"
+  "CMakeFiles/fig2_hpl_power_temp.dir/fig2_hpl_power_temp.cpp.o.d"
+  "fig2_hpl_power_temp"
+  "fig2_hpl_power_temp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hpl_power_temp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_hpl_power_temp.
+# This may be replaced when dependencies are built.

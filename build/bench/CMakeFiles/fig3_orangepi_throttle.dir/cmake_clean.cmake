@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_orangepi_throttle.dir/fig3_orangepi_throttle.cpp.o"
+  "CMakeFiles/fig3_orangepi_throttle.dir/fig3_orangepi_throttle.cpp.o.d"
+  "fig3_orangepi_throttle"
+  "fig3_orangepi_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_orangepi_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

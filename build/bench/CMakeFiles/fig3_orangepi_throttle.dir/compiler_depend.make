@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_orangepi_throttle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_orangepi_throttle.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_orangepi_scaling.dir/fig4_orangepi_scaling.cpp.o"
+  "CMakeFiles/fig4_orangepi_scaling.dir/fig4_orangepi_scaling.cpp.o.d"
+  "fig4_orangepi_scaling"
+  "fig4_orangepi_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_orangepi_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

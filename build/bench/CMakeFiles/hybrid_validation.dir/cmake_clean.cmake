@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_validation.dir/hybrid_validation.cpp.o"
+  "CMakeFiles/hybrid_validation.dir/hybrid_validation.cpp.o.d"
+  "hybrid_validation"
+  "hybrid_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

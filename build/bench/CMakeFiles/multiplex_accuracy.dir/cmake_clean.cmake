@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiplex_accuracy.dir/multiplex_accuracy.cpp.o"
+  "CMakeFiles/multiplex_accuracy.dir/multiplex_accuracy.cpp.o.d"
+  "multiplex_accuracy"
+  "multiplex_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiplex_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

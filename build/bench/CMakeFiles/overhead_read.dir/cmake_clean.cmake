@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_read.dir/overhead_read.cpp.o"
+  "CMakeFiles/overhead_read.dir/overhead_read.cpp.o.d"
+  "overhead_read"
+  "overhead_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

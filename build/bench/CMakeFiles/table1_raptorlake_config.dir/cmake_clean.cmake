@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_raptorlake_config.dir/table1_raptorlake_config.cpp.o"
+  "CMakeFiles/table1_raptorlake_config.dir/table1_raptorlake_config.cpp.o.d"
+  "table1_raptorlake_config"
+  "table1_raptorlake_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_raptorlake_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hpl_gflops.dir/table2_hpl_gflops.cpp.o"
+  "CMakeFiles/table2_hpl_gflops.dir/table2_hpl_gflops.cpp.o.d"
+  "table2_hpl_gflops"
+  "table2_hpl_gflops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hpl_gflops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

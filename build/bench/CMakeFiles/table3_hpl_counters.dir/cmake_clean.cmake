@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_hpl_counters.dir/table3_hpl_counters.cpp.o"
+  "CMakeFiles/table3_hpl_counters.dir/table3_hpl_counters.cpp.o.d"
+  "table3_hpl_counters"
+  "table3_hpl_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_hpl_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

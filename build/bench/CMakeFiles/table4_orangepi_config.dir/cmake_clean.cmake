@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_orangepi_config.dir/table4_orangepi_config.cpp.o"
+  "CMakeFiles/table4_orangepi_config.dir/table4_orangepi_config.cpp.o.d"
+  "table4_orangepi_config"
+  "table4_orangepi_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_orangepi_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

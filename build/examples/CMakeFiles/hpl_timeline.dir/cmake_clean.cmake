@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpl_timeline.dir/hpl_timeline.cpp.o"
+  "CMakeFiles/hpl_timeline.dir/hpl_timeline.cpp.o.d"
+  "hpl_timeline"
+  "hpl_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpl_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

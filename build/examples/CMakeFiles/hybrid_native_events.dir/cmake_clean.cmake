@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_native_events.dir/hybrid_native_events.cpp.o"
+  "CMakeFiles/hybrid_native_events.dir/hybrid_native_events.cpp.o.d"
+  "hybrid_native_events"
+  "hybrid_native_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_native_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_hpl.dir/monitor_hpl.cpp.o"
+  "CMakeFiles/monitor_hpl.dir/monitor_hpl.cpp.o.d"
+  "monitor_hpl"
+  "monitor_hpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_profile.dir/sampling_profile.cpp.o"
+  "CMakeFiles/sampling_profile.dir/sampling_profile.cpp.o.d"
+  "sampling_profile"
+  "sampling_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

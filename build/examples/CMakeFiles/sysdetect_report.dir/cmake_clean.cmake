@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sysdetect_report.dir/sysdetect_report.cpp.o"
+  "CMakeFiles/sysdetect_report.dir/sysdetect_report.cpp.o.d"
+  "sysdetect_report"
+  "sysdetect_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sysdetect_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

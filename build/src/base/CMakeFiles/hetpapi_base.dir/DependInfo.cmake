@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/log.cpp" "src/base/CMakeFiles/hetpapi_base.dir/log.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/log.cpp.o.d"
+  "/root/repo/src/base/strings.cpp" "src/base/CMakeFiles/hetpapi_base.dir/strings.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/strings.cpp.o.d"
+  "/root/repo/src/base/table.cpp" "src/base/CMakeFiles/hetpapi_base.dir/table.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

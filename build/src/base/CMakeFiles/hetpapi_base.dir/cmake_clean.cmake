@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_base.dir/log.cpp.o"
+  "CMakeFiles/hetpapi_base.dir/log.cpp.o.d"
+  "CMakeFiles/hetpapi_base.dir/strings.cpp.o"
+  "CMakeFiles/hetpapi_base.dir/strings.cpp.o.d"
+  "CMakeFiles/hetpapi_base.dir/table.cpp.o"
+  "CMakeFiles/hetpapi_base.dir/table.cpp.o.d"
+  "libhetpapi_base.a"
+  "libhetpapi_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpumodel/dvfs.cpp" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/dvfs.cpp.o" "gcc" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/dvfs.cpp.o.d"
+  "/root/repo/src/cpumodel/machine.cpp" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/machine.cpp.o" "gcc" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/machine.cpp.o.d"
+  "/root/repo/src/cpumodel/power.cpp" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/power.cpp.o" "gcc" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/power.cpp.o.d"
+  "/root/repo/src/cpumodel/thermal.cpp" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/thermal.cpp.o" "gcc" "src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hetpapi_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

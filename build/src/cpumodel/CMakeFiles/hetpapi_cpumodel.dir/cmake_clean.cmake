@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_cpumodel.dir/dvfs.cpp.o"
+  "CMakeFiles/hetpapi_cpumodel.dir/dvfs.cpp.o.d"
+  "CMakeFiles/hetpapi_cpumodel.dir/machine.cpp.o"
+  "CMakeFiles/hetpapi_cpumodel.dir/machine.cpp.o.d"
+  "CMakeFiles/hetpapi_cpumodel.dir/power.cpp.o"
+  "CMakeFiles/hetpapi_cpumodel.dir/power.cpp.o.d"
+  "CMakeFiles/hetpapi_cpumodel.dir/thermal.cpp.o"
+  "CMakeFiles/hetpapi_cpumodel.dir/thermal.cpp.o.d"
+  "libhetpapi_cpumodel.a"
+  "libhetpapi_cpumodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_cpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

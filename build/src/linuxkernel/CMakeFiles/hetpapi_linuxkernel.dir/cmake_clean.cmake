@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_linuxkernel.dir/linux_backend.cpp.o"
+  "CMakeFiles/hetpapi_linuxkernel.dir/linux_backend.cpp.o.d"
+  "libhetpapi_linuxkernel.a"
+  "libhetpapi_linuxkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_linuxkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hetpapi_linuxkernel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_papi.dir/detect.cpp.o"
+  "CMakeFiles/hetpapi_papi.dir/detect.cpp.o.d"
+  "CMakeFiles/hetpapi_papi.dir/library.cpp.o"
+  "CMakeFiles/hetpapi_papi.dir/library.cpp.o.d"
+  "CMakeFiles/hetpapi_papi.dir/preset_defs.cpp.o"
+  "CMakeFiles/hetpapi_papi.dir/preset_defs.cpp.o.d"
+  "CMakeFiles/hetpapi_papi.dir/presets.cpp.o"
+  "CMakeFiles/hetpapi_papi.dir/presets.cpp.o.d"
+  "CMakeFiles/hetpapi_papi.dir/sysdetect.cpp.o"
+  "CMakeFiles/hetpapi_papi.dir/sysdetect.cpp.o.d"
+  "libhetpapi_papi.a"
+  "libhetpapi_papi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_papi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

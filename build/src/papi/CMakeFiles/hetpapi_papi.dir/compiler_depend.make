@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hetpapi_papi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_pfm.dir/event_db.cpp.o"
+  "CMakeFiles/hetpapi_pfm.dir/event_db.cpp.o.d"
+  "CMakeFiles/hetpapi_pfm.dir/host.cpp.o"
+  "CMakeFiles/hetpapi_pfm.dir/host.cpp.o.d"
+  "CMakeFiles/hetpapi_pfm.dir/pfmlib.cpp.o"
+  "CMakeFiles/hetpapi_pfm.dir/pfmlib.cpp.o.d"
+  "libhetpapi_pfm.a"
+  "libhetpapi_pfm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_pfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

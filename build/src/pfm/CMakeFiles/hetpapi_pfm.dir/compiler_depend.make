@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hetpapi_pfm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkernel/kernel.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/kernel.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/kernel.cpp.o.d"
+  "/root/repo/src/simkernel/perf_events.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/perf_events.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/perf_events.cpp.o.d"
+  "/root/repo/src/simkernel/pmu.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/pmu.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/pmu.cpp.o.d"
+  "/root/repo/src/simkernel/scheduler.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/scheduler.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/scheduler.cpp.o.d"
+  "/root/repo/src/simkernel/sysfs.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/sysfs.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/sysfs.cpp.o.d"
+  "/root/repo/src/simkernel/trace.cpp" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/trace.cpp.o" "gcc" "src/simkernel/CMakeFiles/hetpapi_simkernel.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hetpapi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hetpapi_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_simkernel.dir/kernel.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/kernel.cpp.o.d"
+  "CMakeFiles/hetpapi_simkernel.dir/perf_events.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/perf_events.cpp.o.d"
+  "CMakeFiles/hetpapi_simkernel.dir/pmu.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/pmu.cpp.o.d"
+  "CMakeFiles/hetpapi_simkernel.dir/scheduler.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hetpapi_simkernel.dir/sysfs.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/sysfs.cpp.o.d"
+  "CMakeFiles/hetpapi_simkernel.dir/trace.cpp.o"
+  "CMakeFiles/hetpapi_simkernel.dir/trace.cpp.o.d"
+  "libhetpapi_simkernel.a"
+  "libhetpapi_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

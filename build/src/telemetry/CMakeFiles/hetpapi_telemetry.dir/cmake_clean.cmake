@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o"
+  "CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o.d"
+  "CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o.d"
+  "libhetpapi_telemetry.a"
+  "libhetpapi_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_vfs.dir/vfs.cpp.o"
+  "CMakeFiles/hetpapi_vfs.dir/vfs.cpp.o.d"
+  "libhetpapi_vfs.a"
+  "libhetpapi_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/exec_model.cpp" "src/workload/CMakeFiles/hetpapi_workload.dir/exec_model.cpp.o" "gcc" "src/workload/CMakeFiles/hetpapi_workload.dir/exec_model.cpp.o.d"
+  "/root/repo/src/workload/hpl.cpp" "src/workload/CMakeFiles/hetpapi_workload.dir/hpl.cpp.o" "gcc" "src/workload/CMakeFiles/hetpapi_workload.dir/hpl.cpp.o.d"
+  "/root/repo/src/workload/programs.cpp" "src/workload/CMakeFiles/hetpapi_workload.dir/programs.cpp.o" "gcc" "src/workload/CMakeFiles/hetpapi_workload.dir/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hetpapi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/hetpapi_simkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hetpapi_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

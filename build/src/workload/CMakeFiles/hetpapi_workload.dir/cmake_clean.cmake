@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetpapi_workload.dir/exec_model.cpp.o"
+  "CMakeFiles/hetpapi_workload.dir/exec_model.cpp.o.d"
+  "CMakeFiles/hetpapi_workload.dir/hpl.cpp.o"
+  "CMakeFiles/hetpapi_workload.dir/hpl.cpp.o.d"
+  "CMakeFiles/hetpapi_workload.dir/programs.cpp.o"
+  "CMakeFiles/hetpapi_workload.dir/programs.cpp.o.d"
+  "libhetpapi_workload.a"
+  "libhetpapi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetpapi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conservation_sweep.dir/test_conservation_sweep.cpp.o"
+  "CMakeFiles/test_conservation_sweep.dir/test_conservation_sweep.cpp.o.d"
+  "test_conservation_sweep"
+  "test_conservation_sweep.pdb"
+  "test_conservation_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conservation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_attach.dir/test_cpu_attach.cpp.o"
+  "CMakeFiles/test_cpu_attach.dir/test_cpu_attach.cpp.o.d"
+  "test_cpu_attach"
+  "test_cpu_attach.pdb"
+  "test_cpu_attach[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

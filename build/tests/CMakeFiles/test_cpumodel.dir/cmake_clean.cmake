@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpumodel.dir/test_cpumodel.cpp.o"
+  "CMakeFiles/test_cpumodel.dir/test_cpumodel.cpp.o.d"
+  "test_cpumodel"
+  "test_cpumodel.pdb"
+  "test_cpumodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpumodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

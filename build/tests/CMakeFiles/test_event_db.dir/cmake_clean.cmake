@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_db.dir/test_event_db.cpp.o"
+  "CMakeFiles/test_event_db.dir/test_event_db.cpp.o.d"
+  "test_event_db"
+  "test_event_db.pdb"
+  "test_event_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

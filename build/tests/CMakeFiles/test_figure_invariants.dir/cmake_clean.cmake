@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_figure_invariants.dir/test_figure_invariants.cpp.o"
+  "CMakeFiles/test_figure_invariants.dir/test_figure_invariants.cpp.o.d"
+  "test_figure_invariants"
+  "test_figure_invariants.pdb"
+  "test_figure_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_figure_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_headers.dir/test_headers.cpp.o"
+  "CMakeFiles/test_headers.dir/test_headers.cpp.o.d"
+  "test_headers"
+  "test_headers.pdb"
+  "test_headers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_headers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpl.dir/test_hpl.cpp.o"
+  "CMakeFiles/test_hpl.dir/test_hpl.cpp.o.d"
+  "test_hpl"
+  "test_hpl.pdb"
+  "test_hpl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_validation.dir/test_hybrid_validation.cpp.o"
+  "CMakeFiles/test_hybrid_validation.dir/test_hybrid_validation.cpp.o.d"
+  "test_hybrid_validation"
+  "test_hybrid_validation.pdb"
+  "test_hybrid_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

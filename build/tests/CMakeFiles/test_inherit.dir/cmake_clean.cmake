@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inherit.dir/test_inherit.cpp.o"
+  "CMakeFiles/test_inherit.dir/test_inherit.cpp.o.d"
+  "test_inherit"
+  "test_inherit.pdb"
+  "test_inherit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inherit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linux_backend.dir/test_linux_backend.cpp.o"
+  "CMakeFiles/test_linux_backend.dir/test_linux_backend.cpp.o.d"
+  "test_linux_backend"
+  "test_linux_backend.pdb"
+  "test_linux_backend[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linux_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_linux_backend.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_presets.dir/test_machine_presets.cpp.o"
+  "CMakeFiles/test_machine_presets.dir/test_machine_presets.cpp.o.d"
+  "test_machine_presets"
+  "test_machine_presets.pdb"
+  "test_machine_presets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_overflow.dir/test_overflow.cpp.o"
+  "CMakeFiles/test_overflow.dir/test_overflow.cpp.o.d"
+  "test_overflow"
+  "test_overflow.pdb"
+  "test_overflow[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_events.dir/test_perf_events.cpp.o"
+  "CMakeFiles/test_perf_events.dir/test_perf_events.cpp.o.d"
+  "test_perf_events"
+  "test_perf_events.pdb"
+  "test_perf_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

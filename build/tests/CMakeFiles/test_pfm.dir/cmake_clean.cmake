@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pfm.dir/test_pfm.cpp.o"
+  "CMakeFiles/test_pfm.dir/test_pfm.cpp.o.d"
+  "test_pfm"
+  "test_pfm.pdb"
+  "test_pfm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pfm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

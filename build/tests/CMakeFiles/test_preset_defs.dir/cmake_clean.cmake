@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preset_defs.dir/test_preset_defs.cpp.o"
+  "CMakeFiles/test_preset_defs.dir/test_preset_defs.cpp.o.d"
+  "test_preset_defs"
+  "test_preset_defs.pdb"
+  "test_preset_defs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preset_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

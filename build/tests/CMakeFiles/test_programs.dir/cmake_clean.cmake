@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_programs.dir/test_programs.cpp.o"
+  "CMakeFiles/test_programs.dir/test_programs.cpp.o.d"
+  "test_programs"
+  "test_programs.pdb"
+  "test_programs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

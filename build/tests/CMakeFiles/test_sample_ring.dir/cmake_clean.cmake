@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sample_ring.dir/test_sample_ring.cpp.o"
+  "CMakeFiles/test_sample_ring.dir/test_sample_ring.cpp.o.d"
+  "test_sample_ring"
+  "test_sample_ring.pdb"
+  "test_sample_ring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sample_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysdetect.dir/test_sysdetect.cpp.o"
+  "CMakeFiles/test_sysdetect.dir/test_sysdetect.cpp.o.d"
+  "test_sysdetect"
+  "test_sysdetect.pdb"
+  "test_sysdetect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysdetect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

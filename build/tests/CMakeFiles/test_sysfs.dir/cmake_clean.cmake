@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sysfs.dir/test_sysfs.cpp.o"
+  "CMakeFiles/test_sysfs.dir/test_sysfs.cpp.o.d"
+  "test_sysfs"
+  "test_sysfs.pdb"
+  "test_sysfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sysfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

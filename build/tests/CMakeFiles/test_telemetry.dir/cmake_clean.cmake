@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/test_telemetry.cpp.o"
+  "CMakeFiles/test_telemetry.dir/test_telemetry.cpp.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+  "test_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Headers.AllPublicHeadersAreSelfContained]=]  /root/repo/build/tests/test_headers [==[--gtest_filter=Headers.AllPublicHeadersAreSelfContained]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Headers.AllPublicHeadersAreSelfContained]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_headers_TESTS Headers.AllPublicHeadersAreSelfContained)

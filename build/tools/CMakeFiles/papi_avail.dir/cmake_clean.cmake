@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_avail.dir/papi_avail.cpp.o"
+  "CMakeFiles/papi_avail.dir/papi_avail.cpp.o.d"
+  "papi_avail"
+  "papi_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_native_avail.dir/papi_native_avail.cpp.o"
+  "CMakeFiles/papi_native_avail.dir/papi_native_avail.cpp.o.d"
+  "papi_native_avail"
+  "papi_native_avail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_native_avail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for papi_native_avail.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simperf_record.dir/simperf_record.cpp.o"
+  "CMakeFiles/simperf_record.dir/simperf_record.cpp.o.d"
+  "simperf_record"
+  "simperf_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simperf_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simperf_stat.dir/simperf_stat.cpp.o"
+  "CMakeFiles/simperf_stat.dir/simperf_stat.cpp.o.d"
+  "simperf_stat"
+  "simperf_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simperf_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for simperf_stat.
+# This may be replaced when dependencies are built.
