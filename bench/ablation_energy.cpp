@@ -59,10 +59,8 @@ EnergyResult run_case(const workload::HplConfig& hpl_config,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int n = 43008;
-  if (argc > 1) {
-    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
-  }
+  const auto opts = parse_bench_args(argc, argv, 43008);
+  const int n = opts.n;
   const auto machine = cpumodel::raptor_lake_i7_13700();
   struct Row {
     const char* label;
@@ -73,6 +71,26 @@ int main(int argc, char** argv) {
       {"P only", raptor_cpus_p_only(machine)},
       {"P and E", raptor_cpus_all(machine)},
   };
+  const char* variants[] = {"openblas", "intel"};
+
+  // 2 variants x 3 core sets = 6 independent cells, fanned across the
+  // executor; printed from the result slots in fixed order.
+  std::vector<EnergyResult> results(6);
+  std::vector<telemetry::RunCell> cells;
+  for (std::size_t v = 0; v < 2; ++v) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      cells.push_back({std::string(variants[v]) + " / " + rows[r].label,
+                       [&, v, r] {
+                         const auto config =
+                             v == 1 ? workload::HplConfig::intel(n, 192)
+                                    : workload::HplConfig::openblas(n, 192);
+                         results[3 * v + r] = run_case(config, rows[r].cpus);
+                       }});
+    }
+  }
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("ablation_energy", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
 
   std::printf(
       "Energy-to-solution ablation (HPL N=%d; RAPL package+DRAM via one "
@@ -80,20 +98,17 @@ int main(int argc, char** argv) {
       n);
   TextTable table({"variant", "cores", "time (s)", "Gflops", "pkg (kJ)",
                    "dram (kJ)", "Gflops/W"});
-  for (const char* variant : {"openblas", "intel"}) {
-    for (const Row& row : rows) {
-      const auto config = std::string(variant) == "intel"
-                              ? workload::HplConfig::intel(n, 192)
-                              : workload::HplConfig::openblas(n, 192);
-      const EnergyResult result = run_case(config, row.cpus);
+  for (std::size_t v = 0; v < 2; ++v) {
+    for (std::size_t r = 0; r < 3; ++r) {
+      const EnergyResult& result = results[3 * v + r];
+      recorder.set_cell_sim_s(3 * v + r, result.seconds);
       const double avg_watts = result.package_j / result.seconds;
-      table.add_row({variant, row.label,
+      table.add_row({variants[v], rows[r].label,
                      str_format("%.1f", result.seconds),
                      str_format("%.1f", result.gflops),
                      str_format("%.2f", result.package_j / 1000.0),
                      str_format("%.2f", result.dram_j / 1000.0),
                      str_format("%.2f", result.gflops / avg_watts)});
-      std::fflush(stdout);
     }
     table.add_rule();
   }
@@ -107,5 +122,6 @@ int main(int argc, char** argv) {
       "winner here: with the whole 65 W budget to itself the E cluster\n"
       "races to its multi-core turbo ceiling, far from its efficiency\n"
       "sweet spot.)\n");
+  recorder.write();
   return 0;
 }

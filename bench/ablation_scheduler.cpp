@@ -71,22 +71,38 @@ Result run_policy(PlacementPolicy policy) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "Scheduler-placement ablation (400 x 25M-instruction calipered\n"
-      "iterations; paper's §IV-F split under the real kernel: 83%% P / 17%% E)\n\n");
-  TextTable table({"policy", "P share", "E share", "loop runtime (s)"});
+int main(int argc, char** argv) {
+  const auto opts = parse_bench_args(argc, argv, 0);
   const std::pair<const char*, PlacementPolicy> policies[] = {
       {"capacity-biased (default)", PlacementPolicy::kCapacityBiased},
       {"uniform", PlacementPolicy::kUniform},
       {"little-first", PlacementPolicy::kLittleFirst},
   };
-  for (const auto& [name, policy] : policies) {
-    const Result result = run_policy(policy);
-    table.add_row({name, str_format("%.1f%%", result.p_share * 100.0),
+
+  // One independent deterministic run per policy, fanned across the
+  // executor; printed from the slots in fixed order.
+  std::vector<Result> results(3);
+  std::vector<telemetry::RunCell> cells;
+  for (std::size_t i = 0; i < 3; ++i) {
+    cells.push_back({policies[i].first, [&, i] {
+                       results[i] = run_policy(policies[i].second);
+                     }});
+  }
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("ablation_scheduler", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
+
+  std::printf(
+      "Scheduler-placement ablation (400 x 25M-instruction calipered\n"
+      "iterations; paper's §IV-F split under the real kernel: 83%% P / 17%% E)\n\n");
+  TextTable table({"policy", "P share", "E share", "loop runtime (s)"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    const Result& result = results[i];
+    recorder.set_cell_sim_s(i, result.seconds);
+    table.add_row({policies[i].first,
+                   str_format("%.1f%%", result.p_share * 100.0),
                    str_format("%.1f%%", (1.0 - result.p_share) * 100.0),
                    str_format("%.3f", result.seconds)});
-    std::fflush(stdout);
   }
   std::printf("%s", table.render().c_str());
   std::printf(
@@ -95,5 +111,6 @@ int main() {
       "little-first pushes the work to the E cores and is slowest (its\n"
       "instruction share stays near half only because P cores retire the\n"
       "P-resident segments so much faster).\n");
+  recorder.write();
   return 0;
 }

@@ -1,17 +1,136 @@
 // Shared helpers for the table/figure regeneration benches.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "base/strings.hpp"
+#include "base/thread_pool.hpp"
 #include "cpumodel/machine.hpp"
 #include "simkernel/kernel.hpp"
 #include "telemetry/monitor.hpp"
+#include "telemetry/multi_run.hpp"
 #include "workload/hpl.hpp"
 
 namespace hetpapi::bench {
+
+/// Command-line knobs every bench accepts:
+///   bench [N] [--threads T | --threads=T]
+/// N is the bench-specific problem-size knob; T is the worker count the
+/// multi-run executor fans independent cells across (default: one per
+/// hardware thread). Results are bit-identical for any T.
+struct BenchOptions {
+  int n = 0;
+  std::size_t threads = ThreadPool::default_thread_count();
+};
+
+inline BenchOptions parse_bench_args(int argc, char** argv, int default_n) {
+  BenchOptions opts;
+  opts.n = default_n;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      if (const auto parsed = parse_int(argv[++i]); parsed && *parsed > 0) {
+        opts.threads = static_cast<std::size_t>(*parsed);
+      }
+    } else if (starts_with(arg, "--threads=")) {
+      if (const auto parsed = parse_int(arg.substr(10)); parsed && *parsed > 0) {
+        opts.threads = static_cast<std::size_t>(*parsed);
+      }
+    } else if (const auto parsed = parse_int(arg)) {
+      opts.n = static_cast<int>(*parsed);
+    }
+  }
+  return opts;
+}
+
+/// Collects per-cell timings and writes a machine-readable
+/// BENCH_<name>.json next to the bench's stdout tables, so CI and the
+/// perf notebooks can track wall time without scraping text output.
+class BenchRecorder {
+ public:
+  BenchRecorder(std::string name, std::size_t threads)
+      : name_(std::move(name)),
+        threads_(threads),
+        start_(std::chrono::steady_clock::now()) {}
+
+  void add_cell(const std::string& label, double wall_s, double sim_s = 0.0) {
+    cells_.push_back({label, wall_s, sim_s});
+  }
+
+  /// Fold the executor's per-cell wall timings in, in cell order.
+  void add_cells(const std::vector<telemetry::CellTiming>& timings) {
+    for (const telemetry::CellTiming& t : timings) {
+      add_cell(t.label, t.wall_s);
+    }
+  }
+
+  /// Attach the simulated duration to the most recently added cells
+  /// (used when sim time is only known after aggregation).
+  void set_cell_sim_s(std::size_t index, double sim_s) {
+    if (index < cells_.size()) cells_[index].sim_s = sim_s;
+  }
+
+  /// Write BENCH_<name>.json into the working directory.
+  void write() const {
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    double sim_s = 0.0;
+    for (const Cell& cell : cells_) sim_s += cell.sim_s;
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(out,
+                 "{\n  \"name\": \"%s\",\n  \"threads\": %zu,\n"
+                 "  \"runs\": %zu,\n  \"wall_s\": %.6f,\n  \"sim_s\": %.6f,\n"
+                 "  \"cells\": [\n",
+                 escape(name_).c_str(), threads_, cells_.size(), wall_s,
+                 sim_s);
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      const Cell& cell = cells_[i];
+      std::fprintf(out,
+                   "    {\"label\": \"%s\", \"wall_s\": %.6f, "
+                   "\"sim_s\": %.6f}%s\n",
+                   escape(cell.label).c_str(), cell.wall_s, cell.sim_s,
+                   i + 1 < cells_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    // stderr, not stdout: timings vary run to run, and bench stdout must
+    // stay bit-identical across worker counts.
+    std::fprintf(stderr, "wrote %s (wall %.3f s, %zu cells, %zu threads)\n",
+                 path.c_str(), wall_s, cells_.size(), threads_);
+  }
+
+ private:
+  struct Cell {
+    std::string label;
+    double wall_s = 0.0;
+    double sim_s = 0.0;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::size_t threads_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Cell> cells_;
+};
 
 /// The paper's three Raptor Lake core sets (HPL runs use one thread per
 /// physical core; Table I / §II-A.1).

@@ -11,10 +11,8 @@ using namespace hetpapi;
 using namespace hetpapi::bench;
 
 int main(int argc, char** argv) {
-  int n = 15000;
-  if (argc > 1) {
-    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
-  }
+  const auto opts = parse_bench_args(argc, argv, 15000);
+  const int n = opts.n;
   const auto machine = cpumodel::orangepi800_rk3399();
 
   struct Config {
@@ -29,6 +27,22 @@ int main(int argc, char** argv) {
       {"4 little + 1 big", {0, 1, 2, 3, 4}},
       {"all 6", {0, 1, 2, 3, 4, 5}},
   };
+  constexpr std::size_t kNumConfigs = std::size(configs);
+
+  // One independent simulation per core configuration, fanned across
+  // the executor; the table prints from the slots in fixed order.
+  std::vector<telemetry::RunResult> results(kNumConfigs);
+  std::vector<telemetry::RunCell> cells;
+  for (std::size_t i = 0; i < kNumConfigs; ++i) {
+    cells.push_back({configs[i].label, [&, i] {
+                       results[i] = run_hpl_once(
+                           machine, workload::HplConfig::openblas(n, 128),
+                           configs[i].cpus);
+                     }});
+  }
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("fig4_orangepi_scaling", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
 
   std::printf(
       "Figure 4: OrangePi HPL performance as more cores are added (N=%d)\n",
@@ -37,17 +51,15 @@ int main(int argc, char** argv) {
   double t_2big = 0.0;
   double t_4little = 0.0;
   double t_all = 0.0;
-  for (const Config& config : configs) {
-    const auto run = run_hpl_once(machine,
-                                  workload::HplConfig::openblas(n, 128),
-                                  config.cpus);
+  for (std::size_t i = 0; i < kNumConfigs; ++i) {
+    const auto& run = results[i];
     const double seconds = std::chrono::duration<double>(run.elapsed).count();
-    table.add_row({config.label, str_format("%.1f", seconds),
+    recorder.set_cell_sim_s(i, seconds);
+    table.add_row({configs[i].label, str_format("%.1f", seconds),
                    str_format("%.2f", run.gflops)});
-    if (std::string(config.label) == "2 big") t_2big = seconds;
-    if (std::string(config.label) == "4 little") t_4little = seconds;
-    if (std::string(config.label) == "all 6") t_all = seconds;
-    std::fflush(stdout);
+    if (std::string(configs[i].label) == "2 big") t_2big = seconds;
+    if (std::string(configs[i].label) == "4 little") t_4little = seconds;
+    if (std::string(configs[i].label) == "all 6") t_all = seconds;
   }
   std::printf("%s", table.render().c_str());
   std::printf(
@@ -58,5 +70,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: 4 little completes faster than 2 big; all six provide only"
       " minimal improvement over the 4 little cores.\n");
+  recorder.write();
   return 0;
 }

@@ -81,29 +81,48 @@ Averages run_case(const CpuSet& affinity, bool hybrid_support) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This bench is a fast serial control (it exercises the kernel's
+  // post-exit idle fast path via run_until_idle); it still records
+  // per-case wall timings for BENCH_hybrid_validation.json.
+  const auto opts = parse_bench_args(argc, argv, 0);
+  (void)opts;  // --threads accepted for CLI uniformity; cases run serially
   const auto machine = cpumodel::raptor_lake_i7_13700();
   const CpuSet all = CpuSet::all(machine.num_cpus());
+  BenchRecorder recorder("hybrid_validation", 1);
+  const auto timed = [&recorder](const char* label, auto&& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    const Averages result = fn();
+    recorder.add_cell(label,
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    return result;
+  };
 
   std::printf("papi_hybrid_100m_one_eventset (%d x %llu instructions)\n\n",
               kIterations, static_cast<unsigned long long>(kMillion));
 
-  const Averages hybrid = run_case(all, /*hybrid_support=*/true);
+  const Averages hybrid =
+      timed("unpinned", [&] { return run_case(all, /*hybrid_support=*/true); });
   std::printf("[patched PAPI, unpinned]\n");
   std::printf("Average instructions p: %.0f e: %.0f   (sum %.0f)\n\n",
               hybrid.p, hybrid.e, hybrid.p + hybrid.e);
 
-  const Averages pinned_p = run_case(CpuSet::of({0}), true);
+  const Averages pinned_p =
+      timed("pinned P", [&] { return run_case(CpuSet::of({0}), true); });
   std::printf("[patched PAPI, taskset to P-core cpu0]\n");
   std::printf("Average instructions p: %.0f e: %.0f\n\n", pinned_p.p,
               pinned_p.e);
 
-  const Averages pinned_e = run_case(CpuSet::of({16}), true);
+  const Averages pinned_e =
+      timed("pinned E", [&] { return run_case(CpuSet::of({16}), true); });
   std::printf("[patched PAPI, taskset to E-core cpu16]\n");
   std::printf("Average instructions p: %.0f e: %.0f\n\n", pinned_e.p,
               pinned_e.e);
 
-  const Averages legacy = run_case(all, /*hybrid_support=*/false);
+  const Averages legacy = timed(
+      "legacy", [&] { return run_case(all, /*hybrid_support=*/false); });
   std::printf("[original PAPI: only the P-core event fits the EventSet]\n");
   std::printf(
       "Average instructions p: %.0f   (undercounts: E-core share is "
@@ -113,5 +132,6 @@ int main() {
   std::printf(
       "paper reference: 'Average instructions p: 836848 e: 167487' — the\n"
       "per-type counts vary with scheduling, but their sum stays ~1M.\n");
+  recorder.write();
   return 0;
 }

@@ -98,26 +98,47 @@ Result run_case(int num_events, bool bursty) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = parse_bench_args(argc, argv, 0);
+  const int counts[] = {6, 8, 12, 18, 24};
+  constexpr std::size_t kNumCounts = std::size(counts);
+
+  // {event count} x {steady, bursty} = 10 independent cells, fanned
+  // across the executor; printed from the slots in fixed order.
+  std::vector<Result> steady_results(kNumCounts);
+  std::vector<Result> bursty_results(kNumCounts);
+  std::vector<telemetry::RunCell> cells;
+  for (std::size_t i = 0; i < kNumCounts; ++i) {
+    cells.push_back({str_format("%d events / steady", counts[i]), [&, i] {
+                       steady_results[i] = run_case(counts[i], false);
+                     }});
+    cells.push_back({str_format("%d events / bursty", counts[i]), [&, i] {
+                       bursty_results[i] = run_case(counts[i], true);
+                     }});
+  }
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("multiplex_accuracy", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
+
   std::printf(
       "Multiplexing accuracy ablation (P-core PMU: 8 GP counters; events\n"
       "beyond that rotate at 1 ms and are scaled by enabled/running time)\n");
   TextTable table({"events", "oversubscription", "steady mean|max err %",
                    "bursty mean|max err %"});
-  for (int events : {6, 8, 12, 18, 24}) {
-    const Result steady = run_case(events, false);
-    const Result bursty = run_case(events, true);
-    table.add_row({std::to_string(events),
-                   str_format("%.1fx", events / 8.0),
+  for (std::size_t i = 0; i < kNumCounts; ++i) {
+    const Result& steady = steady_results[i];
+    const Result& bursty = bursty_results[i];
+    table.add_row({std::to_string(counts[i]),
+                   str_format("%.1fx", counts[i] / 8.0),
                    str_format("%.2f | %.2f", steady.mean_abs_error_pct,
                               steady.worst_abs_error_pct),
                    str_format("%.2f | %.2f", bursty.mean_abs_error_pct,
                               bursty.worst_abs_error_pct)});
-    std::fflush(stdout);
   }
   std::printf("%s", table.render().c_str());
   std::printf(
       "expectation: error ~0 up to 8 events (everything fits), then grows\n"
       "with oversubscription, and is larger for bursty workloads.\n");
+  recorder.write();
   return 0;
 }

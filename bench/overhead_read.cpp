@@ -28,7 +28,8 @@ struct Fixture {
   int set = -1;
 
   explicit Fixture(const std::vector<std::string>& events,
-                   bool multiplex = false, bool use_rdpmc = false) {
+                   bool multiplex = false, bool use_rdpmc = false,
+                   bool cache_read_plan = true) {
     kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
     backend = std::make_unique<papi::SimBackend>(kernel.get());
     workload::PhaseSpec phase;
@@ -39,6 +40,7 @@ struct Fixture {
     backend->set_default_target(tid);
     LibraryConfig config;
     config.use_rdpmc = use_rdpmc;
+    config.cache_read_plan = cache_read_plan;
     config.call_overhead_instructions = 0;  // measuring, not modelling
     auto created = Library::init(backend.get(), config);
     lib = std::move(*created);
@@ -107,6 +109,33 @@ void BM_Read_MultiplexedTwelveGroups(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Read_MultiplexedTwelveGroups);
+
+void BM_Read_CachedReadPlan(benchmark::State& state) {
+  // The cached group fan-out: collect() resolves which leader fds to
+  // read and where each value lands once, then reuses the plan.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "adl_glc::CPU_CLK_UNHALTED:THREAD",
+             "adl_grt::CPU_CLK_UNHALTED:THREAD"},
+            false, false, /*cache_read_plan=*/true);
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_CachedReadPlan);
+
+void BM_Read_UncachedReadPlan(benchmark::State& state) {
+  // Historical behaviour: the fan-out is re-derived on every read.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "adl_glc::CPU_CLK_UNHALTED:THREAD",
+             "adl_grt::CPU_CLK_UNHALTED:THREAD"},
+            false, false, /*cache_read_plan=*/false);
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_UncachedReadPlan);
 
 void BM_Read_RdpmcFastPath(benchmark::State& state) {
   // A singleton group served by the userspace counter read.

@@ -18,11 +18,10 @@ using namespace hetpapi;
 using namespace hetpapi::bench;
 
 int main(int argc, char** argv) {
-  // Allow a reduced problem size for quick runs: table2_hpl_gflops [N].
-  int n = 57024;
-  if (argc > 1) {
-    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
-  }
+  // table2_hpl_gflops [N] [--threads T]: reduced problem size for quick
+  // runs, worker count for the multi-run executor.
+  const auto opts = parse_bench_args(argc, argv, 57024);
+  const int n = opts.n;
   const int nb = 192;
   const auto machine = cpumodel::raptor_lake_i7_13700();
 
@@ -36,19 +35,45 @@ int main(int argc, char** argv) {
       {"P and E", raptor_cpus_all(machine)},
   };
 
+  // Each cell is an independent deterministic simulation (its own
+  // kernel + machine), so the executor can fan them across workers; the
+  // table prints from the result slots in fixed order afterwards, making
+  // stdout bit-identical for any worker count.
+  std::vector<telemetry::RunResult> results(6);
+  std::vector<telemetry::RunCell> cells;
+  for (std::size_t r = 0; r < 3; ++r) {
+    const Row& row = rows[r];
+    cells.push_back({std::string(row.label) + " / OpenBLAS", [&, r] {
+                       results[2 * r] = run_hpl_once(
+                           machine, workload::HplConfig::openblas(n, nb),
+                           rows[r].cpus);
+                     }});
+    cells.push_back({std::string(row.label) + " / Intel", [&, r] {
+                       results[2 * r + 1] = run_hpl_once(
+                           machine, workload::HplConfig::intel(n, nb),
+                           rows[r].cpus);
+                     }});
+  }
+
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("table2_hpl_gflops", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    recorder.set_cell_sim_s(
+        i, std::chrono::duration<double>(results[i].elapsed).count());
+  }
+
   std::printf("Table II: HPL performance, N=%d NB=%d P=1 Q=1 (model)\n", n,
               nb);
   TextTable table({"Enabled cores", "OpenBLAS HPL", "Intel HPL", "% Change"});
-  for (const Row& row : rows) {
-    const auto openblas =
-        run_hpl_once(machine, workload::HplConfig::openblas(n, nb), row.cpus);
-    const auto intel =
-        run_hpl_once(machine, workload::HplConfig::intel(n, nb), row.cpus);
-    table.add_row({row.label, gflops_str(openblas.gflops),
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto& openblas = results[2 * r];
+    const auto& intel = results[2 * r + 1];
+    table.add_row({rows[r].label, gflops_str(openblas.gflops),
                    gflops_str(intel.gflops),
                    pct_change(openblas.gflops, intel.gflops)});
-    std::fflush(stdout);
   }
   std::printf("%s", table.render().c_str());
+  recorder.write();
   return 0;
 }

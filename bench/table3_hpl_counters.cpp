@@ -92,16 +92,27 @@ std::string pct(double x) { return str_format("%.2f%%", x * 100.0); }
 }  // namespace
 
 int main(int argc, char** argv) {
-  int n = 57024;
-  if (argc > 1) {
-    if (const auto parsed = parse_int(argv[1])) n = static_cast<int>(*parsed);
-  }
+  const auto opts = parse_bench_args(argc, argv, 57024);
+  const int n = opts.n;
   const auto machine = cpumodel::raptor_lake_i7_13700();
 
-  const MeasuredRun openblas =
-      run_measured(machine, workload::HplConfig::openblas(n, 192), n);
-  const MeasuredRun intel =
-      run_measured(machine, workload::HplConfig::intel(n, 192), n);
+  // Two independent measured runs, fanned across the executor; results
+  // land in fixed slots so output does not depend on the worker count.
+  MeasuredRun openblas;
+  MeasuredRun intel;
+  const std::vector<telemetry::RunCell> cells = {
+      {"OpenBLAS",
+       [&] {
+         openblas = run_measured(machine, workload::HplConfig::openblas(n, 192), n);
+       }},
+      {"Intel",
+       [&] {
+         intel = run_measured(machine, workload::HplConfig::intel(n, 192), n);
+       }},
+  };
+  telemetry::MultiRunExecutor executor(opts.threads);
+  BenchRecorder recorder("table3_hpl_counters", executor.thread_count());
+  recorder.add_cells(executor.execute(cells));
 
   const auto missrate = [](const TypeCounts& tc) {
     return tc.llc_refs > 0 ? tc.llc_misses / tc.llc_refs : 0.0;
@@ -128,5 +139,6 @@ int main(int argc, char** argv) {
   std::printf(
       "paper:   missrate 86%% / 0.05%% / 64%% / 0.03%%;"
       " instructions 80%% / 20%% / 68%% / 32%%\n");
+  recorder.write();
   return 0;
 }

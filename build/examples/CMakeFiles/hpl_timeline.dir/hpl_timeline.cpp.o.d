@@ -233,4 +233,6 @@ examples/CMakeFiles/hpl_timeline.dir/hpl_timeline.cpp.o: \
  /root/repo/src/simkernel/program.hpp /root/repo/src/simkernel/thread.hpp \
  /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
- /root/repo/src/workload/hpl.hpp /root/repo/src/workload/exec_model.hpp
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/workload/hpl.hpp \
+ /root/repo/src/workload/exec_model.hpp

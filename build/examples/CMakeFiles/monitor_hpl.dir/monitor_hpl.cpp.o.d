@@ -245,6 +245,8 @@ examples/CMakeFiles/monitor_hpl.dir/monitor_hpl.cpp.o: \
  /root/repo/src/simkernel/program.hpp /root/repo/src/simkernel/thread.hpp \
  /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/telemetry/monitor.hpp \
  /root/repo/src/telemetry/sampler.hpp /root/repo/src/workload/hpl.hpp \
  /root/repo/src/workload/exec_model.hpp

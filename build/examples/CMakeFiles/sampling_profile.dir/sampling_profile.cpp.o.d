@@ -238,6 +238,8 @@ examples/CMakeFiles/sampling_profile.dir/sampling_profile.cpp.o: \
  /root/repo/src/simkernel/perf_events.hpp \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/workload/programs.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/workload/exec_model.hpp

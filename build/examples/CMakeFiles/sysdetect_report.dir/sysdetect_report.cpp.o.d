@@ -226,13 +226,15 @@ examples/CMakeFiles/sysdetect_report.dir/sysdetect_report.cpp.o: \
  /root/repo/src/simkernel/thread.hpp /root/repo/src/simkernel/program.hpp \
  /root/repo/src/base/rng.hpp /root/repo/src/papi/sysdetect.hpp \
  /root/repo/src/papi/detect.hpp /usr/include/c++/12/optional \
- /root/repo/src/pfm/pfmlib.hpp /root/repo/src/pfm/event_db.hpp \
+ /root/repo/src/pfm/pfmlib.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/pfm/event_db.hpp \
  /root/repo/src/pfm/sim_host.hpp /root/repo/src/simkernel/kernel.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/cpumodel/dvfs.hpp \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/cpumodel/power.hpp /root/repo/src/cpumodel/thermal.hpp \
+ /root/repo/src/cpumodel/dvfs.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/cpumodel/power.hpp \
+ /root/repo/src/cpumodel/thermal.hpp \
  /root/repo/src/simkernel/perf_events.hpp \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/scheduler.hpp \
- /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp
+ /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/base/log.cpp" "src/base/CMakeFiles/hetpapi_base.dir/log.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/log.cpp.o.d"
   "/root/repo/src/base/strings.cpp" "src/base/CMakeFiles/hetpapi_base.dir/strings.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/strings.cpp.o.d"
   "/root/repo/src/base/table.cpp" "src/base/CMakeFiles/hetpapi_base.dir/table.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/table.cpp.o.d"
+  "/root/repo/src/base/thread_pool.cpp" "src/base/CMakeFiles/hetpapi_base.dir/thread_pool.cpp.o" "gcc" "src/base/CMakeFiles/hetpapi_base.dir/thread_pool.cpp.o.d"
   )
 
 # Targets to which this target links.

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hetpapi_base.dir/strings.cpp.o.d"
   "CMakeFiles/hetpapi_base.dir/table.cpp.o"
   "CMakeFiles/hetpapi_base.dir/table.cpp.o.d"
+  "CMakeFiles/hetpapi_base.dir/thread_pool.cpp.o"
+  "CMakeFiles/hetpapi_base.dir/thread_pool.cpp.o.d"
   "libhetpapi_base.a"
   "libhetpapi_base.pdb"
 )

@@ -209,5 +209,9 @@ src/papi/CMakeFiles/hetpapi_papi.dir/sysdetect.cpp.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/pfm/pfmlib.hpp \
- /root/repo/src/pfm/event_db.hpp /root/repo/src/simkernel/perf_abi.hpp \
- /root/repo/src/base/strings.hpp
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /root/repo/src/pfm/event_db.hpp \
+ /root/repo/src/simkernel/perf_abi.hpp /root/repo/src/base/strings.hpp

@@ -229,4 +229,6 @@ src/simkernel/CMakeFiles/hetpapi_simkernel.dir/sysfs.cpp.o: \
  /root/repo/src/simkernel/perf_abi.hpp /root/repo/src/simkernel/pmu.hpp \
  /root/repo/src/simkernel/program.hpp /root/repo/src/simkernel/thread.hpp \
  /root/repo/src/simkernel/scheduler.hpp \
- /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp
+ /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/telemetry/monitor.cpp" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o" "gcc" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o.d"
+  "/root/repo/src/telemetry/multi_run.cpp" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/multi_run.cpp.o" "gcc" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/multi_run.cpp.o.d"
   "/root/repo/src/telemetry/sampler.cpp" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o.d"
   )
 

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o"
   "CMakeFiles/hetpapi_telemetry.dir/monitor.cpp.o.d"
+  "CMakeFiles/hetpapi_telemetry.dir/multi_run.cpp.o"
+  "CMakeFiles/hetpapi_telemetry.dir/multi_run.cpp.o.d"
   "CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o"
   "CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o.d"
   "libhetpapi_telemetry.a"

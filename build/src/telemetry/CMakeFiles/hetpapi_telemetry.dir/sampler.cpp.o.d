@@ -232,8 +232,9 @@ src/telemetry/CMakeFiles/hetpapi_telemetry.dir/sampler.cpp.o: \
  /root/repo/src/simkernel/program.hpp /root/repo/src/simkernel/thread.hpp \
  /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

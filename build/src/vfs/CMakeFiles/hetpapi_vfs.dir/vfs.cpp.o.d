@@ -48,7 +48,9 @@ src/vfs/CMakeFiles/hetpapi_vfs.dir/vfs.cpp.o: /root/repo/src/vfs/vfs.cpp \
  /usr/include/c++/12/bits/invoke.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/range_access.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/string \
  /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \

@@ -310,6 +310,17 @@ tests/CMakeFiles/test_determinism.dir/test_determinism.cpp.o: \
  /root/repo/src/simkernel/perf_events.hpp \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /root/repo/src/telemetry/multi_run.hpp \
+ /root/repo/src/base/thread_pool.hpp \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/thread \
  /root/repo/src/workload/hpl.hpp /root/repo/src/workload/exec_model.hpp \
- /root/repo/src/workload/programs.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc
+ /root/repo/src/workload/programs.hpp

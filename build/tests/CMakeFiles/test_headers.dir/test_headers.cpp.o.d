@@ -239,6 +239,8 @@ tests/CMakeFiles/test_headers.dir/test_headers.cpp.o: \
  /root/repo/src/simkernel/perf_events.hpp \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/scheduler.hpp \
  /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h \
  /root/repo/src/papi/sysdetect.hpp /root/repo/src/telemetry/monitor.hpp \
  /root/repo/src/telemetry/sampler.hpp /root/repo/src/workload/hpl.hpp \
  /root/repo/src/workload/exec_model.hpp \
@@ -298,8 +300,6 @@ tests/CMakeFiles/test_headers.dir/test_headers.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/hetpapi_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/hetpapi_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpumodel/CMakeFiles/hetpapi_cpumodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/hetpapi_simkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfm/CMakeFiles/hetpapi_pfm.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/hetpapi_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hetpapi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/hetpapi_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/linuxkernel/CMakeFiles/hetpapi_linuxkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -235,4 +235,6 @@ tools/CMakeFiles/papi_avail.dir/papi_avail.cpp.o: \
  /root/repo/src/cpumodel/power.hpp /root/repo/src/cpumodel/thermal.hpp \
  /root/repo/src/simkernel/perf_events.hpp \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/scheduler.hpp \
- /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp
+ /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

@@ -233,4 +233,6 @@ tools/CMakeFiles/papi_native_avail.dir/papi_native_avail.cpp.o: \
  /root/repo/src/simkernel/pmu.hpp /root/repo/src/simkernel/program.hpp \
  /root/repo/src/simkernel/thread.hpp \
  /root/repo/src/simkernel/scheduler.hpp \
- /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp
+ /root/repo/src/simkernel/trace.hpp /root/repo/src/vfs/vfs.hpp \
+ /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h

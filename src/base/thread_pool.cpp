@@ -1,0 +1,115 @@
+#include "base/thread_pool.hpp"
+
+#include <atomic>
+#include <limits>
+#include <utility>
+
+namespace hetpapi {
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  if (threads_ <= 1) return;  // inline mode: no workers
+  workers_.reserve(threads_);
+  for (std::size_t i = 0; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (inline_mode()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::parallel_for_each(
+    std::size_t count, const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (inline_mode()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared batch state: workers (and this thread) claim indexes from a
+  // counter; the lowest-index exception wins and is rethrown at the end.
+  struct Batch {
+    std::atomic<std::size_t> next{0};
+    std::mutex m;
+    std::condition_variable done;
+    std::size_t helpers_active = 0;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  };
+  auto batch = std::make_shared<Batch>();
+
+  const auto drain = [count, &fn, batch] {
+    for (std::size_t i = batch->next.fetch_add(1); i < count;
+         i = batch->next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(batch->m);
+        if (i < batch->error_index) {
+          batch->error_index = i;
+          batch->error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  const std::size_t helpers = std::min(threads_, count) - 1;
+  {
+    const std::lock_guard<std::mutex> lock(batch->m);
+    batch->helpers_active = helpers;
+  }
+  for (std::size_t h = 0; h < helpers; ++h) {
+    // `fn` outlives the batch: this function blocks until every helper
+    // finished, so capturing it by reference through `drain` is safe.
+    submit([batch, drain] {
+      drain();
+      {
+        const std::lock_guard<std::mutex> lock(batch->m);
+        --batch->helpers_active;
+      }
+      batch->done.notify_one();
+    });
+  }
+  drain();  // the calling thread participates
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done.wait(lock, [&] { return batch->helpers_active == 0; });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace hetpapi

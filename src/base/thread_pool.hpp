@@ -1,0 +1,66 @@
+// Fixed-size worker pool with a single mutex-protected FIFO queue.
+//
+// Deliberately work-stealing-free: the tasks this repo fans out are
+// whole simulation runs (seconds of work each), so a simple shared
+// queue is contention-free in practice and keeps the scheduling order
+// easy to reason about. A pool constructed with `threads <= 1` spawns
+// no workers at all and executes everything inline on the calling
+// thread — the true serial path the determinism tests compare against.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetpapi {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total worker count. 0 and 1 both mean "no worker
+  /// threads": tasks run inline on the submitting thread.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Effective parallelism (>= 1 even in inline mode).
+  std::size_t thread_count() const { return threads_ == 0 ? 1 : threads_; }
+
+  /// True when tasks execute inline on the calling thread.
+  bool inline_mode() const { return workers_.empty(); }
+
+  /// Enqueue one fire-and-forget task (runs inline in inline mode).
+  /// Tasks must not throw; use parallel_for_each for work that can fail.
+  void submit(std::function<void()> task);
+
+  /// Invoke fn(0), fn(1), ..., fn(count - 1), blocking until every call
+  /// has completed. Indexes are claimed from a shared counter, so the
+  /// execution order across workers is unspecified — callers must write
+  /// results into per-index slots. If any calls throw, the exception of
+  /// the lowest failing index is rethrown (after all indexes ran). In
+  /// inline mode the calls run in index order on the calling thread and
+  /// the first exception propagates immediately — identical observable
+  /// behaviour for order-independent bodies.
+  void parallel_for_each(std::size_t count,
+                         const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace hetpapi

@@ -327,6 +327,69 @@ Status Library::add_event(int eventset, std::string_view name) {
   return Status::ok();
 }
 
+Status Library::remove_event(int eventset, std::string_view name) {
+  EventSet* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  if (set->state == SetState::kRunning) {
+    return make_error(StatusCode::kAlreadyRunning,
+                      "cannot remove events while running");
+  }
+  std::size_t user_idx = set->user_events.size();
+  for (std::size_t i = 0; i < set->user_events.size(); ++i) {
+    if (iequals(set->user_events[i].display_name, name)) {
+      user_idx = i;
+      break;
+    }
+  }
+  if (user_idx == set->user_events.size()) {
+    return make_error(StatusCode::kNotFound,
+                      std::string(name) + " is not in the EventSet");
+  }
+
+  // Tear down every fd first: the group member lists reference native
+  // slots by index, and those indices are about to shift.
+  HETPAPI_RETURN_IF_ERROR(close_all(*set));
+
+  // Drop the removed event's native slots, highest index first so the
+  // lower ones stay valid while erasing.
+  const UserEvent removed = std::move(set->user_events[user_idx]);
+  std::vector<int> dropped(removed.native_indices.begin(),
+                           removed.native_indices.end());
+  std::sort(dropped.begin(), dropped.end());
+  for (std::size_t i = dropped.size(); i-- > 0;) {
+    set->natives.erase_at(static_cast<std::size_t>(dropped[i]));
+  }
+  set->user_events.erase(set->user_events.begin() +
+                         static_cast<std::ptrdiff_t>(user_idx));
+
+  // Remap the survivors: each native slot's owning user event shifts
+  // down past the removed one; each user event's native indices shift
+  // down past every dropped slot below them.
+  for (NativeSlot& slot : set->natives) {
+    if (slot.user_event_index > static_cast<int>(user_idx)) {
+      --slot.user_event_index;
+    }
+  }
+  for (UserEvent& user : set->user_events) {
+    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
+      const int idx = user.native_indices[i];
+      int shift = 0;
+      for (const int d : dropped) {
+        if (d < idx) ++shift;
+      }
+      user.native_indices[i] = idx - shift;
+    }
+  }
+
+  // Re-open the survivors in order, rebuilding the groups.
+  for (std::size_t i = 0; i < set->natives.size(); ++i) {
+    HETPAPI_RETURN_IF_ERROR(open_slot(*set, i));
+  }
+  return Status::ok();
+}
+
 Status Library::add_native(EventSet& set, const pfm::Encoding& enc,
                            UserEvent& user, int sign) {
   if (set.natives.full()) {
@@ -372,6 +435,7 @@ Status Library::add_native(EventSet& set, const pfm::Encoding& enc,
 }
 
 Status Library::open_slot(EventSet& set, std::size_t native_idx) {
+  set.read_plan_valid = false;
   NativeSlot& slot = set.natives[native_idx];
   const pfm::ActivePmu* pmu = pfm_.find_pmu(slot.enc.pmu_name);
   if (pmu == nullptr) {
@@ -472,6 +536,7 @@ Status Library::open_slot(EventSet& set, std::size_t native_idx) {
 }
 
 Status Library::close_all(EventSet& set) {
+  set.read_plan_valid = false;
   Status first_error = Status::ok();
   // Close siblings before leaders to avoid the kernel's sibling
   // promotion path.
@@ -700,36 +765,63 @@ Status Library::reset(int eventset) {
   return Status::ok();
 }
 
+void Library::build_read_plan(const EventSet& set) const {
+  set.read_plan.clear();
+  set.plan_members.clear();
+  set.read_plan.reserve(set.groups.size());
+  for (const PmuGroup& group : set.groups) {
+    ReadPlanEntry entry;
+    entry.leader_fd = group.leader_fd;
+    entry.member_begin = set.plan_members.size();
+    entry.member_count = group.members.size();
+    for (int member : group.members) {
+      set.plan_members.push_back(static_cast<std::size_t>(member));
+    }
+    if (config_.use_rdpmc && group.members.size() == 1) {
+      const std::size_t native = static_cast<std::size_t>(group.members[0]);
+      entry.rdpmc_single = true;
+      entry.single_fd = set.natives[native].fd;
+      entry.single_native = native;
+    }
+    set.read_plan.push_back(entry);
+  }
+  set.native_scratch.resize(set.natives.size());
+}
+
 Expected<std::vector<long long>> Library::collect(const EventSet& set) const {
   // Gather per-native raw/scaled values across all groups, then fold
-  // derived user events.
-  std::vector<double> native_values(set.natives.size(), 0.0);
+  // derived user events. The fan-out (which leader fds to read, where
+  // each returned value lands) is pre-resolved into a read plan; with
+  // cache_read_plan off it is rebuilt on every call, the historical
+  // behaviour the overhead bench compares against.
+  if (!set.read_plan_valid) {
+    build_read_plan(set);
+    set.read_plan_valid = config_.cache_read_plan;
+  }
+  std::vector<double>& native_values = set.native_scratch;
+  native_values.assign(set.natives.size(), 0.0);
+  const bool scale = set.multiplexed && config_.scale_multiplexed;
 
-  for (const PmuGroup& group : set.groups) {
+  for (const ReadPlanEntry& entry : set.read_plan) {
     // Fast path first (§V-5): a singleton group whose event is resident
     // can be served by rdpmc without a read syscall.
-    if (config_.use_rdpmc && group.members.size() == 1) {
-      const NativeSlot& slot =
-          set.natives[static_cast<std::size_t>(group.members[0])];
-      auto fast = backend_->perf_rdpmc(slot.fd);
+    if (entry.rdpmc_single) {
+      auto fast = backend_->perf_rdpmc(entry.single_fd);
       if (fast) {
-        native_values[static_cast<std::size_t>(group.members[0])] =
-            static_cast<double>(*fast);
+        native_values[entry.single_native] = static_cast<double>(*fast);
         continue;
       }
     }
-    auto group_values = backend_->perf_read_group(group.leader_fd);
+    auto group_values = backend_->perf_read_group(entry.leader_fd);
     if (!group_values) return group_values.status();
-    if (group_values->size() != group.members.size()) {
+    if (group_values->size() != entry.member_count) {
       return make_error(StatusCode::kBug, "group read size mismatch");
     }
-    for (std::size_t i = 0; i < group.members.size(); ++i) {
+    for (std::size_t i = 0; i < entry.member_count; ++i) {
       const PerfValue& pv = (*group_values)[i];
       double value = static_cast<double>(pv.value);
-      if (set.multiplexed && config_.scale_multiplexed) {
-        value = pv.scaled();
-      }
-      native_values[static_cast<std::size_t>(group.members[i])] = value;
+      if (scale) value = pv.scaled();
+      native_values[set.plan_members[entry.member_begin + i]] = value;
     }
   }
 

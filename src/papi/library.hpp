@@ -57,6 +57,11 @@ struct LibraryConfig {
   /// Serve reads through the rdpmc fast path when the event is resident,
   /// falling back to read(2) (§V-5).
   bool use_rdpmc = false;
+  /// Cache the per-EventSet group read fan-out (which leader fds to
+  /// read, which native slot each returned value lands in) instead of
+  /// re-deriving it on every read/stop/accum. Off reproduces the
+  /// per-call recomputation cost the overhead bench quantifies.
+  bool cache_read_plan = true;
 };
 
 /// Describes one value slot of an EventSet read.
@@ -122,6 +127,13 @@ class Library {
   /// Add a native event ("adl_glc::INST_RETIRED:ANY", "INST_RETIRED")
   /// or a preset ("PAPI_TOT_INS").
   Status add_event(int eventset, std::string_view name);
+
+  /// PAPI_remove_event: drop a previously added event (matched against
+  /// its display name, case-insensitively). The set must be stopped; the
+  /// surviving events keep their relative order and are transparently
+  /// re-opened, so a subsequent read returns one value per remaining
+  /// event.
+  Status remove_event(int eventset, std::string_view name);
 
   /// Convert the EventSet to multiplexed operation: every event becomes
   /// its own group leader so the kernel can rotate freely (§IV-E's
@@ -201,6 +213,19 @@ class Library {
 
   enum class SetState { kStopped, kRunning };
 
+  /// One pre-resolved group read in collect()'s fan-out.
+  struct ReadPlanEntry {
+    int leader_fd = -1;
+    /// Singleton group eligible for the rdpmc fast path.
+    bool rdpmc_single = false;
+    int single_fd = -1;
+    std::size_t single_native = 0;
+    /// Members (native slot indices) in sibling order, flattened into
+    /// EventSet::plan_members.
+    std::size_t member_begin = 0;
+    std::size_t member_count = 0;
+  };
+
   struct EventSet {
     int id = -1;
     SetState state = SetState::kStopped;
@@ -215,6 +240,13 @@ class Library {
     /// rotate), hence sized for the worst case.
     FixedVector<PmuGroup, kMaxEventSetEvents> groups;
     std::vector<UserEvent> user_events;
+    /// Cached collect() fan-out + value scratch (mutable: collect() is
+    /// logically const). Invalidated by any group-layout change
+    /// (open_slot / close_all, hence add/remove/attach/multiplex).
+    mutable bool read_plan_valid = false;
+    mutable std::vector<ReadPlanEntry> read_plan;
+    mutable std::vector<std::size_t> plan_members;
+    mutable std::vector<double> native_scratch;
   };
 
   EventSet* find_set(int eventset);
@@ -239,6 +271,9 @@ class Library {
   /// beyond `natives_before`, close all fds (the group bookkeeping may
   /// reference the dropped slots) and rebuild the survivors.
   Status rollback_natives(EventSet& set, std::size_t natives_before);
+
+  /// (Re)build `set.read_plan` from the current group layout.
+  void build_read_plan(const EventSet& set) const;
 
   Expected<std::vector<long long>> collect(const EventSet& set) const;
 

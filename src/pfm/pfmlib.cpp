@@ -52,6 +52,7 @@ std::optional<int> read_intel_model(const Host& host) {
 
 Status PfmLibrary::initialize(const Host& host, Config config) {
   active_.clear();
+  encode_cache_.clear();
   config_ = config;
 
   auto devices = host.list_dir("/sys/devices");
@@ -221,6 +222,15 @@ Expected<Encoding> PfmLibrary::encode(std::string_view name) const {
   if (!initialized_) {
     return make_error(StatusCode::kComponent, "pfm library not initialized");
   }
+  if (const auto hit = encode_cache_.find(name); hit != encode_cache_.end()) {
+    return hit->second;
+  }
+  auto resolved = encode_uncached(name);
+  if (resolved) encode_cache_.emplace(std::string(name), *resolved);
+  return resolved;
+}
+
+Expected<Encoding> PfmLibrary::encode_uncached(std::string_view name) const {
   const std::size_t sep = name.find("::");
   if (sep != std::string_view::npos) {
     const std::string_view pmu_name = name.substr(0, sep);

@@ -12,6 +12,7 @@
 //    reports more than one core PMU makes unprefixed event lookups fail.
 #pragma once
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -61,8 +62,13 @@ class PfmLibrary {
   std::vector<const ActivePmu*> default_pmus() const;
 
   /// Resolve "pmu::EVENT:UMASK" or "EVENT:UMASK" (searched across the
-  /// default PMUs) to an encoding.
+  /// default PMUs) to an encoding. Successful resolutions are memoized
+  /// (the name -> attr parse is pure for a given PMU scan), so the hot
+  /// add_event paths pay the string parsing once per distinct name.
   Expected<Encoding> encode(std::string_view name) const;
+
+  /// Distinct names resolved since the last initialize() (tests).
+  std::size_t encode_cache_size() const { return encode_cache_.size(); }
 
   /// All full event names one PMU offers (for papi_native_avail-style
   /// listings).
@@ -70,12 +76,16 @@ class PfmLibrary {
 
  private:
   Status bind_pmu(const Host& host, const std::string& sysfs_name);
+  Expected<Encoding> encode_uncached(std::string_view name) const;
   Expected<Encoding> encode_on(const ActivePmu& pmu,
                                std::string_view event_and_umask) const;
 
   std::vector<ActivePmu> active_;
   Config config_{};
   bool initialized_ = false;
+  /// Memoized successful name -> encoding resolutions; cleared whenever
+  /// the PMU scan reruns (encodings embed dynamic perf type ids).
+  mutable std::map<std::string, Encoding, std::less<>> encode_cache_;
 };
 
 }  // namespace hetpapi::pfm

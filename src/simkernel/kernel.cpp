@@ -41,7 +41,10 @@ Tid SimKernel::spawn(std::shared_ptr<Program> program, const CpuSet& affinity) {
   thread.truth.time_per_type.resize(machine_.core_types.size(),
                                     SimDuration{0});
   const Tid tid = thread.tid;
-  threads_.emplace(tid, std::move(thread));
+  const auto it = threads_.emplace(tid, std::move(thread)).first;
+  by_tid_.push_back(&it->second);
+  placed_.push_back(-1);
+  ++alive_count_;
   return tid;
 }
 
@@ -90,12 +93,6 @@ void SimKernel::inject_instructions(Tid tid, std::uint64_t count) {
   pending_injections_[tid] += count;
 }
 
-bool SimKernel::any_thread_alive() const {
-  return std::any_of(threads_.begin(), threads_.end(), [](const auto& kv) {
-    return kv.second.state != ThreadState::kExited;
-  });
-}
-
 // --- time loop ---------------------------------------------------------------
 
 void SimKernel::run_for(SimDuration duration) {
@@ -113,26 +110,51 @@ SimDuration SimKernel::run_until_idle(SimDuration max) {
 void SimKernel::tick_once() {
   const SimDuration dt = config_.tick;
   const auto num_cpus = static_cast<std::size_t>(machine_.num_cpus());
+  const double dt_seconds = std::chrono::duration<double>(dt).count();
+
+  if (alive_count_ == 0) {
+    // Idle fast path. With zero runnable threads the scheduler draws no
+    // RNG (it only rolls per runnable thread) and the execution loop is
+    // a no-op, so this tick is bit-identical to the full path — only
+    // power/thermal decay, multiplex rotation and the DRAM idle floor
+    // still advance. The first idle tick also closes any open tracer
+    // segments, exactly as the full path's assignment diff would.
+    for (std::size_t cpu = 0; cpu < num_cpus; ++cpu) {
+      if (last_assignment_[cpu] == kInvalidTid) continue;
+      if (tracer_ != nullptr) {
+        tracer_->end_segment(static_cast<int>(cpu), now_);
+      }
+      last_assignment_[cpu] = kInvalidTid;
+    }
+    loads_.assign(num_cpus, cpumodel::CpuLoad{});
+    dram_energy_j_ += 2.0 * dt_seconds;
+    governor_.step(dt, loads_);
+    perf_.rotate(now_);
+    memory_contention_ = 1.0;
+    now_ += dt;
+    return;
+  }
 
   // 1. Schedule.
-  std::vector<SimThread*> runnable;
-  runnable.reserve(threads_.size());
+  runnable_.clear();
+  runnable_.reserve(threads_.size());
   for (auto& [tid, thread] : threads_) {
-    if (thread.state != ThreadState::kExited) runnable.push_back(&thread);
+    if (thread.state != ThreadState::kExited) runnable_.push_back(&thread);
   }
-  std::vector<Tid> assignment;
-  scheduler_.assign(runnable, dt, assignment);
+  scheduler_.assign(runnable_, dt, assignment_);
 
   // 2. Context-switch / migration accounting.
-  std::map<Tid, int> placed;
+  for (const SimThread* thread : runnable_) {
+    placed_[static_cast<std::size_t>(thread->tid)] = -1;
+  }
   for (std::size_t cpu = 0; cpu < num_cpus; ++cpu) {
-    if (assignment[cpu] != kInvalidTid) {
-      placed[assignment[cpu]] = static_cast<int>(cpu);
+    if (assignment_[cpu] != kInvalidTid) {
+      placed_[static_cast<std::size_t>(assignment_[cpu])] =
+          static_cast<int>(cpu);
     }
   }
-  for (SimThread* thread : runnable) {
-    const auto it = placed.find(thread->tid);
-    const int new_cpu = it == placed.end() ? -1 : it->second;
+  for (SimThread* thread : runnable_) {
+    const int new_cpu = placed_[static_cast<std::size_t>(thread->tid)];
     if (thread->current_cpu >= 0 && new_cpu != thread->current_cpu) {
       ++thread->truth.context_switches;
       perf_.on_software(thread->tid, CountKind::kContextSwitches, 1);
@@ -146,23 +168,23 @@ void SimKernel::tick_once() {
   }
   if (tracer_ != nullptr) {
     for (std::size_t cpu = 0; cpu < num_cpus; ++cpu) {
-      if (assignment[cpu] == last_assignment_[cpu]) continue;
+      if (assignment_[cpu] == last_assignment_[cpu]) continue;
       if (last_assignment_[cpu] != kInvalidTid) {
         tracer_->end_segment(static_cast<int>(cpu), now_);
       }
-      if (assignment[cpu] != kInvalidTid) {
-        tracer_->begin_segment(static_cast<int>(cpu), assignment[cpu], now_);
+      if (assignment_[cpu] != kInvalidTid) {
+        tracer_->begin_segment(static_cast<int>(cpu), assignment_[cpu], now_);
       }
     }
   }
 
   // 3. Execute slices at the frequencies chosen last tick.
-  std::vector<cpumodel::CpuLoad> loads(num_cpus);
+  loads_.assign(num_cpus, cpumodel::CpuLoad{});
   std::uint64_t tick_miss_bytes = 0;
   for (std::size_t cpu = 0; cpu < num_cpus; ++cpu) {
-    const Tid tid = assignment[cpu];
+    const Tid tid = assignment_[cpu];
     if (tid == kInvalidTid) continue;
-    SimThread& thread = threads_.at(tid);
+    SimThread& thread = *by_tid_[static_cast<std::size_t>(tid)];
 
     ExecContext ctx;
     const cpumodel::CoreTypeId type_id = machine_.cpus[cpu].type;
@@ -181,6 +203,7 @@ void SimKernel::tick_once() {
                     << " consumed no time without finishing; aborting thread";
       thread.state = ThreadState::kExited;
       thread.current_cpu = -1;
+      --alive_count_;
       continue;
     }
 
@@ -209,16 +232,16 @@ void SimKernel::tick_once() {
                            slice.consumed, tid, now_);
 
     const double util =
-        std::chrono::duration<double>(slice.consumed).count() /
-        std::chrono::duration<double>(dt).count();
-    loads[cpu].util = util;
-    loads[cpu].activity = slice.activity;
+        std::chrono::duration<double>(slice.consumed).count() / dt_seconds;
+    loads_[cpu].util = util;
+    loads_[cpu].activity = slice.activity;
 
     tick_miss_bytes += slice.counts.llc_misses * 64;
 
     if (slice.finished) {
       thread.state = ThreadState::kExited;
       thread.current_cpu = -1;
+      --alive_count_;
       if (tracer_ != nullptr) {
         tracer_->end_segment(static_cast<int>(cpu), now_ + slice.consumed);
       }
@@ -229,26 +252,24 @@ void SimKernel::tick_once() {
   imc_reads_ += tick_miss_bytes / 64;
   imc_writes_ += tick_miss_bytes / 64 / 4;
   // DRAM energy: ~2 W refresh/idle floor plus ~60 pJ/byte transferred.
-  const double dt_seconds = std::chrono::duration<double>(dt).count();
   dram_energy_j_ +=
       2.0 * dt_seconds + static_cast<double>(tick_miss_bytes) * 60e-12;
 
   // 5. Power/thermal/DVFS for the next tick.
-  governor_.step(dt, loads);
+  governor_.step(dt, loads_);
 
   // 6. Multiplex rotation.
   perf_.rotate(now_);
 
   // 7. Memory contention for the next tick: demand above the sustained
   //    bandwidth cap inflates everyone's effective miss latency.
-  const double dt_s = std::chrono::duration<double>(dt).count();
   const double demand_gbs =
-      static_cast<double>(tick_miss_bytes) / dt_s / 1e9;
+      static_cast<double>(tick_miss_bytes) / dt_seconds / 1e9;
   memory_contention_ =
       std::max(1.0, demand_gbs / machine_.memory.bandwidth_gbs);
 
   now_ += dt;
-  last_assignment_ = std::move(assignment);
+  last_assignment_.swap(assignment_);
 }
 
 // --- perf syscalls -----------------------------------------------------------

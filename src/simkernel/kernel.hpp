@@ -77,7 +77,7 @@ class SimKernel {
   /// time actually advanced.
   SimDuration run_until_idle(SimDuration max);
 
-  bool any_thread_alive() const;
+  bool any_thread_alive() const { return alive_count_ > 0; }
 
   // --- perf_event syscall surface ----------------------------------------
 
@@ -147,8 +147,23 @@ class SimKernel {
   SimTime now_{};
 
   std::map<Tid, SimThread> threads_;
+  /// tid -> thread, O(1): tids are dense and never reused, and std::map
+  /// nodes are pointer-stable.
+  std::vector<SimThread*> by_tid_;
+  /// Threads not yet exited. Zero enables the idle fast-path tick: with
+  /// no runnable thread, scheduling, placement accounting and execution
+  /// consume no RNG and change no state, so they can be skipped
+  /// bit-exactly while power/thermal/rotation still advance.
+  std::size_t alive_count_ = 0;
   Tid next_tid_ = 0;
   std::map<Tid, std::uint64_t> pending_injections_;
+  /// Per-tick scratch, reused to keep the hot loop allocation-free.
+  std::vector<SimThread*> runnable_;
+  std::vector<Tid> assignment_;
+  std::vector<cpumodel::CpuLoad> loads_;
+  /// tid-indexed cpu placement for the current tick (-1 = waiting);
+  /// reset only for runnable tids each tick.
+  std::vector<int> placed_;
   /// Previous tick's cpu assignment, for switch/migration accounting.
   std::vector<Tid> last_assignment_;
   /// Memory-bandwidth contention factor applied to the next tick.

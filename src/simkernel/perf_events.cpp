@@ -21,15 +21,32 @@ PerfSubsystem::Context& PerfSubsystem::context_of(const EventObj& ev) {
   return contexts_[{scope_key(ev.tid, ev.cpu), ev.pmu->type_id}];
 }
 
+void PerfSubsystem::index_event(EventObj& ev) {
+  if (ev.tid >= 0) {
+    tid_index_[ev.tid].push_back(&ev);
+  } else {
+    cpu_index_[ev.cpu].push_back(&ev);
+  }
+}
+
+void PerfSubsystem::unindex_event(EventObj& ev) {
+  if (ev.tid >= 0) {
+    const auto it = tid_index_.find(ev.tid);
+    if (it != tid_index_.end()) std::erase(it->second, &ev);
+  } else {
+    const auto it = cpu_index_.find(ev.cpu);
+    if (it != cpu_index_.end()) std::erase(it->second, &ev);
+  }
+}
+
 int PerfSubsystem::gp_counters_needed(const EventObj& leader) const {
   const auto needs_gp = [&](const EventObj& ev) {
     if (ev.pmu->pmu_class == PmuClass::kSoftware) return false;
     return !ev.pmu->is_fixed(ev.kind);
   };
   int needed = needs_gp(leader) ? 1 : 0;
-  for (int sib_fd : leader.siblings) {
-    const EventObj* sib = find(sib_fd);
-    if (sib != nullptr && needs_gp(*sib)) ++needed;
+  for (const EventObj* sib : leader.sibling_ptrs) {
+    if (needs_gp(*sib)) ++needed;
   }
   return needed;
 }
@@ -132,11 +149,14 @@ Expected<int> PerfSubsystem::open(const PerfEventAttr& attr, Tid tid, int cpu,
   auto [it, inserted] = events_.emplace(fd, std::move(ev));
   EventObj& stored = it->second;
   if (stored.leader_fd != fd) {
-    find(stored.leader_fd)->siblings.push_back(fd);
+    EventObj* leader = find(stored.leader_fd);
+    leader->siblings.push_back(fd);
+    leader->sibling_ptrs.push_back(&stored);
   } else {
     Context& ctx = context_of(stored);
     ctx.group_leaders.push_back(fd);
   }
+  index_event(stored);
   reschedule(context_of(stored));
   return fd;
 }
@@ -180,9 +200,8 @@ void PerfSubsystem::reschedule(Context& ctx) {
       }
     }
     leader->scheduled = placed && leader->enabled;
-    for (int sib_fd : leader->siblings) {
-      EventObj* sib = find(sib_fd);
-      if (sib != nullptr) sib->scheduled = placed && sib->enabled;
+    for (EventObj* sib : leader->sibling_ptrs) {
+      sib->scheduled = placed && sib->enabled;
     }
   }
   ctx.needs_rotation = overflow;
@@ -306,11 +325,13 @@ Expected<std::vector<PerfValue>> PerfSubsystem::read_group(
     return make_error(StatusCode::kInvalidArgument,
                       "group read requires the leader fd");
   }
+  // The sibling fan-out uses the cached pointers: no per-sibling fd
+  // lookup on this per-sample hot path.
   std::vector<PerfValue> out;
+  out.reserve(1 + leader->sibling_ptrs.size());
   out.push_back(snapshot(*leader, pkg, now));
-  for (int sib_fd : leader->siblings) {
-    const EventObj* sib = find(sib_fd);
-    if (sib != nullptr) out.push_back(snapshot(*sib, pkg, now));
+  for (const EventObj* sib : leader->sibling_ptrs) {
+    out.push_back(snapshot(*sib, pkg, now));
   }
   return out;
 }
@@ -339,17 +360,15 @@ Status PerfSubsystem::close(int fd) {
   if (ev == nullptr) {
     return make_error(StatusCode::kInvalidArgument, "bad fd");
   }
+  unindex_event(*ev);
   if (ev->is_leader()) {
     // Kernel behaviour: closing a leader promotes each sibling to a
     // singleton group in the same context.
     Context& ctx = context_of(*ev);
     std::erase(ctx.group_leaders, fd);
-    for (int sib_fd : ev->siblings) {
-      EventObj* sib = find(sib_fd);
-      if (sib != nullptr) {
-        sib->leader_fd = sib_fd;
-        ctx.group_leaders.push_back(sib_fd);
-      }
+    for (EventObj* sib : ev->sibling_ptrs) {
+      sib->leader_fd = sib->fd;
+      ctx.group_leaders.push_back(sib->fd);
     }
     events_.erase(fd);
     reschedule(ctx);
@@ -357,7 +376,10 @@ Status PerfSubsystem::close(int fd) {
   }
   // Detach from leader.
   EventObj* leader = find(ev->leader_fd);
-  if (leader != nullptr) std::erase(leader->siblings, fd);
+  if (leader != nullptr) {
+    std::erase(leader->siblings, fd);
+    std::erase(leader->sibling_ptrs, ev);
+  }
   Context& ctx = context_of(*ev);
   events_.erase(fd);
   reschedule(ctx);
@@ -368,35 +390,57 @@ void PerfSubsystem::on_execution(Tid tid, Tid leader, int cpu,
                                  cpumodel::CoreTypeId core_type,
                                  const ExecCounts& counts, SimDuration dt,
                                  SimTime now) {
-  for (auto& [fd, ev] : events_) {
-    if (!ev.enabled) continue;
-    const bool direct = ev.tid == tid;
-    const bool inherited = ev.attr.inherit && ev.tid == leader;
-    if (!direct && !inherited) continue;
-    if (ev.cpu >= 0 && ev.cpu != cpu) continue;
-    if (ev.pmu->pmu_class == PmuClass::kSoftware) {
-      ev.time_enabled += dt;
-      ev.time_running += dt;
-      if (ev.kind == CountKind::kTaskClockNs) {
-        ev.value += static_cast<std::uint64_t>(dt.count());
+  // The slice touches events bound to the thread itself plus events
+  // opened with attr.inherit on the process-group leader. Both index
+  // lists are fd-sorted; merge them so events are visited in fd order,
+  // exactly as the old full-table scan did (overflow handlers observe
+  // that order).
+  static const std::vector<EventObj*> kEmpty;
+  const auto direct_it = tid_index_.find(tid);
+  const std::vector<EventObj*>& direct =
+      direct_it != tid_index_.end() ? direct_it->second : kEmpty;
+  const auto leader_it =
+      leader != tid ? tid_index_.find(leader) : tid_index_.end();
+  const std::vector<EventObj*>& inherited =
+      leader_it != tid_index_.end() ? leader_it->second : kEmpty;
+
+  std::size_t di = 0;
+  std::size_t li = 0;
+  while (di < direct.size() || li < inherited.size()) {
+    EventObj* ev = nullptr;
+    if (li >= inherited.size() ||
+        (di < direct.size() && direct[di]->fd < inherited[li]->fd)) {
+      ev = direct[di++];
+    } else {
+      ev = inherited[li++];
+      if (!ev->attr.inherit) continue;
+    }
+    if (!ev->enabled) continue;
+    if (ev->cpu >= 0 && ev->cpu != cpu) continue;
+    if (ev->pmu->pmu_class == PmuClass::kSoftware) {
+      ev->time_enabled += dt;
+      ev->time_running += dt;
+      if (ev->kind == CountKind::kTaskClockNs) {
+        ev->value += static_cast<std::uint64_t>(dt.count());
       }
       continue;
     }
-    if (ev.pmu->pmu_class != PmuClass::kCore) continue;
-    if (ev.pmu->core_type != core_type) continue;
-    apply_counts(ev, counts, dt, dt, cpu, core_type, tid, now);
+    if (ev->pmu->pmu_class != PmuClass::kCore) continue;
+    if (ev->pmu->core_type != core_type) continue;
+    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now);
   }
 }
 
 void PerfSubsystem::on_cpu_execution(int cpu, cpumodel::CoreTypeId core_type,
                                      const ExecCounts& counts,
                                      SimDuration dt, Tid tid, SimTime now) {
-  for (auto& [fd, ev] : events_) {
-    if (ev.tid >= 0 || !ev.enabled) continue;
-    if (ev.cpu != cpu) continue;
-    if (ev.pmu->pmu_class != PmuClass::kCore) continue;
-    if (ev.pmu->core_type != core_type) continue;
-    apply_counts(ev, counts, dt, dt, cpu, core_type, tid, now);
+  const auto it = cpu_index_.find(cpu);
+  if (it == cpu_index_.end()) return;
+  for (EventObj* ev : it->second) {
+    if (!ev->enabled) continue;
+    if (ev->pmu->pmu_class != PmuClass::kCore) continue;
+    if (ev->pmu->core_type != core_type) continue;
+    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now);
   }
 }
 
@@ -489,11 +533,13 @@ Expected<std::uint64_t> PerfSubsystem::lost_samples(int fd) const {
 }
 
 void PerfSubsystem::on_software(Tid tid, CountKind kind, std::uint64_t delta) {
-  for (auto& [fd, ev] : events_) {
-    if (ev.tid != tid || !ev.enabled) continue;
-    if (ev.pmu->pmu_class != PmuClass::kSoftware) continue;
-    if (ev.kind != kind) continue;
-    ev.value += delta;
+  const auto it = tid_index_.find(tid);
+  if (it == tid_index_.end()) return;
+  for (EventObj* ev : it->second) {
+    if (!ev->enabled) continue;
+    if (ev->pmu->pmu_class != PmuClass::kSoftware) continue;
+    if (ev->kind != kind) continue;
+    ev->value += delta;
   }
 }
 

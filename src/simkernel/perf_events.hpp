@@ -175,6 +175,10 @@ class PerfSubsystem {
     int cpu = -1;           // -1 for any cpu
     int leader_fd = -1;     // == fd for leaders
     std::vector<int> siblings;  // leader only, creation order
+    /// Cached pointers to the sibling EventObjs (same order as
+    /// `siblings`): std::map nodes are pointer-stable, so group reads
+    /// can fan out without one map lookup per sibling per read.
+    std::vector<EventObj*> sibling_ptrs;
     bool enabled = false;
     bool scheduled = false;  // resident on a counter right now
     std::uint64_t value = 0;
@@ -232,10 +236,21 @@ class PerfSubsystem {
   Status do_ioctl_one(EventObj& ev, PerfIoctl op, const PackageCounters& pkg,
                       SimTime now);
 
+  /// Register a newly opened event in the scope index; drop on close.
+  void index_event(EventObj& ev);
+  void unindex_event(EventObj& ev);
+
   const PmuRegistry* pmus_;
   Config config_;
   std::map<int, EventObj> events_;
   std::map<ContextKey, Context> contexts_;
+  /// Scope indexes for the per-tick attribution hooks: thread-bound
+  /// events keyed by tid, cpu-bound (tid < 0) events keyed by cpu, each
+  /// list in ascending-fd order (fds are never reused, so appends keep
+  /// the order sorted). The hooks previously scanned every open event
+  /// per executing slice — O(#events x #running threads) per tick.
+  std::map<Tid, std::vector<EventObj*>> tid_index_;
+  std::map<int, std::vector<EventObj*>> cpu_index_;
   int next_fd_ = 3;
 };
 

@@ -5,23 +5,33 @@
 
 namespace hetpapi::simkernel {
 
-Scheduler::Scheduler(const cpumodel::MachineSpec* machine, Config config,
-                     std::uint64_t seed)
-    : machine_(machine), config_(config), rng_(seed) {}
+namespace {
 
-double Scheduler::cpu_weight(int cpu) const {
-  const cpumodel::CoreTypeSpec& type = machine_->type_of(cpu);
-  switch (config_.policy) {
+double compute_cpu_weight(const cpumodel::MachineSpec& machine, int cpu,
+                          const Scheduler::Config& config) {
+  const cpumodel::CoreTypeSpec& type = machine.type_of(cpu);
+  switch (config.policy) {
     case PlacementPolicy::kUniform:
       return 1.0;
     case PlacementPolicy::kLittleFirst:
       return 1.0 / std::pow(static_cast<double>(type.cpu_capacity),
-                            config_.capacity_bias_exponent);
+                            config.capacity_bias_exponent);
     case PlacementPolicy::kCapacityBiased:
       break;
   }
   return std::pow(static_cast<double>(type.cpu_capacity),
-                  config_.capacity_bias_exponent);
+                  config.capacity_bias_exponent);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const cpumodel::MachineSpec* machine, Config config,
+                     std::uint64_t seed)
+    : machine_(machine), config_(config), rng_(seed) {
+  weights_.reserve(static_cast<std::size_t>(machine_->num_cpus()));
+  for (int cpu = 0; cpu < machine_->num_cpus(); ++cpu) {
+    weights_.push_back(compute_cpu_weight(*machine_, cpu, config_));
+  }
 }
 
 int Scheduler::pick_cpu(const SimThread& thread,
@@ -58,23 +68,23 @@ void Scheduler::assign(const std::vector<SimThread*>& runnable,
                        SimDuration dt, std::vector<Tid>& assignment) {
   const auto num_cpus = static_cast<std::size_t>(machine_->num_cpus());
   assignment.assign(num_cpus, kInvalidTid);
-  std::vector<bool> cpu_taken(num_cpus, false);
+  cpu_taken_.assign(num_cpus, false);
 
   // Virtual-runtime order; stable sort keeps ties deterministic.
-  std::vector<SimThread*> order = runnable;
-  std::stable_sort(order.begin(), order.end(),
+  order_.assign(runnable.begin(), runnable.end());
+  std::stable_sort(order_.begin(), order_.end(),
                    [](const SimThread* a, const SimThread* b) {
                      return a->vruntime_ns < b->vruntime_ns;
                    });
 
   const double move_probability =
       config_.migration_rate_hz * std::chrono::duration<double>(dt).count();
-  for (SimThread* thread : order) {
+  for (SimThread* thread : order_) {
     if (thread->state == ThreadState::kExited) continue;
     const bool force_move = rng_.uniform() < move_probability;
-    const int cpu = pick_cpu(*thread, cpu_taken, force_move);
+    const int cpu = pick_cpu(*thread, cpu_taken_, force_move);
     if (cpu < 0) continue;  // time-share: waits for a later tick
-    cpu_taken[static_cast<std::size_t>(cpu)] = true;
+    cpu_taken_[static_cast<std::size_t>(cpu)] = true;
     assignment[static_cast<std::size_t>(cpu)] = thread->tid;
   }
 }

@@ -58,11 +58,20 @@ class Scheduler {
  private:
   int pick_cpu(const SimThread& thread, const std::vector<bool>& cpu_taken,
                bool force_move);
-  double cpu_weight(int cpu) const;
+  double cpu_weight(int cpu) const {
+    return weights_[static_cast<std::size_t>(cpu)];
+  }
 
   const cpumodel::MachineSpec* machine_;
   Config config_;
   Rng rng_;
+  /// Per-cpu placement weights (capacity^bias), precomputed once: the
+  /// policy and machine are fixed for the scheduler's lifetime and the
+  /// std::pow in the hot pick_cpu loop dominated its cost.
+  std::vector<double> weights_;
+  /// Scratch for assign(): reused across ticks to avoid reallocation.
+  std::vector<bool> cpu_taken_;
+  std::vector<SimThread*> order_;
 };
 
 }  // namespace hetpapi::simkernel

@@ -1,0 +1,25 @@
+#include "telemetry/multi_run.hpp"
+
+#include <chrono>
+
+namespace hetpapi::telemetry {
+
+MultiRunExecutor::MultiRunExecutor(std::size_t threads) : pool_(threads) {}
+
+std::vector<CellTiming> MultiRunExecutor::execute(
+    const std::vector<RunCell>& cells) {
+  std::vector<CellTiming> timings(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    timings[i].label = cells[i].label;
+  }
+  pool_.parallel_for_each(cells.size(), [&](std::size_t i) {
+    const auto start = std::chrono::steady_clock::now();
+    cells[i].run();
+    timings[i].wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  });
+  return timings;
+}
+
+}  // namespace hetpapi::telemetry

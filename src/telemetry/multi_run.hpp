@@ -1,0 +1,54 @@
+// Parallel executor for independent, deterministic simulation runs.
+//
+// Every bench that regenerates a paper table re-runs the full HPL
+// simulation once per {core set x variant x repetition} cell. The cells
+// are embarrassingly parallel — each owns its SimKernel / Vfs / Machine
+// and is seeded explicitly — so fanning them across a thread pool
+// changes nothing about the science: the closures write their results
+// into per-cell slots, and callers aggregate/print in the fixed cell
+// order afterwards. Aggregated output is therefore bit-identical
+// whether the executor runs with 1 worker or N.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+
+namespace hetpapi::telemetry {
+
+/// One independent unit of work. The closure must own (or create) all
+/// mutable state it touches and store its result into a pre-allocated
+/// per-cell slot; the executor provides no synchronization between
+/// cells beyond completion of the whole batch.
+struct RunCell {
+  std::string label;
+  std::function<void()> run;
+};
+
+/// Wall-clock timing of one executed cell, in cell order.
+struct CellTiming {
+  std::string label;
+  double wall_s = 0.0;
+};
+
+class MultiRunExecutor {
+ public:
+  /// `threads` <= 1 executes cells inline, in order — the serial path.
+  explicit MultiRunExecutor(std::size_t threads);
+
+  /// Execute every cell across the pool, blocking until all complete.
+  /// Execution order across workers is unspecified; the returned
+  /// timings are in cell order. The first cell exception (lowest cell
+  /// index) is rethrown after the batch drains.
+  std::vector<CellTiming> execute(const std::vector<RunCell>& cells);
+
+  std::size_t thread_count() const { return pool_.thread_count(); }
+
+ private:
+  ThreadPool pool_;
+};
+
+}  // namespace hetpapi::telemetry

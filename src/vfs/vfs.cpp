@@ -24,10 +24,26 @@ Expected<std::string> canonicalize(std::string_view path) {
   return out;
 }
 
+void Vfs::index_child(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos || path == "/") return;
+  const std::string parent = slash == 0 ? "/" : path.substr(0, slash);
+  children_[parent].insert(path.substr(slash + 1));
+}
+
+void Vfs::unindex_child(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos || path == "/") return;
+  const std::string parent = slash == 0 ? "/" : path.substr(0, slash);
+  const auto it = children_.find(parent);
+  if (it != children_.end()) it->second.erase(path.substr(slash + 1));
+}
+
 void Vfs::ensure_parents(const std::string& path) {
   std::size_t pos = 0;
   while ((pos = path.find('/', pos + 1)) != std::string::npos) {
-    dirs_[path.substr(0, pos)] = true;
+    std::string dir = path.substr(0, pos);
+    if (dirs_.emplace(dir, true).second) index_child(dir);
   }
   dirs_["/"] = true;
 }
@@ -40,6 +56,7 @@ Status Vfs::write_file(std::string_view path, std::string contents) {
                       "is a directory: " + *canon);
   }
   ensure_parents(*canon);
+  if (files_.emplace(*canon, std::string()).second) index_child(*canon);
   files_[*canon] = std::move(contents);
   return Status::ok();
 }
@@ -52,6 +69,7 @@ Status Vfs::append_file(std::string_view path, std::string_view contents) {
                       "is a directory: " + *canon);
   }
   ensure_parents(*canon);
+  if (files_.emplace(*canon, std::string()).second) index_child(*canon);
   files_[*canon] += contents;
   return Status::ok();
 }
@@ -100,26 +118,18 @@ Expected<std::vector<std::string>> Vfs::list_dir(std::string_view path) const {
   if (!dirs_.contains(*canon)) {
     return make_error(StatusCode::kNotFound, "no such directory: " + *canon);
   }
-  const std::string prefix = *canon == "/" ? "/" : *canon + "/";
-  std::vector<std::string> names;
-  const auto collect = [&](const std::string& entry) {
-    if (!starts_with(entry, prefix) || entry.size() == prefix.size()) return;
-    const std::string_view rest =
-        std::string_view(entry).substr(prefix.size());
-    const std::size_t slash = rest.find('/');
-    names.emplace_back(rest.substr(0, slash));
-  };
-  for (const auto& [file, _] : files_) collect(file);
-  for (const auto& [dir, _] : dirs_) collect(dir);
-  std::sort(names.begin(), names.end());
-  names.erase(std::unique(names.begin(), names.end()), names.end());
-  return names;
+  const auto it = children_.find(*canon);
+  if (it == children_.end()) return std::vector<std::string>{};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
 }
 
 Status Vfs::remove(std::string_view path) {
   auto canon = canonicalize(path);
   if (!canon) return canon.status();
-  if (files_.erase(*canon) > 0) return Status::ok();
+  if (files_.erase(*canon) > 0) {
+    unindex_child(*canon);
+    return Status::ok();
+  }
   if (dirs_.contains(*canon)) {
     // Remove the directory and everything under it (rm -r semantics keep
     // test fixtures terse).
@@ -130,6 +140,10 @@ Status Vfs::remove(std::string_view path) {
     std::erase_if(dirs_, [&](const auto& kv) {
       return kv.first == *canon || starts_with(kv.first, prefix);
     });
+    std::erase_if(children_, [&](const auto& kv) {
+      return kv.first == *canon || starts_with(kv.first, prefix);
+    });
+    unindex_child(*canon);
     return Status::ok();
   }
   return make_error(StatusCode::kNotFound, "no such path: " + *canon);

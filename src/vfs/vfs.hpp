@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -59,8 +60,17 @@ class Vfs {
   // explicit mkdirs and file parents.
   std::map<std::string, std::string> files_;
   std::map<std::string, bool> dirs_;
+  // Directory -> immediate child names (files and subdirectories),
+  // maintained on every write/remove so list_dir is O(children) instead
+  // of a full-tree scan. std::set keeps the names sorted and unique.
+  std::map<std::string, std::set<std::string>> children_;
 
   void ensure_parents(const std::string& path);
+  /// Record `path` (a canonical file or directory) in its parent's
+  /// child index.
+  void index_child(const std::string& path);
+  /// Drop `path` from its parent's child index.
+  void unindex_child(const std::string& path);
 };
 
 }  // namespace hetpapi::vfs

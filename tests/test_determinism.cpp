@@ -8,6 +8,7 @@
 #include "papi/library.hpp"
 #include "papi/sim_backend.hpp"
 #include "simkernel/kernel.hpp"
+#include "telemetry/multi_run.hpp"
 #include "workload/hpl.hpp"
 #include "workload/programs.hpp"
 
@@ -23,7 +24,7 @@ using simkernel::Tid;
 using workload::FixedWorkProgram;
 using workload::PhaseSpec;
 
-double hpl_gflops(std::uint64_t seed) {
+double hpl_gflops(std::uint64_t seed, int n = 13824) {
   const auto machine = cpumodel::raptor_lake_i7_13700();
   SimKernel::Config config;
   config.tick = std::chrono::milliseconds(1);
@@ -32,7 +33,7 @@ double hpl_gflops(std::uint64_t seed) {
   std::vector<int> cpus = machine.primary_threads_of_type(0);
   const auto e = machine.cpus_of_type(1);
   cpus.insert(cpus.end(), e.begin(), e.end());
-  workload::HplSimulation hpl(workload::HplConfig::openblas(13824, 192),
+  workload::HplSimulation hpl(workload::HplConfig::openblas(n, 192),
                               static_cast<int>(cpus.size()));
   for (std::size_t i = 0; i < cpus.size(); ++i) {
     kernel.spawn(hpl.make_worker(static_cast<int>(i)),
@@ -78,6 +79,34 @@ TEST(Determinism, MigratingMeasurementIsSeedStable) {
   const auto first = run_once();
   const auto second = run_once();
   EXPECT_EQ(first, second) << "identical seeds => identical P/E split";
+}
+
+TEST(Determinism, MultiRunExecutorIsWorkerCountInvariant) {
+  // The parallel-executor guarantee: fanning independent seeded runs
+  // across a worker pool changes wall-clock only. Results must be
+  // bit-identical to the serial (inline, single-worker) execution for
+  // any worker count.
+  const std::uint64_t seeds[] = {1, 42, 1337, 0xfeed};
+  constexpr std::size_t kCells = std::size(seeds);
+  const auto run_all = [&](std::size_t threads) {
+    std::vector<double> gflops(kCells, 0.0);
+    std::vector<telemetry::RunCell> cells;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      cells.push_back({"seed " + std::to_string(seeds[i]), [&, i] {
+                         gflops[i] = hpl_gflops(seeds[i], 6912);
+                       }});
+    }
+    telemetry::MultiRunExecutor executor(threads);
+    const auto timings = executor.execute(cells);
+    EXPECT_EQ(timings.size(), kCells);
+    return gflops;
+  };
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(serial[i], parallel[i])
+        << "seed " << seeds[i] << ": parallel execution must be bit-exact";
+  }
 }
 
 TEST(HybridMultiplex, BothPmuContextsRotateIndependently) {

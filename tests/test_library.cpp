@@ -371,6 +371,126 @@ TEST_F(LibraryTest, StateTracksLifecycle) {
   EXPECT_EQ(lib->state(12345).status().code(), StatusCode::kNoEventSet);
 }
 
+TEST_F(LibraryTest, RemoveEventDropsSlotAndSurvivorsKeepCounting) {
+  spawn_pinned(1'000'000'000'000ULL, 0);
+  auto lib = make_library();
+  auto set = lib->create_eventset();
+  ASSERT_TRUE(lib->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+  ASSERT_TRUE(lib->add_event(*set, "adl_glc::CPU_CLK_UNHALTED:THREAD").is_ok());
+  ASSERT_TRUE(lib->add_event(*set, "adl_grt::INST_RETIRED:ANY").is_ok());
+
+  // Removal requires a stopped set and an event that exists.
+  ASSERT_TRUE(lib->start(*set).is_ok());
+  EXPECT_EQ(lib->remove_event(*set, "adl_glc::INST_RETIRED:ANY").code(),
+            StatusCode::kAlreadyRunning);
+  kernel_.run_for(std::chrono::milliseconds(50));
+  auto before = lib->stop(*set);
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(before->size(), 3u);
+  EXPECT_EQ(lib->remove_event(*set, "PAPI_NO_SUCH_EVENT").code(),
+            StatusCode::kNotFound);
+
+  // Drop the middle event: survivors keep their relative order and the
+  // set reopens transparently (name match is case-insensitive).
+  ASSERT_TRUE(
+      lib->remove_event(*set, "adl_glc::cpu_clk_unhalted:thread").is_ok());
+  const auto info = lib->eventset_info(*set);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_EQ(info->size(), 2u);
+  EXPECT_EQ((*info)[0].display_name, "adl_glc::INST_RETIRED:ANY");
+  EXPECT_EQ((*info)[1].display_name, "adl_grt::INST_RETIRED:ANY");
+
+  ASSERT_TRUE(lib->start(*set).is_ok());
+  kernel_.run_for(std::chrono::milliseconds(50));
+  auto after = lib->stop(*set);
+  ASSERT_TRUE(after.has_value());
+  ASSERT_EQ(after->size(), 2u);
+  EXPECT_GT((*after)[0], 0) << "P-core survivor still counts";
+  EXPECT_EQ((*after)[1], 0) << "E-core event: thread pinned to a P core";
+}
+
+TEST_F(LibraryTest, RemoveEventDropsAllConstituentsOfDerivedPreset) {
+  spawn_pinned(1'000'000'000'000ULL, 0);
+  auto lib = make_library();
+  auto set = lib->create_eventset();
+  // Each preset expands to one native per core-type PMU.
+  ASSERT_TRUE(lib->add_event(*set, "PAPI_TOT_INS").is_ok());
+  ASSERT_TRUE(lib->add_event(*set, "PAPI_TOT_CYC").is_ok());
+  ASSERT_TRUE(lib->remove_event(*set, "PAPI_TOT_INS").is_ok());
+
+  const auto info = lib->eventset_info(*set);
+  ASSERT_TRUE(info.has_value());
+  ASSERT_EQ(info->size(), 1u);
+  EXPECT_EQ((*info)[0].display_name, "PAPI_TOT_CYC");
+
+  ASSERT_TRUE(lib->start(*set).is_ok());
+  kernel_.run_for(std::chrono::milliseconds(50));
+  auto values = lib->stop(*set);
+  ASSERT_TRUE(values.has_value());
+  ASSERT_EQ(values->size(), 1u);
+  EXPECT_GT((*values)[0], 0);
+}
+
+TEST(LibraryReadPlanTest, CacheSurvivesAddAndRemove) {
+  // The cached group-read fan-out must be invalidated whenever the
+  // slot layout changes; a read after add/remove has to report one
+  // correct value per surviving event, matching an uncached library.
+  // Each run gets its own kernel so the deterministic sim replays the
+  // exact same history for both configurations.
+  const auto run_sequence = [](bool cache_read_plan) {
+    SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+    SimBackend backend(&kernel);
+    PhaseSpec phase;
+    const Tid tid = kernel.spawn(
+        std::make_shared<FixedWorkProgram>(phase, 1'000'000'000'000ULL),
+        CpuSet::of({0}));
+    backend.set_default_target(tid);
+    LibraryConfig config;
+    config.cache_read_plan = cache_read_plan;
+    auto created = Library::init(&backend, config);
+    EXPECT_TRUE(created.has_value());
+    auto lib = std::move(*created);
+    auto set = lib->create_eventset();
+    EXPECT_TRUE(lib->add_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+    EXPECT_TRUE(lib->start(*set).is_ok());
+    kernel.run_for(std::chrono::milliseconds(20));
+    auto first = lib->read(*set);  // builds (and maybe caches) the plan
+    EXPECT_TRUE(first.has_value());
+    EXPECT_EQ(first->size(), 1u);
+    EXPECT_TRUE(lib->stop(*set).has_value());
+
+    EXPECT_TRUE(
+        lib->add_event(*set, "adl_glc::CPU_CLK_UNHALTED:THREAD").is_ok());
+    EXPECT_TRUE(lib->add_event(*set, "adl_grt::INST_RETIRED:ANY").is_ok());
+    EXPECT_TRUE(lib->start(*set).is_ok());
+    kernel.run_for(std::chrono::milliseconds(20));
+    auto grown = lib->read(*set);
+    EXPECT_TRUE(grown.has_value());
+    EXPECT_EQ(grown->size(), 3u);
+    EXPECT_TRUE(lib->stop(*set).has_value());
+
+    EXPECT_TRUE(lib->remove_event(*set, "adl_glc::INST_RETIRED:ANY").is_ok());
+    EXPECT_TRUE(lib->start(*set).is_ok());
+    kernel.run_for(std::chrono::milliseconds(20));
+    auto shrunk = lib->read(*set);
+    EXPECT_TRUE(shrunk.has_value());
+    EXPECT_EQ(shrunk->size(), 2u);
+    EXPECT_TRUE(lib->stop(*set).has_value());
+    return std::make_pair(*grown, *shrunk);
+  };
+
+  // Deterministic sim + identical call sequence: the cached plan must
+  // reproduce the uncached (rebuilt-every-read) values exactly.
+  const auto cached = run_sequence(true);
+  const auto uncached = run_sequence(false);
+  EXPECT_EQ(cached.first, uncached.first);
+  EXPECT_EQ(cached.second, uncached.second);
+  EXPECT_GT(cached.first[0], 0) << "P-core instructions";
+  EXPECT_GT(cached.first[1], 0) << "P-core cycles";
+  EXPECT_EQ(cached.first[2], 0) << "E-core event on a P-pinned thread";
+  EXPECT_GT(cached.second[0], 0) << "cycles survive the removal";
+}
+
 // --- homogeneous control machine ------------------------------------------
 
 TEST(LibraryHomogeneousTest, SinglePmuMachineBehavesTraditionally) {

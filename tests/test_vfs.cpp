@@ -103,6 +103,53 @@ TEST(Vfs, RemoveFileAndRecursiveDirectory) {
   EXPECT_EQ(fs.remove("/a/b").code(), StatusCode::kNotFound);
 }
 
+TEST(Vfs, ListDirIndexSurvivesNestedAndAmbiguousPaths) {
+  // The child index must reproduce the old full-scan listing exactly,
+  // including the ambiguous case where one directory's name is a prefix
+  // of a sibling file ("/a/b" dir vs "/a/bc" file) and deep nesting.
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/a/b/deep/leaf", "1").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/bc", "2").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/b.d", "3").is_ok());
+  ASSERT_TRUE(fs.write_file("/ab/x", "4").is_ok());
+  ASSERT_TRUE(fs.append_file("/a/b/appended", "5").is_ok());
+
+  EXPECT_EQ(*fs.list_dir("/"), (std::vector<std::string>{"a", "ab"}));
+  // "b" (dir), "b.d" and "bc" (files) are distinct immediate children;
+  // nothing from /ab or /a/b/deep leaks in.
+  EXPECT_EQ(*fs.list_dir("/a"),
+            (std::vector<std::string>{"b", "b.d", "bc"}));
+  EXPECT_EQ(*fs.list_dir("/a/b"),
+            (std::vector<std::string>{"appended", "deep"}));
+  EXPECT_EQ(*fs.list_dir("/a/b/deep"), (std::vector<std::string>{"leaf"}));
+
+  // Overwrites do not duplicate entries.
+  ASSERT_TRUE(fs.write_file("/a/bc", "2'").is_ok());
+  EXPECT_EQ(*fs.list_dir("/a"),
+            (std::vector<std::string>{"b", "b.d", "bc"}));
+}
+
+TEST(Vfs, ListDirIndexTracksRemovals) {
+  Vfs fs;
+  ASSERT_TRUE(fs.write_file("/a/b/one", "1").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/b/two", "2").is_ok());
+  ASSERT_TRUE(fs.write_file("/a/keep", "3").is_ok());
+
+  ASSERT_TRUE(fs.remove("/a/b/one").is_ok());
+  EXPECT_EQ(*fs.list_dir("/a/b"), (std::vector<std::string>{"two"}));
+
+  // rm -r of a subtree drops the directory from its parent's listing
+  // and forgets the whole subtree's index.
+  ASSERT_TRUE(fs.remove("/a/b").is_ok());
+  EXPECT_EQ(*fs.list_dir("/a"), (std::vector<std::string>{"keep"}));
+  EXPECT_EQ(fs.list_dir("/a/b").status().code(), StatusCode::kNotFound);
+
+  // Re-creating the removed path rebuilds a fresh index.
+  ASSERT_TRUE(fs.write_file("/a/b/three", "3").is_ok());
+  EXPECT_EQ(*fs.list_dir("/a/b"), (std::vector<std::string>{"three"}));
+  EXPECT_EQ(*fs.list_dir("/a"), (std::vector<std::string>{"b", "keep"}));
+}
+
 TEST(Vfs, PathsAreCanonicalizedOnEveryOperation) {
   Vfs fs;
   ASSERT_TRUE(fs.write_file("/a//b/./c", "v").is_ok());
