@@ -156,6 +156,50 @@ void BM_Read_SyscallPath(benchmark::State& state) {
 }
 BENCHMARK(BM_Read_SyscallPath);
 
+// --- per-component dispatch cost ---------------------------------------------
+// The componentized core routes every read through the registry; these
+// cases isolate what each component contributes to a collection so the
+// fan-out cost is attributable (papi_component_avail's view of §V-5).
+
+void BM_Read_Component_PerfCore(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_Component_PerfCore);
+
+void BM_Read_Component_Rapl(benchmark::State& state) {
+  Fixture f({"rapl::RAPL_ENERGY_PKG"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_Component_Rapl);
+
+void BM_Read_Component_Sysinfo(benchmark::State& state) {
+  // Pure software reads: no perf group, the cost is the procfs parse.
+  Fixture f({"sysinfo::SYS_CTX_SWITCHES", "sysinfo::SYS_CPU_TIME_MS"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_Component_Sysinfo);
+
+void BM_Read_Component_MixedThree(benchmark::State& state) {
+  // One collection dispatched across three peer components.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "rapl::RAPL_ENERGY_PKG",
+             "sysinfo::SYS_CTX_SWITCHES"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_Component_MixedThree);
+
 // --- real kernel comparison (skipped when perf_event is unavailable) ---------
 
 void BM_RealPerf_ReadGroup(benchmark::State& state) {
@@ -194,4 +238,28 @@ BENCHMARK(BM_RealPerf_ReadGroup)->Arg(1)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the machine-readable output to
+// BENCH_overhead_read.json (the repo-wide bench artifact convention) so
+// the per-component dispatch costs land on disk without extra flags.
+// Explicit --benchmark_out on the command line wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_overhead_read.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,11 +1,14 @@
 // Heterogeneity detection report across every supported machine model,
 // plus — when the environment allows it — the real host this binary is
 // running on. Shows which rung of the §IV-B detection ladder fired on
-// each system and what the sysdetect component reports.
+// each system, what the sysdetect component reports, and the component
+// registry each backend ends up with (papi_component_avail's listing).
 #include <cstdio>
 
 #include "cpumodel/machine.hpp"
 #include "linuxkernel/linux_backend.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
 #include "papi/sysdetect.hpp"
 #include "pfm/sim_host.hpp"
 #include "simkernel/kernel.hpp"
@@ -16,15 +19,16 @@ namespace {
 
 void report_machine(const cpumodel::MachineSpec& spec) {
   simkernel::SimKernel kernel(spec);
-  pfm::SimHost host(&kernel);
-  pfm::PfmLibrary pfmlib;
-  const Status init = pfmlib.initialize(host);
+  papi::SimBackend backend(&kernel);
   std::printf("================ %s ================\n", spec.name.c_str());
-  if (!init.is_ok()) {
-    std::printf("pfm initialization failed: %s\n\n", init.to_string().c_str());
+  auto lib = papi::Library::init(&backend);
+  if (!lib) {
+    std::printf("library init failed: %s\n\n",
+                lib.status().to_string().c_str());
     return;
   }
-  const auto report = papi::build_sysdetect_report(host, pfmlib);
+  const auto report = papi::build_sysdetect_report(
+      backend.host(), (*lib)->pfm(), (*lib)->registry());
   std::printf("%s\n", report.to_text().c_str());
 }
 
@@ -40,18 +44,19 @@ int main() {
   // PMU-less VM the pfm scan may only find the software PMU — that too
   // is a faithful report.
   std::printf("================ real host ================\n");
-  linuxkernel::LinuxHost host;
-  pfm::PfmLibrary pfmlib;
-  const Status init = pfmlib.initialize(host);
-  if (!init.is_ok()) {
-    std::printf("pfm scan on the real host: %s\n", init.to_string().c_str());
-    const auto detection = papi::detect_core_types(host);
+  linuxkernel::LinuxBackend backend;
+  auto lib = papi::Library::init(&backend);
+  if (!lib) {
+    std::printf("library init on the real host: %s\n",
+                lib.status().to_string().c_str());
+    const auto detection = papi::detect_core_types(backend.host());
     std::printf("core-type detection alone: %s, %zu type(s)\n",
                 std::string(papi::to_string(detection.method)).c_str(),
                 detection.core_types.size());
     return 0;
   }
-  const auto report = papi::build_sysdetect_report(host, pfmlib);
+  const auto report = papi::build_sysdetect_report(
+      backend.host(), (*lib)->pfm(), (*lib)->registry());
   std::printf("%s", report.to_text().c_str());
   return 0;
 }

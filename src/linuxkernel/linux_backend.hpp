@@ -49,6 +49,13 @@ class LinuxBackend final : public papi::Backend {
 
   const pfm::Host& host() const override { return host_; }
 
+  /// RAPL and uncore translation are out of scope for the port (they
+  /// need root and machine-specific PMUs); sysinfo reads plain procfs
+  /// and works anywhere.
+  bool supports_component(std::string_view name) const override {
+    return name != "rapl" && name != "perf_event_uncore";
+  }
+
   /// 0 = "calling thread" in the real syscall ABI.
   papi::Tid default_target() const override { return 0; }
 

@@ -51,6 +51,14 @@ class Backend {
   /// Host introspection for detection and pfm activation.
   virtual const pfm::Host& host() const = 0;
 
+  /// Whether this backend can host the named measurement component
+  /// (papi/components/). Library::init skips registration of components
+  /// the backend disclaims — e.g. real Linux without RAPL permissions.
+  virtual bool supports_component(std::string_view name) const {
+    (void)name;
+    return true;
+  }
+
   /// The "calling thread" measurement calls bind to by default.
   virtual Tid default_target() const = 0;
 

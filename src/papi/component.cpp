@@ -1,0 +1,66 @@
+#include "papi/component.hpp"
+
+namespace hetpapi::papi {
+
+std::string_view to_string(ComponentScope scope) {
+  switch (scope) {
+    case ComponentScope::kThread: return "thread";
+    case ComponentScope::kPackage: return "package";
+  }
+  return "unknown";
+}
+
+Status ComponentRegistry::register_component(
+    std::unique_ptr<Component> component) {
+  if (component == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "null component");
+  }
+  for (const auto& existing : components_) {
+    if (existing->name() == component->name()) {
+      return make_error(StatusCode::kConflict,
+                        "component " + std::string(component->name()) +
+                            " is already registered");
+    }
+  }
+  components_.push_back(std::move(component));
+  return Status::ok();
+}
+
+Component* ComponentRegistry::find(std::string_view name) const {
+  for (const auto& component : components_) {
+    if (component->name() == name) return component.get();
+  }
+  return nullptr;
+}
+
+Component* ComponentRegistry::component_for(const pfm::ActivePmu& pmu) const {
+  for (const auto& component : components_) {
+    if (component->serves(pmu)) return component.get();
+  }
+  return nullptr;
+}
+
+Status ComponentLocks::check(const Component& component,
+                             const MeasureTarget& target, int eventset) const {
+  const auto it = held_.find({&component, scope_key(component, target)});
+  if (it != held_.end() && it->second != eventset) {
+    return make_error(StatusCode::kConflict,
+                      std::string("component ") +
+                          std::string(component.name()) +
+                          " already has a running EventSet (" +
+                          std::to_string(it->second) + ")");
+  }
+  return Status::ok();
+}
+
+void ComponentLocks::acquire(const Component& component,
+                             const MeasureTarget& target, int eventset) {
+  held_[{&component, scope_key(component, target)}] = eventset;
+}
+
+void ComponentLocks::release(const Component& component,
+                             const MeasureTarget& target) {
+  held_.erase({&component, scope_key(component, target)});
+}
+
+}  // namespace hetpapi::papi

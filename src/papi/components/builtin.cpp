@@ -1,0 +1,36 @@
+#include "papi/components/builtin.hpp"
+
+#include "papi/backend.hpp"
+#include "papi/components/perf_core.hpp"
+#include "papi/components/rapl.hpp"
+#include "papi/components/sysinfo.hpp"
+#include "papi/components/uncore.hpp"
+
+namespace hetpapi::papi {
+
+Status register_builtin_components(ComponentRegistry& registry,
+                                   const ComponentEnv& env) {
+  const Backend& backend = *env.backend;
+  if (backend.supports_component("perf_event")) {
+    HETPAPI_RETURN_IF_ERROR(
+        registry.register_component(std::make_unique<PerfCoreComponent>(env)));
+  }
+  if (backend.supports_component("rapl")) {
+    HETPAPI_RETURN_IF_ERROR(
+        registry.register_component(std::make_unique<RaplComponent>(env)));
+  }
+  // With unified_uncore the uncore PMUs are served by perf_event and the
+  // legacy exclusive component is simply never registered.
+  if (!env.config->unified_uncore &&
+      backend.supports_component("perf_event_uncore")) {
+    HETPAPI_RETURN_IF_ERROR(
+        registry.register_component(std::make_unique<UncoreComponent>(env)));
+  }
+  if (backend.supports_component("sysinfo")) {
+    HETPAPI_RETURN_IF_ERROR(
+        registry.register_component(std::make_unique<SysinfoComponent>(env)));
+  }
+  return Status::ok();
+}
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,18 @@
+// Registration of the built-in components. Adding a component to the
+// library is exactly: write the component under src/papi/components/
+// and add one register_component line here — the EventSet core and the
+// Library facade never change.
+#pragma once
+
+#include "papi/component.hpp"
+
+namespace hetpapi::papi {
+
+/// Register every built-in component the backend can host. Gated on
+/// Backend::supports_component so a real-Linux build without RAPL
+/// permissions simply lacks the component, mirroring how real PAPI
+/// disables components at init.
+Status register_builtin_components(ComponentRegistry& registry,
+                                   const ComponentEnv& env);
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,233 @@
+#include "papi/components/perf_backed.hpp"
+
+namespace hetpapi::papi {
+
+using simkernel::kIocFlagGroup;
+
+std::unique_ptr<ComponentState> PerfBackedComponent::create_state() const {
+  return std::make_unique<PerfState>();
+}
+
+Status PerfBackedComponent::install_handler(const Slot& slot) const {
+  if (slot.request.sample_period == 0 || slot.request.overflow == nullptr) {
+    return Status::ok();
+  }
+  // Capture what the callback needs; the EventSet (which owns the
+  // callback the pointer refers to) outlives the fd.
+  const int set_id = slot.request.eventset_id;
+  const int user_index = slot.request.user_event_index;
+  const std::string native_name = slot.request.enc.canonical_name;
+  const OverflowCallback* callback = slot.request.overflow;
+  return env_.backend->perf_set_overflow_handler(
+      slot.fd, [set_id, user_index, native_name, callback](
+                   int, std::uint64_t value, std::uint64_t periods) {
+        OverflowEvent event;
+        event.eventset = set_id;
+        event.user_event_index = user_index;
+        event.native_name = native_name;
+        event.value = value;
+        event.periods = periods;
+        (*callback)(event);
+      });
+}
+
+Status PerfBackedComponent::open_slot(ComponentState& state,
+                                      const SlotRequest& request,
+                                      const MeasureTarget& target) {
+  PerfState& ps = perf_state(state);
+  ps.read_plan_valid = false;
+  const pfm::ActivePmu* pmu = env_.pfm->find_pmu(request.enc.pmu_name);
+  if (pmu == nullptr) {
+    return make_error(StatusCode::kBug, "unknown PMU at open time");
+  }
+  auto binding = bind(*pmu, target);
+  if (!binding) return binding.status();
+
+  // Find or create the group for this PMU type. Multiplexed sets make
+  // every event its own leader so the kernel can rotate them freely.
+  Group* group = nullptr;
+  if (!target.multiplexed) {
+    for (Group& g : ps.groups) {
+      if (g.perf_type == request.enc.perf_type) {
+        group = &g;
+        break;
+      }
+    }
+  }
+
+  PerfEventAttr attr;
+  attr.type = request.enc.perf_type;
+  attr.config = request.enc.config;
+  attr.sample_period = request.sample_period;
+  attr.read_format = simkernel::kFormatGroup |
+                     simkernel::kFormatTotalTimeEnabled |
+                     simkernel::kFormatTotalTimeRunning;
+
+  if (group == nullptr) {
+    if (ps.groups.full() ||
+        (!target.multiplexed && ps.groups.size() >= kMaxPmuGroups)) {
+      return make_error(StatusCode::kNoMemory,
+                        "EventSet exceeds the static group array (" +
+                            std::to_string(kMaxPmuGroups) + " PMU groups)");
+    }
+    attr.disabled = true;  // leaders start disabled; PAPI_start enables
+    auto fd = env_.backend->perf_event_open(attr, binding->tid, binding->cpu,
+                                            -1, 0);
+    if (!fd) return fd.status();
+    Group new_group;
+    new_group.perf_type = request.enc.perf_type;
+    new_group.leader_fd = *fd;
+    new_group.members.push_back(static_cast<int>(ps.slots.size()));
+    ps.groups.push_back(new_group);
+    ps.slots.push_back(Slot{request, *fd});
+    return install_handler(ps.slots.back());
+  }
+
+  attr.disabled = false;  // siblings gate on their leader
+  auto fd = env_.backend->perf_event_open(attr, binding->tid, binding->cpu,
+                                          group->leader_fd, 0);
+  if (!fd) return fd.status();
+  if (group->members.full()) {
+    (void)env_.backend->perf_close(*fd);
+    return make_error(StatusCode::kNoMemory, "group member array full");
+  }
+  group->members.push_back(static_cast<int>(ps.slots.size()));
+  ps.slots.push_back(Slot{request, *fd});
+  return install_handler(ps.slots.back());
+}
+
+Status PerfBackedComponent::close_all(ComponentState& state) {
+  PerfState& ps = perf_state(state);
+  ps.read_plan_valid = false;
+  Status first_error = Status::ok();
+  // Close siblings before leaders to avoid the kernel's sibling
+  // promotion path.
+  for (Group& group : ps.groups) {
+    for (std::size_t i = group.members.size(); i-- > 1;) {
+      Slot& slot = ps.slots[static_cast<std::size_t>(group.members[i])];
+      if (slot.fd >= 0) {
+        const Status s = env_.backend->perf_close(slot.fd);
+        if (!s.is_ok() && first_error.is_ok()) first_error = s;
+        slot.fd = -1;
+      }
+    }
+    if (!group.members.empty()) {
+      Slot& leader = ps.slots[static_cast<std::size_t>(group.members[0])];
+      if (leader.fd >= 0) {
+        const Status s = env_.backend->perf_close(leader.fd);
+        if (!s.is_ok() && first_error.is_ok()) first_error = s;
+        leader.fd = -1;
+      }
+    }
+  }
+  // Slots not reachable through a group (defensive; rollback paths close
+  // through here too).
+  for (Slot& slot : ps.slots) {
+    if (slot.fd >= 0) {
+      const Status s = env_.backend->perf_close(slot.fd);
+      if (!s.is_ok() && first_error.is_ok()) first_error = s;
+      slot.fd = -1;
+    }
+  }
+  ps.groups.clear();
+  ps.slots.clear();
+  return first_error;
+}
+
+Status PerfBackedComponent::start(ComponentState& state) {
+  // The multi-group fan-out at the heart of §IV-E: reset + enable every
+  // PMU group belonging to this EventSet.
+  PerfState& ps = perf_state(state);
+  for (const Group& group : ps.groups) {
+    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
+        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
+    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
+        group.leader_fd, PerfIoctl::kEnable, kIocFlagGroup));
+  }
+  return Status::ok();
+}
+
+Status PerfBackedComponent::stop(ComponentState& state) {
+  PerfState& ps = perf_state(state);
+  for (const Group& group : ps.groups) {
+    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
+        group.leader_fd, PerfIoctl::kDisable, kIocFlagGroup));
+  }
+  return Status::ok();
+}
+
+Status PerfBackedComponent::reset(ComponentState& state) {
+  PerfState& ps = perf_state(state);
+  for (const Group& group : ps.groups) {
+    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
+        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
+  }
+  return Status::ok();
+}
+
+void PerfBackedComponent::build_read_plan(const PerfState& ps) const {
+  ps.read_plan.clear();
+  ps.plan_members.clear();
+  ps.read_plan.reserve(ps.groups.size());
+  for (const Group& group : ps.groups) {
+    ReadPlanEntry entry;
+    entry.leader_fd = group.leader_fd;
+    entry.member_begin = ps.plan_members.size();
+    entry.member_count = group.members.size();
+    for (int member : group.members) {
+      ps.plan_members.push_back(
+          ps.slots[static_cast<std::size_t>(member)].request.global_index);
+    }
+    if (env_.config->use_rdpmc && group.members.size() == 1) {
+      const std::size_t slot = static_cast<std::size_t>(group.members[0]);
+      entry.rdpmc_single = true;
+      entry.single_fd = ps.slots[slot].fd;
+      entry.single_global_index = ps.slots[slot].request.global_index;
+    }
+    ps.read_plan.push_back(entry);
+  }
+}
+
+Status PerfBackedComponent::read(const ComponentState& state, bool scale,
+                                 std::vector<double>& values) const {
+  // Gather per-slot raw/scaled values across all groups. The fan-out
+  // (which leader fds to read, where each returned value lands) is
+  // pre-resolved into a read plan; with cache_read_plan off it is
+  // rebuilt on every call, the historical behaviour the overhead bench
+  // compares against.
+  const PerfState& ps = perf_state(state);
+  if (!ps.read_plan_valid) {
+    build_read_plan(ps);
+    ps.read_plan_valid = env_.config->cache_read_plan;
+  }
+
+  for (const ReadPlanEntry& entry : ps.read_plan) {
+    // Fast path first (§V-5): a singleton group whose event is resident
+    // can be served by rdpmc without a read syscall.
+    if (entry.rdpmc_single) {
+      auto fast = env_.backend->perf_rdpmc(entry.single_fd);
+      if (fast) {
+        values[entry.single_global_index] = static_cast<double>(*fast);
+        continue;
+      }
+    }
+    auto group_values = env_.backend->perf_read_group(entry.leader_fd);
+    if (!group_values) return group_values.status();
+    if (group_values->size() != entry.member_count) {
+      return make_error(StatusCode::kBug, "group read size mismatch");
+    }
+    for (std::size_t i = 0; i < entry.member_count; ++i) {
+      const PerfValue& pv = (*group_values)[i];
+      double value = static_cast<double>(pv.value);
+      if (scale) value = pv.scaled();
+      values[ps.plan_members[entry.member_begin + i]] = value;
+    }
+  }
+  return Status::ok();
+}
+
+int PerfBackedComponent::group_count(const ComponentState& state) const {
+  return static_cast<int>(perf_state(state).groups.size());
+}
+
+}  // namespace hetpapi::papi

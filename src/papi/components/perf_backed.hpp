@@ -1,0 +1,94 @@
+// Shared machinery for components whose counters live behind the
+// kernel's perf_event syscalls: group bookkeeping (one group per PMU
+// type, or one per event when multiplexed), leader-disabled open
+// protocol, overflow-handler installation, the cached read-plan fan-out
+// and the rdpmc singleton fast path (§IV-E, §V-5).
+//
+// Concrete subclasses only decide *where* an event binds — to the
+// EventSet's target thread/cpu (perf_core) or to the PMU's designated
+// package cpu (rapl, uncore).
+#pragma once
+
+#include "base/fixed_vector.hpp"
+#include "papi/component.hpp"
+
+namespace hetpapi::papi {
+
+class PerfBackedComponent : public Component {
+ public:
+  explicit PerfBackedComponent(ComponentEnv env) : env_(env) {}
+
+  std::unique_ptr<ComponentState> create_state() const override;
+  Status open_slot(ComponentState& state, const SlotRequest& request,
+                   const MeasureTarget& target) override;
+  Status close_all(ComponentState& state) override;
+  Status start(ComponentState& state) override;
+  Status stop(ComponentState& state) override;
+  Status reset(ComponentState& state) override;
+  Status read(const ComponentState& state, bool scale,
+              std::vector<double>& values) const override;
+  int group_count(const ComponentState& state) const override;
+
+ protected:
+  /// Where the slot's kernel event attaches.
+  struct Binding {
+    Tid tid = simkernel::kInvalidTid;
+    int cpu = -1;
+  };
+  virtual Expected<Binding> bind(const pfm::ActivePmu& pmu,
+                                 const MeasureTarget& target) const = 0;
+
+  ComponentEnv env_;
+
+ private:
+  struct Slot {
+    SlotRequest request;
+    int fd = -1;
+  };
+
+  struct Group {
+    std::uint32_t perf_type = 0;
+    int leader_fd = -1;
+    /// Indices into PerfState::slots, in sibling order (leader first).
+    FixedVector<int, kMaxEventSetEvents> members;
+  };
+
+  /// One pre-resolved group read in the collect fan-out. Value
+  /// destinations are resolved to global (EventSet-wide) indices at plan
+  /// build time so the read loop does no slot-table chasing.
+  struct ReadPlanEntry {
+    int leader_fd = -1;
+    /// Singleton group eligible for the rdpmc fast path.
+    bool rdpmc_single = false;
+    int single_fd = -1;
+    std::size_t single_global_index = 0;
+    /// Members' global value indices in sibling order, flattened into
+    /// PerfState::plan_members.
+    std::size_t member_begin = 0;
+    std::size_t member_count = 0;
+  };
+
+  struct PerfState final : ComponentState {
+    std::vector<Slot> slots;
+    /// One entry per PMU type normally; one per event when multiplexed,
+    /// hence sized for the worst case.
+    FixedVector<Group, kMaxEventSetEvents> groups;
+    /// Cached read fan-out (mutable: read() is logically const).
+    /// Invalidated by any group-layout change (open_slot / close_all).
+    mutable bool read_plan_valid = false;
+    mutable std::vector<ReadPlanEntry> read_plan;
+    mutable std::vector<std::size_t> plan_members;
+  };
+
+  static PerfState& perf_state(ComponentState& state) {
+    return static_cast<PerfState&>(state);
+  }
+  static const PerfState& perf_state(const ComponentState& state) {
+    return static_cast<const PerfState&>(state);
+  }
+
+  Status install_handler(const Slot& slot) const;
+  void build_read_plan(const PerfState& state) const;
+};
+
+}  // namespace hetpapi::papi

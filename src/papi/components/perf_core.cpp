@@ -1,0 +1,31 @@
+#include "papi/components/perf_core.hpp"
+
+namespace hetpapi::papi {
+
+bool PerfCoreComponent::serves(const pfm::ActivePmu& pmu) const {
+  if (pmu.table->component == "perf_event") return true;
+  // §V-3: with unified uncore the separate component disappears and
+  // uncore PMUs join ordinary EventSets.
+  return env_.config->unified_uncore && pmu.table->component == "uncore";
+}
+
+Expected<PerfCoreComponent::Binding> PerfCoreComponent::bind(
+    const pfm::ActivePmu& pmu, const MeasureTarget& target) const {
+  // Uncore PMUs are package-scope even when folded into this component:
+  // they bind to their designated cpu, not the measured thread.
+  if (pmu.table->component == "uncore") {
+    return Binding{simkernel::kInvalidTid,
+                   pmu.cpus.empty() ? 0 : pmu.cpus.front()};
+  }
+  if (target.cpu >= 0) {
+    // cpu-attached EventSet: count everything executing on that cpu.
+    return Binding{simkernel::kInvalidTid, target.cpu};
+  }
+  if (target.tid == simkernel::kInvalidTid) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "EventSet has no target thread; call attach() first");
+  }
+  return Binding{target.tid, -1};
+}
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,25 @@
+// The perf_event component: core and software PMU events following the
+// EventSet's target thread (or attached cpu), with the multi-PMU group
+// fan-out. In unified-uncore mode (§V-3) it also absorbs uncore PMUs,
+// which still bind to their designated package cpu.
+#pragma once
+
+#include "papi/components/perf_backed.hpp"
+
+namespace hetpapi::papi {
+
+class PerfCoreComponent final : public PerfBackedComponent {
+ public:
+  using PerfBackedComponent::PerfBackedComponent;
+
+  std::string_view name() const override { return "perf_event"; }
+  ComponentScope scope() const override { return ComponentScope::kThread; }
+  ComponentCaps caps() const override { return {true, true, true}; }
+  bool serves(const pfm::ActivePmu& pmu) const override;
+
+ protected:
+  Expected<Binding> bind(const pfm::ActivePmu& pmu,
+                         const MeasureTarget& target) const override;
+};
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,31 @@
+// The RAPL component: package-scope energy counters. Events bind to the
+// PMU's designated cpu regardless of the EventSet's target, and the
+// component lock is package-global — one running RAPL EventSet at a
+// time, whatever thread holds it.
+#pragma once
+
+#include "papi/components/perf_backed.hpp"
+
+namespace hetpapi::papi {
+
+class RaplComponent final : public PerfBackedComponent {
+ public:
+  using PerfBackedComponent::PerfBackedComponent;
+
+  std::string_view name() const override { return "rapl"; }
+  ComponentScope scope() const override { return ComponentScope::kPackage; }
+  ComponentCaps caps() const override { return {false, false, true}; }
+  bool serves(const pfm::ActivePmu& pmu) const override {
+    return pmu.table->component == "rapl";
+  }
+
+ protected:
+  Expected<Binding> bind(const pfm::ActivePmu& pmu,
+                         const MeasureTarget& target) const override {
+    (void)target;
+    return Binding{simkernel::kInvalidTid,
+                   pmu.cpus.empty() ? 0 : pmu.cpus.front()};
+  }
+};
+
+}  // namespace hetpapi::papi

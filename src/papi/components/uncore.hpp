@@ -1,0 +1,33 @@
+// The legacy separate uncore component. Registered only when
+// unified_uncore is off: the historical mode where uncore events cannot
+// join ordinary EventSets and the whole uncore is one package-global
+// exclusive resource. With unified_uncore on, this component simply is
+// not registered and PerfCoreComponent absorbs the uncore PMUs — the
+// `if (config.unified_uncore)` fork became a registration decision.
+#pragma once
+
+#include "papi/components/perf_backed.hpp"
+
+namespace hetpapi::papi {
+
+class UncoreComponent final : public PerfBackedComponent {
+ public:
+  using PerfBackedComponent::PerfBackedComponent;
+
+  std::string_view name() const override { return "perf_event_uncore"; }
+  ComponentScope scope() const override { return ComponentScope::kPackage; }
+  ComponentCaps caps() const override { return {false, false, true}; }
+  bool serves(const pfm::ActivePmu& pmu) const override {
+    return pmu.table->component == "uncore";
+  }
+
+ protected:
+  Expected<Binding> bind(const pfm::ActivePmu& pmu,
+                         const MeasureTarget& target) const override {
+    (void)target;
+    return Binding{simkernel::kInvalidTid,
+                   pmu.cpus.empty() ? 0 : pmu.cpus.front()};
+  }
+};
+
+}  // namespace hetpapi::papi

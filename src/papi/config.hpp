@@ -1,0 +1,66 @@
+// Shared public types of the measurement library: configuration,
+// capacities, and the value-slot / overflow descriptions.
+//
+// These used to live in library.hpp; they moved here so the component
+// and EventSet layers can consume them without depending on the facade
+// (library.hpp re-exports everything, so user code is unaffected).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "papi/presets.hpp"
+#include "pfm/pfmlib.hpp"
+
+namespace hetpapi::papi {
+
+/// Compile-time capacities for the static bookkeeping arrays.
+inline constexpr std::size_t kMaxEventSetEvents = 64;
+inline constexpr std::size_t kMaxPmuGroups = 8;
+
+struct LibraryConfig {
+  /// The paper's contribution on/off switch.
+  bool hybrid_support = true;
+  /// §V-3: fold uncore events into ordinary EventSets instead of the
+  /// historical separate component.
+  bool unified_uncore = true;
+  PresetPolicy preset_policy = PresetPolicy::kDerivedSum;
+  pfm::PfmLibrary::Config pfm{};
+  /// Instructions charged to the measured thread per start/stop/read
+  /// call, per perf group touched (models caliper overhead; §V-5).
+  std::uint64_t call_overhead_instructions = 900;
+  /// Return multiplex-scaled estimates instead of raw values when an
+  /// EventSet is multiplexed.
+  bool scale_multiplexed = true;
+  /// Serve reads through the rdpmc fast path when the event is resident,
+  /// falling back to read(2) (§V-5).
+  bool use_rdpmc = false;
+  /// Cache the per-EventSet group read fan-out (which leader fds to
+  /// read, which native slot each returned value lands in) instead of
+  /// re-deriving it on every read/stop/accum. Off reproduces the
+  /// per-call recomputation cost the overhead bench quantifies.
+  bool cache_read_plan = true;
+};
+
+/// Describes one value slot of an EventSet read.
+struct EventInfo {
+  std::string display_name;       // what the user added
+  bool is_preset = false;
+  std::vector<std::string> native_names;  // canonical constituent events
+};
+
+/// PAPI_overflow delivery: which user event of which EventSet crossed
+/// its threshold, attributed to the constituent native event that fired
+/// (so hybrid callers can split samples per core type).
+struct OverflowEvent {
+  int eventset = -1;
+  int user_event_index = -1;
+  std::string native_name;  // constituent that crossed the threshold
+  std::uint64_t value = 0;
+  std::uint64_t periods = 1;
+};
+using OverflowCallback = std::function<void(const OverflowEvent&)>;
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,390 @@
+#include "papi/eventset.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+
+namespace hetpapi::papi {
+
+Status EventSetCore::attach(Tid tid) {
+  if (running()) {
+    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
+  }
+  target_ = tid;
+  target_cpu_ = -1;
+  if (!natives_.empty()) return reopen_all();
+  return Status::ok();
+}
+
+Status EventSetCore::attach_cpu(int cpu) {
+  if (running()) {
+    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
+  }
+  target_cpu_ = cpu;
+  target_ = simkernel::kInvalidTid;
+  if (!natives_.empty()) return reopen_all();
+  return Status::ok();
+}
+
+EventSetCore::ComponentUse& EventSetCore::use_for(Component* component) {
+  for (ComponentUse& use : uses_) {
+    if (use.component == component) return use;
+  }
+  uses_.push_back(ComponentUse{component, component->create_state()});
+  return uses_.back();
+}
+
+Status EventSetCore::open_slot(std::size_t native_idx) {
+  NativeSlot& slot = natives_[native_idx];
+  SlotRequest request;
+  request.enc = slot.enc;
+  request.global_index = native_idx;
+  request.sample_period = slot.sample_period;
+  request.eventset_id = id_;
+  request.user_event_index = slot.user_event_index;
+  request.overflow = overflow_callback_ ? &overflow_callback_ : nullptr;
+  ComponentUse& use = use_for(slot.component);
+  return slot.component->open_slot(*use.state, request, target());
+}
+
+Status EventSetCore::add_native(const pfm::Encoding& enc, int sign,
+                                UserEvent& user) {
+  if (natives_.full()) {
+    return make_error(StatusCode::kNoMemory, "EventSet is full");
+  }
+  const pfm::ActivePmu* pmu = pfm_->find_pmu(enc.pmu_name);
+  if (pmu == nullptr) {
+    return make_error(StatusCode::kBug, "encoding references unknown PMU");
+  }
+  Component* component = registry_->component_for(*pmu);
+  if (component == nullptr) {
+    return make_error(StatusCode::kNotSupported,
+                      "no registered component serves PMU " + enc.pmu_name);
+  }
+
+  // Legacy single-PMU constraint: without hybrid support an EventSet is
+  // pinned to the PMU of its first event — "you cannot have P- and
+  // E-core events in the same EventSet, nor can you have things like
+  // CPU and RAPL power events in the same EventSet" (PAPI_ECNFLCT).
+  if (!config_->hybrid_support) {
+    for (const NativeSlot& slot : natives_) {
+      if (slot.enc.perf_type != enc.perf_type) {
+        return make_error(
+            StatusCode::kConflict,
+            "EventSet already contains " + slot.enc.pmu_name +
+                " events; adding " + enc.pmu_name +
+                " requires heterogeneous support (PAPI_ECNFLCT)");
+      }
+    }
+  }
+
+  NativeSlot slot;
+  slot.enc = enc;
+  slot.component = component;
+  slot.user_event_index = static_cast<int>(user_events_.size());
+  natives_.push_back(slot);
+  const auto native_idx = static_cast<int>(natives_.size() - 1);
+
+  const Status opened = open_slot(static_cast<std::size_t>(native_idx));
+  if (!opened.is_ok()) {
+    natives_.pop_back();
+    return opened;
+  }
+  user.native_indices.push_back(native_idx);
+  user.native_signs.push_back(sign);
+  return Status::ok();
+}
+
+Status EventSetCore::add_user_event(
+    std::string_view display_name, bool is_preset,
+    const std::vector<std::pair<pfm::Encoding, int>>& constituents) {
+  UserEvent user;
+  user.display_name = std::string(display_name);
+  user.is_preset = is_preset;
+
+  // All-or-nothing: remember how much to roll back on failure.
+  const std::size_t natives_before = natives_.size();
+  for (const auto& [enc, sign] : constituents) {
+    const Status added = add_native(enc, sign, user);
+    if (!added.is_ok()) {
+      (void)rollback_natives(natives_before);
+      return added;
+    }
+  }
+  user_events_.push_back(std::move(user));
+  return Status::ok();
+}
+
+Status EventSetCore::remove_event(std::string_view name) {
+  std::size_t user_idx = user_events_.size();
+  for (std::size_t i = 0; i < user_events_.size(); ++i) {
+    if (iequals(user_events_[i].display_name, name)) {
+      user_idx = i;
+      break;
+    }
+  }
+  if (user_idx == user_events_.size()) {
+    return make_error(StatusCode::kNotFound,
+                      std::string(name) + " is not in the EventSet");
+  }
+
+  // Tear down every component's slots first: they reference native
+  // slots by index, and those indices are about to shift.
+  HETPAPI_RETURN_IF_ERROR(close_everything());
+
+  // Drop the removed event's native slots, highest index first so the
+  // lower ones stay valid while erasing.
+  const UserEvent removed = std::move(user_events_[user_idx]);
+  std::vector<int> dropped(removed.native_indices.begin(),
+                           removed.native_indices.end());
+  std::sort(dropped.begin(), dropped.end());
+  for (std::size_t i = dropped.size(); i-- > 0;) {
+    natives_.erase_at(static_cast<std::size_t>(dropped[i]));
+  }
+  user_events_.erase(user_events_.begin() +
+                     static_cast<std::ptrdiff_t>(user_idx));
+
+  // Remap the survivors: each native slot's owning user event shifts
+  // down past the removed one; each user event's native indices shift
+  // down past every dropped slot below them.
+  for (NativeSlot& slot : natives_) {
+    if (slot.user_event_index > static_cast<int>(user_idx)) {
+      --slot.user_event_index;
+    }
+  }
+  for (UserEvent& user : user_events_) {
+    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
+      const int idx = user.native_indices[i];
+      int shift = 0;
+      for (const int d : dropped) {
+        if (d < idx) ++shift;
+      }
+      user.native_indices[i] = idx - shift;
+    }
+  }
+
+  // Re-open the survivors in order, rebuilding the groups.
+  for (std::size_t i = 0; i < natives_.size(); ++i) {
+    HETPAPI_RETURN_IF_ERROR(open_slot(i));
+  }
+  return Status::ok();
+}
+
+Status EventSetCore::close_everything() {
+  Status first_error = Status::ok();
+  for (ComponentUse& use : uses_) {
+    const Status s = use.component->close_all(*use.state);
+    if (!s.is_ok() && first_error.is_ok()) first_error = s;
+  }
+  uses_.clear();
+  return first_error;
+}
+
+Status EventSetCore::reopen_all() {
+  HETPAPI_RETURN_IF_ERROR(close_everything());
+  for (std::size_t i = 0; i < natives_.size(); ++i) {
+    HETPAPI_RETURN_IF_ERROR(open_slot(i));
+  }
+  return Status::ok();
+}
+
+Status EventSetCore::rollback_natives(std::size_t natives_before) {
+  // The components' group bookkeeping may reference the slots being
+  // dropped, so tear everything down and rebuild from the survivors.
+  (void)close_everything();
+  while (natives_.size() > natives_before) natives_.pop_back();
+  for (std::size_t i = 0; i < natives_.size(); ++i) {
+    HETPAPI_RETURN_IF_ERROR(open_slot(i));
+  }
+  return Status::ok();
+}
+
+Status EventSetCore::set_multiplex() {
+  if (running()) {
+    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
+  }
+  if (multiplexed_) return Status::ok();
+  for (const NativeSlot& slot : natives_) {
+    if (!slot.component->caps().multiplex) {
+      return make_error(StatusCode::kNotSupported,
+                        "component " + std::string(slot.component->name()) +
+                            " does not support multiplexing");
+    }
+  }
+  multiplexed_ = true;
+  return reopen_all();
+}
+
+Status EventSetCore::set_overflow(int user_event_index,
+                                  std::uint64_t threshold,
+                                  OverflowCallback callback) {
+  if (running()) {
+    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
+  }
+  if (user_event_index < 0 ||
+      user_event_index >= static_cast<int>(user_events_.size())) {
+    return make_error(StatusCode::kInvalidArgument, "no such event index");
+  }
+  if (threshold == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "overflow threshold must be positive");
+  }
+  const UserEvent& user =
+      user_events_[static_cast<std::size_t>(user_event_index)];
+  for (int idx : user.native_indices) {
+    const Component* c = natives_[static_cast<std::size_t>(idx)].component;
+    if (!c->caps().overflow) {
+      return make_error(StatusCode::kNotSupported,
+                        "component " + std::string(c->name()) +
+                            " does not support overflow sampling");
+    }
+  }
+  overflow_callback_ = std::move(callback);
+  for (int idx : user.native_indices) {
+    natives_[static_cast<std::size_t>(idx)].sample_period = threshold;
+  }
+  // Re-open so the kernel sees the sampling configuration.
+  return reopen_all();
+}
+
+Status EventSetCore::start() {
+  if (running()) {
+    return make_error(StatusCode::kAlreadyRunning, "already started");
+  }
+  if (natives_.empty()) {
+    return make_error(StatusCode::kInvalidArgument, "EventSet is empty");
+  }
+
+  // One running EventSet per component per measured thread (package
+  // scope components hold a genuinely global lock). Check every lock
+  // before enabling anything so a conflict leaves the set untouched.
+  const MeasureTarget tgt = target();
+  for (const ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(locks_->check(*use.component, tgt, id_));
+  }
+
+  for (ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(use.component->start(*use.state));
+  }
+  for (const ComponentUse& use : uses_) {
+    locks_->acquire(*use.component, tgt, id_);
+  }
+  state_ = SetState::kRunning;
+  // The group layout cannot change while running; every per-call
+  // overhead charge until stop() uses this cached count.
+  running_group_count_ = static_cast<std::uint64_t>(group_count());
+
+  if (target_ != simkernel::kInvalidTid) {
+    backend_->charge_call_overhead(
+        target_,
+        config_->call_overhead_instructions * running_group_count_);
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<long long>> EventSetCore::stop() {
+  if (!running()) {
+    return make_error(StatusCode::kNotRunning, "EventSet is not running");
+  }
+  auto values = collect();
+  if (!values) return values.status();
+
+  const MeasureTarget tgt = target();
+  for (ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(use.component->stop(*use.state));
+    locks_->release(*use.component, tgt);
+  }
+  state_ = SetState::kStopped;
+
+  if (target_ != simkernel::kInvalidTid) {
+    backend_->charge_call_overhead(
+        target_,
+        config_->call_overhead_instructions * running_group_count_);
+  }
+  return values;
+}
+
+Expected<std::vector<long long>> EventSetCore::read() const {
+  auto values = collect();
+  if (values && target_ != simkernel::kInvalidTid && running()) {
+    backend_->charge_call_overhead(
+        target_,
+        config_->call_overhead_instructions * running_group_count_);
+  }
+  return values;
+}
+
+Status EventSetCore::accum(std::vector<long long>& values) {
+  if (!running()) {
+    return make_error(StatusCode::kNotRunning, "EventSet is not running");
+  }
+  if (values.size() != user_events_.size()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "values array must have one slot per event");
+  }
+  auto current = collect();
+  if (!current) return current.status();
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] += (*current)[i];
+  }
+  return reset();
+}
+
+Status EventSetCore::reset() {
+  for (ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(use.component->reset(*use.state));
+  }
+  return Status::ok();
+}
+
+Expected<std::vector<long long>> EventSetCore::collect() const {
+  // Gather per-native raw/scaled values across every component in use,
+  // then fold derived user events. Every native belongs to exactly one
+  // component which writes its slot on success, so the scratch needs
+  // sizing but not zero-filling on this hot path.
+  if (native_scratch_.size() != natives_.size()) {
+    native_scratch_.assign(natives_.size(), 0.0);
+  }
+  const bool scale = multiplexed_ && config_->scale_multiplexed;
+  for (const ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(
+        use.component->read(*use.state, scale, native_scratch_));
+  }
+
+  std::vector<long long> out;
+  out.reserve(user_events_.size());
+  for (const UserEvent& user : user_events_) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
+      sum += user.native_signs[i] *
+             native_scratch_[static_cast<std::size_t>(user.native_indices[i])];
+    }
+    out.push_back(static_cast<long long>(sum));
+  }
+  return out;
+}
+
+Expected<std::vector<EventInfo>> EventSetCore::info() const {
+  std::vector<EventInfo> out;
+  for (const UserEvent& user : user_events_) {
+    EventInfo info;
+    info.display_name = user.display_name;
+    info.is_preset = user.is_preset;
+    for (int idx : user.native_indices) {
+      info.native_names.push_back(
+          natives_[static_cast<std::size_t>(idx)].enc.canonical_name);
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+int EventSetCore::group_count() const {
+  int total = 0;
+  for (const ComponentUse& use : uses_) {
+    total += use.component->group_count(*use.state);
+  }
+  return total;
+}
+
+}  // namespace hetpapi::papi

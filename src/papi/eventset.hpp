@@ -1,0 +1,151 @@
+// The EventSet core: everything an EventSet is, with every counter
+// operation dispatched through the component registry instead of
+// hard-coded perf calls. The core knows *which* component serves each
+// native event and in what order to fan start/stop/read across them; it
+// never knows *how* a component measures. The Library facade resolves
+// names (presets, custom presets, native encodings) and delegates here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/fixed_vector.hpp"
+#include "base/status.hpp"
+#include "papi/component.hpp"
+#include "papi/config.hpp"
+
+namespace hetpapi::papi {
+
+class EventSetCore {
+ public:
+  EventSetCore(int id, Backend* backend, const pfm::PfmLibrary* pfm,
+               const LibraryConfig* config, const ComponentRegistry* registry,
+               ComponentLocks* locks)
+      : id_(id),
+        backend_(backend),
+        pfm_(pfm),
+        config_(config),
+        registry_(registry),
+        locks_(locks),
+        target_(backend->default_target()) {}
+
+  EventSetCore(const EventSetCore&) = delete;
+  EventSetCore& operator=(const EventSetCore&) = delete;
+
+  int id() const { return id_; }
+  bool running() const { return state_ == SetState::kRunning; }
+  bool has_natives() const { return !natives_.empty(); }
+
+  /// Bind to a thread. Existing events transparently re-open.
+  Status attach(Tid tid);
+  /// Bind to a logical cpu (validated by the caller against hwinfo).
+  Status attach_cpu(int cpu);
+
+  /// Add one user-visible event backed by `constituents` (encoding,
+  /// sign) pairs, all-or-nothing: any constituent failing to open rolls
+  /// the whole addition back.
+  Status add_user_event(std::string_view display_name, bool is_preset,
+                        const std::vector<std::pair<pfm::Encoding, int>>&
+                            constituents);
+
+  /// Drop an event by display name (case-insensitive); survivors keep
+  /// their order and are re-opened.
+  Status remove_event(std::string_view name);
+
+  Status set_multiplex();
+  Status set_overflow(int user_event_index, std::uint64_t threshold,
+                      OverflowCallback callback);
+
+  Status start();
+  Expected<std::vector<long long>> stop();
+  Expected<std::vector<long long>> read() const;
+  Status accum(std::vector<long long>& values);
+  Status reset();
+
+  Expected<std::vector<EventInfo>> info() const;
+
+  /// Kernel groups across every component in use — the unit the
+  /// per-call overhead model charges.
+  int group_count() const;
+
+  /// Close every slot of every component and drop the component states.
+  /// Safe to call repeatedly; used by destroy and the Library dtor.
+  Status close_everything();
+
+ private:
+  struct NativeSlot {
+    pfm::Encoding enc;
+    Component* component = nullptr;
+    /// Sampling period when this slot is in overflow mode (0 = counting).
+    std::uint64_t sample_period = 0;
+    /// Which user event this slot belongs to.
+    int user_event_index = -1;
+  };
+
+  struct UserEvent {
+    std::string display_name;
+    bool is_preset = false;
+    FixedVector<int, 2 * kMaxPmuGroups> native_indices;
+    /// +1 / -1 weight per constituent (DERIVED_SUB presets subtract).
+    FixedVector<int, 2 * kMaxPmuGroups> native_signs;
+  };
+
+  /// One component with open slots on behalf of this EventSet, in
+  /// first-use order — the order start/stop/read fan out in.
+  struct ComponentUse {
+    Component* component = nullptr;
+    std::unique_ptr<ComponentState> state;
+  };
+
+  enum class SetState { kStopped, kRunning };
+
+  MeasureTarget target() const { return {target_, target_cpu_, multiplexed_}; }
+
+  /// The use record for `component`, created on first touch.
+  ComponentUse& use_for(Component* component);
+
+  /// Resolve + open one native event (grouping rules applied by the
+  /// component). On failure the set is unchanged.
+  Status add_native(const pfm::Encoding& enc, int sign, UserEvent& user);
+
+  /// Ask the owning component to open native slot `native_idx`.
+  Status open_slot(std::size_t native_idx);
+
+  Status reopen_all();
+
+  /// Undo a partially applied multi-native add: drop every native slot
+  /// beyond `natives_before`, close everything and rebuild survivors.
+  Status rollback_natives(std::size_t natives_before);
+
+  Expected<std::vector<long long>> collect() const;
+
+  int id_;
+  Backend* backend_;
+  const pfm::PfmLibrary* pfm_;
+  const LibraryConfig* config_;
+  const ComponentRegistry* registry_;
+  ComponentLocks* locks_;
+
+  SetState state_ = SetState::kStopped;
+  /// group_count() snapshotted at start(): the layout is frozen while
+  /// running, and the per-call overhead charge sits on the read hot
+  /// path where re-summing the components would cost virtual dispatch.
+  std::uint64_t running_group_count_ = 0;
+  Tid target_ = simkernel::kInvalidTid;
+  /// >= 0: cpu-scoped measurement (target_ is ignored).
+  int target_cpu_ = -1;
+  bool multiplexed_ = false;
+  OverflowCallback overflow_callback_;
+
+  FixedVector<NativeSlot, kMaxEventSetEvents> natives_;
+  std::vector<UserEvent> user_events_;
+  std::vector<ComponentUse> uses_;
+
+  /// Per-native value scratch for collect() (mutable: read is logically
+  /// const).
+  mutable std::vector<double> native_scratch_;
+};
+
+}  // namespace hetpapi::papi

@@ -1,29 +1,17 @@
 #include "papi/library.hpp"
 
-#include <algorithm>
-
 #include "base/log.hpp"
 #include "base/strings.hpp"
+#include "papi/components/builtin.hpp"
 
 namespace hetpapi::papi {
-
-using simkernel::kIocFlagGroup;
-
-std::string_view to_string(Component component) {
-  switch (component) {
-    case Component::kPerfEvent: return "perf_event";
-    case Component::kRapl: return "rapl";
-    case Component::kUncore: return "perf_event_uncore";
-  }
-  return "unknown";
-}
 
 Library::Library(Backend* backend, LibraryConfig config)
     : backend_(backend), config_(config) {}
 
 Library::~Library() {
   for (const auto& set : sets_) {
-    if (set) (void)close_all(*set);
+    if (set) (void)set->close_everything();
   }
 }
 
@@ -38,6 +26,16 @@ Expected<std::unique_ptr<Library>> Library::init(Backend* backend,
   auto hwinfo = get_hardware_info(backend->host());
   if (!hwinfo) return hwinfo.status();
   lib->hwinfo_ = std::move(*hwinfo);
+
+  // Build the component table. The env pointers refer to the Library's
+  // own members, which outlive the registry.
+  const ComponentEnv env{backend, &lib->pfm_, &lib->config_};
+  const Status registered = register_builtin_components(lib->registry_, env);
+  if (!registered.is_ok()) {
+    return make_error(StatusCode::kComponent,
+                      "component registration failed: " +
+                          registered.to_string());
+  }
 
   if (lib->hwinfo_.hybrid && !config.hybrid_support) {
     HETPAPI_WARN << "hybrid machine detected but hybrid support is disabled; "
@@ -87,84 +85,66 @@ std::vector<std::string> Library::available_presets() const {
   return out;
 }
 
-// --- EventSet plumbing ---------------------------------------------------------
+// --- EventSet plumbing -------------------------------------------------------
 
-Library::EventSet* Library::find_set(int eventset) {
+EventSetCore* Library::find_set(int eventset) {
   for (const auto& set : sets_) {
-    if (set && set->id == eventset) return set.get();
+    if (set && set->id() == eventset) return set.get();
   }
   return nullptr;
 }
 
-const Library::EventSet* Library::find_set(int eventset) const {
+const EventSetCore* Library::find_set(int eventset) const {
   for (const auto& set : sets_) {
-    if (set && set->id == eventset) return set.get();
+    if (set && set->id() == eventset) return set.get();
   }
   return nullptr;
 }
 
 Expected<int> Library::create_eventset() {
-  auto set = std::make_unique<EventSet>();
-  set->id = next_set_id_++;
-  set->target = backend_->default_target();
-  const int id = set->id;
-  sets_.push_back(std::move(set));
+  const int id = next_set_id_++;
+  sets_.push_back(std::make_unique<EventSetCore>(
+      id, backend_, &pfm_, &config_, &registry_, &locks_));
   return id;
 }
 
 Status Library::destroy_eventset(int eventset) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
+  if (set->running()) {
     return make_error(StatusCode::kAlreadyRunning,
                       "stop the EventSet before destroying it");
   }
-  HETPAPI_RETURN_IF_ERROR(close_all(*set));
+  HETPAPI_RETURN_IF_ERROR(set->close_everything());
   std::erase_if(sets_, [&](const auto& s) { return s.get() == set; });
   return Status::ok();
 }
 
-Component Library::component_for(const pfm::ActivePmu& pmu) const {
-  const std::string& name = pmu.table->pfm_name;
-  if (name == "rapl") return Component::kRapl;
-  if (starts_with(name, "unc_")) {
-    return config_.unified_uncore ? Component::kPerfEvent : Component::kUncore;
-  }
-  return Component::kPerfEvent;
-}
-
 Status Library::attach(int eventset, Tid tid) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
-    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
-  }
-  set->target = tid;
-  set->target_cpu = -1;
-  if (!set->natives.empty()) return reopen_all(*set);
-  return Status::ok();
+  return set->attach(tid);
 }
 
 Status Library::attach_cpu(int eventset, int cpu) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
+  if (set->running()) {
     return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
   }
   if (cpu < 0 || cpu >= hwinfo_.total_cpus) {
     return make_error(StatusCode::kInvalidArgument, "no such cpu");
   }
-  set->target_cpu = cpu;
-  set->target = simkernel::kInvalidTid;
-  if (!set->natives.empty()) return reopen_all(*set);
-  return Status::ok();
+  return set->attach_cpu(cpu);
 }
+
+// --- name resolution ---------------------------------------------------------
 
 Status Library::load_preset_definitions(std::string_view text) {
   auto parsed = parse_preset_definitions(text);
@@ -188,20 +168,13 @@ Status Library::load_preset_definitions(std::string_view text) {
   return Status::ok();
 }
 
-Status Library::add_custom_preset(EventSet& set,
-                                  const CustomPresetDef& first_def,
-                                  std::string_view name) {
-  (void)first_def;
+Status Library::add_custom_preset(EventSetCore& set, std::string_view name) {
   const auto defaults = pfm_.default_pmus();
   if (defaults.empty()) {
     return make_error(StatusCode::kComponent, "no core PMU active");
   }
-  UserEvent user;
-  user.display_name = std::string(name);
-  user.is_preset = true;
-
   // Gather (encoding, sign) pairs across every core PMU first so a
-  // missing definition aborts before any fd is opened.
+  // missing definition aborts before any slot is opened.
   std::vector<std::pair<pfm::Encoding, int>> plan;
   for (const pfm::ActivePmu* pmu : defaults) {
     const CustomPresetDef* def =
@@ -220,25 +193,15 @@ Status Library::add_custom_preset(EventSet& set,
       plan.emplace_back(std::move(*enc), sign);
     }
   }
-
-  const std::size_t natives_before = set.natives.size();
-  for (const auto& [enc, sign] : plan) {
-    const Status added = add_native(set, enc, user, sign);
-    if (!added.is_ok()) {
-      (void)rollback_natives(set, natives_before);
-      return added;
-    }
-  }
-  set.user_events.push_back(std::move(user));
-  return Status::ok();
+  return set.add_user_event(name, /*is_preset=*/true, plan);
 }
 
 Status Library::add_event(int eventset, std::string_view name) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
+  if (set->running()) {
     return make_error(StatusCode::kAlreadyRunning,
                       "cannot add events while running");
   }
@@ -248,23 +211,19 @@ Status Library::add_event(int eventset, std::string_view name) {
     for (const auto& [pmu_name, defs] : custom_presets_.sections) {
       for (const CustomPresetDef& def : defs) {
         if (iequals(def.name, name)) {
-          return add_custom_preset(*set, def, name);
+          return add_custom_preset(*set, name);
         }
       }
     }
   }
 
-  // Preset path.
+  // Preset path: resolve per core PMU under the configured policy.
   if (const PresetDef* preset = find_preset(name)) {
     const auto defaults = pfm_.default_pmus();
     if (defaults.empty()) {
       return make_error(StatusCode::kComponent, "no core PMU active");
     }
-    UserEvent user;
-    user.display_name = preset->name;
-    user.is_preset = true;
-
-    std::vector<pfm::Encoding> encodings;
+    std::vector<std::pair<pfm::Encoding, int>> plan;
     switch (config_.preset_policy) {
       case PresetPolicy::kErrorOnHybrid:
         if (defaults.size() > 1) {
@@ -284,7 +243,7 @@ Status Library::add_event(int eventset, std::string_view name) {
         }
         auto enc = pfm_.encode(pmu->table->pfm_name + "::" + *native);
         if (!enc) return enc.status();
-        encodings.push_back(std::move(*enc));
+        plan.emplace_back(std::move(*enc), 1);
         break;
       }
       case PresetPolicy::kDerivedSum:
@@ -298,576 +257,119 @@ Status Library::add_event(int eventset, std::string_view name) {
           }
           auto enc = pfm_.encode(pmu->table->pfm_name + "::" + *native);
           if (!enc) return enc.status();
-          encodings.push_back(std::move(*enc));
+          plan.emplace_back(std::move(*enc), 1);
         }
         break;
     }
-
-    // All-or-nothing: remember how much to roll back on failure.
-    const std::size_t natives_before = set->natives.size();
-    for (const pfm::Encoding& enc : encodings) {
-      const Status added = add_native(*set, enc, user);
-      if (!added.is_ok()) {
-        (void)rollback_natives(*set, natives_before);
-        return added;
-      }
-    }
-    set->user_events.push_back(std::move(user));
-    return Status::ok();
+    return set->add_user_event(preset->name, /*is_preset=*/true, plan);
   }
 
   // Native path.
   auto enc = pfm_.encode(name);
   if (!enc) return enc.status();
-  UserEvent user;
-  user.display_name = std::string(name);
-  user.is_preset = false;
-  HETPAPI_RETURN_IF_ERROR(add_native(*set, *enc, user));
-  set->user_events.push_back(std::move(user));
-  return Status::ok();
+  return set->add_user_event(name, /*is_preset=*/false,
+                             {{std::move(*enc), 1}});
 }
 
 Status Library::remove_event(int eventset, std::string_view name) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
+  if (set->running()) {
     return make_error(StatusCode::kAlreadyRunning,
                       "cannot remove events while running");
   }
-  std::size_t user_idx = set->user_events.size();
-  for (std::size_t i = 0; i < set->user_events.size(); ++i) {
-    if (iequals(set->user_events[i].display_name, name)) {
-      user_idx = i;
-      break;
-    }
-  }
-  if (user_idx == set->user_events.size()) {
-    return make_error(StatusCode::kNotFound,
-                      std::string(name) + " is not in the EventSet");
-  }
-
-  // Tear down every fd first: the group member lists reference native
-  // slots by index, and those indices are about to shift.
-  HETPAPI_RETURN_IF_ERROR(close_all(*set));
-
-  // Drop the removed event's native slots, highest index first so the
-  // lower ones stay valid while erasing.
-  const UserEvent removed = std::move(set->user_events[user_idx]);
-  std::vector<int> dropped(removed.native_indices.begin(),
-                           removed.native_indices.end());
-  std::sort(dropped.begin(), dropped.end());
-  for (std::size_t i = dropped.size(); i-- > 0;) {
-    set->natives.erase_at(static_cast<std::size_t>(dropped[i]));
-  }
-  set->user_events.erase(set->user_events.begin() +
-                         static_cast<std::ptrdiff_t>(user_idx));
-
-  // Remap the survivors: each native slot's owning user event shifts
-  // down past the removed one; each user event's native indices shift
-  // down past every dropped slot below them.
-  for (NativeSlot& slot : set->natives) {
-    if (slot.user_event_index > static_cast<int>(user_idx)) {
-      --slot.user_event_index;
-    }
-  }
-  for (UserEvent& user : set->user_events) {
-    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
-      const int idx = user.native_indices[i];
-      int shift = 0;
-      for (const int d : dropped) {
-        if (d < idx) ++shift;
-      }
-      user.native_indices[i] = idx - shift;
-    }
-  }
-
-  // Re-open the survivors in order, rebuilding the groups.
-  for (std::size_t i = 0; i < set->natives.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(*set, i));
-  }
-  return Status::ok();
-}
-
-Status Library::add_native(EventSet& set, const pfm::Encoding& enc,
-                           UserEvent& user, int sign) {
-  if (set.natives.full()) {
-    return make_error(StatusCode::kNoMemory, "EventSet is full");
-  }
-  const pfm::ActivePmu* pmu = pfm_.find_pmu(enc.pmu_name);
-  if (pmu == nullptr) {
-    return make_error(StatusCode::kBug, "encoding references unknown PMU");
-  }
-  const Component component = component_for(*pmu);
-
-  // Legacy single-PMU constraint: without hybrid support an EventSet is
-  // pinned to the PMU of its first event — "you cannot have P- and
-  // E-core events in the same EventSet, nor can you have things like
-  // CPU and RAPL power events in the same EventSet" (PAPI_ECNFLCT).
-  if (!config_.hybrid_support) {
-    for (const NativeSlot& slot : set.natives) {
-      if (slot.enc.perf_type != enc.perf_type) {
-        return make_error(
-            StatusCode::kConflict,
-            "EventSet already contains " + slot.enc.pmu_name +
-                " events; adding " + enc.pmu_name +
-                " requires heterogeneous support (PAPI_ECNFLCT)");
-      }
-    }
-  }
-
-  NativeSlot slot;
-  slot.enc = enc;
-  slot.component = component;
-  slot.user_event_index = static_cast<int>(set.user_events.size());
-  set.natives.push_back(slot);
-  const auto native_idx = static_cast<int>(set.natives.size() - 1);
-
-  const Status opened = open_slot(set, static_cast<std::size_t>(native_idx));
-  if (!opened.is_ok()) {
-    set.natives.pop_back();
-    return opened;
-  }
-  user.native_indices.push_back(native_idx);
-  user.native_signs.push_back(sign);
-  return Status::ok();
-}
-
-Status Library::open_slot(EventSet& set, std::size_t native_idx) {
-  set.read_plan_valid = false;
-  NativeSlot& slot = set.natives[native_idx];
-  const pfm::ActivePmu* pmu = pfm_.find_pmu(slot.enc.pmu_name);
-  if (pmu == nullptr) {
-    return make_error(StatusCode::kBug, "unknown PMU at open time");
-  }
-
-  // Scope: core/software events follow the target thread (or, for a
-  // cpu-attached EventSet, count everything on the target cpu);
-  // package-scope PMUs (RAPL, uncore) bind to their designated cpu.
-  Tid tid = set.target;
-  int cpu = -1;
-  const bool package_scope =
-      slot.component == Component::kRapl ||
-      starts_with(slot.enc.pmu_name, "unc_");
-  if (package_scope) {
-    tid = simkernel::kInvalidTid;
-    cpu = pmu->cpus.empty() ? 0 : pmu->cpus.front();
-  } else if (set.target_cpu >= 0) {
-    tid = simkernel::kInvalidTid;
-    cpu = set.target_cpu;
-  } else if (tid == simkernel::kInvalidTid) {
-    return make_error(StatusCode::kInvalidArgument,
-                      "EventSet has no target thread; call attach() first");
-  }
-
-  // Find or create the group for this PMU type. Multiplexed sets make
-  // every event its own leader so the kernel can rotate them freely.
-  PmuGroup* group = nullptr;
-  if (!set.multiplexed) {
-    for (PmuGroup& g : set.groups) {
-      if (g.perf_type == slot.enc.perf_type && g.component == slot.component) {
-        group = &g;
-        break;
-      }
-    }
-  }
-
-  PerfEventAttr attr;
-  attr.type = slot.enc.perf_type;
-  attr.config = slot.enc.config;
-  attr.sample_period = slot.sample_period;
-  attr.read_format = simkernel::kFormatGroup |
-                     simkernel::kFormatTotalTimeEnabled |
-                     simkernel::kFormatTotalTimeRunning;
-
-  const auto install_handler = [&](int fd) -> Status {
-    if (slot.sample_period == 0 || !set.overflow_callback) {
-      return Status::ok();
-    }
-    // Capture what the callback needs; the EventSet outlives the fd.
-    const int set_id = set.id;
-    const int user_index = slot.user_event_index;
-    const std::string native_name = slot.enc.canonical_name;
-    const OverflowCallback& callback = set.overflow_callback;
-    return backend_->perf_set_overflow_handler(
-        fd, [set_id, user_index, native_name, &callback](
-                int, std::uint64_t value, std::uint64_t periods) {
-          OverflowEvent event;
-          event.eventset = set_id;
-          event.user_event_index = user_index;
-          event.native_name = native_name;
-          event.value = value;
-          event.periods = periods;
-          callback(event);
-        });
-  };
-
-  if (group == nullptr) {
-    if (set.groups.full() ||
-        (!set.multiplexed && set.groups.size() >= kMaxPmuGroups)) {
-      return make_error(StatusCode::kNoMemory,
-                        "EventSet exceeds the static group array (" +
-                            std::to_string(kMaxPmuGroups) + " PMU groups)");
-    }
-    attr.disabled = true;  // leaders start disabled; PAPI_start enables
-    auto fd = backend_->perf_event_open(attr, tid, cpu, -1, 0);
-    if (!fd) return fd.status();
-    PmuGroup new_group;
-    new_group.perf_type = slot.enc.perf_type;
-    new_group.component = slot.component;
-    new_group.leader_fd = *fd;
-    new_group.members.push_back(static_cast<int>(native_idx));
-    set.groups.push_back(new_group);
-    slot.fd = *fd;
-    return install_handler(*fd);
-  }
-
-  attr.disabled = false;  // siblings gate on their leader
-  auto fd = backend_->perf_event_open(attr, tid, cpu, group->leader_fd, 0);
-  if (!fd) return fd.status();
-  if (group->members.full()) {
-    (void)backend_->perf_close(*fd);
-    return make_error(StatusCode::kNoMemory, "group member array full");
-  }
-  group->members.push_back(static_cast<int>(native_idx));
-  slot.fd = *fd;
-  return install_handler(*fd);
-}
-
-Status Library::close_all(EventSet& set) {
-  set.read_plan_valid = false;
-  Status first_error = Status::ok();
-  // Close siblings before leaders to avoid the kernel's sibling
-  // promotion path.
-  for (PmuGroup& group : set.groups) {
-    for (std::size_t i = group.members.size(); i-- > 1;) {
-      NativeSlot& slot =
-          set.natives[static_cast<std::size_t>(group.members[i])];
-      if (slot.fd >= 0) {
-        const Status s = backend_->perf_close(slot.fd);
-        if (!s.is_ok() && first_error.is_ok()) first_error = s;
-        slot.fd = -1;
-      }
-    }
-    if (!group.members.empty()) {
-      NativeSlot& leader =
-          set.natives[static_cast<std::size_t>(group.members[0])];
-      if (leader.fd >= 0) {
-        const Status s = backend_->perf_close(leader.fd);
-        if (!s.is_ok() && first_error.is_ok()) first_error = s;
-        leader.fd = -1;
-      }
-    }
-  }
-  set.groups.clear();
-  return first_error;
-}
-
-Status Library::reopen_all(EventSet& set) {
-  HETPAPI_RETURN_IF_ERROR(close_all(set));
-  for (std::size_t i = 0; i < set.natives.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(set, i));
-  }
-  return Status::ok();
-}
-
-Status Library::rollback_natives(EventSet& set, std::size_t natives_before) {
-  // The group member lists may reference the slots being dropped, so
-  // close every fd directly off the native table, wipe the groups, and
-  // rebuild from the surviving slots.
-  while (set.natives.size() > natives_before) {
-    NativeSlot& slot = set.natives.back();
-    if (slot.fd >= 0) (void)backend_->perf_close(slot.fd);
-    set.natives.pop_back();
-  }
-  for (NativeSlot& slot : set.natives) {
-    if (slot.fd >= 0) (void)backend_->perf_close(slot.fd);
-    slot.fd = -1;
-  }
-  set.groups.clear();
-  for (std::size_t i = 0; i < set.natives.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(set, i));
-  }
-  return Status::ok();
+  return set->remove_event(name);
 }
 
 Status Library::set_multiplex(int eventset) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
-    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
-  }
-  if (set->multiplexed) return Status::ok();
-  set->multiplexed = true;
-  return reopen_all(*set);
+  return set->set_multiplex();
 }
 
 Status Library::set_overflow(int eventset, int user_event_index,
                              std::uint64_t threshold,
                              OverflowCallback callback) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
-    return make_error(StatusCode::kAlreadyRunning, "EventSet is running");
-  }
-  if (user_event_index < 0 ||
-      user_event_index >= static_cast<int>(set->user_events.size())) {
-    return make_error(StatusCode::kInvalidArgument, "no such event index");
-  }
-  if (threshold == 0) {
-    return make_error(StatusCode::kInvalidArgument,
-                      "overflow threshold must be positive");
-  }
-  set->overflow_callback = std::move(callback);
-  const UserEvent& user =
-      set->user_events[static_cast<std::size_t>(user_event_index)];
-  for (int idx : user.native_indices) {
-    set->natives[static_cast<std::size_t>(idx)].sample_period = threshold;
-  }
-  // Re-open so the kernel sees the sampling configuration.
-  return reopen_all(*set);
+  return set->set_overflow(user_event_index, threshold, std::move(callback));
 }
 
-// --- run control -----------------------------------------------------------------
+// --- run control -------------------------------------------------------------
 
 Status Library::start(int eventset) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state == SetState::kRunning) {
-    return make_error(StatusCode::kAlreadyRunning, "already started");
-  }
-  if (set->natives.empty()) {
-    return make_error(StatusCode::kInvalidArgument, "EventSet is empty");
-  }
-
-  // One running EventSet per component per measured thread (RAPL and
-  // the legacy uncore component are package-wide, so their lock is
-  // global).
-  for (const PmuGroup& group : set->groups) {
-    const auto key = component_key(group.component, *set);
-    const auto it = running_sets_.find(key);
-    if (it != running_sets_.end() && it->second != set->id) {
-      return make_error(StatusCode::kConflict,
-                        std::string("component ") +
-                            std::string(to_string(group.component)) +
-                            " already has a running EventSet (" +
-                            std::to_string(it->second) + ")");
-    }
-  }
-
-  // The multi-group fan-out at the heart of §IV-E: reset + enable every
-  // PMU group belonging to this EventSet.
-  for (const PmuGroup& group : set->groups) {
-    HETPAPI_RETURN_IF_ERROR(backend_->perf_ioctl(
-        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
-    HETPAPI_RETURN_IF_ERROR(backend_->perf_ioctl(
-        group.leader_fd, PerfIoctl::kEnable, kIocFlagGroup));
-  }
-  for (const PmuGroup& group : set->groups) {
-    running_sets_[component_key(group.component, *set)] = set->id;
-  }
-  set->state = SetState::kRunning;
-
-  if (set->target != simkernel::kInvalidTid) {
-    backend_->charge_call_overhead(
-        set->target,
-        config_.call_overhead_instructions * set->groups.size());
-  }
-  return Status::ok();
+  return set->start();
 }
 
 Expected<std::vector<long long>> Library::stop(int eventset) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state != SetState::kRunning) {
-    return make_error(StatusCode::kNotRunning, "EventSet is not running");
-  }
-  auto values = collect(*set);
-  if (!values) return values.status();
-
-  for (const PmuGroup& group : set->groups) {
-    HETPAPI_RETURN_IF_ERROR(backend_->perf_ioctl(
-        group.leader_fd, PerfIoctl::kDisable, kIocFlagGroup));
-    running_sets_.erase(component_key(group.component, *set));
-  }
-  set->state = SetState::kStopped;
-
-  if (set->target != simkernel::kInvalidTid) {
-    backend_->charge_call_overhead(
-        set->target,
-        config_.call_overhead_instructions * set->groups.size());
-  }
-  return values;
+  return set->stop();
 }
 
 Expected<std::vector<long long>> Library::read(int eventset) const {
-  const EventSet* set = find_set(eventset);
+  const EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  auto values = collect(*set);
-  if (values && set->target != simkernel::kInvalidTid &&
-      set->state == SetState::kRunning) {
-    backend_->charge_call_overhead(
-        set->target,
-        config_.call_overhead_instructions * set->groups.size());
-  }
-  return values;
+  return set->read();
 }
 
 Status Library::accum(int eventset, std::vector<long long>& values) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  if (set->state != SetState::kRunning) {
-    return make_error(StatusCode::kNotRunning, "EventSet is not running");
-  }
-  if (values.size() != set->user_events.size()) {
-    return make_error(StatusCode::kInvalidArgument,
-                      "values array must have one slot per event");
-  }
-  auto current = collect(*set);
-  if (!current) return current.status();
-  for (std::size_t i = 0; i < values.size(); ++i) {
-    values[i] += (*current)[i];
-  }
-  return reset(eventset);
+  return set->accum(values);
 }
 
 Expected<Library::SetStatePublic> Library::state(int eventset) const {
-  const EventSet* set = find_set(eventset);
+  const EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  return set->state == SetState::kRunning ? SetStatePublic::kRunning
-                                          : SetStatePublic::kStopped;
+  return set->running() ? SetStatePublic::kRunning : SetStatePublic::kStopped;
 }
 
 Status Library::reset(int eventset) {
-  EventSet* set = find_set(eventset);
+  EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  for (const PmuGroup& group : set->groups) {
-    HETPAPI_RETURN_IF_ERROR(backend_->perf_ioctl(
-        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
-  }
-  return Status::ok();
-}
-
-void Library::build_read_plan(const EventSet& set) const {
-  set.read_plan.clear();
-  set.plan_members.clear();
-  set.read_plan.reserve(set.groups.size());
-  for (const PmuGroup& group : set.groups) {
-    ReadPlanEntry entry;
-    entry.leader_fd = group.leader_fd;
-    entry.member_begin = set.plan_members.size();
-    entry.member_count = group.members.size();
-    for (int member : group.members) {
-      set.plan_members.push_back(static_cast<std::size_t>(member));
-    }
-    if (config_.use_rdpmc && group.members.size() == 1) {
-      const std::size_t native = static_cast<std::size_t>(group.members[0]);
-      entry.rdpmc_single = true;
-      entry.single_fd = set.natives[native].fd;
-      entry.single_native = native;
-    }
-    set.read_plan.push_back(entry);
-  }
-  set.native_scratch.resize(set.natives.size());
-}
-
-Expected<std::vector<long long>> Library::collect(const EventSet& set) const {
-  // Gather per-native raw/scaled values across all groups, then fold
-  // derived user events. The fan-out (which leader fds to read, where
-  // each returned value lands) is pre-resolved into a read plan; with
-  // cache_read_plan off it is rebuilt on every call, the historical
-  // behaviour the overhead bench compares against.
-  if (!set.read_plan_valid) {
-    build_read_plan(set);
-    set.read_plan_valid = config_.cache_read_plan;
-  }
-  std::vector<double>& native_values = set.native_scratch;
-  native_values.assign(set.natives.size(), 0.0);
-  const bool scale = set.multiplexed && config_.scale_multiplexed;
-
-  for (const ReadPlanEntry& entry : set.read_plan) {
-    // Fast path first (§V-5): a singleton group whose event is resident
-    // can be served by rdpmc without a read syscall.
-    if (entry.rdpmc_single) {
-      auto fast = backend_->perf_rdpmc(entry.single_fd);
-      if (fast) {
-        native_values[entry.single_native] = static_cast<double>(*fast);
-        continue;
-      }
-    }
-    auto group_values = backend_->perf_read_group(entry.leader_fd);
-    if (!group_values) return group_values.status();
-    if (group_values->size() != entry.member_count) {
-      return make_error(StatusCode::kBug, "group read size mismatch");
-    }
-    for (std::size_t i = 0; i < entry.member_count; ++i) {
-      const PerfValue& pv = (*group_values)[i];
-      double value = static_cast<double>(pv.value);
-      if (scale) value = pv.scaled();
-      native_values[set.plan_members[entry.member_begin + i]] = value;
-    }
-  }
-
-  std::vector<long long> out;
-  out.reserve(set.user_events.size());
-  for (const UserEvent& user : set.user_events) {
-    double sum = 0.0;
-    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
-      sum += user.native_signs[i] *
-             native_values[static_cast<std::size_t>(user.native_indices[i])];
-    }
-    out.push_back(static_cast<long long>(sum));
-  }
-  return out;
+  return set->reset();
 }
 
 Expected<std::vector<EventInfo>> Library::eventset_info(int eventset) const {
-  const EventSet* set = find_set(eventset);
+  const EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  std::vector<EventInfo> out;
-  for (const UserEvent& user : set->user_events) {
-    EventInfo info;
-    info.display_name = user.display_name;
-    info.is_preset = user.is_preset;
-    for (int idx : user.native_indices) {
-      info.native_names.push_back(
-          set->natives[static_cast<std::size_t>(idx)].enc.canonical_name);
-    }
-    out.push_back(std::move(info));
-  }
-  return out;
+  return set->info();
 }
 
 Expected<int> Library::eventset_group_count(int eventset) const {
-  const EventSet* set = find_set(eventset);
+  const EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  return static_cast<int>(set->groups.size());
+  return set->group_count();
 }
 
 bool Library::eventset_running(int eventset) const {
-  const EventSet* set = find_set(eventset);
-  return set != nullptr && set->state == SetState::kRunning;
+  const EventSetCore* set = find_set(eventset);
+  return set != nullptr && set->running();
 }
 
 }  // namespace hetpapi::papi

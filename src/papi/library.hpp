@@ -1,80 +1,44 @@
 // The measurement library: a modern-C++ rendition of PAPI with the
 // heterogeneous support this paper adds.
 //
-// Key behaviours, each switchable to its pre-patch form for baselines:
-//  * EventSets accept events from multiple PMUs; the perf_event
-//    component splits them into one perf event group per PMU type and
-//    fans every start/stop/read/reset across the groups (§IV-E). With
-//    hybrid_support=false an EventSet is pinned to its first PMU and a
-//    second PMU draws PAPI_ECNFLCT — the legacy behaviour whose failure
-//    the paper demonstrates.
-//  * Preset events (PAPI_TOT_INS, ...) resolve per PMU; on hybrid
-//    machines they become derived sums across core PMUs (§V-2).
-//  * The RAPL and uncore PMUs either live in their own components
-//    (legacy) or join combined EventSets (§V-3, unified_uncore).
-//  * Group bookkeeping uses statically allocated arrays, matching the
-//    implementation choice the paper describes (and letting the
-//    overhead bench quantify it).
+// Library is a thin facade over the componentized core:
+//  * Name resolution lives here — presets (PAPI_TOT_INS, ...) resolve
+//    per PMU and become derived sums across core PMUs on hybrid
+//    machines (§V-2), custom preset files take precedence, native names
+//    encode through the pfm layer.
+//  * Everything an EventSet *does* lives in EventSetCore
+//    (papi/eventset.hpp), which dispatches through the component
+//    registry (papi/component.hpp): core/software perf events, RAPL,
+//    uncore and the sysinfo software component are peer components
+//    registered at init (papi/components/). With hybrid_support=false
+//    an EventSet is pinned to its first PMU and a second PMU draws
+//    PAPI_ECNFLCT — the legacy behaviour whose failure the paper
+//    demonstrates. The RAPL and uncore PMUs either live in their own
+//    components (legacy) or join combined EventSets (§V-3,
+//    unified_uncore).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
-#include <utility>
 #include <vector>
 
-#include "base/fixed_vector.hpp"
 #include "base/status.hpp"
 #include "papi/backend.hpp"
+#include "papi/component.hpp"
+#include "papi/config.hpp"
 #include "papi/detect.hpp"
+#include "papi/eventset.hpp"
 #include "papi/preset_defs.hpp"
 #include "papi/presets.hpp"
 #include "pfm/pfmlib.hpp"
 
 namespace hetpapi::papi {
 
-/// Compile-time capacities for the static bookkeeping arrays.
-inline constexpr std::size_t kMaxEventSetEvents = 64;
-inline constexpr std::size_t kMaxPmuGroups = 8;
-
-enum class Component { kPerfEvent, kRapl, kUncore };
-std::string_view to_string(Component component);
-
-struct LibraryConfig {
-  /// The paper's contribution on/off switch.
-  bool hybrid_support = true;
-  /// §V-3: fold uncore events into ordinary EventSets instead of the
-  /// historical separate component.
-  bool unified_uncore = true;
-  PresetPolicy preset_policy = PresetPolicy::kDerivedSum;
-  pfm::PfmLibrary::Config pfm{};
-  /// Instructions charged to the measured thread per start/stop/read
-  /// call, per perf group touched (models caliper overhead; §V-5).
-  std::uint64_t call_overhead_instructions = 900;
-  /// Return multiplex-scaled estimates instead of raw values when an
-  /// EventSet is multiplexed.
-  bool scale_multiplexed = true;
-  /// Serve reads through the rdpmc fast path when the event is resident,
-  /// falling back to read(2) (§V-5).
-  bool use_rdpmc = false;
-  /// Cache the per-EventSet group read fan-out (which leader fds to
-  /// read, which native slot each returned value lands in) instead of
-  /// re-deriving it on every read/stop/accum. Off reproduces the
-  /// per-call recomputation cost the overhead bench quantifies.
-  bool cache_read_plan = true;
-};
-
-/// Describes one value slot of an EventSet read.
-struct EventInfo {
-  std::string display_name;       // what the user added
-  bool is_preset = false;
-  std::vector<std::string> native_names;  // canonical constituent events
-};
-
 class Library {
  public:
   /// Initialize against a backend: scans PMUs (via the pfm layer), runs
-  /// core-type detection, prepares preset resolution.
+  /// core-type detection, registers the built-in components, prepares
+  /// preset resolution.
   static Expected<std::unique_ptr<Library>> init(Backend* backend,
                                                  LibraryConfig config);
   static Expected<std::unique_ptr<Library>> init(Backend* backend) {
@@ -90,6 +54,10 @@ class Library {
   const HardwareInfo& hardware_info() const { return hwinfo_; }
   const pfm::PfmLibrary& pfm() const { return pfm_; }
   const LibraryConfig& config() const { return config_; }
+
+  /// The component table built at init — what papi_component_avail
+  /// walks: perf_event, rapl, perf_event_uncore (legacy mode), sysinfo.
+  const ComponentRegistry& registry() const { return registry_; }
 
   /// All native event names across active PMUs.
   std::vector<std::string> native_event_names() const;
@@ -137,7 +105,8 @@ class Library {
 
   /// Convert the EventSet to multiplexed operation: every event becomes
   /// its own group leader so the kernel can rotate freely (§IV-E's
-  /// multiplexing caveat). Must be stopped.
+  /// multiplexing caveat). Must be stopped; every component in the set
+  /// must advertise the multiplex capability.
   Status set_multiplex(int eventset);
 
   /// PAPI_overflow equivalent: install a sampling handler on one of the
@@ -146,14 +115,8 @@ class Library {
   /// the period. On a hybrid machine a derived preset samples on every
   /// constituent PMU — the callback reports which native event fired, so
   /// callers can attribute samples per core type.
-  struct OverflowEvent {
-    int eventset = -1;
-    int user_event_index = -1;
-    std::string native_name;  // constituent that crossed the threshold
-    std::uint64_t value = 0;
-    std::uint64_t periods = 1;
-  };
-  using OverflowCallback = std::function<void(const OverflowEvent&)>;
+  using OverflowEvent = ::hetpapi::papi::OverflowEvent;
+  using OverflowCallback = ::hetpapi::papi::OverflowCallback;
   Status set_overflow(int eventset, int user_event_index,
                       std::uint64_t threshold, OverflowCallback callback);
 
@@ -185,122 +148,21 @@ class Library {
  private:
   Library(Backend* backend, LibraryConfig config);
 
-  struct NativeSlot {
-    pfm::Encoding enc;
-    Component component = Component::kPerfEvent;
-    int fd = -1;
-    /// Sampling period when this slot is in overflow mode (0 = counting).
-    std::uint64_t sample_period = 0;
-    /// Which user event this slot belongs to.
-    int user_event_index = -1;
-  };
-
-  struct PmuGroup {
-    std::uint32_t perf_type = 0;
-    Component component = Component::kPerfEvent;
-    int leader_fd = -1;
-    /// Indices into `natives`, in sibling order (leader first).
-    FixedVector<int, kMaxEventSetEvents> members;
-  };
-
-  struct UserEvent {
-    std::string display_name;
-    bool is_preset = false;
-    FixedVector<int, 2 * kMaxPmuGroups> native_indices;
-    /// +1 / -1 weight per constituent (DERIVED_SUB presets subtract).
-    FixedVector<int, 2 * kMaxPmuGroups> native_signs;
-  };
-
-  enum class SetState { kStopped, kRunning };
-
-  /// One pre-resolved group read in collect()'s fan-out.
-  struct ReadPlanEntry {
-    int leader_fd = -1;
-    /// Singleton group eligible for the rdpmc fast path.
-    bool rdpmc_single = false;
-    int single_fd = -1;
-    std::size_t single_native = 0;
-    /// Members (native slot indices) in sibling order, flattened into
-    /// EventSet::plan_members.
-    std::size_t member_begin = 0;
-    std::size_t member_count = 0;
-  };
-
-  struct EventSet {
-    int id = -1;
-    SetState state = SetState::kStopped;
-    Tid target = simkernel::kInvalidTid;
-    /// >= 0: cpu-scoped measurement (target is ignored).
-    int target_cpu = -1;
-    bool multiplexed = false;
-    OverflowCallback overflow_callback;
-    FixedVector<NativeSlot, kMaxEventSetEvents> natives;
-    /// One entry per PMU type normally; one per event when multiplexed
-    /// (each event becomes its own group leader so the kernel can
-    /// rotate), hence sized for the worst case.
-    FixedVector<PmuGroup, kMaxEventSetEvents> groups;
-    std::vector<UserEvent> user_events;
-    /// Cached collect() fan-out + value scratch (mutable: collect() is
-    /// logically const). Invalidated by any group-layout change
-    /// (open_slot / close_all, hence add/remove/attach/multiplex).
-    mutable bool read_plan_valid = false;
-    mutable std::vector<ReadPlanEntry> read_plan;
-    mutable std::vector<std::size_t> plan_members;
-    mutable std::vector<double> native_scratch;
-  };
-
-  EventSet* find_set(int eventset);
-  const EventSet* find_set(int eventset) const;
-
-  Component component_for(const pfm::ActivePmu& pmu) const;
-
-  /// Resolve + open one native event into the set (grouping rules
-  /// applied). On failure the set is unchanged.
-  Status add_native(EventSet& set, const pfm::Encoding& enc,
-                    UserEvent& user, int sign = 1);
+  EventSetCore* find_set(int eventset);
+  const EventSetCore* find_set(int eventset) const;
 
   /// Expand a custom (file-defined) preset into the set.
-  Status add_custom_preset(EventSet& set, const CustomPresetDef& first_def,
-                           std::string_view name);
-
-  Status open_slot(EventSet& set, std::size_t native_idx);
-  Status close_all(EventSet& set);
-  Status reopen_all(EventSet& set);
-
-  /// Undo a partially applied multi-native add: drop every native slot
-  /// beyond `natives_before`, close all fds (the group bookkeeping may
-  /// reference the dropped slots) and rebuild the survivors.
-  Status rollback_natives(EventSet& set, std::size_t natives_before);
-
-  /// (Re)build `set.read_plan` from the current group layout.
-  void build_read_plan(const EventSet& set) const;
-
-  Expected<std::vector<long long>> collect(const EventSet& set) const;
+  Status add_custom_preset(EventSetCore& set, std::string_view name);
 
   Backend* backend_;
   LibraryConfig config_;
   pfm::PfmLibrary pfm_;
   PresetDefinitionFile custom_presets_;
   HardwareInfo hwinfo_;
-  std::vector<std::unique_ptr<EventSet>> sets_;
+  ComponentRegistry registry_;
+  ComponentLocks locks_;
+  std::vector<std::unique_ptr<EventSetCore>> sets_;
   int next_set_id_ = 0;
-  /// "PAPI only allows one EventSet to be active per component at a
-  /// time" (per measured thread) — the constraint that defeats the
-  /// two-EventSet workaround (§IV-E). Key: (component, target tid);
-  /// value: the running EventSet id. Package-scope components (RAPL,
-  /// legacy uncore) are genuinely global, keyed with kInvalidTid.
-  std::map<std::pair<int, Tid>, int> running_sets_;
-
-  /// The lock key an EventSet's use of `component` takes: per measured
-  /// thread (or per attached cpu); package-scope components are global.
-  static std::pair<int, Tid> component_key(Component component,
-                                           const EventSet& set) {
-    const bool package_scope = component != Component::kPerfEvent;
-    Tid scope = set.target;
-    if (set.target_cpu >= 0) scope = -1000 - set.target_cpu;
-    if (package_scope) scope = simkernel::kInvalidTid;
-    return {static_cast<int>(component), scope};
-  }
 };
 
 }  // namespace hetpapi::papi

@@ -22,6 +22,25 @@ SysdetectReport build_sysdetect_report(const pfm::Host& host,
   return report;
 }
 
+SysdetectReport build_sysdetect_report(const pfm::Host& host,
+                                       const pfm::PfmLibrary& pfm,
+                                       const ComponentRegistry& registry) {
+  SysdetectReport report = build_sysdetect_report(host, pfm);
+  for (const auto& component : registry.components()) {
+    ComponentAvailInfo info;
+    info.name = std::string(component->name());
+    info.scope = component->scope();
+    info.caps = component->caps();
+    for (const pfm::ActivePmu& pmu : pfm.pmus()) {
+      if (registry.component_for(pmu) == component.get()) {
+        info.pmus.push_back(pmu.table->pfm_name);
+      }
+    }
+    report.components.push_back(std::move(info));
+  }
+  return report;
+}
+
 std::string SysdetectReport::to_text() const {
   std::string out;
   out += "=== sysdetect report ===\n";
@@ -42,6 +61,23 @@ std::string SysdetectReport::to_text() const {
                       pmu.perf_type, pmu.is_core ? "core PMU, " : "",
                       pmu.num_events,
                       pmu.cpus.empty() ? "all" : format_cpulist(pmu.cpus).c_str());
+  }
+  if (!components.empty()) {
+    out += "Components:\n";
+    for (const ComponentAvailInfo& comp : components) {
+      std::string pmu_list;
+      for (const std::string& pmu : comp.pmus) {
+        if (!pmu_list.empty()) pmu_list += ",";
+        pmu_list += pmu;
+      }
+      out += str_format("  %-18s scope %-8s caps [%s%s%s] pmus: %s\n",
+                        comp.name.c_str(),
+                        std::string(to_string(comp.scope)).c_str(),
+                        comp.caps.rdpmc ? " rdpmc" : "",
+                        comp.caps.overflow ? " overflow" : "",
+                        comp.caps.multiplex ? " multiplex" : "",
+                        pmu_list.empty() ? "(none)" : pmu_list.c_str());
+    }
   }
   return out;
 }

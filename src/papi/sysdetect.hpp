@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "papi/component.hpp"
 #include "papi/detect.hpp"
 #include "pfm/pfmlib.hpp"
 
@@ -21,9 +22,21 @@ struct PmuDeviceInfo {
   int num_events = 0;
 };
 
+/// One row of the papi_component_avail-style listing.
+struct ComponentAvailInfo {
+  std::string name;
+  ComponentScope scope = ComponentScope::kThread;
+  ComponentCaps caps;
+  /// Active PMUs served by this component.
+  std::vector<std::string> pmus;
+};
+
 struct SysdetectReport {
   HardwareInfo hardware;
   std::vector<PmuDeviceInfo> pmus;
+  /// Registered components (empty when the report was built without a
+  /// registry).
+  std::vector<ComponentAvailInfo> components;
 
   /// Render as the papi_sysdetect-style text report.
   std::string to_text() const;
@@ -31,5 +44,11 @@ struct SysdetectReport {
 
 SysdetectReport build_sysdetect_report(const pfm::Host& host,
                                        const pfm::PfmLibrary& pfm);
+
+/// Overload that also walks a component registry, filling the
+/// `components` section the way papi_component_avail reports them.
+SysdetectReport build_sysdetect_report(const pfm::Host& host,
+                                       const pfm::PfmLibrary& pfm,
+                                       const ComponentRegistry& registry);
 
 }  // namespace hetpapi::papi

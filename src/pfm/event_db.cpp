@@ -271,6 +271,7 @@ PmuTable make_rapl() {
   t.description = "Intel RAPL energy counters";
   t.match = MatchKind::kSysfsName;
   t.sysfs_names = {"power"};
+  t.component = "rapl";
   t.events.push_back(simple("RAPL_ENERGY_PKG", CountKind::kEnergyPkgUj,
                             "Package domain energy (uJ)"));
   t.events.push_back(simple("RAPL_ENERGY_CORES", CountKind::kEnergyCoresUj,
@@ -286,6 +287,7 @@ PmuTable make_unc_imc() {
   t.description = "Integrated memory controller uncore";
   t.match = MatchKind::kSysfsName;
   t.sysfs_names = {"uncore_imc_0"};
+  t.component = "uncore";
   EventDesc cas;
   cas.name = "UNC_M_CAS_COUNT";
   cas.description = "DRAM CAS commands";
@@ -313,6 +315,26 @@ PmuTable make_perf_sw() {
   return t;
 }
 
+PmuTable make_sysinfo() {
+  // Software table for the sysinfo component: readings served from
+  // procfs/sysfs, no kernel PMU behind them — so it binds
+  // unconditionally instead of matching a /sys/devices entry. The
+  // CountKinds are nominal; the component keys its readers on the event
+  // names and never opens a perf event.
+  PmuTable t;
+  t.pfm_name = "sysinfo";
+  t.description = "System information readings (procfs/sysfs)";
+  t.match = MatchKind::kAlways;
+  t.component = "sysinfo";
+  t.events.push_back(simple("SYS_CTX_SWITCHES", CountKind::kContextSwitches,
+                            "System-wide context switches (/proc/stat)"));
+  t.events.push_back(simple("SYS_CPU_TIME_MS", CountKind::kTaskClockNs,
+                            "Aggregate busy cpu time in ms (/proc/stat)"));
+  t.events.push_back(simple("PKG_TEMP_MC", CountKind::kCycles,
+                            "Package temperature in millidegrees C"));
+  return t;
+}
+
 }  // namespace
 
 const std::vector<PmuTable>& all_tables() {
@@ -320,7 +342,7 @@ const std::vector<PmuTable>& all_tables() {
       make_adl_glc(), make_adl_grt(), make_skx(),    make_srf(),
       make_gnr(),     make_arm_a72(), make_arm_a53(), make_arm_x1(),
       make_arm_a78(), make_arm_a55(), make_rapl(),    make_unc_imc(),
-      make_perf_sw(),
+      make_perf_sw(), make_sysinfo(),
   };
   return tables;
 }

@@ -39,6 +39,7 @@ struct EventDesc {
 enum class MatchKind {
   kSysfsName,  // match /sys/devices/<name> directly (x86)
   kArmMidr,    // match the MIDR part number of the PMU's cpus (ARM)
+  kAlways,     // software table, no kernel device — always binds
 };
 
 struct PmuTable {
@@ -59,6 +60,11 @@ struct PmuTable {
   /// Core PMUs are eligible to be *default* PMUs (searched when an event
   /// name has no pmu:: prefix) — §IV-D.
   bool is_core = false;
+  /// Which measurement component serves this PMU's events (the
+  /// framework/components split; see papi/component.hpp). Core,
+  /// software and cache PMUs belong to "perf_event"; others name their
+  /// own component.
+  std::string component = "perf_event";
   std::vector<EventDesc> events;
 
   const EventDesc* find_event(std::string_view name) const;

@@ -80,6 +80,22 @@ Status PfmLibrary::initialize(const Host& host, Config config) {
   if (active_.empty()) {
     return make_error(StatusCode::kNotFound, "no recognizable PMU found");
   }
+
+  // Bind the software tables (MatchKind::kAlways): they have no kernel
+  // device, so they activate unconditionally once a real PMU proved the
+  // sysfs surface is alive. Their perf_type is synthetic — software
+  // components never pass it to perf_event_open.
+  std::uint32_t software_type = 0xFFFF0000u;
+  for (const PmuTable& table : all_tables()) {
+    if (table.match != MatchKind::kAlways) continue;
+    ActivePmu active;
+    active.table = &table;
+    active.perf_type = software_type++;
+    active.sysfs_name = "(software)";
+    active.is_core = table.is_core;
+    active_.push_back(std::move(active));
+  }
+
   initialized_ = true;
   return Status::ok();
 }
@@ -139,6 +155,9 @@ Status PfmLibrary::bind_pmu(const Host& host, const std::string& sysfs_name) {
         }
         break;
       }
+      case MatchKind::kAlways:
+        // Software tables bind after the device scan, not to a device.
+        break;
     }
     if (matched != nullptr) break;
   }

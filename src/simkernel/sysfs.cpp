@@ -222,6 +222,30 @@ Expected<std::string> SimKernel::sysfs_read(std::string_view path) const {
       }
     }
   }
+  if (p == "/proc/stat") {
+    // Minimal /proc/stat: the aggregate "cpu" jiffies line (USER_HZ=100)
+    // and the system-wide context-switch count, both derived from the
+    // scheduler's ground truth — what the sysinfo component consumes.
+    std::uint64_t busy_ns = 0;
+    std::uint64_t ctxt = 0;
+    for (const auto& [tid, thread] : threads_) {
+      busy_ns +=
+          static_cast<std::uint64_t>(thread.truth.total_cpu_time.count());
+      ctxt += thread.truth.context_switches;
+    }
+    const std::uint64_t busy_jiffies = busy_ns / std::uint64_t{10'000'000};
+    const std::uint64_t wall_jiffies =
+        static_cast<std::uint64_t>(now_.since_epoch.count()) /
+        std::uint64_t{10'000'000} *
+        static_cast<std::uint64_t>(machine_.num_cpus());
+    const std::uint64_t idle_jiffies =
+        wall_jiffies > busy_jiffies ? wall_jiffies - busy_jiffies : 0;
+    return str_format(
+        "cpu  %llu 0 0 %llu 0 0 0 0 0 0\nctxt %llu\n",
+        static_cast<unsigned long long>(busy_jiffies),
+        static_cast<unsigned long long>(idle_jiffies),
+        static_cast<unsigned long long>(ctxt));
+  }
   if (p == "/sys/class/powercap/intel-rapl:0/energy_uj" &&
       machine_.rapl.present) {
     // Wraps at max_energy_range_uj = 2^32-1, like the hardware register;

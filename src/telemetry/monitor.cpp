@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "base/log.hpp"
+#include "papi/sim_backend.hpp"
 
 namespace hetpapi::telemetry {
 
@@ -41,8 +45,41 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
     tids.push_back(tid);
   }
 
+  // Optional per-sample PAPI counters: a measurement Library (and with
+  // it the whole component registry) over the same kernel, attached to
+  // the master worker. Reads genuinely perturb the measured thread via
+  // the call-overhead model, exactly like a caliper would.
+  papi::SimBackend papi_backend(&kernel);
+  std::unique_ptr<papi::Library> papi_lib;
+  int papi_set = -1;
+  if (!monitor_config.sample_events.empty()) {
+    if (auto lib = papi::Library::init(&papi_backend)) {
+      papi_lib = std::move(*lib);
+      bool ok = false;
+      if (auto set = papi_lib->create_eventset()) {
+        papi_set = *set;
+        ok = papi_lib->attach(papi_set, tids.front()).is_ok();
+        for (const std::string& event : monitor_config.sample_events) {
+          if (!ok) break;
+          const Status added = papi_lib->add_event(papi_set, event);
+          if (!added.is_ok()) {
+            HETPAPI_WARN << "monitor: cannot sample " << event << ": "
+                         << added.to_string();
+            ok = false;
+          }
+        }
+        if (ok) ok = papi_lib->start(papi_set).is_ok();
+      }
+      if (!ok) papi_lib.reset();
+    }
+  }
+
   Sampler sampler(&kernel);
   sampler.reset();
+  if (papi_lib) {
+    sampler.attach_counters(papi_lib.get(), papi_set);
+    result.counter_names = monitor_config.sample_events;
+  }
   const SimTime start = kernel.now();
   result.samples.push_back(sampler.sample());  // t=0 baseline
 
@@ -62,6 +99,8 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
       next_sample += period;
     }
   }
+
+  if (papi_lib) (void)papi_lib->stop(papi_set);
 
   result.elapsed = kernel.now() - start;
   result.gflops = hpl.gflops(result.elapsed).value;
@@ -83,6 +122,7 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
 RunResult average_runs(const std::vector<RunResult>& runs) {
   RunResult avg;
   if (runs.empty()) return avg;
+  avg.counter_names = runs.front().counter_names;
   std::size_t min_samples = runs.front().samples.size();
   for (const RunResult& run : runs) {
     min_samples = std::min(min_samples, run.samples.size());
@@ -98,6 +138,8 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
     out.package_temp_c = 0.0;
     out.package_power_w = 0.0;
     out.board_power_w = 0.0;
+    const std::size_t num_counters = out.counters.size();
+    out.counters.assign(num_counters, 0.0);
     out.t_seconds = runs.front().samples[i].t_seconds -
                     runs.front().samples.front().t_seconds;
     int power_count = 0;
@@ -108,6 +150,9 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
       }
       out.package_temp_c += s.package_temp_c * inv_n;
       out.board_power_w += s.board_power_w * inv_n;
+      for (std::size_t c = 0; c < num_counters && c < s.counters.size(); ++c) {
+        out.counters[c] += s.counters[c] * inv_n;
+      }
       if (!std::isnan(s.package_power_w)) {
         out.package_power_w += s.package_power_w;
         ++power_count;

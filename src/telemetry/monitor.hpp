@@ -14,6 +14,9 @@ namespace hetpapi::telemetry {
 
 struct RunResult {
   std::vector<Sample> samples;
+  /// Display names of the per-sample PAPI counters (one per
+  /// Sample::counters slot); empty when no events were sampled.
+  std::vector<std::string> counter_names;
   SimDuration elapsed{0};
   double gflops = 0.0;
   std::uint64_t spin_instructions = 0;
@@ -31,6 +34,12 @@ struct MonitorConfig {
   double settle_timeout_s = 600.0;
   /// Abandon a run that exceeds this much simulated time.
   double run_timeout_s = 3600.0;
+  /// PAPI events to read at every sample (presets, natives or sysinfo
+  /// events — anything the component registry serves). When non-empty
+  /// the monitor builds a measurement Library over the kernel, attaches
+  /// an EventSet to the master worker and fills Sample::counters.
+  /// Default empty: telemetry output is byte-identical to before.
+  std::vector<std::string> sample_events;
 };
 
 /// Run one monitored HPL execution: one worker thread pinned to each cpu

@@ -19,6 +19,11 @@ Sampler::Sampler(const simkernel::SimKernel* kernel) : kernel_(kernel) {
   has_rapl_ = machine.rapl.present;
 }
 
+void Sampler::attach_counters(const papi::Library* library, int eventset) {
+  library_ = library;
+  eventset_ = eventset;
+}
+
 void Sampler::reset() {
   have_baseline_ = false;
   last_energy_raw_ = 0;
@@ -94,6 +99,15 @@ Sample Sampler::sample() {
   const cpumodel::BoardPowerMeter meter(Watts{2.6}, 0.82);
   s.board_power_w =
       meter.reading(kernel_->governor().package_power()).value;
+
+  if (library_ != nullptr) {
+    if (const auto values = library_->read(eventset_)) {
+      s.counters.reserve(values->size());
+      for (const long long v : *values) {
+        s.counters.push_back(static_cast<double>(v));
+      }
+    }
+  }
   return s;
 }
 

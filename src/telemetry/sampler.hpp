@@ -10,6 +10,7 @@
 
 #include "base/status.hpp"
 #include "base/units.hpp"
+#include "papi/library.hpp"
 #include "simkernel/kernel.hpp"
 
 namespace hetpapi::telemetry {
@@ -23,11 +24,19 @@ struct Sample {
   double package_power_w = 0.0;
   /// Wall-meter reading (board power; ARM path, Figure 3).
   double board_power_w = 0.0;
+  /// PAPI counter readings (one per sampled event, in add order) when a
+  /// running EventSet is attached via attach_counters; empty otherwise.
+  std::vector<double> counters;
 };
 
 class Sampler {
  public:
   explicit Sampler(const simkernel::SimKernel* kernel);
+
+  /// Also read `eventset` (already created and started on `library`) at
+  /// every sample — the monitor's path from telemetry into the
+  /// component registry. Pass nullptr to detach.
+  void attach_counters(const papi::Library* library, int eventset);
 
   /// Take one sample at the kernel's current time.
   Sample sample();
@@ -39,6 +48,8 @@ class Sampler {
   std::optional<double> read_energy_uj();
 
   const simkernel::SimKernel* kernel_;
+  const papi::Library* library_ = nullptr;
+  int eventset_ = -1;
   std::string temp_path_;
   bool has_rapl_ = false;
   /// Wrap handling for the 32-bit microjoule register.

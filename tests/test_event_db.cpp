@@ -77,6 +77,14 @@ TEST(EventDb, MatchMetadataIsCoherent) {
         EXPECT_FALSE(table.arm_parts.empty()) << table.pfm_name;
         EXPECT_TRUE(table.intel_models.empty()) << table.pfm_name;
         break;
+      case MatchKind::kAlways:
+        // Software tables bind unconditionally; they must not carry
+        // device-matching metadata that would never be consulted.
+        EXPECT_TRUE(table.sysfs_names.empty()) << table.pfm_name;
+        EXPECT_TRUE(table.arm_parts.empty()) << table.pfm_name;
+        EXPECT_TRUE(table.intel_models.empty()) << table.pfm_name;
+        EXPECT_FALSE(table.is_core) << table.pfm_name;
+        break;
     }
   }
 }

@@ -145,5 +145,51 @@ TEST(LinuxBackend, UnknownKindMappingsAreRejected) {
   EXPECT_EQ(fd.status().code(), StatusCode::kNotSupported);
 }
 
+TEST(LinuxBackend, SysinfoComponentReadsTheRealProcfs) {
+  LinuxBackend backend;
+  auto lib = papi::Library::init(&backend);
+  if (!lib.has_value()) {
+    GTEST_SKIP() << "library init unavailable on this host: "
+                 << lib.status().to_string();
+  }
+
+  // The real-kernel backend refuses the sim-only components; sysinfo
+  // reads live procfs and is always there.
+  EXPECT_NE((*lib)->registry().find("sysinfo"), nullptr);
+  EXPECT_EQ((*lib)->registry().find("rapl"), nullptr);
+  EXPECT_EQ((*lib)->registry().find("perf_event_uncore"), nullptr);
+
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE(set.has_value());
+  ASSERT_TRUE(
+      (*lib)->add_event(*set, "sysinfo::SYS_CTX_SWITCHES").is_ok());
+  ASSERT_TRUE((*lib)->add_event(*set, "sysinfo::SYS_CPU_TIME_MS").is_ok());
+  ASSERT_TRUE((*lib)->start(*set).is_ok());
+  burn_cpu_ms(30);
+  auto values = (*lib)->stop(*set);
+  ASSERT_TRUE(values.has_value()) << values.status().to_string();
+  ASSERT_EQ(values->size(), 2u);
+  EXPECT_GE((*values)[0], 0) << "context switches since start";
+  EXPECT_GT((*values)[1], 0) << "system-wide busy time while burning cpu";
+
+  // The package thermal zone is host-dependent (absent on headless VMs);
+  // either it opens and reads a plausible temperature, or add_event
+  // fails cleanly with kNotSupported and rolls back.
+  auto temp_set = (*lib)->create_eventset();
+  ASSERT_TRUE(temp_set.has_value());
+  const Status added = (*lib)->add_event(*temp_set, "sysinfo::PKG_TEMP_MC");
+  if (added.is_ok()) {
+    ASSERT_TRUE((*lib)->start(*temp_set).is_ok());
+    auto temp = (*lib)->stop(*temp_set);
+    ASSERT_TRUE(temp.has_value());
+    EXPECT_GT((*temp)[0], 0);
+  } else {
+    EXPECT_EQ(added.code(), StatusCode::kNotSupported);
+    auto info = (*lib)->eventset_info(*temp_set);
+    ASSERT_TRUE(info.has_value());
+    EXPECT_TRUE(info->empty()) << "failed add must roll back";
+  }
+}
+
 }  // namespace
 }  // namespace hetpapi

@@ -147,6 +147,32 @@ TEST(Monitor, AverageRunsHandlesNanPower) {
       << "NaN samples are excluded from the power average";
 }
 
+TEST(Monitor, SampleEventsFillPerSampleCounters) {
+  // The monitor builds a measurement Library over the same kernel when
+  // sample_events is set: every Sample carries one counter value per
+  // requested event (preset, native or sysinfo — whatever the component
+  // registry serves).
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(machine, config);
+  MonitorConfig monitor;
+  monitor.sample_events = {"PAPI_TOT_INS", "sysinfo::SYS_CPU_TIME_MS"};
+  const std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const RunResult run = run_monitored_hpl(
+      kernel, workload::HplConfig::openblas(13824, 192), cpus, monitor);
+  EXPECT_EQ(run.counter_names, monitor.sample_events);
+  ASSERT_GE(run.samples.size(), 2u);
+  for (const Sample& s : run.samples) {
+    ASSERT_EQ(s.counters.size(), 2u);
+  }
+  const Sample& last = run.samples.back();
+  EXPECT_GT(last.counters[0], 0.0) << "master worker retired instructions";
+  EXPECT_GT(last.counters[1], 0.0) << "system-wide busy time advanced";
+  EXPECT_GE(last.counters[0], run.samples[1].counters[0])
+      << "counters are monotonic across samples";
+}
+
 TEST(Monitor, RepeatedMonitoredRunsAreConsistent) {
   // Two repetitions of the same short HPL run with a settle in between
   // (the paper's N-run protocol) should agree closely on Gflops.

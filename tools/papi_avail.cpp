@@ -52,6 +52,15 @@ int main(int argc, char** argv) {
   for (const pfm::ActivePmu* pmu : (*lib)->pfm().default_pmus()) {
     std::printf(" %s", pmu->table->pfm_name.c_str());
   }
+  std::printf("\n");
+
+  // papi_component_avail's one-liner: which measurement components the
+  // library registered against this backend.
+  std::printf("components:");
+  for (const auto& component : (*lib)->registry().components()) {
+    std::printf(" %s(%s)", std::string(component->name()).c_str(),
+                std::string(to_string(component->scope())).c_str());
+  }
   std::printf("\n\n");
 
   const auto available = (*lib)->available_presets();
