@@ -79,6 +79,40 @@ void BM_Read_TwoGroups_Hybrid(benchmark::State& state) {
 }
 BENCHMARK(BM_Read_TwoGroups_Hybrid);
 
+void BM_Read_DerivedPreset_Hybrid(benchmark::State& state) {
+  // One preset that expands to a native per core PMU; read() folds the
+  // constituents into a single transparent sum (§V-2).
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"});
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_DerivedPreset_Hybrid);
+
+void BM_ReadQualified_DerivedPreset_Hybrid(benchmark::State& state) {
+  // The qualified read keeps the per-PMU constituents instead of folding
+  // them away — this is the extra summation/bookkeeping indirection the
+  // per-core-type breakdown costs over read().
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"});
+  for (auto _ : state) {
+    auto readings = f.lib->read_qualified(f.set);
+    benchmark::DoNotOptimize(readings);
+  }
+}
+BENCHMARK(BM_ReadQualified_DerivedPreset_Hybrid);
+
+void BM_ReadQualified_SinglePmu(benchmark::State& state) {
+  // Breakdown structure on a non-derived set: one constituent per slot,
+  // so this isolates the allocation cost of the qualified result shape.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"});
+  for (auto _ : state) {
+    auto readings = f.lib->read_qualified(f.set);
+    benchmark::DoNotOptimize(readings);
+  }
+}
+BENCHMARK(BM_ReadQualified_SinglePmu);
+
 void BM_Read_ThreeGroups_HybridPlusUncore(benchmark::State& state) {
   Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
              "unc_imc_0::UNC_M_CAS_COUNT:RD"});

@@ -74,6 +74,28 @@ int main(int argc, char** argv) {
                    pct_change(openblas.gflops, intel.gflops)});
   }
   std::printf("%s", table.render().c_str());
+
+  // Per-core-type split of the same runs (§V-2's reporting): where the
+  // retired instructions actually executed, per PMU/core type — the
+  // breakdown the derived-preset qualified read exposes at the API level.
+  std::printf("\nTable II (split by core type): instructions retired\n");
+  std::vector<std::string> split_header = {"Enabled cores", "Variant"};
+  for (const auto& type : machine.core_types) {
+    split_header.push_back(type.name + " (" + type.pfm_pmu_name + ")");
+  }
+  TextTable split(split_header);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> cells_row = {rows[i / 2].label,
+                                          i % 2 == 0 ? "OpenBLAS" : "Intel"};
+    for (std::size_t t = 0; t < machine.core_types.size(); ++t) {
+      const std::uint64_t ins = t < results[i].counts_per_type.size()
+                                    ? results[i].counts_per_type[t].instructions
+                                    : 0;
+      cells_row.push_back(str_format("%.3fe9", static_cast<double>(ins) / 1e9));
+    }
+    split.add_row(std::move(cells_row));
+  }
+  std::printf("%s", split.render().c_str());
   recorder.write();
   return 0;
 }

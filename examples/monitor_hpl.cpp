@@ -2,6 +2,9 @@
 //
 //   monitor_hpl [--machine raptorlake|orangepi] [--variant openblas|intel]
 //               [--cores <cpulist>] [--n <size>] [--runs <count>]
+//               [--events <comma-list>]    (PAPI events read per sample)
+//               [--per-core-type yes]      (split each sampled event into
+//                                           its per-core-PMU constituents)
 //               [--out <dir>]    (write per-run and averaged CSVs, the
 //                                 raw-data layout of the paper's artifact)
 //
@@ -27,6 +30,8 @@ int main(int argc, char** argv) {
   std::string variant = "openblas";
   std::string cores;
   std::string out_dir;
+  std::string events;
+  bool per_core_type = false;
   int n = 0;
   int runs = 3;
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -38,6 +43,9 @@ int main(int argc, char** argv) {
     else if (flag == "--n") n = static_cast<int>(*parse_int(value));
     else if (flag == "--runs") runs = static_cast<int>(*parse_int(value));
     else if (flag == "--out") out_dir = value;
+    else if (flag == "--events") events = value;
+    else if (flag == "--per-core-type")
+      per_core_type = std::string_view(value) == "yes";
   }
 
   const cpumodel::MachineSpec machine = machine_name == "orangepi"
@@ -75,9 +83,17 @@ int main(int argc, char** argv) {
   config.tick = std::chrono::milliseconds(1);
   simkernel::SimKernel kernel(machine, config);
   telemetry::MonitorConfig monitor;
+  if (!events.empty()) {
+    for (const std::string_view event : split(events, ',')) {
+      monitor.sample_events.emplace_back(trim(event));
+    }
+    monitor.per_core_type_counters = per_core_type;
+  }
 
   // CSV writer shared by per-run and averaged outputs (one row per
-  // sample: t, per-cpu MHz, temp, rapl W, wall W).
+  // sample: t, per-cpu MHz, temp, rapl W, wall W, then one column per
+  // sampled PAPI event — each followed by its per-core-PMU constituent
+  // columns when --per-core-type is on).
   const auto write_csv = [&](const std::string& path,
                              const telemetry::RunResult& result) {
     std::ofstream out(path);
@@ -85,12 +101,30 @@ int main(int argc, char** argv) {
     for (int cpu = 0; cpu < machine.num_cpus(); ++cpu) {
       out << ",cpu" << cpu << "_mhz";
     }
-    out << ",temp_c,rapl_w,wall_w\n";
+    out << ",temp_c,rapl_w,wall_w";
+    for (std::size_t e = 0; e < result.counter_names.size(); ++e) {
+      out << "," << result.counter_names[e];
+      if (e < result.counter_part_names.size()) {
+        for (const std::string& part : result.counter_part_names[e]) {
+          out << "," << part;
+        }
+      }
+    }
+    out << "\n";
     for (const telemetry::Sample& sample : result.samples) {
       out << sample.t_seconds;
       for (const double mhz : sample.core_freq_mhz) out << "," << mhz;
       out << "," << sample.package_temp_c << "," << sample.package_power_w
-          << "," << sample.board_power_w << "\n";
+          << "," << sample.board_power_w;
+      for (std::size_t e = 0; e < sample.counters.size(); ++e) {
+        out << "," << sample.counters[e];
+        if (e < sample.counter_parts.size()) {
+          for (const double part : sample.counter_parts[e]) {
+            out << "," << part;
+          }
+        }
+      }
+      out << "\n";
     }
   };
   if (!out_dir.empty()) std::filesystem::create_directories(out_dir);

@@ -49,11 +49,11 @@ class LinuxBackend final : public papi::Backend {
 
   const pfm::Host& host() const override { return host_; }
 
-  /// RAPL and uncore translation are out of scope for the port (they
-  /// need root and machine-specific PMUs); sysinfo reads plain procfs
-  /// and works anywhere.
+  /// RAPL translation is out of scope for the port (it needs root and
+  /// machine-specific MSRs); sysinfo reads plain procfs and works
+  /// anywhere.
   bool supports_component(std::string_view name) const override {
-    return name != "rapl" && name != "perf_event_uncore";
+    return name != "rapl";
   }
 
   /// 0 = "calling thread" in the real syscall ABI.

@@ -1,0 +1,69 @@
+#include "papi/avail_report.hpp"
+
+#include <algorithm>
+
+#include "base/strings.hpp"
+#include "base/table.hpp"
+
+namespace hetpapi::papi {
+
+namespace {
+
+/// "adl_glc[intel_core]" on hybrid machines, bare PMU name when no core
+/// type is attributable (non-core PMU, homogeneous fallback label).
+std::string labelled_pmu(const Library& lib, const pfm::ActivePmu& pmu) {
+  const std::string label = lib.core_type_for_pmu(pmu.table->pfm_name);
+  if (label.empty()) return pmu.table->pfm_name;
+  return pmu.table->pfm_name + "[" + label + "]";
+}
+
+}  // namespace
+
+std::string render_avail_report(const Library& lib,
+                                std::string_view machine_name,
+                                std::string_view policy_name) {
+  std::string out;
+  out += str_format("Available PAPI preset events on %s (policy: %s)\n",
+                    std::string(machine_name).c_str(),
+                    std::string(policy_name).c_str());
+  out += str_format("hybrid: %s; core PMUs:",
+                    lib.hardware_info().hybrid ? "yes" : "no");
+  for (const pfm::ActivePmu* pmu : lib.pfm().default_pmus()) {
+    out += " " + labelled_pmu(lib, *pmu);
+  }
+  out += "\n";
+
+  // papi_component_avail's one-liner: which measurement components the
+  // library registered against this backend.
+  out += "components:";
+  for (const auto& component : lib.registry().components()) {
+    out += str_format(" %s(%s)", std::string(component->name()).c_str(),
+                      std::string(to_string(component->scope())).c_str());
+  }
+  out += "\n\n";
+
+  const auto available = lib.available_presets();
+  const auto is_available = [&](const std::string& name) {
+    return std::find(available.begin(), available.end(), name) !=
+           available.end();
+  };
+
+  TextTable table({"preset", "avail", "description", "expands to"});
+  for (const PresetDef& preset : preset_table()) {
+    std::string expansion;
+    for (const pfm::ActivePmu* pmu : lib.pfm().default_pmus()) {
+      const auto native = native_for_kind(*pmu->table, preset.kind);
+      if (!expansion.empty()) expansion += " + ";
+      expansion += labelled_pmu(lib, *pmu) +
+                   "::" + (native ? *native : std::string("<none>"));
+    }
+    table.add_row({preset.name, is_available(preset.name) ? "yes" : "no",
+                   preset.description, expansion});
+  }
+  out += table.render();
+  out += str_format("\n%zu of %zu presets available\n", available.size(),
+                    preset_table().size());
+  return out;
+}
+
+}  // namespace hetpapi::papi

@@ -1,0 +1,21 @@
+// papi_avail rendering, factored out of the tool so the report is
+// golden-testable in-process: preset availability plus the hybrid
+// expansion, with every core PMU labelled by its detected core type
+// (§V-2's per-core-type reporting surface).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "papi/library.hpp"
+
+namespace hetpapi::papi {
+
+/// Render the papi_avail report against an initialized library.
+/// `machine_name` and `policy_name` only feed the header line — the
+/// availability itself comes from the library's backend and config.
+std::string render_avail_report(const Library& lib,
+                                std::string_view machine_name,
+                                std::string_view policy_name);
+
+}  // namespace hetpapi::papi

@@ -4,7 +4,6 @@
 #include "papi/components/perf_core.hpp"
 #include "papi/components/rapl.hpp"
 #include "papi/components/sysinfo.hpp"
-#include "papi/components/uncore.hpp"
 
 namespace hetpapi::papi {
 
@@ -19,13 +18,9 @@ Status register_builtin_components(ComponentRegistry& registry,
     HETPAPI_RETURN_IF_ERROR(
         registry.register_component(std::make_unique<RaplComponent>(env)));
   }
-  // With unified_uncore the uncore PMUs are served by perf_event and the
-  // legacy exclusive component is simply never registered.
-  if (!env.config->unified_uncore &&
-      backend.supports_component("perf_event_uncore")) {
-    HETPAPI_RETURN_IF_ERROR(
-        registry.register_component(std::make_unique<UncoreComponent>(env)));
-  }
+  // §V-3, completed: uncore PMUs are served by perf_event outright, so
+  // uncore events fold into ordinary mixed EventSets. The historical
+  // exclusive perf_event_uncore component is retired.
   if (backend.supports_component("sysinfo")) {
     HETPAPI_RETURN_IF_ERROR(
         registry.register_component(std::make_unique<SysinfoComponent>(env)));

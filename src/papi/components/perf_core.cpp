@@ -4,9 +4,9 @@ namespace hetpapi::papi {
 
 bool PerfCoreComponent::serves(const pfm::ActivePmu& pmu) const {
   if (pmu.table->component == "perf_event") return true;
-  // §V-3: with unified uncore the separate component disappears and
-  // uncore PMUs join ordinary EventSets.
-  return env_.config->unified_uncore && pmu.table->component == "uncore";
+  // §V-3: the separate uncore component is retired; uncore PMUs join
+  // ordinary EventSets through this component.
+  return pmu.table->component == "uncore";
 }
 
 Expected<PerfCoreComponent::Binding> PerfCoreComponent::bind(

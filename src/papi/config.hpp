@@ -23,9 +23,6 @@ inline constexpr std::size_t kMaxPmuGroups = 8;
 struct LibraryConfig {
   /// The paper's contribution on/off switch.
   bool hybrid_support = true;
-  /// §V-3: fold uncore events into ordinary EventSets instead of the
-  /// historical separate component.
-  bool unified_uncore = true;
   PresetPolicy preset_policy = PresetPolicy::kDerivedSum;
   pfm::PfmLibrary::Config pfm{};
   /// Instructions charged to the measured thread per start/stop/read
@@ -49,6 +46,30 @@ struct EventInfo {
   std::string display_name;       // what the user added
   bool is_preset = false;
   std::vector<std::string> native_names;  // canonical constituent events
+};
+
+/// One constituent of a qualified (per-PMU) read: the raw value the
+/// native event counted on its PMU, before derived summation.
+struct QualifiedValue {
+  std::string native_name;  // canonical, e.g. "adl_glc::INST_RETIRED:ANY"
+  std::string pmu_name;     // pfm table name, e.g. "adl_glc"
+  /// Detected core-type label serving this PMU ("intel_core",
+  /// "capacity-1024", ...); empty for non-core PMUs (rapl, uncore,
+  /// software).
+  std::string core_type;
+  /// +1 / -1 weight this constituent contributes to the derived total.
+  int sign = 1;
+  long long value = 0;
+};
+
+/// PAPI_read_qualified-style result for one user event: the transparent
+/// derived total (identical to what read() returns for the slot) plus
+/// the per-PMU breakdown it was summed from (§V-2).
+struct QualifiedReading {
+  std::string display_name;
+  bool is_preset = false;
+  long long total = 0;
+  std::vector<QualifiedValue> parts;
 };
 
 /// PAPI_overflow delivery: which user event of which EventSet crossed

@@ -195,4 +195,32 @@ Expected<HardwareInfo> get_hardware_info(const pfm::Host& host) {
   return info;
 }
 
+std::string core_type_label(const DetectionResult& detection,
+                            const std::vector<int>& pmu_cpus) {
+  if (detection.core_types.empty()) return "";
+  if (pmu_cpus.empty()) {
+    // "All cpus" is only unambiguous when there is one type to name.
+    return detection.core_types.size() == 1 ? detection.core_types[0].label
+                                            : "";
+  }
+  const DetectedCoreType* best = nullptr;
+  std::size_t best_overlap = 0;
+  for (const DetectedCoreType& type : detection.core_types) {
+    std::size_t overlap = 0;
+    for (const int cpu : pmu_cpus) {
+      for (const int type_cpu : type.cpus) {
+        if (cpu == type_cpu) {
+          ++overlap;
+          break;
+        }
+      }
+    }
+    if (overlap > best_overlap) {
+      best_overlap = overlap;
+      best = &type;
+    }
+  }
+  return best != nullptr ? best->label : "";
+}
+
 }  // namespace hetpapi::papi

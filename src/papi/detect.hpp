@@ -71,4 +71,12 @@ struct HardwareInfo {
 
 Expected<HardwareInfo> get_hardware_info(const pfm::Host& host);
 
+/// Label of the detected core type that serves a core PMU covering
+/// `pmu_cpus` — the type with the largest cpu overlap (§V-2's
+/// per-core-type reporting needs the PMU -> core-type join). An empty
+/// cpu list means "all cpus" and resolves only on homogeneous machines;
+/// returns "" when nothing matches.
+std::string core_type_label(const DetectionResult& detection,
+                            const std::vector<int>& pmu_cpus);
+
 }  // namespace hetpapi::papi

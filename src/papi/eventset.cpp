@@ -314,6 +314,49 @@ Expected<std::vector<long long>> EventSetCore::read() const {
   return values;
 }
 
+Expected<std::vector<QualifiedReading>> EventSetCore::read_qualified() const {
+  // One kernel collection — the same fan-out and per-call charge as
+  // read() — then keep the per-native values instead of folding them
+  // away, so the breakdown and the total come from the same instant.
+  if (native_scratch_.size() != natives_.size()) {
+    native_scratch_.assign(natives_.size(), 0.0);
+  }
+  const bool scale = multiplexed_ && config_->scale_multiplexed;
+  for (const ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(
+        use.component->read(*use.state, scale, native_scratch_));
+  }
+  if (target_ != simkernel::kInvalidTid && running()) {
+    backend_->charge_call_overhead(
+        target_,
+        config_->call_overhead_instructions * running_group_count_);
+  }
+
+  std::vector<QualifiedReading> out;
+  out.reserve(user_events_.size());
+  for (const UserEvent& user : user_events_) {
+    QualifiedReading reading;
+    reading.display_name = user.display_name;
+    reading.is_preset = user.is_preset;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
+      const auto native_idx =
+          static_cast<std::size_t>(user.native_indices[i]);
+      const NativeSlot& slot = natives_[native_idx];
+      QualifiedValue part;
+      part.native_name = slot.enc.canonical_name;
+      part.pmu_name = slot.enc.pmu_name;
+      part.sign = user.native_signs[i];
+      part.value = static_cast<long long>(native_scratch_[native_idx]);
+      sum += user.native_signs[i] * native_scratch_[native_idx];
+      reading.parts.push_back(std::move(part));
+    }
+    reading.total = static_cast<long long>(sum);
+    out.push_back(std::move(reading));
+  }
+  return out;
+}
+
 Status EventSetCore::accum(std::vector<long long>& values) {
   if (!running()) {
     return make_error(StatusCode::kNotRunning, "EventSet is not running");

@@ -61,6 +61,13 @@ class EventSetCore {
   Status start();
   Expected<std::vector<long long>> stop();
   Expected<std::vector<long long>> read() const;
+  /// PAPI_read_qualified: one reading per user event carrying the raw
+  /// per-constituent (per-PMU) values alongside the derived total. The
+  /// totals are computed from the same collection as read(), so a
+  /// qualified read never disagrees with the transparent sum. Core-type
+  /// labels are filled in by the Library facade, which owns the
+  /// detection result.
+  Expected<std::vector<QualifiedReading>> read_qualified() const;
   Status accum(std::vector<long long>& values);
   Status reset();
 

@@ -327,6 +327,28 @@ Expected<std::vector<long long>> Library::read(int eventset) const {
   return set->read();
 }
 
+std::string Library::core_type_for_pmu(std::string_view pmu_name) const {
+  const pfm::ActivePmu* pmu = pfm_.find_pmu(pmu_name);
+  if (pmu == nullptr || !pmu->is_core) return "";
+  return core_type_label(hwinfo_.detection, pmu->cpus);
+}
+
+Expected<std::vector<QualifiedReading>> Library::read_qualified(
+    int eventset) const {
+  const EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  auto readings = set->read_qualified();
+  if (!readings) return readings.status();
+  for (QualifiedReading& reading : *readings) {
+    for (QualifiedValue& part : reading.parts) {
+      part.core_type = core_type_for_pmu(part.pmu_name);
+    }
+  }
+  return readings;
+}
+
 Status Library::accum(int eventset, std::vector<long long>& values) {
   EventSetCore* set = find_set(eventset);
   if (set == nullptr) {

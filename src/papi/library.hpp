@@ -13,9 +13,9 @@
 //    registered at init (papi/components/). With hybrid_support=false
 //    an EventSet is pinned to its first PMU and a second PMU draws
 //    PAPI_ECNFLCT — the legacy behaviour whose failure the paper
-//    demonstrates. The RAPL and uncore PMUs either live in their own
-//    components (legacy) or join combined EventSets (§V-3,
-//    unified_uncore).
+//    demonstrates. Uncore PMUs are served by the perf_event component
+//    outright, so their events fold into ordinary mixed EventSets
+//    (§V-3; the historical exclusive uncore component is retired).
 #pragma once
 
 #include <memory>
@@ -56,7 +56,7 @@ class Library {
   const LibraryConfig& config() const { return config_; }
 
   /// The component table built at init — what papi_component_avail
-  /// walks: perf_event, rapl, perf_event_uncore (legacy mode), sysinfo.
+  /// walks: perf_event (core + folded uncore), rapl, sysinfo.
   const ComponentRegistry& registry() const { return registry_; }
 
   /// All native event names across active PMUs.
@@ -125,6 +125,15 @@ class Library {
   /// add order).
   Expected<std::vector<long long>> stop(int eventset);
   Expected<std::vector<long long>> read(int eventset) const;
+  /// PAPI_read_qualified: like read(), but each value slot carries the
+  /// per-PMU breakdown a derived preset was transparently summed from,
+  /// with every constituent labelled by its detected core type (§V-2's
+  /// per-core-type reporting). For non-derived events the breakdown is
+  /// the single constituent; totals always equal what read() returns.
+  Expected<std::vector<QualifiedReading>> read_qualified(int eventset) const;
+  /// Detected core-type label serving `pmu_name` ("" when the PMU is not
+  /// a core PMU or is unknown).
+  std::string core_type_for_pmu(std::string_view pmu_name) const;
   /// PAPI_accum: add the current counts into `values` (which must have
   /// one slot per added event) and reset the counters — the idiom for
   /// accumulating across loop iterations without stop/start pairs.

@@ -15,6 +15,9 @@ SysdetectReport build_sysdetect_report(const pfm::Host& host,
     info.sysfs_name = pmu.sysfs_name;
     info.perf_type = pmu.perf_type;
     info.is_core = pmu.is_core;
+    if (pmu.is_core) {
+      info.core_type = core_type_label(report.hardware.detection, pmu.cpus);
+    }
     info.cpus = pmu.cpus;
     info.num_events = static_cast<int>(pfm.event_names(pmu).size());
     report.pmus.push_back(std::move(info));
@@ -56,9 +59,14 @@ std::string SysdetectReport::to_text() const {
   }
   out += "PMUs:\n";
   for (const PmuDeviceInfo& pmu : pmus) {
+    std::string role;
+    if (pmu.is_core) {
+      role = pmu.core_type.empty() ? "core PMU, "
+                                   : "core PMU [" + pmu.core_type + "], ";
+    }
     out += str_format("  %-10s (sysfs %-16s type %2u) %s%d events, cpus %s\n",
                       pmu.pfm_name.c_str(), pmu.sysfs_name.c_str(),
-                      pmu.perf_type, pmu.is_core ? "core PMU, " : "",
+                      pmu.perf_type, role.c_str(),
                       pmu.num_events,
                       pmu.cpus.empty() ? "all" : format_cpulist(pmu.cpus).c_str());
   }

@@ -18,6 +18,9 @@ struct PmuDeviceInfo {
   std::string sysfs_name;
   std::uint32_t perf_type = 0;
   bool is_core = false;
+  /// Detected core-type label this PMU serves ("" for non-core PMUs) —
+  /// the PMU -> core-type join §V-2's per-core-type reporting rests on.
+  std::string core_type;
   std::vector<int> cpus;
   int num_events = 0;
 };

@@ -77,8 +77,26 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
   Sampler sampler(&kernel);
   sampler.reset();
   if (papi_lib) {
-    sampler.attach_counters(papi_lib.get(), papi_set);
+    sampler.attach_counters(papi_lib.get(), papi_set,
+                            monitor_config.per_core_type_counters);
     result.counter_names = monitor_config.sample_events;
+    if (monitor_config.per_core_type_counters) {
+      // Label the constituents once — the breakdown structure is fixed
+      // for the lifetime of the set, only the values change per sample.
+      if (const auto readings = papi_lib->read_qualified(papi_set)) {
+        for (const papi::QualifiedReading& reading : *readings) {
+          std::vector<std::string> names;
+          names.reserve(reading.parts.size());
+          for (const papi::QualifiedValue& part : reading.parts) {
+            names.push_back(part.core_type.empty()
+                                ? part.native_name
+                                : part.native_name + "[" + part.core_type +
+                                      "]");
+          }
+          result.counter_part_names.push_back(std::move(names));
+        }
+      }
+    }
   }
   const SimTime start = kernel.now();
   result.samples.push_back(sampler.sample());  // t=0 baseline
@@ -123,6 +141,7 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
   RunResult avg;
   if (runs.empty()) return avg;
   avg.counter_names = runs.front().counter_names;
+  avg.counter_part_names = runs.front().counter_part_names;
   std::size_t min_samples = runs.front().samples.size();
   for (const RunResult& run : runs) {
     min_samples = std::min(min_samples, run.samples.size());
@@ -140,6 +159,9 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
     out.board_power_w = 0.0;
     const std::size_t num_counters = out.counters.size();
     out.counters.assign(num_counters, 0.0);
+    for (std::vector<double>& parts : out.counter_parts) {
+      parts.assign(parts.size(), 0.0);
+    }
     out.t_seconds = runs.front().samples[i].t_seconds -
                     runs.front().samples.front().t_seconds;
     int power_count = 0;
@@ -152,6 +174,14 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
       out.board_power_w += s.board_power_w * inv_n;
       for (std::size_t c = 0; c < num_counters && c < s.counters.size(); ++c) {
         out.counters[c] += s.counters[c] * inv_n;
+      }
+      for (std::size_t c = 0;
+           c < out.counter_parts.size() && c < s.counter_parts.size(); ++c) {
+        for (std::size_t p = 0; p < out.counter_parts[c].size() &&
+                                p < s.counter_parts[c].size();
+             ++p) {
+          out.counter_parts[c][p] += s.counter_parts[c][p] * inv_n;
+        }
       }
       if (!std::isnan(s.package_power_w)) {
         out.package_power_w += s.package_power_w;

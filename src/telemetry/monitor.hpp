@@ -17,6 +17,11 @@ struct RunResult {
   /// Display names of the per-sample PAPI counters (one per
   /// Sample::counters slot); empty when no events were sampled.
   std::vector<std::string> counter_names;
+  /// Labels of the per-PMU constituents behind each counters slot
+  /// ("adl_glc::INST_RETIRED:ANY[intel_core]", ...), aligned with
+  /// Sample::counter_parts. Filled only with
+  /// MonitorConfig::per_core_type_counters.
+  std::vector<std::vector<std::string>> counter_part_names;
   SimDuration elapsed{0};
   double gflops = 0.0;
   std::uint64_t spin_instructions = 0;
@@ -40,6 +45,12 @@ struct MonitorConfig {
   /// an EventSet to the master worker and fills Sample::counters.
   /// Default empty: telemetry output is byte-identical to before.
   std::vector<std::string> sample_events;
+  /// Sample through the qualified read path: every Sample additionally
+  /// carries the per-PMU sub-counts of each event (derived hybrid
+  /// presets split per core type — §V-2), and the run labels them in
+  /// RunResult::counter_part_names. Default off: samples are
+  /// byte-identical to the plain read path.
+  bool per_core_type_counters = false;
 };
 
 /// Run one monitored HPL execution: one worker thread pinned to each cpu

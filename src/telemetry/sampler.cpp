@@ -19,9 +19,11 @@ Sampler::Sampler(const simkernel::SimKernel* kernel) : kernel_(kernel) {
   has_rapl_ = machine.rapl.present;
 }
 
-void Sampler::attach_counters(const papi::Library* library, int eventset) {
+void Sampler::attach_counters(const papi::Library* library, int eventset,
+                              bool qualified) {
   library_ = library;
   eventset_ = eventset;
+  qualified_ = qualified;
 }
 
 void Sampler::reset() {
@@ -101,7 +103,21 @@ Sample Sampler::sample() {
       meter.reading(kernel_->governor().package_power()).value;
 
   if (library_ != nullptr) {
-    if (const auto values = library_->read(eventset_)) {
+    if (qualified_) {
+      if (const auto readings = library_->read_qualified(eventset_)) {
+        s.counters.reserve(readings->size());
+        s.counter_parts.reserve(readings->size());
+        for (const papi::QualifiedReading& reading : *readings) {
+          s.counters.push_back(static_cast<double>(reading.total));
+          std::vector<double> parts;
+          parts.reserve(reading.parts.size());
+          for (const papi::QualifiedValue& part : reading.parts) {
+            parts.push_back(static_cast<double>(part.sign * part.value));
+          }
+          s.counter_parts.push_back(std::move(parts));
+        }
+      }
+    } else if (const auto values = library_->read(eventset_)) {
       s.counters.reserve(values->size());
       for (const long long v : *values) {
         s.counters.push_back(static_cast<double>(v));

@@ -27,6 +27,11 @@ struct Sample {
   /// PAPI counter readings (one per sampled event, in add order) when a
   /// running EventSet is attached via attach_counters; empty otherwise.
   std::vector<double> counters;
+  /// Per-PMU sub-counts behind each counters slot (derived hybrid
+  /// presets split per core PMU; single-constituent events carry one
+  /// entry). Filled only when the sampler reads qualified — empty by
+  /// default so existing consumers see identical samples.
+  std::vector<std::vector<double>> counter_parts;
 };
 
 class Sampler {
@@ -35,8 +40,11 @@ class Sampler {
 
   /// Also read `eventset` (already created and started on `library`) at
   /// every sample — the monitor's path from telemetry into the
-  /// component registry. Pass nullptr to detach.
-  void attach_counters(const papi::Library* library, int eventset);
+  /// component registry. Pass nullptr to detach. With `qualified` the
+  /// sampler reads through read_qualified and additionally fills
+  /// Sample::counter_parts with the per-PMU breakdown of every slot.
+  void attach_counters(const papi::Library* library, int eventset,
+                       bool qualified = false);
 
   /// Take one sample at the kernel's current time.
   Sample sample();
@@ -50,6 +58,7 @@ class Sampler {
   const simkernel::SimKernel* kernel_;
   const papi::Library* library_ = nullptr;
   int eventset_ = -1;
+  bool qualified_ = false;
   std::string temp_path_;
   bool has_rapl_ = false;
   /// Wrap handling for the 32-bit microjoule register.

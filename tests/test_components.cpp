@@ -22,7 +22,6 @@ namespace {
 
 using papi::ComponentEnv;
 using papi::ComponentRegistry;
-using papi::ComponentScope;
 using papi::Library;
 using papi::LibraryConfig;
 using papi::SimBackend;
@@ -82,7 +81,7 @@ class ComponentTest : public ::testing::Test {
   SimBackend backend_;
 };
 
-TEST_F(ComponentTest, BuiltinRegistryMatchesConfig) {
+TEST_F(ComponentTest, BuiltinRegistryFoldsUncoreIntoPerfEvent) {
   const auto names = [](const Library& lib) {
     std::vector<std::string> out;
     for (const auto& component : lib.registry().components()) {
@@ -91,22 +90,18 @@ TEST_F(ComponentTest, BuiltinRegistryMatchesConfig) {
     return out;
   };
 
-  // Default: unified uncore — the legacy exclusive component is absent
-  // because perf_event serves the uncore PMUs directly (§V-3).
-  auto unified = make_library();
-  EXPECT_EQ(names(*unified),
+  // §V-3, completed: the legacy exclusive uncore component is retired —
+  // perf_event serves the uncore PMUs directly, so there is no
+  // perf_event_uncore row and IMC events fold into ordinary EventSets.
+  auto lib = make_library();
+  EXPECT_EQ(names(*lib),
             (std::vector<std::string>{"perf_event", "rapl", "sysinfo"}));
-  EXPECT_EQ(unified->registry().find("perf_event_uncore"), nullptr);
+  EXPECT_EQ(lib->registry().find("perf_event_uncore"), nullptr);
 
-  LibraryConfig legacy;
-  legacy.unified_uncore = false;
-  auto split = make_library(legacy);
-  EXPECT_EQ(names(*split),
-            (std::vector<std::string>{"perf_event", "rapl",
-                                      "perf_event_uncore", "sysinfo"}));
-  auto* uncore = split->registry().find("perf_event_uncore");
-  ASSERT_NE(uncore, nullptr);
-  EXPECT_EQ(uncore->scope(), ComponentScope::kPackage);
+  const pfm::ActivePmu* imc = lib->pfm().find_pmu("unc_imc_0");
+  ASSERT_NE(imc, nullptr);
+  EXPECT_EQ(lib->registry().component_for(*imc),
+            lib->registry().find("perf_event"));
 }
 
 TEST_F(ComponentTest, PackageScopeLockSpansCpuAndThreadAttachment) {

@@ -109,6 +109,63 @@ TEST(Determinism, MultiRunExecutorIsWorkerCountInvariant) {
   }
 }
 
+TEST(Determinism, QualifiedBreakdownIsWorkerCountInvariant) {
+  // §V-2 reporting under the parallel executor: the per-core-type
+  // breakdown of a derived preset (not just its folded total) must be
+  // bit-identical whether the seeded runs execute serially or fanned
+  // across 4 workers.
+  const std::uint64_t seeds[] = {7, 42, 0xbeef};
+  constexpr std::size_t kCells = std::size(seeds);
+  const auto measure_once = [](std::uint64_t seed) {
+    SimKernel::Config config;
+    config.sched.migration_rate_hz = 40.0;
+    config.seed = seed;
+    SimKernel kernel(cpumodel::raptor_lake_i7_13700(), config);
+    SimBackend backend(&kernel);
+    const Tid tid = kernel.spawn(
+        std::make_shared<FixedWorkProgram>(PhaseSpec{}, 300'000'000),
+        CpuSet::all(24));
+    backend.set_default_target(tid);
+    auto lib = Library::init(&backend);
+    auto set = (*lib)->create_eventset();
+    (void)(*lib)->add_event(*set, "PAPI_TOT_INS");
+    (void)(*lib)->start(*set);
+    kernel.run_until_idle(std::chrono::seconds(60));
+    auto readings = (*lib)->read_qualified(*set);
+    EXPECT_TRUE(readings.has_value());
+    (void)(*lib)->stop(*set);
+    // Flatten the breakdown: total then every per-PMU part, in order.
+    std::vector<long long> flat;
+    for (const papi::QualifiedReading& reading : *readings) {
+      flat.push_back(reading.total);
+      for (const papi::QualifiedValue& part : reading.parts) {
+        flat.push_back(part.sign * part.value);
+      }
+    }
+    return flat;
+  };
+  const auto run_all = [&](std::size_t threads) {
+    std::vector<std::vector<long long>> results(kCells);
+    std::vector<telemetry::RunCell> cells;
+    for (std::size_t i = 0; i < kCells; ++i) {
+      cells.push_back({"seed " + std::to_string(seeds[i]), [&, i] {
+                         results[i] = measure_once(seeds[i]);
+                       }});
+    }
+    telemetry::MultiRunExecutor executor(threads);
+    (void)executor.execute(cells);
+    return results;
+  };
+  const auto serial = run_all(1);
+  const auto parallel = run_all(4);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_FALSE(serial[i].empty());
+    EXPECT_EQ(serial[i], parallel[i])
+        << "seed " << seeds[i]
+        << ": per-core-type breakdown must be bit-exact for any worker count";
+  }
+}
+
 TEST(HybridMultiplex, BothPmuContextsRotateIndependently) {
   // The §IV-E caveat, worst case: a single EventSet with oversubscribed
   // GP events on BOTH core PMUs, measured on a thread that migrates

@@ -1,0 +1,141 @@
+// Golden-output regression tests for the two §IV-B/§V-2 reporting
+// surfaces: the papi_avail report and the sysdetect report, byte-exact
+// on the Intel hybrid and ARM big.LITTLE sim models. The simulated
+// machines are fully deterministic, so any diff here is a real change
+// to the reporting layer — update the golden block deliberately when
+// the format is meant to change.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "papi/avail_report.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "papi/sysdetect.hpp"
+#include "simkernel/kernel.hpp"
+
+namespace hetpapi {
+namespace {
+
+struct Instance {
+  simkernel::SimKernel kernel;
+  papi::SimBackend backend;
+  std::unique_ptr<papi::Library> lib;
+
+  explicit Instance(const cpumodel::MachineSpec& machine)
+      : kernel(machine), backend(&kernel) {
+    papi::LibraryConfig config;
+    config.preset_policy = papi::PresetPolicy::kDerivedSum;
+    auto created = papi::Library::init(&backend, config);
+    EXPECT_TRUE(created.has_value()) << created.status().to_string();
+    lib = std::move(*created);
+  }
+
+  std::string avail(const std::string& machine_name) const {
+    return papi::render_avail_report(*lib, machine_name, "derived");
+  }
+
+  std::string sysdetect() const {
+    return papi::build_sysdetect_report(backend.host(), lib->pfm(),
+                                        lib->registry())
+        .to_text();
+  }
+};
+
+TEST(GoldenReports, PapiAvailRaptorLake) {
+  Instance instance(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(instance.avail("raptor_lake_i7_13700"),
+            R"GOLDEN(Available PAPI preset events on raptor_lake_i7_13700 (policy: derived)
+hybrid: yes; core PMUs: adl_glc[intel_core] adl_grt[intel_atom]
+components: perf_event(thread) rapl(package) sysinfo(package)
+
++--------------+-------+-----------------------------+---------------------------------------------------------------------------------------------------------------------+
+| preset       | avail | description                 | expands to                                                                                                          |
++--------------+-------+-----------------------------+---------------------------------------------------------------------------------------------------------------------+
+| PAPI_TOT_INS | yes   | Total instructions retired  | adl_glc[intel_core]::INST_RETIRED:ANY + adl_grt[intel_atom]::INST_RETIRED:ANY                                       |
+| PAPI_TOT_CYC | yes   | Total core cycles           | adl_glc[intel_core]::CPU_CLK_UNHALTED:THREAD + adl_grt[intel_atom]::CPU_CLK_UNHALTED:THREAD                         |
+| PAPI_REF_CYC | yes   | Reference clock cycles      | adl_glc[intel_core]::CPU_CLK_UNHALTED:REF_TSC + adl_grt[intel_atom]::CPU_CLK_UNHALTED:REF_TSC                       |
+| PAPI_L3_TCA  | yes   | L3 total cache accesses     | adl_glc[intel_core]::LONGEST_LAT_CACHE:REFERENCE + adl_grt[intel_atom]::LONGEST_LAT_CACHE:REFERENCE                 |
+| PAPI_L3_TCM  | yes   | L3 total cache misses       | adl_glc[intel_core]::LONGEST_LAT_CACHE:MISS + adl_grt[intel_atom]::LONGEST_LAT_CACHE:MISS                           |
+| PAPI_BR_INS  | yes   | Branch instructions retired | adl_glc[intel_core]::BR_INST_RETIRED:ALL_BRANCHES + adl_grt[intel_atom]::BR_INST_RETIRED:ALL_BRANCHES               |
+| PAPI_BR_MSP  | yes   | Mispredicted branches       | adl_glc[intel_core]::BR_MISP_RETIRED:ALL_BRANCHES + adl_grt[intel_atom]::BR_MISP_RETIRED:ALL_BRANCHES               |
+| PAPI_RES_STL | yes   | Cycles stalled on resources | adl_glc[intel_core]::RESOURCE_STALLS + adl_grt[intel_atom]::RESOURCE_STALLS                                         |
+| PAPI_DP_OPS  | yes   | Double-precision operations | adl_glc[intel_core]::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE + adl_grt[intel_atom]::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE |
++--------------+-------+-----------------------------+---------------------------------------------------------------------------------------------------------------------+
+
+9 of 9 presets available
+)GOLDEN");
+}
+
+TEST(GoldenReports, PapiAvailOrangePi) {
+  Instance instance(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(instance.avail("orangepi800_rk3399"),
+            R"GOLDEN(Available PAPI preset events on orangepi800_rk3399 (policy: derived)
+hybrid: yes; core PMUs: arm_a72[capacity-1024] arm_a53[capacity-485]
+components: perf_event(thread) rapl(package) sysinfo(package)
+
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------+
+| preset       | avail | description                 | expands to                                                                               |
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------+
+| PAPI_TOT_INS | yes   | Total instructions retired  | arm_a72[capacity-1024]::INST_RETIRED + arm_a53[capacity-485]::INST_RETIRED               |
+| PAPI_TOT_CYC | yes   | Total core cycles           | arm_a72[capacity-1024]::CPU_CYCLES + arm_a53[capacity-485]::CPU_CYCLES                   |
+| PAPI_REF_CYC | no    | Reference clock cycles      | arm_a72[capacity-1024]::<none> + arm_a53[capacity-485]::<none>                           |
+| PAPI_L3_TCA  | yes   | L3 total cache accesses     | arm_a72[capacity-1024]::LL_CACHE + arm_a53[capacity-485]::LL_CACHE                       |
+| PAPI_L3_TCM  | yes   | L3 total cache misses       | arm_a72[capacity-1024]::LL_CACHE_MISS + arm_a53[capacity-485]::LL_CACHE_MISS             |
+| PAPI_BR_INS  | yes   | Branch instructions retired | arm_a72[capacity-1024]::BR_RETIRED + arm_a53[capacity-485]::BR_RETIRED                   |
+| PAPI_BR_MSP  | yes   | Mispredicted branches       | arm_a72[capacity-1024]::BR_MIS_PRED_RETIRED + arm_a53[capacity-485]::BR_MIS_PRED_RETIRED |
+| PAPI_RES_STL | yes   | Cycles stalled on resources | arm_a72[capacity-1024]::STALL_BACKEND + arm_a53[capacity-485]::STALL_BACKEND             |
+| PAPI_DP_OPS  | yes   | Double-precision operations | arm_a72[capacity-1024]::VFP_SPEC + arm_a53[capacity-485]::VFP_SPEC                       |
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------+
+
+8 of 9 presets available
+)GOLDEN");
+}
+
+TEST(GoldenReports, SysdetectRaptorLake) {
+  Instance instance(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(instance.sysdetect(),
+            R"GOLDEN(=== sysdetect report ===
+model        : 13th Gen Intel(R) Core(TM) i7-13700
+logical cpus : 24
+hybrid       : yes
+detected via : cpuid_leaf_1a
+  core type intel_core       cpus 0-15
+  core type intel_atom       cpus 16-23
+PMUs:
+  adl_grt    (sysfs cpu_atom         type  8) core PMU [intel_atom], 13 events, cpus 16-23
+  adl_glc    (sysfs cpu_core         type  4) core PMU [intel_core], 15 events, cpus 0-15
+  rapl       (sysfs power            type  9) 3 events, cpus 0
+  perf       (sysfs software         type  1) 3 events, cpus all
+  unc_imc_0  (sysfs uncore_imc_0     type 10) 2 events, cpus 0
+  sysinfo    (sysfs (software)       type 4294901760) 3 events, cpus all
+Components:
+  perf_event         scope thread   caps [ rdpmc overflow multiplex] pmus: adl_grt,adl_glc,perf,unc_imc_0
+  rapl               scope package  caps [ multiplex] pmus: rapl
+  sysinfo            scope package  caps [] pmus: sysinfo
+)GOLDEN");
+}
+
+TEST(GoldenReports, SysdetectOrangePi) {
+  Instance instance(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(instance.sysdetect(),
+            R"GOLDEN(=== sysdetect report ===
+model        : ARM part 0xd03
+logical cpus : 6
+hybrid       : yes
+detected via : cpu_capacity
+  core type capacity-1024    cpus 4-5
+  core type capacity-485     cpus 0-3
+PMUs:
+  arm_a53    (sysfs armv8_pmuv3_0    type  9) core PMU [capacity-485], 8 events, cpus 0-3
+  arm_a72    (sysfs armv8_pmuv3_1    type  8) core PMU [capacity-1024], 8 events, cpus 4-5
+  perf       (sysfs software         type  1) 3 events, cpus all
+  sysinfo    (sysfs (software)       type 4294901760) 3 events, cpus all
+Components:
+  perf_event         scope thread   caps [ rdpmc overflow multiplex] pmus: arm_a53,arm_a72,perf
+  rapl               scope package  caps [ multiplex] pmus: (none)
+  sysinfo            scope package  caps [] pmus: sysinfo
+)GOLDEN");
+}
+
+}  // namespace
+}  // namespace hetpapi

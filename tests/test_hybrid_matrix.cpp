@@ -139,6 +139,245 @@ TEST_P(HybridMatrixTest, DerivedPresetMatchesGroundTruthPerCoreType) {
   }
 }
 
+// --- qualified-read matrix ---------------------------------------------------
+// Every cpumodel × event flavour: derived preset, explicitly qualified
+// native, and a mixed set with a folded uncore event. Checks the §V-2
+// qualified read invariants — the breakdown's signed sum reproduces the
+// transparent total, every part carries the right core-type label, and
+// each per-PMU part equals the per-type ground truth exactly.
+
+enum class EventFlavor { kDerivedPreset, kQualifiedNative, kMixedUncore };
+
+std::string to_string(EventFlavor flavor) {
+  switch (flavor) {
+    case EventFlavor::kDerivedPreset: return "DerivedPreset";
+    case EventFlavor::kQualifiedNative: return "QualifiedNative";
+    case EventFlavor::kMixedUncore: return "MixedUncore";
+  }
+  return "?";
+}
+
+cpumodel::MachineSpec machine_by_name(const std::string& name) {
+  if (name == "orangepi") return cpumodel::orangepi800_rk3399();
+  if (name == "xeon") return cpumodel::homogeneous_xeon();
+  if (name == "tritype") return cpumodel::arm_three_type();
+  return cpumodel::raptor_lake_i7_13700();
+}
+
+struct QualifiedCase {
+  std::string machine_name;  // raptorlake | orangepi | xeon | tritype
+  EventFlavor flavor;
+};
+
+std::string qualified_case_name(
+    const ::testing::TestParamInfo<QualifiedCase>& info) {
+  return info.param.machine_name + "_" + to_string(info.param.flavor);
+}
+
+class QualifiedMatrixTest : public ::testing::TestWithParam<QualifiedCase> {};
+
+TEST_P(QualifiedMatrixTest, BreakdownSumsToTotalAndMatchesGroundTruth) {
+  const QualifiedCase& param = GetParam();
+  const cpumodel::MachineSpec machine = machine_by_name(param.machine_name);
+  SimKernel::Config config;
+  config.sched.migration_rate_hz = 60.0;
+  SimKernel kernel(machine, config);
+  SimBackend backend(&kernel);
+
+  PhaseSpec phase;
+  phase.llc_refs_per_kinstr = 8.0;
+  phase.llc_miss_ratio = 0.3;
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 200'000'000),
+      CpuSet::all(machine.num_cpus()));
+  backend.set_default_target(tid);
+
+  LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = 0;  // exact conservation check
+  auto lib = Library::init(&backend, lib_config);
+  ASSERT_TRUE(lib.has_value()) << lib.status().to_string();
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE(set.has_value());
+
+  const auto core_pmus = (*lib)->pfm().default_pmus();
+  std::size_t expected_parts = 0;
+  switch (param.flavor) {
+    case EventFlavor::kDerivedPreset:
+      ASSERT_TRUE((*lib)->add_event(*set, "PAPI_TOT_INS").is_ok());
+      expected_parts = core_pmus.size();
+      break;
+    case EventFlavor::kQualifiedNative: {
+      const auto native = papi::native_for_kind(*core_pmus.front()->table,
+                                                CountKind::kInstructions);
+      ASSERT_TRUE(native.has_value());
+      ASSERT_TRUE((*lib)
+                      ->add_event(*set, core_pmus.front()->table->pfm_name +
+                                            "::" + *native)
+                      .is_ok());
+      expected_parts = 1;
+      break;
+    }
+    case EventFlavor::kMixedUncore:
+      ASSERT_TRUE((*lib)->add_event(*set, "PAPI_TOT_INS").is_ok());
+      ASSERT_TRUE(
+          (*lib)->add_event(*set, "unc_imc_0::UNC_M_CAS_COUNT:RD").is_ok());
+      expected_parts = core_pmus.size();
+      // Folded uncore: the mixed set holds one extra perf group served by
+      // the same perf_event component, not a separate exclusive path.
+      {
+        const auto groups = (*lib)->eventset_group_count(*set);
+        ASSERT_TRUE(groups.has_value());
+        EXPECT_EQ(*groups, static_cast<int>(core_pmus.size()) + 1);
+      }
+      break;
+  }
+
+  ASSERT_TRUE((*lib)->start(*set).is_ok());
+  kernel.run_until_idle(std::chrono::seconds(120));
+  auto values = (*lib)->read(*set);
+  ASSERT_TRUE(values.has_value()) << values.status().to_string();
+  auto readings = (*lib)->read_qualified(*set);
+  ASSERT_TRUE(readings.has_value()) << readings.status().to_string();
+  ASSERT_TRUE((*lib)->stop(*set).has_value());
+
+  ASSERT_EQ(readings->size(), values->size());
+  const papi::QualifiedReading& first = readings->front();
+  EXPECT_EQ(first.total, (*values)[0])
+      << "qualified total must equal the transparent read";
+  ASSERT_EQ(first.parts.size(), expected_parts);
+  long long signed_sum = 0;
+  for (const papi::QualifiedValue& part : first.parts) {
+    signed_sum += part.sign * part.value;
+    EXPECT_EQ(part.core_type, (*lib)->core_type_for_pmu(part.pmu_name));
+    if (machine.is_hybrid()) {
+      EXPECT_FALSE(part.core_type.empty())
+          << part.pmu_name << " must be attributed to a core type";
+    }
+  }
+  EXPECT_EQ(signed_sum, first.total);
+
+  // Each per-PMU part is exactly the per-type ground truth: the PMU's
+  // first cpu identifies the machine core type it serves.
+  const auto* truth = kernel.ground_truth(tid);
+  ASSERT_NE(truth, nullptr);
+  for (const papi::QualifiedValue& part : first.parts) {
+    const pfm::ActivePmu* pmu = (*lib)->pfm().find_pmu(part.pmu_name);
+    ASSERT_NE(pmu, nullptr);
+    // An empty cpu list means "all cpus" — the traditional single-PMU
+    // sysfs layout of homogeneous machines; cpu 0 stands in.
+    const int first_cpu = pmu->cpus.empty() ? 0 : pmu->cpus.front();
+    const auto type = static_cast<std::size_t>(
+        machine.cpus[static_cast<std::size_t>(first_cpu)].type);
+    ASSERT_LT(type, truth->per_type.size());
+    EXPECT_EQ(static_cast<std::uint64_t>(part.value),
+              truth->per_type[type].get(CountKind::kInstructions))
+        << part.pmu_name << " part vs ground truth of core type " << type;
+  }
+
+  if (param.flavor == EventFlavor::kMixedUncore) {
+    // The uncore slot reads alongside the derived preset and its single
+    // constituent is unattributed to any core type.
+    const papi::QualifiedReading& uncore = readings->back();
+    ASSERT_EQ(uncore.parts.size(), 1u);
+    EXPECT_EQ(uncore.parts[0].pmu_name, "unc_imc_0");
+    EXPECT_TRUE(uncore.parts[0].core_type.empty());
+    EXPECT_GT(uncore.total, 0) << "memory traffic must have been counted";
+  }
+}
+
+std::vector<QualifiedCase> make_qualified_cases() {
+  std::vector<QualifiedCase> cases;
+  for (const char* machine : {"raptorlake", "orangepi", "xeon", "tritype"}) {
+    cases.push_back({machine, EventFlavor::kDerivedPreset});
+    cases.push_back({machine, EventFlavor::kQualifiedNative});
+    // The IMC uncore PMU rides along with RAPL on the Intel models only.
+    if (machine_by_name(machine).rapl.present) {
+      cases.push_back({machine, EventFlavor::kMixedUncore});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, QualifiedMatrixTest,
+                         ::testing::ValuesIn(make_qualified_cases()),
+                         qualified_case_name);
+
+// papi_hybrid_100m-style validation: summing the derived preset's parts
+// reproduces the plain single-PMU total — on a homogeneous model the
+// derived path *is* the single-PMU path, and on the hybrid model pinned
+// to one core type the foreign part reads zero.
+TEST(QualifiedMatrixTest, HomogeneousDerivedSumEqualsSinglePmuTotal) {
+  const cpumodel::MachineSpec machine = cpumodel::homogeneous_xeon();
+  SimKernel kernel(machine);
+  SimBackend backend(&kernel);
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(PhaseSpec{}, 100'000'000),
+      CpuSet::all(machine.num_cpus()));
+  backend.set_default_target(tid);
+
+  LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = 0;
+  auto lib = Library::init(&backend, lib_config);
+  ASSERT_TRUE(lib.has_value());
+
+  // One set, two slots over the same thread: the preset (derived path)
+  // and the explicitly qualified native (single-PMU path) count the same
+  // run side by side.
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE(set.has_value());
+  ASSERT_TRUE((*lib)->add_event(*set, "PAPI_TOT_INS").is_ok());
+  const auto core_pmus = (*lib)->pfm().default_pmus();
+  ASSERT_EQ(core_pmus.size(), 1u) << "homogeneous model has one core PMU";
+  const auto native = papi::native_for_kind(*core_pmus.front()->table,
+                                            CountKind::kInstructions);
+  ASSERT_TRUE(native.has_value());
+  ASSERT_TRUE((*lib)
+                  ->add_event(*set, core_pmus.front()->table->pfm_name +
+                                        "::" + *native)
+                  .is_ok());
+
+  ASSERT_TRUE((*lib)->start(*set).is_ok());
+  kernel.run_until_idle(std::chrono::seconds(120));
+  auto values = (*lib)->stop(*set);
+  ASSERT_TRUE(values.has_value());
+  EXPECT_EQ((*values)[0], (*values)[1])
+      << "derived sum and single-PMU total must agree on a homogeneous model";
+}
+
+TEST(QualifiedMatrixTest, PinnedHybridForeignPartReadsZero) {
+  const cpumodel::MachineSpec machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel kernel(machine);
+  SimBackend backend(&kernel);
+  const std::vector<int> big = machine.cpus_of_type(0);
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(PhaseSpec{}, 100'000'000),
+      CpuSet::of({big.front()}));
+  backend.set_default_target(tid);
+
+  LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = 0;
+  auto lib = Library::init(&backend, lib_config);
+  ASSERT_TRUE(lib.has_value());
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE(set.has_value());
+  ASSERT_TRUE((*lib)->add_event(*set, "PAPI_TOT_INS").is_ok());
+  ASSERT_TRUE((*lib)->start(*set).is_ok());
+  kernel.run_until_idle(std::chrono::seconds(120));
+  auto readings = (*lib)->read_qualified(*set);
+  ASSERT_TRUE(readings.has_value());
+  ASSERT_TRUE((*lib)->stop(*set).has_value());
+
+  ASSERT_EQ(readings->size(), 1u);
+  long long p_part = -1, e_part = -1;
+  for (const papi::QualifiedValue& part : readings->front().parts) {
+    if (part.core_type == "intel_core") p_part = part.value;
+    if (part.core_type == "intel_atom") e_part = part.value;
+  }
+  EXPECT_EQ(p_part, readings->front().total)
+      << "pinned to a P core, the P part carries the whole total";
+  EXPECT_EQ(e_part, 0) << "the E part of a P-pinned run must be zero";
+}
+
 std::vector<MatrixCase> make_cases() {
   const std::pair<const char*, CountKind> presets[] = {
       {"PAPI_TOT_INS", CountKind::kInstructions},

@@ -1,5 +1,5 @@
-// SimKernel time semantics, memory-bandwidth contention, and the legacy
-// (separate) uncore component path.
+// SimKernel time semantics, memory-bandwidth contention, and the folded
+// uncore path (§V-3: uncore events in ordinary mixed EventSets).
 #include <gtest/gtest.h>
 
 #include "cpumodel/machine.hpp"
@@ -84,7 +84,7 @@ TEST(Kernel, MemoryContentionSlowsCoRunners) {
       << "8 streams over a 68 GB/s budget must contend";
 }
 
-TEST(Kernel, LegacyUncoreComponentIsSeparateAndExclusive) {
+TEST(Kernel, FoldedUncoreJoinsMixedEventSetAndDropsGlobalExclusivity) {
   SimKernel kernel(cpumodel::raptor_lake_i7_13700());
   SimBackend backend(&kernel);
   PhaseSpec phase;
@@ -95,34 +95,36 @@ TEST(Kernel, LegacyUncoreComponentIsSeparateAndExclusive) {
       CpuSet::of({0}));
   backend.set_default_target(tid);
 
-  LibraryConfig config;
-  config.unified_uncore = false;  // the pre-§V-3 world
-  auto lib = Library::init(&backend, config);
+  auto lib = Library::init(&backend);
   ASSERT_TRUE(lib.has_value());
 
-  // Legacy rule: uncore events cannot share an EventSet with cpu events
-  // even with hybrid support on — they live in their own component and
-  // remain subject to the one-PMU-per-EventSet legacy of that component.
-  auto cpu_set = (*lib)->create_eventset();
-  ASSERT_TRUE((*lib)->add_event(*cpu_set, "PAPI_TOT_INS").is_ok());
-  auto unc_set = (*lib)->create_eventset();
+  // §V-3, completed: IMC events share an EventSet with a derived preset
+  // — one mixed set where the legacy world forced two components.
+  auto mixed = (*lib)->create_eventset();
+  ASSERT_TRUE((*lib)->add_event(*mixed, "PAPI_TOT_INS").is_ok());
   ASSERT_TRUE(
-      (*lib)->add_event(*unc_set, "unc_imc_0::UNC_M_CAS_COUNT:RD").is_ok());
+      (*lib)->add_event(*mixed, "unc_imc_0::UNC_M_CAS_COUNT:RD").is_ok())
+      << "uncore events fold into ordinary EventSets";
 
-  // Both can run concurrently (different components)...
-  ASSERT_TRUE((*lib)->start(*cpu_set).is_ok());
-  ASSERT_TRUE((*lib)->start(*unc_set).is_ok());
-  // ...but a second uncore EventSet conflicts globally.
-  auto unc_set2 = (*lib)->create_eventset();
+  // The retired component's package-global exclusivity went with it: a
+  // second thread's EventSet may watch the IMC concurrently, as perf
+  // itself allows for uncore counters.
+  const Tid other = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(phase, 1'000'000'000ULL),
+      CpuSet::of({2}));
+  auto second = (*lib)->create_eventset();
+  ASSERT_TRUE((*lib)->attach(*second, other).is_ok());
   ASSERT_TRUE(
-      (*lib)->add_event(*unc_set2, "unc_imc_0::UNC_M_CAS_COUNT:WR").is_ok());
-  EXPECT_EQ((*lib)->start(*unc_set2).code(), StatusCode::kConflict);
+      (*lib)->add_event(*second, "unc_imc_0::UNC_M_CAS_COUNT:WR").is_ok());
 
+  ASSERT_TRUE((*lib)->start(*mixed).is_ok());
+  ASSERT_TRUE((*lib)->start(*second).is_ok());
   kernel.run_for(std::chrono::seconds(1));
-  auto unc_values = (*lib)->stop(*unc_set);
-  ASSERT_TRUE(unc_values.has_value());
-  EXPECT_GT((*unc_values)[0], 0) << "IMC reads observed";
-  ASSERT_TRUE((*lib)->stop(*cpu_set).has_value());
+  auto mixed_values = (*lib)->stop(*mixed);
+  ASSERT_TRUE(mixed_values.has_value());
+  EXPECT_GT((*mixed_values)[0], 0) << "instructions retired";
+  EXPECT_GT((*mixed_values)[1], 0) << "IMC reads observed";
+  ASSERT_TRUE((*lib)->stop(*second).has_value());
 }
 
 TEST(Kernel, RdpmcConfigFallsBackOnGroupReads) {

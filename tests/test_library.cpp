@@ -223,7 +223,7 @@ TEST_F(LibraryTest, RaplEventSetMeasuresEnergy) {
 
 TEST_F(LibraryTest, UnifiedUncoreJoinsCombinedEventSet) {
   spawn_pinned(1'000'000'000, 0);
-  auto lib = make_library();  // unified_uncore = true
+  auto lib = make_library();
   auto set = lib->create_eventset();
   ASSERT_TRUE(lib->add_event(*set, "PAPI_TOT_INS").is_ok());
   ASSERT_TRUE(lib->add_event(*set, "unc_imc_0::UNC_M_CAS_COUNT:RD").is_ok())

@@ -173,6 +173,42 @@ TEST(Monitor, SampleEventsFillPerSampleCounters) {
       << "counters are monotonic across samples";
 }
 
+TEST(Monitor, PerCoreTypeCountersSplitEverySample) {
+  // per_core_type_counters routes the sampler through the qualified
+  // read: each sample additionally carries the per-PMU constituents of
+  // every counter slot, labelled by detected core type, and the labelled
+  // parts sum back to the transparent total.
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(machine, config);
+  MonitorConfig monitor;
+  monitor.sample_events = {"PAPI_TOT_INS"};
+  monitor.per_core_type_counters = true;
+  const std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const RunResult run = run_monitored_hpl(
+      kernel, workload::HplConfig::openblas(13824, 192), cpus, monitor);
+  ASSERT_EQ(run.counter_part_names.size(), 1u);
+  ASSERT_EQ(run.counter_part_names[0].size(), 2u) << "one part per core PMU";
+  EXPECT_EQ(run.counter_part_names[0][0],
+            "adl_glc::INST_RETIRED:ANY[intel_core]");
+  EXPECT_EQ(run.counter_part_names[0][1],
+            "adl_grt::INST_RETIRED:ANY[intel_atom]");
+  ASSERT_GE(run.samples.size(), 2u);
+  for (const Sample& s : run.samples) {
+    ASSERT_EQ(s.counters.size(), 1u);
+    ASSERT_EQ(s.counter_parts.size(), 1u);
+    ASSERT_EQ(s.counter_parts[0].size(), 2u);
+    EXPECT_EQ(s.counter_parts[0][0] + s.counter_parts[0][1], s.counters[0])
+        << "parts sum to the transparent total";
+  }
+  const Sample& last = run.samples.back();
+  EXPECT_GT(last.counter_parts[0][0], 0.0)
+      << "master worker is pinned to a P core";
+  EXPECT_EQ(last.counter_parts[0][1], 0.0)
+      << "no E-core work on a P-only run";
+}
+
 TEST(Monitor, RepeatedMonitoredRunsAreConsistent) {
   // Two repetitions of the same short HPL run with a settle in between
   // (the paper's N-run protocol) should agree closely on Gflops.

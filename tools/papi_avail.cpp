@@ -1,15 +1,18 @@
 // papi_avail equivalent: list the preset events and their availability
 // on a machine, including the hybrid expansion (which native events each
-// preset derives from on each core PMU) and how availability changes
-// under the legacy preset policies.
+// preset derives from on each core PMU, labelled by detected core type)
+// and how availability changes under the legacy preset policies.
 //
 //   papi_avail [--machine raptorlake|orangepi|xeon|tritype]
 //              [--policy derived|default-only|error]
+//
+// The rendering itself lives in papi/avail_report.hpp so the report is
+// golden-testable in-process.
 #include <cstdio>
 #include <string>
 
-#include "base/table.hpp"
 #include "cpumodel/machine.hpp"
+#include "papi/avail_report.hpp"
 #include "papi/library.hpp"
 #include "papi/sim_backend.hpp"
 #include "simkernel/kernel.hpp"
@@ -45,44 +48,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("Available PAPI preset events on %s (policy: %s)\n",
-              machine.name.c_str(), policy_name.c_str());
-  std::printf("hybrid: %s; core PMUs:",
-              (*lib)->hardware_info().hybrid ? "yes" : "no");
-  for (const pfm::ActivePmu* pmu : (*lib)->pfm().default_pmus()) {
-    std::printf(" %s", pmu->table->pfm_name.c_str());
-  }
-  std::printf("\n");
-
-  // papi_component_avail's one-liner: which measurement components the
-  // library registered against this backend.
-  std::printf("components:");
-  for (const auto& component : (*lib)->registry().components()) {
-    std::printf(" %s(%s)", std::string(component->name()).c_str(),
-                std::string(to_string(component->scope())).c_str());
-  }
-  std::printf("\n\n");
-
-  const auto available = (*lib)->available_presets();
-  const auto is_available = [&](const std::string& name) {
-    return std::find(available.begin(), available.end(), name) !=
-           available.end();
-  };
-
-  TextTable table({"preset", "avail", "description", "expands to"});
-  for (const papi::PresetDef& preset : papi::preset_table()) {
-    std::string expansion;
-    for (const pfm::ActivePmu* pmu : (*lib)->pfm().default_pmus()) {
-      const auto native = papi::native_for_kind(*pmu->table, preset.kind);
-      if (!expansion.empty()) expansion += " + ";
-      expansion += native ? pmu->table->pfm_name + "::" + *native
-                          : pmu->table->pfm_name + "::<none>";
-    }
-    table.add_row({preset.name, is_available(preset.name) ? "yes" : "no",
-                   preset.description, expansion});
-  }
-  std::printf("%s", table.render().c_str());
-  std::printf("\n%zu of %zu presets available\n", available.size(),
-              papi::preset_table().size());
+  std::printf("%s", papi::render_avail_report(**lib, machine.name, policy_name)
+                        .c_str());
   return 0;
 }
