@@ -8,6 +8,7 @@
 
 #include "cpumodel/machine.hpp"
 #include "linuxkernel/linux_backend.hpp"
+#include "papi/fault_injection.hpp"
 #include "papi/library.hpp"
 #include "papi/sim_backend.hpp"
 #include "simkernel/kernel.hpp"
@@ -24,14 +25,20 @@ using simkernel::SimKernel;
 struct Fixture {
   std::unique_ptr<SimKernel> kernel;
   std::unique_ptr<papi::SimBackend> backend;
+  std::unique_ptr<papi::FaultInjectingBackend> injector;
   std::unique_ptr<Library> lib;
   int set = -1;
 
   explicit Fixture(const std::vector<std::string>& events,
                    bool multiplex = false, bool use_rdpmc = false,
-                   bool cache_read_plan = true) {
+                   bool cache_read_plan = true,
+                   const char* fault_profile = nullptr) {
     kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
     backend = std::make_unique<papi::SimBackend>(kernel.get());
+    if (fault_profile != nullptr) {
+      injector = std::make_unique<papi::FaultInjectingBackend>(
+          backend.get(), *papi::FaultProfile::named(fault_profile), 1);
+    }
     workload::PhaseSpec phase;
     const auto tid = kernel->spawn(
         std::make_shared<workload::FixedWorkProgram>(phase,
@@ -42,7 +49,10 @@ struct Fixture {
     config.use_rdpmc = use_rdpmc;
     config.cache_read_plan = cache_read_plan;
     config.call_overhead_instructions = 0;  // measuring, not modelling
-    auto created = Library::init(backend.get(), config);
+    auto created = Library::init(
+        injector ? static_cast<papi::Backend*>(injector.get())
+                 : backend.get(),
+        config);
     lib = std::move(*created);
     set = *lib->create_eventset();
     for (const std::string& event : events) {
@@ -101,6 +111,31 @@ void BM_ReadQualified_DerivedPreset_Hybrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReadQualified_DerivedPreset_Hybrid);
+
+void BM_ReadChecked_DerivedPreset_Hybrid(benchmark::State& state) {
+  // The tolerant read: the same group fan-out as read() plus the
+  // per-slot validity bookkeeping the degradation machinery threads
+  // through — the A/B partner that shows the hardening stays off the
+  // plain read's hot path.
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"});
+  for (auto _ : state) {
+    auto reading = f.lib->read_checked(f.set);
+    benchmark::DoNotOptimize(reading);
+  }
+}
+BENCHMARK(BM_ReadChecked_DerivedPreset_Hybrid);
+
+void BM_Read_ThroughIdleFaultInjector(benchmark::State& state) {
+  // The fault-injection decorator with the "none" profile: what the
+  // chaos seam costs when plumbed in but idle (one ledger lookup and a
+  // forwarded virtual call per backend operation).
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"}, false, false, true, "none");
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_ThroughIdleFaultInjector);
 
 void BM_ReadQualified_SinglePmu(benchmark::State& state) {
   // Breakdown structure on a non-derived set: one constituent per slot,

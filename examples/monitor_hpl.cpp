@@ -5,6 +5,11 @@
 //               [--events <comma-list>]    (PAPI events read per sample)
 //               [--per-core-type yes]      (split each sampled event into
 //                                           its per-core-PMU constituents)
+//               [--fault-profile <name>]   (chaos mode: inject faults into
+//                                           the measurement backend; names
+//                                           from papi::FaultProfile)
+//               [--fault-seed <n>]         (seed for the fault schedule —
+//                                           same seed, same faults)
 //               [--out <dir>]    (write per-run and averaged CSVs, the
 //                                 raw-data layout of the paper's artifact)
 //
@@ -19,6 +24,7 @@
 
 #include "base/strings.hpp"
 #include "cpumodel/machine.hpp"
+#include "papi/fault_injection.hpp"
 #include "simkernel/kernel.hpp"
 #include "telemetry/monitor.hpp"
 #include "workload/hpl.hpp"
@@ -31,6 +37,8 @@ int main(int argc, char** argv) {
   std::string cores;
   std::string out_dir;
   std::string events;
+  std::string fault_profile = "none";
+  long long fault_seed = 0;
   bool per_core_type = false;
   int n = 0;
   int runs = 3;
@@ -46,6 +54,17 @@ int main(int argc, char** argv) {
     else if (flag == "--events") events = value;
     else if (flag == "--per-core-type")
       per_core_type = std::string_view(value) == "yes";
+    else if (flag == "--fault-profile") fault_profile = value;
+    else if (flag == "--fault-seed") fault_seed = *parse_int(value);
+  }
+  if (fault_profile != "none" && !papi::FaultProfile::named(fault_profile)) {
+    std::string known;
+    for (const std::string& name : papi::FaultProfile::profile_names()) {
+      known += known.empty() ? name : ", " + name;
+    }
+    std::fprintf(stderr, "unknown --fault-profile '%s' (known: %s)\n",
+                 fault_profile.c_str(), known.c_str());
+    return 1;
   }
 
   const cpumodel::MachineSpec machine = machine_name == "orangepi"
@@ -89,6 +108,8 @@ int main(int argc, char** argv) {
     }
     monitor.per_core_type_counters = per_core_type;
   }
+  monitor.fault_profile = fault_profile;
+  monitor.fault_seed = static_cast<std::uint64_t>(fault_seed);
 
   // CSV writer shared by per-run and averaged outputs (one row per
   // sample: t, per-cpu MHz, temp, rapl W, wall W, then one column per
@@ -135,6 +156,17 @@ int main(int argc, char** argv) {
     std::printf("run %d: %.1f s, %.2f Gflops\n", run + 1,
                 std::chrono::duration<double>(results.back().elapsed).count(),
                 results.back().gflops);
+    if (fault_profile != "none") {
+      const telemetry::RunHealth& h = results.back().health;
+      std::printf(
+          "  health: ticks=%llu failed=%llu degraded=%llu dropped=%zu"
+          "%s faults=%llu leaked_fds=%zu\n",
+          static_cast<unsigned long long>(h.ticks_attempted),
+          static_cast<unsigned long long>(h.ticks_failed),
+          static_cast<unsigned long long>(h.ticks_degraded),
+          h.counters_dropped, h.sampling_abandoned ? " ABANDONED" : "",
+          static_cast<unsigned long long>(h.faults_injected), h.leaked_fds);
+    }
     if (!out_dir.empty()) {
       write_csv(out_dir + "/run" + std::to_string(run + 1) + ".csv",
                 results.back());

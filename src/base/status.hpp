@@ -32,6 +32,7 @@ enum class StatusCode : int32_t {
   kPermission,        // EACCES/EPERM from the kernel layer
   kBusy,              // EBUSY: counters taken
   kOutOfRange,        // index outside container
+  kInterrupted,       // EINTR/EAGAIN: transient, retry-able syscall failure
 };
 
 /// Human-readable name for a status code (stable, test-visible).
@@ -54,6 +55,7 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kPermission: return "PERMISSION";
     case StatusCode::kBusy: return "BUSY";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kInterrupted: return "INTERRUPTED";
   }
   return "UNKNOWN";
 }

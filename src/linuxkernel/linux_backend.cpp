@@ -34,10 +34,16 @@ Status errno_status(std::string_view what) {
     case EACCES: case EPERM: code = StatusCode::kPermission; break;
     case EBUSY: code = StatusCode::kBusy; break;
     case ENOMEM: case EMFILE: code = StatusCode::kNoMemory; break;
+    case EINTR: case EAGAIN: code = StatusCode::kInterrupted; break;
     default: break;
   }
   return make_error(code, std::string(what) + ": " + std::strerror(err));
 }
+
+/// Syscall-level EINTR bound: a signal storm should not surface as a
+/// failed read, but an unbounded loop must not hang either. The library
+/// layer retries kInterrupted again on top of this.
+constexpr int kSyscallEintrRetries = 8;
 
 /// Translate our backend-neutral (type, CountKind) pair onto the real
 /// ABI. Core-PMU kinds go through the generalized hardware ids with the
@@ -208,14 +214,23 @@ Status LinuxBackend::perf_ioctl(int fd, papi::PerfIoctl op,
   }
   const unsigned long arg =
       (flags & simkernel::kIocFlagGroup) != 0 ? PERF_IOC_FLAG_GROUP : 0;
-  if (::ioctl(fd, request, arg) != 0) return errno_status("perf ioctl");
+  int rc = -1;
+  for (int attempt = 0; attempt < kSyscallEintrRetries; ++attempt) {
+    rc = ::ioctl(fd, request, arg);
+    if (rc == 0 || errno != EINTR) break;
+  }
+  if (rc != 0) return errno_status("perf ioctl");
   return Status::ok();
 }
 
 Expected<papi::PerfValue> LinuxBackend::perf_read(int fd) {
   // Non-group read with both time fields.
   std::uint64_t buffer[3] = {0, 0, 0};
-  const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+  ssize_t n = -1;
+  for (int attempt = 0; attempt < kSyscallEintrRetries; ++attempt) {
+    n = ::read(fd, buffer, sizeof(buffer));
+    if (n >= 0 || errno != EINTR) break;
+  }
   if (n < 0) return errno_status("perf read");
   papi::PerfValue value;
   value.value = buffer[0];
@@ -231,7 +246,11 @@ Expected<papi::PerfValue> LinuxBackend::perf_read(int fd) {
 Expected<std::vector<papi::PerfValue>> LinuxBackend::perf_read_group(int fd) {
   GroupReadBuffer buffer;
   std::memset(&buffer, 0, sizeof(buffer));
-  const ssize_t n = ::read(fd, &buffer, sizeof(buffer));
+  ssize_t n = -1;
+  for (int attempt = 0; attempt < kSyscallEintrRetries; ++attempt) {
+    n = ::read(fd, &buffer, sizeof(buffer));
+    if (n >= 0 || errno != EINTR) break;
+  }
   if (n < 0) return errno_status("perf group read");
   std::vector<papi::PerfValue> out;
   for (std::uint64_t i = 0; i < buffer.nr && i < 64; ++i) {
@@ -251,7 +270,10 @@ Expected<std::uint64_t> LinuxBackend::perf_rdpmc(int fd) {
 }
 
 Status LinuxBackend::perf_close(int fd) {
-  if (::close(fd) != 0) return errno_status("close");
+  // Never retry close: on Linux the fd is released even when close
+  // reports EINTR, and a retry could close an unrelated fd reused in
+  // the meantime. EINTR therefore counts as success here.
+  if (::close(fd) != 0 && errno != EINTR) return errno_status("close");
   return Status::ok();
 }
 

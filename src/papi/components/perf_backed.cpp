@@ -1,5 +1,7 @@
 #include "papi/components/perf_backed.hpp"
 
+#include "papi/retry.hpp"
+
 namespace hetpapi::papi {
 
 using simkernel::kIocFlagGroup;
@@ -63,6 +65,7 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
                      simkernel::kFormatTotalTimeEnabled |
                      simkernel::kFormatTotalTimeRunning;
 
+  const int retries = env_.config->transient_retry_attempts;
   if (group == nullptr) {
     if (ps.groups.full() ||
         (!target.multiplexed && ps.groups.size() >= kMaxPmuGroups)) {
@@ -71,8 +74,8 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
                             std::to_string(kMaxPmuGroups) + " PMU groups)");
     }
     attr.disabled = true;  // leaders start disabled; PAPI_start enables
-    auto fd = env_.backend->perf_event_open(attr, binding->tid, binding->cpu,
-                                            -1, 0);
+    auto fd = open_with_retry(*env_.backend, attr, binding->tid, binding->cpu,
+                              -1, 0, retries);
     if (!fd) return fd.status();
     Group new_group;
     new_group.perf_type = request.enc.perf_type;
@@ -80,12 +83,20 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
     new_group.members.push_back(static_cast<int>(ps.slots.size()));
     ps.groups.push_back(new_group);
     ps.slots.push_back(Slot{request, *fd});
-    return install_handler(ps.slots.back());
+    const Status installed = install_handler(ps.slots.back());
+    if (!installed.is_ok()) {
+      // Undo the half-opened leader: a failed open_slot must leave the
+      // state exactly as it was, fd included.
+      (void)env_.backend->perf_close(*fd);
+      ps.slots.pop_back();
+      ps.groups.pop_back();
+    }
+    return installed;
   }
 
   attr.disabled = false;  // siblings gate on their leader
-  auto fd = env_.backend->perf_event_open(attr, binding->tid, binding->cpu,
-                                          group->leader_fd, 0);
+  auto fd = open_with_retry(*env_.backend, attr, binding->tid, binding->cpu,
+                            group->leader_fd, 0, retries);
   if (!fd) return fd.status();
   if (group->members.full()) {
     (void)env_.backend->perf_close(*fd);
@@ -93,7 +104,13 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
   }
   group->members.push_back(static_cast<int>(ps.slots.size()));
   ps.slots.push_back(Slot{request, *fd});
-  return install_handler(ps.slots.back());
+  const Status installed = install_handler(ps.slots.back());
+  if (!installed.is_ok()) {
+    (void)env_.backend->perf_close(*fd);
+    ps.slots.pop_back();
+    group->members.pop_back();
+  }
+  return installed;
 }
 
 Status PerfBackedComponent::close_all(ComponentState& state) {
@@ -136,31 +153,51 @@ Status PerfBackedComponent::close_all(ComponentState& state) {
 
 Status PerfBackedComponent::start(ComponentState& state) {
   // The multi-group fan-out at the heart of §IV-E: reset + enable every
-  // PMU group belonging to this EventSet.
+  // PMU group belonging to this EventSet. A failure enabling group k
+  // disables groups 0..k-1 again (best effort) so a failed start never
+  // leaves counters silently running.
   PerfState& ps = perf_state(state);
-  for (const Group& group : ps.groups) {
-    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
-        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
-    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
-        group.leader_fd, PerfIoctl::kEnable, kIocFlagGroup));
+  const int retries = env_.config->transient_retry_attempts;
+  for (std::size_t g = 0; g < ps.groups.size(); ++g) {
+    Status s = ioctl_with_retry(*env_.backend, ps.groups[g].leader_fd,
+                                PerfIoctl::kReset, kIocFlagGroup, retries);
+    if (s.is_ok()) {
+      s = ioctl_with_retry(*env_.backend, ps.groups[g].leader_fd,
+                           PerfIoctl::kEnable, kIocFlagGroup, retries);
+    }
+    if (!s.is_ok()) {
+      for (std::size_t k = g; k-- > 0;) {
+        (void)ioctl_with_retry(*env_.backend, ps.groups[k].leader_fd,
+                               PerfIoctl::kDisable, kIocFlagGroup, retries);
+      }
+      return s;
+    }
   }
   return Status::ok();
 }
 
 Status PerfBackedComponent::stop(ComponentState& state) {
+  // Keep disabling the remaining groups after a failure — stop must
+  // quiesce as much as it can; the first error is still reported.
   PerfState& ps = perf_state(state);
+  const int retries = env_.config->transient_retry_attempts;
+  Status first_error = Status::ok();
   for (const Group& group : ps.groups) {
-    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
-        group.leader_fd, PerfIoctl::kDisable, kIocFlagGroup));
+    const Status s = ioctl_with_retry(*env_.backend, group.leader_fd,
+                                      PerfIoctl::kDisable, kIocFlagGroup,
+                                      retries);
+    if (!s.is_ok() && first_error.is_ok()) first_error = s;
   }
-  return Status::ok();
+  return first_error;
 }
 
 Status PerfBackedComponent::reset(ComponentState& state) {
   PerfState& ps = perf_state(state);
+  const int retries = env_.config->transient_retry_attempts;
   for (const Group& group : ps.groups) {
-    HETPAPI_RETURN_IF_ERROR(env_.backend->perf_ioctl(
-        group.leader_fd, PerfIoctl::kReset, kIocFlagGroup));
+    HETPAPI_RETURN_IF_ERROR(ioctl_with_retry(*env_.backend, group.leader_fd,
+                                             PerfIoctl::kReset, kIocFlagGroup,
+                                             retries));
   }
   return Status::ok();
 }
@@ -189,7 +226,8 @@ void PerfBackedComponent::build_read_plan(const PerfState& ps) const {
 }
 
 Status PerfBackedComponent::read(const ComponentState& state, bool scale,
-                                 std::vector<double>& values) const {
+                                 std::vector<double>& values,
+                                 std::vector<std::uint8_t>* valid) const {
   // Gather per-slot raw/scaled values across all groups. The fan-out
   // (which leader fds to read, where each returned value lands) is
   // pre-resolved into a read plan; with cache_read_plan off it is
@@ -201,6 +239,7 @@ Status PerfBackedComponent::read(const ComponentState& state, bool scale,
     ps.read_plan_valid = env_.config->cache_read_plan;
   }
 
+  const int retries = env_.config->transient_retry_attempts;
   for (const ReadPlanEntry& entry : ps.read_plan) {
     // Fast path first (§V-5): a singleton group whose event is resident
     // can be served by rdpmc without a read syscall.
@@ -211,10 +250,23 @@ Status PerfBackedComponent::read(const ComponentState& state, bool scale,
         continue;
       }
     }
-    auto group_values = env_.backend->perf_read_group(entry.leader_fd);
-    if (!group_values) return group_values.status();
-    if (group_values->size() != entry.member_count) {
-      return make_error(StatusCode::kBug, "group read size mismatch");
+    auto group_values =
+        read_group_with_retry(*env_.backend, entry.leader_fd, retries);
+    if (group_values && group_values->size() != entry.member_count) {
+      group_values = make_error(StatusCode::kBug, "group read size mismatch");
+    }
+    if (!group_values) {
+      // Strict callers abort the collection; tolerant callers degrade
+      // this group's slots (value 0, validity cleared) and keep reading
+      // the other groups — one dead counter costs one group, not the
+      // whole EventSet.
+      if (valid == nullptr) return group_values.status();
+      for (std::size_t i = 0; i < entry.member_count; ++i) {
+        const std::size_t slot = ps.plan_members[entry.member_begin + i];
+        values[slot] = 0.0;
+        (*valid)[slot] = 0;
+      }
+      continue;
     }
     for (std::size_t i = 0; i < entry.member_count; ++i) {
       const PerfValue& pv = (*group_values)[i];

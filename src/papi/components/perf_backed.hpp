@@ -26,7 +26,8 @@ class PerfBackedComponent : public Component {
   Status stop(ComponentState& state) override;
   Status reset(ComponentState& state) override;
   Status read(const ComponentState& state, bool scale,
-              std::vector<double>& values) const override;
+              std::vector<double>& values,
+              std::vector<std::uint8_t>* valid = nullptr) const override;
   int group_count(const ComponentState& state) const override;
 
  protected:

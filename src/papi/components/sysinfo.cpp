@@ -175,18 +175,28 @@ Status SysinfoComponent::reset(ComponentState& state) {
 }
 
 Status SysinfoComponent::read(const ComponentState& state, bool scale,
-                              std::vector<double>& values) const {
+                              std::vector<double>& values,
+                              std::vector<std::uint8_t>* valid) const {
   (void)scale;  // software readings are never multiplexed.
   const auto& st = static_cast<const SysinfoState&>(state);
   for (const auto& slot : st.slots) {
+    const auto index = static_cast<std::size_t>(slot.request.global_index);
     double out = slot.frozen;
     if (st.running) {
       auto value = read_raw(slot);
-      if (!value.has_value()) return value.status();
+      if (!value.has_value()) {
+        // Tolerant callers degrade the slot (a vanished procfs/sysfs
+        // file costs one reading, not the collection); strict callers
+        // get the error.
+        if (valid == nullptr) return value.status();
+        values[index] = 0.0;
+        (*valid)[index] = 0;
+        continue;
+      }
       out = slot.reading == Reading::kPackageTempMc ? *value
                                                     : *value - slot.baseline;
     }
-    values[static_cast<std::size_t>(slot.request.global_index)] = out;
+    values[index] = out;
   }
   return Status::ok();
 }

@@ -41,7 +41,8 @@ class SysinfoComponent final : public Component {
   Status stop(ComponentState& state) override;
   Status reset(ComponentState& state) override;
   Status read(const ComponentState& state, bool scale,
-              std::vector<double>& values) const override;
+              std::vector<double>& values,
+              std::vector<std::uint8_t>* valid = nullptr) const override;
   /// Software reads hold no kernel groups: they add nothing to the
   /// per-call overhead model and never perturb the measured thread.
   int group_count(const ComponentState& state) const override {

@@ -39,6 +39,18 @@ struct LibraryConfig {
   /// re-deriving it on every read/stop/accum. Off reproduces the
   /// per-call recomputation cost the overhead bench quantifies.
   bool cache_read_plan = true;
+  /// Attempt budget for transient (EINTR/EAGAIN -> kInterrupted)
+  /// syscall failures: every backend call site retries up to this many
+  /// total attempts before surfacing the error.
+  int transient_retry_attempts = 4;
+  /// Graceful degradation for multi-constituent (derived hybrid)
+  /// events: when one core-type PMU refuses to open its constituent,
+  /// keep the constituents that did open instead of failing the whole
+  /// add. The event is flagged degraded, read() returns the partial sum
+  /// and read_qualified() reports the missing constituents with their
+  /// validity bit cleared. Off (the default) preserves the historical
+  /// all-or-nothing behaviour — a partial sum must be asked for.
+  bool degrade_partial_presets = false;
 };
 
 /// Describes one value slot of an EventSet read.
@@ -46,6 +58,25 @@ struct EventInfo {
   std::string display_name;       // what the user added
   bool is_preset = false;
   std::vector<std::string> native_names;  // canonical constituent events
+  /// True when the event opened on only a subset of its constituent
+  /// PMUs (LibraryConfig::degrade_partial_presets); reads of this slot
+  /// are partial sums.
+  bool degraded = false;
+  /// Canonical names of constituents that failed to open (empty unless
+  /// degraded).
+  std::vector<std::string> missing_names;
+};
+
+/// A tagged read: the values read() would return plus the degradation
+/// state of each slot, so callers can tell a full count from a partial
+/// one. A slot is degraded when its event opened on only a subset of
+/// its PMUs, or when a live counter failed to deliver this collection
+/// (stale fd, retry budget exhausted) — the value is then the sum of
+/// the constituents that did report.
+struct Reading {
+  std::vector<long long> values;            // one per user event, add order
+  std::vector<std::uint8_t> value_degraded; // 1 = values[i] is partial
+  bool degraded = false;                    // any slot degraded
 };
 
 /// One constituent of a qualified (per-PMU) read: the raw value the
@@ -60,6 +91,10 @@ struct QualifiedValue {
   /// +1 / -1 weight this constituent contributes to the derived total.
   int sign = 1;
   long long value = 0;
+  /// False when this constituent delivered no count: it never opened
+  /// (degraded add) or its counter died / kept failing at read time.
+  /// Invalid parts carry value 0 and are excluded from the total.
+  bool valid = true;
 };
 
 /// PAPI_read_qualified-style result for one user event: the transparent
@@ -70,6 +105,9 @@ struct QualifiedReading {
   bool is_preset = false;
   long long total = 0;
   std::vector<QualifiedValue> parts;
+  /// True when any part is invalid: the total is a partial sum over the
+  /// valid constituents only.
+  bool degraded = false;
 };
 
 /// PAPI_overflow delivery: which user event of which EventSet crossed

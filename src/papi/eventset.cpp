@@ -102,14 +102,33 @@ Status EventSetCore::add_user_event(
   user.display_name = std::string(display_name);
   user.is_preset = is_preset;
 
-  // All-or-nothing: remember how much to roll back on failure.
+  // All-or-nothing by default: remember how much to roll back on
+  // failure. With degrade_partial_presets a multi-constituent (derived
+  // hybrid) event instead keeps whatever constituents opened — one
+  // refusing core-type PMU narrows the event rather than rejecting it —
+  // as long as at least one opened. kConflict stays fatal either way:
+  // a PMU-mix violation is a caller error, not a flaky kernel.
+  const bool may_degrade =
+      config_->degrade_partial_presets && constituents.size() > 1;
   const std::size_t natives_before = natives_.size();
+  Status first_failure = Status::ok();
   for (const auto& [enc, sign] : constituents) {
     const Status added = add_native(enc, sign, user);
     if (!added.is_ok()) {
+      if (may_degrade && added.code() != StatusCode::kConflict) {
+        if (first_failure.is_ok()) first_failure = added;
+        user.missing.push_back(
+            MissingConstituent{enc, sign, added.to_string()});
+        continue;
+      }
       (void)rollback_natives(natives_before);
       return added;
     }
+  }
+  if (user.native_indices.empty()) {
+    // Every constituent refused — nothing to degrade to.
+    (void)rollback_natives(natives_before);
+    return first_failure;
   }
   user_events_.push_back(std::move(user));
   return Status::ok();
@@ -164,10 +183,7 @@ Status EventSetCore::remove_event(std::string_view name) {
   }
 
   // Re-open the survivors in order, rebuilding the groups.
-  for (std::size_t i = 0; i < natives_.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(i));
-  }
-  return Status::ok();
+  return reopen_slots_or_empty();
 }
 
 Status EventSetCore::close_everything() {
@@ -182,8 +198,25 @@ Status EventSetCore::close_everything() {
 
 Status EventSetCore::reopen_all() {
   HETPAPI_RETURN_IF_ERROR(close_everything());
+  return reopen_slots_or_empty();
+}
+
+Status EventSetCore::reopen_slots_or_empty() {
   for (std::size_t i = 0; i < natives_.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(i));
+    const Status opened = open_slot(i);
+    if (!opened.is_ok()) {
+      // The prior layout cannot be restored (e.g. the backend now
+      // refuses an open that used to succeed). A half-open set would
+      // serve stale values for the unopened slots, so fall back to the
+      // one state that is always consistent and leak-free: empty.
+      (void)close_everything();
+      natives_.clear();
+      user_events_.clear();
+      return make_error(StatusCode::kComponent,
+                        "could not restore the EventSet layout (" +
+                            opened.to_string() +
+                            "); the set was emptied, no fds leaked");
+    }
   }
   return Status::ok();
 }
@@ -193,10 +226,7 @@ Status EventSetCore::rollback_natives(std::size_t natives_before) {
   // dropped, so tear everything down and rebuild from the survivors.
   (void)close_everything();
   while (natives_.size() > natives_before) natives_.pop_back();
-  for (std::size_t i = 0; i < natives_.size(); ++i) {
-    HETPAPI_RETURN_IF_ERROR(open_slot(i));
-  }
-  return Status::ok();
+  return reopen_slots_or_empty();
 }
 
 Status EventSetCore::set_multiplex() {
@@ -263,8 +293,17 @@ Status EventSetCore::start() {
     HETPAPI_RETURN_IF_ERROR(locks_->check(*use.component, tgt, id_));
   }
 
-  for (ComponentUse& use : uses_) {
-    HETPAPI_RETURN_IF_ERROR(use.component->start(*use.state));
+  // Transactional enable: a component that refuses to start rolls the
+  // already-started ones back, so a failed start() leaves no counter
+  // silently running and the set cleanly stopped.
+  for (std::size_t j = 0; j < uses_.size(); ++j) {
+    const Status started = uses_[j].component->start(*uses_[j].state);
+    if (!started.is_ok()) {
+      for (std::size_t k = j; k-- > 0;) {
+        (void)uses_[k].component->stop(*uses_[k].state);
+      }
+      return started;
+    }
   }
   for (const ComponentUse& use : uses_) {
     locks_->acquire(*use.component, tgt, id_);
@@ -318,14 +357,11 @@ Expected<std::vector<QualifiedReading>> EventSetCore::read_qualified() const {
   // One kernel collection — the same fan-out and per-call charge as
   // read() — then keep the per-native values instead of folding them
   // away, so the breakdown and the total come from the same instant.
-  if (native_scratch_.size() != natives_.size()) {
-    native_scratch_.assign(natives_.size(), 0.0);
-  }
-  const bool scale = multiplexed_ && config_->scale_multiplexed;
-  for (const ComponentUse& use : uses_) {
-    HETPAPI_RETURN_IF_ERROR(
-        use.component->read(*use.state, scale, native_scratch_));
-  }
+  // Collection is tolerant: a constituent that cannot deliver comes
+  // back as an invalid part (value 0, excluded from the total) rather
+  // than failing the whole reading, and constituents that never opened
+  // (degraded add) are reported the same way.
+  HETPAPI_RETURN_IF_ERROR(collect_checked());
   if (target_ != simkernel::kInvalidTid && running()) {
     backend_->charge_call_overhead(
         target_,
@@ -347,8 +383,22 @@ Expected<std::vector<QualifiedReading>> EventSetCore::read_qualified() const {
       part.native_name = slot.enc.canonical_name;
       part.pmu_name = slot.enc.pmu_name;
       part.sign = user.native_signs[i];
-      part.value = static_cast<long long>(native_scratch_[native_idx]);
-      sum += user.native_signs[i] * native_scratch_[native_idx];
+      part.valid = valid_scratch_[native_idx] != 0;
+      if (part.valid) {
+        part.value = static_cast<long long>(native_scratch_[native_idx]);
+        sum += user.native_signs[i] * native_scratch_[native_idx];
+      } else {
+        reading.degraded = true;
+      }
+      reading.parts.push_back(std::move(part));
+    }
+    for (const MissingConstituent& missing : user.missing) {
+      QualifiedValue part;
+      part.native_name = missing.enc.canonical_name;
+      part.pmu_name = missing.enc.pmu_name;
+      part.sign = missing.sign;
+      part.valid = false;
+      reading.degraded = true;
       reading.parts.push_back(std::move(part));
     }
     reading.total = static_cast<long long>(sum);
@@ -378,6 +428,56 @@ Status EventSetCore::reset() {
     HETPAPI_RETURN_IF_ERROR(use.component->reset(*use.state));
   }
   return Status::ok();
+}
+
+bool EventSetCore::degraded() const {
+  for (const UserEvent& user : user_events_) {
+    if (!user.missing.empty()) return true;
+  }
+  return false;
+}
+
+Status EventSetCore::collect_checked() const {
+  if (native_scratch_.size() != natives_.size()) {
+    native_scratch_.assign(natives_.size(), 0.0);
+  }
+  valid_scratch_.assign(natives_.size(), 1);
+  const bool scale = multiplexed_ && config_->scale_multiplexed;
+  for (const ComponentUse& use : uses_) {
+    HETPAPI_RETURN_IF_ERROR(use.component->read(
+        *use.state, scale, native_scratch_, &valid_scratch_));
+  }
+  return Status::ok();
+}
+
+Expected<Reading> EventSetCore::read_checked() const {
+  HETPAPI_RETURN_IF_ERROR(collect_checked());
+  if (target_ != simkernel::kInvalidTid && running()) {
+    backend_->charge_call_overhead(
+        target_,
+        config_->call_overhead_instructions * running_group_count_);
+  }
+
+  Reading out;
+  out.values.reserve(user_events_.size());
+  out.value_degraded.reserve(user_events_.size());
+  for (const UserEvent& user : user_events_) {
+    double sum = 0.0;
+    bool slot_degraded = !user.missing.empty();
+    for (std::size_t i = 0; i < user.native_indices.size(); ++i) {
+      const auto native_idx =
+          static_cast<std::size_t>(user.native_indices[i]);
+      if (valid_scratch_[native_idx] != 0) {
+        sum += user.native_signs[i] * native_scratch_[native_idx];
+      } else {
+        slot_degraded = true;
+      }
+    }
+    out.values.push_back(static_cast<long long>(sum));
+    out.value_degraded.push_back(slot_degraded ? 1 : 0);
+    out.degraded = out.degraded || slot_degraded;
+  }
+  return out;
 }
 
 Expected<std::vector<long long>> EventSetCore::collect() const {
@@ -416,6 +516,10 @@ Expected<std::vector<EventInfo>> EventSetCore::info() const {
     for (int idx : user.native_indices) {
       info.native_names.push_back(
           natives_[static_cast<std::size_t>(idx)].enc.canonical_name);
+    }
+    info.degraded = !user.missing.empty();
+    for (const MissingConstituent& missing : user.missing) {
+      info.missing_names.push_back(missing.enc.canonical_name);
     }
     out.push_back(std::move(info));
   }

@@ -37,6 +37,10 @@ class EventSetCore {
   int id() const { return id_; }
   bool running() const { return state_ == SetState::kRunning; }
   bool has_natives() const { return !natives_.empty(); }
+  /// True when any user event opened on only a subset of its
+  /// constituent PMUs (LibraryConfig::degrade_partial_presets): plain
+  /// read() values for those slots are partial sums.
+  bool degraded() const;
 
   /// Bind to a thread. Existing events transparently re-open.
   Status attach(Tid tid);
@@ -61,6 +65,11 @@ class EventSetCore {
   Status start();
   Expected<std::vector<long long>> stop();
   Expected<std::vector<long long>> read() const;
+  /// read() plus per-slot degradation tags, collected tolerantly: a
+  /// counter that cannot deliver (dead fd, retry budget exhausted)
+  /// degrades its slot to a partial sum instead of failing the call.
+  /// The strict read() surfaces the same situation as an error.
+  Expected<Reading> read_checked() const;
   /// PAPI_read_qualified: one reading per user event carrying the raw
   /// per-constituent (per-PMU) values alongside the derived total. The
   /// totals are computed from the same collection as read(), so a
@@ -91,12 +100,24 @@ class EventSetCore {
     int user_event_index = -1;
   };
 
+  /// A constituent that failed to open under graceful degradation:
+  /// remembered so read_qualified() can report it with its validity bit
+  /// cleared instead of silently narrowing the breakdown.
+  struct MissingConstituent {
+    pfm::Encoding enc;
+    int sign = 1;
+    std::string error;  // why the open failed, for reporting
+  };
+
   struct UserEvent {
     std::string display_name;
     bool is_preset = false;
     FixedVector<int, 2 * kMaxPmuGroups> native_indices;
     /// +1 / -1 weight per constituent (DERIVED_SUB presets subtract).
     FixedVector<int, 2 * kMaxPmuGroups> native_signs;
+    /// Constituents that refused to open (degrade_partial_presets);
+    /// non-empty implies the event's values are partial sums.
+    std::vector<MissingConstituent> missing;
   };
 
   /// One component with open slots on behalf of this EventSet, in
@@ -126,7 +147,15 @@ class EventSetCore {
   /// beyond `natives_before`, close everything and rebuild survivors.
   Status rollback_natives(std::size_t natives_before);
 
+  /// Re-open every surviving native slot; if any refuses, tear the set
+  /// down to empty (consistent, zero leaked fds) rather than leave a
+  /// half-open layout that would read stale values.
+  Status reopen_slots_or_empty();
+
   Expected<std::vector<long long>> collect() const;
+  /// Tolerant collection: per-native validity recorded in
+  /// valid_scratch_, failed slots contribute 0 (see Component::read).
+  Status collect_checked() const;
 
   int id_;
   Backend* backend_;
@@ -153,6 +182,8 @@ class EventSetCore {
   /// Per-native value scratch for collect() (mutable: read is logically
   /// const).
   mutable std::vector<double> native_scratch_;
+  /// Per-native validity scratch for the tolerant collection paths.
+  mutable std::vector<std::uint8_t> valid_scratch_;
 };
 
 }  // namespace hetpapi::papi

@@ -1,0 +1,135 @@
+// Deterministic, seed-driven fault injection over the Backend seam.
+//
+// FaultInjectingBackend decorates any Backend (sim or Linux) and
+// injects the failure mix real Linux hits constantly but tests never
+// exercise: perf_event_open refusing with ENOENT/EACCES/EMFILE,
+// RLIMIT_NOFILE-style fd exhaustion after N opens, EINTR/EAGAIN bursts
+// on reads and ioctls, rdpmc unavailability, and the stale-fd death of
+// a running counter. Every decision is drawn from a seeded xoshiro
+// stream, so the same seed against the same call sequence reproduces
+// the same faults bit-for-bit — a chaos run is a deterministic test.
+//
+// The injector doubles as an accounting oracle: it keeps a ledger of
+// every fd opened through it and not yet closed, so a test can assert
+// "zero leaked fds" at teardown no matter which faults fired.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "papi/backend.hpp"
+
+namespace hetpapi::papi {
+
+/// The failure model: per-call probabilities plus structural limits.
+/// All probabilities are in [0, 1] and evaluated independently per
+/// backend call in a fixed order.
+struct FaultProfile {
+  std::string name = "none";
+
+  /// perf_event_open refuses with this probability...
+  double open_fail_prob = 0.0;
+  /// ...picking the failure flavour by these relative weights.
+  double open_enoent_weight = 1.0;  // -> kNotFound  (no such event/PMU)
+  double open_eacces_weight = 0.0;  // -> kPermission (paranoid/seccomp)
+  double open_emfile_weight = 0.0;  // -> kNoMemory   (fd table full)
+
+  /// RLIMIT_NOFILE stand-in: opens beyond this many live fds fail with
+  /// EMFILE (-1 = unlimited).
+  int max_open_fds = -1;
+
+  /// Transient EINTR/EAGAIN (-> kInterrupted) on perf_read /
+  /// perf_read_group, delivered in bursts of `transient_burst`
+  /// consecutive failures per trigger so a bounded retry either rides
+  /// it out (burst < budget) or genuinely exhausts (burst >= budget).
+  double read_transient_prob = 0.0;
+  /// Transient failures on perf_ioctl (enable/disable/reset).
+  double ioctl_transient_prob = 0.0;
+  int transient_burst = 2;
+
+  /// Permanent death of a live counter: each read rolls this chance of
+  /// the fd going stale; every later operation on it fails (kSystem).
+  double stale_fd_prob = 0.0;
+
+  /// rdpmc reports kNotSupported (forces the read(2) fallback path).
+  bool rdpmc_unavailable = false;
+
+  /// A named profile ("none", "flaky-open", "fd-pressure",
+  /// "transient-read", "stale-fd", "mixed"); kInvalidArgument for
+  /// unknown names.
+  static Expected<FaultProfile> named(std::string_view name);
+  /// All names accepted by named(), for CLI help text.
+  static std::vector<std::string> profile_names();
+};
+
+class FaultInjectingBackend final : public Backend {
+ public:
+  /// What the injector did and saw — consistency oracles for tests.
+  struct Stats {
+    std::uint64_t opens_attempted = 0;
+    std::uint64_t opens_injected_failed = 0;
+    std::uint64_t reads_attempted = 0;
+    std::uint64_t reads_injected_transient = 0;
+    std::uint64_t ioctls_injected_transient = 0;
+    std::uint64_t fds_gone_stale = 0;
+    std::uint64_t stale_fd_hits = 0;
+
+    std::uint64_t total_injected() const {
+      return opens_injected_failed + reads_injected_transient +
+             ioctls_injected_transient + fds_gone_stale + stale_fd_hits;
+    }
+  };
+
+  FaultInjectingBackend(Backend* inner, FaultProfile profile,
+                        std::uint64_t seed)
+      : inner_(inner), profile_(std::move(profile)), rng_(seed) {}
+
+  Expected<int> perf_event_open(const PerfEventAttr& attr, Tid tid, int cpu,
+                                int group_fd, std::uint64_t flags) override;
+  Status perf_ioctl(int fd, PerfIoctl op, std::uint32_t flags) override;
+  Expected<PerfValue> perf_read(int fd) override;
+  Expected<std::vector<PerfValue>> perf_read_group(int fd) override;
+  Expected<std::uint64_t> perf_rdpmc(int fd) override;
+  Status perf_close(int fd) override;
+  Status perf_set_overflow_handler(int fd, OverflowHandler handler) override {
+    return inner_->perf_set_overflow_handler(fd, std::move(handler));
+  }
+
+  const pfm::Host& host() const override { return inner_->host(); }
+  bool supports_component(std::string_view name) const override {
+    return inner_->supports_component(name);
+  }
+  Tid default_target() const override { return inner_->default_target(); }
+  void charge_call_overhead(Tid tid, std::uint64_t instructions) override {
+    inner_->charge_call_overhead(tid, instructions);
+  }
+
+  /// The open-fd ledger: fds opened through this backend and not yet
+  /// closed. Empty at teardown == nothing leaked, whatever faults fired.
+  std::size_t open_fd_count() const { return live_fds_.size(); }
+  std::vector<int> leaked_fds() const {
+    return {live_fds_.begin(), live_fds_.end()};
+  }
+
+  const Stats& stats() const { return stats_; }
+  const FaultProfile& profile() const { return profile_; }
+
+ private:
+  /// Shared fault ladder for read-shaped calls; kOk means "forward".
+  Status read_fault(int fd);
+
+  Backend* inner_;
+  FaultProfile profile_;
+  Rng rng_;
+  std::set<int> live_fds_;
+  std::set<int> stale_fds_;
+  /// Remaining consecutive transient failures owed per fd.
+  std::map<int, int> pending_transients_;
+  Stats stats_;
+};
+
+}  // namespace hetpapi::papi

@@ -327,6 +327,22 @@ Expected<std::vector<long long>> Library::read(int eventset) const {
   return set->read();
 }
 
+Expected<Reading> Library::read_checked(int eventset) const {
+  const EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  return set->read_checked();
+}
+
+Expected<bool> Library::eventset_degraded(int eventset) const {
+  const EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  return set->degraded();
+}
+
 std::string Library::core_type_for_pmu(std::string_view pmu_name) const {
   const pfm::ActivePmu* pmu = pfm_.find_pmu(pmu_name);
   if (pmu == nullptr || !pmu->is_core) return "";

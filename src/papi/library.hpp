@@ -125,6 +125,16 @@ class Library {
   /// add order).
   Expected<std::vector<long long>> stop(int eventset);
   Expected<std::vector<long long>> read(int eventset) const;
+  /// read() plus degradation tags, collected tolerantly: one dead
+  /// counter (stale fd, exhausted retry budget) degrades its slot to a
+  /// partial sum with Reading::value_degraded[i] set, instead of
+  /// failing the whole call the way the strict read() does. The
+  /// resilience surface the telemetry sampler reads through.
+  Expected<Reading> read_checked(int eventset) const;
+  /// True when any event in the set opened on only a subset of its
+  /// constituent PMUs (LibraryConfig::degrade_partial_presets) — plain
+  /// read() values are partial sums for those slots.
+  Expected<bool> eventset_degraded(int eventset) const;
   /// PAPI_read_qualified: like read(), but each value slot carries the
   /// per-PMU breakdown a derived preset was transparently summed from,
   /// with every constituent labelled by its detected core type (§V-2's

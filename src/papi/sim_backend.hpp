@@ -50,6 +50,10 @@ class SimBackend final : public Backend {
 
   simkernel::SimKernel* kernel() { return kernel_; }
 
+  /// Live perf events in the simulated kernel — the fd-leak invariant
+  /// tests assert zero at teardown.
+  std::size_t open_fd_count() const { return kernel_->perf().open_event_count(); }
+
  private:
   simkernel::SimKernel* kernel_;
   pfm::SimHost host_;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "base/log.hpp"
+#include "papi/fault_injection.hpp"
 #include "papi/sim_backend.hpp"
 
 namespace hetpapi::telemetry {
@@ -50,27 +51,56 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
   // the master worker. Reads genuinely perturb the measured thread via
   // the call-overhead model, exactly like a caliper would.
   papi::SimBackend papi_backend(&kernel);
+  // Chaos mode interposes the deterministic fault injector between the
+  // library and the kernel; its ledger doubles as the leak oracle
+  // reported in RunResult::health.
+  std::unique_ptr<papi::FaultInjectingBackend> injector;
+  papi::Backend* measurement_backend = &papi_backend;
+  if (monitor_config.fault_profile != "none" &&
+      !monitor_config.fault_profile.empty()) {
+    if (auto profile = papi::FaultProfile::named(monitor_config.fault_profile)) {
+      injector = std::make_unique<papi::FaultInjectingBackend>(
+          &papi_backend, *profile, monitor_config.fault_seed);
+      measurement_backend = injector.get();
+    } else {
+      HETPAPI_WARN << "monitor: unknown fault profile '"
+                   << monitor_config.fault_profile
+                   << "', running without injection";
+    }
+  }
   std::unique_ptr<papi::Library> papi_lib;
   int papi_set = -1;
   if (!monitor_config.sample_events.empty()) {
-    if (auto lib = papi::Library::init(&papi_backend)) {
+    papi::LibraryConfig lib_config;
+    // A monitored run prefers a partial counter over no counter: one
+    // refused core-type PMU must not black out the whole preset.
+    lib_config.degrade_partial_presets = true;
+    if (auto lib = papi::Library::init(measurement_backend, lib_config)) {
       papi_lib = std::move(*lib);
       bool ok = false;
       if (auto set = papi_lib->create_eventset()) {
         papi_set = *set;
         ok = papi_lib->attach(papi_set, tids.front()).is_ok();
+        // Per-event degradation: an event that cannot be added is
+        // skipped (and reported in health), the rest still sample.
         for (const std::string& event : monitor_config.sample_events) {
           if (!ok) break;
           const Status added = papi_lib->add_event(papi_set, event);
           if (!added.is_ok()) {
             HETPAPI_WARN << "monitor: cannot sample " << event << ": "
                          << added.to_string();
-            ok = false;
+            result.health.events_not_added.push_back(event);
+          } else {
+            result.counter_names.push_back(event);
           }
         }
+        if (result.counter_names.empty()) ok = false;
         if (ok) ok = papi_lib->start(papi_set).is_ok();
       }
-      if (!ok) papi_lib.reset();
+      if (!ok) {
+        papi_lib.reset();
+        result.counter_names.clear();
+      }
     }
   }
 
@@ -78,8 +108,8 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
   sampler.reset();
   if (papi_lib) {
     sampler.attach_counters(papi_lib.get(), papi_set,
-                            monitor_config.per_core_type_counters);
-    result.counter_names = monitor_config.sample_events;
+                            monitor_config.per_core_type_counters,
+                            monitor_config.max_consecutive_counter_failures);
     if (monitor_config.per_core_type_counters) {
       // Label the constituents once — the breakdown structure is fixed
       // for the lifetime of the set, only the values change per sample.
@@ -118,7 +148,33 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
     }
   }
 
-  if (papi_lib) (void)papi_lib->stop(papi_set);
+  if (papi_lib) {
+    (void)papi_lib->stop(papi_set);
+    const CounterHealth& health = sampler.counter_health();
+    result.health.ticks_attempted = health.ticks_attempted;
+    result.health.ticks_failed = health.ticks_failed;
+    result.health.ticks_degraded = health.ticks_degraded;
+    result.health.sampling_abandoned = health.abandoned;
+    result.health.counters_dropped = health.dropped_count();
+    for (std::size_t i = 0;
+         i < health.dropped.size() && i < result.counter_names.size(); ++i) {
+      if (health.dropped[i] != 0) {
+        result.health.dropped_counters.push_back(result.counter_names[i]);
+      }
+    }
+  }
+  // Tear the measurement library down before consulting the injector's
+  // ledger, so the leak check sees the post-destruction fd population.
+  papi_lib.reset();
+  if (injector) {
+    result.health.faults_injected = injector->stats().total_injected();
+    result.health.leaked_fds = injector->open_fd_count();
+    if (result.health.leaked_fds != 0) {
+      HETPAPI_WARN << "monitor: " << result.health.leaked_fds
+                   << " perf fds leaked under fault profile '"
+                   << injector->profile().name << "'";
+    }
+  }
 
   result.elapsed = kernel.now() - start;
   result.gflops = hpl.gflops(result.elapsed).value;

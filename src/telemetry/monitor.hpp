@@ -12,6 +12,28 @@
 
 namespace hetpapi::telemetry {
 
+/// Health summary of a monitored run's counter path (aggregated from the
+/// sampler's per-tick accounting, plus the fault injector's ledger when
+/// chaos is enabled).
+struct RunHealth {
+  std::uint64_t ticks_attempted = 0;
+  std::uint64_t ticks_failed = 0;
+  std::uint64_t ticks_degraded = 0;
+  /// Counters individually dropped after repeated consecutive failures.
+  std::size_t counters_dropped = 0;
+  std::vector<std::string> dropped_counters;
+  /// Counter sampling was abandoned mid-run (telemetry continued).
+  bool sampling_abandoned = false;
+  /// Events requested in MonitorConfig::sample_events that could not be
+  /// added to the EventSet (the rest were still sampled).
+  std::vector<std::string> events_not_added;
+  /// Fault-injection accounting (zero when no fault profile is active).
+  std::uint64_t faults_injected = 0;
+  /// Fds still open in the injector's ledger after the measurement
+  /// library was torn down — must be zero.
+  std::size_t leaked_fds = 0;
+};
+
 struct RunResult {
   std::vector<Sample> samples;
   /// Display names of the per-sample PAPI counters (one per
@@ -29,6 +51,8 @@ struct RunResult {
   /// Ground-truth counters per core type (what perf would report),
   /// summed over all worker threads.
   std::vector<simkernel::ExecCounts> counts_per_type;
+  /// Counter-path health over the run (all zeros without sample_events).
+  RunHealth health;
 };
 
 struct MonitorConfig {
@@ -51,6 +75,16 @@ struct MonitorConfig {
   /// RunResult::counter_part_names. Default off: samples are
   /// byte-identical to the plain read path.
   bool per_core_type_counters = false;
+  /// Consecutive failed ticks after which a counter is dropped (and
+  /// after which whole-set read failures abandon counter sampling).
+  int max_consecutive_counter_failures = 3;
+  /// Chaos mode: wrap the monitor's measurement backend in a
+  /// FaultInjectingBackend with this named profile (see
+  /// papi::FaultProfile::named; "none" disables injection) and seed.
+  /// The run itself must survive any profile — failures degrade
+  /// sampling, never abort the workload.
+  std::string fault_profile = "none";
+  std::uint64_t fault_seed = 0;
 };
 
 /// Run one monitored HPL execution: one worker thread pinned to each cpu

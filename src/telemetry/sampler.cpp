@@ -20,10 +20,15 @@ Sampler::Sampler(const simkernel::SimKernel* kernel) : kernel_(kernel) {
 }
 
 void Sampler::attach_counters(const papi::Library* library, int eventset,
-                              bool qualified) {
+                              bool qualified, int max_consecutive_failures) {
   library_ = library;
   eventset_ = eventset;
   qualified_ = qualified;
+  max_consecutive_failures_ =
+      max_consecutive_failures > 0 ? max_consecutive_failures : 1;
+  health_ = CounterHealth{};
+  consecutive_invalid_.clear();
+  consecutive_set_failures_ = 0;
 }
 
 void Sampler::reset() {
@@ -32,6 +37,9 @@ void Sampler::reset() {
   unwrapped_energy_uj_ = 0.0;
   last_sample_t_ = 0.0;
   last_sample_energy_uj_ = 0.0;
+  health_ = CounterHealth{};
+  consecutive_invalid_.clear();
+  consecutive_set_failures_ = 0;
 }
 
 std::optional<double> Sampler::read_energy_uj() {
@@ -102,29 +110,95 @@ Sample Sampler::sample() {
   s.board_power_w =
       meter.reading(kernel_->governor().package_power()).value;
 
-  if (library_ != nullptr) {
-    if (qualified_) {
-      if (const auto readings = library_->read_qualified(eventset_)) {
-        s.counters.reserve(readings->size());
-        s.counter_parts.reserve(readings->size());
-        for (const papi::QualifiedReading& reading : *readings) {
-          s.counters.push_back(static_cast<double>(reading.total));
-          std::vector<double> parts;
-          parts.reserve(reading.parts.size());
-          for (const papi::QualifiedValue& part : reading.parts) {
-            parts.push_back(static_cast<double>(part.sign * part.value));
-          }
-          s.counter_parts.push_back(std::move(parts));
-        }
+  if (library_ != nullptr) sample_counters(s);
+  return s;
+}
+
+void Sampler::sample_counters(Sample& s) {
+  ++health_.ticks_attempted;
+  const std::size_t known_slots = health_.dropped.size();
+
+  const auto fail_tick = [&] {
+    s.counters_ok = false;
+    s.counters.assign(known_slots, std::nan(""));
+    ++health_.ticks_failed;
+    if (!health_.abandoned &&
+        ++consecutive_set_failures_ >= max_consecutive_failures_) {
+      health_.abandoned = true;
+    }
+  };
+  if (health_.abandoned) {
+    fail_tick();
+    return;
+  }
+
+  // Collect this tick's per-slot (value, validity) pairs — same shape
+  // for the plain and qualified paths, so the drop bookkeeping below is
+  // shared.
+  std::vector<double> values;
+  std::vector<std::uint8_t> valid;
+  if (qualified_) {
+    const auto readings = library_->read_qualified(eventset_);
+    if (!readings) {
+      fail_tick();
+      return;
+    }
+    values.reserve(readings->size());
+    valid.reserve(readings->size());
+    s.counter_parts.reserve(readings->size());
+    for (const papi::QualifiedReading& reading : *readings) {
+      values.push_back(static_cast<double>(reading.total));
+      valid.push_back(reading.degraded ? 0 : 1);
+      std::vector<double> parts;
+      parts.reserve(reading.parts.size());
+      for (const papi::QualifiedValue& part : reading.parts) {
+        parts.push_back(part.valid
+                            ? static_cast<double>(part.sign * part.value)
+                            : std::nan(""));
       }
-    } else if (const auto values = library_->read(eventset_)) {
-      s.counters.reserve(values->size());
-      for (const long long v : *values) {
-        s.counters.push_back(static_cast<double>(v));
-      }
+      s.counter_parts.push_back(std::move(parts));
+    }
+  } else {
+    const auto reading = library_->read_checked(eventset_);
+    if (!reading) {
+      fail_tick();
+      return;
+    }
+    values.reserve(reading->values.size());
+    valid.reserve(reading->values.size());
+    for (std::size_t i = 0; i < reading->values.size(); ++i) {
+      values.push_back(static_cast<double>(reading->values[i]));
+      valid.push_back(i < reading->value_degraded.size() &&
+                              reading->value_degraded[i] != 0
+                          ? 0
+                          : 1);
     }
   }
-  return s;
+  consecutive_set_failures_ = 0;
+
+  if (health_.dropped.size() != values.size()) {
+    health_.dropped.assign(values.size(), 0);
+    consecutive_invalid_.assign(values.size(), 0);
+  }
+  bool any_degraded = false;
+  s.counters.reserve(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (health_.dropped[i] != 0) {
+      s.counters.push_back(std::nan(""));
+      continue;
+    }
+    if (valid[i] != 0) {
+      consecutive_invalid_[i] = 0;
+      s.counters.push_back(values[i]);
+      continue;
+    }
+    any_degraded = true;
+    s.counters.push_back(std::nan(""));
+    if (++consecutive_invalid_[i] >= max_consecutive_failures_) {
+      health_.dropped[i] = 1;
+    }
+  }
+  if (any_degraded) ++health_.ticks_degraded;
 }
 
 }  // namespace hetpapi::telemetry

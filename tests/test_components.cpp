@@ -32,6 +32,16 @@ using simkernel::Tid;
 using workload::FixedWorkProgram;
 using workload::PhaseSpec;
 
+/// Scope guard for tests with a local backend: when it runs (after the
+/// Library is destroyed), zero perf events may still be open.
+struct FdLeakGuard {
+  explicit FdLeakGuard(const SimBackend* b) : guarded(b) {}
+  ~FdLeakGuard() {
+    EXPECT_EQ(guarded->open_fd_count(), 0u) << "leaked perf fds at teardown";
+  }
+  const SimBackend* guarded;
+};
+
 TEST(ComponentRegistry, DuplicateRegistrationIsConflict) {
   ComponentRegistry registry;
   ASSERT_TRUE(registry
@@ -65,6 +75,12 @@ class ComponentTest : public ::testing::Test {
     auto lib = Library::init(&backend_, config);
     EXPECT_TRUE(lib.has_value()) << lib.status().to_string();
     return std::move(*lib);
+  }
+
+  // Runs after the body (and with it every Library) is gone: whatever
+  // the test did, no perf event may outlive its owners.
+  void TearDown() override {
+    EXPECT_EQ(backend_.open_fd_count(), 0u) << "leaked perf fds at teardown";
   }
 
   Tid spawn_pinned(std::uint64_t instructions, int cpu) {
@@ -228,6 +244,7 @@ TEST_P(SysinfoMachineTest, DeterministicAcrossIdenticalRuns) {
   const auto run_once = [&] {
     SimKernel kernel(GetParam()());
     SimBackend backend(&kernel);
+    FdLeakGuard leak_guard(&backend);
     PhaseSpec phase;
     // Enough work that busy time clears /proc/stat's 10 ms jiffy
     // granularity even on the fastest simulated core.

@@ -59,6 +59,16 @@ std::string case_name(const ::testing::TestParamInfo<MatrixCase>& info) {
   return name;
 }
 
+/// Scope guard: when it runs (after the test's Library is destroyed),
+/// zero perf events may still be open in the simulated kernel.
+struct FdLeakGuard {
+  explicit FdLeakGuard(const SimBackend* b) : guarded(b) {}
+  ~FdLeakGuard() {
+    EXPECT_EQ(guarded->open_fd_count(), 0u) << "leaked perf fds at teardown";
+  }
+  const SimBackend* guarded;
+};
+
 class HybridMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
 
 TEST_P(HybridMatrixTest, DerivedPresetMatchesGroundTruthPerCoreType) {
@@ -70,6 +80,7 @@ TEST_P(HybridMatrixTest, DerivedPresetMatchesGroundTruthPerCoreType) {
   config.sched.migration_rate_hz = 60.0;
   SimKernel kernel(machine, config);
   SimBackend backend(&kernel);
+  FdLeakGuard leak_guard(&backend);
 
   // Pick the pinning cpus: type 0 is the big class on both machines.
   const std::vector<int> big = machine.cpus_of_type(0);
@@ -183,6 +194,7 @@ TEST_P(QualifiedMatrixTest, BreakdownSumsToTotalAndMatchesGroundTruth) {
   config.sched.migration_rate_hz = 60.0;
   SimKernel kernel(machine, config);
   SimBackend backend(&kernel);
+  FdLeakGuard leak_guard(&backend);
 
   PhaseSpec phase;
   phase.llc_refs_per_kinstr = 8.0;
@@ -310,6 +322,7 @@ TEST(QualifiedMatrixTest, HomogeneousDerivedSumEqualsSinglePmuTotal) {
   const cpumodel::MachineSpec machine = cpumodel::homogeneous_xeon();
   SimKernel kernel(machine);
   SimBackend backend(&kernel);
+  FdLeakGuard leak_guard(&backend);
   const Tid tid = kernel.spawn(
       std::make_shared<FixedWorkProgram>(PhaseSpec{}, 100'000'000),
       CpuSet::all(machine.num_cpus()));
@@ -348,6 +361,7 @@ TEST(QualifiedMatrixTest, PinnedHybridForeignPartReadsZero) {
   const cpumodel::MachineSpec machine = cpumodel::raptor_lake_i7_13700();
   SimKernel kernel(machine);
   SimBackend backend(&kernel);
+  FdLeakGuard leak_guard(&backend);
   const std::vector<int> big = machine.cpus_of_type(0);
   const Tid tid = kernel.spawn(
       std::make_shared<FixedWorkProgram>(PhaseSpec{}, 100'000'000),
