@@ -1,0 +1,232 @@
+// daemon_load: the counter-service load generator. Sweeps client count
+// 1 -> 64 with every client riding the SAME subscription spec, plus a
+// distinct-spec control cell, and reports:
+//
+//   * backend reads per client-delivered sample (the coalescing ratio:
+//     ~1/N for the shared sweep, ~1 for the distinct control), and
+//   * per-client sample-retrieval latency percentiles (p50/p95/p99),
+//     which must stay flat across the sweep — a slow client count would
+//     mean the daemon does per-client backend work it should coalesce.
+//
+// Counts and ratios are deterministic and go to stdout; wall-clock
+// latencies go to BENCH_daemon_load.json (BenchRecorder convention:
+// stdout stays bit-identical across runs and --threads values, which
+// feed the daemon's encode pool).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "cpumodel/machine.hpp"
+#include "papi/sim_backend.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/transport.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+using namespace hetpapi;
+using service::Client;
+using service::TargetKind;
+
+namespace {
+
+constexpr int kTicks = 40;
+constexpr int kDistinctTargets = 8;
+
+struct CellResult {
+  std::string label;
+  int clients = 0;
+  std::uint64_t distinct_subscriptions = 0;
+  std::uint64_t backend_reads = 0;
+  std::uint64_t client_reads = 0;  // samples delivered across all clients
+  double reads_per_client_read = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// One load cell: `clients` subscribers spread across `targets` worker
+/// threads (targets == 1 -> everyone coalesces onto one EventSet;
+/// targets == clients -> every subscription is distinct).
+CellResult run_cell(const std::string& label, int clients, int targets,
+                    std::size_t encode_threads) {
+  simkernel::SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  papi::SimBackend backend(&kernel);
+  std::vector<simkernel::Tid> tids;
+  for (int i = 0; i < targets; ++i) {
+    tids.push_back(kernel.spawn(
+        std::make_shared<workload::FixedWorkProgram>(workload::PhaseSpec{},
+                                                     40'000'000'000ull),
+        simkernel::CpuSet::of({i})));
+  }
+  service::DaemonConfig dconfig;
+  dconfig.encode_threads = encode_threads;
+  service::LoopbackTransport transport;
+  service::Daemon daemon(&kernel, &backend, dconfig);
+  if (const Status s = daemon.init(); !s.is_ok()) {
+    std::fprintf(stderr, "daemon init: %s\n", s.to_string().c_str());
+    std::exit(1);
+  }
+  daemon.add_listener(transport.listener());
+  transport.set_pump([&daemon] { daemon.poll(); });
+
+  std::vector<std::unique_ptr<Client>> riders;
+  for (int i = 0; i < clients; ++i) {
+    auto client = std::make_unique<Client>(transport.connect());
+    if (!client->hello("load-" + std::to_string(i)).is_ok()) {
+      std::fprintf(stderr, "hello failed for client %d\n", i);
+      std::exit(1);
+    }
+    service::Subscribe spec;
+    spec.target_kind = TargetKind::kThread;
+    spec.target = tids[static_cast<std::size_t>(i % targets)];
+    spec.events = {"PAPI_TOT_INS", "PAPI_TOT_CYC"};
+    if (const auto ack = client->subscribe(spec); !ack.has_value()) {
+      std::fprintf(stderr, "subscribe failed for client %d: %s\n", i,
+                   ack.status().to_string().c_str());
+      std::exit(1);
+    }
+    riders.push_back(std::move(client));
+  }
+
+  const std::uint64_t reads_before = daemon.stats().backend_reads;
+  const std::uint64_t samples_before = daemon.stats().samples_delivered;
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(clients) * kTicks);
+  std::uint64_t samples_seen = 0;
+  for (int t = 0; t < kTicks; ++t) {
+    kernel.run_for(std::chrono::milliseconds(5));
+    daemon.tick();
+    for (auto& rider : riders) {
+      const auto start = std::chrono::steady_clock::now();
+      samples_seen += rider->take_samples().size();
+      const auto stop = std::chrono::steady_clock::now();
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(stop - start).count());
+    }
+  }
+
+  CellResult result;
+  result.label = label;
+  result.clients = clients;
+  result.distinct_subscriptions = daemon.distinct_subscription_count();
+  result.backend_reads = daemon.stats().backend_reads - reads_before;
+  result.client_reads = daemon.stats().samples_delivered - samples_before;
+  if (samples_seen != result.client_reads) {
+    std::fprintf(stderr, "warning: %s: clients swept %llu of %llu samples\n",
+                 label.c_str(),
+                 static_cast<unsigned long long>(samples_seen),
+                 static_cast<unsigned long long>(result.client_reads));
+  }
+  result.reads_per_client_read =
+      result.client_reads == 0
+          ? 0.0
+          : static_cast<double>(result.backend_reads) /
+                static_cast<double>(result.client_reads);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  result.p50_us = percentile(latencies_us, 0.50);
+  result.p95_us = percentile(latencies_us, 0.95);
+  result.p99_us = percentile(latencies_us, 0.99);
+
+  for (auto& rider : riders) static_cast<void>(rider->close());
+  daemon.shutdown();
+  if (backend.open_fd_count() != 0) {
+    std::fprintf(stderr, "error: %s leaked %zu fds\n", label.c_str(),
+                 backend.open_fd_count());
+    std::exit(1);
+  }
+  return result;
+}
+
+void write_json(const std::vector<CellResult>& cells, std::size_t threads,
+                double wall_s) {
+  const char* path = "BENCH_daemon_load.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out,
+               "{\n  \"name\": \"daemon_load\",\n  \"threads\": %zu,\n"
+               "  \"ticks_per_cell\": %d,\n  \"wall_s\": %.6f,\n"
+               "  \"cells\": [\n",
+               threads, kTicks, wall_s);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& c = cells[i];
+    std::fprintf(
+        out,
+        "    {\"label\": \"%s\", \"clients\": %d, "
+        "\"distinct_subscriptions\": %llu, \"backend_reads\": %llu, "
+        "\"client_reads\": %llu, \"reads_per_client_read\": %.6f, "
+        "\"latency_us\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}}%s\n",
+        c.label.c_str(), c.clients,
+        static_cast<unsigned long long>(c.distinct_subscriptions),
+        static_cast<unsigned long long>(c.backend_reads),
+        static_cast<unsigned long long>(c.client_reads),
+        c.reads_per_client_read, c.p50_us, c.p95_us, c.p99_us,
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s (wall %.3f s, %zu cells, %zu threads)\n",
+               path, wall_s, cells.size(), threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv, 64);
+  const auto bench_start = std::chrono::steady_clock::now();
+
+  std::vector<CellResult> cells;
+  std::printf("daemon_load: shared-subscription sweep, %d ticks per cell\n\n",
+              kTicks);
+  std::printf("%-18s %8s %9s %13s %13s %9s\n", "cell", "clients",
+              "distinct", "backend-reads", "client-reads", "ratio");
+  for (int clients = 1; clients <= opts.n; clients *= 2) {
+    cells.push_back(run_cell("same-spec/" + std::to_string(clients), clients,
+                             /*targets=*/1, opts.threads));
+    const CellResult& c = cells.back();
+    std::printf("%-18s %8d %9llu %13llu %13llu %9.4f\n", c.label.c_str(),
+                c.clients,
+                static_cast<unsigned long long>(c.distinct_subscriptions),
+                static_cast<unsigned long long>(c.backend_reads),
+                static_cast<unsigned long long>(c.client_reads),
+                c.reads_per_client_read);
+  }
+  // Control: distinct targets -> no coalescing -> ratio ~1.
+  cells.push_back(run_cell("distinct-spec/" + std::to_string(kDistinctTargets),
+                           kDistinctTargets, kDistinctTargets, opts.threads));
+  {
+    const CellResult& c = cells.back();
+    std::printf("%-18s %8d %9llu %13llu %13llu %9.4f\n", c.label.c_str(),
+                c.clients,
+                static_cast<unsigned long long>(c.distinct_subscriptions),
+                static_cast<unsigned long long>(c.backend_reads),
+                static_cast<unsigned long long>(c.client_reads),
+                c.reads_per_client_read);
+  }
+  std::printf(
+      "\ncoalescing holds when same-spec ratios track 1/clients while the\n"
+      "distinct-spec control stays at 1.0; latency percentiles live in\n"
+      "BENCH_daemon_load.json and must stay flat across the sweep.\n");
+
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - bench_start)
+                            .count();
+  write_json(cells, opts.threads, wall_s);
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "base/cli.hpp"
 #include "base/strings.hpp"
 #include "cpumodel/machine.hpp"
 #include "papi/fault_injection.hpp"
@@ -48,14 +49,18 @@ int main(int argc, char** argv) {
     if (flag == "--machine") machine_name = value;
     else if (flag == "--variant") variant = value;
     else if (flag == "--cores") cores = value;
-    else if (flag == "--n") n = static_cast<int>(*parse_int(value));
-    else if (flag == "--runs") runs = static_cast<int>(*parse_int(value));
+    else if (flag == "--n") {
+      n = static_cast<int>(cli::require_positive_int(flag, value));
+    }
+    else if (flag == "--runs") {
+      runs = static_cast<int>(cli::require_positive_int(flag, value));
+    }
     else if (flag == "--out") out_dir = value;
     else if (flag == "--events") events = value;
     else if (flag == "--per-core-type")
       per_core_type = std::string_view(value) == "yes";
     else if (flag == "--fault-profile") fault_profile = value;
-    else if (flag == "--fault-seed") fault_seed = *parse_int(value);
+    else if (flag == "--fault-seed") fault_seed = cli::require_int(flag, value);
   }
   if (fault_profile != "none" && !papi::FaultProfile::named(fault_profile)) {
     std::string known;

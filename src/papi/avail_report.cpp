@@ -1,6 +1,8 @@
 #include "papi/avail_report.hpp"
 
 #include <algorithm>
+#include <map>
+#include <vector>
 
 #include "base/strings.hpp"
 #include "base/table.hpp"
@@ -63,6 +65,58 @@ std::string render_avail_report(const Library& lib,
   out += table.render();
   out += str_format("\n%zu of %zu presets available\n", available.size(),
                     preset_table().size());
+  return out;
+}
+
+std::string render_native_avail_report(const pfm::PfmLibrary& pfmlib,
+                                       std::string_view machine_name) {
+  std::string out;
+  out += str_format("Native events on %s\n",
+                    std::string(machine_name).c_str());
+  int total = 0;
+  for (const pfm::ActivePmu& pmu : pfmlib.pmus()) {
+    out += str_format("\n--- PMU %s (%s, perf type %u)%s ---\n",
+                      pmu.table->pfm_name.c_str(), pmu.sysfs_name.c_str(),
+                      pmu.perf_type, pmu.is_core ? " [core]" : "");
+    for (const pfm::EventDesc& event : pmu.table->events) {
+      if (event.umasks.empty()) {
+        out += str_format("  %-46s %s\n",
+                          (pmu.table->pfm_name + "::" + event.name).c_str(),
+                          event.description.c_str());
+        ++total;
+        continue;
+      }
+      out += str_format("  %s::%s — %s\n", pmu.table->pfm_name.c_str(),
+                        event.name.c_str(), event.description.c_str());
+      for (const pfm::UmaskDesc& umask : event.umasks) {
+        out += str_format("      :%-20s %s\n", umask.name.c_str(),
+                          umask.description.c_str());
+        ++total;
+      }
+    }
+  }
+
+  // Cross-PMU availability diff for the core PMUs (the §I-C asymmetry).
+  const auto core_pmus = pfmlib.default_pmus();
+  if (core_pmus.size() > 1) {
+    std::map<std::string, std::vector<std::string>> by_event;
+    for (const pfm::ActivePmu* pmu : core_pmus) {
+      for (const pfm::EventDesc& event : pmu->table->events) {
+        by_event[event.name].push_back(pmu->table->pfm_name);
+      }
+    }
+    out += "\n--- events NOT available on every core type ---\n";
+    bool any = false;
+    for (const auto& [event, pmus] : by_event) {
+      if (pmus.size() == core_pmus.size()) continue;
+      any = true;
+      out += str_format("  %-24s only on:", event.c_str());
+      for (const std::string& pmu : pmus) out += " " + pmu;
+      out += "\n";
+    }
+    if (!any) out += "  (none)\n";
+  }
+  out += str_format("\n%d native events total\n", total);
   return out;
 }
 

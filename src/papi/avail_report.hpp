@@ -18,4 +18,12 @@ std::string render_avail_report(const Library& lib,
                                 std::string_view machine_name,
                                 std::string_view policy_name);
 
+/// Render the papi_native_avail listing: every native event (and umask)
+/// of every active PMU, followed by the cross-core-type availability
+/// diff over the core PMUs (the §I-C asymmetry — events present on one
+/// core type but not another). Only needs the pfm layer, so the tool
+/// and the golden tests share it without building a Library.
+std::string render_native_avail_report(const pfm::PfmLibrary& pfmlib,
+                                       std::string_view machine_name);
+
 }  // namespace hetpapi::papi

@@ -196,6 +196,23 @@ Status Library::add_custom_preset(EventSetCore& set, std::string_view name) {
   return set.add_user_event(name, /*is_preset=*/true, plan);
 }
 
+Expected<std::string> Library::canonical_event_name(
+    std::string_view name) const {
+  // Mirrors add_event's resolution order: custom presets, built-in
+  // presets, then the pfm native path — without touching any set.
+  if (starts_with(name, "PAPI_") || starts_with(name, "papi_")) {
+    for (const auto& [pmu_name, defs] : custom_presets_.sections) {
+      for (const CustomPresetDef& def : defs) {
+        if (iequals(def.name, name)) return def.name;
+      }
+    }
+  }
+  if (const PresetDef* preset = find_preset(name)) return preset->name;
+  auto enc = pfm_.encode(name);
+  if (!enc) return enc.status();
+  return enc->canonical_name;
+}
+
 Status Library::add_event(int eventset, std::string_view name) {
   EventSetCore* set = find_set(eventset);
   if (set == nullptr) {

@@ -76,6 +76,15 @@ class Library {
     return custom_presets_.preset_names();
   }
 
+  /// Canonical spelling of an event name without touching any EventSet:
+  /// presets resolve to their table spelling ("papi_tot_ins" ->
+  /// "PAPI_TOT_INS"), natives to the pfm canonical form
+  /// ("INST_RETIRED" -> "adl_glc::INST_RETIRED:ANY"). The sharing hook
+  /// the counter-service daemon keys shared subscriptions on — two
+  /// clients spelling the same event differently must coalesce onto one
+  /// server-side EventSet (src/service/daemon.cpp).
+  Expected<std::string> canonical_event_name(std::string_view name) const;
+
   // --- EventSet lifecycle ----------------------------------------------------
 
   Expected<int> create_eventset();

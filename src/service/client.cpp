@@ -1,0 +1,199 @@
+#include "service/client.hpp"
+
+#include <utility>
+
+namespace hetpapi::service {
+namespace {
+
+Status connection_gone() {
+  return Status(StatusCode::kNotRunning, "connection closed");
+}
+
+}  // namespace
+
+Status Client::send_all(const std::vector<std::uint8_t>& bytes) {
+  if (!connected()) return connection_gone();
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    auto n = conn_->send(bytes.data() + sent, bytes.size() - sent);
+    if (!n) return n.status();
+    if (*n == 0) {
+      // Would-block: give the peer a chance to drain (on the loopback
+      // transport receive() pumps the daemon; on a socket the kernel
+      // buffer empties on its own) and retry.
+      auto progressed = receive_some();
+      if (!progressed) return progressed.status();
+      continue;
+    }
+    sent += *n;
+  }
+  return Status::ok();
+}
+
+Expected<bool> Client::receive_some() {
+  if (!connected()) return connection_gone();
+  std::vector<std::uint8_t> chunk;
+  auto n = conn_->receive(chunk);
+  if (!n) return n.status();
+  if (*n == 0) return false;
+  if (capture_bytes_)
+    captured_bytes_.insert(captured_bytes_.end(), chunk.begin(), chunk.end());
+  reader_.feed(chunk);
+  return true;
+}
+
+bool Client::pump_once() {
+  auto got = receive_some();
+  if (!got) return false;
+  // Drain any complete frames into the stash so samples never pile up
+  // unobserved inside the reader.
+  while (true) {
+    auto frame = reader_.next();
+    if (!frame) break;
+    if (frame->type == MsgType::kSample) {
+      if (auto s = WireSample::decode(*frame)) samples_.push_back(*std::move(s));
+    } else if (frame->type == MsgType::kGoodbye) {
+      if (auto g = Goodbye::decode(*frame)) goodbye_reason_ = g->reason;
+    }
+    // Other frame types arriving outside an rpc() are stale replies
+    // (e.g. a CloseAck racing a drop) — drop them.
+  }
+  return true;
+}
+
+Expected<Frame> Client::rpc(MsgType expect,
+                            const std::vector<std::uint8_t>& frame_bytes) {
+  if (Status s = send_all(frame_bytes); !s.ok()) return s;
+  while (true) {
+    // Pop buffered frames first — bytes from a previous receive may
+    // already hold the reply.
+    auto frame = reader_.next();
+    if (frame) {
+      if (frame->type == expect) return *std::move(frame);
+      if (frame->type == MsgType::kSample) {
+        if (auto s = WireSample::decode(*frame))
+          samples_.push_back(*std::move(s));
+        continue;
+      }
+      if (frame->type == MsgType::kError) {
+        auto err = WireError::decode(*frame);
+        if (!err) return err.status();
+        return err->to_status();
+      }
+      if (frame->type == MsgType::kGoodbye) {
+        auto bye = Goodbye::decode(*frame);
+        goodbye_reason_ = bye ? bye->reason : "goodbye";
+        return Status(StatusCode::kNotRunning,
+                      "daemon said goodbye: " + goodbye_reason_);
+      }
+      // Unexpected interleaved reply — protocol confusion.
+      return Status(StatusCode::kBug,
+                    "unexpected frame " + std::string(to_string(frame->type)) +
+                        " while waiting for " + std::string(to_string(expect)));
+    }
+    if (frame.status().code() == StatusCode::kInvalidArgument)
+      return frame.status();  // corrupt stream
+    auto got = receive_some();
+    if (!got) return got.status();
+    // got == false just means no bytes this pass; on the loopback
+    // transport the pump already ran inside receive(), so loop again.
+  }
+}
+
+Status Client::hello(const std::string& client_name) {
+  Hello msg;
+  msg.client_name = client_name;
+  auto reply = rpc(MsgType::kHelloAck,
+                   encode_frame(MsgType::kHello, msg.encode()));
+  if (!reply) return reply.status();
+  auto ack = HelloAck::decode(*reply);
+  if (!ack) return ack.status();
+  if (ack->version != kProtocolVersion)
+    return Status(StatusCode::kNotSupported,
+                  "server speaks protocol v" + std::to_string(ack->version));
+  return Status::ok();
+}
+
+Expected<std::uint32_t> Client::open_session(TargetKind kind,
+                                             std::int64_t target) {
+  OpenSession msg;
+  msg.target_kind = kind;
+  msg.target = target;
+  auto reply = rpc(MsgType::kOpenSessionAck,
+                   encode_frame(MsgType::kOpenSession, msg.encode()));
+  if (!reply) return reply.status();
+  auto ack = OpenSessionAck::decode(*reply);
+  if (!ack) return ack.status();
+  return ack->session_id;
+}
+
+Expected<AddEventsAck> Client::add_events(
+    std::uint32_t session_id, const std::vector<std::string>& events) {
+  AddEvents msg;
+  msg.session_id = session_id;
+  msg.events = events;
+  auto reply = rpc(MsgType::kAddEventsAck,
+                   encode_frame(MsgType::kAddEvents, msg.encode()));
+  if (!reply) return reply.status();
+  return AddEventsAck::decode(*reply);
+}
+
+Status Client::start(std::uint32_t session_id) {
+  Start msg;
+  msg.session_id = session_id;
+  auto reply =
+      rpc(MsgType::kStartAck, encode_frame(MsgType::kStart, msg.encode()));
+  if (!reply) return reply.status();
+  return Status::ok();
+}
+
+Expected<ReadReply> Client::read(std::uint32_t session_id) {
+  Read msg;
+  msg.session_id = session_id;
+  auto reply =
+      rpc(MsgType::kReadReply, encode_frame(MsgType::kRead, msg.encode()));
+  if (!reply) return reply.status();
+  return ReadReply::decode(*reply);
+}
+
+Expected<SubscribeAck> Client::subscribe(const Subscribe& spec) {
+  auto reply = rpc(MsgType::kSubscribeAck,
+                   encode_frame(MsgType::kSubscribe, spec.encode()));
+  if (!reply) return reply.status();
+  return SubscribeAck::decode(*reply);
+}
+
+Status Client::unsubscribe(std::uint32_t subscription_id) {
+  Unsubscribe msg;
+  msg.subscription_id = subscription_id;
+  auto reply = rpc(MsgType::kUnsubscribeAck,
+                   encode_frame(MsgType::kUnsubscribe, msg.encode()));
+  if (!reply) return reply.status();
+  return Status::ok();
+}
+
+Expected<StatsReply> Client::stats() {
+  auto reply = rpc(MsgType::kStatsReply,
+                   encode_frame(MsgType::kGetStats, GetStats{}.encode()));
+  if (!reply) return reply.status();
+  return StatsReply::decode(*reply);
+}
+
+Status Client::close() {
+  if (!connected()) return Status::ok();
+  auto reply =
+      rpc(MsgType::kCloseAck, encode_frame(MsgType::kClose, Close{}.encode()));
+  conn_->close();
+  if (!reply) return reply.status();
+  return Status::ok();
+}
+
+std::vector<WireSample> Client::take_samples() {
+  // Sweep the transport once so freshly flushed samples are included.
+  if (connected()) pump_once();
+  std::vector<WireSample> out(samples_.begin(), samples_.end());
+  samples_.clear();
+  return out;
+}
+
+}  // namespace hetpapi::service

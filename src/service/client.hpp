@@ -1,0 +1,85 @@
+// Client side of the counter service: synchronous RPC over any
+// Connection, with streamed Samples collected out-of-band.
+//
+// The client is transport-agnostic: over a unix socket receive() blocks
+// until the daemon answers; over the loopback transport receive() pumps
+// the daemon, so the same synchronous code works single-threaded in
+// tests and benches. Sample frames that arrive while an RPC waits for
+// its reply are stashed and handed out via take_samples() — a stream
+// never desynchronizes the request/reply protocol.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/proto.hpp"
+#include "service/transport.hpp"
+
+namespace hetpapi::service {
+
+class Client {
+ public:
+  explicit Client(std::unique_ptr<Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  /// Handshake; must be the first call.
+  Status hello(const std::string& client_name);
+
+  /// One private session == one daemon-side EventSet.
+  Expected<std::uint32_t> open_session(TargetKind kind, std::int64_t target);
+  Expected<AddEventsAck> add_events(std::uint32_t session_id,
+                                    const std::vector<std::string>& events);
+  Status start(std::uint32_t session_id);
+  Expected<ReadReply> read(std::uint32_t session_id);
+
+  /// Join (or create) a shared subscription; the ack's shared_key_id
+  /// tells you whether you coalesced onto an existing one.
+  Expected<SubscribeAck> subscribe(const Subscribe& spec);
+  Status unsubscribe(std::uint32_t subscription_id);
+
+  Expected<StatsReply> stats();
+
+  /// Polite teardown: Close, wait for CloseAck, close the connection.
+  Status close();
+
+  /// Sweep the transport once for pending bytes, then hand out every
+  /// Sample frame collected so far (including ones stashed while an RPC
+  /// waited for its reply). Over the unix transport the sweep blocks
+  /// until at least one byte arrives, so call it when a sample is due.
+  std::vector<WireSample> take_samples();
+
+  /// Pull bytes off the transport once and stash any completed frames
+  /// (samples into the sample queue). Returns false when the
+  /// connection is gone.
+  bool pump_once();
+
+  /// Non-empty once the daemon said Goodbye (drain, idle, slow-drop).
+  const std::string& goodbye_reason() const { return goodbye_reason_; }
+  bool connected() const { return conn_ != nullptr && conn_->is_open(); }
+
+  /// Raw received-byte log for the determinism tests (every byte the
+  /// daemon sent us, in order), captured before frame reassembly.
+  void set_capture_bytes(bool capture) { capture_bytes_ = capture; }
+  const std::vector<std::uint8_t>& captured_bytes() const {
+    return captured_bytes_;
+  }
+
+ private:
+  /// Send `frame_bytes` fully, then wait for a frame of type `expect`
+  /// (or kError, which becomes the returned status).
+  Expected<Frame> rpc(MsgType expect, const std::vector<std::uint8_t>& frame);
+  Status send_all(const std::vector<std::uint8_t>& bytes);
+  /// Receive once into the reader; false = nothing arrived.
+  Expected<bool> receive_some();
+
+  std::unique_ptr<Connection> conn_;
+  FrameReader reader_;
+  std::deque<WireSample> samples_;
+  std::string goodbye_reason_;
+  bool capture_bytes_ = false;
+  std::vector<std::uint8_t> captured_bytes_;
+};
+
+}  // namespace hetpapi::service

@@ -1,0 +1,705 @@
+#include "service/daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/log.hpp"
+#include "base/strings.hpp"
+
+namespace hetpapi::service {
+
+namespace {
+
+/// One coalescing key: target kind/id, period, qualified flag, then the
+/// ordered canonical event names. Order-sensitive by design — the
+/// streamed value vector must match each subscriber's requested slot
+/// order, so differently-ordered lists are distinct subscriptions.
+std::string make_key(TargetKind kind, std::int64_t target,
+                     std::uint32_t period_ticks, bool qualified,
+                     const std::vector<std::string>& canonical_events) {
+  std::string key = str_format("k%d|t%lld|p%u|q%d|",
+                               static_cast<int>(kind),
+                               static_cast<long long>(target), period_ticks,
+                               qualified ? 1 : 0);
+  for (const std::string& event : canonical_events) {
+    key += event;
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Daemon::Daemon(simkernel::SimKernel* kernel, papi::Backend* backend,
+               DaemonConfig config)
+    : kernel_(kernel), backend_(backend), config_(std::move(config)) {}
+
+Daemon::~Daemon() { shutdown(); }
+
+Status Daemon::init() {
+  auto lib = papi::Library::init(backend_, config_.library);
+  if (!lib) return lib.status();
+  library_ = std::move(*lib);
+  if (config_.include_telemetry && kernel_ != nullptr) {
+    sampler_ = std::make_unique<telemetry::Sampler>(kernel_);
+    sampler_->reset();
+  }
+  if (config_.encode_threads > 1) {
+    encode_pool_ = std::make_unique<ThreadPool>(config_.encode_threads);
+  }
+  return Status::ok();
+}
+
+void Daemon::add_listener(Listener* listener) {
+  listeners_.push_back(listener);
+}
+
+std::size_t Daemon::session_count() const {
+  std::size_t n = 0;
+  for (const auto& client : clients_) n += client->sessions.size();
+  return n;
+}
+
+std::size_t Daemon::total_subscriber_count() const {
+  std::size_t n = 0;
+  for (const auto& [key_id, sub] : shared_subs_) n += sub.subscribers.size();
+  return n;
+}
+
+// --- wire plumbing ---------------------------------------------------------
+
+void Daemon::accept_pending() {
+  for (Listener* listener : listeners_) {
+    for (;;) {
+      auto conn = listener->accept();
+      if (!conn) break;
+      auto client = std::make_unique<ClientState>();
+      client->id = next_client_id_++;
+      client->conn = std::move(*conn);
+      client->last_activity_tick = stats_.ticks;
+      clients_.push_back(std::move(client));
+    }
+  }
+}
+
+void Daemon::enqueue(ClientState& client, MsgType type,
+                     const std::vector<std::uint8_t>& payload) {
+  client.out.push_back({encode_frame(type, payload), 0});
+  ++stats_.frames_sent;
+}
+
+void Daemon::enqueue_error(ClientState& client, MsgType in_reply_to,
+                           const Status& s) {
+  WireError err;
+  err.code = static_cast<std::int32_t>(s.code());
+  err.in_reply_to = static_cast<std::uint8_t>(in_reply_to);
+  err.message = s.message();
+  enqueue(client, MsgType::kError, err.encode());
+}
+
+void Daemon::flush_client(ClientState& client) {
+  if (!client.conn->is_open()) {
+    client.out.clear();
+    return;
+  }
+  while (!client.out.empty()) {
+    PendingBytes& front = client.out.front();
+    auto sent = client.conn->send(front.bytes.data() + front.offset,
+                                  front.bytes.size() - front.offset);
+    if (!sent) {  // peer gone
+      teardown_client(client);
+      client.conn->close();
+      return;
+    }
+    if (*sent == 0) return;  // would block; retry next poll/tick
+    front.offset += *sent;
+    if (front.offset >= front.bytes.size()) client.out.pop_front();
+  }
+  if (client.closing) client.conn->close();
+}
+
+void Daemon::enforce_queue_cap(ClientState& client) {
+  if (client.closing || client.out.size() <= config_.max_client_queue_frames) {
+    return;
+  }
+  // Slow-client drop: releasing its subscriptions keeps one wedged
+  // consumer from growing daemon memory without bound or stalling the
+  // shared tick. One best-effort Goodbye, then the connection dies.
+  ++stats_.clients_dropped_slow;
+  teardown_client(client);
+  client.out.clear();
+  Goodbye bye;
+  bye.reason = "dropped: send queue overflow (slow client)";
+  const auto frame = encode_frame(MsgType::kGoodbye, bye.encode());
+  (void)client.conn->send(frame.data(), frame.size());
+  ++stats_.frames_sent;
+  client.conn->close();
+}
+
+void Daemon::reap_closed() {
+  std::erase_if(clients_, [&](const std::unique_ptr<ClientState>& client) {
+    if (client->conn->is_open()) return false;
+    teardown_client(*client);
+    return true;
+  });
+}
+
+void Daemon::drain_client(ClientState& client) {
+  std::vector<std::uint8_t> bytes;
+  for (;;) {
+    auto n = client.conn->receive(bytes);
+    if (!n) {  // peer closed or transport error
+      teardown_client(client);
+      client.conn->close();
+      return;
+    }
+    if (*n == 0) break;
+  }
+  if (!bytes.empty()) {
+    client.reader.feed(bytes);
+    client.last_activity_tick = stats_.ticks;
+  }
+  for (;;) {
+    auto frame = client.reader.next();
+    if (!frame) {
+      if (client.reader.corrupt()) {
+        ++stats_.protocol_errors;
+        teardown_client(client);
+        client.conn->close();
+      }
+      return;
+    }
+    dispatch(client, *frame);
+    if (!client.conn->is_open()) return;
+  }
+}
+
+void Daemon::dispatch(ClientState& client, const Frame& frame) {
+  ++stats_.frames_received;
+  if (!client.hello_done && frame.type != MsgType::kHello) {
+    ++stats_.protocol_errors;
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kPermission,
+                             "handshake required before " +
+                                 std::string(to_string(frame.type))));
+    client.closing = true;
+    return;
+  }
+  switch (frame.type) {
+    case MsgType::kHello: on_hello(client, frame); return;
+    case MsgType::kOpenSession: on_open_session(client, frame); return;
+    case MsgType::kAddEvents: on_add_events(client, frame); return;
+    case MsgType::kStart: on_start(client, frame); return;
+    case MsgType::kRead: on_read(client, frame); return;
+    case MsgType::kSubscribe: on_subscribe(client, frame); return;
+    case MsgType::kUnsubscribe: on_unsubscribe(client, frame); return;
+    case MsgType::kGetStats: on_get_stats(client, frame); return;
+    case MsgType::kClose: on_close(client, frame); return;
+    default:
+      ++stats_.protocol_errors;
+      enqueue_error(client, frame.type,
+                    make_error(StatusCode::kNotSupported,
+                               "unexpected message type"));
+      return;
+  }
+}
+
+// --- handlers --------------------------------------------------------------
+
+void Daemon::on_hello(ClientState& client, const Frame& frame) {
+  auto msg = Hello::decode(frame);
+  if (!msg) {
+    ++stats_.protocol_errors;
+    enqueue_error(client, frame.type, msg.status());
+    client.closing = true;
+    return;
+  }
+  if (msg->version != kProtocolVersion) {
+    ++stats_.protocol_errors;
+    enqueue_error(
+        client, frame.type,
+        make_error(StatusCode::kNotSupported,
+                   str_format("protocol version %u not supported (daemon "
+                              "speaks %u)",
+                              msg->version, kProtocolVersion)));
+    client.closing = true;
+    return;
+  }
+  client.hello_done = true;
+  HelloAck ack;
+  ack.client_id = client.id;
+  ack.server_name = config_.name;
+  enqueue(client, MsgType::kHelloAck, ack.encode());
+}
+
+Expected<int> Daemon::build_eventset(TargetKind kind, std::int64_t target,
+                                     const std::vector<std::string>& events,
+                                     std::vector<std::string>* canonical_out) {
+  auto set = library_->create_eventset();
+  if (!set) return set.status();
+  const auto fail = [&](const Status& s) -> Expected<int> {
+    (void)library_->destroy_eventset(*set);
+    return s;
+  };
+  switch (kind) {
+    case TargetKind::kDefault: break;
+    case TargetKind::kThread: {
+      const Status s =
+          library_->attach(*set, static_cast<simkernel::Tid>(target));
+      if (!s.is_ok()) return fail(s);
+      break;
+    }
+    case TargetKind::kCpu: {
+      const Status s = library_->attach_cpu(*set, static_cast<int>(target));
+      if (!s.is_ok()) return fail(s);
+      break;
+    }
+  }
+  for (const std::string& event : events) {
+    auto canonical = library_->canonical_event_name(event);
+    if (!canonical) return fail(canonical.status());
+    const Status added = library_->add_event(*set, event);
+    if (!added.is_ok()) return fail(added);
+    if (canonical_out != nullptr) canonical_out->push_back(std::move(*canonical));
+  }
+  return *set;
+}
+
+void Daemon::on_open_session(ClientState& client, const Frame& frame) {
+  auto msg = OpenSession::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  auto set = build_eventset(msg->target_kind, msg->target, {}, nullptr);
+  if (!set) {
+    enqueue_error(client, frame.type, set.status());
+    return;
+  }
+  Session session;
+  session.eventset = *set;
+  const std::uint32_t session_id = next_session_id_++;
+  client.sessions.emplace(session_id, std::move(session));
+  OpenSessionAck ack;
+  ack.session_id = session_id;
+  enqueue(client, MsgType::kOpenSessionAck, ack.encode());
+}
+
+void Daemon::on_add_events(ClientState& client, const Frame& frame) {
+  auto msg = AddEvents::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  const auto it = client.sessions.find(msg->session_id);
+  if (it == client.sessions.end()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kNoEventSet, "no such session"));
+    return;
+  }
+  Session& session = it->second;
+  // Atomic add: either every event in the request lands or none does.
+  AddEventsAck ack;
+  std::size_t added = 0;
+  Status failure = Status::ok();
+  for (const std::string& event : msg->events) {
+    auto canonical = library_->canonical_event_name(event);
+    if (canonical) {
+      const Status s = library_->add_event(session.eventset, event);
+      if (s.is_ok()) {
+        ack.canonical_names.push_back(std::move(*canonical));
+        ++added;
+        continue;
+      }
+      failure = s;
+    } else {
+      failure = canonical.status();
+    }
+    for (std::size_t i = added; i-- > 0;) {
+      (void)library_->remove_event(session.eventset, msg->events[i]);
+    }
+    enqueue_error(client, frame.type, failure);
+    return;
+  }
+  session.canonical_names.insert(session.canonical_names.end(),
+                                 ack.canonical_names.begin(),
+                                 ack.canonical_names.end());
+  enqueue(client, MsgType::kAddEventsAck, ack.encode());
+}
+
+void Daemon::on_start(ClientState& client, const Frame& frame) {
+  auto msg = Start::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  const auto it = client.sessions.find(msg->session_id);
+  if (it == client.sessions.end()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kNoEventSet, "no such session"));
+    return;
+  }
+  const Status s = library_->start(it->second.eventset);
+  if (!s.is_ok()) {
+    enqueue_error(client, frame.type, s);
+    return;
+  }
+  enqueue(client, MsgType::kStartAck, {});
+}
+
+void Daemon::on_read(ClientState& client, const Frame& frame) {
+  auto msg = Read::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  const auto it = client.sessions.find(msg->session_id);
+  if (it == client.sessions.end()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kNoEventSet, "no such session"));
+    return;
+  }
+  auto reading = library_->read_checked(it->second.eventset);
+  if (!reading) {
+    enqueue_error(client, frame.type, reading.status());
+    return;
+  }
+  ++stats_.backend_reads;
+  ReadReply reply;
+  reply.values = std::move(reading->values);
+  reply.degraded = std::move(reading->value_degraded);
+  enqueue(client, MsgType::kReadReply, reply.encode());
+}
+
+void Daemon::on_subscribe(ClientState& client, const Frame& frame) {
+  auto msg = Subscribe::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  if (msg->period_ticks == 0 || msg->events.empty()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kInvalidArgument,
+                             "subscription needs events and period >= 1"));
+    return;
+  }
+  const std::uint32_t sub_id = next_subscription_id_++;
+  auto key_id = join_subscription(client, sub_id, *msg);
+  if (!key_id) {
+    enqueue_error(client, frame.type, key_id.status());
+    return;
+  }
+  client.subscriptions.emplace(sub_id, *key_id);
+  SubscribeAck ack;
+  ack.subscription_id = sub_id;
+  ack.shared_key_id = *key_id;
+  enqueue(client, MsgType::kSubscribeAck, ack.encode());
+}
+
+Expected<std::uint32_t> Daemon::join_subscription(ClientState& client,
+                                                  std::uint32_t subscription_id,
+                                                  const Subscribe& spec) {
+  std::vector<std::string> canonical;
+  canonical.reserve(spec.events.size());
+  for (const std::string& event : spec.events) {
+    auto name = library_->canonical_event_name(event);
+    if (!name) return name.status();
+    canonical.push_back(std::move(*name));
+  }
+  const std::string key = make_key(spec.target_kind, spec.target,
+                                   spec.period_ticks, spec.qualified != 0,
+                                   canonical);
+  if (const auto it = key_ids_.find(key); it != key_ids_.end()) {
+    shared_subs_[it->second].subscribers.emplace_back(client.id,
+                                                      subscription_id);
+    return it->second;
+  }
+  auto set = build_eventset(spec.target_kind, spec.target, spec.events,
+                            nullptr);
+  if (!set) return set.status();
+  if (const Status s = library_->start(*set); !s.is_ok()) {
+    (void)library_->destroy_eventset(*set);
+    return s;
+  }
+  SharedSubscription sub;
+  sub.key_id = next_key_id_++;
+  sub.key = key;
+  sub.eventset = *set;
+  sub.period_ticks = spec.period_ticks;
+  sub.qualified = spec.qualified != 0;
+  sub.subscribers.emplace_back(client.id, subscription_id);
+  key_ids_.emplace(key, sub.key_id);
+  const std::uint32_t key_id = sub.key_id;
+  shared_subs_.emplace(key_id, std::move(sub));
+  return key_id;
+}
+
+void Daemon::leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
+                                std::uint32_t key_id) {
+  const auto it = shared_subs_.find(key_id);
+  if (it == shared_subs_.end()) return;
+  SharedSubscription& sub = it->second;
+  std::erase_if(sub.subscribers, [&](const auto& pair) {
+    return pair.first == client_id && pair.second == sub_id;
+  });
+  if (!sub.subscribers.empty()) return;
+  // Last rider gone: tear the shared EventSet down.
+  if (library_->eventset_running(sub.eventset)) {
+    (void)library_->stop(sub.eventset);
+  }
+  (void)library_->destroy_eventset(sub.eventset);
+  key_ids_.erase(sub.key);
+  shared_subs_.erase(it);
+}
+
+void Daemon::on_unsubscribe(ClientState& client, const Frame& frame) {
+  auto msg = Unsubscribe::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  const auto it = client.subscriptions.find(msg->subscription_id);
+  if (it == client.subscriptions.end()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kNotFound, "no such subscription"));
+    return;
+  }
+  leave_subscription(client.id, it->first, it->second);
+  client.subscriptions.erase(it);
+  enqueue(client, MsgType::kUnsubscribeAck, {});
+}
+
+void Daemon::on_get_stats(ClientState& client, const Frame& frame) {
+  auto msg = GetStats::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  StatsReply reply;
+  reply.ticks = stats_.ticks;
+  reply.backend_reads = stats_.backend_reads;
+  reply.samples_delivered = stats_.samples_delivered;
+  reply.frames_received = stats_.frames_received;
+  reply.frames_sent = stats_.frames_sent;
+  reply.active_clients = static_cast<std::uint32_t>(clients_.size());
+  reply.active_sessions = static_cast<std::uint32_t>(session_count());
+  reply.distinct_subscriptions =
+      static_cast<std::uint32_t>(shared_subs_.size());
+  reply.total_subscribers =
+      static_cast<std::uint32_t>(total_subscriber_count());
+  reply.clients_dropped_slow = stats_.clients_dropped_slow;
+  reply.clients_closed_idle = stats_.clients_closed_idle;
+  enqueue(client, MsgType::kStatsReply, reply.encode());
+}
+
+void Daemon::on_close(ClientState& client, const Frame& frame) {
+  auto msg = Close::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  teardown_client(client);
+  enqueue(client, MsgType::kCloseAck, {});
+  client.closing = true;
+}
+
+void Daemon::teardown_client(ClientState& client) {
+  for (const auto& [sub_id, key_id] : client.subscriptions) {
+    leave_subscription(client.id, sub_id, key_id);
+  }
+  client.subscriptions.clear();
+  for (const auto& [session_id, session] : client.sessions) {
+    if (library_->eventset_running(session.eventset)) {
+      (void)library_->stop(session.eventset);
+    }
+    (void)library_->destroy_eventset(session.eventset);
+  }
+  client.sessions.clear();
+}
+
+// --- the two drive shafts --------------------------------------------------
+
+void Daemon::poll() {
+  if (library_ == nullptr || shut_down_) return;
+  accept_pending();
+  for (const auto& client : clients_) {
+    if (!client->conn->is_open()) continue;
+    drain_client(*client);
+  }
+  for (const auto& client : clients_) {
+    if (!client->conn->is_open()) continue;
+    enforce_queue_cap(*client);
+    flush_client(*client);
+  }
+  reap_closed();
+}
+
+void Daemon::serve_subscriptions() {
+  struct DueRead {
+    const SharedSubscription* sub;
+    std::vector<long long> values;
+    std::vector<std::uint8_t> degraded;
+    std::vector<std::vector<std::pair<std::string, long long>>> parts;
+    std::uint8_t ok = 1;
+  };
+  std::vector<DueRead> due;
+  for (const auto& [key_id, sub] : shared_subs_) {
+    if (stats_.ticks % sub.period_ticks == 0) due.push_back({&sub, {}, {}, {}, 1});
+  }
+  if (due.empty()) return;
+
+  const double t_seconds =
+      kernel_ != nullptr ? kernel_->now().seconds()
+                         : static_cast<double>(stats_.ticks);
+  double temp = std::nan("");
+  double power = std::nan("");
+  if (sampler_ != nullptr) {
+    const telemetry::Sample s = sampler_->sample();
+    temp = s.package_temp_c;
+    power = s.package_power_w;
+  }
+
+  // The coalescing payoff: ONE backend read per distinct subscription,
+  // regardless of how many clients ride it. Reads stay serial — the
+  // backend is not a concurrent structure.
+  for (DueRead& read : due) {
+    ++stats_.backend_reads;
+    if (read.sub->qualified) {
+      auto q = library_->read_qualified(read.sub->eventset);
+      if (!q) {
+        read.ok = 0;
+        continue;
+      }
+      for (const papi::QualifiedReading& slot : *q) {
+        read.values.push_back(slot.total);
+        read.degraded.push_back(slot.degraded ? 1 : 0);
+        std::vector<std::pair<std::string, long long>> parts;
+        parts.reserve(slot.parts.size());
+        for (const papi::QualifiedValue& part : slot.parts) {
+          parts.emplace_back(part.core_type.empty()
+                                 ? part.native_name
+                                 : part.native_name + "[" + part.core_type +
+                                       "]",
+                             part.valid ? part.value : 0);
+        }
+        read.parts.push_back(std::move(parts));
+      }
+    } else {
+      auto reading = library_->read_checked(read.sub->eventset);
+      if (!reading) {
+        read.ok = 0;
+        continue;
+      }
+      read.values = std::move(reading->values);
+      read.degraded = std::move(reading->value_degraded);
+    }
+  }
+
+  // Fan out: one frame per (due subscription, subscriber). Encoding is
+  // pure, so it parallelizes; the merge below is in deterministic job
+  // order, which makes the byte stream identical for any thread count.
+  struct Job {
+    const DueRead* read;
+    std::uint32_t client_id;
+    std::uint32_t subscription_id;
+  };
+  std::vector<Job> jobs;
+  for (const DueRead& read : due) {
+    for (const auto& [client_id, sub_id] : read.sub->subscribers) {
+      jobs.push_back({&read, client_id, sub_id});
+    }
+  }
+  std::vector<std::vector<std::uint8_t>> frames(jobs.size());
+  const auto encode_job = [&](std::size_t i) {
+    const Job& job = jobs[i];
+    WireSample sample;
+    sample.subscription_id = job.subscription_id;
+    sample.tick = stats_.ticks;
+    sample.t_seconds = t_seconds;
+    sample.values = job.read->values;
+    sample.degraded = job.read->degraded;
+    sample.counters_ok = job.read->ok;
+    sample.package_temp_c = temp;
+    sample.package_power_w = power;
+    sample.parts = job.read->parts;
+    frames[i] = encode_frame(MsgType::kSample, sample.encode());
+  };
+  if (encode_pool_ != nullptr) {
+    encode_pool_->parallel_for_each(jobs.size(), encode_job);
+  } else {
+    for (std::size_t i = 0; i < jobs.size(); ++i) encode_job(i);
+  }
+
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    for (const auto& client : clients_) {
+      if (client->id != jobs[i].client_id) continue;
+      client->out.push_back({std::move(frames[i]), 0});
+      ++stats_.frames_sent;
+      ++stats_.samples_delivered;
+      break;
+    }
+  }
+}
+
+void Daemon::tick() {
+  if (library_ == nullptr || shut_down_) return;
+  ++stats_.ticks;
+  serve_subscriptions();
+
+  if (config_.idle_timeout_ticks > 0) {
+    for (const auto& client : clients_) {
+      if (!client->conn->is_open() || client->closing) continue;
+      if (!client->subscriptions.empty()) continue;
+      if (stats_.ticks - client->last_activity_tick <
+          config_.idle_timeout_ticks) {
+        continue;
+      }
+      ++stats_.clients_closed_idle;
+      teardown_client(*client);
+      Goodbye bye;
+      bye.reason = "disconnected: idle timeout";
+      enqueue(*client, MsgType::kGoodbye, bye.encode());
+      client->closing = true;
+    }
+  }
+
+  for (const auto& client : clients_) {
+    if (!client->conn->is_open()) continue;
+    enforce_queue_cap(*client);
+    flush_client(*client);
+  }
+  reap_closed();
+}
+
+void Daemon::shutdown() {
+  if (shut_down_ || library_ == nullptr) {
+    shut_down_ = true;
+    return;
+  }
+  // Graceful drain: every surviving client gets a Goodbye and one flush
+  // attempt; then all measurement state is released so the backend's fd
+  // ledger reads zero.
+  for (const auto& client : clients_) {
+    if (!client->conn->is_open()) continue;
+    Goodbye bye;
+    bye.reason = "daemon shutting down";
+    enqueue(*client, MsgType::kGoodbye, bye.encode());
+    client->closing = true;
+    flush_client(*client);
+    teardown_client(*client);
+    client->conn->close();
+  }
+  clients_.clear();
+  // Shared subscriptions whose owners vanished without teardown.
+  for (auto& [key_id, sub] : shared_subs_) {
+    if (library_->eventset_running(sub.eventset)) {
+      (void)library_->stop(sub.eventset);
+    }
+    (void)library_->destroy_eventset(sub.eventset);
+  }
+  shared_subs_.clear();
+  key_ids_.clear();
+  shut_down_ = true;
+}
+
+}  // namespace hetpapi::service

@@ -1,0 +1,209 @@
+// hetpapid: the counter-service daemon.
+//
+// One Daemon owns one papi::Library (and through it the backend — sim,
+// Linux, or a FaultInjectingBackend decorating either) and serves many
+// concurrent client sessions over any Transport. Its two entry points
+// are deliberately split so a test or an embedding tool can drive them
+// deterministically:
+//
+//   poll() — accept pending connections, drain client bytes, dispatch
+//            complete frames, flush send queues. Never blocks.
+//   tick() — one sampling tick: read every *distinct* shared
+//            subscription once and fan the sample out to all of its
+//            subscribers. Also runs idle-timeout and backpressure
+//            enforcement.
+//
+// Shared-subscription coalescing is the scaling mechanism: sessions
+// subscribing to the same (target, ordered canonical event list,
+// period, qualified) key share one reference-counted server-side
+// EventSet, so per-tick backend read calls scale with the number of
+// distinct subscriptions, not with the number of clients. The
+// canonicalization goes through Library::canonical_event_name, so
+// "papi_tot_ins" and "PAPI_TOT_INS" land on the same key.
+//
+// Robustness reuses PR 4's machinery: per-client send queues are capped
+// (a slow client is dropped, never allowed to wedge the daemon), idle
+// clients without subscriptions time out, shutdown() drains gracefully,
+// and running the whole daemon behind a FaultInjectingBackend turns a
+// chaos soak into a deterministic test with the live-fd ledger as the
+// leak oracle.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/thread_pool.hpp"
+#include "papi/library.hpp"
+#include "service/proto.hpp"
+#include "service/transport.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace hetpapi::service {
+
+struct DaemonConfig {
+  std::string name = "hetpapid";
+  /// Frames a client may have queued before it is dropped as slow.
+  std::size_t max_client_queue_frames = 256;
+  /// Ticks without traffic after which a subscription-less client is
+  /// disconnected (0 = never).
+  std::uint64_t idle_timeout_ticks = 0;
+  /// Worker threads for per-subscriber sample *encoding* (the reads
+  /// stay serial — the backend is single-threaded); frames are merged
+  /// in deterministic order, so the byte stream every client sees is
+  /// identical for any thread count.
+  std::size_t encode_threads = 1;
+  /// Attach package temperature / power (via a telemetry::Sampler over
+  /// the kernel) to every streamed sample.
+  bool include_telemetry = false;
+  /// Forwarded to papi::Library::init.
+  papi::LibraryConfig library{};
+};
+
+/// Daemon-side accounting; the wire StatsReply is built from this.
+struct DaemonStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t backend_reads = 0;
+  std::uint64_t samples_delivered = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint32_t clients_dropped_slow = 0;
+  std::uint32_t clients_closed_idle = 0;
+  std::uint32_t protocol_errors = 0;
+};
+
+class Daemon {
+ public:
+  /// `kernel` may be null when the backend is not sim-based (no
+  /// telemetry attachment, t_seconds counts ticks); `backend` must
+  /// outlive the daemon.
+  Daemon(simkernel::SimKernel* kernel, papi::Backend* backend,
+         DaemonConfig config);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Build the library over the backend. Must be called (and succeed)
+  /// before the first poll().
+  Status init();
+
+  /// Register a transport listener (non-owning; multiple allowed).
+  void add_listener(Listener* listener);
+
+  void poll();
+  void tick();
+
+  /// Graceful drain: Goodbye to every client, bounded flush, close all
+  /// connections, release every EventSet. After this the backend's fd
+  /// ledger must be empty. Idempotent.
+  void shutdown();
+
+  const DaemonStats& stats() const { return stats_; }
+  std::size_t client_count() const { return clients_.size(); }
+  std::size_t session_count() const;
+  std::size_t distinct_subscription_count() const { return shared_subs_.size(); }
+  std::size_t total_subscriber_count() const;
+
+  papi::Library* library() { return library_.get(); }
+
+ private:
+  struct Session {
+    int eventset = -1;
+    std::vector<std::string> canonical_names;
+  };
+
+  struct SharedSubscription {
+    std::uint32_t key_id = 0;
+    std::string key;
+    int eventset = -1;
+    std::uint32_t period_ticks = 1;
+    bool qualified = false;
+    /// (client_id, subscription_id) pairs, in subscribe order — the
+    /// refcount is subscribers.size().
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> subscribers;
+  };
+
+  struct PendingBytes {
+    std::vector<std::uint8_t> bytes;
+    std::size_t offset = 0;
+  };
+
+  struct ClientState {
+    std::uint32_t id = 0;
+    std::unique_ptr<Connection> conn;
+    FrameReader reader;
+    bool hello_done = false;
+    /// Flush-then-close: set after Close/Goodbye.
+    bool closing = false;
+    std::uint64_t last_activity_tick = 0;
+    std::deque<PendingBytes> out;
+    std::map<std::uint32_t, Session> sessions;
+    /// subscription_id -> shared key_id.
+    std::map<std::uint32_t, std::uint32_t> subscriptions;
+  };
+
+  void accept_pending();
+  void drain_client(ClientState& client);
+  void dispatch(ClientState& client, const Frame& frame);
+  void flush_client(ClientState& client);
+  void enforce_queue_cap(ClientState& client);
+  void reap_closed();
+
+  void enqueue(ClientState& client, MsgType type,
+               const std::vector<std::uint8_t>& payload);
+  void enqueue_error(ClientState& client, MsgType in_reply_to, const Status& s);
+
+  // Frame handlers (client already authenticated unless noted).
+  void on_hello(ClientState& client, const Frame& frame);
+  void on_open_session(ClientState& client, const Frame& frame);
+  void on_add_events(ClientState& client, const Frame& frame);
+  void on_start(ClientState& client, const Frame& frame);
+  void on_read(ClientState& client, const Frame& frame);
+  void on_subscribe(ClientState& client, const Frame& frame);
+  void on_unsubscribe(ClientState& client, const Frame& frame);
+  void on_get_stats(ClientState& client, const Frame& frame);
+  void on_close(ClientState& client, const Frame& frame);
+
+  /// Build (or join) the shared subscription for a canonicalized spec;
+  /// returns the key_id.
+  Expected<std::uint32_t> join_subscription(ClientState& client,
+                                            std::uint32_t subscription_id,
+                                            const Subscribe& spec);
+  /// Drop one subscriber; tears the EventSet down on the last one.
+  void leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
+                          std::uint32_t key_id);
+  /// Release everything a departing client holds.
+  void teardown_client(ClientState& client);
+
+  /// Bind a fresh EventSet to a wire target and event list.
+  Expected<int> build_eventset(TargetKind kind, std::int64_t target,
+                               const std::vector<std::string>& events,
+                               std::vector<std::string>* canonical_out);
+
+  void serve_subscriptions();
+
+  simkernel::SimKernel* kernel_;
+  papi::Backend* backend_;
+  DaemonConfig config_;
+  std::unique_ptr<papi::Library> library_;
+  std::unique_ptr<telemetry::Sampler> sampler_;
+  std::unique_ptr<ThreadPool> encode_pool_;
+
+  std::vector<Listener*> listeners_;
+  /// Insertion-ordered so poll()/tick() visit clients deterministically.
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::map<std::uint32_t, SharedSubscription> shared_subs_;  // by key_id
+  std::map<std::string, std::uint32_t> key_ids_;             // key -> key_id
+
+  DaemonStats stats_;
+  std::uint32_t next_client_id_ = 1;
+  std::uint32_t next_session_id_ = 1;
+  std::uint32_t next_subscription_id_ = 1;
+  std::uint32_t next_key_id_ = 1;
+  bool shut_down_ = false;
+};
+
+}  // namespace hetpapi::service

@@ -34,6 +34,10 @@ struct Instance {
     return papi::render_avail_report(*lib, machine_name, "derived");
   }
 
+  std::string native_avail(const std::string& machine_name) const {
+    return papi::render_native_avail_report(lib->pfm(), machine_name);
+  }
+
   std::string sysdetect() const {
     return papi::build_sysdetect_report(backend.host(), lib->pfm(),
                                         lib->registry())
@@ -134,6 +138,127 @@ Components:
   perf_event         scope thread   caps [ rdpmc overflow multiplex] pmus: arm_a53,arm_a72,perf
   rapl               scope package  caps [ multiplex] pmus: (none)
   sysinfo            scope package  caps [] pmus: sysinfo
+)GOLDEN");
+}
+
+
+TEST(GoldenReports, NativeAvailRaptorLake) {
+  Instance instance(cpumodel::raptor_lake_i7_13700());
+  EXPECT_EQ(instance.native_avail("raptor_lake_i7_13700"),
+            R"GOLDEN(Native events on raptor_lake_i7_13700
+
+--- PMU adl_grt (cpu_atom, perf type 8) [core] ---
+  adl_grt::INST_RETIRED — Number of instructions retired
+      :ANY                  All retired instructions
+      :ANY_P                All retired instructions (programmable counter)
+  adl_grt::CPU_CLK_UNHALTED — Core cycles when the thread is not halted
+      :THREAD               Cycles while the thread runs
+      :THREAD_P             Cycles (programmable counter)
+      :REF_TSC              Reference cycles at TSC rate
+  adl_grt::LONGEST_LAT_CACHE — Last-level cache activity
+      :REFERENCE            LLC references
+      :MISS                 LLC misses
+  adl_grt::BR_INST_RETIRED — Retired branch instructions
+      :ALL_BRANCHES         All retired branches
+  adl_grt::BR_MISP_RETIRED — Mispredicted branch instructions
+      :ALL_BRANCHES         All mispredicted branches
+  adl_grt::RESOURCE_STALLS                       Cycles stalled on any resource
+  adl_grt::FP_ARITH_INST_RETIRED — Floating-point operations retired
+      :SCALAR_DOUBLE        Scalar DP flops
+      :256B_PACKED_DOUBLE   256-bit packed DP flops
+  adl_grt::MEM_BOUND_STALLS                      Cycles stalled on memory (E-core encoding)
+
+--- PMU adl_glc (cpu_core, perf type 4) [core] ---
+  adl_glc::INST_RETIRED — Number of instructions retired
+      :ANY                  All retired instructions
+      :ANY_P                All retired instructions (programmable counter)
+  adl_glc::CPU_CLK_UNHALTED — Core cycles when the thread is not halted
+      :THREAD               Cycles while the thread runs
+      :THREAD_P             Cycles (programmable counter)
+      :REF_TSC              Reference cycles at TSC rate
+  adl_glc::LONGEST_LAT_CACHE — Last-level cache activity
+      :REFERENCE            LLC references
+      :MISS                 LLC misses
+  adl_glc::BR_INST_RETIRED — Retired branch instructions
+      :ALL_BRANCHES         All retired branches
+  adl_glc::BR_MISP_RETIRED — Mispredicted branch instructions
+      :ALL_BRANCHES         All mispredicted branches
+  adl_glc::RESOURCE_STALLS                       Cycles stalled on any resource
+  adl_glc::FP_ARITH_INST_RETIRED — Floating-point operations retired
+      :SCALAR_DOUBLE        Scalar DP flops
+      :256B_PACKED_DOUBLE   256-bit packed DP flops
+  adl_glc::TOPDOWN — Topdown micro-architecture analysis slots
+      :SLOTS                Available pipeline slots
+      :RETIRING             Slots that retired uops
+      :BAD_SPEC             Slots wasted on bad speculation
+
+--- PMU rapl (power, perf type 9) ---
+  rapl::RAPL_ENERGY_PKG                          Package domain energy (uJ)
+  rapl::RAPL_ENERGY_CORES                        Core domain energy (uJ)
+  rapl::RAPL_ENERGY_DRAM                         DRAM domain energy (uJ)
+
+--- PMU perf (software, perf type 1) ---
+  perf::CONTEXT_SWITCHES                         Context switches
+  perf::CPU_MIGRATIONS                           CPU migrations
+  perf::TASK_CLOCK                               Task clock (ns)
+
+--- PMU unc_imc_0 (uncore_imc_0, perf type 10) ---
+  unc_imc_0::UNC_M_CAS_COUNT — DRAM CAS commands
+      :RD                   Read CAS commands
+      :WR                   Write CAS commands
+
+--- PMU sysinfo ((software), perf type 4294901760) ---
+  sysinfo::SYS_CTX_SWITCHES                      System-wide context switches (/proc/stat)
+  sysinfo::SYS_CPU_TIME_MS                       Aggregate busy cpu time in ms (/proc/stat)
+  sysinfo::PKG_TEMP_MC                           Package temperature in millidegrees C
+
+--- events NOT available on every core type ---
+  MEM_BOUND_STALLS         only on: adl_grt
+  TOPDOWN                  only on: adl_glc
+
+39 native events total
+)GOLDEN");
+}
+
+TEST(GoldenReports, NativeAvailOrangePi) {
+  Instance instance(cpumodel::orangepi800_rk3399());
+  EXPECT_EQ(instance.native_avail("orangepi800_rk3399"),
+            R"GOLDEN(Native events on orangepi800_rk3399
+
+--- PMU arm_a53 (armv8_pmuv3_0, perf type 9) [core] ---
+  arm_a53::INST_RETIRED                          Architecturally executed instructions
+  arm_a53::CPU_CYCLES                            Processor cycles
+  arm_a53::LL_CACHE                              Last-level cache accesses
+  arm_a53::LL_CACHE_MISS                         Last-level cache misses
+  arm_a53::BR_RETIRED                            Architecturally executed branches
+  arm_a53::BR_MIS_PRED_RETIRED                   Mispredicted branches
+  arm_a53::STALL_BACKEND                         Cycles with no dispatch due to backend
+  arm_a53::VFP_SPEC                              Speculatively executed FP operations
+
+--- PMU arm_a72 (armv8_pmuv3_1, perf type 8) [core] ---
+  arm_a72::INST_RETIRED                          Architecturally executed instructions
+  arm_a72::CPU_CYCLES                            Processor cycles
+  arm_a72::LL_CACHE                              Last-level cache accesses
+  arm_a72::LL_CACHE_MISS                         Last-level cache misses
+  arm_a72::BR_RETIRED                            Architecturally executed branches
+  arm_a72::BR_MIS_PRED_RETIRED                   Mispredicted branches
+  arm_a72::STALL_BACKEND                         Cycles with no dispatch due to backend
+  arm_a72::VFP_SPEC                              Speculatively executed FP operations
+
+--- PMU perf (software, perf type 1) ---
+  perf::CONTEXT_SWITCHES                         Context switches
+  perf::CPU_MIGRATIONS                           CPU migrations
+  perf::TASK_CLOCK                               Task clock (ns)
+
+--- PMU sysinfo ((software), perf type 4294901760) ---
+  sysinfo::SYS_CTX_SWITCHES                      System-wide context switches (/proc/stat)
+  sysinfo::SYS_CPU_TIME_MS                       Aggregate busy cpu time in ms (/proc/stat)
+  sysinfo::PKG_TEMP_MC                           Package temperature in millidegrees C
+
+--- events NOT available on every core type ---
+  (none)
+
+22 native events total
 )GOLDEN");
 }
 

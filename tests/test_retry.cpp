@@ -1,0 +1,163 @@
+// The bounded-retry helpers (papi/retry.hpp) against a scripted fake
+// backend: transient (kInterrupted) failures are retried up to the
+// budget and no further, non-transient failures pass through on the
+// first attempt, and a success mid-burst stops the retrying.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "papi/backend.hpp"
+#include "papi/retry.hpp"
+
+namespace hetpapi {
+namespace {
+
+using papi::Backend;
+using simkernel::PerfEventAttr;
+using simkernel::PerfIoctl;
+using simkernel::PerfValue;
+using simkernel::Tid;
+
+class NullHost final : public pfm::Host {
+ public:
+  Expected<std::string> read_file(std::string_view) const override {
+    return make_error(StatusCode::kNotFound, "null host");
+  }
+  Expected<std::vector<std::string>> list_dir(std::string_view) const override {
+    return make_error(StatusCode::kNotFound, "null host");
+  }
+  Expected<cpumodel::IntelCoreKind> cpuid_core_kind(int) const override {
+    return make_error(StatusCode::kNotSupported, "null host");
+  }
+  int num_cpus() const override { return 1; }
+};
+
+/// Plays back a per-call script of status codes (kOk = succeed) and
+/// counts the attempts each entry point received.
+class ScriptedBackend final : public Backend {
+ public:
+  std::deque<StatusCode> script;
+  int open_calls = 0;
+  int ioctl_calls = 0;
+  int read_calls = 0;
+  int read_group_calls = 0;
+
+  Expected<int> perf_event_open(const PerfEventAttr&, Tid, int, int,
+                                std::uint64_t) override {
+    ++open_calls;
+    if (const Status s = next(); !s.is_ok()) return s;
+    return 42;
+  }
+  Status perf_ioctl(int, PerfIoctl, std::uint32_t) override {
+    ++ioctl_calls;
+    return next();
+  }
+  Expected<PerfValue> perf_read(int) override {
+    ++read_calls;
+    if (const Status s = next(); !s.is_ok()) return s;
+    PerfValue v;
+    v.value = 7;
+    return v;
+  }
+  Expected<std::vector<PerfValue>> perf_read_group(int) override {
+    ++read_group_calls;
+    if (const Status s = next(); !s.is_ok()) return s;
+    return std::vector<PerfValue>{PerfValue{}, PerfValue{}};
+  }
+  Expected<std::uint64_t> perf_rdpmc(int) override {
+    return make_error(StatusCode::kNotSupported, "scripted");
+  }
+  Status perf_close(int) override { return Status::ok(); }
+  const pfm::Host& host() const override { return host_; }
+  Tid default_target() const override { return 0; }
+  void charge_call_overhead(Tid, std::uint64_t) override {}
+
+ private:
+  Status next() {
+    // Script exhausted = succeed from here on.
+    if (script.empty()) return Status::ok();
+    const StatusCode code = script.front();
+    script.pop_front();
+    if (code == StatusCode::kOk) return Status::ok();
+    return Status(code, "scripted failure");
+  }
+
+  NullHost host_;
+};
+
+PerfEventAttr any_attr() { return PerfEventAttr{}; }
+
+TEST(Retry, TransientBurstShorterThanBudgetSucceeds) {
+  ScriptedBackend backend;
+  backend.script = {StatusCode::kInterrupted, StatusCode::kInterrupted};
+  auto fd = papi::open_with_retry(backend, any_attr(), 0, -1, -1, 0,
+                                  /*max_attempts=*/4);
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(*fd, 42);
+  EXPECT_EQ(backend.open_calls, 3);  // two transients + the success
+}
+
+TEST(Retry, BudgetExhaustionSurfacesTheTransient) {
+  ScriptedBackend backend;
+  backend.script = {StatusCode::kInterrupted, StatusCode::kInterrupted,
+                    StatusCode::kInterrupted, StatusCode::kInterrupted};
+  auto fd = papi::open_with_retry(backend, any_attr(), 0, -1, -1, 0,
+                                  /*max_attempts=*/3);
+  ASSERT_FALSE(fd.has_value());
+  EXPECT_EQ(fd.status().code(), StatusCode::kInterrupted);
+  EXPECT_EQ(backend.open_calls, 3);  // exactly the budget, never more
+}
+
+TEST(Retry, NonTransientFailurePassesThroughImmediately) {
+  ScriptedBackend backend;
+  backend.script = {StatusCode::kPermission};
+  auto fd = papi::open_with_retry(backend, any_attr(), 0, -1, -1, 0,
+                                  /*max_attempts=*/10);
+  ASSERT_FALSE(fd.has_value());
+  EXPECT_EQ(fd.status().code(), StatusCode::kPermission);
+  EXPECT_EQ(backend.open_calls, 1);
+
+  backend.script = {StatusCode::kInterrupted, StatusCode::kNotFound};
+  auto read = papi::read_with_retry(backend, 42, /*max_attempts=*/10);
+  ASSERT_FALSE(read.has_value());
+  // The retry rode out the transient, then hit (and surfaced) the real
+  // failure behind it.
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(backend.read_calls, 2);
+}
+
+TEST(Retry, SingleAttemptBudgetMeansOneCall) {
+  ScriptedBackend backend;
+  backend.script = {StatusCode::kInterrupted};
+  const Status s = papi::ioctl_with_retry(backend, 42, PerfIoctl::kEnable, 0,
+                                          /*max_attempts=*/1);
+  EXPECT_EQ(s.code(), StatusCode::kInterrupted);
+  EXPECT_EQ(backend.ioctl_calls, 1);
+}
+
+TEST(Retry, IoctlAndGroupReadRetryLikeTheRest) {
+  ScriptedBackend backend;
+  backend.script = {StatusCode::kInterrupted, StatusCode::kOk};
+  EXPECT_TRUE(
+      papi::ioctl_with_retry(backend, 1, PerfIoctl::kEnable, 0, 3).is_ok());
+  EXPECT_EQ(backend.ioctl_calls, 2);
+
+  backend.script = {StatusCode::kInterrupted, StatusCode::kInterrupted};
+  auto group = papi::read_group_with_retry(backend, 1, /*max_attempts=*/3);
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->size(), 2u);
+  EXPECT_EQ(backend.read_group_calls, 3);
+}
+
+TEST(Retry, ImmediateSuccessNeverRetries) {
+  ScriptedBackend backend;
+  auto value = papi::read_with_retry(backend, 1, /*max_attempts=*/5);
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(value->value, 7u);
+  EXPECT_EQ(backend.read_calls, 1);
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,14 +1,15 @@
 // papi_native_avail equivalent: list every native event of every active
 // PMU on a machine, flagging which core types provide each event name —
 // the listing that makes per-core-type availability differences (like
-// topdown being P-core-only) visible to users.
+// topdown being P-core-only) visible to users. The rendering lives in
+// papi/avail_report.cpp so the golden tests cover it byte-exactly.
 //
 //   papi_native_avail [--machine raptorlake|orangepi|xeon|tritype]
 #include <cstdio>
-#include <map>
 #include <string>
 
 #include "cpumodel/machine.hpp"
+#include "papi/avail_report.hpp"
 #include "pfm/pfmlib.hpp"
 #include "pfm/sim_host.hpp"
 #include "simkernel/kernel.hpp"
@@ -32,51 +33,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "pfm: %s\n", s.to_string().c_str());
     return 1;
   }
-
-  std::printf("Native events on %s\n", machine.name.c_str());
-  int total = 0;
-  for (const pfm::ActivePmu& pmu : pfmlib.pmus()) {
-    std::printf("\n--- PMU %s (%s, perf type %u)%s ---\n",
-                pmu.table->pfm_name.c_str(), pmu.sysfs_name.c_str(),
-                pmu.perf_type, pmu.is_core ? " [core]" : "");
-    for (const pfm::EventDesc& event : pmu.table->events) {
-      if (event.umasks.empty()) {
-        std::printf("  %-46s %s\n",
-                    (pmu.table->pfm_name + "::" + event.name).c_str(),
-                    event.description.c_str());
-        ++total;
-        continue;
-      }
-      std::printf("  %s::%s — %s\n", pmu.table->pfm_name.c_str(),
-                  event.name.c_str(), event.description.c_str());
-      for (const pfm::UmaskDesc& umask : event.umasks) {
-        std::printf("      :%-20s %s\n", umask.name.c_str(),
-                    umask.description.c_str());
-        ++total;
-      }
-    }
-  }
-
-  // Cross-PMU availability diff for the core PMUs (the §I-C asymmetry).
-  const auto core_pmus = pfmlib.default_pmus();
-  if (core_pmus.size() > 1) {
-    std::map<std::string, std::vector<std::string>> by_event;
-    for (const pfm::ActivePmu* pmu : core_pmus) {
-      for (const pfm::EventDesc& event : pmu->table->events) {
-        by_event[event.name].push_back(pmu->table->pfm_name);
-      }
-    }
-    std::printf("\n--- events NOT available on every core type ---\n");
-    bool any = false;
-    for (const auto& [event, pmus] : by_event) {
-      if (pmus.size() == core_pmus.size()) continue;
-      any = true;
-      std::printf("  %-24s only on:", event.c_str());
-      for (const std::string& pmu : pmus) std::printf(" %s", pmu.c_str());
-      std::printf("\n");
-    }
-    if (!any) std::printf("  (none)\n");
-  }
-  std::printf("\n%d native events total\n", total);
+  const std::string report =
+      papi::render_native_avail_report(pfmlib, machine.name);
+  std::fputs(report.c_str(), stdout);
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli.hpp"
 #include "base/strings.hpp"
 #include "base/table.hpp"
 #include "cpumodel/machine.hpp"
@@ -32,9 +33,11 @@ int main(int argc, char** argv) {
     const char* value = argv[i + 1];
     if (flag == "--machine") machine_name = value;
     else if (flag == "--variant") variant = value;
-    else if (flag == "--n") n = static_cast<int>(*parse_int(value));
+    else if (flag == "--n") {
+      n = static_cast<int>(cli::require_positive_int(flag, value));
+    }
     else if (flag == "--period") {
-      period = static_cast<std::uint64_t>(*parse_int(value));
+      period = static_cast<std::uint64_t>(cli::require_positive_int(flag, value));
     }
   }
   const cpumodel::MachineSpec machine = machine_name == "orangepi"

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "base/cli.hpp"
 #include "base/strings.hpp"
 #include "cpumodel/machine.hpp"
 #include "pfm/pfmlib.hpp"
@@ -54,7 +55,8 @@ int main(int argc, char** argv) {
       else if (flag == "--taskset") taskset = value;
       else if (flag == "--workload") workload = value;
       else if (flag == "--instructions") {
-        instructions = static_cast<std::uint64_t>(*parse_int(value));
+        instructions =
+            static_cast<std::uint64_t>(cli::require_positive_int(flag, value));
       }
     }
   }
