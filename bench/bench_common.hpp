@@ -155,13 +155,14 @@ inline simkernel::SimKernel::Config hpl_kernel_config(std::uint64_t seed = 42) {
   return config;
 }
 
-/// One monitored HPL run on a fresh machine instance.
-inline telemetry::RunResult run_hpl_once(const cpumodel::MachineSpec& machine,
-                                         const workload::HplConfig& hpl,
-                                         const std::vector<int>& cpus,
-                                         std::uint64_t seed = 42) {
+/// One monitored HPL run on a fresh machine instance. The optional
+/// MonitorConfig lets phase-instrumented benches attach counters,
+/// markers or the rdpmc path without duplicating the setup.
+inline telemetry::RunResult run_hpl_once(
+    const cpumodel::MachineSpec& machine, const workload::HplConfig& hpl,
+    const std::vector<int>& cpus, std::uint64_t seed = 42,
+    const telemetry::MonitorConfig& monitor = {}) {
   simkernel::SimKernel kernel(machine, hpl_kernel_config(seed));
-  telemetry::MonitorConfig monitor;
   return telemetry::run_monitored_hpl(kernel, hpl, cpus, monitor);
 }
 

@@ -10,6 +10,7 @@
 #include "linuxkernel/linux_backend.hpp"
 #include "papi/fault_injection.hpp"
 #include "papi/library.hpp"
+#include "papi/marker.hpp"
 #include "papi/sim_backend.hpp"
 #include "simkernel/kernel.hpp"
 #include "workload/programs.hpp"
@@ -224,6 +225,81 @@ void BM_Read_SyscallPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Read_SyscallPath);
+
+// --- the allocation-free read plan (§V-5's low-tens-of-ns target) ------------
+// read_into() reuses the caller's buffer and the EventSet's internal
+// scratch, so the steady-state iteration allocates nothing; with
+// use_rdpmc the whole hybrid group is served by seqlock user-page
+// reads. The A/B pair below is what tools/bench_check guards in CI.
+
+void BM_ReadInto_RdpmcPlan_Hybrid(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "adl_glc::CPU_CLK_UNHALTED:THREAD",
+             "adl_grt::CPU_CLK_UNHALTED:THREAD"},
+            false, /*use_rdpmc=*/true);
+  std::vector<long long> values;
+  for (auto _ : state) {
+    const Status read = f.lib->read_into(f.set, values);
+    benchmark::DoNotOptimize(read);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_ReadInto_RdpmcPlan_Hybrid);
+
+void BM_ReadInto_SyscallPath_Hybrid(benchmark::State& state) {
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_grt::INST_RETIRED:ANY",
+             "adl_glc::CPU_CLK_UNHALTED:THREAD",
+             "adl_grt::CPU_CLK_UNHALTED:THREAD"},
+            false, /*use_rdpmc=*/false);
+  std::vector<long long> values;
+  for (auto _ : state) {
+    const Status read = f.lib->read_into(f.set, values);
+    benchmark::DoNotOptimize(read);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_ReadInto_SyscallPath_Hybrid);
+
+void BM_ReadQualifiedInto_DerivedPreset_Hybrid(benchmark::State& state) {
+  // The in-place qualified read: same per-PMU breakdown as
+  // BM_ReadQualified_DerivedPreset_Hybrid, but the result shape is
+  // verified and updated in place instead of rebuilt — the sampler's
+  // per-tick path.
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"});
+  std::vector<papi::QualifiedReading> readings;
+  for (auto _ : state) {
+    const Status read = f.lib->read_qualified_into(f.set, readings);
+    benchmark::DoNotOptimize(read);
+    benchmark::DoNotOptimize(readings.data());
+  }
+}
+BENCHMARK(BM_ReadQualifiedInto_DerivedPreset_Hybrid);
+
+void BM_Marker_RegionEnterExit(benchmark::State& state) {
+  // One begin/end pair of the LIKWID-style marker API over the rdpmc
+  // read plan: two user-page reads plus the per-region accumulation.
+  Fixture f({"adl_glc::INST_RETIRED:ANY", "adl_glc::CPU_CLK_UNHALTED:THREAD"},
+            false, /*use_rdpmc=*/true);
+  papi::MarkerManager markers;
+  // The sim-backend configuration: regions are timed by the simulated
+  // clock (what the monitored harnesses install), not the host clock.
+  markers.set_time_source(
+      +[](void* k) {
+        return static_cast<std::uint64_t>(
+            static_cast<SimKernel*>(k)->now().since_epoch.count());
+      },
+      f.kernel.get());
+  if (!markers.attach_thread(f.lib.get(), f.set).is_ok()) {
+    state.SkipWithError("marker attach failed");
+    return;
+  }
+  for (auto _ : state) {
+    (void)markers.region_begin("bench");
+    const Status ended = markers.region_end("bench");
+    benchmark::DoNotOptimize(ended);
+  }
+}
+BENCHMARK(BM_Marker_RegionEnterExit);
 
 // --- per-component dispatch cost ---------------------------------------------
 // The componentized core routes every read through the registry; these

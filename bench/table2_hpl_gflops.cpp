@@ -55,12 +55,38 @@ int main(int argc, char** argv) {
                      }});
   }
 
+  // Phase-instrumented twins of the all-core cells: LIKWID-style
+  // markers bracket the run and the master worker's factor/update
+  // items, with counters served through the rdpmc read plan. Separate
+  // cells so the marker/caliper perturbation never touches the Table II
+  // numbers above.
+  telemetry::MonitorConfig marked;
+  marked.sample_events = {"PAPI_TOT_INS"};
+  marked.mark_hpl_phases = true;
+  marked.use_rdpmc = true;
+  std::vector<telemetry::RunResult> marked_results(2);
+  cells.push_back({"P and E / OpenBLAS (regions)", [&] {
+                     marked_results[0] = run_hpl_once(
+                         machine, workload::HplConfig::openblas(n, nb),
+                         raptor_cpus_all(machine), 42, marked);
+                   }});
+  cells.push_back({"P and E / Intel (regions)", [&] {
+                     marked_results[1] = run_hpl_once(
+                         machine, workload::HplConfig::intel(n, nb),
+                         raptor_cpus_all(machine), 42, marked);
+                   }});
+
   telemetry::MultiRunExecutor executor(opts.threads);
   BenchRecorder recorder("table2_hpl_gflops", executor.thread_count());
   recorder.add_cells(executor.execute(cells));
   for (std::size_t i = 0; i < results.size(); ++i) {
     recorder.set_cell_sim_s(
         i, std::chrono::duration<double>(results[i].elapsed).count());
+  }
+  for (std::size_t i = 0; i < marked_results.size(); ++i) {
+    recorder.set_cell_sim_s(
+        results.size() + i,
+        std::chrono::duration<double>(marked_results[i].elapsed).count());
   }
 
   std::printf("Table II: HPL performance, N=%d NB=%d P=1 Q=1 (model)\n", n,
@@ -96,6 +122,26 @@ int main(int argc, char** argv) {
     split.add_row(std::move(cells_row));
   }
   std::printf("%s", split.render().c_str());
+
+  // Marker regions on the master worker (all-core runs): where the
+  // master's instructions go — panel factorization vs trailing update —
+  // measured by the region deltas of PAPI_TOT_INS.
+  std::printf("\nHPL phases on the master worker (P and E, markers)\n");
+  TextTable phases({"Variant", "Region", "Entries", "Time (s)",
+                    "PAPI_TOT_INS"});
+  for (std::size_t i = 0; i < marked_results.size(); ++i) {
+    for (const telemetry::RegionReport& region : marked_results[i].regions) {
+      phases.add_row(
+          {i == 0 ? "OpenBLAS" : "Intel", region.name,
+           str_format("%llu", static_cast<unsigned long long>(region.entries)),
+           str_format("%.2f", region.time_s),
+           region.totals.empty()
+               ? std::string("-")
+               : str_format("%.3fe9",
+                            static_cast<double>(region.totals[0]) / 1e9)});
+    }
+  }
+  std::printf("%s", phases.render().c_str());
   recorder.write();
   return 0;
 }

@@ -5,6 +5,13 @@
 //               [--events <comma-list>]    (PAPI events read per sample)
 //               [--per-core-type yes]      (split each sampled event into
 //                                           its per-core-PMU constituents)
+//               [--regions yes]            (LIKWID-style markers: bracket
+//                                           the run and the master worker's
+//                                           factor/update items, print a
+//                                           per-region counter table)
+//               [--rdpmc yes]              (serve counter reads through the
+//                                           userspace rdpmc read plan
+//                                           instead of read(2))
 //               [--fault-profile <name>]   (chaos mode: inject faults into
 //                                           the measurement backend; names
 //                                           from papi::FaultProfile)
@@ -41,6 +48,8 @@ int main(int argc, char** argv) {
   std::string fault_profile = "none";
   long long fault_seed = 0;
   bool per_core_type = false;
+  bool regions = false;
+  bool rdpmc = false;
   int n = 0;
   int runs = 3;
   for (int i = 1; i + 1 < argc; i += 2) {
@@ -59,6 +68,8 @@ int main(int argc, char** argv) {
     else if (flag == "--events") events = value;
     else if (flag == "--per-core-type")
       per_core_type = std::string_view(value) == "yes";
+    else if (flag == "--regions") regions = std::string_view(value) == "yes";
+    else if (flag == "--rdpmc") rdpmc = std::string_view(value) == "yes";
     else if (flag == "--fault-profile") fault_profile = value;
     else if (flag == "--fault-seed") fault_seed = cli::require_int(flag, value);
   }
@@ -115,6 +126,14 @@ int main(int argc, char** argv) {
   }
   monitor.fault_profile = fault_profile;
   monitor.fault_seed = static_cast<std::uint64_t>(fault_seed);
+  monitor.use_rdpmc = rdpmc;
+  if (regions && monitor.sample_events.empty()) {
+    std::fprintf(stderr,
+                 "--regions needs --events (the regions accumulate the "
+                 "sampled counters)\n");
+    return 1;
+  }
+  monitor.mark_hpl_phases = regions;
 
   // CSV writer shared by per-run and averaged outputs (one row per
   // sample: t, per-cpu MHz, temp, rapl W, wall W, then one column per
@@ -191,6 +210,24 @@ int main(int argc, char** argv) {
                 sample.package_temp_c, sample.package_power_w,
                 sample.board_power_w);
   }
+  if (regions && !avg.regions.empty()) {
+    std::printf("\n# regions (averaged over %d runs)\n", runs);
+    std::printf("%-10s %10s %12s", "region", "entries", "time_s");
+    for (const std::string& name : avg.counter_names) {
+      std::printf(" %20s", name.c_str());
+    }
+    std::printf("\n");
+    for (const telemetry::RegionReport& region : avg.regions) {
+      std::printf("%-10s %10llu %12.3f", region.name.c_str(),
+                  static_cast<unsigned long long>(region.entries),
+                  region.time_s);
+      for (const long long total : region.totals) {
+        std::printf(" %20lld", total);
+      }
+      std::printf("\n");
+    }
+  }
+
   std::printf("\naverage over %d runs: %.2f Gflops\n", runs, avg.gflops);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
+#include <sys/mman.h>
 #include <sys/syscall.h>
 #include <unistd.h>
 
@@ -269,12 +270,50 @@ Expected<std::uint64_t> LinuxBackend::perf_rdpmc(int fd) {
                     "rdpmc fast path not wired on the real backend");
 }
 
+// Our mirror struct must line up with the live kernel header, not just
+// the documented offsets.
+static_assert(offsetof(simkernel::PerfUserPage, lock) ==
+              offsetof(perf_event_mmap_page, lock));
+static_assert(offsetof(simkernel::PerfUserPage, index) ==
+              offsetof(perf_event_mmap_page, index));
+static_assert(offsetof(simkernel::PerfUserPage, offset) ==
+              offsetof(perf_event_mmap_page, offset));
+static_assert(offsetof(simkernel::PerfUserPage, time_enabled) ==
+              offsetof(perf_event_mmap_page, time_enabled));
+static_assert(offsetof(simkernel::PerfUserPage, time_running) ==
+              offsetof(perf_event_mmap_page, time_running));
+
+Expected<const simkernel::PerfUserPage*> LinuxBackend::perf_mmap_user_page(
+    int fd) {
+  const auto it = user_pages_.find(fd);
+  if (it != user_pages_.end()) {
+    return static_cast<const simkernel::PerfUserPage*>(it->second);
+  }
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  void* mapped = ::mmap(nullptr, static_cast<std::size_t>(page_size),
+                        PROT_READ, MAP_SHARED, fd, 0);
+  if (mapped == MAP_FAILED) return errno_status("perf mmap");
+  user_pages_[fd] = mapped;
+  return static_cast<const simkernel::PerfUserPage*>(mapped);
+}
+
 Status LinuxBackend::perf_close(int fd) {
+  const auto it = user_pages_.find(fd);
+  if (it != user_pages_.end()) {
+    ::munmap(it->second, static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)));
+    user_pages_.erase(it);
+  }
   // Never retry close: on Linux the fd is released even when close
   // reports EINTR, and a retry could close an unrelated fd reused in
   // the meantime. EINTR therefore counts as success here.
   if (::close(fd) != 0 && errno != EINTR) return errno_status("close");
   return Status::ok();
+}
+
+LinuxBackend::~LinuxBackend() {
+  for (const auto& [fd, mapped] : user_pages_) {
+    ::munmap(mapped, static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)));
+  }
 }
 
 }  // namespace hetpapi::linuxkernel

@@ -11,6 +11,7 @@
 // scope and report kNotSupported.
 #pragma once
 
+#include <map>
 #include <string>
 
 #include "papi/backend.hpp"
@@ -45,7 +46,16 @@ class LinuxBackend final : public papi::Backend {
   Expected<papi::PerfValue> perf_read(int fd) override;
   Expected<std::vector<papi::PerfValue>> perf_read_group(int fd) override;
   Expected<std::uint64_t> perf_rdpmc(int fd) override;
+  /// mmap the event's real perf_event_mmap_page (read-only, one page).
+  /// simkernel::PerfUserPage mirrors the kernel struct bit-for-bit up
+  /// to the reserved region, and the kernel zeroes that region, so the
+  /// reader's sim-magic probe cleanly selects the hardware rdpmc leg.
+  /// Unmapped automatically at perf_close.
+  Expected<const simkernel::PerfUserPage*> perf_mmap_user_page(
+      int fd) override;
   Status perf_close(int fd) override;
+
+  ~LinuxBackend() override;
 
   const pfm::Host& host() const override { return host_; }
 
@@ -61,6 +71,8 @@ class LinuxBackend final : public papi::Backend {
 
  private:
   LinuxHost host_;
+  /// fd -> live mmap'd first perf page (munmap'd at perf_close).
+  std::map<int, void*> user_pages_;
 };
 
 }  // namespace hetpapi::linuxkernel

@@ -37,6 +37,17 @@ class Backend {
   virtual Expected<std::uint64_t> perf_rdpmc(int fd) = 0;
   virtual Status perf_close(int fd) = 0;
 
+  /// mmap(2) the event's perf_event_mmap_page for userspace rdpmc read
+  /// plans (§V-5). The returned pointer must stay valid until
+  /// perf_close(fd); backends without a page report kNotSupported and
+  /// the read planner keeps the fd path. Default: no page.
+  virtual Expected<const simkernel::PerfUserPage*> perf_mmap_user_page(
+      int fd) {
+    (void)fd;
+    return make_error(StatusCode::kNotSupported,
+                      "backend has no user-page mapping");
+  }
+
   /// Overflow (sampling) delivery. Backends without a notification path
   /// report kNotSupported.
   using OverflowHandler =

@@ -1,6 +1,7 @@
 #include "papi/components/perf_backed.hpp"
 
 #include "papi/retry.hpp"
+#include "papi/user_page_read.hpp"
 
 namespace hetpapi::papi {
 
@@ -205,22 +206,33 @@ Status PerfBackedComponent::reset(ComponentState& state) {
 void PerfBackedComponent::build_read_plan(const PerfState& ps) const {
   ps.read_plan.clear();
   ps.plan_members.clear();
+  ps.plan_pages.clear();
   ps.read_plan.reserve(ps.groups.size());
   for (const Group& group : ps.groups) {
     ReadPlanEntry entry;
     entry.leader_fd = group.leader_fd;
     entry.member_begin = ps.plan_members.size();
     entry.member_count = group.members.size();
+    // Classify every member — not just singletons — as rdpmc-servable:
+    // the group goes to the page path iff each member's user page mapped
+    // and advertises cap_user_rdpmc. Residency is NOT checked here; it
+    // changes per tick and the per-read seqlock loop handles it.
+    bool all_pages = env_.config->use_rdpmc && !group.members.empty();
     for (int member : group.members) {
-      ps.plan_members.push_back(
-          ps.slots[static_cast<std::size_t>(member)].request.global_index);
+      const Slot& slot = ps.slots[static_cast<std::size_t>(member)];
+      ps.plan_members.push_back(slot.request.global_index);
+      const simkernel::PerfUserPage* page = nullptr;
+      if (env_.config->use_rdpmc) {
+        if (auto mapped = env_.backend->perf_mmap_user_page(slot.fd)) {
+          if (((*mapped)->capabilities & simkernel::kCapUserRdpmc) != 0) {
+            page = *mapped;
+          }
+        }
+      }
+      ps.plan_pages.push_back(page);
+      all_pages = all_pages && page != nullptr;
     }
-    if (env_.config->use_rdpmc && group.members.size() == 1) {
-      const std::size_t slot = static_cast<std::size_t>(group.members[0]);
-      entry.rdpmc_single = true;
-      entry.single_fd = ps.slots[slot].fd;
-      entry.single_global_index = ps.slots[slot].request.global_index;
-    }
+    entry.rdpmc_group = all_pages;
     ps.read_plan.push_back(entry);
   }
 }
@@ -240,15 +252,38 @@ Status PerfBackedComponent::read(const ComponentState& state, bool scale,
   }
 
   const int retries = env_.config->transient_retry_attempts;
+  const int page_retries = env_.config->rdpmc_max_retries;
   for (const ReadPlanEntry& entry : ps.read_plan) {
-    // Fast path first (§V-5): a singleton group whose event is resident
-    // can be served by rdpmc without a read syscall.
-    if (entry.rdpmc_single) {
-      auto fast = env_.backend->perf_rdpmc(entry.single_fd);
-      if (fast) {
-        values[entry.single_global_index] = static_cast<double>(*fast);
-        continue;
+    // Fast path first (§V-5): every member served from its mmap'd user
+    // page with the seqlock retry loop — no syscall, and scaled reads
+    // take time_enabled/time_running from the page so a multiplexed
+    // event returns the same scaled estimate as the fd path. Any member
+    // that cannot be served (not resident: disabled, multiplexed out,
+    // or migrated core types; rdpmc revoked; retries exhausted) sends
+    // the WHOLE group to the fd path so group values stay mutually
+    // consistent.
+    if (entry.rdpmc_group) {
+      bool served = true;
+      for (std::size_t i = 0; i < entry.member_count; ++i) {
+        const simkernel::PerfUserPage* page =
+            ps.plan_pages[entry.member_begin + i];
+        UserPageSample sample;
+        if (read_user_page(*page, sample, page_retries) !=
+            UserPageReadResult::kOk) {
+          served = false;
+          break;
+        }
+        double value = static_cast<double>(sample.value);
+        if (scale) {
+          PerfValue pv;
+          pv.value = sample.value;
+          pv.time_enabled_ns = sample.time_enabled_ns;
+          pv.time_running_ns = sample.time_running_ns;
+          value = pv.scaled();
+        }
+        values[ps.plan_members[entry.member_begin + i]] = value;
       }
+      if (served) continue;  // partial writes are overwritten below
     }
     auto group_values =
         read_group_with_retry(*env_.backend, entry.leader_fd, retries);

@@ -59,10 +59,11 @@ class PerfBackedComponent : public Component {
   /// build time so the read loop does no slot-table chasing.
   struct ReadPlanEntry {
     int leader_fd = -1;
-    /// Singleton group eligible for the rdpmc fast path.
-    bool rdpmc_single = false;
-    int single_fd = -1;
-    std::size_t single_global_index = 0;
+    /// Every member of this group has a mapped user page advertising
+    /// cap_user_rdpmc: the whole group is served by seqlock page reads
+    /// (§V-5), with the fd path as the per-read fallback when any member
+    /// is not resident or the retry budget exhausts.
+    bool rdpmc_group = false;
     /// Members' global value indices in sibling order, flattened into
     /// PerfState::plan_members.
     std::size_t member_begin = 0;
@@ -79,6 +80,10 @@ class PerfBackedComponent : public Component {
     mutable bool read_plan_valid = false;
     mutable std::vector<ReadPlanEntry> read_plan;
     mutable std::vector<std::size_t> plan_members;
+    /// Per plan-member mmap'd user page (nullptr when unmapped), in
+    /// plan_members order; populated at plan build, pointers live until
+    /// the fds close (which also invalidates the plan).
+    mutable std::vector<const simkernel::PerfUserPage*> plan_pages;
   };
 
   static PerfState& perf_state(ComponentState& state) {

@@ -31,9 +31,15 @@ struct LibraryConfig {
   /// Return multiplex-scaled estimates instead of raw values when an
   /// EventSet is multiplexed.
   bool scale_multiplexed = true;
-  /// Serve reads through the rdpmc fast path when the event is resident,
-  /// falling back to read(2) (§V-5).
+  /// Serve reads through the userspace rdpmc read plan: mmap each
+  /// resident event's perf user page and read counters with the seqlock
+  /// protocol, falling back to read(2) when a page reports rdpmc off,
+  /// the event is not resident (multiplexed out / migrated core types),
+  /// or retries exhaust (§V-5).
   bool use_rdpmc = false;
+  /// Seqlock retry budget per page read before falling back to the fd
+  /// path; generous, since a stuck-odd page means a dead writer.
+  int rdpmc_max_retries = 16;
   /// Cache the per-EventSet group read fan-out (which leader fds to
   /// read, which native slot each returned value lands in) instead of
   /// re-deriving it on every read/stop/accum. Off reproduces the

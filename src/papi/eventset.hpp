@@ -6,6 +6,7 @@
 // names (presets, custom presets, native encodings) and delegates here.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -65,6 +66,23 @@ class EventSetCore {
   Status start();
   Expected<std::vector<long long>> stop();
   Expected<std::vector<long long>> read() const;
+  /// Allocation-free read(): folds the current counts into `out`
+  /// (resized to one slot per user event; steady-state callers reuse the
+  /// buffer's capacity, so the hot path never allocates). The marker API
+  /// and the low-tens-of-ns read target are built on this.
+  Status read_into(std::vector<long long>& out) const;
+  /// Allocation-free read_qualified(): updates `out` in place when its
+  /// shape matches the set's layout (sizes and part names are verified
+  /// and repaired per call); reshapes — and then allocates — only when
+  /// the layout actually changed.
+  Status read_qualified_into(std::vector<QualifiedReading>& out) const;
+  /// Resolver from PMU name to detected core-type label, installed by
+  /// the Library facade so read_qualified_into can label parts without a
+  /// round trip through the facade.
+  void set_core_type_resolver(
+      std::function<std::string(std::string_view)> resolver) {
+    core_type_resolver_ = std::move(resolver);
+  }
   /// read() plus per-slot degradation tags, collected tolerantly: a
   /// counter that cannot deliver (dead fd, retry budget exhausted)
   /// degrades its slot to a partial sum instead of failing the call.
@@ -156,6 +174,13 @@ class EventSetCore {
   /// Tolerant collection: per-native validity recorded in
   /// valid_scratch_, failed slots contribute 0 (see Component::read).
   Status collect_checked() const;
+  /// Fan the component reads into native_scratch_ (strict; the shared
+  /// first half of collect() and read_into()).
+  Status collect_natives() const;
+  /// Fold native_scratch_ into per-user-event sums, reusing `out`.
+  void fold_user_events(std::vector<long long>& out) const;
+  /// Charge the per-call overhead model for one read-shaped call.
+  void charge_read_overhead() const;
 
   int id_;
   Backend* backend_;
@@ -184,6 +209,7 @@ class EventSetCore {
   mutable std::vector<double> native_scratch_;
   /// Per-native validity scratch for the tolerant collection paths.
   mutable std::vector<std::uint8_t> valid_scratch_;
+  std::function<std::string(std::string_view)> core_type_resolver_;
 };
 
 }  // namespace hetpapi::papi

@@ -160,6 +160,22 @@ Expected<std::uint64_t> FaultInjectingBackend::perf_rdpmc(int fd) {
   return inner_->perf_rdpmc(fd);
 }
 
+Expected<const simkernel::PerfUserPage*>
+FaultInjectingBackend::perf_mmap_user_page(int fd) {
+  // Same availability model as perf_rdpmc: an rdpmc-less host refuses
+  // the mapping outright (echoing a kernel with /sys/devices/cpu/rdpmc
+  // = 0), and a stale fd can no longer be mapped.
+  if (profile_.rdpmc_unavailable) {
+    ++stats_.mmaps_denied;
+    return make_error(StatusCode::kNotSupported, "injected: rdpmc disabled");
+  }
+  if (stale_fds_.count(fd) != 0) {
+    ++stats_.stale_fd_hits;
+    return make_error(StatusCode::kSystem, "injected stale fd");
+  }
+  return inner_->perf_mmap_user_page(fd);
+}
+
 Status FaultInjectingBackend::perf_close(int fd) {
   // Closes always reach the inner backend — a ledger that "loses" fds
   // on injected close failures would fabricate leaks.

@@ -77,6 +77,11 @@ class FaultInjectingBackend final : public Backend {
     std::uint64_t ioctls_injected_transient = 0;
     std::uint64_t fds_gone_stale = 0;
     std::uint64_t stale_fd_hits = 0;
+    /// User-page mmaps refused (rdpmc_unavailable profiles): forces the
+    /// read planner onto the fd path. Tracked separately from
+    /// total_injected() — a denied mmap is a capability report, not a
+    /// failed operation the retry machinery must survive.
+    std::uint64_t mmaps_denied = 0;
 
     std::uint64_t total_injected() const {
       return opens_injected_failed + reads_injected_transient +
@@ -94,6 +99,8 @@ class FaultInjectingBackend final : public Backend {
   Expected<PerfValue> perf_read(int fd) override;
   Expected<std::vector<PerfValue>> perf_read_group(int fd) override;
   Expected<std::uint64_t> perf_rdpmc(int fd) override;
+  Expected<const simkernel::PerfUserPage*> perf_mmap_user_page(
+      int fd) override;
   Status perf_close(int fd) override;
   Status perf_set_overflow_handler(int fd, OverflowHandler handler) override {
     return inner_->perf_set_overflow_handler(fd, std::move(handler));

@@ -103,8 +103,11 @@ const EventSetCore* Library::find_set(int eventset) const {
 
 Expected<int> Library::create_eventset() {
   const int id = next_set_id_++;
-  sets_.push_back(std::make_unique<EventSetCore>(
-      id, backend_, &pfm_, &config_, &registry_, &locks_));
+  auto set = std::make_unique<EventSetCore>(id, backend_, &pfm_, &config_,
+                                            &registry_, &locks_);
+  set->set_core_type_resolver(
+      [this](std::string_view pmu) { return core_type_for_pmu(pmu); });
+  sets_.push_back(std::move(set));
   return id;
 }
 
@@ -344,6 +347,23 @@ Expected<std::vector<long long>> Library::read(int eventset) const {
   return set->read();
 }
 
+Status Library::read_into(int eventset, std::vector<long long>& out) const {
+  const EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  return set->read_into(out);
+}
+
+Status Library::read_qualified_into(int eventset,
+                                    std::vector<QualifiedReading>& out) const {
+  const EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  return set->read_qualified_into(out);
+}
+
 Expected<Reading> Library::read_checked(int eventset) const {
   const EventSetCore* set = find_set(eventset);
   if (set == nullptr) {
@@ -372,14 +392,9 @@ Expected<std::vector<QualifiedReading>> Library::read_qualified(
   if (set == nullptr) {
     return make_error(StatusCode::kNoEventSet, "no such EventSet");
   }
-  auto readings = set->read_qualified();
-  if (!readings) return readings.status();
-  for (QualifiedReading& reading : *readings) {
-    for (QualifiedValue& part : reading.parts) {
-      part.core_type = core_type_for_pmu(part.pmu_name);
-    }
-  }
-  return readings;
+  // Core-type labels are filled by the set's resolver (installed at
+  // create_eventset), so the in-place path and this one agree.
+  return set->read_qualified();
 }
 
 Status Library::accum(int eventset, std::vector<long long>& values) {

@@ -134,6 +134,16 @@ class Library {
   /// add order).
   Expected<std::vector<long long>> stop(int eventset);
   Expected<std::vector<long long>> read(int eventset) const;
+  /// Allocation-free read(): folds the current counts into `out`
+  /// (resized to one slot per event; steady-state callers reuse the
+  /// buffer's capacity so the hot path never allocates). The marker API
+  /// and the rdpmc read-latency target are built on this.
+  Status read_into(int eventset, std::vector<long long>& out) const;
+  /// Allocation-free read_qualified(): updates `out` in place when its
+  /// shape still matches the set's layout; reshapes (and then
+  /// allocates) only when the layout changed since the last call.
+  Status read_qualified_into(int eventset,
+                             std::vector<QualifiedReading>& out) const;
   /// read() plus degradation tags, collected tolerantly: one dead
   /// counter (stale fd, exhausted retry budget) degrades its slot to a
   /// partial sum with Reading::value_degraded[i] set, instead of

@@ -1,0 +1,114 @@
+// LIKWID-style marker / region API on top of the measurement library
+// (§V-5): bracket named code regions with region_begin()/region_end()
+// and get per-region counter deltas, entry counts and wall time, merged
+// across threads at report time.
+//
+// The hot path is two allocation-free reads (Library::read_into through
+// the rdpmc read plan when enabled) plus a time-source call: region
+// enter/exit lands in the low tens of ns on the sim backend, which is
+// what makes bracketing inner loops (HPL panel factor / update phases)
+// viable.
+//
+// Threading model: each measuring thread attaches once
+// (attach_thread), carrying its own EventSet whose counters the caller
+// has started. Regions nest (kMaxMarkerDepth deep); ending a region
+// that is not the innermost implicitly ends the regions opened inside
+// it, LIFO, so accounting stays consistent. Per-thread accumulators
+// are merged under a mutex only in report(), never on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.hpp"
+
+namespace hetpapi::papi {
+
+class Library;
+
+/// Nesting depth limit per thread: a fixed frame stack keeps the hot
+/// path free of allocation and of failure modes beyond "too deep".
+inline constexpr int kMaxMarkerDepth = 16;
+
+/// Aggregated measurements for one named region (merged across threads
+/// in report()).
+struct RegionStats {
+  std::string name;
+  /// Completed begin/end pairs.
+  std::uint64_t entries = 0;
+  /// Total time spent inside the region, in time-source units
+  /// (nanoseconds for the default and the sim-kernel sources).
+  std::uint64_t time = 0;
+  /// Summed per-event counter deltas, one slot per EventSet event in
+  /// add order.
+  std::vector<long long> totals;
+};
+
+class MarkerManager {
+ public:
+  /// Time source: a captureless function of an opaque context, so the
+  /// hot path pays a plain indirect call (no std::function). Units are
+  /// the caller's; the default source reads std::chrono::steady_clock
+  /// in nanoseconds. The sim-backed harnesses install the kernel clock
+  /// for determinism.
+  using TimeFn = std::uint64_t (*)(void*);
+
+  MarkerManager();
+  ~MarkerManager();
+  MarkerManager(const MarkerManager&) = delete;
+  MarkerManager& operator=(const MarkerManager&) = delete;
+
+  /// Replace the time source. Affects regions begun after the call;
+  /// install before attaching threads.
+  void set_time_source(TimeFn fn, void* ctx);
+
+  /// Bind the calling thread to `eventset` of `lib`. The caller owns
+  /// the set's lifecycle (add events, start) — the markers only read
+  /// it. A thread attaches to one manager at a time; re-attaching
+  /// replaces the binding and drops any open frames.
+  Status attach_thread(const Library* lib, int eventset);
+
+  /// Unbind the calling thread. Open frames are discarded (their
+  /// partial deltas are not accumulated); accumulated stats survive
+  /// for report().
+  Status detach_thread();
+
+  /// Open the named region on the calling thread. Snapshots counters
+  /// and the clock; allocation-free once the region has been seen.
+  Status region_begin(std::string_view name);
+
+  /// Close the named region: accumulate counter deltas and elapsed
+  /// time. If inner regions are still open they are ended first
+  /// (LIFO). Ending a region that was never begun is an error.
+  Status region_end(std::string_view name);
+
+  /// Merge per-thread accumulators into one table, regions in
+  /// first-begin order (per thread, threads in attach order). Open
+  /// frames are not included.
+  std::vector<RegionStats> report() const;
+
+  /// Zero all accumulated stats (entries, time, totals) on every
+  /// thread. Open frames stay open; their eventual end() accumulates
+  /// into the cleared table.
+  void reset();
+
+ private:
+  struct ThreadState;
+
+  ThreadState* tls_state() const;
+
+  const std::uint64_t id_;  // generation id guarding the tls cache
+  TimeFn time_fn_;
+  void* time_ctx_ = nullptr;
+
+  mutable std::mutex mu_;
+  /// Owned per-thread states, attach order. Stable addresses (unique_ptr)
+  /// because threads hold raw pointers in tls.
+  std::vector<std::unique_ptr<ThreadState>> threads_;
+};
+
+}  // namespace hetpapi::papi

@@ -28,6 +28,10 @@ class SimBackend final : public Backend {
   Expected<std::uint64_t> perf_rdpmc(int fd) override {
     return kernel_->perf_rdpmc(fd);
   }
+  Expected<const simkernel::PerfUserPage*> perf_mmap_user_page(
+      int fd) override {
+    return kernel_->perf_mmap_user_page(fd);
+  }
   Status perf_close(int fd) override { return kernel_->perf_close(fd); }
 
   Status perf_set_overflow_handler(int fd, OverflowHandler handler) override {

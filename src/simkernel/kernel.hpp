@@ -87,6 +87,9 @@ class SimKernel {
   Expected<PerfValue> perf_read(int fd) const;
   Expected<std::vector<PerfValue>> perf_read_group(int fd) const;
   Expected<std::uint64_t> perf_rdpmc(int fd) const;
+  Expected<const PerfUserPage*> perf_mmap_user_page(int fd) const {
+    return perf_.mmap_user_page(fd);
+  }
   Status perf_close(int fd);
   Status perf_set_overflow_handler(int fd,
                                    PerfSubsystem::OverflowHandler handler) {

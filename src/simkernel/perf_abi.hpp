@@ -14,6 +14,7 @@
 //    by rotation and reads report time_enabled/time_running for scaling.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "base/units.hpp"
@@ -103,6 +104,69 @@ struct PerfValue {
             static_cast<double>(time_running_ns));
   }
 };
+
+/// perf_event_mmap_page capability bit: userspace may read this counter
+/// with rdpmc while the page's `index` is non-zero.
+inline constexpr std::uint64_t kCapUserRdpmc = 1ull << 2;
+
+/// Marks a simulated user page: the kernel zeroes the reserved region at
+/// byte 96, so a real mmap'd page can never carry this value and readers
+/// can distinguish "execute the rdpmc instruction" from "take the
+/// simulated counter the page itself publishes".
+inline constexpr std::uint32_t kSimUserPageMagic = 0x53494d70;  // "SIMp"
+
+/// First page of the perf_event mmap region (struct perf_event_mmap_page).
+///
+/// The field layout up to byte 96 matches the kernel ABI bit-for-bit
+/// (static_asserts below), so LinuxBackend can hand out a pointer into a
+/// real mmap'd page and the same reader code works against both
+/// backends. The seqlock contract is the kernel's: `lock` is bumped to
+/// odd before an update and back to even after; readers capture `lock`,
+/// read the fields (and issue rdpmc *inside* the window), then re-read
+/// `lock` and retry on any change. `index` is zero while the event is
+/// not resident on a hardware counter (disabled, multiplexed out, or the
+/// thread migrated to a core type the PMU does not serve); otherwise the
+/// counter value is `offset` + rdpmc(`index` - 1) sign-extended to
+/// `pmc_width` bits. time_enabled/time_running let page-served reads
+/// apply the same multiplex scaling as the fd path.
+struct PerfUserPage {
+  std::uint32_t version = 0;
+  std::uint32_t compat_version = 0;
+  std::uint32_t lock = 0;
+  std::uint32_t index = 0;
+  std::int64_t offset = 0;
+  std::uint64_t time_enabled = 0;  // ns
+  std::uint64_t time_running = 0;  // ns
+  std::uint64_t capabilities = 0;
+  std::uint16_t pmc_width = 0;
+  std::uint16_t time_shift = 0;
+  std::uint32_t time_mult = 0;
+  std::uint64_t time_offset = 0;
+  std::uint64_t time_zero = 0;
+  std::uint32_t size = 0;
+  std::uint32_t reserved1 = 0;
+  std::uint64_t time_cycles = 0;
+  std::uint64_t time_mask = 0;
+  // --- kernel-reserved region (zero on real pages) ----------------------
+  /// kSimUserPageMagic on pages minted by the simulated kernel.
+  std::uint32_t sim_magic = 0;
+  std::uint32_t sim_pad = 0;
+  /// The simulated hardware counter: what the rdpmc instruction would
+  /// return for `index` - 1, i.e. counts accumulated since the event
+  /// last became resident (the page's `offset` carries the rest).
+  std::uint64_t sim_pmc = 0;
+};
+
+static_assert(offsetof(PerfUserPage, lock) == 8);
+static_assert(offsetof(PerfUserPage, index) == 12);
+static_assert(offsetof(PerfUserPage, offset) == 16);
+static_assert(offsetof(PerfUserPage, time_enabled) == 24);
+static_assert(offsetof(PerfUserPage, time_running) == 32);
+static_assert(offsetof(PerfUserPage, capabilities) == 40);
+static_assert(offsetof(PerfUserPage, pmc_width) == 48);
+static_assert(offsetof(PerfUserPage, time_cycles) == 80);
+static_assert(offsetof(PerfUserPage, sim_magic) == 96,
+              "sim extension must sit in the kernel's reserved region");
 
 /// ioctl requests (names follow the kernel's).
 enum class PerfIoctl {

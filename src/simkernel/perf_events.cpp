@@ -1,8 +1,35 @@
 #include "simkernel/perf_events.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 namespace hetpapi::simkernel {
+
+void PerfSubsystem::publish_user_page(EventObj& ev) {
+  PerfUserPage* page = ev.user_page.get();
+  if (page == nullptr) return;
+  const bool resident = ev.enabled && ev.scheduled && ev.core_match;
+  ++page->lock;  // odd: update in progress
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  if (resident) {
+    if (page->index == 0 || ev.value < ev.pmc_base) {
+      // Residency (re)gained, or the counter was RESET below its base:
+      // re-anchor so offset + pmc always reconstructs `value`.
+      ev.pmc_base = ev.value;
+    }
+    page->index = static_cast<std::uint32_t>(ev.counter_slot) + 1;
+    page->offset = static_cast<std::int64_t>(ev.pmc_base);
+    page->sim_pmc = ev.value - ev.pmc_base;
+  } else {
+    page->index = 0;
+    page->offset = 0;
+    page->sim_pmc = 0;
+  }
+  page->time_enabled = static_cast<std::uint64_t>(ev.time_enabled.count());
+  page->time_running = static_cast<std::uint64_t>(ev.time_running.count());
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  ++page->lock;  // even: consistent again
+}
 
 PerfSubsystem::PerfSubsystem(const PmuRegistry* pmus, Config config)
     : pmus_(pmus), config_(config) {}
@@ -146,6 +173,17 @@ Expected<int> PerfSubsystem::open(const PerfEventAttr& attr, Tid tid, int cpu,
   }
   if (attr.sample_period > 0) ev.next_overflow_at = attr.sample_period;
 
+  if (pmu->pmu_class == PmuClass::kCore) {
+    // Mint the event's perf_event_mmap_page; reschedule() below
+    // publishes the initial residency state through it.
+    ev.user_page = std::make_unique<PerfUserPage>();
+    ev.user_page->version = 1;
+    ev.user_page->size = sizeof(PerfUserPage);
+    ev.user_page->pmc_width = 48;
+    ev.user_page->sim_magic = kSimUserPageMagic;
+    if (config_.user_rdpmc) ev.user_page->capabilities |= kCapUserRdpmc;
+  }
+
   auto [it, inserted] = events_.emplace(fd, std::move(ev));
   EventObj& stored = it->second;
   if (stored.leader_fd != fd) {
@@ -185,6 +223,7 @@ void PerfSubsystem::reschedule(Context& ctx) {
     if (leader != nullptr && !leader->attr.pinned) order.push_back(fd);
   }
 
+  int next_slot = 0;
   for (int fd : order) {
     EventObj* leader = find(fd);
     if (leader == nullptr) continue;
@@ -200,8 +239,12 @@ void PerfSubsystem::reschedule(Context& ctx) {
       }
     }
     leader->scheduled = placed && leader->enabled;
+    if (leader->scheduled) leader->counter_slot = next_slot++;
+    publish_user_page(*leader);
     for (EventObj* sib : leader->sibling_ptrs) {
       sib->scheduled = placed && sib->enabled;
+      if (sib->scheduled) sib->counter_slot = next_slot++;
+      publish_user_page(*sib);
     }
   }
   ctx.needs_rotation = overflow;
@@ -242,7 +285,7 @@ Status PerfSubsystem::do_ioctl_one(EventObj& ev, PerfIoctl op,
         ev.enabled_at = now;
         if (ev.is_readthrough()) ev.base = pkg.get(ev.kind);
       }
-      return Status::ok();
+      break;
     case PerfIoctl::kDisable:
       if (ev.enabled) {
         if (ev.is_readthrough()) {
@@ -253,7 +296,7 @@ Status PerfSubsystem::do_ioctl_one(EventObj& ev, PerfIoctl op,
         }
         ev.enabled = false;
       }
-      return Status::ok();
+      break;
     case PerfIoctl::kReset:
       // Kernel semantics: RESET zeroes the count, not the times.
       ev.value = 0;
@@ -261,9 +304,15 @@ Status PerfSubsystem::do_ioctl_one(EventObj& ev, PerfIoctl op,
         ev.next_overflow_at = ev.attr.sample_period;  // re-arm sampling
       }
       if (ev.is_readthrough() && ev.enabled) ev.base = pkg.get(ev.kind);
-      return Status::ok();
+      break;
+    default:
+      return make_error(StatusCode::kInvalidArgument, "bad ioctl");
   }
-  return make_error(StatusCode::kInvalidArgument, "bad ioctl");
+  // RESET never runs through reschedule(), so the page must be
+  // republished here; for enable/disable the reschedule republish makes
+  // this redundant but harmless.
+  publish_user_page(ev);
+  return Status::ok();
 }
 
 Status PerfSubsystem::ioctl(int fd, PerfIoctl op, std::uint32_t flags,
@@ -355,6 +404,18 @@ Expected<std::uint64_t> PerfSubsystem::rdpmc(int fd) const {
   return ev->value;
 }
 
+Expected<const PerfUserPage*> PerfSubsystem::mmap_user_page(int fd) const {
+  const EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->user_page == nullptr) {
+    return make_error(StatusCode::kNotSupported,
+                      "only core PMU events carry a user page");
+  }
+  return const_cast<const PerfUserPage*>(ev->user_page.get());
+}
+
 Status PerfSubsystem::close(int fd) {
   EventObj* ev = find(fd);
   if (ev == nullptr) {
@@ -426,7 +487,17 @@ void PerfSubsystem::on_execution(Tid tid, Tid leader, int cpu,
       continue;
     }
     if (ev->pmu->pmu_class != PmuClass::kCore) continue;
-    if (ev->pmu->core_type != core_type) continue;
+    if (ev->pmu->core_type != core_type) {
+      // The thread migrated to a core type this event's PMU does not
+      // serve: flip the user page to non-resident (index 0) so the
+      // userspace fast path falls back to the fd read.
+      if (ev->core_match) {
+        ev->core_match = false;
+        publish_user_page(*ev);
+      }
+      continue;
+    }
+    ev->core_match = true;
     apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now);
   }
 }
@@ -449,9 +520,13 @@ void PerfSubsystem::apply_counts(EventObj& ev, const ExecCounts& counts,
                                  int cpu, cpumodel::CoreTypeId core_type,
                                  Tid tid, SimTime now) {
   ev.time_enabled += wall;
-  if (!ev.scheduled) return;
+  if (!ev.scheduled) {
+    publish_user_page(ev);  // keep the page's time_enabled moving
+    return;
+  }
   ev.time_running += running;
   ev.value += counts.get(ev.kind);
+  publish_user_page(ev);
 
   // Sampling: deliver one notification per slice that crosses period
   // boundaries (coalesced, as an interrupt storm would be), advancing

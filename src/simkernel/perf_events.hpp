@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -66,6 +67,10 @@ class PerfSubsystem {
     /// records). When full, further samples are dropped and counted as
     /// lost — perf's overwrite-less semantics.
     std::size_t sample_ring_capacity = 4096;
+    /// Advertise cap_user_rdpmc on the user pages of core-PMU events
+    /// (/sys/devices/cpu/rdpmc on). Off models a locked-down host: pages
+    /// still exist but readers must take the fd path.
+    bool user_rdpmc = true;
   };
 
   PerfSubsystem(const PmuRegistry* pmus, Config config);
@@ -99,6 +104,13 @@ class PerfSubsystem {
   /// on; callers must fall back to read(2) otherwise — the exact contract
   /// PAPI's fast-read path navigates (§V-5).
   Expected<std::uint64_t> rdpmc(int fd) const;
+
+  /// mmap(2) of the event's first perf page: the seqlock-published
+  /// perf_event_mmap_page userspace read plans are built on (§V-5).
+  /// Only core-PMU events carry one — software and read-through package
+  /// events return kNotSupported, as the real fast path serves only
+  /// hardware counters. The pointer stays valid until close(fd).
+  Expected<const PerfUserPage*> mmap_user_page(int fd) const;
 
   // --- Kernel-side hooks -------------------------------------------------
 
@@ -181,6 +193,18 @@ class PerfSubsystem {
     std::vector<EventObj*> sibling_ptrs;
     bool enabled = false;
     bool scheduled = false;  // resident on a counter right now
+    /// False while the event's thread last executed on a core type the
+    /// event's PMU does not serve — the migration case whose page must
+    /// report index == 0 so userspace falls back to the fd path.
+    bool core_match = true;
+    /// Hardware counter slot while scheduled (page index = slot + 1).
+    int counter_slot = 0;
+    /// Counter value at the moment the event last became resident; the
+    /// user page publishes offset = pmc_base, sim_pmc = value - pmc_base.
+    std::uint64_t pmc_base = 0;
+    /// The event's perf_event_mmap_page (core-PMU events only). Heap
+    /// allocated so mmap_user_page can hand out a stable pointer.
+    std::unique_ptr<PerfUserPage> user_page;
     std::uint64_t value = 0;
     SimDuration time_enabled{0};
     SimDuration time_running{0};
@@ -235,6 +259,11 @@ class PerfSubsystem {
 
   Status do_ioctl_one(EventObj& ev, PerfIoctl op, const PackageCounters& pkg,
                       SimTime now);
+
+  /// Seqlock-publish the event's current state to its user page (no-op
+  /// for events without one): bump lock to odd, update the fields, bump
+  /// back to even — the writer half of the protocol readers retry on.
+  static void publish_user_page(EventObj& ev);
 
   /// Register a newly opened event in the scope index; drop on close.
   void index_event(EventObj& ev);

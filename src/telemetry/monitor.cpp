@@ -6,6 +6,7 @@
 
 #include "base/log.hpp"
 #include "papi/fault_injection.hpp"
+#include "papi/marker.hpp"
 #include "papi/sim_backend.hpp"
 
 namespace hetpapi::telemetry {
@@ -75,6 +76,7 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
     // A monitored run prefers a partial counter over no counter: one
     // refused core-type PMU must not black out the whole preset.
     lib_config.degrade_partial_presets = true;
+    lib_config.use_rdpmc = monitor_config.use_rdpmc;
     if (auto lib = papi::Library::init(measurement_backend, lib_config)) {
       papi_lib = std::move(*lib);
       bool ok = false;
@@ -128,6 +130,34 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
       }
     }
   }
+  // LIKWID-style phase markers: a "hpl" region around the whole run,
+  // "factor"/"update" regions bracketing the master worker's items.
+  // The listener fires synchronously from the simulation driver (this
+  // thread), so the markers' thread-local state is the monitor's own.
+  papi::MarkerManager markers;
+  const bool mark_phases = monitor_config.mark_hpl_phases && papi_lib;
+  if (mark_phases) {
+    markers.set_time_source(
+        +[](void* k) {
+          return static_cast<std::uint64_t>(
+              static_cast<simkernel::SimKernel*>(k)
+                  ->now()
+                  .since_epoch.count());
+        },
+        &kernel);
+    (void)markers.attach_thread(papi_lib.get(), papi_set);
+    (void)markers.region_begin("hpl");
+    hpl.set_phase_listener([&markers](int worker, bool factor, bool begin) {
+      if (worker != 0) return;  // the EventSet measures the master worker
+      const std::string_view region = factor ? "factor" : "update";
+      if (begin) {
+        (void)markers.region_begin(region);
+      } else {
+        (void)markers.region_end(region);
+      }
+    });
+  }
+
   const SimTime start = kernel.now();
   result.samples.push_back(sampler.sample());  // t=0 baseline
 
@@ -148,6 +178,19 @@ RunResult run_monitored_hpl(simkernel::SimKernel& kernel,
     }
   }
 
+  if (mark_phases) {
+    hpl.set_phase_listener(nullptr);
+    // Ending "hpl" subsumes any item region left open at the deadline.
+    (void)markers.region_end("hpl");
+    for (const papi::RegionStats& stats : markers.report()) {
+      RegionReport report;
+      report.name = stats.name;
+      report.entries = stats.entries;
+      report.time_s = static_cast<double>(stats.time) * 1e-9;
+      report.totals = stats.totals;
+      result.regions.push_back(std::move(report));
+    }
+  }
   if (papi_lib) {
     (void)papi_lib->stop(papi_set);
     const CounterHealth& health = sampler.counter_health();
@@ -198,6 +241,36 @@ RunResult average_runs(const std::vector<RunResult>& runs) {
   if (runs.empty()) return avg;
   avg.counter_names = runs.front().counter_names;
   avg.counter_part_names = runs.front().counter_part_names;
+  // Region tables: average by name over the runs that report the
+  // region, aligned to the first run's table order.
+  for (const RegionReport& first : runs.front().regions) {
+    RegionReport merged;
+    merged.name = first.name;
+    std::uint64_t present = 0;
+    for (const RunResult& run : runs) {
+      for (const RegionReport& region : run.regions) {
+        if (region.name != merged.name) continue;
+        ++present;
+        merged.entries += region.entries;
+        merged.time_s += region.time_s;
+        if (merged.totals.size() < region.totals.size()) {
+          merged.totals.resize(region.totals.size(), 0);
+        }
+        for (std::size_t v = 0; v < region.totals.size(); ++v) {
+          merged.totals[v] += region.totals[v];
+        }
+        break;
+      }
+    }
+    if (present > 0) {
+      merged.entries /= present;
+      merged.time_s /= static_cast<double>(present);
+      for (long long& total : merged.totals) {
+        total /= static_cast<long long>(present);
+      }
+    }
+    avg.regions.push_back(std::move(merged));
+  }
   std::size_t min_samples = runs.front().samples.size();
   for (const RunResult& run : runs) {
     min_samples = std::min(min_samples, run.samples.size());

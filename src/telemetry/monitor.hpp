@@ -34,6 +34,18 @@ struct RunHealth {
   std::size_t leaked_fds = 0;
 };
 
+/// Per-region marker aggregation over one run (MonitorConfig::
+/// mark_hpl_phases): counter deltas, entries and time spent inside each
+/// instrumented region, merged across threads by the marker manager.
+struct RegionReport {
+  std::string name;
+  std::uint64_t entries = 0;
+  double time_s = 0.0;
+  /// Summed per-event counter deltas, aligned with
+  /// RunResult::counter_names.
+  std::vector<long long> totals;
+};
+
 struct RunResult {
   std::vector<Sample> samples;
   /// Display names of the per-sample PAPI counters (one per
@@ -53,6 +65,9 @@ struct RunResult {
   std::vector<simkernel::ExecCounts> counts_per_type;
   /// Counter-path health over the run (all zeros without sample_events).
   RunHealth health;
+  /// Per-region marker tables ("hpl", "factor", "update"), filled only
+  /// with MonitorConfig::mark_hpl_phases.
+  std::vector<RegionReport> regions;
 };
 
 struct MonitorConfig {
@@ -78,6 +93,16 @@ struct MonitorConfig {
   /// Consecutive failed ticks after which a counter is dropped (and
   /// after which whole-set read failures abandon counter sampling).
   int max_consecutive_counter_failures = 3;
+  /// Serve the monitor's counter reads through the userspace rdpmc
+  /// read plan (LibraryConfig::use_rdpmc): mmap'd user pages + seqlock
+  /// reads with per-read fd fallback. Off preserves the pure
+  /// syscall-path behaviour (and its overhead numbers).
+  bool use_rdpmc = false;
+  /// Instrument the HPL run with LIKWID-style markers: a "hpl" region
+  /// around the whole run plus "factor"/"update" regions bracketing the
+  /// master worker's work items, reported in RunResult::regions.
+  /// Requires sample_events (the regions accumulate those counters).
+  bool mark_hpl_phases = false;
   /// Chaos mode: wrap the monitor's measurement backend in a
   /// FaultInjectingBackend with this named profile (see
   /// papi::FaultProfile::named; "none" disables injection) and seed.

@@ -134,19 +134,25 @@ void Sampler::sample_counters(Sample& s) {
 
   // Collect this tick's per-slot (value, validity) pairs — same shape
   // for the plain and qualified paths, so the drop bookkeeping below is
-  // shared.
-  std::vector<double> values;
-  std::vector<std::uint8_t> valid;
+  // shared. The scratch buffers persist across ticks (capacity reuse),
+  // and the qualified path reads in place through read_qualified_into,
+  // so a steady-state tick allocates only the Sample's own vectors.
+  std::vector<double>& values = values_scratch_;
+  std::vector<std::uint8_t>& valid = valid_tick_scratch_;
+  values.clear();
+  valid.clear();
   if (qualified_) {
-    const auto readings = library_->read_qualified(eventset_);
-    if (!readings) {
+    const Status read = library_->read_qualified_into(eventset_,
+                                                      qualified_scratch_);
+    if (!read.is_ok()) {
       fail_tick();
       return;
     }
-    values.reserve(readings->size());
-    valid.reserve(readings->size());
-    s.counter_parts.reserve(readings->size());
-    for (const papi::QualifiedReading& reading : *readings) {
+    const std::vector<papi::QualifiedReading>& readings = qualified_scratch_;
+    values.reserve(readings.size());
+    valid.reserve(readings.size());
+    s.counter_parts.reserve(readings.size());
+    for (const papi::QualifiedReading& reading : readings) {
       values.push_back(static_cast<double>(reading.total));
       valid.push_back(reading.degraded ? 0 : 1);
       std::vector<double> parts;

@@ -125,12 +125,14 @@ std::optional<HplSimulation::Item> HplSimulation::claim(int worker) {
     // Static variant: master thread factors, everyone else waits.
     if (worker == 0 && !p.factor_claimed) {
       p.factor_claimed = true;
+      if (phase_listener_) phase_listener_(worker, true, true);
       return Item{p.factor_flops, true};
     }
     return std::nullopt;
   }
   if (config_.variant == HplVariant::kVendorDynamic) {
     if (p.next_item < p.items.size()) {
+      if (phase_listener_) phase_listener_(worker, false, true);
       return p.items[p.next_item++];
     }
     return std::nullopt;
@@ -138,13 +140,15 @@ std::optional<HplSimulation::Item> HplSimulation::claim(int worker) {
   auto& mine = p.static_assignment[static_cast<std::size_t>(worker)];
   auto& cursor = p.static_cursor[static_cast<std::size_t>(worker)];
   if (cursor < mine.size()) {
+    if (phase_listener_) phase_listener_(worker, false, true);
     return p.items[mine[cursor++]];
   }
   return std::nullopt;
 }
 
-void HplSimulation::complete_item(const Item& item) {
+void HplSimulation::complete_item(int worker, const Item& item) {
   PanelState& p = panel_;
+  if (phase_listener_) phase_listener_(worker, item.is_factor, false);
   if (item.is_factor) {
     p.factor_done = true;
   } else {
@@ -221,7 +225,7 @@ simkernel::ExecSlice HplWorker::run(const simkernel::ExecContext& ctx,
 
     const std::uint64_t done_flops = slice.counts.flops_dp;
     if (done_flops >= remaining_flops_) {
-      sim_->complete_item(*current_);
+      sim_->complete_item(index_, *current_);
       current_.reset();
       remaining_flops_ = 0;
     } else {

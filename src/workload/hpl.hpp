@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -76,6 +77,17 @@ class HplSimulation {
   std::uint64_t spin_instructions() const { return spin_instructions_; }
   std::uint64_t work_instructions() const { return work_instructions_; }
 
+  /// Phase notifications for marker instrumentation: fired when a
+  /// worker claims an item (begin = true) and when it completes one
+  /// (begin = false), with `factor` distinguishing panel factorization
+  /// from trailing update. Runs on the simulation driver thread, so
+  /// listeners may call into per-worker marker state without locking.
+  using PhaseListener = std::function<void(int worker, bool factor,
+                                           bool begin)>;
+  void set_phase_listener(PhaseListener listener) {
+    phase_listener_ = std::move(listener);
+  }
+
   // --- worker-facing interface (used by the worker programs; not part
   // of the public API) ------------------------------------------------------
 
@@ -86,7 +98,7 @@ class HplSimulation {
 
   /// Claim the next piece of work for `worker`; nullopt = spin.
   std::optional<Item> claim(int worker);
-  void complete_item(const Item& item);
+  void complete_item(int worker, const Item& item);
   void on_spin(std::uint64_t instructions) { spin_instructions_ += instructions; }
   void on_work(std::uint64_t instructions) { work_instructions_ += instructions; }
   const PhaseSpec& phase_for(const cpumodel::CoreTypeSpec& core,
@@ -116,6 +128,7 @@ class HplSimulation {
   PanelState panel_;
   std::uint64_t spin_instructions_ = 0;
   std::uint64_t work_instructions_ = 0;
+  PhaseListener phase_listener_;
 
   PhaseSpec big_dgemm_;
   PhaseSpec little_dgemm_;

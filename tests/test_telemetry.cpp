@@ -209,6 +209,66 @@ TEST(Monitor, PerCoreTypeCountersSplitEverySample) {
       << "no E-core work on a P-only run";
 }
 
+TEST(Monitor, MarkedPhasesProduceRegionTables) {
+  // mark_hpl_phases brackets the whole run plus every factor/update
+  // phase on the master worker with the marker API; the result carries
+  // a per-region table of entries, wall time and counter totals.
+  const auto machine = cpumodel::raptor_lake_i7_13700();
+  SimKernel::Config config;
+  config.tick = std::chrono::milliseconds(1);
+  SimKernel kernel(machine, config);
+  MonitorConfig monitor;
+  monitor.sample_events = {"PAPI_TOT_INS"};
+  monitor.mark_hpl_phases = true;
+  monitor.use_rdpmc = true;  // the marker hot path the feature targets
+  const std::vector<int> cpus = machine.primary_threads_of_type(0);
+  const RunResult run = run_monitored_hpl(
+      kernel, workload::HplConfig::openblas(13824, 192), cpus, monitor);
+
+  ASSERT_FALSE(run.regions.empty());
+  const auto find = [&run](std::string_view name) -> const RegionReport* {
+    for (const RegionReport& r : run.regions) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  const RegionReport* hpl = find("hpl");
+  const RegionReport* factor = find("factor");
+  const RegionReport* update = find("update");
+  ASSERT_NE(hpl, nullptr);
+  ASSERT_NE(factor, nullptr);
+  ASSERT_NE(update, nullptr);
+  EXPECT_EQ(hpl->entries, 1u) << "the whole run is one region entry";
+  EXPECT_GT(factor->entries, 0u);
+  EXPECT_GT(update->entries, 0u);
+  EXPECT_GT(hpl->time_s, 0.0);
+  EXPECT_GE(hpl->time_s, factor->time_s) << "phases nest inside the run";
+  ASSERT_EQ(hpl->totals.size(), 1u) << "one total per sample event";
+  EXPECT_GT(hpl->totals[0], 0) << "master worker retired instructions";
+  EXPECT_GE(hpl->totals[0], factor->totals[0] / 2)
+      << "phase totals are bracketed by the run total";
+}
+
+TEST(Monitor, AverageRunsMergesRegions) {
+  RunResult a;
+  a.regions.push_back(RegionReport{"hpl", 1, 2.0, {100}});
+  a.regions.push_back(RegionReport{"factor", 4, 1.0, {40}});
+  RunResult b;
+  b.regions.push_back(RegionReport{"hpl", 1, 4.0, {200}});
+  b.regions.push_back(RegionReport{"factor", 6, 3.0, {60}});
+  const RunResult avg = average_runs({a, b});
+  ASSERT_EQ(avg.regions.size(), 2u);
+  EXPECT_EQ(avg.regions[0].name, "hpl");
+  EXPECT_EQ(avg.regions[0].entries, 1u);
+  EXPECT_DOUBLE_EQ(avg.regions[0].time_s, 3.0);
+  ASSERT_EQ(avg.regions[0].totals.size(), 1u);
+  EXPECT_EQ(avg.regions[0].totals[0], 150);
+  EXPECT_EQ(avg.regions[1].name, "factor");
+  EXPECT_EQ(avg.regions[1].entries, 5u);
+  EXPECT_DOUBLE_EQ(avg.regions[1].time_s, 2.0);
+  EXPECT_EQ(avg.regions[1].totals[0], 50);
+}
+
 TEST(Monitor, RepeatedMonitoredRunsAreConsistent) {
   // Two repetitions of the same short HPL run with a settle in between
   // (the paper's N-run protocol) should agree closely on Gflops.

@@ -1,0 +1,296 @@
+// The perf user page and its seqlock reader (§V-5): the simulated
+// kernel publishes one page per core-PMU event with the seqlock writer
+// protocol, and papi::read_user_page must return exactly what the fd
+// path returns — or report precisely why it cannot (not resident, no
+// rdpmc capability, torn window) — never a value mixed across writer
+// epochs.
+#include <gtest/gtest.h>
+
+#include "cpumodel/machine.hpp"
+#include "papi/user_page_read.hpp"
+#include "simkernel/kernel.hpp"
+#include "simkernel/perf_abi.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi {
+namespace {
+
+using papi::UserPageReadResult;
+using papi::UserPageSample;
+using papi::read_user_page;
+using simkernel::CountKind;
+using simkernel::CpuSet;
+using simkernel::PerfEventAttr;
+using simkernel::PerfIoctl;
+using simkernel::PerfUserPage;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+using workload::PhaseSpec;
+
+PerfEventAttr attr_for(std::uint32_t type, CountKind kind,
+                       bool disabled = false) {
+  PerfEventAttr attr;
+  attr.type = type;
+  attr.config = static_cast<std::uint64_t>(kind);
+  attr.disabled = disabled;
+  return attr;
+}
+
+class UserPageTest : public ::testing::Test {
+ protected:
+  explicit UserPageTest(SimKernel::Config config = {})
+      : kernel_(cpumodel::raptor_lake_i7_13700(), config) {
+    const auto* p = kernel_.pmus().find_by_name("cpu_core");
+    const auto* e = kernel_.pmus().find_by_name("cpu_atom");
+    EXPECT_NE(p, nullptr);
+    EXPECT_NE(e, nullptr);
+    p_type_ = p->type_id;
+    e_type_ = e->type_id;
+  }
+
+  Tid spawn_work(std::uint64_t instructions, const CpuSet& affinity) {
+    PhaseSpec phase;
+    return kernel_.spawn(
+        std::make_shared<FixedWorkProgram>(phase, instructions), affinity);
+  }
+
+  SimKernel kernel_;
+  std::uint32_t p_type_ = 0;
+  std::uint32_t e_type_ = 0;
+};
+
+TEST_F(UserPageTest, PageReadMatchesFdRead) {
+  const Tid tid = spawn_work(50'000'000, CpuSet::of({0}));
+  auto fd = kernel_.perf_event_open(
+      attr_for(p_type_, CountKind::kInstructions), tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_TRUE(page.has_value());
+  kernel_.run_for(std::chrono::milliseconds(20));
+
+  UserPageSample sample;
+  ASSERT_EQ(read_user_page(**page, sample), UserPageReadResult::kOk);
+  auto via_fd = kernel_.perf_read(*fd);
+  ASSERT_TRUE(via_fd.has_value());
+  EXPECT_EQ(sample.value, via_fd->value);
+  EXPECT_EQ(sample.time_enabled_ns, via_fd->time_enabled_ns);
+  EXPECT_EQ(sample.time_running_ns, via_fd->time_running_ns);
+  EXPECT_GT(sample.value, 0u);
+}
+
+TEST_F(UserPageTest, PageTracksCountAcrossTime) {
+  const Tid tid = spawn_work(500'000'000, CpuSet::of({0}));
+  auto fd = kernel_.perf_event_open(
+      attr_for(p_type_, CountKind::kInstructions), tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_TRUE(page.has_value());
+
+  std::uint64_t last = 0;
+  for (int step = 0; step < 5; ++step) {
+    kernel_.run_for(std::chrono::milliseconds(10));
+    UserPageSample sample;
+    ASSERT_EQ(read_user_page(**page, sample), UserPageReadResult::kOk);
+    EXPECT_EQ(sample.value, kernel_.perf_read(*fd)->value)
+        << "page and fd disagree at step " << step;
+    EXPECT_GE(sample.value, last) << "counter went backwards";
+    last = sample.value;
+  }
+}
+
+TEST_F(UserPageTest, DisabledEventIsNotResident) {
+  const Tid tid = spawn_work(50'000'000, CpuSet::of({0}));
+  auto fd = kernel_.perf_event_open(
+      attr_for(p_type_, CountKind::kInstructions), tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_TRUE(page.has_value());
+  kernel_.run_for(std::chrono::milliseconds(10));
+
+  ASSERT_TRUE(kernel_.perf_ioctl(*fd, PerfIoctl::kDisable).is_ok());
+  UserPageSample sample;
+  EXPECT_EQ(read_user_page(**page, sample),
+            UserPageReadResult::kNotResident);
+
+  // Re-enabling restores the fast path, still agreeing with the fd.
+  ASSERT_TRUE(kernel_.perf_ioctl(*fd, PerfIoctl::kEnable).is_ok());
+  kernel_.run_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(read_user_page(**page, sample), UserPageReadResult::kOk);
+  EXPECT_EQ(sample.value, kernel_.perf_read(*fd)->value);
+}
+
+TEST_F(UserPageTest, MigrationToForeignCoreTypeVacatesPage) {
+  // A cpu_core event on a thread that migrates to an E core: the fd
+  // read still returns the accumulated count, but the page must report
+  // not-resident (index 0) so the reader falls back.
+  const Tid tid = spawn_work(500'000'000, CpuSet::of({0}));
+  auto fd = kernel_.perf_event_open(
+      attr_for(p_type_, CountKind::kInstructions), tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_TRUE(page.has_value());
+  kernel_.run_for(std::chrono::milliseconds(10));
+
+  UserPageSample sample;
+  ASSERT_EQ(read_user_page(**page, sample), UserPageReadResult::kOk);
+  const std::uint64_t before = sample.value;
+  EXPECT_GT(before, 0u);
+
+  ASSERT_TRUE(kernel_.set_affinity(tid, CpuSet::of({16})).is_ok());  // E core
+  kernel_.run_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(read_user_page(**page, sample),
+            UserPageReadResult::kNotResident);
+  auto via_fd = kernel_.perf_read(*fd);
+  ASSERT_TRUE(via_fd.has_value());
+  EXPECT_GE(via_fd->value, before) << "fd fallback must still serve";
+
+  // Migrating back re-publishes the page.
+  ASSERT_TRUE(kernel_.set_affinity(tid, CpuSet::of({0})).is_ok());
+  kernel_.run_for(std::chrono::milliseconds(10));
+  ASSERT_EQ(read_user_page(**page, sample), UserPageReadResult::kOk);
+  EXPECT_EQ(sample.value, kernel_.perf_read(*fd)->value);
+}
+
+TEST_F(UserPageTest, NonCorePmuHasNoUserPage) {
+  const auto* rapl = kernel_.pmus().find_by_name("power");
+  ASSERT_NE(rapl, nullptr);
+  auto fd = kernel_.perf_event_open(
+      attr_for(rapl->type_id, CountKind::kEnergyPkgUj), -1, 0, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_FALSE(page.has_value());
+  EXPECT_EQ(page.status().code(), StatusCode::kNotSupported);
+}
+
+TEST_F(UserPageTest, BadFdRejected) {
+  auto page = kernel_.perf_mmap_user_page(12345);
+  ASSERT_FALSE(page.has_value());
+  EXPECT_EQ(page.status().code(), StatusCode::kInvalidArgument);
+}
+
+class UserPageNoRdpmcTest : public UserPageTest {
+ protected:
+  static SimKernel::Config no_rdpmc_config() {
+    SimKernel::Config config;
+    config.perf.user_rdpmc = false;  // /sys/devices/cpu/rdpmc = 0
+    return config;
+  }
+  UserPageNoRdpmcTest() : UserPageTest(no_rdpmc_config()) {}
+};
+
+TEST_F(UserPageNoRdpmcTest, CapabilityOffReportsNoRdpmc) {
+  const Tid tid = spawn_work(50'000'000, CpuSet::of({0}));
+  auto fd = kernel_.perf_event_open(
+      attr_for(p_type_, CountKind::kInstructions), tid, -1, -1);
+  ASSERT_TRUE(fd.has_value());
+  auto page = kernel_.perf_mmap_user_page(*fd);
+  ASSERT_TRUE(page.has_value()) << "the page still maps; only the cap is off";
+  kernel_.run_for(std::chrono::milliseconds(10));
+
+  UserPageSample sample;
+  EXPECT_EQ(read_user_page(**page, sample), UserPageReadResult::kNoRdpmc);
+}
+
+// --- seqlock torture: the reader must never assemble a torn value -----------
+
+TEST(UserPageSeqlock, TornWindowRetriesAndReturnsConsistentValue) {
+  // Hand-built page: initial epoch publishes offset=1000, pmc=10. The
+  // hook fires after the reader captured those fields but before the
+  // seq recheck, and replaces the whole epoch (offset=5000, pmc=50,
+  // lock bumped). A reader without the recheck would return the stale
+  // 1010 — or worse, a mix like 1050; the seqlock reader must retry
+  // and return exactly the new epoch's 5050.
+  PerfUserPage page{};
+  page.lock = 2;
+  page.index = 1;
+  page.offset = 1000;
+  page.time_enabled = 777;
+  page.time_running = 777;
+  page.capabilities = simkernel::kCapUserRdpmc;
+  page.sim_magic = simkernel::kSimUserPageMagic;
+  page.sim_pmc = 10;
+
+  int mutations = 0;
+  UserPageSample sample;
+  const auto result = read_user_page(
+      page, sample, 16, [&](int point) {
+        if (point == 1 && mutations == 0) {  // post-read, pre-recheck
+          ++mutations;
+          page.lock += 1;  // writer enters
+          page.offset = 5000;
+          page.sim_pmc = 50;
+          page.time_enabled = 888;
+          page.time_running = 888;
+          page.lock += 1;  // writer leaves
+        }
+      });
+  ASSERT_EQ(result, UserPageReadResult::kOk);
+  EXPECT_EQ(mutations, 1);
+  EXPECT_EQ(sample.value, 5050u) << "must be the new epoch, never a mix";
+  EXPECT_EQ(sample.time_enabled_ns, 888u);
+}
+
+TEST(UserPageSeqlock, WriterMidUpdateIsSkipped) {
+  // The reader lands while the writer holds the lock (odd seq): the
+  // first attempt must be discarded; once the writer finishes, the
+  // consistent epoch is returned.
+  PerfUserPage page{};
+  page.lock = 3;  // odd: writer mid-update
+  page.index = 1;
+  page.offset = 0;
+  page.capabilities = simkernel::kCapUserRdpmc;
+  page.sim_magic = simkernel::kSimUserPageMagic;
+  page.sim_pmc = 41;
+
+  UserPageSample sample;
+  const auto result = read_user_page(
+      page, sample, 16, [&](int point) {
+        if (point == 0 && (page.lock & 1u) != 0) {
+          page.sim_pmc = 42;
+          page.lock += 1;  // writer completes
+        }
+      });
+  ASSERT_EQ(result, UserPageReadResult::kOk);
+  EXPECT_EQ(sample.value, 42u);
+}
+
+TEST(UserPageSeqlock, StuckOddLockExhaustsRetries) {
+  // A dead writer (crashed kernel thread in the analogy) leaves the
+  // lock odd forever: the reader must give up after its budget instead
+  // of spinning, reporting kRetriesExhausted for the fd fallback.
+  PerfUserPage page{};
+  page.lock = 1;
+  page.index = 1;
+  page.capabilities = simkernel::kCapUserRdpmc;
+  page.sim_magic = simkernel::kSimUserPageMagic;
+
+  int attempts = 0;
+  UserPageSample sample;
+  const auto result = read_user_page(page, sample, 8,
+                                     [&](int point) {
+                                       if (point % 2 == 0) ++attempts;
+                                     });
+  EXPECT_EQ(result, UserPageReadResult::kRetriesExhausted);
+  EXPECT_EQ(attempts, 8);
+}
+
+TEST(UserPageSeqlock, PerpetuallyMovingLockExhaustsRetries) {
+  // A writer that invalidates every single window: the reader must
+  // bound its spinning and fall back rather than livelock.
+  PerfUserPage page{};
+  page.lock = 2;
+  page.index = 1;
+  page.capabilities = simkernel::kCapUserRdpmc;
+  page.sim_magic = simkernel::kSimUserPageMagic;
+
+  UserPageSample sample;
+  const auto result = read_user_page(
+      page, sample, 8, [&](int point) {
+        if (point % 2 == 1) page.lock += 2;  // new epoch every window
+      });
+  EXPECT_EQ(result, UserPageReadResult::kRetriesExhausted);
+}
+
+}  // namespace
+}  // namespace hetpapi

@@ -1,0 +1,118 @@
+// bench_check: CI guard over BENCH_overhead_read.json — fails (exit 1)
+// when the userspace rdpmc read plan regresses past the fd read path.
+//
+//   bench_check <BENCH_overhead_read.json> [--tolerance <ratio>]
+//
+// The guarded invariant is relative, not absolute: the rdpmc-plan
+// benchmark of each A/B pair must run in at most `tolerance` times its
+// syscall-path twin (default 1.0 — strictly no slower; CI passes a
+// generous ratio because shared runners are noisy). Absolute
+// nanosecond thresholds would tie the check to one machine; the ratio
+// ties it to the code.
+//
+// The JSON is scanned with a purpose-built reader (no JSON dependency
+// in the toolchain): benchmark entries are located by their exact
+// "name" string and the following "real_time" number. That matches the
+// stable google-benchmark output layout; a missing benchmark is an
+// error, not a silent pass.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// real_time of the benchmark entry named `name`, or a quiet NaN-like
+/// failure via the bool. Scans for "name": "<name>" then the next
+/// "real_time": <number>.
+bool find_real_time(const std::string& json, const std::string& name,
+                    double* out) {
+  const std::string needle = "\"name\": \"" + name + "\"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const std::string key = "\"real_time\":";
+  const std::size_t key_at = json.find(key, at);
+  if (key_at == std::string::npos) return false;
+  const char* p = json.c_str() + key_at + key.size();
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  char* end = nullptr;
+  const double value = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = value;
+  return true;
+}
+
+struct Pair {
+  const char* fast;  // the rdpmc-plan benchmark
+  const char* slow;  // its syscall-path twin
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  double tolerance = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (path.empty()) {
+      path = arg;
+    }
+  }
+  if (path.empty() || tolerance <= 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_check <BENCH_overhead_read.json> "
+                 "[--tolerance <ratio>]\n");
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  const Pair pairs[] = {
+      {"BM_Read_RdpmcFastPath", "BM_Read_SyscallPath"},
+      {"BM_ReadInto_RdpmcPlan_Hybrid", "BM_ReadInto_SyscallPath_Hybrid"},
+  };
+
+  int failures = 0;
+  for (const Pair& pair : pairs) {
+    double fast = 0.0;
+    double slow = 0.0;
+    if (!find_real_time(json, pair.fast, &fast)) {
+      std::fprintf(stderr, "bench_check: %s missing from %s\n", pair.fast,
+                   path.c_str());
+      ++failures;
+      continue;
+    }
+    if (!find_real_time(json, pair.slow, &slow)) {
+      std::fprintf(stderr, "bench_check: %s missing from %s\n", pair.slow,
+                   path.c_str());
+      ++failures;
+      continue;
+    }
+    const bool ok = fast <= slow * tolerance;
+    std::printf("%-34s %8.1f ns  vs  %-34s %8.1f ns  (ratio %.2f, max %.2f) %s\n",
+                pair.fast, fast, pair.slow, slow, slow > 0.0 ? fast / slow : 0.0,
+                tolerance, ok ? "OK" : "REGRESSED");
+    if (!ok) ++failures;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d failure(s) — the rdpmc read plan must not "
+                 "run slower than the fd path\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
