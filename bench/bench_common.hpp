@@ -17,13 +17,16 @@
 namespace hetpapi::bench {
 
 /// Command-line knobs every bench accepts:
-///   bench [N] [--threads T | --threads=T]
+///   bench [N] [--threads T | --threads=T] [--machine <preset>]
 /// N is the bench-specific problem-size knob; T is the worker count the
 /// multi-run executor fans independent cells across (default: one per
-/// hardware thread). Results are bit-identical for any T.
+/// hardware thread). Results are bit-identical for any T. The machine
+/// is any cpumodel catalog preset (default raptorlake, the paper's
+/// system); benches that generalize beyond two core types honour it.
 struct BenchOptions {
   int n = 0;
   std::size_t threads = ThreadPool::default_thread_count();
+  std::string machine = "raptorlake";
 };
 
 inline BenchOptions parse_bench_args(int argc, char** argv, int default_n) {
@@ -31,7 +34,9 @@ inline BenchOptions parse_bench_args(int argc, char** argv, int default_n) {
   opts.n = default_n;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--threads" && i + 1 < argc) {
+    if (arg == "--machine" && i + 1 < argc) {
+      opts.machine = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
       if (const auto parsed = parse_int(argv[++i]); parsed && *parsed > 0) {
         opts.threads = static_cast<std::size_t>(*parsed);
       }
@@ -144,6 +149,18 @@ inline std::vector<int> raptor_cpus_all(const cpumodel::MachineSpec& m) {
   std::vector<int> cpus = raptor_cpus_p_only(m);
   const std::vector<int> e = raptor_cpus_e_only(m);
   cpus.insert(cpus.end(), e.begin(), e.end());
+  return cpus;
+}
+
+/// One HPL thread per physical core of every core type — the N-type
+/// generalization of raptor_cpus_all, valid on any machine preset.
+inline std::vector<int> all_primary_cpus(const cpumodel::MachineSpec& m) {
+  std::vector<int> cpus;
+  for (std::size_t t = 0; t < m.core_types.size(); ++t) {
+    const std::vector<int> of_type =
+        m.primary_threads_of_type(static_cast<cpumodel::CoreTypeId>(t));
+    cpus.insert(cpus.end(), of_type.begin(), of_type.end());
+  }
   return cpus;
 }
 

@@ -33,8 +33,10 @@ struct Fixture {
   explicit Fixture(const std::vector<std::string>& events,
                    bool multiplex = false, bool use_rdpmc = false,
                    bool cache_read_plan = true,
-                   const char* fault_profile = nullptr) {
-    kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
+                   const char* fault_profile = nullptr,
+                   const char* machine_preset = "raptorlake") {
+    kernel = std::make_unique<SimKernel>(
+        *cpumodel::machine_preset_by_name(machine_preset));
     backend = std::make_unique<papi::SimBackend>(kernel.get());
     if (fault_profile != nullptr) {
       injector = std::make_unique<papi::FaultInjectingBackend>(
@@ -112,6 +114,44 @@ void BM_ReadQualified_DerivedPreset_Hybrid(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ReadQualified_DerivedPreset_Hybrid);
+
+// --- three-PMU hybrid (N-type generalization) --------------------------------
+// The same read paths on the Meteor-Lake-like P/E/LP-E model: every
+// collection fans out across three perf groups, so these quantify how
+// the indirection §V-5 measures scales from two PMU types to three.
+
+void BM_Read_ThreeGroups_TriHybrid(benchmark::State& state) {
+  Fixture f({"mtl_rwc::INST_RETIRED:ANY", "mtl_cmt::INST_RETIRED:ANY",
+             "mtl_lpe::INST_RETIRED:ANY"},
+            false, false, true, nullptr, "meteorlake");
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_ThreeGroups_TriHybrid);
+
+void BM_Read_DerivedPreset_TriHybrid(benchmark::State& state) {
+  // One preset, three constituents folded into the transparent sum.
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"}, false, false, true, nullptr,
+            "meteorlake");
+  for (auto _ : state) {
+    auto values = f.lib->read(f.set);
+    benchmark::DoNotOptimize(values);
+  }
+}
+BENCHMARK(BM_Read_DerivedPreset_TriHybrid);
+
+void BM_ReadQualified_DerivedPreset_TriHybrid(benchmark::State& state) {
+  // The qualified breakdown now carries three labelled parts per slot.
+  Fixture f({"PAPI_TOT_INS", "PAPI_TOT_CYC"}, false, false, true, nullptr,
+            "meteorlake");
+  for (auto _ : state) {
+    auto readings = f.lib->read_qualified(f.set);
+    benchmark::DoNotOptimize(readings);
+  }
+}
+BENCHMARK(BM_ReadQualified_DerivedPreset_TriHybrid);
 
 void BM_ReadChecked_DerivedPreset_Hybrid(benchmark::State& state) {
   // The tolerant read: the same group fan-out as read() plus the

@@ -1,9 +1,11 @@
 // Regenerates Table II: "Benchmark performance comparison" — OpenBLAS
-// HPL vs Intel-optimized HPL on the Raptor Lake model, for E-only,
-// P-only and all-core runs.
+// HPL vs Intel-optimized HPL, one row per core type plus an all-core
+// row. Default machine is the paper's Raptor Lake model (rows E only,
+// P only, all cores); --machine runs the same table on any cpumodel
+// catalog preset, so three-type hybrids get four rows.
 //
-// Paper values (for shape comparison; absolute numbers depend on the
-// authors' silicon, ours on the calibrated model):
+// Paper values on Raptor Lake (for shape comparison; absolute numbers
+// depend on the authors' silicon, ours on the calibrated model):
 //   E only  : 188.62 vs 198.95  (+5.4%)
 //   P only  : 356.28 vs 392.89 (+10.3%)
 //   P and E : 290.51 vs 457.38 (+57.4%)
@@ -18,37 +20,46 @@ using namespace hetpapi;
 using namespace hetpapi::bench;
 
 int main(int argc, char** argv) {
-  // table2_hpl_gflops [N] [--threads T]: reduced problem size for quick
-  // runs, worker count for the multi-run executor.
+  // table2_hpl_gflops [N] [--threads T] [--machine M]: reduced problem
+  // size for quick runs, worker count for the multi-run executor,
+  // machine preset for the simulated system.
   const auto opts = parse_bench_args(argc, argv, 57024);
   const int n = opts.n;
   const int nb = 192;
-  const auto machine = cpumodel::raptor_lake_i7_13700();
+  const auto preset = cpumodel::machine_preset_by_name(opts.machine);
+  if (!preset.has_value()) {
+    std::fprintf(stderr, "unknown machine preset %s\n", opts.machine.c_str());
+    return 2;
+  }
+  const cpumodel::MachineSpec machine = *preset;
 
+  // One row per core type — smallest cores first, matching the paper's
+  // E-then-P row order — then the all-core row.
   struct Row {
-    const char* label;
+    std::string label;
     std::vector<int> cpus;
   };
-  const Row rows[] = {
-      {"E only", raptor_cpus_e_only(machine)},
-      {"P only", raptor_cpus_p_only(machine)},
-      {"P and E", raptor_cpus_all(machine)},
-  };
+  std::vector<Row> rows;
+  for (std::size_t t = machine.core_types.size(); t-- > 0;) {
+    rows.push_back({machine.core_types[t].name + " only",
+                    machine.primary_threads_of_type(
+                        static_cast<cpumodel::CoreTypeId>(t))});
+  }
+  rows.push_back({"all cores", all_primary_cpus(machine)});
 
   // Each cell is an independent deterministic simulation (its own
   // kernel + machine), so the executor can fan them across workers; the
   // table prints from the result slots in fixed order afterwards, making
   // stdout bit-identical for any worker count.
-  std::vector<telemetry::RunResult> results(6);
+  std::vector<telemetry::RunResult> results(2 * rows.size());
   std::vector<telemetry::RunCell> cells;
-  for (std::size_t r = 0; r < 3; ++r) {
-    const Row& row = rows[r];
-    cells.push_back({std::string(row.label) + " / OpenBLAS", [&, r] {
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    cells.push_back({rows[r].label + " / OpenBLAS", [&, r] {
                        results[2 * r] = run_hpl_once(
                            machine, workload::HplConfig::openblas(n, nb),
                            rows[r].cpus);
                      }});
-    cells.push_back({std::string(row.label) + " / Intel", [&, r] {
+    cells.push_back({rows[r].label + " / Intel", [&, r] {
                        results[2 * r + 1] = run_hpl_once(
                            machine, workload::HplConfig::intel(n, nb),
                            rows[r].cpus);
@@ -65,15 +76,15 @@ int main(int argc, char** argv) {
   marked.mark_hpl_phases = true;
   marked.use_rdpmc = true;
   std::vector<telemetry::RunResult> marked_results(2);
-  cells.push_back({"P and E / OpenBLAS (regions)", [&] {
+  cells.push_back({"all cores / OpenBLAS (regions)", [&] {
                      marked_results[0] = run_hpl_once(
                          machine, workload::HplConfig::openblas(n, nb),
-                         raptor_cpus_all(machine), 42, marked);
+                         all_primary_cpus(machine), 42, marked);
                    }});
-  cells.push_back({"P and E / Intel (regions)", [&] {
+  cells.push_back({"all cores / Intel (regions)", [&] {
                      marked_results[1] = run_hpl_once(
                          machine, workload::HplConfig::intel(n, nb),
-                         raptor_cpus_all(machine), 42, marked);
+                         all_primary_cpus(machine), 42, marked);
                    }});
 
   telemetry::MultiRunExecutor executor(opts.threads);
@@ -89,10 +100,10 @@ int main(int argc, char** argv) {
         std::chrono::duration<double>(marked_results[i].elapsed).count());
   }
 
-  std::printf("Table II: HPL performance, N=%d NB=%d P=1 Q=1 (model)\n", n,
-              nb);
+  std::printf("Table II: HPL performance on %s, N=%d NB=%d P=1 Q=1 (model)\n",
+              machine.name.c_str(), n, nb);
   TextTable table({"Enabled cores", "OpenBLAS HPL", "Intel HPL", "% Change"});
-  for (std::size_t r = 0; r < 3; ++r) {
+  for (std::size_t r = 0; r < rows.size(); ++r) {
     const auto& openblas = results[2 * r];
     const auto& intel = results[2 * r + 1];
     table.add_row({rows[r].label, gflops_str(openblas.gflops),
@@ -126,7 +137,7 @@ int main(int argc, char** argv) {
   // Marker regions on the master worker (all-core runs): where the
   // master's instructions go — panel factorization vs trailing update —
   // measured by the region deltas of PAPI_TOT_INS.
-  std::printf("\nHPL phases on the master worker (P and E, markers)\n");
+  std::printf("\nHPL phases on the master worker (all cores, markers)\n");
   TextTable phases({"Variant", "Region", "Entries", "Time (s)",
                     "PAPI_TOT_INS"});
   for (std::size_t i = 0; i < marked_results.size(); ++i) {

@@ -35,10 +35,10 @@ void report_machine(const cpumodel::MachineSpec& spec) {
 }  // namespace
 
 int main() {
-  report_machine(cpumodel::raptor_lake_i7_13700());
-  report_machine(cpumodel::orangepi800_rk3399());
-  report_machine(cpumodel::homogeneous_xeon());
-  report_machine(cpumodel::arm_three_type());
+  for (const std::string& name : cpumodel::machine_preset_names()) {
+    const auto machine = cpumodel::machine_preset_by_name(name);
+    if (machine.has_value()) report_machine(*machine);
+  }
 
   // The real host: detection runs against the live /sys and /proc. On a
   // PMU-less VM the pfm scan may only find the software PMU — that too

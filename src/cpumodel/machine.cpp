@@ -480,4 +480,231 @@ MachineSpec arm_three_type() {
   return m;
 }
 
+MachineSpec meteor_lake_like() {
+  MachineSpec m;
+  m.name = "meteor_lake_like";
+  m.cpu_model_string = "Intel(R) Core(TM) Ultra 7 (Meteor Lake-like)";
+  m.vendor = Vendor::kIntel;
+  m.exposes_cpuid_hybrid = true;
+  m.exposes_cpu_capacity = false;
+  m.firmware = FirmwareNaming::kAcpi;
+
+  CoreTypeSpec p;
+  p.name = "P-core";
+  p.uarch_name = "RedwoodCove";
+  p.pmu_sysfs_name = "cpu_core";
+  p.pfm_pmu_name = "mtl_rwc";
+  p.cpu_capacity = 1024;
+  p.smt_per_core = 2;
+  p.num_gp_counters = 8;
+  p.num_fixed_counters = 4;            // incl. the topdown slots counter
+  p.ident.vendor = Vendor::kIntel;
+  p.ident.family = 6;
+  p.ident.model = 0xAA;                // Meteor Lake
+  p.ident.stepping = 4;
+  p.ident.intel_kind = IntelCoreKind::kCore;
+  p.perf.base_ipc = 4.8;
+  p.perf.flops_per_cycle_dp = 16.0;
+  p.perf.llc_miss_latency_ns = 78.0;
+  p.perf.mlp_overlap = 0.74;
+  p.perf.branch_miss_penalty_cycles = 17.0;
+  p.cache = CacheSpec{48 * 1024, 2 * 1024 * 1024, 24 * 1024 * 1024};
+  p.dvfs = DvfsSpec{.freq_min = MegaHertz{700},
+                    .freq_base = MegaHertz{1400},
+                    .freq_max = MegaHertz{4800},
+                    .freq_max_multi = MegaHertz{4500},
+                    .volt_min = 0.66,
+                    .volt_slope_per_ghz = 0.16};
+  p.power = PowerSpec{/*c_dyn=*/1.45, /*leakage_w=*/0.45};
+
+  CoreTypeSpec e;
+  e.name = "E-core";
+  e.uarch_name = "Crestmont";
+  e.pmu_sysfs_name = "cpu_atom";
+  e.pfm_pmu_name = "mtl_cmt";
+  e.cpu_capacity = 590;
+  e.smt_per_core = 1;
+  e.num_gp_counters = 6;
+  e.num_fixed_counters = 3;
+  e.ident = p.ident;                   // same family/model/stepping (§IV-B)
+  e.ident.intel_kind = IntelCoreKind::kAtom;
+  e.perf.base_ipc = 3.3;
+  e.perf.flops_per_cycle_dp = 8.0;
+  e.perf.llc_miss_latency_ns = 88.0;
+  e.perf.mlp_overlap = 0.46;
+  e.perf.branch_miss_penalty_cycles = 13.0;
+  e.cache = CacheSpec{32 * 1024, 2 * 1024 * 1024, 24 * 1024 * 1024};
+  e.dvfs = DvfsSpec{.freq_min = MegaHertz{700},
+                    .freq_base = MegaHertz{900},
+                    .freq_max = MegaHertz{3800},
+                    .freq_max_multi = MegaHertz{3500},
+                    .volt_min = 0.64,
+                    .volt_slope_per_ghz = 0.14};
+  e.power = PowerSpec{/*c_dyn=*/1.18, /*leakage_w=*/0.20};
+
+  // The low-power island: architecturally Crestmont like the E-cores —
+  // CPUID leaf 0x1A reports the same kAtom kind — but on its own PMU
+  // ("cpu_lowpower"), its own low-frequency bins, and off the ring bus.
+  CoreTypeSpec lpe = e;
+  lpe.name = "LP-E-core";
+  lpe.uarch_name = "Crestmont-LP";
+  lpe.pmu_sysfs_name = "cpu_lowpower";
+  lpe.pfm_pmu_name = "mtl_lpe";
+  lpe.cpu_capacity = 310;
+  lpe.perf.base_ipc = 3.0;
+  lpe.perf.llc_miss_latency_ns = 110.0;  // SoC-tile memory path
+  lpe.perf.mlp_overlap = 0.40;
+  lpe.cache = CacheSpec{32 * 1024, 2 * 1024 * 1024, 2 * 1024 * 1024};
+  lpe.dvfs = DvfsSpec{.freq_min = MegaHertz{400},
+                      .freq_base = MegaHertz{700},
+                      .freq_max = MegaHertz{2500},
+                      .freq_max_multi = MegaHertz{2100},
+                      .volt_min = 0.60,
+                      .volt_slope_per_ghz = 0.13};
+  lpe.power = PowerSpec{/*c_dyn=*/0.75, /*leakage_w=*/0.08};
+
+  m.core_types = {p, e, lpe};
+
+  // Logical CPUs: 0-11 = 6 P-cores x 2 threads, 12-19 = 8 E-cores,
+  // 20-21 = 2 LP-E cores — matching Linux enumeration on MTL-H parts.
+  int cpu = 0;
+  for (int core = 0; core < 6; ++core) {
+    for (int thread = 0; thread < 2; ++thread) {
+      m.cpus.push_back(CpuSlot{cpu++, /*type=*/0, core, /*cluster=*/0});
+    }
+  }
+  for (int core = 6; core < 14; ++core) {
+    m.cpus.push_back(CpuSlot{cpu++, /*type=*/1, core, /*cluster=*/1});
+  }
+  for (int core = 14; core < 16; ++core) {
+    m.cpus.push_back(CpuSlot{cpu++, /*type=*/2, core, /*cluster=*/2});
+  }
+
+  m.rapl = RaplSpec{true, Watts{28.0}, Watts{115.0}, 28.0, 2.5, Watts{6.0}};
+  m.thermal = ThermalSpec{Celsius{25.0}, Celsius{35.0}, Celsius{100.0},
+                          0.60, 90.0, 3.0};
+  m.memory = MemorySpec{32LL * 1024 * 1024 * 1024, "32GB LPDDR5x", 55.0};
+  return m;
+}
+
+MachineSpec arm_dynamiq() {
+  // A DynamIQ phone SoC: 1 Cortex-X2 + 3 Cortex-A710 + 4 Cortex-A510,
+  // little cluster enumerated first (like the RK3399), every PMU hiding
+  // behind an ambiguous devicetree "armv8_pmuv3_N" name so only MIDR
+  // and cpu_capacity can tell the three clusters apart.
+  MachineSpec m;
+  m.name = "arm_dynamiq";
+  m.cpu_model_string = "DynamIQ Tri-Cluster SoC";
+  m.vendor = Vendor::kArm;
+  m.exposes_cpu_capacity = true;
+  m.firmware = FirmwareNaming::kDevicetree;
+
+  CoreTypeSpec big;
+  big.name = "big";
+  big.uarch_name = "Cortex-X2";
+  big.pmu_sysfs_name = "armv8_pmuv3_2";  // devicetree ambiguity (§IV-B)
+  big.pfm_pmu_name = "arm_x2";
+  big.cpu_capacity = 1024;
+  big.num_gp_counters = 6;
+  big.num_fixed_counters = 1;
+  big.ident.vendor = Vendor::kArm;
+  big.ident.arm_implementer = 0x41;
+  big.ident.arm_part = 0xd48;  // Cortex-X2
+  big.ident.arm_variant = 0;
+  big.ident.arm_revision = 1;
+  big.perf = UarchPerf{3.8, 8.0, 95.0, 16.0, 0.62};
+  big.cache = CacheSpec{64 * 1024, 1024 * 1024, 6 * 1024 * 1024};
+  big.dvfs = DvfsSpec{.freq_min = MegaHertz{500},
+                      .freq_base = MegaHertz{1700},
+                      .freq_max = MegaHertz{3000},
+                      .volt_min = 0.75,
+                      .volt_slope_per_ghz = 0.25};
+  big.power = PowerSpec{2.4, 0.16};
+
+  CoreTypeSpec mid = big;
+  mid.name = "mid";
+  mid.uarch_name = "Cortex-A710";
+  mid.pmu_sysfs_name = "armv8_pmuv3_1";
+  mid.pfm_pmu_name = "arm_a710";
+  mid.cpu_capacity = 744;
+  mid.ident.arm_part = 0xd47;  // Cortex-A710
+  mid.perf = UarchPerf{3.0, 8.0, 105.0, 14.0, 0.52};
+  mid.cache = CacheSpec{32 * 1024, 512 * 1024, 6 * 1024 * 1024};
+  mid.dvfs = DvfsSpec{.freq_min = MegaHertz{500},
+                      .freq_base = MegaHertz{1500},
+                      .freq_max = MegaHertz{2500},
+                      .volt_min = 0.75,
+                      .volt_slope_per_ghz = 0.22};
+  mid.power = PowerSpec{1.5, 0.11};
+
+  CoreTypeSpec little = big;
+  little.name = "little";
+  little.uarch_name = "Cortex-A510";
+  little.pmu_sysfs_name = "armv8_pmuv3_0";
+  little.pfm_pmu_name = "arm_a510";
+  little.cpu_capacity = 286;
+  little.ident.arm_part = 0xd46;  // Cortex-A510
+  little.ident.arm_revision = 2;
+  little.perf = UarchPerf{1.4, 2.0, 135.0, 8.0, 0.18};
+  little.cache = CacheSpec{32 * 1024, 256 * 1024, 6 * 1024 * 1024};
+  little.dvfs = DvfsSpec{.freq_min = MegaHertz{300},
+                         .freq_base = MegaHertz{900},
+                         .freq_max = MegaHertz{2000},
+                         .volt_min = 0.78,
+                         .volt_slope_per_ghz = 0.20};
+  little.power = PowerSpec{0.5, 0.04};
+
+  m.core_types = {big, mid, little};
+  int cpu = 0;
+  for (int i = 0; i < 4; ++i) m.cpus.push_back(CpuSlot{cpu++, 2, i, 0});
+  for (int i = 4; i < 7; ++i) m.cpus.push_back(CpuSlot{cpu++, 1, i, 1});
+  m.cpus.push_back(CpuSlot{cpu++, 0, 7, 2});
+
+  m.rapl.present = false;
+  m.thermal = ThermalSpec{Celsius{25.0}, Celsius{35.0}, Celsius{95.0},
+                          8.0, 5.0, 5.0};
+  m.cluster_thermal = {
+      ThermalSpec{Celsius{25.0}, Celsius{35.0}, Celsius{95.0}, 8.0, 5.0, 5.0},
+      ThermalSpec{Celsius{25.0}, Celsius{35.0}, Celsius{95.0}, 12.0, 4.5, 5.0},
+      ThermalSpec{Celsius{25.0}, Celsius{35.0}, Celsius{95.0}, 18.0, 4.0, 5.0},
+  };
+  m.memory = MemorySpec{12LL * 1024 * 1024 * 1024, "12GB LPDDR5", 30.0};
+  return m;
+}
+
+std::optional<MachineSpec> machine_preset_by_name(std::string_view name) {
+  struct Entry {
+    std::string_view alias;
+    MachineSpec (*make)();
+  };
+  // Catalog order is also the order machine_preset_names() reports and
+  // the order the validation tool sweeps.
+  static constexpr Entry kCatalog[] = {
+      {"raptorlake", [] { return raptor_lake_i7_13700(); }},
+      {"orangepi", [] { return orangepi800_rk3399(); }},
+      {"xeon", [] { return homogeneous_xeon(); }},
+      {"tritype", [] { return arm_three_type(); }},
+      {"alderlake", [] { return alder_lake_i9_12900k(); }},
+      {"sierraforest", [] { return sierra_forest_e_only(); }},
+      {"graniterapids", [] { return granite_rapids_p_only(); }},
+      {"meteorlake", [] { return meteor_lake_like(); }},
+      {"dynamiq", [] { return arm_dynamiq(); }},
+  };
+  for (const Entry& entry : kCatalog) {
+    if (name == entry.alias) return entry.make();
+  }
+  // Full MachineSpec::name spellings resolve too.
+  for (const Entry& entry : kCatalog) {
+    MachineSpec m = entry.make();
+    if (name == m.name) return m;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> machine_preset_names() {
+  return {"raptorlake",    "orangepi",      "xeon",
+          "tritype",       "alderlake",     "sierraforest",
+          "graniterapids", "meteorlake",    "dynamiq"};
+}
+
 }  // namespace hetpapi::cpumodel

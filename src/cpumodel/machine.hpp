@@ -4,7 +4,9 @@
 // control machine.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/status.hpp"
@@ -131,5 +133,29 @@ MachineSpec sierra_forest_e_only(int cores = 16);
 
 /// Granite Rapids: P-core-only server, the other half of the outlook.
 MachineSpec granite_rapids_p_only(int cores = 16);
+
+/// Meteor-Lake-like three-PMU Intel hybrid: P (RedwoodCove, cpu_core) +
+/// E (Crestmont, cpu_atom) + low-power-island E (Crestmont-LP,
+/// cpu_lowpower). The LP-E cores report the same CPUID leaf 0x1A core
+/// kind (0x20, kAtom) as the E-cores — only the PMU topology tells the
+/// two apart, the detection scenario the §IV-B ladder must be extended
+/// to disambiguate.
+MachineSpec meteor_lake_like();
+
+/// ARM DynamIQ big/mid/little triple (Cortex-X2 / A710 / A510) with
+/// three distinct MIDR part numbers and capacity values, behind
+/// ambiguous devicetree PMU names ("armv8_pmuv3_N") — the worst-case
+/// naming the paper warns about, now with three clusters.
+MachineSpec arm_dynamiq();
+
+/// Preset catalog: resolve a machine by its short alias (the names the
+/// tools accept: "raptorlake", "orangepi", "xeon", "tritype",
+/// "alderlake", "sierraforest", "graniterapids", "meteorlake",
+/// "dynamiq") or by its full MachineSpec::name. Returns std::nullopt
+/// for unknown names.
+std::optional<MachineSpec> machine_preset_by_name(std::string_view name);
+
+/// Short aliases of every machine preset, in catalog order.
+std::vector<std::string> machine_preset_names();
 
 }  // namespace hetpapi::cpumodel

@@ -31,7 +31,8 @@ std::string render_avail_report(const Library& lib,
   out += str_format("hybrid: %s; core PMUs:",
                     lib.hardware_info().hybrid ? "yes" : "no");
   for (const pfm::ActivePmu* pmu : lib.pfm().default_pmus()) {
-    out += " " + labelled_pmu(lib, *pmu);
+    out += ' ';
+    out += labelled_pmu(lib, *pmu);
   }
   out += "\n";
 

@@ -11,6 +11,7 @@ std::string_view to_string(DetectionMethod method) {
   switch (method) {
     case DetectionMethod::kCpuCapacity: return "cpu_capacity";
     case DetectionMethod::kCpuidHybridLeaf: return "cpuid_leaf_1a";
+    case DetectionMethod::kCpuidPmuRefined: return "cpuid_leaf_1a+pmu_cpus";
     case DetectionMethod::kPmuCpusFiles: return "pmu_cpus_files";
     case DetectionMethod::kMaxFrequency: return "cpuinfo_max_freq";
     case DetectionMethod::kHomogeneousFallback: return "homogeneous_fallback";
@@ -50,7 +51,61 @@ std::optional<std::vector<DetectedCoreType>> group_by(
   return out;
 }
 
+/// Vendor prefix for discriminator labels, from /proc/cpuinfo. Only x86
+/// machines reach the CPUID strategy today, but the label table is keyed
+/// on vendor so another vendor's discriminator space can slot in without
+/// touching the labelling logic.
+std::string x86_vendor_prefix(const pfm::Host& host) {
+  const auto cpuinfo = host.read_file("/proc/cpuinfo");
+  if (cpuinfo) {
+    for (std::string_view line : split(*cpuinfo, '\n')) {
+      if (!starts_with(line, "vendor_id")) continue;
+      if (line.find("GenuineIntel") != std::string_view::npos) return "intel";
+      if (line.find("AuthenticAMD") != std::string_view::npos) return "amd";
+      break;
+    }
+  }
+  return "x86";
+}
+
 }  // namespace
+
+std::string core_kind_label(std::string_view vendor_prefix,
+                            std::int64_t discriminator) {
+  struct KindLabel {
+    std::string_view vendor;
+    std::int64_t discriminator;
+    std::string_view label;
+  };
+  // CPUID leaf 0x1A EAX[31:24] core kinds (SDM vol. 2A).
+  static constexpr KindLabel kKnownKinds[] = {
+      {"intel", 0x40, "intel_core"},
+      {"intel", 0x20, "intel_atom"},
+  };
+  for (const KindLabel& known : kKnownKinds) {
+    if (known.vendor == vendor_prefix && known.discriminator == discriminator) {
+      return std::string(known.label);
+    }
+  }
+  // Deterministic fallback: a future core kind still gets a stable,
+  // greppable label rather than an empty or raw-number one.
+  return std::string(vendor_prefix) +
+         str_format("_kind_0x%02llx",
+                    static_cast<unsigned long long>(discriminator));
+}
+
+std::string pmu_sysfs_label(std::string_view sysfs_name) {
+  static constexpr std::pair<std::string_view, std::string_view> kPmuLabels[] =
+      {
+          {"cpu_core", "intel_core"},
+          {"cpu_atom", "intel_atom"},
+          {"cpu_lowpower", "intel_lowpower"},
+      };
+  for (const auto& [name, label] : kPmuLabels) {
+    if (name == sysfs_name) return std::string(label);
+  }
+  return std::string(sysfs_name);
+}
 
 std::optional<std::vector<DetectedCoreType>> detect_by_cpu_capacity(
     const pfm::Host& host) {
@@ -74,12 +129,71 @@ std::optional<std::vector<DetectedCoreType>> detect_by_cpuid(
     return std::nullopt;
   }
   if (result) {
+    const std::string vendor = x86_vendor_prefix(host);
     for (DetectedCoreType& type : *result) {
-      if (type.discriminator == 0x40) type.label = "intel_core";
-      if (type.discriminator == 0x20) type.label = "intel_atom";
+      type.label = core_kind_label(vendor, type.discriminator);
     }
   }
   return result;
+}
+
+std::optional<std::vector<DetectedCoreType>> refine_cpuid_with_pmu_topology(
+    const pfm::Host& host, const std::vector<DetectedCoreType>& cpuid_types) {
+  const auto pmu_types = detect_by_pmu_cpus(host);
+  // No refinement unless the (fully tiling) PMU strategy distinguishes
+  // strictly more groups than CPUID did.
+  if (!pmu_types || pmu_types->size() <= cpuid_types.size()) {
+    return std::nullopt;
+  }
+  // Every PMU group must nest inside exactly one CPUID group; a PMU
+  // whose cpus straddle a CPUID boundary contradicts the leaf and the
+  // refinement is not trustworthy.
+  const auto parent_of = [&](const DetectedCoreType& pmu)
+      -> const DetectedCoreType* {
+    for (const DetectedCoreType& parent : cpuid_types) {
+      const bool all_inside = std::all_of(
+          pmu.cpus.begin(), pmu.cpus.end(), [&](int cpu) {
+            return std::find(parent.cpus.begin(), parent.cpus.end(), cpu) !=
+                   parent.cpus.end();
+          });
+      if (all_inside) return &parent;
+      const bool any_inside = std::any_of(
+          pmu.cpus.begin(), pmu.cpus.end(), [&](int cpu) {
+            return std::find(parent.cpus.begin(), parent.cpus.end(), cpu) !=
+                   parent.cpus.end();
+          });
+      if (any_inside) return nullptr;  // straddles the boundary
+    }
+    return nullptr;
+  };
+
+  std::vector<DetectedCoreType> refined;
+  for (const DetectedCoreType& parent : cpuid_types) {
+    // Sub-groups keep the parent's CPUID discriminator and order by
+    // first cpu, so e.g. the 0x20 group splits into E-cores before the
+    // higher-numbered low-power island.
+    std::vector<const DetectedCoreType*> children;
+    for (const DetectedCoreType& pmu : *pmu_types) {
+      const DetectedCoreType* p = parent_of(pmu);
+      if (p == nullptr) return std::nullopt;
+      if (p == &parent) children.push_back(&pmu);
+    }
+    if (children.empty()) return std::nullopt;  // PMUs missed a group
+    std::sort(children.begin(), children.end(),
+              [](const DetectedCoreType* a, const DetectedCoreType* b) {
+                return a->cpus.front() < b->cpus.front();
+              });
+    for (const DetectedCoreType* child : children) {
+      DetectedCoreType type;
+      // The PMU sysfs name is the only thing that distinguishes the
+      // sub-groups; its label table names them.
+      type.label = pmu_sysfs_label(child->label);
+      type.cpus = child->cpus;
+      type.discriminator = parent.discriminator;
+      refined.push_back(std::move(type));
+    }
+  }
+  return refined;
 }
 
 std::optional<std::vector<DetectedCoreType>> detect_by_pmu_cpus(
@@ -133,6 +247,14 @@ DetectionResult detect_core_types(const pfm::Host& host) {
     return result;
   }
   if (auto types = detect_by_cpuid(host)) {
+    // CPUID found groups, but core types sharing a core-kind byte (E and
+    // LP-E both read 0x20) collapse into one; the PMU topology can split
+    // them apart when it is strictly finer.
+    if (auto refined = refine_cpuid_with_pmu_topology(host, *types)) {
+      result.method = DetectionMethod::kCpuidPmuRefined;
+      result.core_types = std::move(*refined);
+      return result;
+    }
     result.method = DetectionMethod::kCpuidHybridLeaf;
     result.core_types = std::move(*types);
     return result;

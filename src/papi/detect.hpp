@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "base/status.hpp"
@@ -32,6 +33,13 @@ struct DetectedCoreType {
 enum class DetectionMethod {
   kCpuCapacity,
   kCpuidHybridLeaf,
+  /// CPUID groups split along per-PMU "cpus" boundaries: leaf 0x1A
+  /// cannot tell apart two core types that share a core-kind byte (an
+  /// E-core and a low-power-island E-core both read 0x20), but when the
+  /// kernel exports more core PMUs than CPUID found groups — each PMU's
+  /// cpu list nesting cleanly inside one CPUID group — the PMU topology
+  /// refines the CPUID answer.
+  kCpuidPmuRefined,
   kPmuCpusFiles,
   kMaxFrequency,
   kHomogeneousFallback,
@@ -57,6 +65,25 @@ std::optional<std::vector<DetectedCoreType>> detect_by_pmu_cpus(
     const pfm::Host& host);
 std::optional<std::vector<DetectedCoreType>> detect_by_max_freq(
     const pfm::Host& host);
+
+/// Split `cpuid_types` along per-PMU "cpus" boundaries (see
+/// DetectionMethod::kCpuidPmuRefined). Returns nullopt when the PMU
+/// strategy is unavailable, finds no extra groups, or its groups
+/// straddle a CPUID boundary (contradictory data — trust CPUID).
+std::optional<std::vector<DetectedCoreType>> refine_cpuid_with_pmu_topology(
+    const pfm::Host& host, const std::vector<DetectedCoreType>& cpuid_types);
+
+/// Label for a CPUID leaf 0x1A core-kind discriminator. Known kinds map
+/// through a vendor-aware table ("intel" + 0x40 -> "intel_core");
+/// unknown discriminators get a deterministic "<vendor>_kind_0xNN"
+/// label instead of a silently generic one.
+std::string core_kind_label(std::string_view vendor_prefix,
+                            std::int64_t discriminator);
+
+/// Label for a core-sibling PMU sysfs name ("cpu_core" -> "intel_core",
+/// "cpu_lowpower" -> "intel_lowpower", ...); unknown names label as
+/// themselves.
+std::string pmu_sysfs_label(std::string_view sysfs_name);
 
 /// The full ladder.
 DetectionResult detect_core_types(const pfm::Host& host);

@@ -100,17 +100,8 @@ std::vector<EventDesc> intel_common_events() {
   return events;
 }
 
-PmuTable make_adl_glc() {
-  PmuTable t;
-  t.pfm_name = "adl_glc";
-  t.description = "Intel Alder/Raptor Lake GoldenCove (P-core)";
-  t.match = MatchKind::kSysfsName;
-  t.sysfs_names = {"cpu_core"};
-  t.is_core = true;
-  t.events = intel_common_events();
-
-  // Topdown events: only on the P-core, the paper's canonical example of
-  // per-core-type availability.
+/// The topdown event block shared by Intel P-core tables.
+EventDesc intel_topdown_event() {
   EventDesc td;
   td.name = "TOPDOWN";
   td.description = "Topdown micro-architecture analysis slots";
@@ -120,7 +111,23 @@ PmuTable make_adl_glc() {
       {"RETIRING", CountKind::kTopdownRetiring, "Slots that retired uops"},
       {"BAD_SPEC", CountKind::kTopdownBadSpec, "Slots wasted on bad speculation"},
   };
-  t.events.push_back(td);
+  return td;
+}
+
+PmuTable make_adl_glc() {
+  PmuTable t;
+  t.pfm_name = "adl_glc";
+  t.description = "Intel Alder/Raptor Lake GoldenCove (P-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_core"};
+  // Hybrid PMU sysfs names repeat across generations ("cpu_core" on ADL,
+  // RPL and MTL alike), so hybrid tables key on family/model too.
+  t.intel_models = {0x97, 0x9A, 0xB7, 0xBA, 0xBF};
+  t.is_core = true;
+  t.events = intel_common_events();
+  // Topdown events: only on the P-core, the paper's canonical example of
+  // per-core-type availability.
+  t.events.push_back(intel_topdown_event());
   return t;
 }
 
@@ -130,12 +137,58 @@ PmuTable make_adl_grt() {
   t.description = "Intel Alder/Raptor Lake Gracemont (E-core)";
   t.match = MatchKind::kSysfsName;
   t.sysfs_names = {"cpu_atom"};
+  t.intel_models = {0x97, 0x9A, 0xB7, 0xBA, 0xBF};
   t.is_core = true;
   t.events = intel_common_events();
   // Gracemont uses a distinct topdown-free, MEM_BOUND_STALLS-flavoured
   // stall event name.
   t.events.push_back(simple("MEM_BOUND_STALLS", CountKind::kStalledCycles,
                             "Cycles stalled on memory (E-core encoding)"));
+  return t;
+}
+
+PmuTable make_mtl_rwc() {
+  PmuTable t;
+  t.pfm_name = "mtl_rwc";
+  t.description = "Intel Meteor Lake RedwoodCove (P-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_core"};
+  t.intel_models = {0xAA};
+  t.is_core = true;
+  t.events = intel_common_events();
+  t.events.push_back(intel_topdown_event());
+  return t;
+}
+
+PmuTable make_mtl_cmt() {
+  PmuTable t;
+  t.pfm_name = "mtl_cmt";
+  t.description = "Intel Meteor Lake Crestmont (E-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_atom"};
+  t.intel_models = {0xAA};
+  t.is_core = true;
+  t.events = intel_common_events();
+  t.events.push_back(simple("MEM_BOUND_STALLS", CountKind::kStalledCycles,
+                            "Cycles stalled on memory (Crestmont)"));
+  return t;
+}
+
+PmuTable make_mtl_lpe() {
+  // The low-power island exposes a third core PMU. Architecturally it is
+  // Crestmont like the E-cores — same event list — but the kernel
+  // registers it separately as "cpu_lowpower", so event encoding,
+  // scheduling and derived-preset expansion all see a third PMU type.
+  PmuTable t;
+  t.pfm_name = "mtl_lpe";
+  t.description = "Intel Meteor Lake Crestmont-LP (low-power island E-core)";
+  t.match = MatchKind::kSysfsName;
+  t.sysfs_names = {"cpu_lowpower"};
+  t.intel_models = {0xAA};
+  t.is_core = true;
+  t.events = intel_common_events();
+  t.events.push_back(simple("MEM_BOUND_STALLS", CountKind::kStalledCycles,
+                            "Cycles stalled on memory (Crestmont)"));
   return t;
 }
 
@@ -265,6 +318,39 @@ PmuTable make_arm_a55() {
   return t;
 }
 
+PmuTable make_arm_x2() {
+  PmuTable t;
+  t.pfm_name = "arm_x2";
+  t.description = "ARM Cortex-X2 (big)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd48}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_a710() {
+  PmuTable t;
+  t.pfm_name = "arm_a710";
+  t.description = "ARM Cortex-A710 (mid)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd47}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
+PmuTable make_arm_a510() {
+  PmuTable t;
+  t.pfm_name = "arm_a510";
+  t.description = "ARM Cortex-A510 (little)";
+  t.match = MatchKind::kArmMidr;
+  t.arm_parts = {{0x41, 0xd46}};
+  t.is_core = true;
+  t.events = armv8_common_events();
+  return t;
+}
+
 PmuTable make_rapl() {
   PmuTable t;
   t.pfm_name = "rapl";
@@ -339,10 +425,11 @@ PmuTable make_sysinfo() {
 
 const std::vector<PmuTable>& all_tables() {
   static const std::vector<PmuTable> tables = {
-      make_adl_glc(), make_adl_grt(), make_skx(),    make_srf(),
-      make_gnr(),     make_arm_a72(), make_arm_a53(), make_arm_x1(),
-      make_arm_a78(), make_arm_a55(), make_rapl(),    make_unc_imc(),
-      make_perf_sw(), make_sysinfo(),
+      make_adl_glc(),  make_adl_grt(), make_mtl_rwc(), make_mtl_cmt(),
+      make_mtl_lpe(),  make_skx(),     make_srf(),     make_gnr(),
+      make_arm_a72(),  make_arm_a53(), make_arm_x1(),  make_arm_a78(),
+      make_arm_a55(),  make_arm_x2(),  make_arm_a710(), make_arm_a510(),
+      make_rapl(),     make_unc_imc(), make_perf_sw(), make_sysinfo(),
   };
   return tables;
 }

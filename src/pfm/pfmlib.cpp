@@ -16,8 +16,10 @@ namespace {
 /// on the performance cores.
 int default_rank(std::string_view pfm_name) {
   static constexpr std::pair<std::string_view, int> kRanks[] = {
-      {"adl_glc", 0}, {"adl_grt", 1},  {"skx", 0},    {"arm_x1", 0},
-      {"arm_a78", 1}, {"arm_a72", 0},  {"arm_a53", 1}, {"arm_a55", 2},
+      {"adl_glc", 0},  {"adl_grt", 1},  {"skx", 0},      {"arm_x1", 0},
+      {"arm_a78", 1},  {"arm_a72", 0},  {"arm_a53", 1},  {"arm_a55", 2},
+      {"mtl_rwc", 0},  {"mtl_cmt", 1},  {"mtl_lpe", 2},  {"arm_x2", 0},
+      {"arm_a710", 1}, {"arm_a510", 2},
   };
   for (const auto& [name, rank] : kRanks) {
     if (iequals(name, pfm_name)) return rank;

@@ -91,6 +91,10 @@ class Writer {
     u64(bits);
   }
   void str(std::string_view s) {
+    // Reserve before the length prefix: GCC 12's -Wstringop-overflow
+    // misfires on the insert when the push_backs above get inlined and
+    // the analyzer loses track of the grown capacity.
+    bytes_.reserve(bytes_.size() + 4 + s.size());
     u32(static_cast<std::uint32_t>(s.size()));
     bytes_.insert(bytes_.end(), s.begin(), s.end());
   }

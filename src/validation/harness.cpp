@@ -1,0 +1,288 @@
+#include "validation/harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+
+#include "base/strings.hpp"
+#include "papi/library.hpp"
+#include "papi/sim_backend.hpp"
+#include "simkernel/kernel.hpp"
+#include "workload/programs.hpp"
+
+namespace hetpapi::validation {
+
+namespace {
+
+using papi::Library;
+using papi::LibraryConfig;
+using papi::SimBackend;
+using simkernel::CountKind;
+using simkernel::CpuSet;
+using simkernel::SimKernel;
+using simkernel::Tid;
+using workload::FixedWorkProgram;
+
+/// One event definition the harness measures: a derived preset or a
+/// PMU-qualified native.
+struct EventDef {
+  std::string name;      // what add_event() receives
+  CountKind kind = CountKind::kInstructions;
+  std::string pmu_name;  // pfm name of the serving core PMU ("" = preset)
+};
+
+/// The machine core type a core PMU serves, via its first covered cpu
+/// (an empty cpu list is the homogeneous single-PMU layout — cpu 0).
+std::size_t pmu_core_type(const cpumodel::MachineSpec& machine,
+                          const pfm::ActivePmu& pmu) {
+  const int first_cpu = pmu.cpus.empty() ? 0 : pmu.cpus.front();
+  return static_cast<std::size_t>(
+      machine.cpus[static_cast<std::size_t>(first_cpu)].type);
+}
+
+/// Enumerate every definition to validate on this machine: all
+/// qualified natives of all core PMUs, then all available presets.
+/// Requires an initialized Library (a throwaway probe instance works).
+std::vector<EventDef> enumerate_definitions(const Library& lib) {
+  std::vector<EventDef> defs;
+  for (const pfm::ActivePmu* pmu : lib.pfm().default_pmus()) {
+    for (const std::string& name : lib.pfm().event_names(*pmu)) {
+      const auto enc = lib.pfm().encode(name);
+      if (!enc) continue;  // unencodable names are a pfm-layer bug
+      defs.push_back({name, enc->kind, pmu->table->pfm_name});
+    }
+  }
+  for (const std::string& preset : lib.available_presets()) {
+    const papi::PresetDef* def = papi::find_preset(preset);
+    if (def == nullptr) continue;
+    defs.push_back({preset, def->kind, ""});
+  }
+  return defs;
+}
+
+void xml_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string failure_message(const CaseResult& c) {
+  return str_format(
+      "event %s on model %s core type %s (workload %s): expected %llu, "
+      "got %llu",
+      c.event.c_str(), c.machine.c_str(), c.core_type.c_str(),
+      c.workload.c_str(), static_cast<unsigned long long>(c.expected),
+      static_cast<unsigned long long>(c.actual));
+}
+
+}  // namespace
+
+const std::vector<WorkloadSpec>& default_workloads() {
+  static const std::vector<WorkloadSpec>* kWorkloads = [] {
+    auto* w = new std::vector<WorkloadSpec>;
+    WorkloadSpec compute;
+    compute.name = "compute";
+    compute.phase.flops_per_instr = 0.5;
+    compute.phase.llc_refs_per_kinstr = 2.0;
+    compute.phase.llc_miss_ratio = 0.1;
+    w->push_back(compute);
+    WorkloadSpec memory;
+    memory.name = "memory";
+    memory.phase.llc_refs_per_kinstr = 60.0;
+    memory.phase.llc_miss_ratio = 0.5;
+    memory.phase.ipc_fraction = 0.4;
+    w->push_back(memory);
+    WorkloadSpec branchy;
+    branchy.name = "branchy";
+    branchy.phase.branches_per_kinstr = 200.0;
+    branchy.phase.branch_miss_ratio = 0.05;
+    w->push_back(branchy);
+    return w;
+  }();
+  return *kWorkloads;
+}
+
+Report validate_machine(const cpumodel::MachineSpec& machine,
+                        const Options& opts) {
+  Report report;
+
+  LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = opts.call_overhead_instructions;
+  lib_config.preset_policy = opts.preset_policy;
+
+  // Probe instance: enumerate the definitions and the PMU -> core type
+  // join once; measurement runs get fresh kernels below.
+  std::vector<EventDef> defs;
+  std::vector<std::size_t> def_pmu_type;  // parallel to defs, natives only
+  {
+    SimKernel kernel(machine);
+    SimBackend backend(&kernel);
+    auto lib = Library::init(&backend, lib_config);
+    if (!lib.has_value()) return report;
+    defs = enumerate_definitions(**lib);
+    for (const EventDef& def : defs) {
+      if (def.pmu_name.empty()) {
+        def_pmu_type.push_back(0);  // unused for presets
+        continue;
+      }
+      const pfm::ActivePmu* pmu = (*lib)->pfm().find_pmu(def.pmu_name);
+      def_pmu_type.push_back(pmu != nullptr ? pmu_core_type(machine, *pmu)
+                                            : 0);
+    }
+  }
+
+  const std::size_t batch_size = opts.events_per_run > 0
+                                     ? opts.events_per_run
+                                     : std::size_t{1};
+
+  for (std::size_t t = 0; t < machine.core_types.size(); ++t) {
+    const std::vector<int> cpus = machine.cpus_of_type(
+        static_cast<cpumodel::CoreTypeId>(t));
+    if (cpus.empty()) continue;
+    const std::string& type_name = machine.core_types[t].name;
+
+    for (const WorkloadSpec& workload : default_workloads()) {
+      if (!opts.workloads.empty() &&
+          std::find(opts.workloads.begin(), opts.workloads.end(),
+                    workload.name) == opts.workloads.end()) {
+        continue;
+      }
+
+      for (std::size_t begin = 0; begin < defs.size(); begin += batch_size) {
+        const std::size_t end = std::min(begin + batch_size, defs.size());
+
+        // Fresh simulation per batch: each run measures from a clean
+        // ground truth, so expectations are exact, not incremental.
+        SimKernel kernel(machine);
+        SimBackend backend(&kernel);
+        const Tid tid = kernel.spawn(
+            std::make_shared<FixedWorkProgram>(workload.phase,
+                                               workload.instructions),
+            CpuSet::of({cpus.front()}));
+        backend.set_default_target(tid);
+
+        auto lib = Library::init(&backend, lib_config);
+        std::vector<std::size_t> added;  // def indices, in value order
+        int eventset = -1;
+        if (lib.has_value()) {
+          if (auto set = (*lib)->create_eventset(); set.has_value()) {
+            eventset = *set;
+            for (std::size_t i = begin; i < end; ++i) {
+              if ((*lib)->add_event(eventset, defs[i].name).is_ok()) {
+                added.push_back(i);
+              } else {
+                CaseResult fail;
+                fail.machine = machine.name;
+                fail.workload = workload.name;
+                fail.event = defs[i].name;
+                fail.core_type = type_name;
+                fail.pass = false;
+                report.cases.push_back(std::move(fail));
+              }
+            }
+          }
+        }
+
+        std::vector<long long> values;
+        bool measured = false;
+        if (lib.has_value() && eventset >= 0 && !added.empty() &&
+            (*lib)->start(eventset).is_ok()) {
+          kernel.run_until_idle(std::chrono::seconds(120));
+          if (auto read = (*lib)->stop(eventset); read.has_value()) {
+            values = std::move(*read);
+            measured = values.size() == added.size();
+          }
+        }
+
+        const auto* truth = kernel.ground_truth(tid);
+        for (std::size_t slot = 0; slot < added.size(); ++slot) {
+          const std::size_t i = added[slot];
+          CaseResult result;
+          result.machine = machine.name;
+          result.workload = workload.name;
+          result.event = defs[i].name;
+          result.core_type = type_name;
+          if (truth != nullptr) {
+            if (defs[i].pmu_name.empty()) {
+              // Derived preset: the cross-core-type sum.
+              for (const auto& per_type : truth->per_type) {
+                result.expected += per_type.get(defs[i].kind);
+              }
+            } else {
+              // Qualified native: exactly the serving core type's
+              // share — zero when the pin kept work off that type.
+              const std::size_t pmu_type = def_pmu_type[i];
+              if (pmu_type < truth->per_type.size()) {
+                result.expected = truth->per_type[pmu_type].get(defs[i].kind);
+              }
+            }
+          }
+          result.actual = measured
+                              ? static_cast<std::uint64_t>(values[slot])
+                              : 0;
+          result.pass = measured && result.actual == result.expected;
+          report.cases.push_back(std::move(result));
+        }
+      }
+    }
+  }
+  return report;
+}
+
+std::string render_summary(std::string_view machine_name,
+                           const Report& report) {
+  std::string out = str_format(
+      "%s: %zu cases, %zu failures\n", std::string(machine_name).c_str(),
+      report.cases.size(), report.failures());
+  for (const CaseResult& c : report.cases) {
+    if (c.pass) continue;
+    out += "  FAIL ";
+    out += failure_message(c);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string render_junit(
+    const std::vector<std::pair<std::string, Report>>& reports) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  for (const auto& [name, report] : reports) {
+    total += report.cases.size();
+    failed += report.failures();
+  }
+  out += str_format("<testsuites tests=\"%zu\" failures=\"%zu\">\n", total,
+                    failed);
+  for (const auto& [name, report] : reports) {
+    out += "  <testsuite name=\"validate_events.";
+    xml_escape_into(out, name);
+    out += str_format("\" tests=\"%zu\" failures=\"%zu\">\n",
+                      report.cases.size(), report.failures());
+    for (const CaseResult& c : report.cases) {
+      out += "    <testcase classname=\"validate_events.";
+      xml_escape_into(out, c.machine);
+      out += "\" name=\"";
+      xml_escape_into(out, c.workload + "/" + c.event + "@" + c.core_type);
+      out += "\"";
+      if (c.pass) {
+        out += "/>\n";
+        continue;
+      }
+      out += ">\n      <failure message=\"";
+      xml_escape_into(out, failure_message(c));
+      out += "\"/>\n    </testcase>\n";
+    }
+    out += "  </testsuite>\n";
+  }
+  out += "</testsuites>\n";
+  return out;
+}
+
+}  // namespace hetpapi::validation

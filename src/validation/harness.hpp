@@ -1,0 +1,96 @@
+// Exact-truth counter validation (§IV-F, generalized to N core types).
+//
+// The simulated kernel computes every thread's ground-truth activity
+// per core type as it executes, so the library's answers can be checked
+// *exactly* — not "within tolerance". The harness runs microbenchmark
+// workloads pinned to each core type of a machine model, measures every
+// qualified native event of every core PMU plus every available derived
+// preset, and asserts each count equals the ground truth:
+//   * a qualified native on the pinned type's PMU counts the whole run,
+//   * a qualified native on any other core type's PMU counts zero,
+//   * a derived preset sums to the per-type truth.
+// A violation names the event, machine model, and core type — the
+// debugging handle the paper's validation runs lacked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cpumodel/machine.hpp"
+#include "papi/presets.hpp"
+#include "workload/exec_model.hpp"
+
+namespace hetpapi::validation {
+
+/// One microbenchmark the harness pins and measures.
+struct WorkloadSpec {
+  std::string name;          // "compute" | "memory" | "branchy"
+  workload::PhaseSpec phase;
+  std::uint64_t instructions = 5'000'000;
+};
+
+/// The built-in workload set: FP-dense, LLC-miss-heavy, and
+/// branch-mispredict-heavy mixes, so every count kind is exercised by
+/// at least one workload with a nonzero expectation.
+const std::vector<WorkloadSpec>& default_workloads();
+
+/// One (machine, workload, event, core type) measurement vs its truth.
+struct CaseResult {
+  std::string machine;    // MachineSpec::name
+  std::string workload;   // WorkloadSpec::name
+  std::string event;      // "PAPI_TOT_INS", "mtl_lpe::LLC_MISSES", ...
+  std::string core_type;  // pinned core type's cpumodel name
+  std::uint64_t expected = 0;
+  std::uint64_t actual = 0;
+  bool pass = false;
+};
+
+struct Options {
+  /// Restrict to these workload names (empty = all built-ins).
+  std::vector<std::string> workloads;
+  /// Event definitions measured per simulation run. Small enough that
+  /// no PMU runs out of counters (no multiplexing — exactness needs
+  /// every event resident for the whole run).
+  std::size_t events_per_run = 4;
+  /// Per-call instruction overhead charged by the library. Exactness
+  /// holds for any value: the simulated calipers execute as thread
+  /// work, so both the counters and the ground truth include them
+  /// (overhead conservation, §V-5).
+  std::uint64_t call_overhead_instructions = 0;
+  /// Preset resolution policy under test. The default is the paper's
+  /// derived-sum design; the legacy kDefaultPmuOnly policy genuinely
+  /// miscounts work on non-default core types, which tests use to
+  /// prove the harness detects violations.
+  papi::PresetPolicy preset_policy = papi::PresetPolicy::kDerivedSum;
+};
+
+struct Report {
+  std::vector<CaseResult> cases;
+
+  std::size_t failures() const {
+    std::size_t n = 0;
+    for (const CaseResult& c : cases) n += c.pass ? 0 : 1;
+    return n;
+  }
+};
+
+/// Run the full sweep on one machine model: every core type x every
+/// workload x every event definition (qualified natives of all core
+/// PMUs + available derived presets).
+Report validate_machine(const cpumodel::MachineSpec& machine,
+                        const Options& opts = {});
+
+/// Human-readable per-machine summary; failure lines name the event,
+/// model, and core type.
+std::string render_summary(std::string_view machine_name,
+                           const Report& report);
+
+/// JUnit XML for CI upload: one <testsuite> per machine, one <testcase>
+/// per harness case.
+std::string render_junit(
+    const std::vector<std::pair<std::string, Report>>& reports);
+
+}  // namespace hetpapi::validation

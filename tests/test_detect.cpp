@@ -161,6 +161,86 @@ TEST(Detect, PmuCpusStrategyRequiresFullCoverage) {
   EXPECT_FALSE(detect_by_pmu_cpus(host).has_value());
 }
 
+// --- CPUID + PMU-topology refinement (the LP-E ambiguity) -------------------
+
+TEST(Detect, MeteorLakeRefinesCpuidGroupsAlongPmuBoundaries) {
+  // CPUID leaf 0x1A reads 0x20 on both the E-cores and the LP-E island,
+  // so the leaf alone finds two groups; the kernel exports three core
+  // PMUs whose cpu lists nest inside them, and the refinement rung
+  // splits the atom group accordingly.
+  SimKernel kernel(cpumodel::meteor_lake_like());
+  pfm::SimHost host(&kernel);
+  const DetectionResult result = detect_core_types(host);
+  EXPECT_EQ(result.method, DetectionMethod::kCpuidPmuRefined);
+  EXPECT_EQ(to_string(result.method), "cpuid_leaf_1a+pmu_cpus");
+  ASSERT_EQ(result.core_types.size(), 3u);
+  EXPECT_EQ(result.core_types[0].label, "intel_core");
+  EXPECT_EQ(result.core_types[0].cpus.size(), 12u);
+  EXPECT_EQ(result.core_types[1].label, "intel_atom");
+  EXPECT_EQ(result.core_types[1].cpus.size(), 8u);
+  EXPECT_EQ(result.core_types[2].label, "intel_lowpower");
+  EXPECT_EQ(result.core_types[2].cpus, (std::vector<int>{20, 21}));
+  // Refined groups keep the CPUID discriminator of their parent: both
+  // atom-ish groups carry the shared core-kind byte.
+  EXPECT_EQ(result.core_types[1].discriminator,
+            result.core_types[2].discriminator);
+}
+
+TEST(Detect, MeteorLakeWithoutPmuCpusFallsBackToTwoCpuidGroups) {
+  // Hiding the PMU cpus files removes the refinement data; the ladder
+  // degrades to the bare CPUID answer, where E and LP-E are one group —
+  // exactly the ambiguity the refinement exists to resolve.
+  SimKernel kernel(cpumodel::meteor_lake_like());
+  pfm::SimHost inner(&kernel);
+  FilteredHost host(&inner);
+  host.hidden_substrings = {"/cpus"};
+  const DetectionResult result = detect_core_types(host);
+  EXPECT_EQ(result.method, DetectionMethod::kCpuidHybridLeaf);
+  ASSERT_EQ(result.core_types.size(), 2u);
+  EXPECT_EQ(result.core_types[0].label, "intel_core");
+  EXPECT_EQ(result.core_types[1].label, "intel_atom");
+  EXPECT_EQ(result.core_types[1].cpus.size(), 10u)
+      << "E and LP-E cpus collapse into one CPUID group";
+}
+
+TEST(Detect, RaptorLakeDoesNotClaimRefinementWithoutExtraPmus) {
+  // Two CPUID groups and two core PMUs: the refinement rung must stay
+  // silent so the reported method (and every golden report) is the
+  // plain CPUID leaf.
+  SimKernel kernel(cpumodel::raptor_lake_i7_13700());
+  pfm::SimHost host(&kernel);
+  const auto cpuid = detect_by_cpuid(host);
+  ASSERT_TRUE(cpuid.has_value());
+  EXPECT_FALSE(refine_cpuid_with_pmu_topology(host, *cpuid).has_value());
+  EXPECT_EQ(detect_core_types(host).method,
+            DetectionMethod::kCpuidHybridLeaf);
+}
+
+TEST(Detect, DynamiqUsesCpuCapacityForThreeArmTypes) {
+  SimKernel kernel(cpumodel::arm_dynamiq());
+  pfm::SimHost host(&kernel);
+  const DetectionResult result = detect_core_types(host);
+  EXPECT_EQ(result.method, DetectionMethod::kCpuCapacity);
+  ASSERT_EQ(result.core_types.size(), 3u);
+  EXPECT_EQ(result.core_types[0].discriminator, 1024);
+  EXPECT_EQ(result.core_types[0].cpus, (std::vector<int>{7}));
+  EXPECT_EQ(result.core_types[1].discriminator, 744);
+  EXPECT_EQ(result.core_types[2].discriminator, 286);
+  EXPECT_EQ(result.core_types[2].cpus, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Detect, UnknownCoreKindGetsDeterministicVendorLabel) {
+  EXPECT_EQ(core_kind_label("intel", 0x40), "intel_core");
+  EXPECT_EQ(core_kind_label("intel", 0x20), "intel_atom");
+  EXPECT_EQ(core_kind_label("intel", 0x33), "intel_kind_0x33");
+  EXPECT_EQ(core_kind_label("amd", 0x40), "amd_kind_0x40")
+      << "the 0x40/0x20 table entries are Intel-specific";
+  EXPECT_EQ(pmu_sysfs_label("cpu_core"), "intel_core");
+  EXPECT_EQ(pmu_sysfs_label("cpu_atom"), "intel_atom");
+  EXPECT_EQ(pmu_sysfs_label("cpu_lowpower"), "intel_lowpower");
+  EXPECT_EQ(pmu_sysfs_label("cpu_mystery"), "cpu_mystery");
+}
+
 class HardwareInfoTest
     : public ::testing::TestWithParam<cpumodel::MachineSpec> {};
 
@@ -178,7 +258,9 @@ INSTANTIATE_TEST_SUITE_P(AllMachines, HardwareInfoTest,
                          ::testing::Values(cpumodel::raptor_lake_i7_13700(),
                                            cpumodel::orangepi800_rk3399(),
                                            cpumodel::homogeneous_xeon(),
-                                           cpumodel::arm_three_type()),
+                                           cpumodel::arm_three_type(),
+                                           cpumodel::meteor_lake_like(),
+                                           cpumodel::arm_dynamiq()),
                          [](const auto& param_info) { return param_info.param.name; });
 
 }  // namespace

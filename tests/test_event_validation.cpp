@@ -1,0 +1,119 @@
+// The counter-validation harness (§IV-F generalized): every event
+// definition measured on every machine preset must equal the
+// simulator's exact ground truth — on every core type, including the
+// three-PMU hybrids. Also proves the harness *can* fail (a deliberately
+// skewed configuration produces violations) so a green sweep means
+// something.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpumodel/machine.hpp"
+#include "validation/harness.hpp"
+
+namespace hetpapi {
+namespace {
+
+using validation::CaseResult;
+using validation::Options;
+using validation::Report;
+
+class ValidationSweepTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ValidationSweepTest, EveryEventMatchesGroundTruthExactly) {
+  const auto machine = cpumodel::machine_preset_by_name(GetParam());
+  ASSERT_TRUE(machine.has_value());
+
+  const Report report = validation::validate_machine(*machine);
+  ASSERT_FALSE(report.cases.empty());
+  EXPECT_EQ(report.failures(), 0u)
+      << validation::render_summary(GetParam(), report);
+
+  // The sweep covered every core type of the model and all three
+  // built-in workloads.
+  std::set<std::string> types;
+  std::set<std::string> workloads;
+  for (const CaseResult& c : report.cases) {
+    types.insert(c.core_type);
+    workloads.insert(c.workload);
+  }
+  EXPECT_EQ(types.size(), machine->core_types.size());
+  EXPECT_EQ(workloads.size(), validation::default_workloads().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMachinePresets, ValidationSweepTest,
+    ::testing::ValuesIn(cpumodel::machine_preset_names()),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
+    });
+
+TEST(ValidationHarnessTest, DetectsLegacyPresetPolicyMiscounting) {
+  // The legacy default-PMU-only policy resolves presets on the P PMU
+  // alone, so work pinned to any other core type goes uncounted — the
+  // harness must flag that against the exact truth, otherwise the green
+  // sweep above proves nothing.
+  Options opts;
+  opts.preset_policy = papi::PresetPolicy::kDefaultPmuOnly;
+  opts.workloads = {"compute"};
+  const Report report = validation::validate_machine(
+      cpumodel::raptor_lake_i7_13700(), opts);
+  ASSERT_FALSE(report.cases.empty());
+  EXPECT_GT(report.failures(), 0u);
+}
+
+TEST(ValidationHarnessTest, CallOverheadIsConservedExactly) {
+  // §V-5: caliper overhead executes as thread work, so the counters and
+  // the ground truth agree even with a large per-call charge.
+  Options opts;
+  opts.call_overhead_instructions = 900;
+  opts.workloads = {"branchy"};
+  const Report report = validation::validate_machine(
+      cpumodel::meteor_lake_like(), opts);
+  ASSERT_FALSE(report.cases.empty());
+  EXPECT_EQ(report.failures(), 0u)
+      << validation::render_summary("meteorlake", report);
+}
+
+TEST(ValidationHarnessTest, FailureNamesEventModelAndCoreType) {
+  Report report;
+  CaseResult fail;
+  fail.machine = "meteor_lake_like";
+  fail.workload = "memory";
+  fail.event = "mtl_lpe::LLC_MISSES";
+  fail.core_type = "LP-E-core";
+  fail.expected = 41;
+  fail.actual = 40;
+  fail.pass = false;
+  report.cases.push_back(fail);
+
+  const std::string summary = validation::render_summary("meteorlake", report);
+  EXPECT_NE(summary.find("mtl_lpe::LLC_MISSES"), std::string::npos);
+  EXPECT_NE(summary.find("meteor_lake_like"), std::string::npos);
+  EXPECT_NE(summary.find("LP-E-core"), std::string::npos);
+
+  const std::string junit = validation::render_junit({{"meteorlake", report}});
+  EXPECT_NE(junit.find("<testsuite name=\"validate_events.meteorlake\""),
+            std::string::npos);
+  EXPECT_NE(junit.find("failures=\"1\""), std::string::npos);
+  EXPECT_NE(junit.find("expected 41, got 40"), std::string::npos);
+}
+
+TEST(ValidationHarnessTest, JunitEscapesAndCountsCleanReports) {
+  Report report;
+  CaseResult ok;
+  ok.machine = "m<&>";
+  ok.workload = "w";
+  ok.event = "e\"q\"";
+  ok.core_type = "t";
+  ok.pass = true;
+  report.cases.push_back(ok);
+
+  const std::string junit = validation::render_junit({{"m<&>", report}});
+  EXPECT_NE(junit.find("validate_events.m&lt;&amp;&gt;"), std::string::npos);
+  EXPECT_NE(junit.find("e&quot;q&quot;"), std::string::npos);
+  EXPECT_NE(junit.find("tests=\"1\" failures=\"0\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetpapi

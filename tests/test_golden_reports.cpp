@@ -95,6 +95,106 @@ components: perf_event(thread) rapl(package) sysinfo(package)
 )GOLDEN");
 }
 
+TEST(GoldenReports, PapiAvailMeteorLake) {
+  Instance instance(cpumodel::meteor_lake_like());
+  EXPECT_EQ(instance.avail("meteor_lake_like"),
+            R"GOLDEN(Available PAPI preset events on meteor_lake_like (policy: derived)
+hybrid: yes; core PMUs: mtl_rwc[intel_core] mtl_cmt[intel_atom] mtl_lpe[intel_lowpower]
+components: perf_event(thread) rapl(package) sysinfo(package)
+
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------+
+| preset       | avail | description                 | expands to                                                                                                                                                                         |
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------+
+| PAPI_TOT_INS | yes   | Total instructions retired  | mtl_rwc[intel_core]::INST_RETIRED:ANY + mtl_cmt[intel_atom]::INST_RETIRED:ANY + mtl_lpe[intel_lowpower]::INST_RETIRED:ANY                                                          |
+| PAPI_TOT_CYC | yes   | Total core cycles           | mtl_rwc[intel_core]::CPU_CLK_UNHALTED:THREAD + mtl_cmt[intel_atom]::CPU_CLK_UNHALTED:THREAD + mtl_lpe[intel_lowpower]::CPU_CLK_UNHALTED:THREAD                                     |
+| PAPI_REF_CYC | yes   | Reference clock cycles      | mtl_rwc[intel_core]::CPU_CLK_UNHALTED:REF_TSC + mtl_cmt[intel_atom]::CPU_CLK_UNHALTED:REF_TSC + mtl_lpe[intel_lowpower]::CPU_CLK_UNHALTED:REF_TSC                                  |
+| PAPI_L3_TCA  | yes   | L3 total cache accesses     | mtl_rwc[intel_core]::LONGEST_LAT_CACHE:REFERENCE + mtl_cmt[intel_atom]::LONGEST_LAT_CACHE:REFERENCE + mtl_lpe[intel_lowpower]::LONGEST_LAT_CACHE:REFERENCE                         |
+| PAPI_L3_TCM  | yes   | L3 total cache misses       | mtl_rwc[intel_core]::LONGEST_LAT_CACHE:MISS + mtl_cmt[intel_atom]::LONGEST_LAT_CACHE:MISS + mtl_lpe[intel_lowpower]::LONGEST_LAT_CACHE:MISS                                        |
+| PAPI_BR_INS  | yes   | Branch instructions retired | mtl_rwc[intel_core]::BR_INST_RETIRED:ALL_BRANCHES + mtl_cmt[intel_atom]::BR_INST_RETIRED:ALL_BRANCHES + mtl_lpe[intel_lowpower]::BR_INST_RETIRED:ALL_BRANCHES                      |
+| PAPI_BR_MSP  | yes   | Mispredicted branches       | mtl_rwc[intel_core]::BR_MISP_RETIRED:ALL_BRANCHES + mtl_cmt[intel_atom]::BR_MISP_RETIRED:ALL_BRANCHES + mtl_lpe[intel_lowpower]::BR_MISP_RETIRED:ALL_BRANCHES                      |
+| PAPI_RES_STL | yes   | Cycles stalled on resources | mtl_rwc[intel_core]::RESOURCE_STALLS + mtl_cmt[intel_atom]::RESOURCE_STALLS + mtl_lpe[intel_lowpower]::RESOURCE_STALLS                                                             |
+| PAPI_DP_OPS  | yes   | Double-precision operations | mtl_rwc[intel_core]::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE + mtl_cmt[intel_atom]::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE + mtl_lpe[intel_lowpower]::FP_ARITH_INST_RETIRED:SCALAR_DOUBLE |
++--------------+-------+-----------------------------+------------------------------------------------------------------------------------------------------------------------------------------------------------------------------------+
+
+9 of 9 presets available
+)GOLDEN");
+}
+
+TEST(GoldenReports, PapiAvailDynamiq) {
+  Instance instance(cpumodel::arm_dynamiq());
+  EXPECT_EQ(instance.avail("arm_dynamiq"),
+            R"GOLDEN(Available PAPI preset events on arm_dynamiq (policy: derived)
+hybrid: yes; core PMUs: arm_x2[capacity-1024] arm_a710[capacity-744] arm_a510[capacity-286]
+components: perf_event(thread) rapl(package) sysinfo(package)
+
++--------------+-------+-----------------------------+----------------------------------------------------------------------------------------------------------------------------------------+
+| preset       | avail | description                 | expands to                                                                                                                             |
++--------------+-------+-----------------------------+----------------------------------------------------------------------------------------------------------------------------------------+
+| PAPI_TOT_INS | yes   | Total instructions retired  | arm_x2[capacity-1024]::INST_RETIRED + arm_a710[capacity-744]::INST_RETIRED + arm_a510[capacity-286]::INST_RETIRED                      |
+| PAPI_TOT_CYC | yes   | Total core cycles           | arm_x2[capacity-1024]::CPU_CYCLES + arm_a710[capacity-744]::CPU_CYCLES + arm_a510[capacity-286]::CPU_CYCLES                            |
+| PAPI_REF_CYC | no    | Reference clock cycles      | arm_x2[capacity-1024]::<none> + arm_a710[capacity-744]::<none> + arm_a510[capacity-286]::<none>                                        |
+| PAPI_L3_TCA  | yes   | L3 total cache accesses     | arm_x2[capacity-1024]::LL_CACHE + arm_a710[capacity-744]::LL_CACHE + arm_a510[capacity-286]::LL_CACHE                                  |
+| PAPI_L3_TCM  | yes   | L3 total cache misses       | arm_x2[capacity-1024]::LL_CACHE_MISS + arm_a710[capacity-744]::LL_CACHE_MISS + arm_a510[capacity-286]::LL_CACHE_MISS                   |
+| PAPI_BR_INS  | yes   | Branch instructions retired | arm_x2[capacity-1024]::BR_RETIRED + arm_a710[capacity-744]::BR_RETIRED + arm_a510[capacity-286]::BR_RETIRED                            |
+| PAPI_BR_MSP  | yes   | Mispredicted branches       | arm_x2[capacity-1024]::BR_MIS_PRED_RETIRED + arm_a710[capacity-744]::BR_MIS_PRED_RETIRED + arm_a510[capacity-286]::BR_MIS_PRED_RETIRED |
+| PAPI_RES_STL | yes   | Cycles stalled on resources | arm_x2[capacity-1024]::STALL_BACKEND + arm_a710[capacity-744]::STALL_BACKEND + arm_a510[capacity-286]::STALL_BACKEND                   |
+| PAPI_DP_OPS  | yes   | Double-precision operations | arm_x2[capacity-1024]::VFP_SPEC + arm_a710[capacity-744]::VFP_SPEC + arm_a510[capacity-286]::VFP_SPEC                                  |
++--------------+-------+-----------------------------+----------------------------------------------------------------------------------------------------------------------------------------+
+
+8 of 9 presets available
+)GOLDEN");
+}
+
+TEST(GoldenReports, SysdetectMeteorLake) {
+  Instance instance(cpumodel::meteor_lake_like());
+  EXPECT_EQ(instance.sysdetect(),
+            R"GOLDEN(=== sysdetect report ===
+model        : Intel(R) Core(TM) Ultra 7 (Meteor Lake-like)
+logical cpus : 22
+hybrid       : yes
+detected via : cpuid_leaf_1a+pmu_cpus
+  core type intel_core       cpus 0-11
+  core type intel_atom       cpus 12-19
+  core type intel_lowpower   cpus 20-21
+PMUs:
+  mtl_cmt    (sysfs cpu_atom         type  8) core PMU [intel_atom], 13 events, cpus 12-19
+  mtl_rwc    (sysfs cpu_core         type  4) core PMU [intel_core], 15 events, cpus 0-11
+  mtl_lpe    (sysfs cpu_lowpower     type  9) core PMU [intel_lowpower], 13 events, cpus 20-21
+  rapl       (sysfs power            type 10) 3 events, cpus 0
+  perf       (sysfs software         type  1) 3 events, cpus all
+  unc_imc_0  (sysfs uncore_imc_0     type 11) 2 events, cpus 0
+  sysinfo    (sysfs (software)       type 4294901760) 3 events, cpus all
+Components:
+  perf_event         scope thread   caps [ rdpmc overflow multiplex] pmus: mtl_cmt,mtl_rwc,mtl_lpe,perf,unc_imc_0
+  rapl               scope package  caps [ multiplex] pmus: rapl
+  sysinfo            scope package  caps [] pmus: sysinfo
+)GOLDEN");
+}
+
+TEST(GoldenReports, SysdetectDynamiq) {
+  Instance instance(cpumodel::arm_dynamiq());
+  EXPECT_EQ(instance.sysdetect(),
+            R"GOLDEN(=== sysdetect report ===
+model        : ARM part 0xd46
+logical cpus : 8
+hybrid       : yes
+detected via : cpu_capacity
+  core type capacity-1024    cpus 7
+  core type capacity-744     cpus 4-6
+  core type capacity-286     cpus 0-3
+PMUs:
+  arm_a510   (sysfs armv8_pmuv3_0    type 10) core PMU [capacity-286], 8 events, cpus 0-3
+  arm_a710   (sysfs armv8_pmuv3_1    type  9) core PMU [capacity-744], 8 events, cpus 4-6
+  arm_x2     (sysfs armv8_pmuv3_2    type  8) core PMU [capacity-1024], 8 events, cpus 7
+  perf       (sysfs software         type  1) 3 events, cpus all
+  sysinfo    (sysfs (software)       type 4294901760) 3 events, cpus all
+Components:
+  perf_event         scope thread   caps [ rdpmc overflow multiplex] pmus: arm_a510,arm_a710,arm_x2,perf
+  rapl               scope package  caps [ multiplex] pmus: (none)
+  sysinfo            scope package  caps [] pmus: sysinfo
+)GOLDEN");
+}
+
 TEST(GoldenReports, SysdetectRaptorLake) {
   Instance instance(cpumodel::raptor_lake_i7_13700());
   EXPECT_EQ(instance.sysdetect(),

@@ -169,14 +169,12 @@ std::string to_string(EventFlavor flavor) {
 }
 
 cpumodel::MachineSpec machine_by_name(const std::string& name) {
-  if (name == "orangepi") return cpumodel::orangepi800_rk3399();
-  if (name == "xeon") return cpumodel::homogeneous_xeon();
-  if (name == "tritype") return cpumodel::arm_three_type();
-  return cpumodel::raptor_lake_i7_13700();
+  auto machine = cpumodel::machine_preset_by_name(name);
+  return machine.has_value() ? *machine : cpumodel::raptor_lake_i7_13700();
 }
 
 struct QualifiedCase {
-  std::string machine_name;  // raptorlake | orangepi | xeon | tritype
+  std::string machine_name;  // any cpumodel::machine_preset_names() entry
   EventFlavor flavor;
 };
 
@@ -299,7 +297,10 @@ TEST_P(QualifiedMatrixTest, BreakdownSumsToTotalAndMatchesGroundTruth) {
 
 std::vector<QualifiedCase> make_qualified_cases() {
   std::vector<QualifiedCase> cases;
-  for (const char* machine : {"raptorlake", "orangepi", "xeon", "tritype"}) {
+  // Every machine preset, including the three-PMU hybrids (Meteor-Lake-
+  // like P/E/LP-E and the DynamIQ big/mid/little triple).
+  for (const char* machine : {"raptorlake", "orangepi", "xeon", "tritype",
+                              "meteorlake", "dynamiq"}) {
     cases.push_back({machine, EventFlavor::kDerivedPreset});
     cases.push_back({machine, EventFlavor::kQualifiedNative});
     // The IMC uncore PMU rides along with RAPL on the Intel models only.
@@ -391,6 +392,70 @@ TEST(QualifiedMatrixTest, PinnedHybridForeignPartReadsZero) {
       << "pinned to a P core, the P part carries the whole total";
   EXPECT_EQ(e_part, 0) << "the E part of a P-pinned run must be zero";
 }
+
+// Three-PMU generalization of the pinned test: on both tri-hybrid
+// presets, pin to the *last* (smallest) core type and check that every
+// foreign core PMU's part reads zero while the pinned type's part
+// carries the whole total. On Meteor Lake that pins to the LP-E island,
+// whose CPUID core-kind byte is identical to the E-cores' — only the
+// PMU-refined detection tells the parts apart.
+class TriHybridPinnedTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(TriHybridPinnedTest, ForeignPartsReadZeroPinnedTypeCarriesTotal) {
+  const cpumodel::MachineSpec machine = machine_by_name(GetParam());
+  ASSERT_EQ(machine.core_types.size(), 3u);
+  SimKernel kernel(machine);
+  SimBackend backend(&kernel);
+  FdLeakGuard leak_guard(&backend);
+  const auto pinned_type =
+      static_cast<cpumodel::CoreTypeId>(machine.core_types.size() - 1);
+  const std::vector<int> pinned_cpus = machine.cpus_of_type(pinned_type);
+  ASSERT_FALSE(pinned_cpus.empty());
+  const Tid tid = kernel.spawn(
+      std::make_shared<FixedWorkProgram>(PhaseSpec{}, 100'000'000),
+      CpuSet::of({pinned_cpus.front()}));
+  backend.set_default_target(tid);
+
+  LibraryConfig lib_config;
+  lib_config.call_overhead_instructions = 0;
+  auto lib = Library::init(&backend, lib_config);
+  ASSERT_TRUE(lib.has_value()) << lib.status().to_string();
+  auto set = (*lib)->create_eventset();
+  ASSERT_TRUE(set.has_value());
+  ASSERT_TRUE((*lib)->add_event(*set, "PAPI_TOT_INS").is_ok());
+  ASSERT_TRUE((*lib)->start(*set).is_ok());
+  kernel.run_until_idle(std::chrono::seconds(120));
+  auto readings = (*lib)->read_qualified(*set);
+  ASSERT_TRUE(readings.has_value());
+  ASSERT_TRUE((*lib)->stop(*set).has_value());
+
+  ASSERT_EQ(readings->size(), 1u);
+  const papi::QualifiedReading& reading = readings->front();
+  ASSERT_EQ(reading.parts.size(), 3u)
+      << "the derived preset must expand to one part per core PMU";
+  EXPECT_GT(reading.total, 0);
+  for (const papi::QualifiedValue& part : reading.parts) {
+    const pfm::ActivePmu* pmu = (*lib)->pfm().find_pmu(part.pmu_name);
+    ASSERT_NE(pmu, nullptr);
+    ASSERT_FALSE(pmu->cpus.empty());
+    const auto type = machine.cpus[static_cast<std::size_t>(
+                                       pmu->cpus.front())].type;
+    if (type == pinned_type) {
+      EXPECT_EQ(part.value, reading.total)
+          << part.pmu_name << " serves the pinned type, must carry all";
+    } else {
+      EXPECT_EQ(part.value, 0)
+          << part.pmu_name << " is foreign to the pinned type";
+    }
+    EXPECT_FALSE(part.core_type.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothTriHybrids, TriHybridPinnedTest,
+                         ::testing::Values("meteorlake", "dynamiq"),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
 
 std::vector<MatrixCase> make_cases() {
   const std::pair<const char*, CountKind> presets[] = {

@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdint>
 #include <random>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -138,6 +139,47 @@ TEST(ServiceProto, MessagesRoundTripThroughFrames) {
   EXPECT_EQ(de->message, "no such session");
 }
 
+TEST(ServiceProto, SampleRoundTripsThreePerCoreTypeParts) {
+  // The qualified frame is N-part by construction (length-prefixed
+  // slots): three per-core-type constituents — a P/E/LP-E breakdown —
+  // survive the wire byte-exactly, including an uncore slot with a
+  // single unattributed part.
+  WireSample sample;
+  sample.subscription_id = 7;
+  sample.tick = 12;
+  sample.t_seconds = 0.25;
+  sample.values = {300, 55};
+  sample.degraded = {0, 0};
+  sample.counters_ok = 1;
+  sample.package_temp_c = 48.0;
+  sample.package_power_w = 9.5;
+  sample.parts = {{{"INST_RETIRED[intel_core]", 180},
+                   {"INST_RETIRED[intel_atom]", 90},
+                   {"INST_RETIRED[intel_lowpower]", 30}},
+                  {{"UNC_M_CAS_COUNT:RD", 55}}};
+
+  FrameReader reader;
+  reader.feed(encode_frame(MsgType::kSample, sample.encode()));
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.has_value());
+  auto decoded = WireSample::decode(*frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->parts, sample.parts);
+  ASSERT_EQ(decoded->parts[0].size(), 3u);
+  long long sum = 0;
+  for (const auto& [label, value] : decoded->parts[0]) sum += value;
+  EXPECT_EQ(sum, decoded->values[0]);
+
+  // A truncated third part poisons the decode instead of silently
+  // yielding a two-part frame.
+  auto bytes = sample.encode();
+  bytes.resize(bytes.size() - 5);
+  Frame cut;
+  cut.type = MsgType::kSample;
+  cut.payload = std::move(bytes);
+  EXPECT_FALSE(WireSample::decode(cut).has_value());
+}
+
 TEST(ServiceProto, DecodeRejectsTrailingBytes) {
   Start msg;
   msg.session_id = 5;
@@ -209,10 +251,13 @@ struct Harness {
   /// need distinct targets). tid aliases tids[0].
   std::vector<Tid> tids;
   Tid tid{};
+  /// Machine model the daemon serves; set before init() to exercise
+  /// other core-type counts (e.g. the three-PMU hybrids).
+  cpumodel::MachineSpec machine = cpumodel::raptor_lake_i7_13700();
 
   Status init(DaemonConfig dconfig = {},
               LoopbackTransport::Config tconfig = {}) {
-    kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
+    kernel = std::make_unique<SimKernel>(machine);
     backend = std::make_unique<SimBackend>(kernel.get());
     transport = std::make_unique<LoopbackTransport>(tconfig);
     daemon = std::make_unique<Daemon>(kernel.get(), backend.get(),
@@ -545,6 +590,47 @@ TEST(ServiceCoalescing, PeriodAndQualifiedStreaming) {
     }
     EXPECT_EQ(sum, s.values[0]);
     EXPECT_GE(s.parts[0].size(), 2u);
+  }
+}
+
+TEST(ServiceCoalescing, QualifiedStreamOnTriHybridCarriesThreeParts) {
+  // End-to-end on the three-PMU hybrid: a qualified subscription's
+  // samples must carry one labelled constituent per core PMU — P, E,
+  // and LP-E — whose signed sum reproduces the derived total.
+  Harness h;
+  h.machine = cpumodel::meteor_lake_like();
+  ASSERT_TRUE(h.init().is_ok());
+  Client client = h.connect("tri");
+
+  Subscribe spec;
+  spec.target_kind = TargetKind::kThread;
+  spec.target = h.tid;
+  spec.events = {"PAPI_TOT_INS"};
+  spec.period_ticks = 1;
+  spec.qualified = 1;
+  {
+    auto sub = client.subscribe(spec);
+    ASSERT_TRUE(sub.has_value()) << sub.status().message();
+  }
+
+  for (int t = 0; t < 4; ++t) h.advance_and_tick();
+
+  const auto samples = client.take_samples();
+  ASSERT_GE(samples.size(), 1u);
+  for (const WireSample& s : samples) {
+    ASSERT_EQ(s.parts.size(), 1u);
+    ASSERT_EQ(s.parts[0].size(), 3u)
+        << "three core PMUs -> three qualified parts";
+    long long sum = 0;
+    std::set<std::string> labels;
+    for (const auto& [label, value] : s.parts[0]) {
+      sum += value;
+      const auto open = label.find('[');
+      ASSERT_NE(open, std::string::npos) << label;
+      labels.insert(label.substr(open));
+    }
+    EXPECT_EQ(sum, s.values[0]);
+    EXPECT_EQ(labels.size(), 3u) << "each part has a distinct core type";
   }
 }
 

@@ -48,7 +48,8 @@ struct Options {
   std::fprintf(
       stderr,
       "usage: hetpapi_client <stat|monitor> [options]\n"
-      "  --machine raptorlake|orangepi|xeon|tritype\n"
+      "  --machine <preset>     (any cpumodel catalog name; default "
+      "raptorlake)\n"
       "  --events ev1,ev2,...   (default PAPI_TOT_INS,PAPI_TOT_CYC)\n"
       "  --ms N        stat: simulated milliseconds to run (default 100)\n"
       "  --period P    monitor: ticks between samples (default 1)\n"
@@ -92,10 +93,8 @@ Options parse_options(int argc, char** argv) {
 }
 
 cpumodel::MachineSpec machine_by_name(const std::string& name) {
-  if (name == "orangepi") return cpumodel::orangepi800_rk3399();
-  if (name == "xeon") return cpumodel::homogeneous_xeon();
-  if (name == "tritype") return cpumodel::arm_three_type();
-  return cpumodel::raptor_lake_i7_13700();
+  auto machine = cpumodel::machine_preset_by_name(name);
+  return machine.has_value() ? *machine : cpumodel::raptor_lake_i7_13700();
 }
 
 /// The in-process serving stack: daemon + sim workload over loopback.

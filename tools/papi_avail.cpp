@@ -3,8 +3,11 @@
 // preset derives from on each core PMU, labelled by detected core type)
 // and how availability changes under the legacy preset policies.
 //
-//   papi_avail [--machine raptorlake|orangepi|xeon|tritype]
-//              [--policy derived|default-only|error]
+//   papi_avail [--machine <preset>] [--policy derived|default-only|error]
+//
+// <preset> is any cpumodel catalog name (validate_events --list prints
+// them): raptorlake, orangepi, xeon, tritype, alderlake, sierraforest,
+// graniterapids, meteorlake, dynamiq.
 //
 // The rendering itself lives in papi/avail_report.hpp so the report is
 // golden-testable in-process.
@@ -28,11 +31,12 @@ int main(int argc, char** argv) {
     if (flag == "--policy") policy_name = argv[i + 1];
   }
 
-  cpumodel::MachineSpec machine =
-      machine_name == "orangepi"  ? cpumodel::orangepi800_rk3399()
-      : machine_name == "xeon"    ? cpumodel::homogeneous_xeon()
-      : machine_name == "tritype" ? cpumodel::arm_three_type()
-                                  : cpumodel::raptor_lake_i7_13700();
+  const auto preset = cpumodel::machine_preset_by_name(machine_name);
+  if (!preset.has_value()) {
+    std::fprintf(stderr, "unknown machine preset %s\n", machine_name.c_str());
+    return 2;
+  }
+  const cpumodel::MachineSpec machine = *preset;
   simkernel::SimKernel kernel(machine);
   papi::SimBackend backend(&kernel);
 

@@ -21,11 +21,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::string_view(argv[i]) == "--machine") machine_name = argv[i + 1];
   }
-  cpumodel::MachineSpec machine =
-      machine_name == "orangepi"  ? cpumodel::orangepi800_rk3399()
-      : machine_name == "xeon"    ? cpumodel::homogeneous_xeon()
-      : machine_name == "tritype" ? cpumodel::arm_three_type()
-                                  : cpumodel::raptor_lake_i7_13700();
+  const auto preset = cpumodel::machine_preset_by_name(machine_name);
+  if (!preset.has_value()) {
+    std::fprintf(stderr, "unknown machine preset %s\n", machine_name.c_str());
+    return 2;
+  }
+  const cpumodel::MachineSpec machine = *preset;
   simkernel::SimKernel kernel(machine);
   pfm::SimHost host(&kernel);
   pfm::PfmLibrary pfmlib;

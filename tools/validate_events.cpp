@@ -1,0 +1,78 @@
+// Counter-validation harness driver: run the exact-truth sweep
+// (validation/harness.hpp) on every machine preset — or a chosen one —
+// and report violations. CI runs this as its own leg and uploads the
+// JUnit XML.
+//
+//   validate_events [--machine NAME]... [--workload NAME]...
+//                   [--junit PATH] [--list]
+//
+// Exit status 1 when any count disagrees with the simulator's ground
+// truth; each failure names the event, machine model, and core type.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cpumodel/machine.hpp"
+#include "validation/harness.hpp"
+
+using namespace hetpapi;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> machines;
+  std::string junit_path;
+  validation::Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view flag = argv[i];
+    if (flag == "--list") {
+      for (const std::string& name : cpumodel::machine_preset_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      return 2;
+    }
+    if (flag == "--machine") {
+      machines.push_back(argv[++i]);
+    } else if (flag == "--workload") {
+      opts.workloads.push_back(argv[++i]);
+    } else if (flag == "--junit") {
+      junit_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (machines.empty()) machines = cpumodel::machine_preset_names();
+
+  std::vector<std::pair<std::string, validation::Report>> reports;
+  std::size_t failures = 0;
+  for (const std::string& name : machines) {
+    const auto machine = cpumodel::machine_preset_by_name(name);
+    if (!machine.has_value()) {
+      std::fprintf(stderr, "unknown machine preset %s (try --list)\n",
+                   name.c_str());
+      return 2;
+    }
+    validation::Report report = validation::validate_machine(*machine, opts);
+    std::printf("%s", validation::render_summary(name, report).c_str());
+    failures += report.failures();
+    reports.emplace_back(name, std::move(report));
+  }
+
+  if (!junit_path.empty()) {
+    std::ofstream out(junit_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", junit_path.c_str());
+      return 2;
+    }
+    out << validation::render_junit(reports);
+  }
+
+  std::printf("total: %zu machines, %zu failures\n", reports.size(),
+              failures);
+  return failures == 0 ? 0 : 1;
+}
