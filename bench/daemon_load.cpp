@@ -1,20 +1,27 @@
 // daemon_load: the counter-service load generator. Sweeps client count
-// 1 -> 64 with every client riding the SAME subscription spec, plus a
-// distinct-spec control cell, and reports:
+// 1 -> 1024 (c10k via --n 10000) with every client riding the SAME
+// subscription spec, plus a distinct-spec control cell, a mixed cell
+// (1024 clients over 8 distinct specs), and a shard-count axis over the
+// mixed cell, and reports:
 //
 //   * backend reads per client-delivered sample (the coalescing ratio:
-//     ~1/N for the shared sweep, ~1 for the distinct control), and
+//     ~1/N for the shared sweep, ~1 for the distinct control, ~1/128
+//     for the mixed cell — reads scale with distinct specs, never with
+//     client count), and
 //   * per-client sample-retrieval latency percentiles (p50/p95/p99),
-//     which must stay flat across the sweep — a slow client count would
-//     mean the daemon does per-client backend work it should coalesce.
+//     which must stay flat across the sweep and the shard axis — a slow
+//     client count would mean the daemon does per-client backend work
+//     it should coalesce (bench_check --daemon-load guards both).
 //
 // Counts and ratios are deterministic and go to stdout; wall-clock
 // latencies go to BENCH_daemon_load.json (BenchRecorder convention:
-// stdout stays bit-identical across runs and --threads values, which
-// feed the daemon's encode pool).
+// stdout stays bit-identical across runs, --threads values, and
+// --shards values, which feed the daemon's encode pool and fan-out
+// partitioning).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -40,6 +47,7 @@ constexpr int kDistinctTargets = 8;
 struct CellResult {
   std::string label;
   int clients = 0;
+  std::size_t shards = 1;
   std::uint64_t distinct_subscriptions = 0;
   std::uint64_t backend_reads = 0;
   std::uint64_t client_reads = 0;  // samples delivered across all clients
@@ -60,9 +68,10 @@ double percentile(std::vector<double>& sorted, double p) {
 
 /// One load cell: `clients` subscribers spread across `targets` worker
 /// threads (targets == 1 -> everyone coalesces onto one EventSet;
-/// targets == clients -> every subscription is distinct).
+/// targets == clients -> every subscription is distinct), delivered by
+/// `shards` session shards.
 CellResult run_cell(const std::string& label, int clients, int targets,
-                    std::size_t encode_threads) {
+                    std::size_t encode_threads, std::size_t shards) {
   simkernel::SimKernel kernel(cpumodel::raptor_lake_i7_13700());
   papi::SimBackend backend(&kernel);
   std::vector<simkernel::Tid> tids;
@@ -74,6 +83,7 @@ CellResult run_cell(const std::string& label, int clients, int targets,
   }
   service::DaemonConfig dconfig;
   dconfig.encode_threads = encode_threads;
+  dconfig.shards = shards;
   service::LoopbackTransport transport;
   service::Daemon daemon(&kernel, &backend, dconfig);
   if (const Status s = daemon.init(); !s.is_ok()) {
@@ -122,6 +132,7 @@ CellResult run_cell(const std::string& label, int clients, int targets,
   CellResult result;
   result.label = label;
   result.clients = clients;
+  result.shards = shards;
   result.distinct_subscriptions = daemon.distinct_subscription_count();
   result.backend_reads = daemon.stats().backend_reads - reads_before;
   result.client_reads = daemon.stats().samples_delivered - samples_before;
@@ -168,11 +179,11 @@ void write_json(const std::vector<CellResult>& cells, std::size_t threads,
     const CellResult& c = cells[i];
     std::fprintf(
         out,
-        "    {\"label\": \"%s\", \"clients\": %d, "
+        "    {\"label\": \"%s\", \"clients\": %d, \"shards\": %zu, "
         "\"distinct_subscriptions\": %llu, \"backend_reads\": %llu, "
         "\"client_reads\": %llu, \"reads_per_client_read\": %.6f, "
         "\"latency_us\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}}%s\n",
-        c.label.c_str(), c.clients,
+        c.label.c_str(), c.clients, c.shards,
         static_cast<unsigned long long>(c.distinct_subscriptions),
         static_cast<unsigned long long>(c.backend_reads),
         static_cast<unsigned long long>(c.client_reads),
@@ -187,42 +198,74 @@ void write_json(const std::vector<CellResult>& cells, std::size_t threads,
 
 }  // namespace
 
+// Stdout carries only the deterministic counts: it must be byte-for-byte
+// identical across --threads and --shards (CI diffs the runs). The shard
+// count and the latency percentiles live in the JSON.
+void print_cell(const CellResult& c) {
+  std::printf("%-26s %8d %9llu %13llu %13llu %9.4f\n", c.label.c_str(),
+              c.clients,
+              static_cast<unsigned long long>(c.distinct_subscriptions),
+              static_cast<unsigned long long>(c.backend_reads),
+              static_cast<unsigned long long>(c.client_reads),
+              c.reads_per_client_read);
+}
+
 int main(int argc, char** argv) {
-  const bench::BenchOptions opts = bench::parse_bench_args(argc, argv, 64);
+  // --shards S is our own axis; strip it before the shared parser (which
+  // would otherwise read the bare value as the client count).
+  std::size_t base_shards = 1;
+  std::vector<char*> rest;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--shards" && i + 1 < argc) {
+      base_shards = static_cast<std::size_t>(
+          std::max(1L, std::strtol(argv[++i], nullptr, 10)));
+      continue;
+    }
+    rest.push_back(argv[i]);
+  }
+  const bench::BenchOptions opts =
+      bench::parse_bench_args(static_cast<int>(rest.size()), rest.data(), 1024);
   const auto bench_start = std::chrono::steady_clock::now();
 
   std::vector<CellResult> cells;
   std::printf("daemon_load: shared-subscription sweep, %d ticks per cell\n\n",
               kTicks);
-  std::printf("%-18s %8s %9s %13s %13s %9s\n", "cell", "clients",
-              "distinct", "backend-reads", "client-reads", "ratio");
+  std::fprintf(stderr, "daemon_load: %zu base shard(s)\n", base_shards);
+  std::printf("%-26s %8s %9s %13s %13s %9s\n", "cell", "clients", "distinct",
+              "backend-reads", "client-reads", "ratio");
   for (int clients = 1; clients <= opts.n; clients *= 2) {
     cells.push_back(run_cell("same-spec/" + std::to_string(clients), clients,
-                             /*targets=*/1, opts.threads));
-    const CellResult& c = cells.back();
-    std::printf("%-18s %8d %9llu %13llu %13llu %9.4f\n", c.label.c_str(),
-                c.clients,
-                static_cast<unsigned long long>(c.distinct_subscriptions),
-                static_cast<unsigned long long>(c.backend_reads),
-                static_cast<unsigned long long>(c.client_reads),
-                c.reads_per_client_read);
+                             /*targets=*/1, opts.threads, base_shards));
+    print_cell(cells.back());
   }
   // Control: distinct targets -> no coalescing -> ratio ~1.
   cells.push_back(run_cell("distinct-spec/" + std::to_string(kDistinctTargets),
-                           kDistinctTargets, kDistinctTargets, opts.threads));
-  {
-    const CellResult& c = cells.back();
-    std::printf("%-18s %8d %9llu %13llu %13llu %9.4f\n", c.label.c_str(),
-                c.clients,
-                static_cast<unsigned long long>(c.distinct_subscriptions),
-                static_cast<unsigned long long>(c.backend_reads),
-                static_cast<unsigned long long>(c.client_reads),
-                c.reads_per_client_read);
+                           kDistinctTargets, kDistinctTargets, opts.threads,
+                           base_shards));
+  print_cell(cells.back());
+  // Mixed cell: a big client population over a handful of distinct
+  // specs — reads must scale with the 8 specs, not the client count —
+  // swept across the shard axis to show fan-out partitioning keeps the
+  // counts (and, in the JSON, the latency percentiles) invariant.
+  const int mixed_clients = std::min(opts.n, 1024);
+  if (mixed_clients >= kDistinctTargets) {
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                     std::size_t{16}}) {
+      cells.push_back(run_cell(
+          "mixed-spec/" + std::to_string(mixed_clients) + "x" +
+              std::to_string(kDistinctTargets) + "/shards" +
+              std::to_string(shards),
+          mixed_clients, kDistinctTargets, opts.threads, shards));
+      print_cell(cells.back());
+    }
   }
   std::printf(
       "\ncoalescing holds when same-spec ratios track 1/clients while the\n"
-      "distinct-spec control stays at 1.0; latency percentiles live in\n"
-      "BENCH_daemon_load.json and must stay flat across the sweep.\n");
+      "distinct-spec control stays at 1.0 and the mixed cells sit at\n"
+      "specs/clients regardless of shard count; latency percentiles live\n"
+      "in BENCH_daemon_load.json and must stay flat across the sweep\n"
+      "(bench_check --daemon-load enforces both properties).\n");
 
   const double wall_s = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - bench_start)

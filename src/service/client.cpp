@@ -34,7 +34,13 @@ Expected<bool> Client::receive_some() {
   if (!connected()) return connection_gone();
   std::vector<std::uint8_t> chunk;
   auto n = conn_->receive(chunk);
-  if (!n) return n.status();
+  if (!n) {
+    // A receive error is terminal (would-block is reported as 0 bytes,
+    // not an error): drop the connection so connected() tells the truth
+    // and pollers stop treating this peer as live.
+    conn_->close();
+    return n.status();
+  }
   if (*n == 0) return false;
   if (capture_bytes_)
     captured_bytes_.insert(captured_bytes_.end(), chunk.begin(), chunk.end());
@@ -44,7 +50,7 @@ Expected<bool> Client::receive_some() {
 
 bool Client::pump_once() {
   auto got = receive_some();
-  if (!got) return false;
+  if (!got || !*got) return false;
   // Drain any complete frames into the stash so samples never pile up
   // unobserved inside the reader.
   while (true) {
@@ -52,6 +58,9 @@ bool Client::pump_once() {
     if (!frame) break;
     if (frame->type == MsgType::kSample) {
       if (auto s = WireSample::decode(*frame)) samples_.push_back(*std::move(s));
+    } else if (frame->type == MsgType::kAggSample) {
+      if (auto s = AggSample::decode(*frame))
+        agg_samples_.push_back(*std::move(s));
     } else if (frame->type == MsgType::kGoodbye) {
       if (auto g = Goodbye::decode(*frame)) goodbye_reason_ = g->reason;
     }
@@ -73,6 +82,11 @@ Expected<Frame> Client::rpc(MsgType expect,
       if (frame->type == MsgType::kSample) {
         if (auto s = WireSample::decode(*frame))
           samples_.push_back(*std::move(s));
+        continue;
+      }
+      if (frame->type == MsgType::kAggSample) {
+        if (auto s = AggSample::decode(*frame))
+          agg_samples_.push_back(*std::move(s));
         continue;
       }
       if (frame->type == MsgType::kError) {
@@ -102,15 +116,19 @@ Expected<Frame> Client::rpc(MsgType expect,
 
 Status Client::hello(const std::string& client_name) {
   Hello msg;
+  msg.version = hello_version_;
   msg.client_name = client_name;
   auto reply = rpc(MsgType::kHelloAck,
                    encode_frame(MsgType::kHello, msg.encode()));
   if (!reply) return reply.status();
   auto ack = HelloAck::decode(*reply);
   if (!ack) return ack.status();
-  if (ack->version != kProtocolVersion)
+  // The daemon answers with min(our offer, its version); anything
+  // outside [kMinProtocolVersion, offer] is a server we can't speak to.
+  if (ack->version < kMinProtocolVersion || ack->version > hello_version_)
     return Status(StatusCode::kNotSupported,
                   "server speaks protocol v" + std::to_string(ack->version));
+  negotiated_version_ = ack->version;
   return Status::ok();
 }
 
@@ -163,6 +181,18 @@ Expected<SubscribeAck> Client::subscribe(const Subscribe& spec) {
   return SubscribeAck::decode(*reply);
 }
 
+Expected<AggSubscribeAck> Client::subscribe_aggregate(
+    const AggSubscribe& spec) {
+  if (negotiated_version_ < 2) {
+    return make_error(StatusCode::kNotSupported,
+                      "aggregate streams need protocol v2");
+  }
+  auto reply = rpc(MsgType::kSubscribeAggregateAck,
+                   encode_frame(MsgType::kSubscribeAggregate, spec.encode()));
+  if (!reply) return reply.status();
+  return AggSubscribeAck::decode(*reply);
+}
+
 Status Client::unsubscribe(std::uint32_t subscription_id) {
   Unsubscribe msg;
   msg.subscription_id = subscription_id;
@@ -193,6 +223,13 @@ std::vector<WireSample> Client::take_samples() {
   if (connected()) pump_once();
   std::vector<WireSample> out(samples_.begin(), samples_.end());
   samples_.clear();
+  return out;
+}
+
+std::vector<AggSample> Client::take_agg_samples() {
+  if (connected()) pump_once();
+  std::vector<AggSample> out(agg_samples_.begin(), agg_samples_.end());
+  agg_samples_.clear();
   return out;
 }
 

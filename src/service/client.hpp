@@ -37,6 +37,10 @@ class Client {
   /// Join (or create) a shared subscription; the ack's shared_key_id
   /// tells you whether you coalesced onto an existing one.
   Expected<SubscribeAck> subscribe(const Subscribe& spec);
+  /// v2: join (or create) an aggregated stream — a merged per-core-type
+  /// rendition with min/max/avg/σ statistics across the daemon's
+  /// downstream tree (or the single local reading on a leaf daemon).
+  Expected<AggSubscribeAck> subscribe_aggregate(const AggSubscribe& spec);
   Status unsubscribe(std::uint32_t subscription_id);
 
   Expected<StatsReply> stats();
@@ -50,14 +54,25 @@ class Client {
   /// until at least one byte arrives, so call it when a sample is due.
   std::vector<WireSample> take_samples();
 
+  /// The aggregate-stream counterpart of take_samples(): sweep once,
+  /// then hand out every stashed AggSample.
+  std::vector<AggSample> take_agg_samples();
+
   /// Pull bytes off the transport once and stash any completed frames
-  /// (samples into the sample queue). Returns false when the
-  /// connection is gone.
+  /// (samples into the sample queue). Returns true only when bytes
+  /// actually arrived — false on an idle transport or a dead
+  /// connection — so callers can drain with `while (pump_once())`.
   bool pump_once();
 
   /// Non-empty once the daemon said Goodbye (drain, idle, slow-drop).
   const std::string& goodbye_reason() const { return goodbye_reason_; }
   bool connected() const { return conn_ != nullptr && conn_->is_open(); }
+
+  /// Version to offer in Hello (defaults to kProtocolVersion; the
+  /// compat tests dial it down to speak v1 at a v2 daemon).
+  void set_hello_version(std::uint32_t version) { hello_version_ = version; }
+  /// What HelloAck negotiated — min(offered, daemon's version).
+  std::uint32_t negotiated_version() const { return negotiated_version_; }
 
   /// Raw received-byte log for the determinism tests (every byte the
   /// daemon sent us, in order), captured before frame reassembly.
@@ -77,7 +92,10 @@ class Client {
   std::unique_ptr<Connection> conn_;
   FrameReader reader_;
   std::deque<WireSample> samples_;
+  std::deque<AggSample> agg_samples_;
   std::string goodbye_reason_;
+  std::uint32_t hello_version_ = kProtocolVersion;
+  std::uint32_t negotiated_version_ = kProtocolVersion;
   bool capture_bytes_ = false;
   std::vector<std::uint8_t> captured_bytes_;
 };

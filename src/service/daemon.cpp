@@ -1,6 +1,7 @@
 #include "service/daemon.hpp"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 
 #include "base/log.hpp"
@@ -28,6 +29,17 @@ std::string make_key(TargetKind kind, std::int64_t target,
   return key;
 }
 
+/// Overwrite the leading u32 subscription_id of an encoded frame
+/// (4-byte length prefix + type byte, then the payload whose first
+/// field every streamed sample type puts the subscription id in).
+void patch_subscription_id(std::vector<std::uint8_t>& frame,
+                           std::uint32_t subscription_id) {
+  for (int i = 0; i < 4; ++i) {
+    frame[5 + static_cast<std::size_t>(i)] =
+        (subscription_id >> (8 * i)) & 0xffu;
+  }
+}
+
 }  // namespace
 
 Daemon::Daemon(simkernel::SimKernel* kernel, papi::Backend* backend,
@@ -47,11 +59,23 @@ Status Daemon::init() {
   if (config_.encode_threads > 1) {
     encode_pool_ = std::make_unique<ThreadPool>(config_.encode_threads);
   }
+  shard_count_ = std::max<std::size_t>(1, config_.shards);
   return Status::ok();
 }
 
 void Daemon::add_listener(Listener* listener) {
   listeners_.push_back(listener);
+}
+
+void Daemon::add_downstream(std::unique_ptr<Client> client) {
+  Downstream link;
+  link.client = std::move(client);
+  const Status s = link.client->hello(config_.name + "/downstream");
+  link.alive = s.is_ok();
+  if (!link.alive) {
+    HETPAPI_WARN << "downstream handshake failed: " << s.message();
+  }
+  downstreams_.push_back(std::move(link));
 }
 
 std::size_t Daemon::session_count() const {
@@ -63,6 +87,15 @@ std::size_t Daemon::session_count() const {
 std::size_t Daemon::total_subscriber_count() const {
   std::size_t n = 0;
   for (const auto& [key_id, sub] : shared_subs_) n += sub.subscribers.size();
+  for (const auto& [key_id, agg] : agg_subs_) n += agg.subscribers.size();
+  return n;
+}
+
+std::size_t Daemon::live_downstream_count() const {
+  std::size_t n = 0;
+  for (const Downstream& link : downstreams_) {
+    if (link.alive && link.client->connected()) ++n;
+  }
   return n;
 }
 
@@ -75,8 +108,10 @@ void Daemon::accept_pending() {
       if (!conn) break;
       auto client = std::make_unique<ClientState>();
       client->id = next_client_id_++;
+      client->shard = client->id % shard_count_;
       client->conn = std::move(*conn);
       client->last_activity_tick = stats_.ticks;
+      clients_by_id_.emplace(client->id, client.get());
       clients_.push_back(std::move(client));
     }
   }
@@ -140,6 +175,7 @@ void Daemon::reap_closed() {
   std::erase_if(clients_, [&](const std::unique_ptr<ClientState>& client) {
     if (client->conn->is_open()) return false;
     teardown_client(*client);
+    clients_by_id_.erase(client->id);
     return true;
   });
 }
@@ -192,6 +228,16 @@ void Daemon::dispatch(ClientState& client, const Frame& frame) {
     case MsgType::kStart: on_start(client, frame); return;
     case MsgType::kRead: on_read(client, frame); return;
     case MsgType::kSubscribe: on_subscribe(client, frame); return;
+    case MsgType::kSubscribeAggregate:
+      if (client.version < 2) {
+        ++stats_.protocol_errors;
+        enqueue_error(client, frame.type,
+                      make_error(StatusCode::kNotSupported,
+                                 "SubscribeAggregate requires protocol v2"));
+        return;
+      }
+      on_subscribe_aggregate(client, frame);
+      return;
     case MsgType::kUnsubscribe: on_unsubscribe(client, frame); return;
     case MsgType::kGetStats: on_get_stats(client, frame); return;
     case MsgType::kClose: on_close(client, frame); return;
@@ -214,19 +260,25 @@ void Daemon::on_hello(ClientState& client, const Frame& frame) {
     client.closing = true;
     return;
   }
-  if (msg->version != kProtocolVersion) {
+  if (msg->version < kMinProtocolVersion || msg->version > kProtocolVersion) {
     ++stats_.protocol_errors;
     enqueue_error(
         client, frame.type,
         make_error(StatusCode::kNotSupported,
                    str_format("protocol version %u not supported (daemon "
-                              "speaks %u)",
-                              msg->version, kProtocolVersion)));
+                              "speaks %u..%u)",
+                              msg->version, kMinProtocolVersion,
+                              kProtocolVersion)));
     client.closing = true;
     return;
   }
+  // Serve down-level clients at their version: a v1 client keeps the
+  // exact v1 message shapes and never sees a v2-only frame. (A client
+  // from the future downgrades by offering a lower version.)
+  client.version = msg->version;
   client.hello_done = true;
   HelloAck ack;
+  ack.version = client.version;
   ack.client_id = client.id;
   ack.server_name = config_.name;
   enqueue(client, MsgType::kHelloAck, ack.encode());
@@ -384,7 +436,7 @@ void Daemon::on_subscribe(ClientState& client, const Frame& frame) {
     return;
   }
   const std::uint32_t sub_id = next_subscription_id_++;
-  auto key_id = join_subscription(client, sub_id, *msg);
+  auto key_id = join_subscription(client, sub_id, *msg, /*aggregate=*/false);
   if (!key_id) {
     enqueue_error(client, frame.type, key_id.status());
     return;
@@ -396,9 +448,63 @@ void Daemon::on_subscribe(ClientState& client, const Frame& frame) {
   enqueue(client, MsgType::kSubscribeAck, ack.encode());
 }
 
+void Daemon::on_subscribe_aggregate(ClientState& client, const Frame& frame) {
+  auto msg = AggSubscribe::decode(frame);
+  if (!msg) {
+    enqueue_error(client, frame.type, msg.status());
+    return;
+  }
+  if (msg->period_ticks == 0 || msg->events.empty()) {
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kInvalidArgument,
+                             "aggregate needs events and period >= 1"));
+    return;
+  }
+  const std::uint32_t sub_id = next_subscription_id_++;
+  if (downstreams_.empty()) {
+    // Leaf daemon: the aggregate rides the same coalesced qualified
+    // shared subscription a plain Subscribe would create, so its
+    // statistics are the local read verbatim (count=1, σ=0) and it
+    // coalesces with direct subscribers onto one EventSet.
+    Subscribe local;
+    local.target_kind = msg->target_kind;
+    local.target = msg->target;
+    local.events = msg->events;
+    local.period_ticks = msg->period_ticks;
+    local.qualified = 1;
+    auto key_id = join_subscription(client, sub_id, local, /*aggregate=*/true);
+    if (!key_id) {
+      enqueue_error(client, frame.type, key_id.status());
+      return;
+    }
+    client.subscriptions.emplace(sub_id, *key_id);
+    AggSubscribeAck ack;
+    ack.subscription_id = sub_id;
+    ack.shared_key_id = *key_id;
+    ack.fanin = 1;
+    enqueue(client, MsgType::kSubscribeAggregateAck, ack.encode());
+    return;
+  }
+  auto key_id = join_aggregate(client, sub_id, *msg);
+  if (!key_id) {
+    enqueue_error(client, frame.type, key_id.status());
+    return;
+  }
+  client.agg_subscriptions.emplace(sub_id, *key_id);
+  const AggregateShared& agg = agg_subs_.at(*key_id);
+  AggSubscribeAck ack;
+  ack.subscription_id = sub_id;
+  ack.shared_key_id = *key_id;
+  for (const DownstreamState& st : agg.downstream) {
+    if (st.sub_id != 0) ++ack.fanin;
+  }
+  enqueue(client, MsgType::kSubscribeAggregateAck, ack.encode());
+}
+
 Expected<std::uint32_t> Daemon::join_subscription(ClientState& client,
                                                   std::uint32_t subscription_id,
-                                                  const Subscribe& spec) {
+                                                  const Subscribe& spec,
+                                                  bool aggregate) {
   std::vector<std::string> canonical;
   canonical.reserve(spec.events.size());
   for (const std::string& event : spec.events) {
@@ -410,8 +516,8 @@ Expected<std::uint32_t> Daemon::join_subscription(ClientState& client,
                                    spec.period_ticks, spec.qualified != 0,
                                    canonical);
   if (const auto it = key_ids_.find(key); it != key_ids_.end()) {
-    shared_subs_[it->second].subscribers.emplace_back(client.id,
-                                                      subscription_id);
+    shared_subs_[it->second].subscribers.push_back(
+        {client.id, subscription_id, aggregate});
     return it->second;
   }
   auto set = build_eventset(spec.target_kind, spec.target, spec.events,
@@ -427,7 +533,7 @@ Expected<std::uint32_t> Daemon::join_subscription(ClientState& client,
   sub.eventset = *set;
   sub.period_ticks = spec.period_ticks;
   sub.qualified = spec.qualified != 0;
-  sub.subscribers.emplace_back(client.id, subscription_id);
+  sub.subscribers.push_back({client.id, subscription_id, aggregate});
   key_ids_.emplace(key, sub.key_id);
   const std::uint32_t key_id = sub.key_id;
   shared_subs_.emplace(key_id, std::move(sub));
@@ -439,8 +545,8 @@ void Daemon::leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
   const auto it = shared_subs_.find(key_id);
   if (it == shared_subs_.end()) return;
   SharedSubscription& sub = it->second;
-  std::erase_if(sub.subscribers, [&](const auto& pair) {
-    return pair.first == client_id && pair.second == sub_id;
+  std::erase_if(sub.subscribers, [&](const Rider& rider) {
+    return rider.client_id == client_id && rider.subscription_id == sub_id;
   });
   if (!sub.subscribers.empty()) return;
   // Last rider gone: tear the shared EventSet down.
@@ -452,21 +558,99 @@ void Daemon::leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
   shared_subs_.erase(it);
 }
 
+Expected<std::uint32_t> Daemon::join_aggregate(ClientState& client,
+                                               std::uint32_t subscription_id,
+                                               const AggSubscribe& spec) {
+  std::vector<std::string> canonical;
+  canonical.reserve(spec.events.size());
+  for (const std::string& event : spec.events) {
+    auto name = library_->canonical_event_name(event);
+    if (!name) return name.status();
+    canonical.push_back(std::move(*name));
+  }
+  const std::string key =
+      "agg|" + make_key(spec.target_kind, spec.target, spec.period_ticks,
+                        /*qualified=*/true, canonical);
+  if (const auto it = agg_key_ids_.find(key); it != agg_key_ids_.end()) {
+    agg_subs_[it->second].subscribers.push_back(
+        {client.id, subscription_id, true});
+    return it->second;
+  }
+  AggregateShared agg;
+  agg.key = key;
+  agg.period_ticks = spec.period_ticks;
+  agg.slot_count = canonical.size();
+  agg.downstream.resize(downstreams_.size());
+  std::size_t accepted = 0;
+  for (std::size_t d = 0; d < downstreams_.size(); ++d) {
+    Downstream& link = downstreams_[d];
+    if (!link.alive || !link.client->connected()) continue;
+    auto ack = link.client->subscribe_aggregate(spec);
+    if (!ack) {
+      // A refusing or faulting downstream is skipped, not fatal — its
+      // siblings still feed the merge (the sample just reads
+      // incomplete). A dead link stops being pumped entirely.
+      if (!link.client->connected()) link.alive = false;
+      continue;
+    }
+    agg.downstream[d].sub_id = ack->subscription_id;
+    ++accepted;
+  }
+  if (accepted == 0) {
+    return make_error(StatusCode::kNotRunning,
+                      "no live downstream accepted the aggregate");
+  }
+  agg.key_id = next_agg_key_id_++;
+  agg.subscribers.push_back({client.id, subscription_id, true});
+  agg_key_ids_.emplace(key, agg.key_id);
+  const std::uint32_t key_id = agg.key_id;
+  agg_subs_.emplace(key_id, std::move(agg));
+  return key_id;
+}
+
+void Daemon::leave_aggregate(std::uint32_t client_id, std::uint32_t sub_id,
+                             std::uint32_t key_id) {
+  const auto it = agg_subs_.find(key_id);
+  if (it == agg_subs_.end()) return;
+  AggregateShared& agg = it->second;
+  std::erase_if(agg.subscribers, [&](const Rider& rider) {
+    return rider.client_id == client_id && rider.subscription_id == sub_id;
+  });
+  if (!agg.subscribers.empty()) return;
+  // Last rider gone: release the downstream legs.
+  for (std::size_t d = 0; d < downstreams_.size(); ++d) {
+    if (d >= agg.downstream.size() || agg.downstream[d].sub_id == 0) continue;
+    Downstream& link = downstreams_[d];
+    if (link.alive && link.client->connected()) {
+      (void)link.client->unsubscribe(agg.downstream[d].sub_id);
+    }
+  }
+  agg_key_ids_.erase(agg.key);
+  agg_subs_.erase(it);
+}
+
 void Daemon::on_unsubscribe(ClientState& client, const Frame& frame) {
   auto msg = Unsubscribe::decode(frame);
   if (!msg) {
     enqueue_error(client, frame.type, msg.status());
     return;
   }
-  const auto it = client.subscriptions.find(msg->subscription_id);
-  if (it == client.subscriptions.end()) {
-    enqueue_error(client, frame.type,
-                  make_error(StatusCode::kNotFound, "no such subscription"));
+  if (const auto it = client.subscriptions.find(msg->subscription_id);
+      it != client.subscriptions.end()) {
+    leave_subscription(client.id, it->first, it->second);
+    client.subscriptions.erase(it);
+    enqueue(client, MsgType::kUnsubscribeAck, {});
     return;
   }
-  leave_subscription(client.id, it->first, it->second);
-  client.subscriptions.erase(it);
-  enqueue(client, MsgType::kUnsubscribeAck, {});
+  if (const auto it = client.agg_subscriptions.find(msg->subscription_id);
+      it != client.agg_subscriptions.end()) {
+    leave_aggregate(client.id, it->first, it->second);
+    client.agg_subscriptions.erase(it);
+    enqueue(client, MsgType::kUnsubscribeAck, {});
+    return;
+  }
+  enqueue_error(client, frame.type,
+                make_error(StatusCode::kNotFound, "no such subscription"));
 }
 
 void Daemon::on_get_stats(ClientState& client, const Frame& frame) {
@@ -489,7 +673,11 @@ void Daemon::on_get_stats(ClientState& client, const Frame& frame) {
       static_cast<std::uint32_t>(total_subscriber_count());
   reply.clients_dropped_slow = stats_.clients_dropped_slow;
   reply.clients_closed_idle = stats_.clients_closed_idle;
-  enqueue(client, MsgType::kStatsReply, reply.encode());
+  reply.shards = static_cast<std::uint32_t>(shard_count_);
+  reply.downstreams = static_cast<std::uint32_t>(downstreams_.size());
+  reply.agg_subscriptions = static_cast<std::uint32_t>(agg_subs_.size());
+  reply.agg_samples_delivered = stats_.agg_samples_delivered;
+  enqueue(client, MsgType::kStatsReply, reply.encode(client.version));
 }
 
 void Daemon::on_close(ClientState& client, const Frame& frame) {
@@ -508,6 +696,10 @@ void Daemon::teardown_client(ClientState& client) {
     leave_subscription(client.id, sub_id, key_id);
   }
   client.subscriptions.clear();
+  for (const auto& [sub_id, key_id] : client.agg_subscriptions) {
+    leave_aggregate(client.id, sub_id, key_id);
+  }
+  client.agg_subscriptions.clear();
   for (const auto& [session_id, session] : client.sessions) {
     if (library_->eventset_running(session.eventset)) {
       (void)library_->stop(session.eventset);
@@ -532,6 +724,53 @@ void Daemon::poll() {
     flush_client(*client);
   }
   reap_closed();
+}
+
+void Daemon::deliver(const std::vector<std::vector<std::uint8_t>>& templates,
+                     const std::vector<Delivery>& deliveries) {
+  if (deliveries.empty()) return;
+  // Bucket by shard. Each client lives in exactly one shard, so the
+  // parallel stage below never touches a client from two jobs, and the
+  // per-client enqueue order still follows the global delivery order —
+  // which is why the byte stream is shard-count invariant.
+  std::vector<std::vector<const Delivery*>> by_shard(shard_count_);
+  for (const Delivery& d : deliveries) {
+    const auto it = clients_by_id_.find(d.client_id);
+    if (it == clients_by_id_.end()) continue;
+    by_shard[it->second->shard].push_back(&d);
+  }
+  struct ShardCounters {
+    std::uint64_t frames = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t agg_samples = 0;
+  };
+  std::vector<ShardCounters> counters(shard_count_);
+  const auto run_shard = [&](std::size_t s) {
+    for (const Delivery* d : by_shard[s]) {
+      ClientState* client = clients_by_id_.find(d->client_id)->second;
+      std::vector<std::uint8_t> frame = templates[d->template_index];
+      patch_subscription_id(frame, d->subscription_id);
+      client->out.push_back({std::move(frame), 0});
+      ++counters[s].frames;
+      if (d->aggregate) {
+        ++counters[s].agg_samples;
+      } else {
+        ++counters[s].samples;
+      }
+    }
+  };
+  if (encode_pool_ != nullptr) {
+    encode_pool_->parallel_for_each(shard_count_, run_shard);
+  } else {
+    for (std::size_t s = 0; s < shard_count_; ++s) run_shard(s);
+  }
+  // Serial merge: fold the shard-local counters in shard order so the
+  // totals never depend on scheduling.
+  for (const ShardCounters& c : counters) {
+    stats_.frames_sent += c.frames;
+    stats_.samples_delivered += c.samples;
+    stats_.agg_samples_delivered += c.agg_samples;
+  }
 }
 
 void Daemon::serve_subscriptions() {
@@ -595,61 +834,214 @@ void Daemon::serve_subscriptions() {
     }
   }
 
-  // Fan out: one frame per (due subscription, subscriber). Encoding is
-  // pure, so it parallelizes; the merge below is in deterministic job
-  // order, which makes the byte stream identical for any thread count.
-  struct Job {
-    const DueRead* read;
-    std::uint32_t client_id;
-    std::uint32_t subscription_id;
-  };
-  std::vector<Job> jobs;
-  for (const DueRead& read : due) {
-    for (const auto& [client_id, sub_id] : read.sub->subscribers) {
-      jobs.push_back({&read, client_id, sub_id});
+  // Batched fan-out: ONE template frame per due read per frame kind
+  // (the subscription id — the first payload field — is patched per
+  // rider at delivery), instead of a full encode per subscriber.
+  // Template slots 2*i / 2*i+1 hold read i's WireSample / AggSample
+  // rendition; unused kinds stay empty. Encoding is pure, so it
+  // parallelizes across due reads.
+  std::vector<std::vector<std::uint8_t>> templates(due.size() * 2);
+  const auto encode_templates = [&](std::size_t i) {
+    const DueRead& read = due[i];
+    bool want_sample = false;
+    bool want_agg = false;
+    for (const Rider& rider : read.sub->subscribers) {
+      if (rider.aggregate) {
+        want_agg = true;
+      } else {
+        want_sample = true;
+      }
     }
-  }
-  std::vector<std::vector<std::uint8_t>> frames(jobs.size());
-  const auto encode_job = [&](std::size_t i) {
-    const Job& job = jobs[i];
-    WireSample sample;
-    sample.subscription_id = job.subscription_id;
-    sample.tick = stats_.ticks;
-    sample.t_seconds = t_seconds;
-    sample.values = job.read->values;
-    sample.degraded = job.read->degraded;
-    sample.counters_ok = job.read->ok;
-    sample.package_temp_c = temp;
-    sample.package_power_w = power;
-    sample.parts = job.read->parts;
-    frames[i] = encode_frame(MsgType::kSample, sample.encode());
+    if (want_sample) {
+      WireSample sample;
+      sample.subscription_id = 0;  // patched per rider
+      sample.tick = stats_.ticks;
+      sample.t_seconds = t_seconds;
+      sample.values = read.values;
+      sample.degraded = read.degraded;
+      sample.counters_ok = read.ok;
+      sample.package_temp_c = temp;
+      sample.package_power_w = power;
+      sample.parts = read.parts;
+      templates[2 * i] = encode_frame(MsgType::kSample, sample.encode());
+    }
+    if (want_agg) {
+      // The leaf rendition of the aggregate stream: one contributor,
+      // so every statistic collapses onto the local reading.
+      AggSample agg;
+      agg.subscription_id = 0;  // patched per rider
+      agg.tick = stats_.ticks;
+      agg.t_seconds = t_seconds;
+      agg.complete = read.ok;
+      agg.slots.resize(read.values.size());
+      for (std::size_t s = 0; s < read.values.size(); ++s) {
+        SlotStats& slot = agg.slots[s];
+        slot.sum = slot.min = slot.max = read.values[s];
+        slot.avg = static_cast<double>(read.values[s]);
+        slot.stddev = 0.0;
+        slot.count = 1;
+        if (s < read.parts.size()) slot.per_core_type = read.parts[s];
+        std::sort(slot.per_core_type.begin(), slot.per_core_type.end());
+      }
+      templates[2 * i + 1] = encode_frame(MsgType::kAggSample, agg.encode());
+    }
   };
   if (encode_pool_ != nullptr) {
-    encode_pool_->parallel_for_each(jobs.size(), encode_job);
+    encode_pool_->parallel_for_each(due.size(), encode_templates);
   } else {
-    for (std::size_t i = 0; i < jobs.size(); ++i) encode_job(i);
+    for (std::size_t i = 0; i < due.size(); ++i) encode_templates(i);
   }
 
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    for (const auto& client : clients_) {
-      if (client->id != jobs[i].client_id) continue;
-      client->out.push_back({std::move(frames[i]), 0});
-      ++stats_.frames_sent;
-      ++stats_.samples_delivered;
-      break;
+  std::vector<Delivery> deliveries;
+  for (std::size_t i = 0; i < due.size(); ++i) {
+    for (const Rider& rider : due[i].sub->subscribers) {
+      deliveries.push_back({rider.client_id, rider.subscription_id,
+                            rider.aggregate ? 2 * i + 1 : 2 * i,
+                            rider.aggregate});
     }
   }
+  deliver(templates, deliveries);
+}
+
+AggSample Daemon::merge_aggregate(const AggregateShared& agg) const {
+  AggSample out;
+  out.complete = 1;
+  out.slots.resize(agg.slot_count);
+  // A leg contributes its latest sample while its link is alive — a
+  // slow ticker's slightly stale value is still the truth of that
+  // subtree. A DEAD link is excluded entirely: folding its frozen
+  // last sample into every future merge would double-count against
+  // the live siblings' fresh values.
+  const auto leg_alive = [&](std::size_t d) {
+    return agg.downstream[d].sub_id != 0 && d < downstreams_.size() &&
+           downstreams_[d].alive;
+  };
+  // complete means: every configured downstream leg is live, reported
+  // inside this merge window, and was itself complete. A dead leg or a
+  // stale contribution degrades the sample, never blocks it.
+  for (std::size_t d = 0; d < agg.downstream.size(); ++d) {
+    const DownstreamState& st = agg.downstream[d];
+    if (!leg_alive(d) || !st.reported || !st.fresh || !st.latest.complete) {
+      out.complete = 0;
+    }
+  }
+  for (std::size_t s = 0; s < agg.slot_count; ++s) {
+    SlotStats& slot = out.slots[s];
+    // First pass: totals and extrema.
+    std::uint64_t count = 0;
+    long long mn = LLONG_MAX;
+    long long mx = LLONG_MIN;
+    std::map<std::string, long long> parts;
+    for (std::size_t d = 0; d < agg.downstream.size(); ++d) {
+      const DownstreamState& st = agg.downstream[d];
+      if (!leg_alive(d) || !st.reported) continue;
+      if (s >= st.latest.slots.size()) continue;
+      const SlotStats& child = st.latest.slots[s];
+      if (child.count == 0) continue;
+      slot.sum += child.sum;
+      count += child.count;
+      mn = std::min(mn, child.min);
+      mx = std::max(mx, child.max);
+      for (const auto& [label, value] : child.per_core_type) {
+        parts[label] += value;
+      }
+    }
+    if (count == 0) continue;
+    slot.count = static_cast<std::uint32_t>(count);
+    slot.min = mn;
+    slot.max = mx;
+    slot.avg = static_cast<double>(slot.sum) / static_cast<double>(count);
+    // Second pass: exact population-σ composition — combining each
+    // child's variance with its mean's offset from the merged mean
+    // reproduces the flat gather's σ, so a two-level tree reports the
+    // same statistics as one daemon over all the leaves.
+    double weighted_var = 0.0;
+    for (std::size_t d = 0; d < agg.downstream.size(); ++d) {
+      const DownstreamState& st = agg.downstream[d];
+      if (!leg_alive(d) || !st.reported) continue;
+      if (s >= st.latest.slots.size()) continue;
+      const SlotStats& child = st.latest.slots[s];
+      if (child.count == 0) continue;
+      const double delta = child.avg - slot.avg;
+      weighted_var += static_cast<double>(child.count) *
+                      (child.stddev * child.stddev + delta * delta);
+    }
+    slot.stddev = std::sqrt(weighted_var / static_cast<double>(count));
+    slot.per_core_type.assign(parts.begin(), parts.end());
+  }
+  return out;
+}
+
+void Daemon::serve_aggregates() {
+  if (downstreams_.empty() || agg_subs_.empty()) return;
+  // Pump every live downstream once and route its aggregate samples to
+  // the matching leg. One faulting or silent downstream contributes
+  // nothing this window — its siblings still flow below.
+  for (std::size_t d = 0; d < downstreams_.size(); ++d) {
+    Downstream& link = downstreams_[d];
+    if (!link.alive) continue;
+    if (!link.client->connected()) {
+      link.alive = false;
+      continue;
+    }
+    // Drain the link completely: a closed peer leaves its final bytes
+    // (Goodbye) buffered ahead of the error, and the leg must be seen
+    // dead in the same tick so merges stop folding in its frozen last
+    // sample.
+    while (link.client->pump_once()) {
+    }
+    if (!link.client->connected()) link.alive = false;
+    for (AggSample& sample : link.client->take_agg_samples()) {
+      for (auto& [key_id, agg] : agg_subs_) {
+        if (d < agg.downstream.size() &&
+            agg.downstream[d].sub_id == sample.subscription_id &&
+            agg.downstream[d].sub_id != 0) {
+          agg.downstream[d].latest = std::move(sample);
+          agg.downstream[d].reported = true;
+          agg.downstream[d].fresh = true;
+          break;
+        }
+      }
+    }
+  }
+
+  const double t_seconds =
+      kernel_ != nullptr ? kernel_->now().seconds()
+                         : static_cast<double>(stats_.ticks);
+  std::vector<std::vector<std::uint8_t>> templates;
+  std::vector<Delivery> deliveries;
+  for (auto& [key_id, agg] : agg_subs_) {
+    bool any_fresh = false;
+    for (const DownstreamState& st : agg.downstream) any_fresh |= st.fresh;
+    if (!any_fresh) continue;  // nothing new — no sample this tick
+    AggSample merged = merge_aggregate(agg);
+    merged.subscription_id = 0;  // patched per rider
+    merged.tick = stats_.ticks;
+    merged.t_seconds = t_seconds;
+    const std::size_t index = templates.size();
+    templates.push_back(encode_frame(MsgType::kAggSample, merged.encode()));
+    for (const Rider& rider : agg.subscribers) {
+      deliveries.push_back(
+          {rider.client_id, rider.subscription_id, index, true});
+    }
+    for (DownstreamState& st : agg.downstream) st.fresh = false;
+  }
+  deliver(templates, deliveries);
 }
 
 void Daemon::tick() {
   if (library_ == nullptr || shut_down_) return;
   ++stats_.ticks;
   serve_subscriptions();
+  serve_aggregates();
 
   if (config_.idle_timeout_ticks > 0) {
     for (const auto& client : clients_) {
       if (!client->conn->is_open() || client->closing) continue;
-      if (!client->subscriptions.empty()) continue;
+      if (!client->subscriptions.empty() ||
+          !client->agg_subscriptions.empty()) {
+        continue;
+      }
       if (stats_.ticks - client->last_activity_tick <
           config_.idle_timeout_ticks) {
         continue;
@@ -690,6 +1082,15 @@ void Daemon::shutdown() {
     client->conn->close();
   }
   clients_.clear();
+  clients_by_id_.clear();
+  // Downstream legs: a polite Close releases the subscriptions we hold
+  // on the next daemon down the tree.
+  for (Downstream& link : downstreams_) {
+    if (link.alive && link.client->connected()) (void)link.client->close();
+    link.alive = false;
+  }
+  agg_subs_.clear();
+  agg_key_ids_.clear();
   // Shared subscriptions whose owners vanished without teardown.
   for (auto& [key_id, sub] : shared_subs_) {
     if (library_->eventset_running(sub.eventset)) {

@@ -11,7 +11,8 @@
 //   tick() — one sampling tick: read every *distinct* shared
 //            subscription once and fan the sample out to all of its
 //            subscribers. Also runs idle-timeout and backpressure
-//            enforcement.
+//            enforcement, and (on an aggregator node) pumps the
+//            downstream daemons and emits merged aggregate samples.
 //
 // Shared-subscription coalescing is the scaling mechanism: sessions
 // subscribing to the same (target, ordered canonical event list,
@@ -20,6 +21,30 @@
 // distinct subscriptions, not with the number of clients. The
 // canonicalization goes through Library::canonical_event_name, so
 // "papi_tot_ins" and "PAPI_TOT_INS" land on the same key.
+//
+// The c10k fan-out path is sharded: clients are assigned to
+// config.shards session shards on accept (round-robin by client id),
+// sample encoding produces ONE template frame per distinct due
+// subscription (subscription_id is the first payload field, so the
+// per-rider copy just patches 4 bytes), and delivery runs one job per
+// shard on the encode pool. A client lives in exactly one shard and
+// per-shard jobs only touch their own clients plus a private counter
+// slot, so the stage is lock-free by partitioning; counters merge
+// serially afterwards. Per-client enqueue order follows the global
+// (key_id, subscribe order) delivery list regardless of shard count,
+// which is what the shards-1-vs-4-vs-16 byte-determinism goldens pin.
+//
+// Aggregation tree: add_downstream() hands the daemon a service::Client
+// connected to another hetpapid. A v2 SubscribeAggregate on a daemon
+// *without* downstreams (a leaf) rides the same coalesced shared
+// subscription as a qualified Subscribe and streams AggSample frames
+// with count=1 statistics — so a merged aggregate is, by construction,
+// comparable to a direct subscription. On a daemon *with* downstreams
+// the spec fans out to every live downstream; tick() pumps the
+// downstream clients, folds their AggSamples (ShellPM's gather shape:
+// sum/min/max/avg and exact population-σ composition across the tree)
+// and re-exports the merged per-core-type stream. One dead or stale
+// downstream marks the merge incomplete but never stalls siblings.
 //
 // Robustness reuses PR 4's machinery: per-client send queues are capped
 // (a slow client is dropped, never allowed to wedge the daemon), idle
@@ -34,10 +59,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "base/thread_pool.hpp"
 #include "papi/library.hpp"
+#include "service/client.hpp"
 #include "service/proto.hpp"
 #include "service/transport.hpp"
 #include "telemetry/sampler.hpp"
@@ -51,11 +78,15 @@ struct DaemonConfig {
   /// Ticks without traffic after which a subscription-less client is
   /// disconnected (0 = never).
   std::uint64_t idle_timeout_ticks = 0;
-  /// Worker threads for per-subscriber sample *encoding* (the reads
-  /// stay serial — the backend is single-threaded); frames are merged
-  /// in deterministic order, so the byte stream every client sees is
-  /// identical for any thread count.
+  /// Worker threads for template encoding and per-shard delivery (the
+  /// reads stay serial — the backend is single-threaded); frames are
+  /// merged in deterministic order, so the byte stream every client
+  /// sees is identical for any thread count.
   std::size_t encode_threads = 1;
+  /// Session shards the fan-out partitions clients across (>= 1).
+  /// Purely a parallelism knob: the byte stream every client sees is
+  /// identical for any shard count.
+  std::size_t shards = 1;
   /// Attach package temperature / power (via a telemetry::Sampler over
   /// the kernel) to every streamed sample.
   bool include_telemetry = false;
@@ -68,6 +99,7 @@ struct DaemonStats {
   std::uint64_t ticks = 0;
   std::uint64_t backend_reads = 0;
   std::uint64_t samples_delivered = 0;
+  std::uint64_t agg_samples_delivered = 0;
   std::uint64_t frames_received = 0;
   std::uint64_t frames_sent = 0;
   std::uint32_t clients_dropped_slow = 0;
@@ -93,12 +125,19 @@ class Daemon {
   /// Register a transport listener (non-owning; multiple allowed).
   void add_listener(Listener* listener);
 
+  /// Make this daemon an aggregator node: adopt a client connected to a
+  /// downstream hetpapid. The handshake runs here; a downstream whose
+  /// hello fails is kept (indices stay stable) but marked dead. Add
+  /// every downstream before the first SubscribeAggregate arrives —
+  /// later additions only serve aggregates created after them.
+  void add_downstream(std::unique_ptr<Client> client);
+
   void poll();
   void tick();
 
   /// Graceful drain: Goodbye to every client, bounded flush, close all
-  /// connections, release every EventSet. After this the backend's fd
-  /// ledger must be empty. Idempotent.
+  /// connections and downstream links, release every EventSet. After
+  /// this the backend's fd ledger must be empty. Idempotent.
   void shutdown();
 
   const DaemonStats& stats() const { return stats_; }
@@ -106,6 +145,10 @@ class Daemon {
   std::size_t session_count() const;
   std::size_t distinct_subscription_count() const { return shared_subs_.size(); }
   std::size_t total_subscriber_count() const;
+  std::size_t downstream_count() const { return downstreams_.size(); }
+  std::size_t live_downstream_count() const;
+  std::size_t aggregate_subscription_count() const { return agg_subs_.size(); }
+  std::size_t shard_count() const { return shard_count_; }
 
   papi::Library* library() { return library_.get(); }
 
@@ -115,15 +158,48 @@ class Daemon {
     std::vector<std::string> canonical_names;
   };
 
+  /// One subscriber of a shared (coalesced) subscription, in subscribe
+  /// order. Aggregate riders joined via SubscribeAggregate on a leaf
+  /// daemon; they receive AggSample frames built from the same read.
+  struct Rider {
+    std::uint32_t client_id = 0;
+    std::uint32_t subscription_id = 0;
+    bool aggregate = false;
+  };
+
   struct SharedSubscription {
     std::uint32_t key_id = 0;
     std::string key;
     int eventset = -1;
     std::uint32_t period_ticks = 1;
     bool qualified = false;
-    /// (client_id, subscription_id) pairs, in subscribe order — the
-    /// refcount is subscribers.size().
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> subscribers;
+    /// The refcount is subscribers.size().
+    std::vector<Rider> subscribers;
+  };
+
+  /// Per-downstream contribution state of one aggregate, index-aligned
+  /// with downstreams_.
+  struct DownstreamState {
+    std::uint32_t sub_id = 0;  // downstream's subscription id; 0 = dead
+    bool reported = false;     // ever delivered a sample
+    bool fresh = false;        // delivered since the last merge
+    AggSample latest;
+  };
+
+  /// One coalesced aggregate on a node with downstreams (leaf-side
+  /// aggregates live inside SharedSubscription instead).
+  struct AggregateShared {
+    std::uint32_t key_id = 0;
+    std::string key;
+    std::uint32_t period_ticks = 1;
+    std::size_t slot_count = 0;
+    std::vector<DownstreamState> downstream;
+    std::vector<Rider> subscribers;
+  };
+
+  struct Downstream {
+    std::unique_ptr<Client> client;
+    bool alive = false;
   };
 
   struct PendingBytes {
@@ -133,6 +209,10 @@ class Daemon {
 
   struct ClientState {
     std::uint32_t id = 0;
+    /// Which fan-out shard delivers to this client.
+    std::size_t shard = 0;
+    /// Negotiated protocol version (min of client's and ours).
+    std::uint32_t version = kProtocolVersion;
     std::unique_ptr<Connection> conn;
     FrameReader reader;
     bool hello_done = false;
@@ -143,6 +223,17 @@ class Daemon {
     std::map<std::uint32_t, Session> sessions;
     /// subscription_id -> shared key_id.
     std::map<std::uint32_t, std::uint32_t> subscriptions;
+    /// subscription_id -> aggregate key_id (node-side aggregates only).
+    std::map<std::uint32_t, std::uint32_t> agg_subscriptions;
+  };
+
+  /// One pending frame hand-off of the batched fan-out: copy the
+  /// template, patch bytes [5,9) with the subscription id, enqueue.
+  struct Delivery {
+    std::uint32_t client_id = 0;
+    std::uint32_t subscription_id = 0;
+    std::size_t template_index = 0;
+    bool aggregate = false;
   };
 
   void accept_pending();
@@ -163,6 +254,7 @@ class Daemon {
   void on_start(ClientState& client, const Frame& frame);
   void on_read(ClientState& client, const Frame& frame);
   void on_subscribe(ClientState& client, const Frame& frame);
+  void on_subscribe_aggregate(ClientState& client, const Frame& frame);
   void on_unsubscribe(ClientState& client, const Frame& frame);
   void on_get_stats(ClientState& client, const Frame& frame);
   void on_close(ClientState& client, const Frame& frame);
@@ -171,10 +263,20 @@ class Daemon {
   /// returns the key_id.
   Expected<std::uint32_t> join_subscription(ClientState& client,
                                             std::uint32_t subscription_id,
-                                            const Subscribe& spec);
+                                            const Subscribe& spec,
+                                            bool aggregate);
   /// Drop one subscriber; tears the EventSet down on the last one.
   void leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
                           std::uint32_t key_id);
+  /// Build (or join) a node-side aggregate, fanning the spec out to
+  /// every live downstream; returns the aggregate key_id.
+  Expected<std::uint32_t> join_aggregate(ClientState& client,
+                                         std::uint32_t subscription_id,
+                                         const AggSubscribe& spec);
+  /// Drop one aggregate rider; unsubscribes the downstreams on the
+  /// last one.
+  void leave_aggregate(std::uint32_t client_id, std::uint32_t sub_id,
+                       std::uint32_t key_id);
   /// Release everything a departing client holds.
   void teardown_client(ClientState& client);
 
@@ -184,6 +286,16 @@ class Daemon {
                                std::vector<std::string>* canonical_out);
 
   void serve_subscriptions();
+  void serve_aggregates();
+  /// The sharded fan-out tail shared by both serve paths: bucket the
+  /// deliveries by client shard, run one patch-and-enqueue job per
+  /// shard (parallel on the encode pool, lock-free by partitioning),
+  /// then fold the per-shard counters into stats_ serially.
+  void deliver(const std::vector<std::vector<std::uint8_t>>& templates,
+               const std::vector<Delivery>& deliveries);
+  /// Fold every reported downstream contribution of one aggregate into
+  /// a merged sample (exact hierarchical min/max/avg/σ composition).
+  AggSample merge_aggregate(const AggregateShared& agg) const;
 
   simkernel::SimKernel* kernel_;
   papi::Backend* backend_;
@@ -195,14 +307,22 @@ class Daemon {
   std::vector<Listener*> listeners_;
   /// Insertion-ordered so poll()/tick() visit clients deterministically.
   std::vector<std::unique_ptr<ClientState>> clients_;
+  /// The fan-out index: client id -> state, so delivery is O(1) per
+  /// frame instead of a linear scan over every connected client.
+  std::unordered_map<std::uint32_t, ClientState*> clients_by_id_;
   std::map<std::uint32_t, SharedSubscription> shared_subs_;  // by key_id
   std::map<std::string, std::uint32_t> key_ids_;             // key -> key_id
+  std::vector<Downstream> downstreams_;
+  std::map<std::uint32_t, AggregateShared> agg_subs_;  // by agg key_id
+  std::map<std::string, std::uint32_t> agg_key_ids_;
 
   DaemonStats stats_;
+  std::size_t shard_count_ = 1;
   std::uint32_t next_client_id_ = 1;
   std::uint32_t next_session_id_ = 1;
   std::uint32_t next_subscription_id_ = 1;
   std::uint32_t next_key_id_ = 1;
+  std::uint32_t next_agg_key_id_ = 1;
   bool shut_down_ = false;
 };
 

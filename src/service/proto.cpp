@@ -25,6 +25,9 @@ std::string_view to_string(MsgType type) noexcept {
     case MsgType::kCloseAck: return "CloseAck";
     case MsgType::kError: return "Error";
     case MsgType::kGoodbye: return "Goodbye";
+    case MsgType::kSubscribeAggregate: return "SubscribeAggregate";
+    case MsgType::kSubscribeAggregateAck: return "SubscribeAggregateAck";
+    case MsgType::kAggSample: return "AggSample";
   }
   return "?";
 }
@@ -499,7 +502,9 @@ Expected<WireSample> WireSample::decode(const Frame& frame) {
     auto part_count = r.u32();
     if (!part_count) return part_count.status();
     std::vector<std::pair<std::string, long long>> slot;
-    slot.reserve(*part_count);
+    // Clamp: part_count is attacker-controlled; a corrupt frame must
+    // fail on the byte shortfall, not allocate first.
+    slot.reserve(std::min<std::uint32_t>(*part_count, 1024));
     for (std::uint32_t j = 0; j < *part_count; ++j) {
       auto name = r.str();
       if (!name) return name.status();
@@ -513,6 +518,139 @@ Expected<WireSample> WireSample::decode(const Frame& frame) {
   return m;
 }
 
+std::vector<std::uint8_t> AggSubscribe::encode() const {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(target_kind));
+  w.i64(target);
+  w.str_list(events);
+  w.u32(period_ticks);
+  return w.take();
+}
+
+Expected<AggSubscribe> AggSubscribe::decode(const Frame& frame) {
+  Reader r = frame.reader();
+  AggSubscribe m;
+  auto kind = r.u8();
+  if (!kind) return kind.status();
+  if (*kind > static_cast<std::uint8_t>(TargetKind::kCpu)) {
+    return make_error(StatusCode::kInvalidArgument, "bad target kind");
+  }
+  m.target_kind = static_cast<TargetKind>(*kind);
+  auto target_field = r.i64();
+  if (!target_field) return target_field.status();
+  m.target = *target_field;
+  auto list = r.str_list();
+  if (!list) return list.status();
+  m.events = std::move(*list);
+  auto period = r.u32();
+  if (!period) return period.status();
+  m.period_ticks = *period;
+  HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "SubscribeAggregate"));
+  return m;
+}
+
+std::vector<std::uint8_t> AggSubscribeAck::encode() const {
+  Writer w;
+  w.u32(subscription_id);
+  w.u32(shared_key_id);
+  w.u32(fanin);
+  return w.take();
+}
+
+Expected<AggSubscribeAck> AggSubscribeAck::decode(const Frame& frame) {
+  Reader r = frame.reader();
+  AggSubscribeAck m;
+  auto sub = r.u32();
+  if (!sub) return sub.status();
+  m.subscription_id = *sub;
+  auto key = r.u32();
+  if (!key) return key.status();
+  m.shared_key_id = *key;
+  auto fanin_field = r.u32();
+  if (!fanin_field) return fanin_field.status();
+  m.fanin = *fanin_field;
+  HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "SubscribeAggregateAck"));
+  return m;
+}
+
+std::vector<std::uint8_t> AggSample::encode() const {
+  Writer w;
+  w.u32(subscription_id);
+  w.u64(tick);
+  w.f64(t_seconds);
+  w.u8(complete);
+  w.u32(static_cast<std::uint32_t>(slots.size()));
+  for (const SlotStats& slot : slots) {
+    w.i64(slot.sum);
+    w.i64(slot.min);
+    w.i64(slot.max);
+    w.f64(slot.avg);
+    w.f64(slot.stddev);
+    w.u32(slot.count);
+    w.u32(static_cast<std::uint32_t>(slot.per_core_type.size()));
+    for (const auto& [name, value] : slot.per_core_type) {
+      w.str(name);
+      w.i64(value);
+    }
+  }
+  return w.take();
+}
+
+Expected<AggSample> AggSample::decode(const Frame& frame) {
+  Reader r = frame.reader();
+  AggSample m;
+  auto sub = r.u32();
+  if (!sub) return sub.status();
+  m.subscription_id = *sub;
+  auto tick_field = r.u64();
+  if (!tick_field) return tick_field.status();
+  m.tick = *tick_field;
+  auto t = r.f64();
+  if (!t) return t.status();
+  m.t_seconds = *t;
+  auto complete_field = r.u8();
+  if (!complete_field) return complete_field.status();
+  m.complete = *complete_field;
+  auto slot_count = r.u32();
+  if (!slot_count) return slot_count.status();
+  for (std::uint32_t i = 0; i < *slot_count; ++i) {
+    SlotStats slot;
+    auto sum = r.i64();
+    if (!sum) return sum.status();
+    slot.sum = static_cast<long long>(*sum);
+    auto min_field = r.i64();
+    if (!min_field) return min_field.status();
+    slot.min = static_cast<long long>(*min_field);
+    auto max_field = r.i64();
+    if (!max_field) return max_field.status();
+    slot.max = static_cast<long long>(*max_field);
+    auto avg = r.f64();
+    if (!avg) return avg.status();
+    slot.avg = *avg;
+    auto stddev = r.f64();
+    if (!stddev) return stddev.status();
+    slot.stddev = *stddev;
+    auto count = r.u32();
+    if (!count) return count.status();
+    slot.count = *count;
+    auto part_count = r.u32();
+    if (!part_count) return part_count.status();
+    slot.per_core_type.reserve(
+        std::min<std::uint32_t>(*part_count, 1024));
+    for (std::uint32_t j = 0; j < *part_count; ++j) {
+      auto name = r.str();
+      if (!name) return name.status();
+      auto value = r.i64();
+      if (!value) return value.status();
+      slot.per_core_type.emplace_back(std::move(*name),
+                                      static_cast<long long>(*value));
+    }
+    m.slots.push_back(std::move(slot));
+  }
+  HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "AggSample"));
+  return m;
+}
+
 std::vector<std::uint8_t> GetStats::encode() const { return {}; }
 
 Expected<GetStats> GetStats::decode(const Frame& frame) {
@@ -521,7 +659,7 @@ Expected<GetStats> GetStats::decode(const Frame& frame) {
   return GetStats{};
 }
 
-std::vector<std::uint8_t> StatsReply::encode() const {
+std::vector<std::uint8_t> StatsReply::encode(std::uint32_t version) const {
   Writer w;
   w.u64(ticks);
   w.u64(backend_reads);
@@ -534,6 +672,12 @@ std::vector<std::uint8_t> StatsReply::encode() const {
   w.u32(total_subscribers);
   w.u32(clients_dropped_slow);
   w.u32(clients_closed_idle);
+  if (version >= 2) {
+    w.u32(shards);
+    w.u32(downstreams);
+    w.u32(agg_subscriptions);
+    w.u64(agg_samples_delivered);
+  }
   return w.take();
 }
 
@@ -563,6 +707,14 @@ Expected<StatsReply> StatsReply::decode(const Frame& frame) {
   HETPAPI_RETURN_IF_ERROR(read_u32(m.total_subscribers));
   HETPAPI_RETURN_IF_ERROR(read_u32(m.clients_dropped_slow));
   HETPAPI_RETURN_IF_ERROR(read_u32(m.clients_closed_idle));
+  // The v2 tail is all-or-nothing: a v1 reply ends here, a v2 reply
+  // carries exactly the four extra fields.
+  if (r.remaining() != 0) {
+    HETPAPI_RETURN_IF_ERROR(read_u32(m.shards));
+    HETPAPI_RETURN_IF_ERROR(read_u32(m.downstreams));
+    HETPAPI_RETURN_IF_ERROR(read_u32(m.agg_subscriptions));
+    HETPAPI_RETURN_IF_ERROR(read_u64(m.agg_samples_delivered));
+  }
   HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "StatsReply"));
   return m;
 }

@@ -10,15 +10,21 @@
 // u32-length-prefixed strings/arrays — no padding, no host-order leaks,
 // so the same byte stream is valid across the loopback and unix-socket
 // transports and across builds (the determinism tests compare raw
-// bytes). Version negotiation happens in Hello/HelloAck; the daemon
-// refuses clients whose major version differs.
+// bytes). Version negotiation happens in Hello/HelloAck: the daemon
+// serves every version in [kMinProtocolVersion, kProtocolVersion] at
+// the client's offered version (a v1 client keeps the exact v1 message
+// shapes) and refuses anything outside that range — a client from the
+// future downgrades by offering a lower version.
 //
 // Message catalogue (see DESIGN.md §9 for the full table):
 //   client -> daemon: Hello, OpenSession, AddEvents, Start, Read,
-//                     Subscribe, Unsubscribe, GetStats, Close
+//                     Subscribe, Unsubscribe, SubscribeAggregate (v2),
+//                     GetStats, Close
 //   daemon -> client: HelloAck, OpenSessionAck, AddEventsAck, StartAck,
 //                     ReadReply, SubscribeAck, UnsubscribeAck, Sample
-//                     (streamed), StatsReply, CloseAck, Error, Goodbye
+//                     (streamed), SubscribeAggregateAck (v2), AggSample
+//                     (streamed, v2), StatsReply, CloseAck, Error,
+//                     Goodbye
 #pragma once
 
 #include <cstdint>
@@ -30,8 +36,15 @@
 
 namespace hetpapi::service {
 
-/// Bumped on any incompatible wire change.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Bumped on any wire change. v2 adds the aggregation verbs
+/// (SubscribeAggregate / SubscribeAggregateAck / AggSample) and the
+/// StatsReply sharding/aggregation tail; everything a v1 client speaks
+/// is unchanged on the wire.
+inline constexpr std::uint32_t kProtocolVersion = 2;
+
+/// Oldest version the daemon still serves. A v1 client negotiates down
+/// in HelloAck and sees exactly the v1 message shapes.
+inline constexpr std::uint32_t kMinProtocolVersion = 1;
 
 /// Upper bound on one frame's payload (type byte included); a length
 /// prefix beyond this is a protocol error, not an allocation request.
@@ -59,6 +72,10 @@ enum class MsgType : std::uint8_t {
   kCloseAck = 19,
   kError = 20,
   kGoodbye = 21,
+  // v2 aggregation verbs.
+  kSubscribeAggregate = 22,
+  kSubscribeAggregateAck = 23,
+  kAggSample = 24,
 };
 
 /// Stable, test-visible name for a message type ("?" when unknown).
@@ -318,6 +335,67 @@ struct WireSample {
   static Expected<WireSample> decode(const Frame& frame);
 };
 
+/// v2: join (or create) an aggregated stream for one event spec. On a
+/// leaf daemon this rides the same coalesced shared subscription as a
+/// qualified Subscribe; on a daemon with downstreams it fans the spec
+/// out to every downstream and re-exports the merged stream. Aggregate
+/// reads are always qualified — the per-core-type breakdown is the
+/// point of the merge.
+struct AggSubscribe {
+  TargetKind target_kind = TargetKind::kDefault;
+  std::int64_t target = 0;
+  std::vector<std::string> events;
+  std::uint32_t period_ticks = 1;
+
+  std::vector<std::uint8_t> encode() const;
+  static Expected<AggSubscribe> decode(const Frame& frame);
+};
+
+struct AggSubscribeAck {
+  std::uint32_t subscription_id = 0;
+  /// Identity of the server-side aggregate this rider joined (same
+  /// oracle role as SubscribeAck::shared_key_id).
+  std::uint32_t shared_key_id = 0;
+  /// Number of merge contributors: 1 on a leaf daemon, the downstream
+  /// count on an aggregator node.
+  std::uint32_t fanin = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Expected<AggSubscribeAck> decode(const Frame& frame);
+};
+
+/// Per-event-slot statistics over the aggregate's contributors
+/// (ShellPM's PerfWatch gather shape: min/max/avg/σ across ranks; here
+/// the "ranks" are downstream daemons, or the single local reading on
+/// a leaf).
+struct SlotStats {
+  long long sum = 0;
+  long long min = 0;
+  long long max = 0;
+  double avg = 0.0;
+  double stddev = 0.0;  // population σ across contributors
+  std::uint32_t count = 0;  // contributors folded into this slot
+  /// Additive per-core-type totals, merged by label across
+  /// contributors and sorted by label for byte determinism.
+  std::vector<std::pair<std::string, long long>> per_core_type;
+};
+
+/// v2 streamed aggregate record. subscription_id is deliberately the
+/// first payload field: the daemon encodes one template frame per
+/// aggregate per due tick and patches bytes [5,9) per subscriber.
+struct AggSample {
+  std::uint32_t subscription_id = 0;
+  std::uint64_t tick = 0;
+  double t_seconds = 0.0;
+  /// 1 when every live contributor reported this tick; 0 when the
+  /// merge proceeded with a subset (a downstream was stale or dead).
+  std::uint8_t complete = 1;
+  std::vector<SlotStats> slots;  // one per subscribed event
+
+  std::vector<std::uint8_t> encode() const;
+  static Expected<AggSample> decode(const Frame& frame);
+};
+
 struct GetStats {
   std::vector<std::uint8_t> encode() const;
   static Expected<GetStats> decode(const Frame& frame);
@@ -337,8 +415,16 @@ struct StatsReply {
   std::uint32_t total_subscribers = 0;
   std::uint32_t clients_dropped_slow = 0;
   std::uint32_t clients_closed_idle = 0;
+  // v2 tail: sharding + aggregation accounting. encode(1) omits these
+  // four fields so v1 clients keep decoding the exact v1 shape; decode
+  // accepts both lengths.
+  std::uint32_t shards = 0;
+  std::uint32_t downstreams = 0;
+  std::uint32_t agg_subscriptions = 0;
+  std::uint64_t agg_samples_delivered = 0;
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
   static Expected<StatsReply> decode(const Frame& frame);
 };
 

@@ -1,0 +1,58 @@
+#include "service/stats_report.hpp"
+
+#include "base/strings.hpp"
+#include "base/table.hpp"
+
+namespace hetpapi::service {
+
+std::string render_agg_stats_report(const std::vector<std::string>& events,
+                                    const AggSample& sample) {
+  TextTable table({"event", "sum", "min", "max", "avg", "stddev", "n"});
+  for (std::size_t i = 0; i < sample.slots.size(); ++i) {
+    const SlotStats& slot = sample.slots[i];
+    const std::string name =
+        i < events.size() ? events[i] : str_format("slot%zu", i);
+    table.add_row({name, str_format("%lld", slot.sum),
+                   str_format("%lld", slot.min), str_format("%lld", slot.max),
+                   str_format("%.1f", slot.avg),
+                   str_format("%.1f", slot.stddev),
+                   str_format("%u", slot.count)});
+  }
+  std::string out = str_format(
+      "aggregate statistics @ tick %llu (t=%.3fs, %s)\n",
+      static_cast<unsigned long long>(sample.tick), sample.t_seconds,
+      sample.complete ? "complete" : "partial");
+  out += table.render();
+  for (std::size_t i = 0; i < sample.slots.size(); ++i) {
+    const SlotStats& slot = sample.slots[i];
+    if (slot.per_core_type.empty()) continue;
+    const std::string name =
+        i < events.size() ? events[i] : str_format("slot%zu", i);
+    out += str_format("%s per-core-type:", name.c_str());
+    for (const auto& [label, value] : slot.per_core_type) {
+      out += str_format(" %s=%lld", label.c_str(), value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+telemetry::Sample to_telemetry_sample(const AggSample& sample) {
+  telemetry::Sample out;
+  out.t_seconds = sample.t_seconds;
+  out.counters_ok = sample.complete != 0;
+  out.counters.reserve(sample.slots.size());
+  out.counter_parts.reserve(sample.slots.size());
+  for (const SlotStats& slot : sample.slots) {
+    out.counters.push_back(static_cast<double>(slot.sum));
+    std::vector<double> parts;
+    parts.reserve(slot.per_core_type.size());
+    for (const auto& [label, value] : slot.per_core_type) {
+      parts.push_back(static_cast<double>(value));
+    }
+    out.counter_parts.push_back(std::move(parts));
+  }
+  return out;
+}
+
+}  // namespace hetpapi::service

@@ -1,0 +1,30 @@
+// Render and convert aggregated counter streams.
+//
+// The aggregator's AggSample carries ShellPM-style gather statistics
+// (sum/min/max/avg/σ across the downstream tree) plus additive
+// per-core-type totals. This header turns one such sample into the
+// `hetpapi_client --stats` report (a pure string, so the golden test
+// pins it byte-for-byte) and into a telemetry::Sample so the monitor
+// layer consumes aggregated streams exactly like local ones.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "service/proto.hpp"
+#include "telemetry/sampler.hpp"
+
+namespace hetpapi::service {
+
+/// The --stats table: one row per event with the merged statistics,
+/// followed by the per-core-type breakdown rows. `events` names the
+/// slots in subscribe order.
+std::string render_agg_stats_report(const std::vector<std::string>& events,
+                                    const AggSample& sample);
+
+/// Bridge into the telemetry layer: counters = merged sums,
+/// counter_parts = the per-core-type values (label order), counters_ok
+/// = the merge's completeness.
+telemetry::Sample to_telemetry_sample(const AggSample& sample);
+
+}  // namespace hetpapi::service

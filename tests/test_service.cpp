@@ -749,10 +749,11 @@ TEST(ServiceRobustness, ChunkedTransportDeliveryStillWorks) {
 // --- determinism -----------------------------------------------------------
 
 std::vector<std::vector<std::uint8_t>> run_stream_scenario(
-    std::size_t encode_threads) {
+    std::size_t encode_threads, std::size_t shards = 1) {
   Harness h;
   DaemonConfig config;
   config.encode_threads = encode_threads;
+  config.shards = shards;
   EXPECT_TRUE(h.init(config).is_ok());
 
   std::vector<Client> clients;
@@ -788,6 +789,22 @@ TEST(ServiceDeterminism, ByteIdenticalStreamsAcrossEncodeThreadCounts) {
   for (std::size_t i = 0; i < serial.size(); ++i) {
     EXPECT_FALSE(serial[i].empty());
     EXPECT_EQ(serial[i], threaded[i]) << "client " << i;
+  }
+}
+
+TEST(ServiceDeterminism, ByteIdenticalStreamsAcrossShardCounts) {
+  // The sharded fan-out is a parallelism knob, not a semantic one: the
+  // byte stream every client sees is identical at 1, 4, and 16 shards
+  // (and with the encode pool in play on top).
+  const auto one = run_stream_scenario(1, 1);
+  const auto four = run_stream_scenario(1, 4);
+  const auto sixteen = run_stream_scenario(4, 16);
+  ASSERT_EQ(one.size(), four.size());
+  ASSERT_EQ(one.size(), sixteen.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_FALSE(one[i].empty());
+    EXPECT_EQ(one[i], four[i]) << "client " << i;
+    EXPECT_EQ(one[i], sixteen[i]) << "client " << i;
   }
 }
 

@@ -1,20 +1,27 @@
-// bench_check: CI guard over BENCH_overhead_read.json — fails (exit 1)
-// when the userspace rdpmc read plan regresses past the fd read path.
+// bench_check: CI guard over benchmark JSON — fails (exit 1) on
+// regression. Two modes:
 //
 //   bench_check <BENCH_overhead_read.json> [--tolerance <ratio>]
+//       The rdpmc-plan benchmark of each A/B pair must run in at most
+//       `tolerance` times its syscall-path twin (default 1.0; CI passes
+//       a generous ratio because shared runners are noisy).
 //
-// The guarded invariant is relative, not absolute: the rdpmc-plan
-// benchmark of each A/B pair must run in at most `tolerance` times its
-// syscall-path twin (default 1.0 — strictly no slower; CI passes a
-// generous ratio because shared runners are noisy). Absolute
-// nanosecond thresholds would tie the check to one machine; the ratio
-// ties it to the code.
+//   bench_check --daemon-load <BENCH_daemon_load.json> [--tolerance <r>]
+//       Guards the counter-service scaling story: every cell with at
+//       least 64 clients must coalesce at least as well as the
+//       same-spec/64 baseline (reads_per_client_read no worse), and
+//       every cell's p99 sample-retrieval latency must stay within
+//       `tolerance` times the baseline's p99 (default 2.0) — i.e. flat
+//       as clients and shards scale.
+//
+// Both guards are relative, not absolute: nanosecond thresholds would
+// tie the check to one machine; ratios tie it to the code.
 //
 // The JSON is scanned with a purpose-built reader (no JSON dependency
 // in the toolchain): benchmark entries are located by their exact
-// "name" string and the following "real_time" number. That matches the
-// stable google-benchmark output layout; a missing benchmark is an
-// error, not a silent pass.
+// "name"/"label" string and the following numeric keys. That matches
+// the stable output layouts; a missing entry is an error, not a silent
+// pass.
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -51,22 +58,130 @@ struct Pair {
   const char* slow;  // its syscall-path twin
 };
 
+/// One daemon_load cell, as written by bench/daemon_load.cpp.
+struct LoadCell {
+  std::string label;
+  double clients = 0.0;
+  double shards = 0.0;
+  double reads_per_client_read = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Number following `"key": ` inside [from, to); false when absent.
+bool find_number_in(const std::string& json, std::size_t from, std::size_t to,
+                    const std::string& key, double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle, from);
+  if (at == std::string::npos || at >= to) return false;
+  const char* p = json.c_str() + at + needle.size();
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  char* end = nullptr;
+  const double value = std::strtod(p, &end);
+  if (end == p) return false;
+  *out = value;
+  return true;
+}
+
+/// Every `{"label": ...}` cell object in daemon_load's JSON.
+std::vector<LoadCell> parse_load_cells(const std::string& json) {
+  std::vector<LoadCell> cells;
+  const std::string open = "\"label\": \"";
+  std::size_t at = json.find(open);
+  while (at != std::string::npos) {
+    const std::size_t name_start = at + open.size();
+    const std::size_t name_end = json.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    const std::size_t next = json.find(open, name_end);
+    const std::size_t limit = next == std::string::npos ? json.size() : next;
+    LoadCell cell;
+    cell.label = json.substr(name_start, name_end - name_start);
+    if (find_number_in(json, name_end, limit, "clients", &cell.clients) &&
+        find_number_in(json, name_end, limit, "shards", &cell.shards) &&
+        find_number_in(json, name_end, limit, "reads_per_client_read",
+                       &cell.reads_per_client_read) &&
+        find_number_in(json, name_end, limit, "p99", &cell.p99_us)) {
+      cells.push_back(std::move(cell));
+    } else {
+      std::fprintf(stderr, "bench_check: cell %s is missing fields\n",
+                   cell.label.c_str());
+    }
+    at = next;
+  }
+  return cells;
+}
+
+int check_daemon_load(const std::string& json, const std::string& path,
+                      double tolerance) {
+  const std::vector<LoadCell> cells = parse_load_cells(json);
+  if (cells.empty()) {
+    std::fprintf(stderr, "bench_check: no cells found in %s\n", path.c_str());
+    return 2;
+  }
+  const LoadCell* baseline = nullptr;
+  for (const LoadCell& cell : cells) {
+    if (cell.label == "same-spec/64") baseline = &cell;
+  }
+  if (baseline == nullptr) {
+    std::fprintf(stderr, "bench_check: baseline cell same-spec/64 missing from %s\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("baseline same-spec/64: ratio %.6f, p99 %.3f us, max p99 ratio %.2f\n",
+              baseline->reads_per_client_read, baseline->p99_us, tolerance);
+  int failures = 0;
+  for (const LoadCell& cell : cells) {
+    if (&cell == baseline) continue;
+    // Both guards watch scaling UP from the baseline: cells below its
+    // population (the distinct-spec control, the cold 1–2 client cells)
+    // are context, not the story.
+    if (cell.clients < baseline->clients) {
+      std::printf("%-28s ratio %.6f p99 %8.3f us  (below baseline, unguarded)\n",
+                  cell.label.c_str(), cell.reads_per_client_read, cell.p99_us);
+      continue;
+    }
+    // Coalescing: more clients (or more shards) must never cost more
+    // backend reads per delivered sample than the baseline.
+    const bool reads_ok =
+        cell.reads_per_client_read <= baseline->reads_per_client_read + 1e-9;
+    const bool p99_ok = cell.p99_us <= baseline->p99_us * tolerance;
+    const bool ok = reads_ok && p99_ok;
+    std::string verdicts;
+    verdicts += reads_ok ? " reads-OK" : " reads-REGRESSED";
+    verdicts += p99_ok ? " p99-OK" : " p99-REGRESSED";
+    std::printf("%-28s ratio %.6f p99 %8.3f us %s\n", cell.label.c_str(),
+                cell.reads_per_client_read, cell.p99_us, verdicts.c_str());
+    if (!ok) ++failures;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d daemon-load failure(s) — backend reads must "
+                 "scale with distinct specs and p99 must stay flat\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
-  double tolerance = 1.0;
+  double tolerance = 0.0;
+  bool daemon_load = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--daemon-load") {
+      daemon_load = true;
     } else if (path.empty()) {
       path = arg;
     }
   }
+  if (tolerance == 0.0) tolerance = daemon_load ? 2.0 : 1.0;
   if (path.empty() || tolerance <= 0.0) {
     std::fprintf(stderr,
-                 "usage: bench_check <BENCH_overhead_read.json> "
+                 "usage: bench_check [--daemon-load] <BENCH.json> "
                  "[--tolerance <ratio>]\n");
     return 2;
   }
@@ -79,6 +194,8 @@ int main(int argc, char** argv) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   const std::string json = buffer.str();
+
+  if (daemon_load) return check_daemon_load(json, path, tolerance);
 
   const Pair pairs[] = {
       {"BM_Read_RdpmcFastPath", "BM_Read_SyscallPath"},
