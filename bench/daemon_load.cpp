@@ -1,8 +1,9 @@
 // daemon_load: the counter-service load generator. Sweeps client count
 // 1 -> 1024 (c10k via --n 10000) with every client riding the SAME
 // subscription spec, plus a distinct-spec control cell, a mixed cell
-// (1024 clients over 8 distinct specs), and a shard-count axis over the
-// mixed cell, and reports:
+// (1024 clients over 8 distinct specs), a shard-count axis over the
+// mixed cell, and a session-churn cell (steady riders while
+// short-lived clients connect and vanish every tick), and reports:
 //
 //   * backend reads per client-delivered sample (the coalescing ratio:
 //     ~1/N for the shared sweep, ~1 for the distinct control, ~1/128
@@ -69,9 +70,15 @@ double percentile(std::vector<double>& sorted, double p) {
 /// One load cell: `clients` subscribers spread across `targets` worker
 /// threads (targets == 1 -> everyone coalesces onto one EventSet;
 /// targets == clients -> every subscription is distinct), delivered by
-/// `shards` session shards.
+/// `shards` session shards. With `churn_per_tick` > 0, that many
+/// short-lived sessions additionally connect, hello and subscribe the
+/// same coalesced spec every tick and leave before the next delivery —
+/// half politely (Close/CloseAck), half by abandoning the socket so the
+/// daemon's dead-pipe reaper runs — and the steady riders' counts and
+/// latencies must be completely undisturbed.
 CellResult run_cell(const std::string& label, int clients, int targets,
-                    std::size_t encode_threads, std::size_t shards) {
+                    std::size_t encode_threads, std::size_t shards,
+                    int churn_per_tick = 0) {
   simkernel::SimKernel kernel(cpumodel::raptor_lake_i7_13700());
   papi::SimBackend backend(&kernel);
   std::vector<simkernel::Tid> tids;
@@ -120,6 +127,38 @@ CellResult run_cell(const std::string& label, int clients, int targets,
   for (int t = 0; t < kTicks; ++t) {
     kernel.run_for(std::chrono::milliseconds(5));
     daemon.tick();
+    if (churn_per_tick > 0) {
+      std::vector<std::unique_ptr<Client>> ephemerals;
+      for (int c = 0; c < churn_per_tick; ++c) {
+        auto eph = std::make_unique<Client>(transport.connect());
+        if (!eph->hello("churn-" + std::to_string(t) + "-" +
+                        std::to_string(c))
+                 .is_ok()) {
+          std::fprintf(stderr, "churn hello failed (tick %d)\n", t);
+          std::exit(1);
+        }
+        service::Subscribe spec;
+        spec.target_kind = TargetKind::kThread;
+        spec.target = tids[0];
+        spec.events = {"PAPI_TOT_INS", "PAPI_TOT_CYC"};
+        if (!eph->subscribe(spec).has_value()) {
+          std::fprintf(stderr, "churn subscribe failed (tick %d)\n", t);
+          std::exit(1);
+        }
+        ephemerals.push_back(std::move(eph));
+      }
+      for (std::size_t c = 0; c < ephemerals.size(); ++c) {
+        if (c % 2 == 0) {
+          static_cast<void>(ephemerals[c]->close());  // polite farewell
+        } else {
+          ephemerals[c].reset();  // vanish mid-session
+        }
+      }
+      // Reap the vanished before the next delivery tick so churned
+      // sessions never receive a sample: client_reads stays exactly
+      // steady-riders x ticks.
+      daemon.poll();
+    }
     for (auto& rider : riders) {
       const auto start = std::chrono::steady_clock::now();
       samples_seen += rider->take_samples().size();
@@ -259,6 +298,16 @@ int main(int argc, char** argv) {
           mixed_clients, kDistinctTargets, opts.threads, shards));
       print_cell(cells.back());
     }
+  }
+  // Churn cell (PR 9, self-healing fabric): steady riders under
+  // constant session churn — 16 short-lived clients join and leave
+  // every tick, half of them by abandoning their socket. The steady
+  // stream's counts must match same-spec/64 exactly and its p99 must
+  // stay flat (bench_check's churn guard).
+  if (opts.n >= 64) {
+    cells.push_back(run_cell("churn/64+16", 64, /*targets=*/1, opts.threads,
+                             base_shards, /*churn_per_tick=*/16));
+    print_cell(cells.back());
   }
   std::printf(
       "\ncoalescing holds when same-spec ratios track 1/clients while the\n"

@@ -33,6 +33,7 @@ enum class StatusCode : int32_t {
   kBusy,              // EBUSY: counters taken
   kOutOfRange,        // index outside container
   kInterrupted,       // EINTR/EAGAIN: transient, retry-able syscall failure
+  kOverloaded,        // admission control: daemon is shedding load
 };
 
 /// Human-readable name for a status code (stable, test-visible).
@@ -56,6 +57,7 @@ constexpr std::string_view to_string(StatusCode code) noexcept {
     case StatusCode::kBusy: return "BUSY";
     case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
     case StatusCode::kInterrupted: return "INTERRUPTED";
+    case StatusCode::kOverloaded: return "OVERLOADED";
   }
   return "UNKNOWN";
 }

@@ -125,6 +125,21 @@ Status Library::destroy_eventset(int eventset) {
   return Status::ok();
 }
 
+Status Library::force_destroy_eventset(int eventset) {
+  EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  // Teardown-grade: a backend that faults during stop must not pin the
+  // set (and its fds) forever. Stop is best-effort, every component
+  // close runs regardless, and the set is always erased; the first
+  // close error is reported but nothing survives it.
+  if (set->running()) (void)set->stop();
+  const Status closed = set->close_everything();
+  std::erase_if(sets_, [&](const auto& s) { return s.get() == set; });
+  return closed;
+}
+
 Status Library::attach(int eventset, Tid tid) {
   EventSetCore* set = find_set(eventset);
   if (set == nullptr) {

@@ -89,6 +89,11 @@ class Library {
 
   Expected<int> create_eventset();
   Status destroy_eventset(int eventset);
+  /// Teardown-grade destroy for session reapers: stop is best-effort
+  /// and the set is closed and erased even when the backend faults
+  /// mid-stop (plain destroy_eventset refuses a running set, which
+  /// would pin its fds forever behind an injected stop failure).
+  Status force_destroy_eventset(int eventset);
 
   /// Bind the EventSet to a thread. Allowed while stopped; existing
   /// events are transparently re-opened on the new target.

@@ -40,6 +40,15 @@ void patch_subscription_id(std::vector<std::uint8_t>& frame,
   }
 }
 
+/// Overwrite the trailing u64 sequence number of a v3 sample frame
+/// (both v3 sample shapes encode seq LAST for exactly this reason).
+void patch_sequence_tail(std::vector<std::uint8_t>& frame, std::uint64_t seq) {
+  const std::size_t base = frame.size() - 8;
+  for (int i = 0; i < 8; ++i) {
+    frame[base + static_cast<std::size_t>(i)] = (seq >> (8 * i)) & 0xffu;
+  }
+}
+
 }  // namespace
 
 Daemon::Daemon(simkernel::SimKernel* kernel, papi::Backend* backend,
@@ -67,9 +76,11 @@ void Daemon::add_listener(Listener* listener) {
   listeners_.push_back(listener);
 }
 
-void Daemon::add_downstream(std::unique_ptr<Client> client) {
+void Daemon::add_downstream(std::unique_ptr<Client> client,
+                            ConnectionFactory factory) {
   Downstream link;
   link.client = std::move(client);
+  link.factory = std::move(factory);
   const Status s = link.client->hello(config_.name + "/downstream");
   link.alive = s.is_ok();
   if (!link.alive) {
@@ -106,6 +117,26 @@ void Daemon::accept_pending() {
     for (;;) {
       auto conn = listener->accept();
       if (!conn) break;
+      if (config_.max_clients > 0 && clients_.size() >= config_.max_clients) {
+        // Admission control: refuse at the door. The peer gets an
+        // explicit kOverloaded plus a Goodbye (best effort — it may be
+        // gone already) and no ClientState is ever created, so a
+        // connection storm cannot grow daemon memory.
+        ++stats_.overload_rejections;
+        WireError err;
+        err.code = static_cast<std::int32_t>(StatusCode::kOverloaded);
+        err.in_reply_to = static_cast<std::uint8_t>(MsgType::kHello);
+        err.message = "daemon at max_clients";
+        const auto err_frame = encode_frame(MsgType::kError, err.encode());
+        (void)(*conn)->send(err_frame.data(), err_frame.size());
+        Goodbye bye;
+        bye.reason = "refused: overloaded";
+        const auto bye_frame = encode_frame(MsgType::kGoodbye, bye.encode());
+        (void)(*conn)->send(bye_frame.data(), bye_frame.size());
+        stats_.frames_sent += 2;
+        (*conn)->close();
+        continue;
+      }
       auto client = std::make_unique<ClientState>();
       client->id = next_client_id_++;
       client->shard = client->id % shard_count_;
@@ -132,12 +163,14 @@ void Daemon::enqueue_error(ClientState& client, MsgType in_reply_to,
   enqueue(client, MsgType::kError, err.encode());
 }
 
-void Daemon::flush_client(ClientState& client) {
+void Daemon::flush_client(ClientState& client, std::size_t max_ops) {
   if (!client.conn->is_open()) {
     client.out.clear();
     return;
   }
+  std::size_t ops = 0;
   while (!client.out.empty()) {
+    if (max_ops > 0 && ops >= max_ops) return;  // deadline; caller moves on
     PendingBytes& front = client.out.front();
     auto sent = client.conn->send(front.bytes.data() + front.offset,
                                   front.bytes.size() - front.offset);
@@ -147,6 +180,7 @@ void Daemon::flush_client(ClientState& client) {
       return;
     }
     if (*sent == 0) return;  // would block; retry next poll/tick
+    ++ops;
     front.offset += *sent;
     if (front.offset >= front.bytes.size()) client.out.pop_front();
   }
@@ -194,6 +228,9 @@ void Daemon::drain_client(ClientState& client) {
   if (!bytes.empty()) {
     client.reader.feed(bytes);
     client.last_activity_tick = stats_.ticks;
+    // Inbound traffic is proof of life: cancel any outstanding ping.
+    client.ping_outstanding = false;
+    client.pings_missed = 0;
   }
   for (;;) {
     auto frame = client.reader.next();
@@ -241,6 +278,26 @@ void Daemon::dispatch(ClientState& client, const Frame& frame) {
     case MsgType::kUnsubscribe: on_unsubscribe(client, frame); return;
     case MsgType::kGetStats: on_get_stats(client, frame); return;
     case MsgType::kClose: on_close(client, frame); return;
+    case MsgType::kPing: {  // v3 liveness probe from the client: echo it
+      auto msg = Ping::decode(frame);
+      if (!msg) {
+        ++stats_.protocol_errors;
+        enqueue_error(client, frame.type, msg.status());
+        return;
+      }
+      Pong pong;
+      pong.token = msg->token;
+      enqueue(client, MsgType::kPong, pong.encode());
+      return;
+    }
+    case MsgType::kPong: {  // answer to OUR probe; drain_client already
+      auto msg = Pong::decode(frame);  // reset the miss counters
+      if (!msg) {
+        ++stats_.protocol_errors;
+        enqueue_error(client, frame.type, msg.status());
+      }
+      return;
+    }
     default:
       ++stats_.protocol_errors;
       enqueue_error(client, frame.type,
@@ -281,7 +338,8 @@ void Daemon::on_hello(ClientState& client, const Frame& frame) {
   ack.version = client.version;
   ack.client_id = client.id;
   ack.server_name = config_.name;
-  enqueue(client, MsgType::kHelloAck, ack.encode());
+  ack.epoch = config_.epoch;  // dropped by encode() for pre-v3 peers
+  enqueue(client, MsgType::kHelloAck, ack.encode(client.version));
 }
 
 Expected<int> Daemon::build_eventset(TargetKind kind, std::int64_t target,
@@ -435,6 +493,15 @@ void Daemon::on_subscribe(ClientState& client, const Frame& frame) {
                              "subscription needs events and period >= 1"));
     return;
   }
+  if (config_.max_subscriptions > 0 &&
+      client.subscriptions.size() + client.agg_subscriptions.size() >=
+          config_.max_subscriptions) {
+    ++stats_.overload_rejections;
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kOverloaded,
+                             "client at max_subscriptions"));
+    return;
+  }
   const std::uint32_t sub_id = next_subscription_id_++;
   auto key_id = join_subscription(client, sub_id, *msg, /*aggregate=*/false);
   if (!key_id) {
@@ -458,6 +525,15 @@ void Daemon::on_subscribe_aggregate(ClientState& client, const Frame& frame) {
     enqueue_error(client, frame.type,
                   make_error(StatusCode::kInvalidArgument,
                              "aggregate needs events and period >= 1"));
+    return;
+  }
+  if (config_.max_subscriptions > 0 &&
+      client.subscriptions.size() + client.agg_subscriptions.size() >=
+          config_.max_subscriptions) {
+    ++stats_.overload_rejections;
+    enqueue_error(client, frame.type,
+                  make_error(StatusCode::kOverloaded,
+                             "client at max_subscriptions"));
     return;
   }
   const std::uint32_t sub_id = next_subscription_id_++;
@@ -549,11 +625,9 @@ void Daemon::leave_subscription(std::uint32_t client_id, std::uint32_t sub_id,
     return rider.client_id == client_id && rider.subscription_id == sub_id;
   });
   if (!sub.subscribers.empty()) return;
-  // Last rider gone: tear the shared EventSet down.
-  if (library_->eventset_running(sub.eventset)) {
-    (void)library_->stop(sub.eventset);
-  }
-  (void)library_->destroy_eventset(sub.eventset);
+  // Last rider gone: tear the shared EventSet down. Force-destroy so a
+  // backend fault during stop can never pin the set's fds.
+  (void)library_->force_destroy_eventset(sub.eventset);
   key_ids_.erase(sub.key);
   shared_subs_.erase(it);
 }
@@ -578,6 +652,7 @@ Expected<std::uint32_t> Daemon::join_aggregate(ClientState& client,
   }
   AggregateShared agg;
   agg.key = key;
+  agg.spec = spec;
   agg.period_ticks = spec.period_ticks;
   agg.slot_count = canonical.size();
   agg.downstream.resize(downstreams_.size());
@@ -701,10 +776,7 @@ void Daemon::teardown_client(ClientState& client) {
   }
   client.agg_subscriptions.clear();
   for (const auto& [session_id, session] : client.sessions) {
-    if (library_->eventset_running(session.eventset)) {
-      (void)library_->stop(session.eventset);
-    }
-    (void)library_->destroy_eventset(session.eventset);
+    (void)library_->force_destroy_eventset(session.eventset);
   }
   client.sessions.clear();
 }
@@ -748,8 +820,11 @@ void Daemon::deliver(const std::vector<std::vector<std::uint8_t>>& templates,
   const auto run_shard = [&](std::size_t s) {
     for (const Delivery* d : by_shard[s]) {
       ClientState* client = clients_by_id_.find(d->client_id)->second;
-      std::vector<std::uint8_t> frame = templates[d->template_index];
+      const bool v3 = client->version >= 3;
+      std::vector<std::uint8_t> frame =
+          templates[v3 ? d->template_v3 : d->template_v2];
       patch_subscription_id(frame, d->subscription_id);
+      if (v3) patch_sequence_tail(frame, d->seq);
       client->out.push_back({std::move(frame), 0});
       ++counters[s].frames;
       if (d->aggregate) {
@@ -775,14 +850,14 @@ void Daemon::deliver(const std::vector<std::vector<std::uint8_t>>& templates,
 
 void Daemon::serve_subscriptions() {
   struct DueRead {
-    const SharedSubscription* sub;
+    SharedSubscription* sub;
     std::vector<long long> values;
     std::vector<std::uint8_t> degraded;
     std::vector<std::vector<std::pair<std::string, long long>>> parts;
     std::uint8_t ok = 1;
   };
   std::vector<DueRead> due;
-  for (const auto& [key_id, sub] : shared_subs_) {
+  for (auto& [key_id, sub] : shared_subs_) {
     if (stats_.ticks % sub.period_ticks == 0) due.push_back({&sub, {}, {}, {}, 1});
   }
   if (due.empty()) return;
@@ -834,27 +909,28 @@ void Daemon::serve_subscriptions() {
     }
   }
 
-  // Batched fan-out: ONE template frame per due read per frame kind
+  // Batched fan-out: ONE template frame per due read per frame shape
   // (the subscription id — the first payload field — is patched per
-  // rider at delivery), instead of a full encode per subscriber.
-  // Template slots 2*i / 2*i+1 hold read i's WireSample / AggSample
-  // rendition; unused kinds stay empty. Encoding is pure, so it
-  // parallelizes across due reads.
-  std::vector<std::vector<std::uint8_t>> templates(due.size() * 2);
+  // rider at delivery, as is the v3 sequence tail), instead of a full
+  // encode per subscriber. Template slots 4*i + {0,1,2,3} hold read
+  // i's WireSample-v2 / WireSample-v3 / AggSample-v2 / AggSample-v3
+  // rendition; shapes no rider wants stay empty. Encoding is pure, so
+  // it parallelizes across due reads (clients_by_id_ is read-only
+  // during the encode stage).
+  std::vector<std::vector<std::uint8_t>> templates(due.size() * 4);
   const auto encode_templates = [&](std::size_t i) {
     const DueRead& read = due[i];
-    bool want_sample = false;
-    bool want_agg = false;
+    bool want[4] = {false, false, false, false};
     for (const Rider& rider : read.sub->subscribers) {
-      if (rider.aggregate) {
-        want_agg = true;
-      } else {
-        want_sample = true;
-      }
+      const auto it = clients_by_id_.find(rider.client_id);
+      const bool v3 =
+          it != clients_by_id_.end() && it->second->version >= 3;
+      want[(rider.aggregate ? 2 : 0) + (v3 ? 1 : 0)] = true;
     }
-    if (want_sample) {
+    if (want[0] || want[1]) {
       WireSample sample;
       sample.subscription_id = 0;  // patched per rider
+      sample.seq = 0;              // patched per rider (v3)
       sample.tick = stats_.ticks;
       sample.t_seconds = t_seconds;
       sample.values = read.values;
@@ -863,13 +939,17 @@ void Daemon::serve_subscriptions() {
       sample.package_temp_c = temp;
       sample.package_power_w = power;
       sample.parts = read.parts;
-      templates[2 * i] = encode_frame(MsgType::kSample, sample.encode());
+      if (want[0])
+        templates[4 * i] = encode_frame(MsgType::kSample, sample.encode(2));
+      if (want[1])
+        templates[4 * i + 1] = encode_frame(MsgType::kSample, sample.encode(3));
     }
-    if (want_agg) {
+    if (want[2] || want[3]) {
       // The leaf rendition of the aggregate stream: one contributor,
       // so every statistic collapses onto the local reading.
       AggSample agg;
       agg.subscription_id = 0;  // patched per rider
+      agg.seq = 0;              // patched per rider (v3)
       agg.tick = stats_.ticks;
       agg.t_seconds = t_seconds;
       agg.complete = read.ok;
@@ -883,7 +963,10 @@ void Daemon::serve_subscriptions() {
         if (s < read.parts.size()) slot.per_core_type = read.parts[s];
         std::sort(slot.per_core_type.begin(), slot.per_core_type.end());
       }
-      templates[2 * i + 1] = encode_frame(MsgType::kAggSample, agg.encode());
+      if (want[2])
+        templates[4 * i + 2] = encode_frame(MsgType::kAggSample, agg.encode(2));
+      if (want[3])
+        templates[4 * i + 3] = encode_frame(MsgType::kAggSample, agg.encode(3));
     }
   };
   if (encode_pool_ != nullptr) {
@@ -892,12 +975,17 @@ void Daemon::serve_subscriptions() {
     for (std::size_t i = 0; i < due.size(); ++i) encode_templates(i);
   }
 
+  // Sequence numbers are bumped HERE, serially, in the same global
+  // (key_id, subscribe order) the delivery list has always used — so
+  // they are deterministic for any shard/thread count.
   std::vector<Delivery> deliveries;
   for (std::size_t i = 0; i < due.size(); ++i) {
-    for (const Rider& rider : due[i].sub->subscribers) {
+    for (Rider& rider : due[i].sub->subscribers) {
+      ++rider.seq;
       deliveries.push_back({rider.client_id, rider.subscription_id,
-                            rider.aggregate ? 2 * i + 1 : 2 * i,
-                            rider.aggregate});
+                            rider.aggregate ? 4 * i + 2 : 4 * i,
+                            rider.aggregate ? 4 * i + 3 : 4 * i + 1,
+                            rider.aggregate, rider.seq});
     }
   }
   deliver(templates, deliveries);
@@ -1016,24 +1104,135 @@ void Daemon::serve_aggregates() {
     if (!any_fresh) continue;  // nothing new — no sample this tick
     AggSample merged = merge_aggregate(agg);
     merged.subscription_id = 0;  // patched per rider
+    merged.seq = 0;              // patched per rider (v3)
     merged.tick = stats_.ticks;
     merged.t_seconds = t_seconds;
-    const std::size_t index = templates.size();
-    templates.push_back(encode_frame(MsgType::kAggSample, merged.encode()));
+    bool want_v2 = false;
+    bool want_v3 = false;
     for (const Rider& rider : agg.subscribers) {
-      deliveries.push_back(
-          {rider.client_id, rider.subscription_id, index, true});
+      const auto it = clients_by_id_.find(rider.client_id);
+      const bool v3 = it != clients_by_id_.end() && it->second->version >= 3;
+      (v3 ? want_v3 : want_v2) = true;
+    }
+    const std::size_t v2_index = templates.size();
+    templates.push_back(want_v2 ? encode_frame(MsgType::kAggSample,
+                                               merged.encode(2))
+                                : std::vector<std::uint8_t>{});
+    const std::size_t v3_index = templates.size();
+    templates.push_back(want_v3 ? encode_frame(MsgType::kAggSample,
+                                               merged.encode(3))
+                                : std::vector<std::uint8_t>{});
+    for (Rider& rider : agg.subscribers) {
+      ++rider.seq;
+      deliveries.push_back({rider.client_id, rider.subscription_id, v2_index,
+                            v3_index, true, rider.seq});
     }
     for (DownstreamState& st : agg.downstream) st.fresh = false;
   }
   deliver(templates, deliveries);
 }
 
+void Daemon::heal_downstreams() {
+  for (std::size_t d = 0; d < downstreams_.size(); ++d) {
+    Downstream& link = downstreams_[d];
+    if (link.alive && link.client->connected()) continue;
+    link.alive = false;
+    if (!link.factory) continue;  // factory-less legs stay dead
+    if (stats_.ticks < link.next_retry_tick) continue;
+    ++stats_.reconnects;
+    const auto back_off = [&] {
+      link.backoff_ticks = std::min<std::uint64_t>(link.backoff_ticks * 2, 64);
+      link.next_retry_tick = stats_.ticks + link.backoff_ticks;
+    };
+    auto conn = link.factory();
+    if (!conn) {
+      back_off();
+      continue;
+    }
+    auto fresh = std::make_unique<Client>(std::move(*conn));
+    if (!fresh->hello(config_.name + "/downstream").is_ok()) {
+      back_off();
+      continue;
+    }
+    // Adopt the healed link, then re-subscribe this leg of every
+    // aggregate. The downstream daemon may have restarted, so every
+    // old sub_id is void either way; reported/fresh reset so a stale
+    // pre-outage sample can never fold into a post-heal merge.
+    link.client = std::move(fresh);
+    link.alive = true;
+    link.backoff_ticks = 1;
+    link.next_retry_tick = 0;
+    bool resubscribed_all = true;
+    for (auto& [key_id, agg] : agg_subs_) {
+      if (d >= agg.downstream.size()) continue;
+      DownstreamState& st = agg.downstream[d];
+      auto ack = link.client->subscribe_aggregate(agg.spec);
+      if (!ack) {
+        st.sub_id = 0;
+        resubscribed_all = false;
+        if (!link.client->connected()) {
+          link.alive = false;
+          back_off();
+          break;
+        }
+        continue;
+      }
+      st.sub_id = ack->subscription_id;
+      st.reported = false;
+      st.fresh = false;
+      st.latest = AggSample{};
+    }
+    if (link.alive && resubscribed_all) ++stats_.downstream_reheals;
+  }
+}
+
+void Daemon::enforce_liveness() {
+  if (config_.ping_interval_ticks == 0) return;
+  for (const auto& client : clients_) {
+    if (!client->conn->is_open() || client->closing || !client->hello_done) {
+      continue;
+    }
+    if (client->version < 3) continue;  // pre-v3 peers have no Ping verb
+    if (client->ping_outstanding) {
+      if (stats_.ticks - client->ping_sent_tick <
+          config_.ping_interval_ticks) {
+        continue;  // still inside this deadline
+      }
+      ++client->pings_missed;
+      ++stats_.pings_missed;
+      if (client->pings_missed >= config_.ping_max_missed) {
+        // Active subscriptions do NOT save a dead peer — that is the
+        // point: a half-open connection must not pin EventSets.
+        ++stats_.clients_dropped_liveness;
+        teardown_client(*client);
+        Goodbye bye;
+        bye.reason = "dropped: liveness timeout";
+        enqueue(*client, MsgType::kGoodbye, bye.encode());
+        client->closing = true;
+        continue;
+      }
+      Ping ping;  // next deadline
+      ping.token = stats_.ticks;
+      enqueue(*client, MsgType::kPing, ping.encode());
+      client->ping_sent_tick = stats_.ticks;
+    } else if (stats_.ticks - client->last_activity_tick >=
+               config_.ping_interval_ticks) {
+      Ping ping;
+      ping.token = stats_.ticks;
+      enqueue(*client, MsgType::kPing, ping.encode());
+      client->ping_sent_tick = stats_.ticks;
+      client->ping_outstanding = true;
+    }
+  }
+}
+
 void Daemon::tick() {
   if (library_ == nullptr || shut_down_) return;
   ++stats_.ticks;
   serve_subscriptions();
+  heal_downstreams();
   serve_aggregates();
+  enforce_liveness();
 
   if (config_.idle_timeout_ticks > 0) {
     for (const auto& client : clients_) {
@@ -1077,7 +1276,7 @@ void Daemon::shutdown() {
     bye.reason = "daemon shutting down";
     enqueue(*client, MsgType::kGoodbye, bye.encode());
     client->closing = true;
-    flush_client(*client);
+    flush_client(*client, config_.shutdown_max_flush_ops);
     teardown_client(*client);
     client->conn->close();
   }
@@ -1093,10 +1292,7 @@ void Daemon::shutdown() {
   agg_key_ids_.clear();
   // Shared subscriptions whose owners vanished without teardown.
   for (auto& [key_id, sub] : shared_subs_) {
-    if (library_->eventset_running(sub.eventset)) {
-      (void)library_->stop(sub.eventset);
-    }
-    (void)library_->destroy_eventset(sub.eventset);
+    (void)library_->force_destroy_eventset(sub.eventset);
   }
   shared_subs_.clear();
   key_ids_.clear();

@@ -90,6 +90,28 @@ struct DaemonConfig {
   /// Attach package temperature / power (via a telemetry::Sampler over
   /// the kernel) to every streamed sample.
   bool include_telemetry = false;
+  /// Session epoch advertised in every v3 HelloAck. A reconnecting
+  /// client compares epochs to tell "same daemon process" (tick-based
+  /// gap accounting is exact) from "daemon restarted" (gap unknowable).
+  /// Caller-provided rather than derived from wall clock or a global
+  /// counter so runs stay byte-deterministic.
+  std::uint64_t epoch = 1;
+  /// Liveness: ping every helloed v3 client whose last traffic is this
+  /// many ticks old (0 = pings disabled). A client that misses
+  /// `ping_max_missed` consecutive ping deadlines is dropped even if it
+  /// still holds subscriptions — a half-open peer must not hold
+  /// resources forever.
+  std::uint64_t ping_interval_ticks = 0;
+  std::uint32_t ping_max_missed = 3;
+  /// Admission control (0 = unlimited): connections beyond max_clients
+  /// are refused at accept with kOverloaded; subscriptions beyond
+  /// max_subscriptions per client are refused with kOverloaded.
+  std::size_t max_clients = 0;
+  std::size_t max_subscriptions = 0;
+  /// Upper bound on send() calls per client during the shutdown drain
+  /// flush (0 = unlimited). A peer that accepts one byte at a time must
+  /// not be able to wedge shutdown().
+  std::size_t shutdown_max_flush_ops = 4096;
   /// Forwarded to papi::Library::init.
   papi::LibraryConfig library{};
 };
@@ -105,6 +127,12 @@ struct DaemonStats {
   std::uint32_t clients_dropped_slow = 0;
   std::uint32_t clients_closed_idle = 0;
   std::uint32_t protocol_errors = 0;
+  // Self-healing accounting.
+  std::uint64_t reconnects = 0;            // downstream re-dial attempts
+  std::uint64_t downstream_reheals = 0;    // legs fully re-subscribed
+  std::uint64_t pings_missed = 0;          // liveness deadlines blown
+  std::uint64_t clients_dropped_liveness = 0;
+  std::uint64_t overload_rejections = 0;   // admission-control refusals
 };
 
 class Daemon {
@@ -130,7 +158,13 @@ class Daemon {
   /// hello fails is kept (indices stay stable) but marked dead. Add
   /// every downstream before the first SubscribeAggregate arrives —
   /// later additions only serve aggregates created after them.
-  void add_downstream(std::unique_ptr<Client> client);
+  /// With a non-empty `factory` the leg self-heals: when its link dies,
+  /// tick() re-dials through the factory under tick-based exponential
+  /// backoff, re-handshakes, and re-subscribes every aggregate's leg so
+  /// merges reconverge to complete=1. Without a factory a dead leg
+  /// stays dead (the pre-PR-9 degraded-merge behaviour).
+  void add_downstream(std::unique_ptr<Client> client,
+                      ConnectionFactory factory = {});
 
   void poll();
   void tick();
@@ -165,6 +199,11 @@ class Daemon {
     std::uint32_t client_id = 0;
     std::uint32_t subscription_id = 0;
     bool aggregate = false;
+    /// v3 delivery sequence for THIS rider, bumped serially while the
+    /// delivery list is built (first delivered sample carries seq 1).
+    /// A resubscribe after reconnect is a new rider, so the client's
+    /// expectation of a fresh sequence holds by construction.
+    std::uint64_t seq = 0;
   };
 
   struct SharedSubscription {
@@ -191,6 +230,9 @@ class Daemon {
   struct AggregateShared {
     std::uint32_t key_id = 0;
     std::string key;
+    /// The original wire spec, kept so a healed downstream leg can be
+    /// re-subscribed verbatim.
+    AggSubscribe spec;
     std::uint32_t period_ticks = 1;
     std::size_t slot_count = 0;
     std::vector<DownstreamState> downstream;
@@ -200,6 +242,10 @@ class Daemon {
   struct Downstream {
     std::unique_ptr<Client> client;
     bool alive = false;
+    /// Self-heal policy: empty = leg stays dead once its link dies.
+    ConnectionFactory factory;
+    std::uint64_t next_retry_tick = 0;
+    std::uint64_t backoff_ticks = 1;
   };
 
   struct PendingBytes {
@@ -219,6 +265,12 @@ class Daemon {
     /// Flush-then-close: set after Close/Goodbye.
     bool closing = false;
     std::uint64_t last_activity_tick = 0;
+    // Liveness (v3 clients, when ping_interval_ticks > 0): traffic in
+    // either direction counts as proof of life; otherwise a Ping goes
+    // out and the peer has one interval per deadline to answer.
+    std::uint64_t ping_sent_tick = 0;
+    bool ping_outstanding = false;
+    std::uint32_t pings_missed = 0;
     std::deque<PendingBytes> out;
     std::map<std::uint32_t, Session> sessions;
     /// subscription_id -> shared key_id.
@@ -228,20 +280,34 @@ class Daemon {
   };
 
   /// One pending frame hand-off of the batched fan-out: copy the
-  /// template, patch bytes [5,9) with the subscription id, enqueue.
+  /// template matching the rider's protocol version, patch bytes [5,9)
+  /// with the subscription id (and, v3, the trailing 8-byte seq),
+  /// enqueue. The v2/v3 template pair exists because the v3 shapes
+  /// carry the sequence tail; a slot a rider never picks stays empty.
   struct Delivery {
     std::uint32_t client_id = 0;
     std::uint32_t subscription_id = 0;
-    std::size_t template_index = 0;
+    std::size_t template_v2 = 0;
+    std::size_t template_v3 = 0;
     bool aggregate = false;
+    std::uint64_t seq = 0;
   };
 
   void accept_pending();
   void drain_client(ClientState& client);
   void dispatch(ClientState& client, const Frame& frame);
-  void flush_client(ClientState& client);
+  /// Flush the send queue; `max_ops` bounds the number of send() calls
+  /// (0 = until done or would-block) so a byte-at-a-time peer cannot
+  /// wedge the caller.
+  void flush_client(ClientState& client, std::size_t max_ops = 0);
   void enforce_queue_cap(ClientState& client);
   void reap_closed();
+  /// Re-dial, re-handshake, and re-subscribe dead downstream legs that
+  /// have a factory and are past their backoff deadline.
+  void heal_downstreams();
+  /// Ping v3 clients that have been silent too long; drop the ones that
+  /// blew ping_max_missed deadlines.
+  void enforce_liveness();
 
   void enqueue(ClientState& client, MsgType type,
                const std::vector<std::uint8_t>& payload);

@@ -28,6 +28,8 @@ std::string_view to_string(MsgType type) noexcept {
     case MsgType::kSubscribeAggregate: return "SubscribeAggregate";
     case MsgType::kSubscribeAggregateAck: return "SubscribeAggregateAck";
     case MsgType::kAggSample: return "AggSample";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
   }
   return "?";
 }
@@ -226,11 +228,12 @@ Expected<Hello> Hello::decode(const Frame& frame) {
   return m;
 }
 
-std::vector<std::uint8_t> HelloAck::encode() const {
+std::vector<std::uint8_t> HelloAck::encode(std::uint32_t version_out) const {
   Writer w;
   w.u32(version);
   w.u32(client_id);
   w.str(server_name);
+  if (version_out >= 3) w.u64(epoch);
   return w.take();
 }
 
@@ -246,6 +249,12 @@ Expected<HelloAck> HelloAck::decode(const Frame& frame) {
   auto name = r.str();
   if (!name) return name.status();
   m.server_name = std::move(*name);
+  // v3 tail, all-or-nothing: a v1/v2 ack ends here.
+  if (r.remaining() != 0) {
+    auto epoch_field = r.u64();
+    if (!epoch_field) return epoch_field.status();
+    m.epoch = *epoch_field;
+  }
   HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "HelloAck"));
   return m;
 }
@@ -448,7 +457,7 @@ Expected<Unsubscribe> Unsubscribe::decode(const Frame& frame) {
   return m;
 }
 
-std::vector<std::uint8_t> WireSample::encode() const {
+std::vector<std::uint8_t> WireSample::encode(std::uint32_t version) const {
   Writer w;
   w.u32(subscription_id);
   w.u64(tick);
@@ -466,6 +475,7 @@ std::vector<std::uint8_t> WireSample::encode() const {
       w.i64(value);
     }
   }
+  if (version >= 3) w.u64(seq);  // LAST: patched at frame end by fan-out
   return w.take();
 }
 
@@ -513,6 +523,13 @@ Expected<WireSample> WireSample::decode(const Frame& frame) {
       slot.emplace_back(std::move(*name), static_cast<long long>(*value));
     }
     m.parts.push_back(std::move(slot));
+  }
+  // v3 tail, all-or-nothing: the slot loop consumes every v2 byte, so
+  // exactly 8 remaining bytes are the sequence number.
+  if (r.remaining() != 0) {
+    auto seq_field = r.u64();
+    if (!seq_field) return seq_field.status();
+    m.seq = *seq_field;
   }
   HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "Sample"));
   return m;
@@ -573,7 +590,7 @@ Expected<AggSubscribeAck> AggSubscribeAck::decode(const Frame& frame) {
   return m;
 }
 
-std::vector<std::uint8_t> AggSample::encode() const {
+std::vector<std::uint8_t> AggSample::encode(std::uint32_t version) const {
   Writer w;
   w.u32(subscription_id);
   w.u64(tick);
@@ -593,6 +610,7 @@ std::vector<std::uint8_t> AggSample::encode() const {
       w.i64(value);
     }
   }
+  if (version >= 3) w.u64(seq);  // LAST: patched at frame end by fan-out
   return w.take();
 }
 
@@ -646,6 +664,12 @@ Expected<AggSample> AggSample::decode(const Frame& frame) {
                                       static_cast<long long>(*value));
     }
     m.slots.push_back(std::move(slot));
+  }
+  // v3 tail, all-or-nothing (see WireSample::decode).
+  if (r.remaining() != 0) {
+    auto seq_field = r.u64();
+    if (!seq_field) return seq_field.status();
+    m.seq = *seq_field;
   }
   HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "AggSample"));
   return m;
@@ -772,6 +796,38 @@ Expected<Goodbye> Goodbye::decode(const Frame& frame) {
   if (!reason_field) return reason_field.status();
   m.reason = std::move(*reason_field);
   HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "Goodbye"));
+  return m;
+}
+
+std::vector<std::uint8_t> Ping::encode() const {
+  Writer w;
+  w.u64(token);
+  return w.take();
+}
+
+Expected<Ping> Ping::decode(const Frame& frame) {
+  Reader r = frame.reader();
+  Ping m;
+  auto token_field = r.u64();
+  if (!token_field) return token_field.status();
+  m.token = *token_field;
+  HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "Ping"));
+  return m;
+}
+
+std::vector<std::uint8_t> Pong::encode() const {
+  Writer w;
+  w.u64(token);
+  return w.take();
+}
+
+Expected<Pong> Pong::decode(const Frame& frame) {
+  Reader r = frame.reader();
+  Pong m;
+  auto token_field = r.u64();
+  if (!token_field) return token_field.status();
+  m.token = *token_field;
+  HETPAPI_RETURN_IF_ERROR(expect_exhausted(r, "Pong"));
   return m;
 }
 

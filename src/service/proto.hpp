@@ -19,12 +19,12 @@
 // Message catalogue (see DESIGN.md §9 for the full table):
 //   client -> daemon: Hello, OpenSession, AddEvents, Start, Read,
 //                     Subscribe, Unsubscribe, SubscribeAggregate (v2),
-//                     GetStats, Close
+//                     GetStats, Close, Ping (v3)
 //   daemon -> client: HelloAck, OpenSessionAck, AddEventsAck, StartAck,
 //                     ReadReply, SubscribeAck, UnsubscribeAck, Sample
 //                     (streamed), SubscribeAggregateAck (v2), AggSample
 //                     (streamed, v2), StatsReply, CloseAck, Error,
-//                     Goodbye
+//                     Goodbye, Ping/Pong (v3 liveness, either direction)
 #pragma once
 
 #include <cstdint>
@@ -38,9 +38,12 @@ namespace hetpapi::service {
 
 /// Bumped on any wire change. v2 adds the aggregation verbs
 /// (SubscribeAggregate / SubscribeAggregateAck / AggSample) and the
-/// StatsReply sharding/aggregation tail; everything a v1 client speaks
+/// StatsReply sharding/aggregation tail; v3 adds the self-healing
+/// machinery — Ping/Pong liveness, the HelloAck session epoch, and a
+/// per-subscription sequence tail on Sample/AggSample so a resumed
+/// client measures its gap exactly. Everything a v1/v2 client speaks
 /// is unchanged on the wire.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
 
 /// Oldest version the daemon still serves. A v1 client negotiates down
 /// in HelloAck and sees exactly the v1 message shapes.
@@ -76,6 +79,9 @@ enum class MsgType : std::uint8_t {
   kSubscribeAggregate = 22,
   kSubscribeAggregateAck = 23,
   kAggSample = 24,
+  // v3 liveness verbs (either direction; the peer echoes the token).
+  kPing = 25,
+  kPong = 26,
 };
 
 /// Stable, test-visible name for a message type ("?" when unknown).
@@ -225,8 +231,15 @@ struct HelloAck {
   std::uint32_t version = kProtocolVersion;
   std::uint32_t client_id = 0;
   std::string server_name;
+  /// v3 tail: the daemon's session epoch. A reconnecting client
+  /// compares epochs — same epoch means the same daemon process, so
+  /// tick-based gap accounting across the reconnect is exact; a changed
+  /// epoch means the daemon restarted and the gap is unknowable.
+  /// encode(<=2) omits the field; decode accepts both lengths.
+  std::uint64_t epoch = 0;
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(
+      std::uint32_t version_out = kProtocolVersion) const;
   static Expected<HelloAck> decode(const Frame& frame);
 };
 
@@ -330,8 +343,15 @@ struct WireSample {
   /// Per-slot constituent breakdown, flattened as (name, value) pairs
   /// per slot; empty unless the subscription asked for qualified reads.
   std::vector<std::vector<std::pair<std::string, long long>>> parts;
+  /// v3 tail: per-subscription delivery sequence number, starting at 1
+  /// and incremented per delivered sample. Encoded LAST so the daemon's
+  /// template fan-out can patch it at frame end (like subscription_id
+  /// at bytes [5,9)) and so the v2 shape is a strict prefix. encode(<=2)
+  /// omits it; decode accepts both lengths.
+  std::uint64_t seq = 0;
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
   static Expected<WireSample> decode(const Frame& frame);
 };
 
@@ -391,8 +411,11 @@ struct AggSample {
   /// merge proceeded with a subset (a downstream was stale or dead).
   std::uint8_t complete = 1;
   std::vector<SlotStats> slots;  // one per subscribed event
+  /// v3 tail: per-subscription delivery sequence (see WireSample::seq).
+  std::uint64_t seq = 0;
 
-  std::vector<std::uint8_t> encode() const;
+  std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
   static Expected<AggSample> decode(const Frame& frame);
 };
 
@@ -459,6 +482,24 @@ struct Goodbye {
 
   std::vector<std::uint8_t> encode() const;
   static Expected<Goodbye> decode(const Frame& frame);
+};
+
+/// v3 liveness probe. Either side may ping; the peer echoes the token
+/// in a Pong. The daemon drops a client that leaves N pings unanswered
+/// (the half-dead peer with live subscriptions the idle timeout never
+/// catches).
+struct Ping {
+  std::uint64_t token = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Expected<Ping> decode(const Frame& frame);
+};
+
+struct Pong {
+  std::uint64_t token = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static Expected<Pong> decode(const Frame& frame);
 };
 
 }  // namespace hetpapi::service

@@ -27,6 +27,7 @@
 #include "papi/sim_backend.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "service/faulty_transport.hpp"
 #include "service/proto.hpp"
 #include "service/stats_report.hpp"
 #include "service/transport.hpp"
@@ -592,6 +593,254 @@ TEST(ServiceAggregatorChaos, MultiShardLeafSoakUnderMixedFaultsLeaksNothing) {
   EXPECT_EQ(leaf.sim->open_fd_count(), 0u);
   EXPECT_GT(leaf.injector->stats().total_injected(), 0u)
       << "the profile actually fired";
+}
+
+// --- self-healing: severed legs re-dial and merges reconverge ---------------
+
+/// Node wired by hand so each downstream leg dials through its own
+/// FaultyTransport and a factory that refuses while an outage flag is
+/// up — the scripted kill-and-restore the self-heal machinery must
+/// survive.
+struct HealableNode {
+  std::unique_ptr<SimKernel> kernel;
+  std::unique_ptr<SimBackend> sim;
+  std::unique_ptr<LoopbackTransport> transport;
+  std::unique_ptr<Daemon> daemon;
+
+  Status init(DaemonConfig dconfig = {}) {
+    kernel = std::make_unique<SimKernel>(cpumodel::raptor_lake_i7_13700());
+    sim = std::make_unique<SimBackend>(kernel.get());
+    transport = std::make_unique<LoopbackTransport>();
+    daemon = std::make_unique<Daemon>(kernel.get(), sim.get(),
+                                      std::move(dconfig));
+    if (Status s = daemon->init(); !s.is_ok()) return s;
+    daemon->add_listener(transport->listener());
+    transport->set_pump([this] { daemon->poll(); });
+    return Status::ok();
+  }
+
+  Status add_leg(Leaf* leaf, FaultyTransport* faulty, const bool* down) {
+    ConnectionFactory dial = [leaf, faulty,
+                              down]() -> Expected<std::unique_ptr<Connection>> {
+      if (down != nullptr && *down) {
+        return make_error(StatusCode::kNotRunning, "leaf unreachable (outage)");
+      }
+      return faulty->wrap(leaf->transport->connect());
+    };
+    auto first = dial();
+    if (!first.has_value()) return first.status();
+    daemon->add_downstream(std::make_unique<Client>(std::move(*first)), dial);
+    return Status::ok();
+  }
+
+  Client connect(const std::string& name) {
+    Client client(transport->connect());
+    EXPECT_TRUE(client.hello(name).is_ok()) << name;
+    return client;
+  }
+};
+
+TEST(ServiceSelfHealChaos, SeveredTreeLegsRedialAndMergesReconvergeExactly) {
+  Leaf fast, slow;
+  ASSERT_TRUE(fast.init().is_ok());
+  ASSERT_TRUE(slow.init().is_ok());
+  ASSERT_EQ(fast.tid, slow.tid) << "deterministic spawn order";
+
+  FaultyTransport fast_link(*TransportFaultProfile::named("none"), 11);
+  FaultyTransport slow_link(*TransportFaultProfile::named("none"), 12);
+  bool fast_down = false, slow_down = false;
+
+  HealableNode node;
+  DaemonConfig node_config;
+  node_config.shards = 4;
+  ASSERT_TRUE(node.init(node_config).is_ok());
+  ASSERT_TRUE(node.add_leg(&fast, &fast_link, &fast_down).is_ok());
+  ASSERT_TRUE(node.add_leg(&slow, &slow_link, &slow_down).is_ok());
+  ASSERT_EQ(node.daemon->downstream_count(), 2u);
+
+  // Direct qualified riders on each leaf keep the coalesced EventSets
+  // alive across leg outages, so post-heal downstream values stay
+  // comparable to the direct streams — the exact-truth reference.
+  Client ref_fast(fast.transport->connect());
+  ASSERT_TRUE(ref_fast.hello("ref-fast").is_ok());
+  Client ref_slow(slow.transport->connect());
+  ASSERT_TRUE(ref_slow.hello("ref-slow").is_ok());
+  Subscribe qualified;
+  qualified.target_kind = TargetKind::kThread;
+  qualified.target = fast.tid;
+  qualified.events = {"PAPI_TOT_INS", "PAPI_TOT_CYC"};
+  qualified.qualified = 1;
+  ASSERT_TRUE(ref_fast.subscribe(qualified).has_value());
+  ASSERT_TRUE(ref_slow.subscribe(qualified).has_value());
+
+  Client watcher = node.connect("watcher");
+  auto sub = watcher.subscribe_aggregate(agg_spec(fast.tid));
+  ASSERT_TRUE(sub.has_value()) << sub.status().message();
+  EXPECT_EQ(sub->fanin, 2u);
+
+  // One step = both leaves tick (at different rates, so their values
+  // diverge and a merged sum identifies its contributors), then the
+  // node. Every merged sample is checked against the direct streams:
+  // count==2 must equal fast+slow exactly, count==1 must equal exactly
+  // one of them, count==0 must be an all-zero placeholder.
+  bool saw_complete = false;
+  auto step = [&]() {
+    fast.tick(20);
+    slow.tick(10);
+    node.daemon->tick();
+    const auto fs = ref_fast.take_samples();
+    const auto ss = ref_slow.take_samples();
+    ASSERT_EQ(fs.size(), 1u);
+    ASSERT_EQ(ss.size(), 1u);
+    (void)watcher.pump_once();
+    const auto merged = watcher.take_agg_samples();
+    ASSERT_LE(merged.size(), 1u);
+    saw_complete = false;
+    for (const AggSample& m : merged) {
+      ASSERT_EQ(m.slots.size(), 2u);
+      const auto count = m.slots[0].count;
+      bool is_fast = true, is_slow = true, is_both = true;
+      for (std::size_t s = 0; s < m.slots.size(); ++s) {
+        const long long vf = fs[0].values[s];
+        const long long vs = ss[0].values[s];
+        is_fast = is_fast && m.slots[s].sum == vf;
+        is_slow = is_slow && m.slots[s].sum == vs;
+        is_both = is_both && m.slots[s].sum == vf + vs;
+        EXPECT_EQ(m.slots[s].count, count) << "slot counts agree";
+      }
+      if (count == 2) {
+        EXPECT_TRUE(is_both) << "merged sum != fast + slow, exactly";
+        EXPECT_EQ(m.complete, 1);
+        saw_complete = m.complete == 1;
+      } else if (count == 1) {
+        EXPECT_TRUE(is_fast || is_slow)
+            << "a lone contribution must equal one direct stream exactly";
+        EXPECT_EQ(m.complete, 0);
+      } else {
+        EXPECT_EQ(count, 0u);
+        EXPECT_EQ(m.complete, 0);
+      }
+    }
+  };
+  auto recover_until_complete = [&](int budget) {
+    for (int i = 0; i < budget && !saw_complete; ++i) step();
+    EXPECT_TRUE(saw_complete) << "merges never reconverged to complete=1";
+  };
+
+  // Healthy baseline: every step merges both legs, exactly.
+  for (int t = 0; t < 3; ++t) {
+    step();
+    EXPECT_TRUE(saw_complete) << "healthy step " << t;
+  }
+
+  // Kill the fast leg: the sibling keeps flowing, merges degrade to
+  // exactly the slow direct stream, never stall, never mix in stale
+  // pre-outage fast values.
+  fast_down = true;
+  fast_link.sever_all();
+  for (int t = 0; t < 3; ++t) {
+    step();
+    EXPECT_FALSE(saw_complete) << "fast leg is down";
+  }
+  // Restore it: the node's backoff re-dial heals the leg and merges
+  // reconverge to complete=1 with exact two-leg sums.
+  fast_down = false;
+  recover_until_complete(20);
+  EXPECT_GE(node.daemon->stats().downstream_reheals, 1u);
+
+  // Same kill-and-restore for the slow leg.
+  slow_down = true;
+  slow_link.sever_all();
+  for (int t = 0; t < 3; ++t) {
+    step();
+    EXPECT_FALSE(saw_complete) << "slow leg is down";
+  }
+  slow_down = false;
+  recover_until_complete(20);
+  EXPECT_GE(node.daemon->stats().downstream_reheals, 2u);
+
+  // Total outage: both legs die, the merge stream must degrade (or go
+  // quiet) without crashing or stalling the daemon, then heal fully.
+  fast_down = slow_down = true;
+  fast_link.sever_all();
+  slow_link.sever_all();
+  for (int t = 0; t < 3; ++t) {
+    step();
+    EXPECT_FALSE(saw_complete) << "everything is down";
+  }
+  fast_down = slow_down = false;
+  recover_until_complete(30);
+  EXPECT_GE(node.daemon->stats().downstream_reheals, 4u);
+  EXPECT_GE(node.daemon->stats().reconnects, 4u);
+
+  // Post-heal steady state: exact two-leg merges, every step.
+  for (int t = 0; t < 3; ++t) {
+    step();
+    EXPECT_TRUE(saw_complete) << "post-heal step " << t;
+  }
+
+  // Teardown oracles: zero leaked fds on every backend, zero wrapped
+  // endpoints still open once the node's downstream clients are gone.
+  node.daemon->shutdown();
+  fast.daemon->shutdown();
+  slow.daemon->shutdown();
+  EXPECT_EQ(fast.open_fds(), 0u);
+  EXPECT_EQ(slow.open_fds(), 0u);
+  EXPECT_EQ(node.sim->open_fd_count(), 0u);
+  node.daemon.reset();
+  EXPECT_EQ(fast_link.open_connection_count(), 0u);
+  EXPECT_EQ(slow_link.open_connection_count(), 0u);
+}
+
+TEST(ServiceSelfHealChaos, MixedWireAndBackendFaultsSoakCleanly) {
+  // The full gauntlet: one leaf's backend injects transient read
+  // faults while BOTH tree legs run through the mixed wire profile
+  // (short/zero writes, EAGAIN bursts, random disconnects, half-closes,
+  // stalls). The tree must keep making progress — severed legs re-dial
+  // under backoff — and every ledger must read clean afterwards.
+  Leaf flaky, healthy;
+  ASSERT_TRUE(flaky.init("transient-read", /*fault_seed=*/7).is_ok());
+  ASSERT_TRUE(healthy.init().is_ok());
+
+  FaultyTransport links(*TransportFaultProfile::named("mixed"), 29);
+  HealableNode node;
+  DaemonConfig node_config;
+  node_config.shards = 4;
+  ASSERT_TRUE(node.init(node_config).is_ok());
+  ASSERT_TRUE(node.add_leg(&flaky, &links, nullptr).is_ok());
+  ASSERT_TRUE(node.add_leg(&healthy, &links, nullptr).is_ok());
+
+  Client watcher = node.connect("watcher");
+  auto sub = watcher.subscribe_aggregate(agg_spec(healthy.tid));
+  ASSERT_TRUE(sub.has_value()) << sub.status().message();
+
+  constexpr int kSteps = 40;
+  std::size_t received = 0;
+  for (int t = 0; t < kSteps; ++t) {
+    flaky.tick(10);
+    healthy.tick(10);
+    node.daemon->tick();
+    (void)watcher.pump_once();
+    for (const AggSample& m : watcher.take_agg_samples()) {
+      ++received;
+      ASSERT_FALSE(m.slots.empty());
+    }
+  }
+  // Progress, not perfection: wire and backend faults may cost some
+  // ticks, but the stream never stalls outright.
+  EXPECT_GE(received, static_cast<std::size_t>(kSteps) / 2);
+  EXPECT_GT(links.total_injected(), 0u) << "the wire profile actually fired";
+
+  node.daemon->shutdown();
+  flaky.daemon->shutdown();
+  healthy.daemon->shutdown();
+  EXPECT_EQ(flaky.open_fds(), 0u) << "leaked: "
+      << testing::PrintToString(flaky.injector->leaked_fds());
+  EXPECT_EQ(flaky.sim->open_fd_count(), 0u);
+  EXPECT_EQ(healthy.open_fds(), 0u);
+  EXPECT_EQ(node.sim->open_fd_count(), 0u);
+  node.daemon.reset();
+  EXPECT_EQ(links.open_connection_count(), 0u);
 }
 
 }  // namespace

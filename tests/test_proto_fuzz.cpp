@@ -17,7 +17,7 @@
 //      are then thrown at every decoder) or poisons the reader; both
 //      are fine, crashing is not.
 //
-// Case volume: kRounds rounds x (22 message shapes x 3 mutations)
+// Case volume: kRounds rounds x (24 message shapes x 3 mutations)
 // plus the stream soup — comfortably past 10k cases per run.
 #include <gtest/gtest.h>
 
@@ -40,7 +40,7 @@ using namespace hetpapi::service;
 using Bytes = std::vector<std::uint8_t>;
 using Rng = std::mt19937_64;
 
-constexpr int kRounds = 160;  // 160 * 22 * 3 = 10560 mutation cases
+constexpr int kRounds = 160;  // 160 * 24 * 3 = 11520 mutation cases
 
 std::string rand_str(Rng& rng) {
   std::string s;
@@ -107,7 +107,7 @@ std::optional<Bytes> redecode(const Frame& frame) {
   return m->encode();
 }
 
-/// StatsReply is the one two-shape message: decode accepts the v1 and
+/// StatsReply is a two-shape message: decode accepts the v1 and
 /// v2 lengths, so the canonical re-encode tries both versions.
 std::optional<Bytes> redecode_stats(const Frame& frame) {
   auto m = StatsReply::decode(frame);
@@ -115,6 +115,18 @@ std::optional<Bytes> redecode_stats(const Frame& frame) {
   Bytes v2 = m->encode(2);
   if (v2 == frame.payload) return v2;
   return m->encode(1);
+}
+
+/// HelloAck / WireSample / AggSample grew a v3 tail (epoch / sequence),
+/// so decode accepts both the v2-prefix and v3 shapes; the canonical
+/// re-encode tries the v3 rendition first and falls back to v2.
+template <typename M>
+std::optional<Bytes> redecode_v2_v3(const Frame& frame) {
+  auto m = M::decode(frame);
+  if (!m.has_value()) return std::nullopt;
+  Bytes v3 = m->encode(3);
+  if (v3 == frame.payload) return v3;
+  return m->encode(2);
 }
 
 struct Shape {
@@ -138,9 +150,11 @@ const Shape kShapes[] = {
        m.version = static_cast<std::uint32_t>(rng());
        m.client_id = static_cast<std::uint32_t>(rng());
        m.server_name = rand_str(rng);
-       return m.encode();
+       m.epoch = rng();
+       // Both wire shapes fuzz: the bare v2 body and the v3 epoch tail.
+       return m.encode(rng() % 2 == 0 ? 2 : 3);
      },
-     &redecode<HelloAck>},
+     &redecode_v2_v3<HelloAck>},
     {MsgType::kOpenSession,
      [](Rng& rng) {
        OpenSession m;
@@ -232,9 +246,11 @@ const Shape kShapes[] = {
        m.package_power_w = rand_f64(rng);
        const std::size_t slots = rng() % 3;
        for (std::size_t i = 0; i < slots; ++i) m.parts.push_back(rand_parts(rng));
-       return m.encode();
+       m.seq = rng();
+       // Both wire shapes fuzz: with and without the v3 sequence tail.
+       return m.encode(rng() % 2 == 0 ? 2 : 3);
      },
-     &redecode<WireSample>},
+     &redecode_v2_v3<WireSample>},
     {MsgType::kSubscribeAggregate,
      [](Rng& rng) {
        AggSubscribe m;
@@ -273,9 +289,11 @@ const Shape kShapes[] = {
          slot.per_core_type = rand_parts(rng);
          m.slots.push_back(std::move(slot));
        }
-       return m.encode();
+       m.seq = rng();
+       // Both wire shapes fuzz: with and without the v3 sequence tail.
+       return m.encode(rng() % 2 == 0 ? 2 : 3);
      },
-     &redecode<AggSample>},
+     &redecode_v2_v3<AggSample>},
     {MsgType::kGetStats, [](Rng&) { return GetStats{}.encode(); },
      &redecode<GetStats>},
     {MsgType::kStatsReply,
@@ -320,6 +338,20 @@ const Shape kShapes[] = {
        return m.encode();
      },
      &redecode<Goodbye>},
+    {MsgType::kPing,
+     [](Rng& rng) {
+       Ping m;
+       m.token = rng();
+       return m.encode();
+     },
+     &redecode<Ping>},
+    {MsgType::kPong,
+     [](Rng& rng) {
+       Pong m;
+       m.token = rng();
+       return m.encode();
+     },
+     &redecode<Pong>},
 };
 
 /// Pull the payload back out through the framing layer, proving the
@@ -368,7 +400,8 @@ TEST(ProtoFuzz, TruncationsNeverCrashAndNeverDecodeNonCanonically) {
       const auto reencoded = shape.redec(frame);
       if (reencoded.has_value()) {
         // Only acceptable when the truncation landed exactly on a
-        // shorter valid wire shape (StatsReply's v1 boundary).
+        // shorter valid wire shape (StatsReply's v1 boundary, or the
+        // v2 prefix of a v3 HelloAck/Sample/AggSample).
         EXPECT_EQ(*reencoded, frame.payload);
       }
     }

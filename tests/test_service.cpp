@@ -746,6 +746,211 @@ TEST(ServiceRobustness, ChunkedTransportDeliveryStillWorks) {
   EXPECT_TRUE(client.close().is_ok());
 }
 
+// --- session edges (PR 9: self-healing fabric) ------------------------------
+
+TEST(ServiceRobustness, GoodbyeArrivingMidRpcFailsTheRpcCleanly) {
+  Harness h;
+  ASSERT_TRUE(h.init().is_ok());
+  Client client = h.connect("midrpc");
+  Subscribe spec;
+  spec.target_kind = TargetKind::kThread;
+  spec.target = h.tid;
+  spec.events = {"PAPI_TOT_INS"};
+  ASSERT_TRUE(client.subscribe(spec).has_value());
+
+  // Arm the pump: the next time the client touches the transport, the
+  // daemon shuts down instead of serving — the RPC's reply slot is
+  // filled by a Goodbye.
+  bool armed = true;
+  h.transport->set_pump([&] {
+    if (armed) {
+      armed = false;
+      h.daemon->shutdown();
+      return;
+    }
+    h.daemon->poll();
+  });
+  auto st = client.stats();
+  ASSERT_FALSE(st.has_value());
+  EXPECT_EQ(st.status().code(), StatusCode::kNotRunning);
+  EXPECT_NE(st.status().message().find("goodbye"), std::string::npos)
+      << st.status().message();
+  EXPECT_EQ(client.goodbye_reason(), "daemon shutting down");
+  EXPECT_EQ(h.backend->open_fd_count(), 0u);
+}
+
+TEST(ServiceRobustness, SlowClientDropReleasesItsAggregateRider) {
+  Harness h;
+  DaemonConfig config;
+  config.max_client_queue_frames = 4;
+  ASSERT_TRUE(h.init(config).is_ok());
+  Client keeper = h.connect("keeper");  // connection index 0
+  Client doomed = h.connect("doomed");  // connection index 1
+
+  AggSubscribe agg;
+  agg.target_kind = TargetKind::kThread;
+  agg.target = h.tid;
+  agg.events = {"PAPI_TOT_INS", "PAPI_TOT_CYC"};
+  auto keeper_agg = keeper.subscribe_aggregate(agg);
+  ASSERT_TRUE(keeper_agg.has_value()) << keeper_agg.status().message();
+  auto doomed_agg = doomed.subscribe_aggregate(agg);
+  ASSERT_TRUE(doomed_agg.has_value());
+  EXPECT_EQ(doomed_agg->shared_key_id, keeper_agg->shared_key_id);
+  Subscribe direct;
+  direct.target_kind = TargetKind::kThread;
+  direct.target = h.tids[1];
+  direct.events = {"PAPI_TOT_INS"};
+  ASSERT_TRUE(doomed.subscribe(direct).has_value());
+  EXPECT_EQ(h.daemon->distinct_subscription_count(), 2u);
+
+  h.transport->set_client_paused(1, true);
+  for (int t = 0; t < 8; ++t) {
+    h.advance_and_tick();
+    (void)keeper.pump_once();
+  }
+  EXPECT_EQ(h.daemon->stats().clients_dropped_slow, 1u);
+  EXPECT_EQ(h.daemon->client_count(), 1u);
+  // Everything the dropped client held is released: its direct
+  // subscription's EventSet torn down, its aggregate ride detached —
+  // only the keeper's rider remains on the coalesced aggregate.
+  EXPECT_EQ(h.daemon->distinct_subscription_count(), 1u);
+  EXPECT_EQ(h.daemon->total_subscriber_count(), 1u);
+
+  // The surviving rider keeps streaming.
+  (void)keeper.take_agg_samples();
+  h.advance_and_tick();
+  (void)keeper.pump_once();
+  EXPECT_FALSE(keeper.take_agg_samples().empty());
+  EXPECT_TRUE(keeper.goodbye_reason().empty());
+}
+
+TEST(ServiceRobustness, LivenessPingsDropAHalfOpenClientButSpareTheResponsive) {
+  Harness h;
+  DaemonConfig config;
+  config.ping_interval_ticks = 2;
+  config.ping_max_missed = 2;
+  ASSERT_TRUE(h.init(config).is_ok());
+  Client responsive = h.connect("responsive");
+  Client silent = h.connect("silent");
+
+  Subscribe spec;
+  spec.target_kind = TargetKind::kThread;
+  spec.target = h.tid;
+  spec.events = {"PAPI_TOT_INS"};
+  ASSERT_TRUE(responsive.subscribe(spec).has_value());
+  // The half-open peer holds a subscription — liveness must drop it
+  // anyway, or a dead connection pins an EventSet forever.
+  ASSERT_TRUE(silent.subscribe(spec).has_value());
+
+  for (int t = 0; t < 14; ++t) {
+    h.advance_and_tick();
+    // Explicit poll: the daemon must drain the Pong answers (the pump
+    // hook only fires when the client's pipe is empty, and the sample
+    // stream keeps it full).
+    h.daemon->poll();
+    // The responsive client pumps every tick, which also answers Pings.
+    (void)responsive.pump_once();
+  }
+  EXPECT_EQ(h.daemon->stats().clients_dropped_liveness, 1u);
+  EXPECT_GE(h.daemon->stats().pings_missed, 2u);
+  EXPECT_EQ(h.daemon->client_count(), 1u);
+
+  // The buffered Goodbye names the cause.
+  while (silent.pump_once()) {
+  }
+  EXPECT_NE(silent.goodbye_reason().find("liveness"), std::string::npos)
+      << silent.goodbye_reason();
+
+  // The responsive client never got dropped and still streams.
+  EXPECT_TRUE(responsive.goodbye_reason().empty());
+  (void)responsive.take_samples();
+  h.advance_and_tick();
+  h.daemon->poll();
+  (void)responsive.pump_once();
+  EXPECT_FALSE(responsive.take_samples().empty());
+}
+
+TEST(ServiceRobustness, AdmissionRefusesClientsBeyondMaxClients) {
+  Harness h;
+  DaemonConfig config;
+  config.max_clients = 1;
+  ASSERT_TRUE(h.init(config).is_ok());
+  Client first = h.connect("first");
+
+  Client second(h.transport->connect());
+  Status st = second.hello("second");
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), StatusCode::kOverloaded);
+  EXPECT_EQ(h.daemon->stats().overload_rejections, 1u);
+  EXPECT_EQ(h.daemon->client_count(), 1u);
+  while (second.pump_once()) {
+  }
+  EXPECT_NE(second.goodbye_reason().find("overloaded"), std::string::npos)
+      << second.goodbye_reason();
+
+  // The admitted client is unaffected, and its departure frees the slot.
+  ASSERT_TRUE(first.stats().has_value());
+  EXPECT_TRUE(first.close().is_ok());
+  h.daemon->poll();
+  Client third = h.connect("third");
+  EXPECT_TRUE(third.stats().has_value());
+}
+
+TEST(ServiceRobustness, AdmissionRefusesSubscriptionsBeyondMaxSubscriptions) {
+  Harness h;
+  DaemonConfig config;
+  config.max_subscriptions = 1;
+  ASSERT_TRUE(h.init(config).is_ok());
+  Client client = h.connect("capped");
+
+  Subscribe spec;
+  spec.target_kind = TargetKind::kThread;
+  spec.target = h.tid;
+  spec.events = {"PAPI_TOT_INS"};
+  auto first = client.subscribe(spec);
+  ASSERT_TRUE(first.has_value()) << first.status().message();
+
+  Subscribe over = spec;
+  over.target = h.tids[1];
+  auto refused = client.subscribe(over);
+  ASSERT_FALSE(refused.has_value());
+  EXPECT_EQ(refused.status().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(h.daemon->stats().overload_rejections, 1u);
+
+  // Unsubscribing frees capacity.
+  ASSERT_TRUE(client.unsubscribe(first->subscription_id).is_ok());
+  EXPECT_TRUE(client.subscribe(over).has_value());
+}
+
+TEST(ServiceRobustness, ShutdownFlushIsBoundedForAWedgedClient) {
+  Harness h;
+  DaemonConfig config;
+  config.shutdown_max_flush_ops = 2;
+  ASSERT_TRUE(h.init(config).is_ok());
+  Client fine = h.connect("fine");      // connection index 0
+  Client wedged = h.connect("wedged");  // connection index 1
+  Subscribe spec;
+  spec.target_kind = TargetKind::kThread;
+  spec.target = h.tid;
+  spec.events = {"PAPI_TOT_INS"};
+  ASSERT_TRUE(wedged.subscribe(spec).has_value());
+
+  // Let frames pile up behind a peer that stops accepting bytes.
+  h.transport->set_client_paused(1, true);
+  for (int t = 0; t < 4; ++t) h.advance_and_tick();
+
+  // Bounded: shutdown() must return even though the wedged pipe will
+  // never drain, and must still leak nothing.
+  h.daemon->shutdown();
+  EXPECT_EQ(h.daemon->client_count(), 0u);
+  EXPECT_EQ(h.backend->open_fd_count(), 0u);
+
+  // The healthy client still got its farewell.
+  while (fine.pump_once()) {
+  }
+  EXPECT_EQ(fine.goodbye_reason(), "daemon shutting down");
+}
+
 // --- determinism -----------------------------------------------------------
 
 std::vector<std::vector<std::uint8_t>> run_stream_scenario(

@@ -12,7 +12,9 @@
 //       same-spec/64 baseline (reads_per_client_read no worse), and
 //       every cell's p99 sample-retrieval latency must stay within
 //       `tolerance` times the baseline's p99 (default 2.0) — i.e. flat
-//       as clients and shards scale.
+//       as clients and shards scale. A churn/* cell must be present:
+//       session churn (connects, vanishing sockets, reaps) must not
+//       move the steady riders' p99 either.
 //
 // Both guards are relative, not absolute: nanosecond thresholds would
 // tie the check to one machine; ratios tie it to the code.
@@ -123,6 +125,19 @@ int check_daemon_load(const std::string& json, const std::string& path,
   }
   if (baseline == nullptr) {
     std::fprintf(stderr, "bench_check: baseline cell same-spec/64 missing from %s\n",
+                 path.c_str());
+    return 2;
+  }
+  // The self-healing fabric's churn guard rides the same p99 check as
+  // every other cell — but the cell must exist, or session churn is
+  // silently unguarded.
+  bool have_churn = false;
+  for (const LoadCell& cell : cells) {
+    if (cell.label.rfind("churn/", 0) == 0) have_churn = true;
+  }
+  if (!have_churn) {
+    std::fprintf(stderr,
+                 "bench_check: churn cell (churn/*) missing from %s\n",
                  path.c_str());
     return 2;
   }

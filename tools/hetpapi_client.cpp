@@ -53,6 +53,7 @@ struct Options {
   int aggregate = 0;       // monitor: leaf daemons under an aggregator
   bool stats = false;      // monitor: render the final statistics table
   int shards = 1;          // daemon fan-out shards
+  bool reconnect = false;  // auto-reconnect across transport loss
 };
 
 [[noreturn]] void usage() {
@@ -68,7 +69,9 @@ struct Options {
       "  --qualified   monitor: stream per-PMU constituent values\n"
       "  --aggregate N monitor: aggregate N leaf daemons under one node\n"
       "  --stats       monitor: render the final min/max/avg/stddev table\n"
-      "  --shards S    daemon fan-out shards (default 1)\n");
+      "  --shards S    daemon fan-out shards (default 1)\n"
+      "  --reconnect   re-dial, re-handshake and resubscribe when the\n"
+      "                transport dies (exits non-zero otherwise)\n");
   std::exit(2);
 }
 
@@ -85,6 +88,10 @@ Options parse_options(int argc, char** argv) {
     }
     if (arg == "--stats") {
       opts.stats = true;
+      continue;
+    }
+    if (arg == "--reconnect") {
+      opts.reconnect = true;
       continue;
     }
     if (i + 1 >= argc) usage();
@@ -122,6 +129,34 @@ cpumodel::MachineSpec machine_by_name(const std::string& name) {
   return machine.has_value() ? *machine : cpumodel::raptor_lake_i7_13700();
 }
 
+/// A daemon farewell ends the run: surface the reason once so the
+/// operator knows WHY the stream stopped (idle, slow, liveness,
+/// shutdown, overload) instead of silently getting fewer samples. With
+/// --reconnect the run continues (the client heals on its next op);
+/// without it the caller exits non-zero.
+bool report_goodbye(Client& client, bool& reported) {
+  if (client.goodbye_reason().empty() || reported) {
+    return !client.goodbye_reason().empty();
+  }
+  reported = true;
+  std::fprintf(stderr, "daemon said goodbye: %s\n",
+               client.goodbye_reason().c_str());
+  return true;
+}
+
+void print_resume_stats(const Client& client) {
+  const service::ResumeStats& rs = client.resume_stats();
+  std::printf(
+      "reconnect: %llu resumes over %llu dials, %llu gaps (%llu samples "
+      "missed), %llu unknown gaps, %llu epoch changes\n",
+      static_cast<unsigned long long>(rs.reconnects),
+      static_cast<unsigned long long>(rs.attempts),
+      static_cast<unsigned long long>(rs.gaps),
+      static_cast<unsigned long long>(rs.samples_missed),
+      static_cast<unsigned long long>(rs.unknown_gaps),
+      static_cast<unsigned long long>(rs.epoch_changes));
+}
+
 /// The in-process serving stack: daemon + sim workload over loopback.
 struct Stack {
   std::unique_ptr<simkernel::SimKernel> kernel;
@@ -153,6 +188,12 @@ struct Stack {
 
 int run_stat(Stack& stack, const Options& opts) {
   Client client(stack.transport->connect());
+  if (opts.reconnect) {
+    client.enable_reconnect(
+        [&stack]() -> Expected<std::unique_ptr<service::Connection>> {
+          return stack.transport->connect();
+        });
+  }
   if (const Status s = client.hello("hetpapi_client"); !s.is_ok()) {
     std::fprintf(stderr, "hello: %s\n", s.to_string().c_str());
     return 1;
@@ -192,6 +233,12 @@ int run_stat(Stack& stack, const Options& opts) {
 
 int run_monitor(Stack& stack, const Options& opts) {
   Client client(stack.transport->connect());
+  if (opts.reconnect) {
+    client.enable_reconnect(
+        [&stack]() -> Expected<std::unique_ptr<service::Connection>> {
+          return stack.transport->connect();
+        });
+  }
   if (const Status s = client.hello("hetpapi_client"); !s.is_ok()) {
     std::fprintf(stderr, "hello: %s\n", s.to_string().c_str());
     return 1;
@@ -210,9 +257,11 @@ int run_monitor(Stack& stack, const Options& opts) {
   std::printf("monitoring %s (subscription %u, shared key %u, period %d)\n",
               opts.machine.c_str(), ack->subscription_id, ack->shared_key_id,
               opts.period);
+  bool goodbye_reported = false;
   for (int t = 0; t < opts.ticks; ++t) {
     stack.kernel->run_for(std::chrono::milliseconds(10));
     stack.daemon->tick();
+    if (report_goodbye(client, goodbye_reported) && !opts.reconnect) return 1;
     for (const service::WireSample& sample : client.take_samples()) {
       std::printf("tick %llu t=%.3fs:",
                   static_cast<unsigned long long>(sample.tick),
@@ -239,6 +288,8 @@ int run_monitor(Stack& stack, const Options& opts) {
         static_cast<unsigned long long>(stats->backend_reads),
         static_cast<unsigned long long>(stats->samples_delivered));
   }
+  if (opts.reconnect) print_resume_stats(client);
+  if (report_goodbye(client, goodbye_reported) && !opts.reconnect) return 1;
   static_cast<void>(client.close());
   return 0;
 }
@@ -300,6 +351,12 @@ struct AggTree {
 
 int run_aggregate(AggTree& tree, const Options& opts) {
   Client client(tree.node_transport->connect());
+  if (opts.reconnect) {
+    client.enable_reconnect(
+        [&tree]() -> Expected<std::unique_ptr<service::Connection>> {
+          return tree.node_transport->connect();
+        });
+  }
   if (const Status s = client.hello("hetpapi_client"); !s.is_ok()) {
     std::fprintf(stderr, "hello: %s\n", s.to_string().c_str());
     return 1;
@@ -323,8 +380,10 @@ int run_aggregate(AggTree& tree, const Options& opts) {
       opts.period);
   service::AggSample last;
   bool have_sample = false;
+  bool goodbye_reported = false;
   for (int t = 0; t < opts.ticks; ++t) {
     tree.tick(std::chrono::milliseconds(10));
+    if (report_goodbye(client, goodbye_reported) && !opts.reconnect) return 1;
     for (const service::AggSample& sample : client.take_agg_samples()) {
       std::printf("tick %llu t=%.3fs%s:",
                   static_cast<unsigned long long>(sample.tick),
@@ -352,6 +411,8 @@ int run_aggregate(AggTree& tree, const Options& opts) {
         stats->agg_subscriptions,
         static_cast<unsigned long long>(stats->agg_samples_delivered));
   }
+  if (opts.reconnect) print_resume_stats(client);
+  if (report_goodbye(client, goodbye_reported) && !opts.reconnect) return 1;
   static_cast<void>(client.close());
   return 0;
 }
