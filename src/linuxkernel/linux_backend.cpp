@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <linux/perf_event.h>
+#include <poll.h>
 #include <sys/ioctl.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
@@ -197,11 +198,36 @@ Expected<int> LinuxBackend::perf_event_open(const papi::PerfEventAttr& attr,
   if (attr.read_format & simkernel::kFormatTotalTimeRunning) {
     native.read_format |= PERF_FORMAT_TOTAL_TIME_RUNNING;
   }
+  std::uint64_t sample_type = 0;
+  if (attr.sample_period > 0) {
+    native.sample_period = attr.sample_period;
+    native.wakeup_events = attr.wakeup_events;
+    sample_type =
+        attr.sample_type != 0 ? attr.sample_type : simkernel::kSampleTypeDefault;
+    // Our SampleType constants are the kernel's PERF_SAMPLE_* values;
+    // map bit by bit anyway so a divergence is a compile-visible edit.
+    if (sample_type & simkernel::kSampleIp) native.sample_type |= PERF_SAMPLE_IP;
+    if (sample_type & simkernel::kSampleTid) {
+      native.sample_type |= PERF_SAMPLE_TID;
+    }
+    if (sample_type & simkernel::kSampleTime) {
+      native.sample_type |= PERF_SAMPLE_TIME;
+    }
+    if (sample_type & simkernel::kSampleCpu) {
+      native.sample_type |= PERF_SAMPLE_CPU;
+    }
+    if (sample_type & simkernel::kSamplePeriod) {
+      native.sample_type |= PERF_SAMPLE_PERIOD;
+    }
+  }
 
   const long fd = syscall(__NR_perf_event_open, &native,
                           static_cast<pid_t>(tid), cpu, group_fd,
                           flags | PERF_FLAG_FD_CLOEXEC);
   if (fd < 0) return errno_status("perf_event_open");
+  if (attr.sample_period > 0) {
+    sample_types_[static_cast<int>(fd)] = sample_type;
+  }
   return static_cast<int>(fd);
 }
 
@@ -297,12 +323,71 @@ Expected<const simkernel::PerfUserPage*> LinuxBackend::perf_mmap_user_page(
   return static_cast<const simkernel::PerfUserPage*>(mapped);
 }
 
+// The ring control words must line up with the live kernel header too.
+static_assert(offsetof(simkernel::PerfUserPage, data_head) ==
+              offsetof(perf_event_mmap_page, data_head));
+static_assert(offsetof(simkernel::PerfUserPage, data_tail) ==
+              offsetof(perf_event_mmap_page, data_tail));
+
+Expected<simkernel::PerfRingView> LinuxBackend::perf_mmap_ring(int fd) {
+  const auto make_view = [this](int key, const RingMap& ring) {
+    const long page_size = ::sysconf(_SC_PAGESIZE);
+    simkernel::PerfRingView view;
+    view.page = static_cast<simkernel::PerfUserPage*>(ring.base);
+    view.data = static_cast<const std::uint8_t*>(ring.base) + page_size;
+    view.size = ring.length - static_cast<std::size_t>(page_size);
+    view.sample_type = ring.sample_type;
+    (void)key;
+    return view;
+  };
+  if (const auto it = rings_.find(fd); it != rings_.end()) {
+    return make_view(fd, it->second);
+  }
+  const auto type_it = sample_types_.find(fd);
+  if (type_it == sample_types_.end()) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "event is in counting mode: no sample ring");
+  }
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  // 1 control page + 2^n data pages, the shape the kernel requires.
+  constexpr std::size_t kRingPages = 8;
+  const std::size_t length =
+      static_cast<std::size_t>(page_size) * (1 + kRingPages);
+  void* mapped = ::mmap(nullptr, length, PROT_READ | PROT_WRITE, MAP_SHARED,
+                        fd, 0);
+  if (mapped == MAP_FAILED) return errno_status("perf ring mmap");
+  RingMap ring;
+  ring.base = mapped;
+  ring.length = length;
+  ring.sample_type = type_it->second;
+  rings_[fd] = ring;
+  return make_view(fd, ring);
+}
+
+Expected<bool> LinuxBackend::perf_ring_poll(int fd) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc = -1;
+  for (int attempt = 0; attempt < kSyscallEintrRetries; ++attempt) {
+    rc = ::poll(&pfd, 1, 0);
+    if (rc >= 0 || errno != EINTR) break;
+  }
+  if (rc < 0) return errno_status("perf poll");
+  return rc > 0 && (pfd.revents & POLLIN) != 0;
+}
+
 Status LinuxBackend::perf_close(int fd) {
   const auto it = user_pages_.find(fd);
   if (it != user_pages_.end()) {
     ::munmap(it->second, static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)));
     user_pages_.erase(it);
   }
+  if (const auto ring_it = rings_.find(fd); ring_it != rings_.end()) {
+    ::munmap(ring_it->second.base, ring_it->second.length);
+    rings_.erase(ring_it);
+  }
+  sample_types_.erase(fd);
   // Never retry close: on Linux the fd is released even when close
   // reports EINTR, and a retry could close an unrelated fd reused in
   // the meantime. EINTR therefore counts as success here.
@@ -313,6 +398,9 @@ Status LinuxBackend::perf_close(int fd) {
 LinuxBackend::~LinuxBackend() {
   for (const auto& [fd, mapped] : user_pages_) {
     ::munmap(mapped, static_cast<std::size_t>(::sysconf(_SC_PAGESIZE)));
+  }
+  for (const auto& [fd, ring] : rings_) {
+    ::munmap(ring.base, ring.length);
   }
 }
 

@@ -53,6 +53,12 @@ class LinuxBackend final : public papi::Backend {
   /// Unmapped automatically at perf_close.
   Expected<const simkernel::PerfUserPage*> perf_mmap_user_page(
       int fd) override;
+  /// mmap the event's real sample ring: the control page plus a
+  /// power-of-two data area, mapped read-write (the reader publishes
+  /// data_tail). Unmapped automatically at perf_close.
+  Expected<simkernel::PerfRingView> perf_mmap_ring(int fd) override;
+  /// poll(2) with a zero timeout: POLLIN on the event fd.
+  Expected<bool> perf_ring_poll(int fd) override;
   Status perf_close(int fd) override;
 
   ~LinuxBackend() override;
@@ -70,9 +76,19 @@ class LinuxBackend final : public papi::Backend {
   papi::Tid default_target() const override { return 0; }
 
  private:
+  struct RingMap {
+    void* base = nullptr;
+    std::size_t length = 0;            // page + data area
+    std::uint64_t sample_type = 0;     // recorded at open for decoders
+  };
+
   LinuxHost host_;
   /// fd -> live mmap'd first perf page (munmap'd at perf_close).
   std::map<int, void*> user_pages_;
+  /// fd -> live sample-ring mapping (munmap'd at perf_close).
+  std::map<int, RingMap> rings_;
+  /// attr.sample_type of sampling-mode fds, as resolved at open.
+  std::map<int, std::uint64_t> sample_types_;
 };
 
 }  // namespace hetpapi::linuxkernel

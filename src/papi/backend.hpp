@@ -59,6 +59,27 @@ class Backend {
                       "backend has no overflow delivery");
   }
 
+  /// mmap(2) the event's sample ring (control page + data area) for a
+  /// sampling-mode event. The view must stay valid until perf_close(fd).
+  /// A denied or unsupported ring is survivable: the PAPI drain loop
+  /// degrades that slot to counting mode (overflow callbacks still fire
+  /// through perf_set_overflow_handler). Default: no ring.
+  virtual Expected<simkernel::PerfRingView> perf_mmap_ring(int fd) {
+    (void)fd;
+    return make_error(StatusCode::kNotSupported,
+                      "backend has no sample-ring mapping");
+  }
+
+  /// poll(2) with a zero timeout on a sampling event fd: true when a
+  /// ring wakeup is pending. A hint, not ground truth — drains read the
+  /// ring's head/tail words regardless, so a dropped wakeup delays a
+  /// drain but never loses records. Default: no wakeup surface.
+  virtual Expected<bool> perf_ring_poll(int fd) {
+    (void)fd;
+    return make_error(StatusCode::kNotSupported,
+                      "backend has no ring poll surface");
+  }
+
   /// Host introspection for detection and pfm activation.
   virtual const pfm::Host& host() const = 0;
 

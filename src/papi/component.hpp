@@ -119,6 +119,16 @@ class Component {
   /// Kernel-level groups currently held — the unit of per-call overhead
   /// accounting and of eventset_group_count().
   virtual int group_count(const ComponentState& state) const = 0;
+
+  /// Drain every sampling slot's mmap ring into `batch` (append-only:
+  /// callers may fan one batch across components). Components without a
+  /// sampling surface report kNotSupported; the EventSet skips them.
+  virtual Status drain_samples(ComponentState& state, SampleBatch& batch) {
+    (void)state;
+    (void)batch;
+    return make_error(StatusCode::kNotSupported,
+                      "component has no sampling rings");
+  }
 };
 
 /// The component table built at Library::init — the registry

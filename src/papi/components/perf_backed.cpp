@@ -34,6 +34,17 @@ Status PerfBackedComponent::install_handler(const Slot& slot) const {
       });
 }
 
+void PerfBackedComponent::map_ring(Slot& slot) const {
+  if (slot.request.sample_period == 0) return;
+  auto ring = env_.backend->perf_mmap_ring(slot.fd);
+  if (ring) {
+    slot.ring = *ring;
+    slot.ring_mapped = true;
+  } else {
+    slot.ring_denied = true;
+  }
+}
+
 Status PerfBackedComponent::open_slot(ComponentState& state,
                                       const SlotRequest& request,
                                       const MeasureTarget& target) {
@@ -91,7 +102,9 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
       (void)env_.backend->perf_close(*fd);
       ps.slots.pop_back();
       ps.groups.pop_back();
+      return installed;
     }
+    map_ring(ps.slots.back());
     return installed;
   }
 
@@ -110,7 +123,9 @@ Status PerfBackedComponent::open_slot(ComponentState& state,
     (void)env_.backend->perf_close(*fd);
     ps.slots.pop_back();
     group->members.pop_back();
+    return installed;
   }
+  map_ring(ps.slots.back());
   return installed;
 }
 
@@ -315,6 +330,94 @@ Status PerfBackedComponent::read(const ComponentState& state, bool scale,
 
 int PerfBackedComponent::group_count(const ComponentState& state) const {
   return static_cast<int>(perf_state(state).groups.size());
+}
+
+Status PerfBackedComponent::drain_samples(ComponentState& state,
+                                          SampleBatch& batch) {
+  PerfState& ps = perf_state(state);
+  const int retries = env_.config->transient_retry_attempts;
+  for (Slot& slot : ps.slots) {
+    if (slot.request.sample_period == 0 || slot.fd < 0) continue;
+    if (slot.ring_denied || !slot.ring_mapped) {
+      // Counting-mode degradation: overflow callbacks still fire, but
+      // there is no ring to drain.
+      ++batch.rings_denied;
+      continue;
+    }
+
+    // The wakeup surface is an advisory hint, never ground truth: the
+    // drain trusts the ring's head/tail cursors. A transiently failing
+    // poll retries within the budget; a persistent stall skips the slot
+    // for this pass only — its records stay queued in the ring.
+    bool wakeup = false;
+    bool poll_answered = false;
+    bool stalled = false;
+    for (int attempt = 0; attempt < retries; ++attempt) {
+      auto fired = env_.backend->perf_ring_poll(slot.fd);
+      if (fired) {
+        wakeup = *fired;
+        poll_answered = true;
+        break;
+      }
+      if (fired.status().code() != StatusCode::kInterrupted) {
+        // Hard poll failure (e.g. a backend without a poll surface):
+        // proceed straight to the ring, which is the source of truth.
+        break;
+      }
+      stalled = true;
+    }
+    if (stalled && !poll_answered) {
+      ++batch.drains_stalled;
+      continue;
+    }
+
+    const std::uint64_t queued =
+        slot.ring.page->data_head - slot.ring.page->data_tail;
+    if (queued == 0) continue;
+    if (poll_answered && !wakeup) {
+      // Dropped wakeup: the hint said "nothing", the ring disagrees.
+      // Drain anyway — only a reader that trusts poll over head/tail
+      // can lose data here.
+      ++batch.wakeups_missed;
+    }
+
+    simkernel::PerfRingCursor cursor(slot.ring);
+    simkernel::PerfEventHeader header;
+    std::uint8_t body[64];
+    while (cursor.next(&header, body, sizeof body)) {
+      const std::size_t body_size = header.size - sizeof(header);
+      if (header.type == simkernel::kPerfRecordSample) {
+        simkernel::PerfSampleParsed parsed;
+        if (!simkernel::perf_parse_sample(slot.ring.sample_type, body,
+                                          body_size, &parsed)) {
+          ++batch.malformed;
+          continue;
+        }
+        Sample sample;
+        sample.eventset = slot.request.eventset_id;
+        sample.user_event_index = slot.request.user_event_index;
+        sample.native_name = slot.request.enc.canonical_name;
+        sample.pmu_name = slot.request.enc.pmu_name;
+        sample.ip = parsed.ip;
+        sample.tid = parsed.tid;
+        sample.time_ns = parsed.time;
+        sample.cpu = static_cast<int>(parsed.cpu);
+        sample.period = parsed.period;
+        batch.samples.push_back(std::move(sample));
+      } else if (header.type == simkernel::kPerfRecordLost) {
+        simkernel::PerfLostParsed lost;
+        if (simkernel::perf_parse_lost(body, body_size, &lost)) {
+          batch.lost += lost.lost;
+        } else {
+          ++batch.malformed;
+        }
+      }
+      // Unknown record types are skipped: forward ABI compatibility.
+    }
+    if (cursor.malformed()) ++batch.malformed;
+    cursor.commit();
+  }
+  return Status::ok();
 }
 
 }  // namespace hetpapi::papi

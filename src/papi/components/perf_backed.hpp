@@ -29,6 +29,13 @@ class PerfBackedComponent : public Component {
               std::vector<double>& values,
               std::vector<std::uint8_t>* valid = nullptr) const override;
   int group_count(const ComponentState& state) const override;
+  /// The safe drain loop: for every sampling slot, consult the wakeup
+  /// surface (advisory; transient stalls retry within the budget, a
+  /// persistent stall skips the slot for this pass), then decode the
+  /// mmap ring through the shared PerfRingCursor and advance data_tail.
+  /// Slots whose ring mmap was denied at open count as rings_denied —
+  /// counting-mode degradation, not an error.
+  Status drain_samples(ComponentState& state, SampleBatch& batch) override;
 
  protected:
   /// Where the slot's kernel event attaches.
@@ -45,6 +52,12 @@ class PerfBackedComponent : public Component {
   struct Slot {
     SlotRequest request;
     int fd = -1;
+    /// Sample-ring mapping for sampling slots (sample_period > 0). A
+    /// denied mmap is survivable: the slot degrades to counting mode
+    /// (overflow callbacks still fire, no sample records).
+    simkernel::PerfRingView ring{};
+    bool ring_mapped = false;
+    bool ring_denied = false;
   };
 
   struct Group {
@@ -94,6 +107,10 @@ class PerfBackedComponent : public Component {
   }
 
   Status install_handler(const Slot& slot) const;
+  /// Map the sample ring of a freshly opened sampling slot. Denial is
+  /// absorbed (ring_denied), never surfaced: ISSUE-10 graceful
+  /// degradation to counting mode.
+  void map_ring(Slot& slot) const;
   void build_read_plan(const PerfState& state) const;
 };
 

@@ -128,4 +128,42 @@ struct OverflowEvent {
 };
 using OverflowCallback = std::function<void(const OverflowEvent&)>;
 
+/// One decoded PERF_RECORD_SAMPLE, attributed back to the user event
+/// whose constituent native event wrote it — what the drain loop
+/// (Library::read_samples) returns after walking each slot's mmap ring.
+struct Sample {
+  int eventset = -1;
+  int user_event_index = -1;
+  std::string native_name;  // constituent whose ring carried the record
+  std::string pmu_name;     // pfm table name, e.g. "adl_glc"
+  /// Detected core-type label serving the PMU ("intel_core",
+  /// "capacity-1024", ...) via the core_type_for_pmu ladder; empty for
+  /// non-core PMUs.
+  std::string core_type;
+  std::uint64_t ip = 0;       // sampled instruction pointer
+  std::uint32_t tid = 0;      // sampled thread
+  std::uint64_t time_ns = 0;  // sample timestamp
+  int cpu = -1;               // cpu the period crossing landed on
+  std::uint64_t period = 0;   // counts this sample represents
+};
+
+/// The result of one drain pass over an EventSet's sample rings.
+struct SampleBatch {
+  std::vector<Sample> samples;
+  /// Records dropped ring-side (decoded PERF_RECORD_LOST sums).
+  std::uint64_t lost = 0;
+  /// Records the cursor resynchronized past after a malformed header.
+  std::uint64_t malformed = 0;
+  /// Slots running in counting-mode degradation: their ring mmap was
+  /// denied, so they deliver overflow callbacks but no samples.
+  int rings_denied = 0;
+  /// Slots skipped this pass because the poll/wakeup surface kept
+  /// failing transiently (stalled drain); their records stay queued for
+  /// the next pass.
+  int drains_stalled = 0;
+  /// Slots whose ring held records although the wakeup surface reported
+  /// none (dropped wakeups) — drained anyway, counted for diagnostics.
+  int wakeups_missed = 0;
+};
+
 }  // namespace hetpapi::papi

@@ -201,22 +201,33 @@ Status EventSetCore::reopen_all() {
   return reopen_slots_or_empty();
 }
 
-Status EventSetCore::reopen_slots_or_empty() {
+Status EventSetCore::try_open_slots() {
   for (std::size_t i = 0; i < natives_.size(); ++i) {
     const Status opened = open_slot(i);
     if (!opened.is_ok()) {
-      // The prior layout cannot be restored (e.g. the backend now
-      // refuses an open that used to succeed). A half-open set would
-      // serve stale values for the unopened slots, so fall back to the
-      // one state that is always consistent and leak-free: empty.
+      // Leak-free but layout-preserving: the caller decides whether to
+      // amend the layout and retry (transactional set_overflow) or give
+      // up (reopen_slots_or_empty).
       (void)close_everything();
-      natives_.clear();
-      user_events_.clear();
-      return make_error(StatusCode::kComponent,
-                        "could not restore the EventSet layout (" +
-                            opened.to_string() +
-                            "); the set was emptied, no fds leaked");
+      return opened;
     }
+  }
+  return Status::ok();
+}
+
+Status EventSetCore::reopen_slots_or_empty() {
+  const Status opened = try_open_slots();
+  if (!opened.is_ok()) {
+    // The prior layout cannot be restored (e.g. the backend now
+    // refuses an open that used to succeed). A half-open set would
+    // serve stale values for the unopened slots, so fall back to the
+    // one state that is always consistent and leak-free: empty.
+    natives_.clear();
+    user_events_.clear();
+    return make_error(StatusCode::kComponent,
+                      "could not restore the EventSet layout (" +
+                          opened.to_string() +
+                          "); the set was emptied, no fds leaked");
   }
   return Status::ok();
 }
@@ -269,12 +280,57 @@ Status EventSetCore::set_overflow(int user_event_index,
                             " does not support overflow sampling");
     }
   }
+  // Snapshot for rollback: arming is transactional. If the sampling
+  // layout cannot be opened (a constituent refuses sample_period, the
+  // handler install fails mid-set), the previous counting configuration
+  // is restored instead of emptying a working set.
+  FixedVector<std::uint64_t, kMaxEventSetEvents> old_periods;
+  for (const NativeSlot& slot : natives_) {
+    old_periods.push_back(slot.sample_period);
+  }
+  OverflowCallback old_callback = overflow_callback_;
+
   overflow_callback_ = std::move(callback);
   for (int idx : user.native_indices) {
     natives_[static_cast<std::size_t>(idx)].sample_period = threshold;
   }
   // Re-open so the kernel sees the sampling configuration.
-  return reopen_all();
+  HETPAPI_RETURN_IF_ERROR(close_everything());
+  const Status armed = try_open_slots();
+  if (armed.is_ok()) return Status::ok();
+
+  // Roll back to the counting layout. Only a failure of the restoration
+  // itself (the backend now refuses opens that used to succeed) falls
+  // through to the empty state.
+  for (std::size_t i = 0; i < natives_.size(); ++i) {
+    natives_[i].sample_period = old_periods[i];
+  }
+  overflow_callback_ = std::move(old_callback);
+  HETPAPI_RETURN_IF_ERROR(reopen_slots_or_empty());
+  return armed;
+}
+
+Status EventSetCore::drain_samples(SampleBatch& batch) {
+  bool sampling = false;
+  for (const NativeSlot& slot : natives_) {
+    if (slot.sample_period > 0) {
+      sampling = true;
+      break;
+    }
+  }
+  if (!sampling) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "EventSet has no sampling events; call set_overflow "
+                      "first");
+  }
+  for (ComponentUse& use : uses_) {
+    if (!use.component->caps().overflow) continue;
+    const Status drained = use.component->drain_samples(*use.state, batch);
+    if (!drained.is_ok() && drained.code() != StatusCode::kNotSupported) {
+      return drained;
+    }
+  }
+  return Status::ok();
 }
 
 Status EventSetCore::start() {

@@ -60,8 +60,19 @@ class EventSetCore {
   Status remove_event(std::string_view name);
 
   Status set_multiplex();
+  /// Arm PAPI_overflow-style sampling on one user event. Transactional:
+  /// if any constituent refuses to re-open with the sampling
+  /// configuration, the set is restored to its previous (counting)
+  /// layout and periods — arming never empties a working set. Only a
+  /// failure of the restoration itself falls back to the empty state.
   Status set_overflow(int user_event_index, std::uint64_t threshold,
                       OverflowCallback callback);
+
+  /// Drain every sampling slot's mmap ring into `batch` (append-only),
+  /// fanning across the components in use. Components without a
+  /// sampling surface are skipped. kInvalidArgument when no event of
+  /// this set is in overflow mode.
+  Status drain_samples(SampleBatch& batch);
 
   Status start();
   Expected<std::vector<long long>> stop();
@@ -160,6 +171,12 @@ class EventSetCore {
   Status open_slot(std::size_t native_idx);
 
   Status reopen_all();
+
+  /// Open every native slot in order. On failure every fd is closed
+  /// (leak-free) but the slot/user-event layout is preserved, so the
+  /// caller can amend the layout and try again — the building block of
+  /// transactional set_overflow.
+  Status try_open_slots();
 
   /// Undo a partially applied multi-native add: drop every native slot
   /// beyond `natives_before`, close everything and rebuild survivors.

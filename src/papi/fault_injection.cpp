@@ -47,13 +47,26 @@ Expected<FaultProfile> FaultProfile::named(std::string_view name) {
     p.rdpmc_unavailable = true;
     return p;
   }
+  if (name == "sampling-chaos") {
+    // The sampling fault mix: wakeups vanish, drains stall in bursts
+    // the retry budget can ride out, counters still die occasionally.
+    // Ring mmaps stay up — the denied-mmap degradation path has its own
+    // deterministic switch (ring_mmap_denied) because it is a
+    // capability, not a rate.
+    p.wakeup_drop_prob = 0.30;
+    p.poll_stall_prob = 0.20;
+    p.transient_burst = 2;
+    p.read_transient_prob = 0.10;
+    p.stale_fd_prob = 0.002;
+    return p;
+  }
   return make_error(StatusCode::kInvalidArgument,
                     "unknown fault profile \"" + std::string(name) + "\"");
 }
 
 std::vector<std::string> FaultProfile::profile_names() {
   return {"none",      "flaky-open", "fd-pressure",
-          "transient-read", "stale-fd",   "mixed"};
+          "transient-read", "stale-fd",   "mixed", "sampling-chaos"};
 }
 
 Expected<int> FaultInjectingBackend::perf_event_open(const PerfEventAttr& attr,
@@ -176,12 +189,58 @@ FaultInjectingBackend::perf_mmap_user_page(int fd) {
   return inner_->perf_mmap_user_page(fd);
 }
 
+Expected<simkernel::PerfRingView> FaultInjectingBackend::perf_mmap_ring(
+    int fd) {
+  if (profile_.ring_mmap_denied) {
+    ++stats_.ring_mmaps_denied;
+    return make_error(StatusCode::kNotSupported,
+                      "injected: sample-ring mmap denied");
+  }
+  if (stale_fds_.count(fd) != 0) {
+    ++stats_.stale_fd_hits;
+    return make_error(StatusCode::kSystem, "injected stale fd");
+  }
+  return inner_->perf_mmap_ring(fd);
+}
+
+Expected<bool> FaultInjectingBackend::perf_ring_poll(int fd) {
+  if (stale_fds_.count(fd) != 0) {
+    ++stats_.stale_fd_hits;
+    return make_error(StatusCode::kSystem, "injected stale fd");
+  }
+  if (auto it = pending_poll_stalls_.find(fd);
+      it != pending_poll_stalls_.end()) {
+    if (--it->second <= 0) pending_poll_stalls_.erase(it);
+    ++stats_.polls_stalled;
+    return make_error(StatusCode::kInterrupted, "injected EINTR (poll burst)");
+  }
+  if (profile_.poll_stall_prob > 0.0 &&
+      rng_.uniform() < profile_.poll_stall_prob) {
+    if (profile_.transient_burst > 1) {
+      pending_poll_stalls_[fd] = profile_.transient_burst - 1;
+    }
+    ++stats_.polls_stalled;
+    return make_error(StatusCode::kInterrupted, "injected EINTR (poll)");
+  }
+  auto fired = inner_->perf_ring_poll(fd);
+  if (fired && *fired && profile_.wakeup_drop_prob > 0.0 &&
+      rng_.uniform() < profile_.wakeup_drop_prob) {
+    // The wakeup is eaten after the kernel consumed it — the ring still
+    // carries every record, the reader just is not told. Only a drain
+    // that trusts poll over head/tail can lose data here.
+    ++stats_.wakeups_dropped;
+    return false;
+  }
+  return fired;
+}
+
 Status FaultInjectingBackend::perf_close(int fd) {
   // Closes always reach the inner backend — a ledger that "loses" fds
   // on injected close failures would fabricate leaks.
   live_fds_.erase(fd);
   stale_fds_.erase(fd);
   pending_transients_.erase(fd);
+  pending_poll_stalls_.erase(fd);
   return inner_->perf_close(fd);
 }
 

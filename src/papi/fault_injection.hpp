@@ -58,9 +58,21 @@ struct FaultProfile {
   /// rdpmc reports kNotSupported (forces the read(2) fallback path).
   bool rdpmc_unavailable = false;
 
+  /// Sampling faults. Denying the sample-ring mmap models a kernel
+  /// refusing the buffer pages (mlock limit, EPERM): the PAPI drain
+  /// loop must degrade that slot to counting mode, not fail the set.
+  bool ring_mmap_denied = false;
+  /// Ring wakeups get eaten: poll reports "nothing" though records are
+  /// waiting. A drop delays the drain; the head/tail words still carry
+  /// every record, so nothing may be lost.
+  double wakeup_drop_prob = 0.0;
+  /// Drains stall: perf_ring_poll fails with EINTR in
+  /// `transient_burst`-long bursts, exercising the drain's retry path.
+  double poll_stall_prob = 0.0;
+
   /// A named profile ("none", "flaky-open", "fd-pressure",
-  /// "transient-read", "stale-fd", "mixed"); kInvalidArgument for
-  /// unknown names.
+  /// "transient-read", "stale-fd", "mixed", "sampling-chaos");
+  /// kInvalidArgument for unknown names.
   static Expected<FaultProfile> named(std::string_view name);
   /// All names accepted by named(), for CLI help text.
   static std::vector<std::string> profile_names();
@@ -82,6 +94,14 @@ class FaultInjectingBackend final : public Backend {
     /// total_injected() — a denied mmap is a capability report, not a
     /// failed operation the retry machinery must survive.
     std::uint64_t mmaps_denied = 0;
+    /// Sample-ring mmaps refused (ring_mmap_denied profiles): the slot
+    /// must degrade to counting mode. A capability report like
+    /// mmaps_denied, not part of total_injected().
+    std::uint64_t ring_mmaps_denied = 0;
+    /// Ring wakeups eaten before the caller saw them (wakeup_drop_prob).
+    std::uint64_t wakeups_dropped = 0;
+    /// perf_ring_poll calls failed with injected EINTR (poll_stall_prob).
+    std::uint64_t polls_stalled = 0;
 
     std::uint64_t total_injected() const {
       return opens_injected_failed + reads_injected_transient +
@@ -105,6 +125,8 @@ class FaultInjectingBackend final : public Backend {
   Status perf_set_overflow_handler(int fd, OverflowHandler handler) override {
     return inner_->perf_set_overflow_handler(fd, std::move(handler));
   }
+  Expected<simkernel::PerfRingView> perf_mmap_ring(int fd) override;
+  Expected<bool> perf_ring_poll(int fd) override;
 
   const pfm::Host& host() const override { return inner_->host(); }
   bool supports_component(std::string_view name) const override {
@@ -136,6 +158,8 @@ class FaultInjectingBackend final : public Backend {
   std::set<int> stale_fds_;
   /// Remaining consecutive transient failures owed per fd.
   std::map<int, int> pending_transients_;
+  /// Remaining consecutive poll stalls owed per fd (sampling drains).
+  std::map<int, int> pending_poll_stalls_;
   Stats stats_;
 };
 

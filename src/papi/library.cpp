@@ -336,6 +336,22 @@ Status Library::set_overflow(int eventset, int user_event_index,
   return set->set_overflow(user_event_index, threshold, std::move(callback));
 }
 
+Expected<SampleBatch> Library::read_samples(int eventset) {
+  EventSetCore* set = find_set(eventset);
+  if (set == nullptr) {
+    return make_error(StatusCode::kNoEventSet, "no such EventSet");
+  }
+  SampleBatch batch;
+  HETPAPI_RETURN_IF_ERROR(set->drain_samples(batch));
+  // The component layer labels samples by PMU; the facade owns the
+  // core-type detection, so attribution happens here — the same ladder
+  // read_qualified uses (§V-2).
+  for (Sample& sample : batch.samples) {
+    sample.core_type = core_type_for_pmu(sample.pmu_name);
+  }
+  return batch;
+}
+
 // --- run control -------------------------------------------------------------
 
 Status Library::start(int eventset) {

@@ -134,6 +134,16 @@ class Library {
   Status set_overflow(int eventset, int user_event_index,
                       std::uint64_t threshold, OverflowCallback callback);
 
+  /// Drain the EventSet's sample rings: one safe pass over every
+  /// sampling slot's mmap ring, decoding PERF_RECORD_SAMPLE records
+  /// into typed samples labelled per core type (the core_type_for_pmu
+  /// ladder), summing PERF_RECORD_LOST drops, and reporting the
+  /// degradation counters (denied rings, stalled drains, dropped
+  /// wakeups). Callable while running or after stop; each record is
+  /// returned exactly once. kInvalidArgument when the set has no event
+  /// in overflow mode.
+  Expected<SampleBatch> read_samples(int eventset);
+
   Status start(int eventset);
   /// Stop counting; returns the final values (one per added event, in
   /// add order).

@@ -42,6 +42,13 @@ class SimBackend final : public Backend {
         });
   }
 
+  Expected<simkernel::PerfRingView> perf_mmap_ring(int fd) override {
+    return kernel_->perf_mmap_ring(fd);
+  }
+  Expected<bool> perf_ring_poll(int fd) override {
+    return kernel_->perf_ring_poll(fd);
+  }
+
   const pfm::Host& host() const override { return host_; }
 
   /// Sim processes are spawned explicitly; callers set the target.

@@ -227,9 +227,10 @@ void SimKernel::tick_once() {
     scheduler_.charge(thread, static_cast<int>(cpu), slice.consumed);
     // Task clock accrues inside on_execution's software-event handling.
     perf_.on_execution(tid, thread.group_leader, static_cast<int>(cpu),
-                       type_id, slice.counts, slice.consumed, now_);
+                       type_id, slice.counts, slice.consumed, now_,
+                       slice.sample_ip);
     perf_.on_cpu_execution(static_cast<int>(cpu), type_id, slice.counts,
-                           slice.consumed, tid, now_);
+                           slice.consumed, tid, now_, slice.sample_ip);
 
     const double util =
         std::chrono::duration<double>(slice.consumed).count() / dt_seconds;

@@ -105,6 +105,10 @@ class SimKernel {
   Expected<std::uint64_t> perf_lost_samples(int fd) const {
     return perf_.lost_samples(fd);
   }
+  Expected<PerfRingView> perf_mmap_ring(int fd) {
+    return perf_.mmap_ring(fd);
+  }
+  Expected<bool> perf_ring_poll(int fd) { return perf_.ring_poll(fd); }
   const PerfSubsystem& perf() const { return perf_; }
 
   // --- introspection surfaces the detection code uses ---------------------

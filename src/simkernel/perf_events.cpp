@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 namespace hetpapi::simkernel {
 
@@ -171,7 +172,17 @@ Expected<int> PerfSubsystem::open(const PerfEventAttr& attr, Tid tid, int cpu,
     ev.enabled_at = now;
     if (ev.is_readthrough()) ev.base = pkg.get(ev.kind);
   }
-  if (attr.sample_period > 0) ev.next_overflow_at = attr.sample_period;
+  if (attr.sample_period > 0) {
+    if ((attr.sample_type &
+         ~static_cast<std::uint64_t>(kSampleTypeDefault)) != 0) {
+      // EINVAL, the way the kernel rejects sample_type bits it does not
+      // implement.
+      return make_error(StatusCode::kInvalidArgument,
+                        "unsupported sample_type bits");
+    }
+    ev.next_overflow_at = attr.sample_period;
+    if (ev.attr.sample_type == 0) ev.attr.sample_type = kSampleTypeDefault;
+  }
 
   if (pmu->pmu_class == PmuClass::kCore) {
     // Mint the event's perf_event_mmap_page; reschedule() below
@@ -182,6 +193,16 @@ Expected<int> PerfSubsystem::open(const PerfEventAttr& attr, Tid tid, int cpu,
     ev.user_page->pmc_width = 48;
     ev.user_page->sim_magic = kSimUserPageMagic;
     if (config_.user_rdpmc) ev.user_page->capabilities |= kCapUserRdpmc;
+    if (attr.sample_period > 0) {
+      // The sample ring: capacity counts records of this event's layout
+      // (the sim relaxes the kernel's power-of-two page constraint; the
+      // cursor's modulo walk handles any size).
+      const std::uint64_t record = sizeof(PerfEventHeader) +
+                                   perf_sample_body_size(ev.attr.sample_type);
+      ev.ring_data.assign(config_.sample_ring_capacity * record, 0);
+      ev.user_page->data_offset = 4096;  // ABI shape: data follows the page
+      ev.user_page->data_size = ev.ring_data.size();
+    }
   }
 
   auto [it, inserted] = events_.emplace(fd, std::move(ev));
@@ -450,7 +471,7 @@ Status PerfSubsystem::close(int fd) {
 void PerfSubsystem::on_execution(Tid tid, Tid leader, int cpu,
                                  cpumodel::CoreTypeId core_type,
                                  const ExecCounts& counts, SimDuration dt,
-                                 SimTime now) {
+                                 SimTime now, std::uint64_t ip) {
   // The slice touches events bound to the thread itself plus events
   // opened with attr.inherit on the process-group leader. Both index
   // lists are fd-sorted; merge them so events are visited in fd order,
@@ -498,27 +519,124 @@ void PerfSubsystem::on_execution(Tid tid, Tid leader, int cpu,
       continue;
     }
     ev->core_match = true;
-    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now);
+    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now, ip);
   }
 }
 
 void PerfSubsystem::on_cpu_execution(int cpu, cpumodel::CoreTypeId core_type,
                                      const ExecCounts& counts,
-                                     SimDuration dt, Tid tid, SimTime now) {
+                                     SimDuration dt, Tid tid, SimTime now,
+                                     std::uint64_t ip) {
   const auto it = cpu_index_.find(cpu);
   if (it == cpu_index_.end()) return;
   for (EventObj* ev : it->second) {
     if (!ev->enabled) continue;
     if (ev->pmu->pmu_class != PmuClass::kCore) continue;
     if (ev->pmu->core_type != core_type) continue;
-    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now);
+    apply_counts(*ev, counts, dt, dt, cpu, core_type, tid, now, ip);
+  }
+}
+
+PerfRingView PerfSubsystem::ring_view(EventObj& ev) {
+  PerfRingView view;
+  view.page = ev.user_page.get();
+  view.data = ev.ring_data.data();
+  view.size = ev.ring_data.size();
+  view.sample_type = ev.attr.sample_type;
+  return view;
+}
+
+bool PerfSubsystem::ring_write(EventObj& ev, const void* bytes,
+                               std::size_t size) {
+  PerfUserPage* page = ev.user_page.get();
+  const std::uint64_t ring = ev.ring_data.size();
+  if (page == nullptr || ring == 0) return false;
+  // data_head/data_tail are free-running; unread span is their
+  // difference (unsigned wrap math, kernel-style).
+  if (page->data_head - page->data_tail + size > ring) return false;
+  const auto* src = static_cast<const std::uint8_t*>(bytes);
+  for (std::size_t i = 0; i < size; ++i) {
+    ev.ring_data[(page->data_head + i) % ring] = src[i];
+  }
+  // Publish the head only after the record bytes — the release half of
+  // the head/tail protocol (signal fences suffice in the deterministic
+  // sim, mirroring publish_user_page's seqlock writer).
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+  page->data_head += size;
+  return true;
+}
+
+bool PerfSubsystem::ring_flush_lost(EventObj& ev) {
+  if (ev.pending_lost == 0) return true;
+  struct {
+    PerfEventHeader hdr;
+    std::uint64_t id;
+    std::uint64_t lost;
+  } lost_rec{};
+  lost_rec.hdr.type = kPerfRecordLost;
+  lost_rec.hdr.misc = kPerfRecordMiscUser;
+  lost_rec.hdr.size = sizeof(lost_rec);
+  lost_rec.id = static_cast<std::uint64_t>(ev.fd);
+  lost_rec.lost = ev.pending_lost;
+  if (!ring_write(ev, &lost_rec, sizeof(lost_rec))) return false;
+  ev.pending_lost = 0;
+  return true;
+}
+
+void PerfSubsystem::ring_emit_sample(EventObj& ev, std::uint64_t ip, Tid tid,
+                                     int cpu, SimTime now) {
+  // A deferred LOST record goes in front of any newer sample so the
+  // stream stays ordered; until it fits, new samples keep dropping.
+  if (!ring_flush_lost(ev)) {
+    ++ev.samples_lost;
+    ++ev.pending_lost;
+    return;
+  }
+
+  const std::uint64_t sample_type = ev.attr.sample_type;
+  std::uint8_t buf[sizeof(PerfEventHeader) + 5 * 8];
+  PerfEventHeader hdr;
+  hdr.type = kPerfRecordSample;
+  hdr.misc = kPerfRecordMiscUser;
+  hdr.size = static_cast<std::uint16_t>(sizeof(hdr) +
+                                        perf_sample_body_size(sample_type));
+  std::memcpy(buf, &hdr, sizeof(hdr));
+  std::size_t at = sizeof(hdr);
+  const auto put64 = [&](std::uint64_t v) {
+    std::memcpy(buf + at, &v, sizeof(v));
+    at += sizeof(v);
+  };
+  if (sample_type & kSampleIp) put64(ip);
+  if (sample_type & kSampleTid) {
+    // u32 pid | u32 tid; the sim's threads are their own pids.
+    const auto t = static_cast<std::uint32_t>(tid);
+    put64(static_cast<std::uint64_t>(t) | (static_cast<std::uint64_t>(t) << 32));
+  }
+  if (sample_type & kSampleTime) {
+    put64(static_cast<std::uint64_t>(now.since_epoch.count()));
+  }
+  if (sample_type & kSampleCpu) {
+    put64(static_cast<std::uint64_t>(static_cast<std::uint32_t>(cpu)));
+  }
+  if (sample_type & kSamplePeriod) put64(ev.attr.sample_period);
+
+  if (!ring_write(ev, buf, at)) {
+    ++ev.samples_lost;
+    ++ev.pending_lost;
+    return;
+  }
+  if (ev.attr.wakeup_events == 0) {
+    ++ev.wakeups_pending;
+  } else if (++ev.samples_since_wakeup >= ev.attr.wakeup_events) {
+    ev.samples_since_wakeup = 0;
+    ++ev.wakeups_pending;
   }
 }
 
 void PerfSubsystem::apply_counts(EventObj& ev, const ExecCounts& counts,
                                  SimDuration wall, SimDuration running,
                                  int cpu, cpumodel::CoreTypeId core_type,
-                                 Tid tid, SimTime now) {
+                                 Tid tid, SimTime now, std::uint64_t ip) {
   ev.time_enabled += wall;
   if (!ev.scheduled) {
     publish_user_page(ev);  // keep the page's time_enabled moving
@@ -539,17 +657,7 @@ void PerfSubsystem::apply_counts(EventObj& ev, const ExecCounts& counts,
     // Ring-buffer records: one per period, coalesced at the slice end
     // (interrupt storms coalesce the same way on hardware).
     for (std::uint64_t i = 0; i < periods; ++i) {
-      if (ev.sample_ring.size() >= config_.sample_ring_capacity) {
-        ev.samples_lost += periods - i;
-        break;
-      }
-      SampleRecord record;
-      record.time_ns = static_cast<std::uint64_t>(now.since_epoch.count());
-      record.cpu = cpu;
-      record.tid = tid;
-      record.core_type = core_type;
-      record.period = ev.attr.sample_period;
-      ev.sample_ring.push_back(record);
+      ring_emit_sample(ev, ip, tid, cpu, now);
     }
     if (ev.overflow_handler) {
       OverflowInfo info;
@@ -595,8 +703,73 @@ Expected<std::vector<PerfSubsystem::SampleRecord>> PerfSubsystem::read_samples(
                       "event is in counting mode: no sample ring");
   }
   std::vector<SampleRecord> out;
-  out.swap(ev->sample_ring);
+  if (ev->user_page == nullptr || ev->ring_data.empty()) return out;
+  PerfRingCursor cursor(ring_view(*ev));
+  PerfEventHeader hdr;
+  std::uint8_t body[sizeof(PerfEventHeader) + 5 * 8];
+  while (cursor.next(&hdr, body, sizeof(body))) {
+    if (hdr.type != kPerfRecordSample) continue;  // LOST is in samples_lost
+    PerfSampleParsed parsed;
+    if (!perf_parse_sample(ev->attr.sample_type, body,
+                           hdr.size - sizeof(PerfEventHeader), &parsed)) {
+      continue;
+    }
+    SampleRecord rec;
+    rec.ip = parsed.ip;
+    rec.time_ns = parsed.time;
+    rec.cpu = static_cast<int>(parsed.cpu);
+    rec.tid = static_cast<Tid>(parsed.tid);
+    // SAMPLE records carry no core type on real kernels either; the
+    // event's PMU implies it — apply_counts only fires on a matching
+    // core type.
+    rec.core_type = ev->pmu->core_type;
+    rec.period = parsed.period;
+    out.push_back(rec);
+  }
+  cursor.commit();
+  ev->wakeups_pending = 0;
+  ev->samples_since_wakeup = 0;
   return out;
+}
+
+Expected<PerfRingView> PerfSubsystem::mmap_ring(int fd) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->attr.sample_period == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "event is in counting mode: no sample ring");
+  }
+  if (ev->user_page == nullptr || ev->ring_data.empty()) {
+    return make_error(StatusCode::kNotSupported,
+                      "only core PMU sampling events carry a ring");
+  }
+  return ring_view(*ev);
+}
+
+Expected<bool> PerfSubsystem::ring_poll(int fd) {
+  EventObj* ev = find(fd);
+  if (ev == nullptr) {
+    return make_error(StatusCode::kInvalidArgument, "bad fd");
+  }
+  if (ev->attr.sample_period == 0) {
+    return make_error(StatusCode::kInvalidArgument,
+                      "event is in counting mode: nothing to poll");
+  }
+  // A poll is the reader's trip into the kernel: if a drain freed ring
+  // space since the last write, publish the deferred LOST record now —
+  // otherwise drops after the final sample of a finished thread would
+  // stay invisible to a ring-only reader.
+  if (ev->user_page != nullptr && !ev->ring_data.empty()) {
+    (void)ring_flush_lost(*ev);
+  }
+  // Consume the pending wakeups: poll answers "did the counter wake you
+  // since you last asked" — a hint; the ring head/tail words are the
+  // ground truth a drain must consult regardless.
+  const bool fired = ev->wakeups_pending > 0;
+  ev->wakeups_pending = 0;
+  return fired;
 }
 
 Expected<std::uint64_t> PerfSubsystem::lost_samples(int fd) const {

@@ -120,14 +120,17 @@ class PerfSubsystem {
   /// paper's summed P+E validation relies on).
   /// `leader` is the executing thread's process-group leader: events
   /// opened with attr.inherit on the leader match every group member.
+  /// `ip` is the slice's synthetic instruction pointer (ExecSlice::
+  /// sample_ip), stamped into SAMPLE records whose period crossing lands
+  /// in the slice.
   void on_execution(Tid tid, Tid leader, int cpu,
                     cpumodel::CoreTypeId core_type, const ExecCounts& counts,
-                    SimDuration dt, SimTime now);
+                    SimDuration dt, SimTime now, std::uint64_t ip = 0);
 
   /// Attribute cpu-scope execution (for cpu-bound core events).
   void on_cpu_execution(int cpu, cpumodel::CoreTypeId core_type,
                         const ExecCounts& counts, SimDuration dt, Tid tid,
-                        SimTime now);
+                        SimTime now, std::uint64_t ip = 0);
 
   /// Advance software-event values for a slice of `tid`.
   void on_software(Tid tid, CountKind kind, std::uint64_t delta);
@@ -160,9 +163,12 @@ class PerfSubsystem {
   /// Total overflows recorded for an event.
   Expected<std::uint64_t> overflow_count(int fd) const;
 
-  /// One PERF_RECORD_SAMPLE-style record, written to the event's ring
-  /// buffer at each period crossing.
+  /// One PERF_RECORD_SAMPLE record, decoded from the event's ring
+  /// buffer. The ring itself stores ABI bytes (PerfEventHeader + body
+  /// per attr.sample_type); this is the convenience view read_samples
+  /// hands back after running the shared PerfRingCursor drain.
   struct SampleRecord {
+    std::uint64_t ip = 0;      // ExecSlice::sample_ip of the slice
     std::uint64_t time_ns = 0;
     int cpu = -1;
     Tid tid = kInvalidTid;
@@ -170,12 +176,25 @@ class PerfSubsystem {
     std::uint64_t period = 0;  // counts represented by this sample
   };
 
-  /// Drain the event's sample ring (the mmap-buffer read). Only
-  /// sampling-mode events have a ring.
+  /// Drain the event's sample ring (the mmap-buffer read): decode the
+  /// ABI records between data_tail and data_head and advance data_tail.
+  /// Only sampling-mode events have a ring.
   Expected<std::vector<SampleRecord>> read_samples(int fd);
 
   /// Samples dropped because the ring was full (PERF_RECORD_LOST).
   Expected<std::uint64_t> lost_samples(int fd) const;
+
+  /// mmap(2) of the event's full perf region: the control page plus the
+  /// sample ring data area. Only sampling-mode core events carry a ring;
+  /// counting-mode events serve just the user page via mmap_user_page.
+  /// The view stays valid until close(fd).
+  Expected<PerfRingView> mmap_ring(int fd);
+
+  /// poll(2) on the event fd with a zero timeout: true when a sampling
+  /// wakeup is pending — every ring write with wakeup_events == 0, every
+  /// wakeup_events-th sample otherwise. Readers treat this as a hint;
+  /// the ring's data_head/data_tail words are the ground truth.
+  Expected<bool> ring_poll(int fd);
 
  private:
   struct EventObj {
@@ -215,8 +234,18 @@ class PerfSubsystem {
     std::uint64_t next_overflow_at = 0;  // value threshold
     std::uint64_t total_overflows = 0;
     OverflowHandler overflow_handler;
-    std::vector<SampleRecord> sample_ring;
-    std::uint64_t samples_lost = 0;
+    /// The mmap ring data area (ABI record bytes; sampling core events
+    /// only). data_head/data_tail live in the user page, exactly as the
+    /// kernel keeps them in the mmap control page.
+    std::vector<std::uint8_t> ring_data;
+    std::uint64_t samples_lost = 0;   // cumulative, lost_samples()
+    /// Drops not yet surfaced as an in-band PERF_RECORD_LOST record
+    /// (written the next time ring space frees up, kernel-style).
+    std::uint64_t pending_lost = 0;
+    /// Wakeup accounting for ring_poll: samples written since the last
+    /// wakeup fired, and wakeups not yet consumed by a poll.
+    std::uint32_t samples_since_wakeup = 0;
+    std::uint64_t wakeups_pending = 0;
 
     bool is_leader() const { return leader_fd == fd; }
     bool is_readthrough() const {
@@ -255,7 +284,29 @@ class PerfSubsystem {
 
   void apply_counts(EventObj& ev, const ExecCounts& counts,
                     SimDuration wall, SimDuration running, int cpu,
-                    cpumodel::CoreTypeId core_type, Tid tid, SimTime now);
+                    cpumodel::CoreTypeId core_type, Tid tid, SimTime now,
+                    std::uint64_t ip);
+
+  /// A PerfRingView over the event's own ring (writer side).
+  static PerfRingView ring_view(EventObj& ev);
+
+  /// Copy `size` ring bytes in at data_head (wrapping) and publish the
+  /// new head with the release ordering readers pair with. Returns false
+  /// (and touches nothing) when the unread span leaves no room.
+  bool ring_write(EventObj& ev, const void* bytes, std::size_t size);
+
+  /// Write one SAMPLE record (per attr.sample_type) for a period
+  /// crossing; emits the deferred LOST record first when space allows,
+  /// and does the wakeup accounting.
+  void ring_emit_sample(EventObj& ev, std::uint64_t ip, Tid tid, int cpu,
+                        SimTime now);
+
+  /// Publish the deferred LOST record if one is pending and the ring
+  /// has room. Called before every new SAMPLE (drops stay ordered ahead
+  /// of newer data) and from ring_poll — the reader's kernel entry —
+  /// so drops after the final sample write still surface in-band once a
+  /// drain frees space. Returns false while the record does not fit.
+  bool ring_flush_lost(EventObj& ev);
 
   Status do_ioctl_one(EventObj& ev, PerfIoctl op, const PackageCounters& pkg,
                       SimTime now);

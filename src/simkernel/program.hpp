@@ -70,6 +70,12 @@ struct ExecSlice {
   /// Switching-activity factor of this slice for the power model
   /// (SIMD-dense ~1.0, spin-wait ~0.1).
   double activity = 0.8;
+  /// Synthetic instruction pointer for the slice: the "address" the
+  /// program was executing, stamped into PERF_RECORD_SAMPLE records
+  /// whose period crossing lands in this slice. Programs with phases
+  /// publish one IP per phase so a profiler can attribute samples to
+  /// hot spots; 0 means "unknown" (plain workloads).
+  std::uint64_t sample_ip = 0;
   /// True if the program is out of work *for now* (e.g. waiting at a
   /// barrier for other threads); it stays schedulable and will be polled
   /// again. Waiting slices should still consume budget and may retire

@@ -1,0 +1,118 @@
+#include "workload/simplemoc.hpp"
+
+#include <algorithm>
+
+#include "workload/programs.hpp"
+
+namespace hetpapi::workload {
+
+namespace {
+
+constexpr std::uint64_t kBucket = 0x1000;
+
+PhaseSpec xs_lookup_spec() {
+  PhaseSpec spec;
+  spec.ipc_fraction = 0.45;  // dependent loads serialize the lookup
+  spec.llc_refs_per_kinstr = 90.0;
+  spec.llc_miss_ratio = 0.35;
+  spec.branches_per_kinstr = 60.0;
+  spec.branch_miss_ratio = 0.02;
+  spec.activity = 0.7;
+  return spec;
+}
+
+PhaseSpec attenuate_spec() {
+  PhaseSpec spec;
+  spec.ipc_fraction = 0.85;
+  spec.flops_per_instr = 0.45;  // exp evaluation + flux FMA chain
+  spec.simd_efficiency = 0.7;
+  spec.llc_refs_per_kinstr = 8.0;
+  spec.llc_miss_ratio = 0.05;
+  spec.branches_per_kinstr = 20.0;
+  spec.branch_miss_ratio = 0.004;
+  spec.activity = 0.95;
+  return spec;
+}
+
+PhaseSpec tally_spec() {
+  PhaseSpec spec;
+  spec.ipc_fraction = 0.6;
+  spec.llc_refs_per_kinstr = 45.0;
+  spec.llc_miss_ratio = 0.12;  // scatter into the source regions
+  spec.branches_per_kinstr = 70.0;
+  spec.branch_miss_ratio = 0.015;
+  spec.activity = 0.8;
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<SimpleMocPhase>& simplemoc_phases() {
+  static const std::vector<SimpleMocPhase> kPhases = {
+      {"simplemoc_xs_lookup", 0x401000, 30'000, xs_lookup_spec()},
+      {"simplemoc_attenuate_fluxes", 0x402000, 120'000, attenuate_spec()},
+      {"simplemoc_tally_scalar_flux", 0x403000, 50'000, tally_spec()},
+  };
+  return kPhases;
+}
+
+const SimpleMocPhase* simplemoc_phase_for_ip(std::uint64_t ip) {
+  for (const SimpleMocPhase& phase : simplemoc_phases()) {
+    if (ip >= phase.ip && ip < phase.ip + kBucket) return &phase;
+  }
+  return nullptr;
+}
+
+std::uint64_t simplemoc_total_instructions(const SimpleMocConfig& config) {
+  std::uint64_t per_segment = 0;
+  for (const SimpleMocPhase& phase : simplemoc_phases()) {
+    per_segment += phase.instructions_per_segment;
+  }
+  return config.segments * per_segment;
+}
+
+SimpleMocProgram::SimpleMocProgram(SimpleMocConfig config) : config_(config) {
+  remaining_in_phase_ =
+      config_.segments > 0 ? simplemoc_phases()[0].instructions_per_segment : 0;
+}
+
+simkernel::ExecSlice SimpleMocProgram::run(const simkernel::ExecContext& ctx,
+                                           SimDuration budget) {
+  if (segment_ >= config_.segments) {
+    simkernel::ExecSlice slice;
+    slice.consumed = budget;
+    slice.finished = true;
+    return slice;
+  }
+  const SimpleMocPhase& phase = simplemoc_phases()[phase_index_];
+  simkernel::ExecSlice slice =
+      run_phase_slice(ctx, phase.spec, budget, remaining_in_phase_);
+  slice.sample_ip = phase.ip;
+  remaining_in_phase_ -=
+      std::min(remaining_in_phase_, slice.counts.instructions);
+  if (remaining_in_phase_ == 0) {
+    phase_index_ = (phase_index_ + 1) % simplemoc_phases().size();
+    if (phase_index_ == 0) ++segment_;
+    remaining_in_phase_ =
+        simplemoc_phases()[phase_index_].instructions_per_segment;
+    slice.finished = segment_ >= config_.segments;
+  }
+  return slice;
+}
+
+std::vector<std::string> simplemoc_event_set(int id) {
+  switch (id) {
+    case 0:
+      return {"PAPI_DP_OPS", "PAPI_TOT_CYC"};
+    case 1:
+      return {"PAPI_L3_TCM", "PAPI_TOT_CYC"};
+    case 2:
+      return {"PAPI_RES_STL", "PAPI_TOT_CYC"};
+    case 3:
+      return {"PAPI_BR_MSP", "PAPI_BR_INS"};
+    default:
+      return {"PAPI_TOT_INS", "PAPI_TOT_CYC"};
+  }
+}
+
+}  // namespace hetpapi::workload

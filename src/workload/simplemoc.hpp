@@ -1,0 +1,81 @@
+// SimpleMOC-kernel-style workload: the attenuation inner kernel of the
+// Method-of-Characteristics transport mini-app, reduced to its three
+// compute phases per track segment:
+//
+//   1. xs_lookup   — cross-section table lookups (pointer-heavy,
+//                    cache-hostile reads),
+//   2. attenuate   — exponential attenuation of the angular fluxes
+//                    (FP-dense, vectorizable),
+//   3. tally       — scalar-flux accumulation into the source regions
+//                    (scatter stores, branchy).
+//
+// Each phase publishes a distinct synthetic instruction pointer, so a
+// sampling profiler attributes its records to a recognizable "symbol" —
+// the flat hot-spot table hetpapi_profile prints. The harness shape
+// (numbered event-set selection) follows SimpleMOC-kernel's PAPI
+// counter_init.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simkernel/program.hpp"
+#include "workload/exec_model.hpp"
+
+namespace hetpapi::workload {
+
+/// One compute phase of the MOC segment loop, with the synthetic code
+/// address its samples land on. Phases occupy disjoint 4 KiB "function"
+/// buckets so an IP maps back to exactly one symbol.
+struct SimpleMocPhase {
+  const char* symbol;
+  std::uint64_t ip;
+  /// Instructions this phase retires per track segment.
+  std::uint64_t instructions_per_segment;
+  PhaseSpec spec;
+};
+
+/// The phases in per-segment execution order.
+const std::vector<SimpleMocPhase>& simplemoc_phases();
+
+/// The phase whose 4 KiB bucket contains `ip`; nullptr for foreign IPs.
+const SimpleMocPhase* simplemoc_phase_for_ip(std::uint64_t ip);
+
+struct SimpleMocConfig {
+  /// Track segments to attenuate (the outer loop trip count).
+  std::uint64_t segments = 64;
+};
+
+/// Exact instructions one SimpleMocProgram retires:
+/// segments x sum(phase instructions).
+std::uint64_t simplemoc_total_instructions(const SimpleMocConfig& config);
+
+/// Runs the segment loop: for each segment, the three phases in order,
+/// each slice stamped with its phase's IP. Exits when all segments are
+/// attenuated.
+class SimpleMocProgram final : public simkernel::Program {
+ public:
+  explicit SimpleMocProgram(SimpleMocConfig config = {});
+
+  simkernel::ExecSlice run(const simkernel::ExecContext& ctx,
+                           SimDuration budget) override;
+
+ private:
+  SimpleMocConfig config_;
+  std::uint64_t segment_ = 0;
+  std::size_t phase_index_ = 0;
+  std::uint64_t remaining_in_phase_ = 0;
+};
+
+/// SimpleMOC-kernel's counter_init shape: numbered event sets selecting
+/// what the instrumented run measures. Unknown ids fall back to set -1.
+///
+///   -1  instructions   {PAPI_TOT_INS, PAPI_TOT_CYC}
+///    0  flops          {PAPI_DP_OPS, PAPI_TOT_CYC}
+///    1  bandwidth      {PAPI_L3_TCM, PAPI_TOT_CYC}
+///    2  stalls         {PAPI_RES_STL, PAPI_TOT_CYC}
+///    3  branches       {PAPI_BR_MSP, PAPI_BR_INS}
+std::vector<std::string> simplemoc_event_set(int id);
+
+}  // namespace hetpapi::workload

@@ -1,10 +1,18 @@
 // bench_check: CI guard over benchmark JSON — fails (exit 1) on
-// regression. Two modes:
+// regression. Three modes:
 //
 //   bench_check <BENCH_overhead_read.json> [--tolerance <ratio>]
 //       The rdpmc-plan benchmark of each A/B pair must run in at most
 //       `tolerance` times its syscall-path twin (default 1.0; CI passes
 //       a generous ratio because shared runners are noisy).
+//
+//   bench_check --overflow <BENCH_overflow.json>
+//       Guards the sampling-mode loss story: every period cell must
+//       reconcile exactly (delivered + lost == crossings — a record may
+//       drop to an in-band LOST entry, never vanish), and the loss rate
+//       must never grow as the period grows (less ring pressure can
+//       only lose less). Both guards are deterministic counts, so no
+//       tolerance applies.
 //
 //   bench_check --daemon-load <BENCH_daemon_load.json> [--tolerance <r>]
 //       Guards the counter-service scaling story: every cell with at
@@ -25,6 +33,7 @@
 // the stable output layouts; a missing entry is an error, not a silent
 // pass.
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -112,6 +121,92 @@ std::vector<LoadCell> parse_load_cells(const std::string& json) {
   return cells;
 }
 
+/// One overflow_sampling cell, as written by bench/overflow_sampling.cpp.
+struct OverflowCell {
+  std::string label;
+  double period = 0.0;
+  double crossings = 0.0;
+  double delivered = 0.0;
+  double lost = 0.0;
+  double lost_rate = 0.0;
+};
+
+std::vector<OverflowCell> parse_overflow_cells(const std::string& json) {
+  std::vector<OverflowCell> cells;
+  const std::string open = "\"label\": \"";
+  std::size_t at = json.find(open);
+  while (at != std::string::npos) {
+    const std::size_t name_start = at + open.size();
+    const std::size_t name_end = json.find('"', name_start);
+    if (name_end == std::string::npos) break;
+    const std::size_t next = json.find(open, name_end);
+    const std::size_t limit = next == std::string::npos ? json.size() : next;
+    OverflowCell cell;
+    cell.label = json.substr(name_start, name_end - name_start);
+    if (find_number_in(json, name_end, limit, "period", &cell.period) &&
+        find_number_in(json, name_end, limit, "crossings", &cell.crossings) &&
+        find_number_in(json, name_end, limit, "delivered", &cell.delivered) &&
+        find_number_in(json, name_end, limit, "lost", &cell.lost) &&
+        find_number_in(json, name_end, limit, "lost_rate", &cell.lost_rate)) {
+      cells.push_back(std::move(cell));
+    } else {
+      std::fprintf(stderr, "bench_check: cell %s is missing fields\n",
+                   cell.label.c_str());
+    }
+    at = next;
+  }
+  return cells;
+}
+
+int check_overflow(const std::string& json, const std::string& path) {
+  const std::vector<OverflowCell> cells = parse_overflow_cells(json);
+  if (cells.size() < 3) {
+    std::fprintf(stderr,
+                 "bench_check: expected a period sweep (>= 3 cells) in %s, "
+                 "found %zu\n",
+                 path.c_str(), cells.size());
+    return 2;
+  }
+  int failures = 0;
+  double last_period = 0.0;
+  double last_rate = 0.0;
+  bool first = true;
+  for (const OverflowCell& cell : cells) {
+    // Counts are integers serialized exactly; 0.5 absorbs printf round
+    // trips, nothing else.
+    const bool exact =
+        std::fabs(cell.delivered + cell.lost - cell.crossings) < 0.5;
+    bool monotone = true;
+    if (!first) {
+      if (cell.period < last_period) {
+        std::fprintf(stderr,
+                     "bench_check: cells out of period order at %s\n",
+                     cell.label.c_str());
+        ++failures;
+      }
+      monotone = cell.lost_rate <= last_rate + 1e-9;
+    }
+    std::printf("%-16s crossings %8.0f delivered %8.0f lost %8.0f "
+                "rate %.4f%s%s\n",
+                cell.label.c_str(), cell.crossings, cell.delivered, cell.lost,
+                cell.lost_rate, exact ? " exact-OK" : " exact-FAILED",
+                monotone ? " rate-OK" : " rate-GREW");
+    if (!exact || !monotone) ++failures;
+    last_period = cell.period;
+    last_rate = cell.lost_rate;
+    first = false;
+  }
+  if (failures != 0) {
+    std::fprintf(stderr,
+                 "bench_check: %d overflow failure(s) — every period crossing "
+                 "must be delivered or counted lost, and less ring pressure "
+                 "must never lose more\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}
+
 int check_daemon_load(const std::string& json, const std::string& path,
                       double tolerance) {
   const std::vector<LoadCell> cells = parse_load_cells(json);
@@ -183,12 +278,15 @@ int main(int argc, char** argv) {
   std::string path;
   double tolerance = 0.0;
   bool daemon_load = false;
+  bool overflow = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--tolerance" && i + 1 < argc) {
       tolerance = std::strtod(argv[++i], nullptr);
     } else if (arg == "--daemon-load") {
       daemon_load = true;
+    } else if (arg == "--overflow") {
+      overflow = true;
     } else if (path.empty()) {
       path = arg;
     }
@@ -196,8 +294,8 @@ int main(int argc, char** argv) {
   if (tolerance == 0.0) tolerance = daemon_load ? 2.0 : 1.0;
   if (path.empty() || tolerance <= 0.0) {
     std::fprintf(stderr,
-                 "usage: bench_check [--daemon-load] <BENCH.json> "
-                 "[--tolerance <ratio>]\n");
+                 "usage: bench_check [--daemon-load | --overflow] "
+                 "<BENCH.json> [--tolerance <ratio>]\n");
     return 2;
   }
 
@@ -210,6 +308,7 @@ int main(int argc, char** argv) {
   buffer << in.rdbuf();
   const std::string json = buffer.str();
 
+  if (overflow) return check_overflow(json, path);
   if (daemon_load) return check_daemon_load(json, path, tolerance);
 
   const Pair pairs[] = {
